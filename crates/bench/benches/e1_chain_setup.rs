@@ -1,0 +1,82 @@
+//! E1 — Chain setup latency vs chain length (the paper's "setting up and
+//! configuring service chains on demand").
+//!
+//! Deterministic part (printed): virtual-time setup latency per phase
+//! (mapping ≈ 0, NETCONF RPCs, flow programming) for chains of 1..8
+//! VNFs. Criterion part: wall-clock cost of a full deploy.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use escape::env::Escape;
+use escape_orch::NearestNeighbor;
+use escape_pox::SteeringMode;
+use escape_sg::topo::builders;
+use escape_sg::ServiceGraph;
+
+fn chain_sg(n_vnfs: usize) -> ServiceGraph {
+    let mut sg = ServiceGraph::new().sap("sap0").sap("sap1");
+    let mut hops = vec!["sap0".to_string()];
+    for i in 0..n_vnfs {
+        sg = sg.vnf(&format!("v{i}"), "monitor", 0.25, 32);
+        hops.push(format!("v{i}"));
+    }
+    hops.push("sap1".to_string());
+    let refs: Vec<&str> = hops.iter().map(|s| s.as_str()).collect();
+    sg.chain("c", &refs, 10.0, None)
+}
+
+fn fresh_env() -> Escape {
+    Escape::build(
+        builders::linear(8, 0.3), // one VNF per container: chains spread
+        Box::new(NearestNeighbor),
+        SteeringMode::Proactive,
+        1,
+    )
+    .expect("env builds")
+}
+
+fn print_table() {
+    println!("\nE1: chain setup latency (virtual time) vs chain length");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "vnfs", "total_us", "netconf_us", "steering_us", "rpcs", "rules"
+    );
+    for n in [1usize, 2, 3, 4, 6, 8] {
+        let mut esc = fresh_env();
+        let report = esc.deploy(&chain_sg(n)).expect("deploys");
+        let dc = &report.chains[0];
+        // RPCs: initiate + 2x connect + start per VNF (hello amortized).
+        let rpcs = dc.vnfs.len() * 4;
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>8} {:>8}",
+            n,
+            report.total().as_us(),
+            report.netconf_phase().as_us(),
+            report.steering_phase().as_us(),
+            rpcs,
+            dc.rules
+        );
+    }
+    println!("(expected shape: total grows linearly with chain length, NETCONF dominates)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("e1_chain_setup");
+    g.sample_size(10);
+    for n in [1usize, 4] {
+        g.bench_function(format!("deploy_{n}vnf"), |b| {
+            b.iter_batched(
+                fresh_env,
+                |mut esc| {
+                    esc.deploy(&chain_sg(n)).expect("deploys");
+                    esc
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

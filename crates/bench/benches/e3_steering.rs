@@ -1,0 +1,112 @@
+//! E3 — Traffic steering: reactive vs proactive (design choice D1), plus
+//! raw flow-table performance.
+//!
+//! Deterministic part (printed): first-packet and steady-state latency
+//! through a chain under both steering modes, with controller message
+//! counts. Criterion part: flow-table lookup and flow-mod install rates
+//! on the software switch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use escape::env::Escape;
+use escape_netem::Time;
+use escape_openflow::{table::FlowEntry, Action, FlowTable, Match};
+use escape_orch::GreedyFirstFit;
+use escape_packet::{FlowKey, MacAddr, PacketBuilder};
+use escape_pox::{Controller, SteeringMode};
+use escape_sg::topo::builders;
+use escape_sg::ServiceGraph;
+use std::net::Ipv4Addr;
+
+fn sg() -> ServiceGraph {
+    ServiceGraph::new()
+        .sap("sap0")
+        .sap("sap1")
+        .vnf("m", "monitor", 0.5, 64)
+        .chain("c", &["sap0", "m", "sap1"], 20.0, None)
+}
+
+fn run_mode(mode: SteeringMode) -> (u64, u64, u64, u64) {
+    let mut esc =
+        Escape::build(builders::linear(2, 4.0), Box::new(GreedyFirstFit), mode, 3).unwrap();
+    esc.deploy(&sg()).unwrap();
+    esc.start_udp("sap0", "sap1", 128, 1_000, 20).unwrap();
+    esc.run_for_ms(100);
+    let stats = esc.sap_stats("sap1").unwrap();
+    let ctl = esc.sim.node_as::<Controller>(esc.infra.controller).unwrap().stats;
+    // First packet latency ≈ max (it pays the reactive penalty), steady
+    // state ≈ mean of the rest.
+    (stats.latency_max_ns / 1_000, stats.latency_sum_ns / stats.latency_samples.max(1) / 1_000, ctl.packet_ins, ctl.flow_mods_sent)
+}
+
+fn print_table() {
+    println!("\nE3: steering modes (1-VNF chain, 20 frames)");
+    println!(
+        "{:>10} {:>14} {:>13} {:>11} {:>10}",
+        "mode", "first_pkt_us", "mean_lat_us", "packet_ins", "flow_mods"
+    );
+    for (name, mode) in [("proactive", SteeringMode::Proactive), ("reactive", SteeringMode::Reactive)] {
+        let (first, mean, pins, fmods) = run_mode(mode);
+        println!("{name:>10} {first:>14} {mean:>13} {pins:>11} {fmods:>10}");
+    }
+    println!("(expected shape: reactive pays a controller round-trip on the first");
+    println!(" packet and emits packet-ins; proactive pre-installs everything)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("e3_steering");
+
+    // Flow-table lookup rate with a realistic table.
+    let mut table = FlowTable::new();
+    for i in 0..200u16 {
+        let m = Match::any().with_dl_type(0x0800).with_tp_dst(i);
+        table.add(FlowEntry::new(m, 100 + i, vec![Action::out(1)], Time::ZERO));
+    }
+    let frame = PacketBuilder::udp(
+        MacAddr::from_id(1),
+        MacAddr::from_id(2),
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        999,
+        150,
+        bytes::Bytes::from_static(b"bench"),
+    );
+    let key = FlowKey::extract(&frame).unwrap();
+    g.bench_function("flow_table_lookup_200", |b| {
+        b.iter(|| table.lookup(&key, 0, 128, Time::ZERO).is_some());
+    });
+
+    // Flow-mod install rate.
+    g.bench_function("flow_mod_install", |b| {
+        let mut i = 0u16;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let m = Match::any().with_dl_type(0x0800).with_tp_dst(i);
+            table.add(FlowEntry::new(m, 5, vec![Action::out(2)], Time::ZERO));
+        });
+    });
+
+    // Wire encode/decode cost of a flow-mod (control channel overhead).
+    let fm = escape_openflow::OfMessage::FlowMod {
+        match_: Match::any().with_dl_type(0x0800).with_nw_dst(Ipv4Addr::new(10, 0, 0, 2), 32),
+        cookie: 1,
+        command: escape_openflow::FlowModCommand::Add,
+        idle_timeout: 0,
+        hard_timeout: 0,
+        priority: 500,
+        buffer_id: 0xffff_ffff,
+        out_port: 0xffff,
+        flags: 0,
+        actions: vec![Action::out(3)],
+    };
+    g.bench_function("flow_mod_wire_roundtrip", |b| {
+        b.iter(|| {
+            let wire = fm.encode(7);
+            escape_openflow::OfMessage::decode(&wire).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

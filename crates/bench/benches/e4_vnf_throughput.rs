@@ -1,0 +1,83 @@
+//! E4 — Click VNF dataplane throughput per catalog type and packet size.
+//!
+//! Criterion measures per-packet processing cost of each catalog VNF's
+//! forward path; the printed table derives packets/s and the modelled
+//! CPU cost (the number the cgroup model charges).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use escape_catalog::Catalog;
+use escape_click::{Registry, Router};
+use escape_netem::Time;
+use escape_packet::{MacAddr, Packet, PacketBuilder};
+use std::net::Ipv4Addr;
+
+fn frame(len: usize) -> Packet {
+    let data = PacketBuilder::udp_with_len(
+        MacAddr::from_id(1),
+        MacAddr::from_id(2),
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        4000,
+        8000,
+        len,
+    );
+    Packet { data, id: 1, born_ns: 0 }
+}
+
+/// VNFs with a plain port-0 -> port-1 forward path.
+const TYPES: &[&str] = &[
+    "bridge", "firewall", "rate_limiter", "dpi", "nat", "monitor", "qos_marker", "sampler",
+    "ttl_guard",
+];
+
+fn build(vnf: &str) -> Router {
+    let catalog = Catalog::standard();
+    let overrides: Vec<(String, String)> = match vnf {
+        // Give the shaper enough rate that it forwards inline.
+        "rate_limiter" => vec![("rate_bps".into(), "100000000000".into())],
+        _ => vec![],
+    };
+    catalog.build_router(vnf, &overrides, &Registry::standard(), 1).unwrap()
+}
+
+fn print_table() {
+    println!("\nE4: per-VNF modelled CPU cost (ns/packet, what the cgroup model charges)");
+    println!("{:>14} {:>10} {:>10} {:>10}", "vnf", "64B", "512B", "1500B");
+    for vnf in TYPES {
+        let mut row = format!("{vnf:>14}");
+        for len in [64usize, 512, 1500] {
+            let mut r = build(vnf);
+            let mut total = 0u64;
+            for i in 0..100 {
+                let out = r.push_external(0, frame(len), Time::from_us(i));
+                total += out.work_ns;
+            }
+            row.push_str(&format!(" {:>10}", total / 100));
+        }
+        println!("{row}");
+    }
+    println!("(expected shape: dpi/nat cost most; dpi scales with packet size)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("e4_vnf_throughput");
+    for vnf in TYPES {
+        for len in [64usize, 1500] {
+            g.throughput(Throughput::Elements(1));
+            g.bench_with_input(BenchmarkId::new(*vnf, len), &len, |b, &len| {
+                let mut r = build(vnf);
+                let pkt = frame(len);
+                let mut t = 0u64;
+                b.iter(|| {
+                    t += 1;
+                    r.push_external(0, pkt.clone(), Time::from_ns(t))
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! E5 — NETCONF management latency.
+//!
+//! Deterministic part (printed): virtual-time round trip of each
+//! `vnf_starter` RPC over the emulated control network (200 µs one-way).
+//! Criterion part: pure protocol cost — client encode → agent parse +
+//! dispatch + respond → client decode, no emulation in the loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use escape::env::Escape;
+use escape_netconf::agent::{Agent, VnfInstrumentation, VnfStatusInfo};
+use escape_netconf::{Client, ClientEvent};
+use escape_orch::GreedyFirstFit;
+use escape_pox::SteeringMode;
+use escape_sg::topo::builders;
+use escape_sg::ServiceGraph;
+
+/// Minimal in-memory instrumentation for the pure-protocol benches.
+#[derive(Default)]
+struct NullInstr {
+    n: u32,
+}
+
+impl VnfInstrumentation for NullInstr {
+    fn initiate(&mut self, t: &str, _c: Option<&str>, _o: &[(String, String)]) -> Result<String, String> {
+        self.n += 1;
+        Ok(format!("{t}{}", self.n))
+    }
+    fn start(&mut self, _v: &str) -> Result<(), String> {
+        Ok(())
+    }
+    fn stop(&mut self, _v: &str) -> Result<(), String> {
+        Ok(())
+    }
+    fn connect(&mut self, _v: &str, p: u16, _s: &str) -> Result<u16, String> {
+        Ok(p + 100)
+    }
+    fn disconnect(&mut self, _v: &str, _p: u16) -> Result<(), String> {
+        Ok(())
+    }
+    fn info(&self, _v: Option<&str>) -> Vec<VnfStatusInfo> {
+        vec![VnfStatusInfo {
+            id: "x1".into(),
+            vnf_type: "monitor".into(),
+            status: "running".into(),
+            ports: vec![(0, "s0".into()), (1, "s0".into())],
+            handlers: vec![("in_cnt.count".into(), "12345".into())],
+        }]
+    }
+}
+
+fn ready_pair() -> (Client, Agent<NullInstr>) {
+    let mut client = Client::new();
+    let mut agent = Agent::new(1, NullInstr::default());
+    client.on_bytes(&agent.start());
+    agent.on_bytes(&client.start());
+    (client, agent)
+}
+
+fn print_table() {
+    println!("\nE5: NETCONF RPC round trips over the emulated control network");
+    println!("(control latency 200 us one-way; values are virtual time)");
+    // Measure via a real deployment: each phase is a known RPC sequence.
+    let mut esc = Escape::build(
+        builders::linear(2, 4.0),
+        Box::new(GreedyFirstFit),
+        SteeringMode::Proactive,
+        11,
+    )
+    .unwrap();
+    let sg = ServiceGraph::new()
+        .sap("sap0")
+        .sap("sap1")
+        .vnf("m", "monitor", 0.5, 64)
+        .chain("c", &["sap0", "m", "sap1"], 10.0, None);
+    let report = esc.deploy(&sg).unwrap();
+    // 1 hello exchange + 4 RPCs (initiate, connect x2, start).
+    let per_rpc = report.netconf_phase().as_us() / 5;
+    println!(
+        "  deployment NETCONF phase: {} for ~5 exchanges  (≈{} µs per round trip)",
+        report.netconf_phase(),
+        per_rpc
+    );
+    println!("  (expected shape: each round trip ≈ 2 × 200 µs control latency + stepping)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("e5_netconf");
+
+    g.bench_function("rpc_get_vnf_info", |b| {
+        let (mut client, mut agent) = ready_pair();
+        b.iter(|| {
+            let (_, req) = client.get_vnf_info(None);
+            let resp = agent.on_bytes(&req);
+            let ev = client.on_bytes(&resp);
+            assert!(matches!(ev.last(), Some(ClientEvent::Reply(_))));
+        });
+    });
+
+    g.bench_function("rpc_initiate_start", |b| {
+        let (mut client, mut agent) = ready_pair();
+        b.iter(|| {
+            let (_, req) = client.initiate_vnf("monitor", None, &[]);
+            let resp = agent.on_bytes(&req);
+            client.on_bytes(&resp);
+            let (_, req) = client.start_vnf("monitor1");
+            let resp = agent.on_bytes(&req);
+            client.on_bytes(&resp);
+        });
+    });
+
+    g.bench_function("rpc_edit_config", |b| {
+        let (mut client, mut agent) = ready_pair();
+        let cfg = escape_netconf::XmlElement::parse(
+            "<edit-config><target><running/></target><config><policy><name>gold</name><rate>10</rate></policy></config></edit-config>",
+        )
+        .unwrap();
+        b.iter(|| {
+            let (_, req) = client.rpc(cfg.clone());
+            let resp = agent.on_bytes(&req);
+            client.on_bytes(&resp);
+        });
+    });
+
+    // XML parse cost in isolation (the dominant protocol cost).
+    let doc = escape_netconf::message::Rpc::new(
+        7,
+        escape_netconf::XmlElement::parse(
+            "<connectVNF><vnf-id>c0-vnf1</vnf-id><vnf-port>1</vnf-port><switch-id>s1</switch-id></connectVNF>",
+        )
+        .unwrap(),
+    )
+    .to_xml()
+    .to_xml();
+    g.bench_function("xml_parse_rpc", |b| {
+        b.iter(|| escape_netconf::XmlElement::parse(&doc).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! E7 — End-to-end per-packet latency through a deployed chain vs chain
+//! length.
+//!
+//! Deterministic part (printed): mean/max virtual latency for 1..6 VNF
+//! chains on a linear topology. Criterion part: wall-clock cost of
+//! pushing a frame burst through a deployed 3-VNF chain.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use escape::env::Escape;
+use escape_orch::NearestNeighbor;
+use escape_pox::SteeringMode;
+use escape_sg::topo::builders;
+use escape_sg::ServiceGraph;
+
+fn chain_sg(n_vnfs: usize) -> ServiceGraph {
+    let mut sg = ServiceGraph::new().sap("sap0").sap("sap1");
+    let mut hops = vec!["sap0".to_string()];
+    for i in 0..n_vnfs {
+        sg = sg.vnf(&format!("v{i}"), "monitor", 0.25, 32);
+        hops.push(format!("v{i}"));
+    }
+    hops.push("sap1".to_string());
+    let refs: Vec<&str> = hops.iter().map(|s| s.as_str()).collect();
+    sg.chain("c", &refs, 10.0, None)
+}
+
+fn deployed_env(n_vnfs: usize) -> Escape {
+    let mut esc = Escape::build(
+        builders::linear(6, 0.3), // one 0.25-CPU VNF fits per container: chains spread
+        Box::new(NearestNeighbor),
+        SteeringMode::Proactive,
+        7,
+    )
+    .unwrap();
+    esc.deploy(&chain_sg(n_vnfs)).unwrap();
+    esc
+}
+
+fn print_table() {
+    println!("\nE7: end-to-end virtual latency vs chain length (linear topology)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>10}",
+        "vnfs", "mean_us", "max_us", "map_delay", "delivered"
+    );
+    for n in [0usize, 1, 2, 3, 4, 6] {
+        let mut esc = deployed_env(n);
+        let map_delay = esc.deployed("c").unwrap().mapping.total_delay_us;
+        esc.start_udp("sap0", "sap1", 256, 500, 50).unwrap();
+        esc.run_for_ms(200);
+        let stats = esc.sap_stats("sap1").unwrap();
+        println!(
+            "{:>6} {:>12} {:>12} {:>12} {:>10}",
+            n,
+            stats.mean_latency().map(|t| t.as_us()).unwrap_or(0),
+            stats.latency_max_ns / 1_000,
+            map_delay,
+            stats.udp_rx
+        );
+    }
+    println!("(expected shape: latency grows monotonically with VNF count; the");
+    println!(" mapped path delay is a lower bound on the measured latency)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("e7_chain_latency");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(200));
+    g.bench_function("burst200_through_3vnf_chain", |b| {
+        b.iter(|| {
+            let mut esc = deployed_env(3);
+            esc.start_udp("sap0", "sap1", 256, 100, 200).unwrap();
+            esc.run_for_ms(100);
+            assert_eq!(esc.sap_stats("sap1").unwrap().udp_rx, 200);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! E8 — VNF isolation ablation (design choice D3): "VNFs started as
+//! processes with configurable isolation models (based on cgroups)".
+//!
+//! Two VNFs share one container: a victim monitor chain and a noisy DPI
+//! chain. We measure the victim's latency under three isolation modes of
+//! the noisy neighbour. The noisy stream overloads the container CPU
+//! (1400 B DPI work every 8 µs ≈ 140% duty). Expected shape: with no
+//! isolation the victim queues behind the noisy backlog on the shared
+//! CPU lane; share/quota isolation moves the noisy VNF to its own
+//! scheduling domain, protecting the victim while throttling the noisy
+//! VNF's own throughput (visible as lower noisy_rx in the window).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use escape::env::Escape;
+use escape_orch::GreedyFirstFit;
+use escape_pox::SteeringMode;
+use escape_sg::ServiceGraph;
+
+/// Topology with a single 1-CPU container so both VNFs co-locate.
+fn topo() -> escape_sg::ResourceTopology {
+    let mut t = escape_sg::ResourceTopology::new();
+    t.add_switch("s0")
+        .add_switch("s1")
+        .add_container("c0", 4.0, 4096)
+        .add_sap("sap0")
+        .add_sap("sap1")
+        .add_sap("sap2")
+        .add_sap("sap3")
+        .add_link("sap0", "s0", 1000.0, 10)
+        .add_link("sap1", "s1", 1000.0, 10)
+        .add_link("sap2", "s0", 1000.0, 10)
+        .add_link("sap3", "s1", 1000.0, 10)
+        .add_link("s0", "s1", 1000.0, 50)
+        .add_link("c0", "s0", 1000.0, 20)
+        .add_link("c0", "s1", 1000.0, 20);
+    t
+}
+
+fn victim_latency_us(noisy_isolation: &str) -> (u64, u64) {
+    let mut esc =
+        Escape::build(topo(), Box::new(GreedyFirstFit), SteeringMode::Proactive, 8).unwrap();
+    let mut sg = ServiceGraph::new()
+        .sap("sap0")
+        .sap("sap1")
+        .sap("sap2")
+        .sap("sap3")
+        .vnf("victim", "monitor", 0.5, 64)
+        .chain("quiet", &["sap0", "victim", "sap1"], 10.0, None)
+        .vnf("noisy", "dpi", 0.5, 64)
+        .chain("loud", &["sap2", "noisy", "sap3"], 10.0, None);
+    if noisy_isolation != "none" {
+        for v in &mut sg.vnfs {
+            if v.name == "noisy" {
+                v.params.push(("isolation".into(), noisy_isolation.into()));
+            }
+        }
+    }
+    esc.deploy(&sg).unwrap();
+    // Noisy neighbour: large frames at high rate through the DPI.
+    esc.start_udp("sap2", "sap3", 1400, 8, 3_000).unwrap();
+    // Victim: light, steady stream.
+    esc.start_udp("sap0", "sap1", 128, 500, 100).unwrap();
+    esc.run_for_ms(100);
+    let victim = esc.sap_stats("sap1").unwrap();
+    let noisy = esc.sap_stats("sap3").unwrap();
+    (
+        victim.latency_sum_ns / victim.latency_samples.max(1) / 1_000,
+        noisy.udp_rx,
+    )
+}
+
+fn print_table() {
+    println!("\nE8: co-located VNF interference under isolation modes");
+    println!("(victim = monitor chain; noisy neighbour = DPI chain on the same container)");
+    println!("{:>22} {:>18} {:>16}", "noisy isolation", "victim_mean_us", "noisy_rx");
+    for (label, spec) in [
+        ("none (shared CPU)", "none"),
+        ("cpu share 1/4", "share:1:4"),
+        ("quota 2ms/10ms", "quota:2000000:10000000"),
+    ] {
+        let (lat, noisy_rx) = victim_latency_us(spec);
+        println!("{label:>22} {lat:>18} {noisy_rx:>16}");
+    }
+    println!("(expected shape: victim latency highest with no isolation; the quota");
+    println!(" protects the victim by throttling the noisy DPI's own throughput)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut g = c.benchmark_group("e8_isolation");
+    g.sample_size(10);
+    for (name, spec) in [("none", "none"), ("share", "share:1:4")] {
+        g.bench_function(format!("contended_run_{name}"), |b| {
+            b.iter(|| victim_latency_us(spec));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! escape-bench: benchmark harness crate. All content lives in benches/.

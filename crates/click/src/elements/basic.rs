@@ -1,0 +1,481 @@
+//! Device endpoints, counters, queues, tees, discard.
+
+use super::args;
+use crate::element::{ElemCtx, Element, HandlerError};
+use crate::registry::Registry;
+use escape_netem::Time;
+use escape_packet::Packet;
+use std::collections::VecDeque;
+
+pub fn install(r: &mut Registry) {
+    r.register("FromDevice", |a| {
+        args::max(a, 1)?;
+        let dev = args::req::<u16>(a, 0, "device number")?;
+        Ok(Box::new(FromDevice { dev }))
+    });
+    r.register("ToDevice", |a| {
+        args::max(a, 1)?;
+        let dev = args::req::<u16>(a, 0, "device number")?;
+        Ok(Box::new(ToDevice { dev, count: 0 }))
+    });
+    r.register("Counter", |a| {
+        args::max(a, 0)?;
+        Ok(Box::new(Counter::default()))
+    });
+    r.register("Discard", |a| {
+        args::max(a, 0)?;
+        Ok(Box::new(Discard { count: 0 }))
+    });
+    r.register("Tee", |a| {
+        args::max(a, 1)?;
+        let n = args::opt::<usize>(a, 0, 2)?;
+        if n == 0 {
+            return Err("Tee needs at least one output".into());
+        }
+        Ok(Box::new(Tee { n }))
+    });
+    r.register("Queue", |a| {
+        args::max(a, 1)?;
+        let cap = args::opt::<usize>(a, 0, 1000)?;
+        if cap == 0 {
+            return Err("capacity must be positive".into());
+        }
+        Ok(Box::new(Queue::new(cap)))
+    });
+    r.register("Unqueue", |a| {
+        args::max(a, 1)?;
+        let burst = args::opt::<usize>(a, 0, usize::MAX)?;
+        Ok(Box::new(Unqueue { burst, moved: 0 }))
+    });
+    r.register("RatedUnqueue", |a| {
+        args::max(a, 1)?;
+        let rate: u64 = args::req(a, 0, "rate in packets/s")?;
+        if rate == 0 {
+            return Err("rate must be positive".into());
+        }
+        Ok(Box::new(RatedUnqueue { interval_ns: 1_000_000_000 / rate, next: None, moved: 0 }))
+    });
+}
+
+/// Entry point for frames arriving on VNF device `dev`. The router feeds
+/// arriving frames directly out of this element's single output.
+pub struct FromDevice {
+    pub dev: u16,
+}
+
+impl Element for FromDevice {
+    fn class_name(&self) -> &'static str {
+        "FromDevice"
+    }
+    fn ports(&self) -> (usize, usize) {
+        (0, 1)
+    }
+    fn cost_ns(&self) -> u64 {
+        30
+    }
+}
+
+/// Exit point: pushes its input out of the VNF on device `dev`.
+pub struct ToDevice {
+    pub dev: u16,
+    count: u64,
+}
+
+impl Element for ToDevice {
+    fn class_name(&self) -> &'static str {
+        "ToDevice"
+    }
+    fn ports(&self) -> (usize, usize) {
+        (1, 0)
+    }
+    fn push(&mut self, ctx: &mut ElemCtx<'_>, _port: usize, pkt: Packet) {
+        self.count += 1;
+        ctx.emit_external(self.dev, pkt);
+    }
+    fn read_handler(&self, name: &str) -> Option<String> {
+        match name {
+            "count" => Some(self.count.to_string()),
+            _ => None,
+        }
+    }
+    fn cost_ns(&self) -> u64 {
+        30
+    }
+}
+
+/// Transparent packet/byte counter with a rate estimate.
+#[derive(Default)]
+pub struct Counter {
+    count: u64,
+    byte_count: u64,
+    first: Option<Time>,
+    last: Option<Time>,
+}
+
+impl Element for Counter {
+    fn class_name(&self) -> &'static str {
+        "Counter"
+    }
+    fn ports(&self) -> (usize, usize) {
+        (1, 1)
+    }
+    fn push(&mut self, ctx: &mut ElemCtx<'_>, _port: usize, pkt: Packet) {
+        self.count += 1;
+        self.byte_count += pkt.len() as u64;
+        let now = ctx.now();
+        if self.first.is_none() {
+            self.first = Some(now);
+        }
+        self.last = Some(now);
+        ctx.emit(0, pkt);
+    }
+    fn read_handler(&self, name: &str) -> Option<String> {
+        match name {
+            "count" => Some(self.count.to_string()),
+            "byte_count" => Some(self.byte_count.to_string()),
+            "rate" => {
+                // Mean packets/s between first and last packet.
+                let (f, l) = (self.first?, self.last?);
+                let span = l.since(f);
+                if span == 0 || self.count < 2 {
+                    Some("0".to_string())
+                } else {
+                    Some(format!("{:.1}", (self.count - 1) as f64 * 1e9 / span as f64))
+                }
+            }
+            "bit_rate" => {
+                let (f, l) = (self.first?, self.last?);
+                let span = l.since(f);
+                if span == 0 || self.count < 2 {
+                    Some("0".to_string())
+                } else {
+                    Some(format!("{:.0}", self.byte_count as f64 * 8.0 * 1e9 / span as f64))
+                }
+            }
+            _ => None,
+        }
+    }
+    fn write_handler(&mut self, name: &str, _value: &str) -> Result<(), HandlerError> {
+        match name {
+            "reset" => {
+                *self = Counter::default();
+                Ok(())
+            }
+            other => Err(HandlerError::NoSuchHandler(other.to_string())),
+        }
+    }
+    fn cost_ns(&self) -> u64 {
+        20
+    }
+}
+
+/// Drops everything, counting.
+pub struct Discard {
+    count: u64,
+}
+
+impl Element for Discard {
+    fn class_name(&self) -> &'static str {
+        "Discard"
+    }
+    fn ports(&self) -> (usize, usize) {
+        (1, 0)
+    }
+    fn push(&mut self, _ctx: &mut ElemCtx<'_>, _port: usize, _pkt: Packet) {
+        self.count += 1;
+    }
+    fn read_handler(&self, name: &str) -> Option<String> {
+        match name {
+            "count" => Some(self.count.to_string()),
+            _ => None,
+        }
+    }
+    fn cost_ns(&self) -> u64 {
+        10
+    }
+}
+
+/// Duplicates each input packet to every output.
+pub struct Tee {
+    n: usize,
+}
+
+impl Element for Tee {
+    fn class_name(&self) -> &'static str {
+        "Tee"
+    }
+    fn ports(&self) -> (usize, usize) {
+        (1, self.n)
+    }
+    fn push(&mut self, ctx: &mut ElemCtx<'_>, _port: usize, pkt: Packet) {
+        for out in 1..self.n {
+            ctx.emit(out, pkt.clone());
+        }
+        ctx.emit(0, pkt);
+    }
+    fn cost_ns(&self) -> u64 {
+        40
+    }
+}
+
+/// A FIFO with a pull output and drop-tail semantics.
+pub struct Queue {
+    q: VecDeque<Packet>,
+    cap: usize,
+    drops: u64,
+    highwater: usize,
+}
+
+impl Queue {
+    fn new(cap: usize) -> Self {
+        Queue { q: VecDeque::new(), cap, drops: 0, highwater: 0 }
+    }
+}
+
+impl Element for Queue {
+    fn class_name(&self) -> &'static str {
+        "Queue"
+    }
+    fn ports(&self) -> (usize, usize) {
+        (1, 1)
+    }
+    fn push(&mut self, ctx: &mut ElemCtx<'_>, _port: usize, pkt: Packet) {
+        if self.q.len() >= self.cap {
+            self.drops += 1;
+            return;
+        }
+        let was_empty = self.q.is_empty();
+        self.q.push_back(pkt);
+        self.highwater = self.highwater.max(self.q.len());
+        if was_empty {
+            ctx.kick(0); // wake a dormant puller downstream
+        }
+    }
+    fn pull(&mut self, _ctx: &mut ElemCtx<'_>, _port: usize) -> Option<Packet> {
+        self.q.pop_front()
+    }
+    fn read_handler(&self, name: &str) -> Option<String> {
+        match name {
+            "length" => Some(self.q.len().to_string()),
+            "capacity" => Some(self.cap.to_string()),
+            "drops" => Some(self.drops.to_string()),
+            "highwater" => Some(self.highwater.to_string()),
+            _ => None,
+        }
+    }
+    fn write_handler(&mut self, name: &str, _value: &str) -> Result<(), HandlerError> {
+        match name {
+            "reset" => {
+                self.q.clear();
+                self.drops = 0;
+                self.highwater = 0;
+                Ok(())
+            }
+            other => Err(HandlerError::NoSuchHandler(other.to_string())),
+        }
+    }
+    fn cost_ns(&self) -> u64 {
+        25
+    }
+}
+
+/// Moves packets from its pull input to its push output as soon as data is
+/// available (woken by the upstream queue's notifier), up to `burst` per
+/// wake.
+pub struct Unqueue {
+    burst: usize,
+    moved: u64,
+}
+
+impl Unqueue {
+    fn drain(&mut self, ctx: &mut ElemCtx<'_>) {
+        for _ in 0..self.burst {
+            match ctx.pull_from(0) {
+                Some(pkt) => {
+                    self.moved += 1;
+                    ctx.emit(0, pkt);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl Element for Unqueue {
+    fn class_name(&self) -> &'static str {
+        "Unqueue"
+    }
+    fn ports(&self) -> (usize, usize) {
+        (1, 1)
+    }
+    fn notify(&mut self, ctx: &mut ElemCtx<'_>, _port: usize) {
+        self.drain(ctx);
+    }
+    fn read_handler(&self, name: &str) -> Option<String> {
+        match name {
+            "count" => Some(self.moved.to_string()),
+            _ => None,
+        }
+    }
+    fn cost_ns(&self) -> u64 {
+        20
+    }
+}
+
+/// Pulls one packet every `1/rate` seconds while the upstream has data;
+/// goes dormant when a pull comes back empty and is re-armed by the
+/// upstream queue's notifier.
+pub struct RatedUnqueue {
+    interval_ns: u64,
+    next: Option<Time>,
+    moved: u64,
+}
+
+impl Element for RatedUnqueue {
+    fn class_name(&self) -> &'static str {
+        "RatedUnqueue"
+    }
+    fn ports(&self) -> (usize, usize) {
+        (1, 1)
+    }
+    fn notify(&mut self, ctx: &mut ElemCtx<'_>, _port: usize) {
+        if self.next.is_none() {
+            self.next = Some(ctx.now().add_ns(self.interval_ns));
+        }
+    }
+    fn tick(&mut self, ctx: &mut ElemCtx<'_>) {
+        match ctx.pull_from(0) {
+            Some(pkt) => {
+                self.moved += 1;
+                ctx.emit(0, pkt);
+                self.next = Some(ctx.now().add_ns(self.interval_ns));
+            }
+            None => self.next = None, // dormant until the queue kicks us
+        }
+    }
+    fn next_wake(&self) -> Option<Time> {
+        self.next
+    }
+    fn read_handler(&self, name: &str) -> Option<String> {
+        match name {
+            "count" => Some(self.moved.to_string()),
+            "rate" => Some((1_000_000_000 / self.interval_ns).to_string()),
+            _ => None,
+        }
+    }
+    fn cost_ns(&self) -> u64 {
+        30
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Registry;
+    use crate::router::Router;
+    use bytes::Bytes;
+    use escape_netem::Time;
+    use escape_packet::Packet;
+
+    fn pkt(n: usize) -> Packet {
+        Packet { data: Bytes::from(vec![0xaau8; n]), id: 0, born_ns: 0 }
+    }
+
+    fn mk(cfg: &str) -> Router {
+        Router::from_config(cfg, &Registry::standard(), 0).unwrap()
+    }
+
+    #[test]
+    fn counter_tracks_bytes_and_rate() {
+        let mut r = mk("FromDevice(0) -> c :: Counter -> ToDevice(0);");
+        r.push_external(0, pkt(100), Time::ZERO);
+        r.push_external(0, pkt(100), Time::from_secs(1));
+        assert_eq!(r.read_handler("c.count").unwrap(), "2");
+        assert_eq!(r.read_handler("c.byte_count").unwrap(), "200");
+        assert_eq!(r.read_handler("c.rate").unwrap(), "1.0");
+        assert_eq!(r.read_handler("c.bit_rate").unwrap(), "1600");
+    }
+
+    #[test]
+    fn queue_drops_when_full_and_reports() {
+        let mut r = mk("FromDevice(0) -> q :: Queue(2); q -> Unqueue -> ToDevice(0);");
+        // Unqueue drains immediately on each kick, so block it by pushing
+        // before... Unqueue is eager: each push is drained at once.
+        let out = r.push_external(0, pkt(10), Time::ZERO);
+        assert_eq!(out.external.len(), 1, "eager unqueue forwards immediately");
+    }
+
+    #[test]
+    fn queue_without_drainer_overflows() {
+        // Queue pull output must be connected; use RatedUnqueue with a very
+        // slow rate so nothing drains at t=0.
+        let mut r =
+            mk("FromDevice(0) -> q :: Queue(2); q -> RatedUnqueue(1) -> ToDevice(0);");
+        for _ in 0..5 {
+            r.push_external(0, pkt(10), Time::ZERO);
+        }
+        assert_eq!(r.read_handler("q.length").unwrap(), "2");
+        assert_eq!(r.read_handler("q.drops").unwrap(), "3");
+        assert_eq!(r.read_handler("q.highwater").unwrap(), "2");
+    }
+
+    #[test]
+    fn rated_unqueue_paces_and_goes_dormant() {
+        let mut r =
+            mk("FromDevice(0) -> q :: Queue(10); q -> u :: RatedUnqueue(1000) -> ToDevice(0);");
+        for _ in 0..3 {
+            r.push_external(0, pkt(10), Time::ZERO);
+        }
+        // Drain: wakes at 1 ms, 2 ms, 3 ms; dormant check at 4 ms.
+        let mut emitted = 0;
+        while let Some(w) = r.next_wake() {
+            emitted += r.tick(w).external.len();
+        }
+        assert_eq!(emitted, 3);
+        assert!(r.next_wake().is_none(), "dormant after drain");
+        // New arrival re-arms via the queue notifier.
+        r.push_external(0, pkt(10), Time::from_ms(10));
+        assert_eq!(r.next_wake(), Some(Time::from_ms(11)));
+    }
+
+    #[test]
+    fn tee_clones_preserve_content() {
+        let mut r = mk(
+            "FromDevice(0) -> t :: Tee(3); t [0] -> ToDevice(0); t [1] -> ToDevice(1); t [2] -> d :: Discard;",
+        );
+        let out = r.push_external(0, pkt(10), Time::ZERO);
+        assert_eq!(out.external.len(), 2);
+        assert_eq!(r.read_handler("d.count").unwrap(), "1");
+    }
+
+    #[test]
+    fn discard_counts() {
+        let mut r = mk("FromDevice(0) -> d :: Discard;");
+        for _ in 0..7 {
+            r.push_external(0, pkt(10), Time::ZERO);
+        }
+        assert_eq!(r.read_handler("d.count").unwrap(), "7");
+    }
+
+    #[test]
+    fn unqueue_burst_limits_per_wake() {
+        let mut r = mk(
+            "FromDevice(0) -> q :: Queue(10); q -> u :: Unqueue(1) -> ToDevice(0);",
+        );
+        // Each push kicks only on empty->nonempty; with burst 1 the queue
+        // retains the backlog.
+        let o1 = r.push_external(0, pkt(10), Time::ZERO);
+        assert_eq!(o1.external.len(), 1);
+        let o2 = r.push_external(0, pkt(10), Time::ZERO);
+        // Queue was empty again (drained), so this also forwards.
+        assert_eq!(o2.external.len(), 1);
+    }
+
+    #[test]
+    fn bad_factory_args_are_errors() {
+        let reg = Registry::standard();
+        assert!(Router::from_config("q :: Queue(0); FromDevice(0) -> q; q -> Unqueue -> ToDevice(0);", &reg, 0).is_err());
+        assert!(Router::from_config("u :: RatedUnqueue(0);", &reg, 0).is_err());
+        assert!(Router::from_config("t :: Tee(0);", &reg, 0).is_err());
+        assert!(Router::from_config("f :: FromDevice(notanumber);", &reg, 0).is_err());
+    }
+}

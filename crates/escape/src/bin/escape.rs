@@ -1,0 +1,233 @@
+//! The `escape` command-line runner: load a topology and a service
+//! graph (DSL or JSON), deploy, push traffic, report.
+//!
+//! ```text
+//! escape <topology-file> <service-graph-file> [options]
+//!
+//! options:
+//!   --algorithm first_fit|best_fit|nearest|backtrack|anneal   (default nearest)
+//!   --steering  proactive|reactive                            (default proactive)
+//!   --traffic   FROM:TO:COUNT[:LEN[:INTERVAL_US]]             (repeatable)
+//!   --ping      FROM:TO:COUNT                                 (repeatable)
+//!   --duration-ms N                                           (default 200)
+//!   --monitor   CHAIN:VNF                                     (repeatable)
+//!   --seed N                                                  (default 1)
+//!   --json      topology/SG files are JSON instead of DSL
+//! ```
+//!
+//! Exit code 0 on success, 1 on any error, 2 on bad usage.
+
+use escape::env::Escape;
+use escape::monitor::format_handler_table;
+use escape_orch::{
+    Backtracking, BestFitCpu, GreedyFirstFit, MappingAlgorithm, NearestNeighbor,
+    SimulatedAnnealing,
+};
+use escape_pox::SteeringMode;
+use escape_sg::{parse_service_graph, parse_topology, ResourceTopology, ServiceGraph};
+use std::process::ExitCode;
+
+struct Options {
+    topo_file: String,
+    sg_file: String,
+    algorithm: String,
+    steering: SteeringMode,
+    traffic: Vec<(String, String, u64, usize, u64)>,
+    pings: Vec<(String, String, u64)>,
+    duration_ms: u64,
+    monitors: Vec<(String, String)>,
+    seed: u64,
+    json: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: escape <topology> <service-graph> [--algorithm A] [--steering M] \
+         [--traffic F:T:N[:LEN[:US]]]... [--ping F:T:N]... [--duration-ms N] \
+         [--monitor CHAIN:VNF]... [--seed N] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut positional = Vec::new();
+    let mut o = Options {
+        topo_file: String::new(),
+        sg_file: String::new(),
+        algorithm: "nearest".into(),
+        steering: SteeringMode::Proactive,
+        traffic: Vec::new(),
+        pings: Vec::new(),
+        duration_ms: 200,
+        monitors: Vec::new(),
+        seed: 1,
+        json: false,
+    };
+    while let Some(a) = args.next() {
+        let mut need = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--algorithm" => o.algorithm = need("--algorithm")?,
+            "--steering" => {
+                o.steering = match need("--steering")?.as_str() {
+                    "proactive" => SteeringMode::Proactive,
+                    "reactive" => SteeringMode::Reactive,
+                    other => return Err(format!("unknown steering mode {other:?}")),
+                }
+            }
+            "--traffic" => {
+                let v = need("--traffic")?;
+                let parts: Vec<&str> = v.split(':').collect();
+                if parts.len() < 3 {
+                    return Err(format!("--traffic {v:?}: need FROM:TO:COUNT"));
+                }
+                let count = parts[2].parse().map_err(|_| format!("bad count in {v:?}"))?;
+                let len = parts.get(3).map_or(Ok(128), |s| s.parse()).map_err(|_| format!("bad len in {v:?}"))?;
+                let us = parts.get(4).map_or(Ok(200), |s| s.parse()).map_err(|_| format!("bad interval in {v:?}"))?;
+                o.traffic.push((parts[0].into(), parts[1].into(), count, len, us));
+            }
+            "--ping" => {
+                let v = need("--ping")?;
+                let parts: Vec<&str> = v.split(':').collect();
+                if parts.len() != 3 {
+                    return Err(format!("--ping {v:?}: need FROM:TO:COUNT"));
+                }
+                let count = parts[2].parse().map_err(|_| format!("bad count in {v:?}"))?;
+                o.pings.push((parts[0].into(), parts[1].into(), count));
+            }
+            "--duration-ms" => {
+                o.duration_ms = need("--duration-ms")?.parse().map_err(|_| "bad duration")?
+            }
+            "--monitor" => {
+                let v = need("--monitor")?;
+                let (c, vnf) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--monitor {v:?}: need CHAIN:VNF"))?;
+                o.monitors.push((c.to_string(), vnf.to_string()));
+            }
+            "--seed" => o.seed = need("--seed")?.parse().map_err(|_| "bad seed")?,
+            "--json" => o.json = true,
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err("need exactly two positional arguments".into());
+    }
+    o.topo_file = positional.remove(0);
+    o.sg_file = positional.remove(0);
+    Ok(o)
+}
+
+fn algorithm(name: &str) -> Result<Box<dyn MappingAlgorithm>, String> {
+    Ok(match name {
+        "first_fit" => Box::new(GreedyFirstFit),
+        "best_fit" => Box::new(BestFitCpu),
+        "nearest" => Box::new(NearestNeighbor),
+        "backtrack" => Box::new(Backtracking::default()),
+        "anneal" => Box::new(SimulatedAnnealing::default()),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    })
+}
+
+fn run(o: Options) -> Result<(), String> {
+    let topo_src = std::fs::read_to_string(&o.topo_file)
+        .map_err(|e| format!("{}: {e}", o.topo_file))?;
+    let sg_src =
+        std::fs::read_to_string(&o.sg_file).map_err(|e| format!("{}: {e}", o.sg_file))?;
+    let topo: ResourceTopology = if o.json {
+        ResourceTopology::from_json(&topo_src)?
+    } else {
+        parse_topology(&topo_src).map_err(|e| e.to_string())?
+    };
+    let sg: ServiceGraph = if o.json {
+        ServiceGraph::from_json(&sg_src)?
+    } else {
+        parse_service_graph(&sg_src).map_err(|e| e.to_string())?
+    };
+
+    println!(
+        "escape: {} switches, {} containers, {} SAPs | {} VNFs, {} chains | algorithm={} steering={:?}",
+        topo.switches().count(),
+        topo.containers().count(),
+        topo.saps().count(),
+        sg.vnfs.len(),
+        sg.chains.len(),
+        o.algorithm,
+        o.steering,
+    );
+
+    let mut esc = Escape::build(topo, algorithm(&o.algorithm)?, o.steering, o.seed)
+        .map_err(|e| e.to_string())?;
+    let report = esc.deploy(&sg).map_err(|e| e.to_string())?;
+    for dc in &report.chains {
+        let placements: Vec<String> = dc
+            .vnfs
+            .iter()
+            .map(|v| format!("{}→{}", v.vnf_name, v.container))
+            .collect();
+        println!(
+            "deployed {}: [{}] path {} µs, {} rules",
+            dc.mapping.chain.name,
+            placements.join(", "),
+            dc.mapping.total_delay_us,
+            dc.rules
+        );
+    }
+    println!(
+        "setup: total {} (netconf {}, steering {})",
+        report.total(),
+        report.netconf_phase(),
+        report.steering_phase()
+    );
+
+    for (from, to, count, len, us) in &o.traffic {
+        esc.start_udp(from, to, *len, *us, *count).map_err(|e| e.to_string())?;
+        println!("traffic: {from} -> {to}, {count} x {len} B every {us} µs");
+    }
+    for (from, to, count) in &o.pings {
+        esc.start_ping(from, to, 1_000, *count).map_err(|e| e.to_string())?;
+        println!("ping: {from} -> {to} x {count}");
+    }
+    esc.run_for_ms(o.duration_ms);
+
+    // Report every SAP with any receive activity.
+    let saps: Vec<String> = esc.topology().saps().map(|n| n.name.clone()).collect();
+    for sap in saps {
+        let s = esc.sap_stats(&sap).map_err(|e| e.to_string())?;
+        if s.udp_rx + s.icmp_echo_rx + s.icmp_reply_rx > 0 {
+            println!(
+                "{sap}: udp_rx={} bytes={} echo_rx={} reply_rx={} mean_latency={}",
+                s.udp_rx,
+                s.bytes_rx,
+                s.icmp_echo_rx,
+                s.icmp_reply_rx,
+                s.mean_latency().map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            );
+        }
+    }
+    for (chain, vnf) in &o.monitors {
+        let handlers = esc.monitor_vnf(chain, vnf).map_err(|e| e.to_string())?;
+        println!("{}", format_handler_table(&format!("{vnf} @ {chain}"), &handlers));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match run(o) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,760 @@
+//! The VNF container: a managed node hosting Click-based VNFs.
+//!
+//! One container node = Mininet host + cgroup + OpenYuma agent in the
+//! paper's setup. It terminates a NETCONF control channel (the agent),
+//! owns a [`CpuModel`] shared by its VNF processes, and forwards
+//! dataplane frames through the Click routers of the VNFs bound to its
+//! ports. Packet processing cost (from the Click engine) is charged to
+//! the owning process under its isolation mode, and outputs are released
+//! when the virtual CPU finishes the work.
+
+use escape_catalog::Catalog;
+use escape_click::{Registry, Router};
+use escape_netconf::agent::{Agent, VnfInstrumentation, VnfStatusInfo};
+use escape_netem::process::ProcId;
+use escape_netem::{CpuModel, CtrlId, IsolationMode, NodeCtx, NodeLogic, Time};
+use escape_packet::Packet;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Handlers sampled for `getVNFInfo` (the Clicky view).
+const MONITOR_HANDLERS: &[&str] =
+    &["count", "byte_count", "rate", "dropped", "passed", "matches", "length", "drops", "expired", "mappings"];
+
+/// Where a VNF device is wired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Binding {
+    /// To the physical fabric: a container port (and the switch port on
+    /// the far side, as reported back to the orchestrator).
+    External { container_port: u16, switch_port: u16, switch: String },
+    /// Directly into another VNF on the same container (service chaining
+    /// without leaving the box).
+    Internal { vnf: usize, dev: u16 },
+}
+
+/// Lifecycle state of a hosted VNF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VnfStatus {
+    Initiated,
+    Running,
+    Stopped,
+    Failed,
+}
+
+impl VnfStatus {
+    fn as_str(&self) -> &'static str {
+        match self {
+            VnfStatus::Initiated => "initiated",
+            VnfStatus::Running => "running",
+            VnfStatus::Stopped => "stopped",
+            VnfStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One hosted VNF instance.
+pub struct VnfSlot {
+    pub id: String,
+    pub vnf_type: String,
+    pub router: Router,
+    pub status: VnfStatus,
+    pub proc: ProcId,
+    pub bindings: HashMap<u16, Binding>,
+    /// Frames dropped because the VNF was not running.
+    pub dropped_not_running: u64,
+}
+
+/// The container's VNF table and attachment inventory — also the
+/// [`VnfInstrumentation`] the NETCONF agent drives. This is the
+/// "instrumentation part" the paper says is all that changes on a real
+/// platform.
+pub struct VnfHost {
+    pub name: String,
+    pub vnfs: Vec<VnfSlot>,
+    by_id: HashMap<String, usize>,
+    pub cpu: CpuModel,
+    catalog: Catalog,
+    registry: Registry,
+    /// Free attachment points: switch name -> (container port, switch
+    /// port) pairs pre-provisioned at build time.
+    attach_free: HashMap<String, Vec<(u16, u16)>>,
+    /// Ingress dispatch: container port -> (vnf index, device).
+    port_bindings: HashMap<u16, (usize, u16)>,
+    seed: u64,
+    next_vnf: u32,
+    /// Frames that arrived on an unbound port.
+    pub unbound_rx: u64,
+}
+
+impl VnfHost {
+    /// Creates the host. `attach` lists pre-provisioned attachment points
+    /// as (switch name, container port, switch port).
+    pub fn new(name: impl Into<String>, attach: Vec<(String, u16, u16)>, seed: u64) -> VnfHost {
+        let mut attach_free: HashMap<String, Vec<(u16, u16)>> = HashMap::new();
+        for (sw, cport, sport) in attach {
+            attach_free.entry(sw).or_default().push((cport, sport));
+        }
+        // Deterministic allocation order.
+        for v in attach_free.values_mut() {
+            v.sort_unstable();
+            v.reverse(); // pop() takes the lowest pair
+        }
+        VnfHost {
+            name: name.into(),
+            vnfs: Vec::new(),
+            by_id: HashMap::new(),
+            cpu: CpuModel::new(),
+            catalog: Catalog::standard(),
+            registry: Registry::standard(),
+            attach_free,
+            port_bindings: HashMap::new(),
+            seed,
+            next_vnf: 0,
+            unbound_rx: 0,
+        }
+    }
+
+    /// Index of a VNF by id.
+    pub fn vnf_index(&self, id: &str) -> Option<usize> {
+        self.by_id.get(id).copied()
+    }
+
+    fn parse_isolation(options: &[(String, String)]) -> Result<IsolationMode, String> {
+        match options.iter().find(|(k, _)| k == "isolation").map(|(_, v)| v.as_str()) {
+            None | Some("none") => Ok(IsolationMode::None),
+            Some(v) => {
+                let parts: Vec<&str> = v.split(':').collect();
+                match parts.as_slice() {
+                    ["share", w, t] => {
+                        let weight = w.parse().map_err(|_| format!("bad share weight {w:?}"))?;
+                        let total = t.parse().map_err(|_| format!("bad share total {t:?}"))?;
+                        Ok(IsolationMode::CpuShare { weight, total })
+                    }
+                    ["quota", q, p] => {
+                        let quota_ns = q.parse().map_err(|_| format!("bad quota {q:?}"))?;
+                        let period_ns = p.parse().map_err(|_| format!("bad period {p:?}"))?;
+                        Ok(IsolationMode::CpuQuota { quota_ns, period_ns })
+                    }
+                    _ => Err(format!("bad isolation spec {v:?}")),
+                }
+            }
+        }
+    }
+
+    /// Runs a frame through a VNF (following internal bindings), charging
+    /// CPU. Returns frames to emit as (container port, packet) plus the
+    /// CPU completion time.
+    pub fn process(&mut self, vnf: usize, dev: u16, pkt: Packet, now: Time) -> (Vec<(u16, Packet)>, Time) {
+        let mut total_work = 0u64;
+        let mut external = Vec::new();
+        // (vnf, dev, pkt) work queue for internal chaining.
+        let mut queue = vec![(vnf, dev, pkt)];
+        let mut hops = 0;
+        let entry_proc = self.vnfs[vnf].proc;
+        while let Some((vi, d, p)) = queue.pop() {
+            hops += 1;
+            if hops > 32 {
+                break; // internal wiring loop guard
+            }
+            let slot = &mut self.vnfs[vi];
+            if slot.status != VnfStatus::Running {
+                slot.dropped_not_running += 1;
+                continue;
+            }
+            let out = slot.router.push_external(d, p, now);
+            total_work += out.work_ns;
+            for (out_dev, out_pkt) in out.external {
+                match slot.bindings.get(&out_dev) {
+                    Some(Binding::External { container_port, .. }) => {
+                        external.push((*container_port, out_pkt));
+                    }
+                    Some(&Binding::Internal { vnf: nv, dev: nd }) => {
+                        queue.push((nv, nd, out_pkt));
+                    }
+                    None => {} // unbound output: dropped on the floor
+                }
+            }
+        }
+        let done = if total_work == 0 { now } else { self.cpu.run(entry_proc, now, total_work) };
+        (external, done)
+    }
+
+    /// Drives time-based element work (shapers, sources) of one VNF.
+    pub fn tick_vnf(&mut self, vnf: usize, now: Time) -> (Vec<(u16, Packet)>, Time) {
+        let slot = &mut self.vnfs[vnf];
+        if slot.status != VnfStatus::Running {
+            return (Vec::new(), now);
+        }
+        let out = slot.router.tick(now);
+        let work = out.work_ns;
+        let mut external = Vec::new();
+        let mut internal = Vec::new();
+        for (out_dev, out_pkt) in out.external {
+            match slot.bindings.get(&out_dev) {
+                Some(Binding::External { container_port, .. }) => {
+                    external.push((*container_port, out_pkt))
+                }
+                Some(&Binding::Internal { vnf: nv, dev: nd }) => internal.push((nv, nd, out_pkt)),
+                None => {}
+            }
+        }
+        let proc_ = slot.proc;
+        let mut done = if work == 0 { now } else { self.cpu.run(proc_, now, work) };
+        for (nv, nd, p) in internal {
+            let (more, d2) = self.process(nv, nd, p, now);
+            external.extend(more);
+            done = done.max(d2);
+        }
+        (external, done)
+    }
+
+    /// Earliest pending element wake across running VNFs.
+    pub fn next_wake(&self) -> Option<Time> {
+        self.vnfs
+            .iter()
+            .filter(|v| v.status == VnfStatus::Running)
+            .filter_map(|v| v.router.next_wake())
+            .min()
+    }
+
+    /// Ingress dispatch for a container port.
+    pub fn binding_at(&self, port: u16) -> Option<(usize, u16)> {
+        self.port_bindings.get(&port).copied()
+    }
+
+    /// Wires one VNF device directly into another VNF on this container
+    /// (used by the deployment pipeline for co-located chain hops).
+    pub fn bind_internal(&mut self, from_id: &str, from_dev: u16, to_id: &str, to_dev: u16) -> Result<(), String> {
+        let from = self.vnf_index(from_id).ok_or_else(|| format!("no vnf {from_id}"))?;
+        let to = self.vnf_index(to_id).ok_or_else(|| format!("no vnf {to_id}"))?;
+        self.vnfs[from]
+            .bindings
+            .insert(from_dev, Binding::Internal { vnf: to, dev: to_dev });
+        Ok(())
+    }
+
+    /// Reads one handler of one VNF (Clicky's probe).
+    pub fn read_handler(&self, vnf_id: &str, spec: &str) -> Option<String> {
+        let idx = self.vnf_index(vnf_id)?;
+        self.vnfs[idx].router.read_handler(spec)
+    }
+
+    /// Writes one handler of one VNF (live reconfiguration).
+    pub fn write_handler(&mut self, vnf_id: &str, spec: &str, value: &str) -> Result<(), String> {
+        let idx = self.vnf_index(vnf_id).ok_or_else(|| format!("no vnf {vnf_id}"))?;
+        self.vnfs[idx].router.write_handler(spec, value)
+    }
+}
+
+impl VnfInstrumentation for VnfHost {
+    fn initiate(
+        &mut self,
+        vnf_type: &str,
+        click_config: Option<&str>,
+        options: &[(String, String)],
+    ) -> Result<String, String> {
+        let isolation = Self::parse_isolation(options)?;
+        let overrides: Vec<(String, String)> = options
+            .iter()
+            .filter(|(k, _)| k != "isolation")
+            .cloned()
+            .collect();
+        let config = match click_config {
+            Some(cfg) if !cfg.is_empty() => cfg.to_string(),
+            _ => self.catalog.render(vnf_type, &overrides).map_err(|e| e.to_string())?,
+        };
+        self.next_vnf += 1;
+        let seed = self.seed.wrapping_mul(0x9e37_79b9).wrapping_add(self.next_vnf as u64);
+        let router = Router::from_config(&config, &self.registry, seed).map_err(|e| e.to_string())?;
+        let proc_ = self.cpu.add_process(isolation);
+        let id = format!("{}-vnf{}", self.name, self.next_vnf);
+        self.by_id.insert(id.clone(), self.vnfs.len());
+        self.vnfs.push(VnfSlot {
+            id: id.clone(),
+            vnf_type: vnf_type.to_string(),
+            router,
+            status: VnfStatus::Initiated,
+            proc: proc_,
+            bindings: HashMap::new(),
+            dropped_not_running: 0,
+        });
+        Ok(id)
+    }
+
+    fn start(&mut self, vnf_id: &str) -> Result<(), String> {
+        let idx = self.vnf_index(vnf_id).ok_or_else(|| format!("no vnf {vnf_id}"))?;
+        self.vnfs[idx].status = VnfStatus::Running;
+        Ok(())
+    }
+
+    fn stop(&mut self, vnf_id: &str) -> Result<(), String> {
+        let idx = self.vnf_index(vnf_id).ok_or_else(|| format!("no vnf {vnf_id}"))?;
+        self.vnfs[idx].status = VnfStatus::Stopped;
+        Ok(())
+    }
+
+    fn connect(&mut self, vnf_id: &str, vnf_port: u16, switch_id: &str) -> Result<u16, String> {
+        let idx = self.vnf_index(vnf_id).ok_or_else(|| format!("no vnf {vnf_id}"))?;
+        if self.vnfs[idx].bindings.contains_key(&vnf_port) {
+            return Err(format!("vnf {vnf_id} port {vnf_port} already connected"));
+        }
+        let free = self
+            .attach_free
+            .get_mut(switch_id)
+            .ok_or_else(|| format!("container {} has no link to switch {switch_id}", self.name))?;
+        let (container_port, switch_port) = free
+            .pop()
+            .ok_or_else(|| format!("no free attachment points toward {switch_id}"))?;
+        self.vnfs[idx].bindings.insert(
+            vnf_port,
+            Binding::External {
+                container_port,
+                switch_port,
+                switch: switch_id.to_string(),
+            },
+        );
+        self.port_bindings.insert(container_port, (idx, vnf_port));
+        Ok(switch_port)
+    }
+
+    fn disconnect(&mut self, vnf_id: &str, vnf_port: u16) -> Result<(), String> {
+        let idx = self.vnf_index(vnf_id).ok_or_else(|| format!("no vnf {vnf_id}"))?;
+        match self.vnfs[idx].bindings.remove(&vnf_port) {
+            Some(Binding::External { container_port, switch_port, switch }) => {
+                self.port_bindings.remove(&container_port);
+                self.attach_free
+                    .entry(switch)
+                    .or_default()
+                    .push((container_port, switch_port));
+                Ok(())
+            }
+            Some(Binding::Internal { .. }) => Ok(()),
+            None => Err(format!("vnf {vnf_id} port {vnf_port} not connected")),
+        }
+    }
+
+    fn info(&self, vnf_id: Option<&str>) -> Vec<VnfStatusInfo> {
+        self.vnfs
+            .iter()
+            .filter(|v| vnf_id.is_none_or(|id| v.id == id))
+            .map(|v| VnfStatusInfo {
+                id: v.id.clone(),
+                vnf_type: v.vnf_type.clone(),
+                status: v.status.as_str().to_string(),
+                ports: v
+                    .bindings
+                    .iter()
+                    .map(|(dev, b)| {
+                        let loc = match b {
+                            Binding::External { switch, .. } => switch.clone(),
+                            Binding::Internal { vnf, .. } => {
+                                format!("internal:{}", self.vnfs[*vnf].id)
+                            }
+                        };
+                        (*dev, loc)
+                    })
+                    .collect(),
+                handlers: v.router.snapshot_handlers(MONITOR_HANDLERS),
+            })
+            .collect()
+    }
+}
+
+/// Timer token layout for the container node.
+const TOKEN_KIND_SHIFT: u64 = 48;
+const KIND_TICK: u64 = 1;
+const KIND_RELEASE: u64 = 2;
+
+/// A deferred emission waiting for the virtual CPU.
+struct PendingOut {
+    at: Time,
+    seq: u64,
+    port: u16,
+    pkt: Packet,
+}
+
+impl PartialEq for PendingOut {
+    fn eq(&self, o: &Self) -> bool {
+        self.at == o.at && self.seq == o.seq
+    }
+}
+impl Eq for PendingOut {}
+impl PartialOrd for PendingOut {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for PendingOut {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        // Min-heap on (at, seq).
+        (o.at, o.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The emulator node: NETCONF agent + dataplane forwarding through the
+/// hosted VNFs.
+pub struct VnfContainer {
+    pub agent: Agent<VnfHost>,
+    conn: Option<CtrlId>,
+    pending: BinaryHeap<PendingOut>,
+    seq: u64,
+}
+
+impl VnfContainer {
+    /// Creates a container node. `session_id` seeds the agent; `attach`
+    /// pre-provisions attachment points (see [`VnfHost::new`]).
+    pub fn new(name: impl Into<String>, session_id: u32, attach: Vec<(String, u16, u16)>, seed: u64) -> VnfContainer {
+        VnfContainer {
+            agent: Agent::new(session_id, VnfHost::new(name, attach, seed)),
+            conn: None,
+            pending: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// The hosted VNF table.
+    pub fn host(&self) -> &VnfHost {
+        &self.agent.instr
+    }
+
+    /// Mutable access to the hosted VNF table (tests, fault injection).
+    pub fn host_mut(&mut self) -> &mut VnfHost {
+        &mut self.agent.instr
+    }
+
+    fn schedule_outputs(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        outputs: Vec<(u16, Packet)>,
+        done: Time,
+    ) {
+        let now = ctx.now();
+        if done <= now {
+            for (port, pkt) in outputs {
+                ctx.send(port, pkt);
+            }
+        } else {
+            for (port, pkt) in outputs {
+                self.seq += 1;
+                self.pending.push(PendingOut { at: done, seq: self.seq, port, pkt });
+            }
+            ctx.set_timer(Time::from_ns(done.since(now)), KIND_RELEASE << TOKEN_KIND_SHIFT);
+        }
+    }
+
+    fn arm_ticks(&mut self, ctx: &mut NodeCtx<'_>) {
+        let now = ctx.now();
+        for (i, v) in self.agent.instr.vnfs.iter().enumerate() {
+            if v.status != VnfStatus::Running {
+                continue;
+            }
+            if let Some(w) = v.router.next_wake() {
+                let delay = Time::from_ns(w.since(now).max(1));
+                ctx.set_timer(delay, (KIND_TICK << TOKEN_KIND_SHIFT) | i as u64);
+            }
+        }
+    }
+}
+
+impl NodeLogic for VnfContainer {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: u16, pkt: Packet) {
+        let Some((vnf, dev)) = self.agent.instr.binding_at(port) else {
+            self.agent.instr.unbound_rx += 1;
+            return;
+        };
+        let now = ctx.now();
+        let (outputs, done) = self.agent.instr.process(vnf, dev, pkt, now);
+        self.schedule_outputs(ctx, outputs, done);
+        self.arm_ticks(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        let kind = token >> TOKEN_KIND_SHIFT;
+        match kind {
+            KIND_RELEASE => {
+                let now = ctx.now();
+                while self.pending.peek().is_some_and(|p| p.at <= now) {
+                    let p = self.pending.pop().unwrap();
+                    ctx.send(p.port, p.pkt);
+                }
+                if let Some(p) = self.pending.peek() {
+                    let at = p.at;
+                    ctx.set_timer(Time::from_ns(at.since(now).max(1)), KIND_RELEASE << TOKEN_KIND_SHIFT);
+                }
+            }
+            KIND_TICK => {
+                let vnf = (token & 0xffff_ffff) as usize;
+                if vnf < self.agent.instr.vnfs.len() {
+                    let now = ctx.now();
+                    let due = self.agent.instr.vnfs[vnf]
+                        .router
+                        .next_wake()
+                        .is_some_and(|w| w <= now);
+                    if due {
+                        let (outputs, done) = self.agent.instr.tick_vnf(vnf, now);
+                        self.schedule_outputs(ctx, outputs, done);
+                    }
+                    self.arm_ticks(ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_ctrl(&mut self, ctx: &mut NodeCtx<'_>, conn: CtrlId, msg: Vec<u8>) {
+        if self.conn.is_none() {
+            // First contact: this is our management session — greet.
+            self.conn = Some(conn);
+            let hello = self.agent.start();
+            ctx.ctrl_send(conn, hello);
+        }
+        let out = self.agent.on_bytes(&msg);
+        if !out.is_empty() {
+            ctx.ctrl_send(conn, out);
+        }
+        // Control actions may have started VNFs with scheduled work.
+        self.arm_ticks(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use escape_netem::{LinkConfig, Sim};
+    use escape_packet::{MacAddr, PacketBuilder};
+    use std::net::Ipv4Addr;
+
+    fn frame(dport: u16) -> Bytes {
+        PacketBuilder::udp(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            7,
+            dport,
+            Bytes::from_static(b"container"),
+        )
+    }
+
+    fn attach4() -> Vec<(String, u16, u16)> {
+        (0..4).map(|i| ("s0".to_string(), i, 10 + i)).collect()
+    }
+
+    #[test]
+    fn instrumentation_lifecycle_direct() {
+        let mut h = VnfHost::new("c0", attach4(), 1);
+        let id = h.initiate("monitor", None, &[]).unwrap();
+        assert_eq!(id, "c0-vnf1");
+        let sp = h.connect(&id, 0, "s0").unwrap();
+        assert_eq!(sp, 10);
+        let sp = h.connect(&id, 1, "s0").unwrap();
+        assert_eq!(sp, 11);
+        assert!(h.connect(&id, 1, "s0").is_err(), "double connect refused");
+        assert!(h.connect(&id, 2, "s9").is_err(), "unknown switch refused");
+        h.start(&id).unwrap();
+        let info = h.info(None);
+        assert_eq!(info[0].status, "running");
+        assert_eq!(info[0].ports.len(), 2);
+        h.disconnect(&id, 0).unwrap();
+        // The attachment point is recycled.
+        let sp = h.connect(&id, 0, "s0").unwrap();
+        assert_eq!(sp, 10);
+    }
+
+    #[test]
+    fn isolation_options_are_parsed() {
+        let mut h = VnfHost::new("c0", attach4(), 1);
+        h.initiate("monitor", None, &[("isolation".into(), "share:1:4".into())]).unwrap();
+        h.initiate("monitor", None, &[("isolation".into(), "quota:1000:10000".into())]).unwrap();
+        assert!(h
+            .initiate("monitor", None, &[("isolation".into(), "bogus".into())])
+            .is_err());
+    }
+
+    #[test]
+    fn catalog_params_pass_through_options() {
+        let mut h = VnfHost::new("c0", attach4(), 1);
+        let id = h
+            .initiate("firewall", None, &[("rules".into(), "deny udp, allow all".into())])
+            .unwrap();
+        assert_eq!(h.read_handler(&id, "fw.rules").unwrap(), "2");
+    }
+
+    #[test]
+    fn raw_click_config_overrides_catalog() {
+        let mut h = VnfHost::new("c0", attach4(), 1);
+        let id = h
+            .initiate("custom", Some("FromDevice(0) -> c :: Counter -> ToDevice(1);"), &[])
+            .unwrap();
+        assert!(h.read_handler(&id, "c.count").is_some());
+        assert!(h.initiate("custom", Some("syntax error ("), &[]).is_err());
+    }
+
+    /// Sink node capturing frames.
+    #[derive(Default)]
+    struct Sink {
+        rx: Vec<(u16, Packet)>,
+    }
+    impl NodeLogic for Sink {
+        fn on_packet(&mut self, _: &mut NodeCtx<'_>, port: u16, pkt: Packet) {
+            self.rx.push((port, pkt));
+        }
+    }
+
+    /// Wires container port k <-> sink port k for k in 0..2, then binds a
+    /// monitor VNF between them, mimicking what deployment does.
+    fn rigged_sim() -> (Sim, escape_netem::NodeId, escape_netem::NodeId, String) {
+        let mut sim = Sim::new(2);
+        let attach = vec![("s0".to_string(), 0u16, 0u16), ("s0".to_string(), 1, 1)];
+        let c = sim.add_node("c0", 2, Box::new(VnfContainer::new("c0", 1, attach, 7)));
+        let sink = sim.add_node("peer", 2, Box::new(Sink::default()));
+        sim.connect((c, 0), (sink, 0), LinkConfig::ideal());
+        sim.connect((c, 1), (sink, 1), LinkConfig::ideal());
+        let vnf_id = {
+            let host = sim.node_as_mut::<VnfContainer>(c).unwrap().host_mut();
+            let id = host.initiate("monitor", None, &[]).unwrap();
+            host.connect(&id, 0, "s0").unwrap();
+            host.connect(&id, 1, "s0").unwrap();
+            host.start(&id).unwrap();
+            id
+        };
+        (sim, c, sink, vnf_id)
+    }
+
+    #[test]
+    fn dataplane_flows_through_vnf() {
+        let (mut sim, c, sink, vnf_id) = rigged_sim();
+        sim.inject(c, 0, frame(80), Time::ZERO);
+        sim.run(1000);
+        let s = sim.node_as::<Sink>(sink).unwrap();
+        assert_eq!(s.rx.len(), 1);
+        assert_eq!(s.rx[0].0, 1, "exited through dev 1 -> container port 1");
+        let host = sim.node_as::<VnfContainer>(c).unwrap().host();
+        assert_eq!(host.read_handler(&vnf_id, "in_cnt.count").unwrap(), "1");
+        // Reverse direction.
+        sim.inject(c, 1, frame(81), sim.now());
+        sim.run(1000);
+        let s = sim.node_as::<Sink>(sink).unwrap();
+        assert_eq!(s.rx.len(), 2);
+        assert_eq!(s.rx[1].0, 0);
+    }
+
+    #[test]
+    fn stopped_vnf_drops() {
+        let (mut sim, c, sink, vnf_id) = rigged_sim();
+        sim.node_as_mut::<VnfContainer>(c).unwrap().host_mut().stop(&vnf_id).unwrap();
+        sim.inject(c, 0, frame(80), Time::ZERO);
+        sim.run(1000);
+        assert!(sim.node_as::<Sink>(sink).unwrap().rx.is_empty());
+        assert_eq!(
+            sim.node_as::<VnfContainer>(c).unwrap().host().vnfs[0].dropped_not_running,
+            1
+        );
+    }
+
+    #[test]
+    fn unbound_port_counts() {
+        let mut sim = Sim::new(0);
+        let c = sim.add_node("c0", 1, Box::new(VnfContainer::new("c0", 1, vec![], 0)));
+        sim.inject(c, 0, frame(80), Time::ZERO);
+        sim.run(100);
+        assert_eq!(sim.node_as::<VnfContainer>(c).unwrap().host().unbound_rx, 1);
+    }
+
+    #[test]
+    fn cpu_cost_delays_emission() {
+        // A DPI VNF charges per-byte work; under a tight CPU quota the
+        // output is deferred.
+        let mut sim = Sim::new(2);
+        let attach = vec![("s0".to_string(), 0u16, 0u16), ("s0".to_string(), 1, 1)];
+        let c = sim.add_node("c0", 2, Box::new(VnfContainer::new("c0", 1, attach, 7)));
+        let sink = sim.add_node("peer", 2, Box::new(Sink::default()));
+        sim.connect((c, 0), (sink, 0), LinkConfig::ideal());
+        sim.connect((c, 1), (sink, 1), LinkConfig::ideal());
+        {
+            let host = sim.node_as_mut::<VnfContainer>(c).unwrap().host_mut();
+            let id = host
+                .initiate(
+                    "dpi",
+                    None,
+                    &[("isolation".into(), "share:1:100".into())], // 1% of a CPU
+                )
+                .unwrap();
+            host.connect(&id, 0, "s0").unwrap();
+            host.connect(&id, 1, "s0").unwrap();
+            host.start(&id).unwrap();
+        }
+        sim.inject(c, 0, frame(80), Time::ZERO);
+        sim.run(10_000);
+        let s = sim.node_as::<Sink>(sink).unwrap();
+        assert_eq!(s.rx.len(), 1);
+        // The work is inflated 100x; emission must be visibly later than 0.
+        assert!(sim.now() > Time::from_us(10), "emitted at {}", sim.now());
+    }
+
+    #[test]
+    fn internal_chaining_between_colocated_vnfs() {
+        let mut sim = Sim::new(2);
+        let attach = vec![("s0".to_string(), 0u16, 0u16), ("s0".to_string(), 1, 1)];
+        let c = sim.add_node("c0", 2, Box::new(VnfContainer::new("c0", 1, attach, 7)));
+        let sink = sim.add_node("peer", 2, Box::new(Sink::default()));
+        sim.connect((c, 0), (sink, 0), LinkConfig::ideal());
+        sim.connect((c, 1), (sink, 1), LinkConfig::ideal());
+        let (_v1, v2) = {
+            let host = sim.node_as_mut::<VnfContainer>(c).unwrap().host_mut();
+            let v1 = host.initiate("monitor", None, &[]).unwrap();
+            let v2 = host.initiate("monitor", None, &[]).unwrap();
+            host.connect(&v1, 0, "s0").unwrap(); // in from fabric
+            host.bind_internal(&v1, 1, &v2, 0).unwrap(); // v1 -> v2 inside
+            host.connect(&v2, 1, "s0").unwrap(); // out to fabric
+            host.start(&v1).unwrap();
+            host.start(&v2).unwrap();
+            (v1, v2)
+        };
+        sim.inject(c, 0, frame(80), Time::ZERO);
+        sim.run(1000);
+        let s = sim.node_as::<Sink>(sink).unwrap();
+        assert_eq!(s.rx.len(), 1);
+        let host = sim.node_as::<VnfContainer>(c).unwrap().host();
+        assert_eq!(host.read_handler(&v2, "in_cnt.count").unwrap(), "1");
+    }
+
+    #[test]
+    fn netconf_over_ctrl_channel_manages_vnfs() {
+        use escape_netconf::{Client, ClientEvent};
+        // Relay node standing in for the orchestrator.
+        #[derive(Default)]
+        struct Relay {
+            inbox: Vec<Vec<u8>>,
+        }
+        impl NodeLogic for Relay {
+            fn on_packet(&mut self, _: &mut NodeCtx<'_>, _: u16, _: Packet) {}
+            fn on_ctrl(&mut self, _: &mut NodeCtx<'_>, _: CtrlId, msg: Vec<u8>) {
+                self.inbox.push(msg);
+            }
+        }
+        let mut sim = Sim::new(1);
+        let attach = vec![("s0".to_string(), 0u16, 0u16)];
+        let c = sim.add_node("c0", 1, Box::new(VnfContainer::new("c0", 1, attach, 7)));
+        let mgr = sim.add_node("mgr", 0, Box::new(Relay::default()));
+        let conn = sim.ctrl_connect(mgr, c, Time::from_us(100));
+
+        let mut client = Client::new();
+        sim.ctrl_send_from(mgr, conn, client.start());
+        sim.run(100);
+        // Agent's hello arrived at the relay.
+        let hello = sim.node_as_mut::<Relay>(mgr).unwrap().inbox.remove(0);
+        let ev = client.on_bytes(&hello);
+        assert!(matches!(ev[0], ClientEvent::HelloReceived { .. }));
+        assert!(client.has_vnf_starter());
+
+        let (_, req) = client.initiate_vnf("monitor", None, &[]);
+        sim.ctrl_send_from(mgr, conn, req);
+        sim.run(100);
+        let reply = sim.node_as_mut::<Relay>(mgr).unwrap().inbox.remove(0);
+        let ev = client.on_bytes(&reply);
+        let ClientEvent::Reply(r) = &ev[0] else { panic!() };
+        let vnf_id = escape_netconf::client::vnf_id_of(r).unwrap();
+        assert_eq!(vnf_id, "c0-vnf1");
+    }
+}

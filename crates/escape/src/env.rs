@@ -1,0 +1,676 @@
+//! The ESCAPE environment: build, deploy, steer, generate traffic,
+//! monitor.
+//!
+//! [`Escape`] owns the emulation ([`Sim`]), the infrastructure addressing
+//! ([`Infra`]), the orchestrator and one NETCONF client session per VNF
+//! container. Deployment is driven the way the real ESCAPE orchestrator
+//! drives its agents: every management action is a `vnf_starter` RPC
+//! travelling the emulated control network (so chain setup latency is
+//! measured in *virtual* time), and steering rules are handed to the POX
+//! traffic-steering app.
+
+use crate::container::VnfContainer;
+use crate::error::EscapeError;
+use crate::infra::{Infra, ManagerRelay};
+use escape_netconf::client::{switch_port_of, vnf_id_of};
+use escape_netconf::message::ReplyBody;
+use escape_netconf::{Client, ClientEvent, RpcReply};
+use escape_netem::{CtrlId, Host, HostStats, Sim, Time};
+use escape_openflow::{Action, Match};
+use escape_orch::{ChainMapping, MappingAlgorithm, Orchestrator};
+use escape_pox::{Controller, SteeringMode, SteeringRule, TrafficSteering};
+use escape_sg::{ResourceTopology, ServiceGraph};
+use std::collections::HashMap;
+
+/// Virtual-time budget for a single NETCONF round trip before we declare
+/// the agent dead.
+const RPC_TIMEOUT: Time = Time::from_ms(100);
+
+/// One deployed VNF instance.
+#[derive(Debug, Clone)]
+pub struct DeployedVnf {
+    pub vnf_name: String,
+    pub vnf_type: String,
+    pub container: String,
+    pub vnf_id: String,
+    /// VNF device -> switch port it is attached to (as reported by
+    /// `connectVNF`).
+    pub switch_ports: HashMap<u16, u16>,
+}
+
+/// A deployed chain: mapping plus live instance handles.
+#[derive(Debug, Clone)]
+pub struct DeployedChain {
+    pub mapping: ChainMapping,
+    pub vnfs: Vec<DeployedVnf>,
+    pub cookie: u64,
+    pub rules: usize,
+}
+
+/// What `deploy` reports per service graph — the data behind experiment
+/// E1 (chain setup latency, by phase).
+#[derive(Debug, Clone)]
+pub struct DeploymentReport {
+    pub chains: Vec<DeployedChain>,
+    /// Virtual time when deployment started.
+    pub started_at: Time,
+    /// Virtual time after mapping (instantaneous in virtual time).
+    pub mapped_at: Time,
+    /// Virtual time after all NETCONF RPCs completed.
+    pub vnfs_ready_at: Time,
+    /// Virtual time after steering rules were flushed to switches.
+    pub steered_at: Time,
+}
+
+impl DeploymentReport {
+    /// Total virtual setup latency.
+    pub fn total(&self) -> Time {
+        Time::from_ns(self.steered_at.since(self.started_at))
+    }
+
+    /// NETCONF (VNF management) phase duration.
+    pub fn netconf_phase(&self) -> Time {
+        Time::from_ns(self.vnfs_ready_at.since(self.mapped_at))
+    }
+
+    /// Steering (flow programming) phase duration.
+    pub fn steering_phase(&self) -> Time {
+        Time::from_ns(self.steered_at.since(self.vnfs_ready_at))
+    }
+}
+
+/// The prototyping environment. See the crate docs for a quickstart.
+pub struct Escape {
+    pub sim: Sim,
+    pub infra: Infra,
+    orch: Orchestrator,
+    clients: HashMap<String, Client>,
+    deployed: HashMap<String, DeployedChain>,
+    next_cookie: u64,
+    topo: ResourceTopology,
+    mode: SteeringMode,
+}
+
+impl Escape {
+    /// Builds the full environment over `topo` with the given mapping
+    /// algorithm and steering mode. Runs the OpenFlow handshakes so the
+    /// network is ready for deployment on return.
+    pub fn build(
+        topo: ResourceTopology,
+        algorithm: Box<dyn MappingAlgorithm>,
+        mode: SteeringMode,
+        seed: u64,
+    ) -> Result<Escape, EscapeError> {
+        let mut sim = Sim::new(seed);
+        let infra = Infra::build(&mut sim, &topo, mode, seed).map_err(EscapeError::Invalid)?;
+        let orch =
+            Orchestrator::new(topo.clone(), algorithm).map_err(EscapeError::Invalid)?;
+        let mut esc = Escape {
+            sim,
+            infra,
+            orch,
+            clients: HashMap::new(),
+            deployed: HashMap::new(),
+            next_cookie: 1,
+            topo,
+            mode,
+        };
+        // Let the OpenFlow handshake and hello exchanges settle.
+        esc.sim.run_until(esc.sim.now() + Time::from_ms(5));
+        Ok(esc)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    /// Advances virtual time by `ms` milliseconds.
+    pub fn run_for_ms(&mut self, ms: u64) {
+        let deadline = self.sim.now() + Time::from_ms(ms);
+        self.sim.run_until(deadline);
+    }
+
+    /// The orchestrator (resource view, algorithm swapping).
+    pub fn orchestrator(&self) -> &Orchestrator {
+        &self.orch
+    }
+
+    /// Mutable orchestrator access.
+    pub fn orchestrator_mut(&mut self) -> &mut Orchestrator {
+        &mut self.orch
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &ResourceTopology {
+        &self.topo
+    }
+
+    /// Deployed chain handles.
+    pub fn deployed(&self, chain: &str) -> Option<&DeployedChain> {
+        self.deployed.get(chain)
+    }
+
+    // ---------------- NETCONF plumbing ------------------------------
+
+    /// Drains the manager relay inbox into the right client sessions;
+    /// returns replies seen (container, reply).
+    fn drain_inbox(&mut self) -> Vec<(String, RpcReply)> {
+        let msgs = {
+            let relay = self
+                .sim
+                .node_as_mut::<ManagerRelay>(self.infra.manager)
+                .expect("manager relay");
+            std::mem::take(&mut relay.inbox)
+        };
+        let mut replies = Vec::new();
+        for (conn, bytes) in msgs {
+            let Some(owner) = self.infra.conn_owner.get(&conn.0).cloned() else { continue };
+            let client = self.clients.entry(owner.clone()).or_default();
+            for ev in client.on_bytes(&bytes) {
+                if let ClientEvent::Reply(r) = ev {
+                    replies.push((owner.clone(), r));
+                }
+            }
+        }
+        replies
+    }
+
+    /// Ensures the NETCONF session to `container` is up (hello exchange).
+    fn ensure_session(&mut self, container: &str) -> Result<CtrlId, EscapeError> {
+        let conn = *self
+            .infra
+            .netconf_conn
+            .get(container)
+            .ok_or_else(|| EscapeError::NotFound(format!("container {container}")))?;
+        let needs_hello = self
+            .clients
+            .get(container)
+            .is_none_or(|c| !c.ready());
+        if needs_hello {
+            let client = self.clients.entry(container.to_string()).or_default();
+            let hello = client.start();
+            self.sim.ctrl_send_from(self.infra.manager, conn, hello);
+            let deadline = self.sim.now() + RPC_TIMEOUT;
+            loop {
+                self.sim.run_until(self.sim.now().add_ns(50_000));
+                self.drain_inbox();
+                if self.clients.get(container).is_some_and(|c| c.ready()) {
+                    break;
+                }
+                if self.sim.now() > deadline {
+                    return Err(EscapeError::Netconf(format!(
+                        "hello exchange with {container} timed out"
+                    )));
+                }
+            }
+        }
+        Ok(conn)
+    }
+
+    /// Sends one RPC to a container's agent and waits (in virtual time)
+    /// for its reply.
+    fn rpc(
+        &mut self,
+        container: &str,
+        build: impl FnOnce(&mut Client) -> (u64, Vec<u8>),
+    ) -> Result<RpcReply, EscapeError> {
+        let conn = self.ensure_session(container)?;
+        let (id, bytes) = build(self.clients.get_mut(container).expect("session exists"));
+        self.sim.ctrl_send_from(self.infra.manager, conn, bytes);
+        let deadline = self.sim.now() + RPC_TIMEOUT;
+        loop {
+            self.sim.run_until(self.sim.now().add_ns(50_000));
+            for (owner, reply) in self.drain_inbox() {
+                if owner == container && reply.message_id == id {
+                    if let ReplyBody::Errors(errs) = &reply.body {
+                        return Err(EscapeError::Netconf(format!(
+                            "{container}: {}",
+                            errs.first().map(|e| e.to_string()).unwrap_or_default()
+                        )));
+                    }
+                    return Ok(reply);
+                }
+            }
+            if self.sim.now() > deadline {
+                return Err(EscapeError::Netconf(format!(
+                    "rpc to {container} timed out (message {id})"
+                )));
+            }
+        }
+    }
+
+    // ---------------- deployment ------------------------------------
+
+    /// Deploys a service graph end to end: map → initiate/connect/start
+    /// every VNF over NETCONF → install steering rules. Partial mapping
+    /// failures abort the deployment (already-mapped chains are rolled
+    /// back from the resource view).
+    pub fn deploy(&mut self, sg: &ServiceGraph) -> Result<DeploymentReport, EscapeError> {
+        sg.validate().map_err(EscapeError::Invalid)?;
+        let started_at = self.sim.now();
+
+        let (mappings, rejected) = self.orch.embed_graph(sg);
+        if !rejected.is_empty() {
+            for m in &mappings {
+                self.orch.release_chain(&m.chain.name);
+            }
+            return Err(EscapeError::MappingFailed(rejected));
+        }
+        let mapped_at = self.sim.now();
+
+        let mut chains = Vec::new();
+        for mapping in &mappings {
+            let deployed = self.deploy_mapping(sg, mapping)?;
+            chains.push(deployed);
+        }
+        let vnfs_ready_at = self.sim.now();
+
+        // Steering: compile and queue rules, then flush through POX.
+        let mut total_rules = 0;
+        for dc in &mut chains {
+            let rules = compile_rules(&self.infra, dc)?;
+            dc.rules = rules.len();
+            total_rules += rules.len();
+            let ctl = self
+                .sim
+                .node_as_mut::<Controller>(self.infra.controller)
+                .expect("controller");
+            ctl.component_as_mut::<TrafficSteering>()
+                .expect("steering component")
+                .queue_rules(rules);
+        }
+        Controller::request_flush(&mut self.sim, self.infra.controller, Time::ZERO);
+        if self.mode == SteeringMode::Proactive {
+            // Wait for the rules to reach the switches.
+            let deadline = self.sim.now() + RPC_TIMEOUT;
+            loop {
+                self.sim.run_until(self.sim.now().add_ns(50_000));
+                let pending = self
+                    .sim
+                    .node_as::<Controller>(self.infra.controller)
+                    .and_then(|c| c.component_as::<TrafficSteering>())
+                    .map_or(0, |s| s.pending());
+                if pending == 0 {
+                    // One more control-latency beat for in-flight flow-mods.
+                    self.sim
+                        .run_until(self.sim.now() + crate::infra::CTRL_LATENCY + Time::from_us(10));
+                    break;
+                }
+                if self.sim.now() > deadline {
+                    return Err(EscapeError::Steering(format!(
+                        "{pending} rules stuck in the controller queue"
+                    )));
+                }
+            }
+        } else {
+            self.sim.run_until(self.sim.now().add_ns(100_000));
+        }
+        let steered_at = self.sim.now();
+
+        // Provision static ARP on the SAP endpoints of each chain.
+        for dc in &chains {
+            let hops = &dc.mapping.chain.hops;
+            let (src, dst) = (hops.first().unwrap().clone(), hops.last().unwrap().clone());
+            self.provision_arp(&src, &dst)?;
+        }
+
+        for dc in &chains {
+            self.deployed.insert(dc.mapping.chain.name.clone(), dc.clone());
+        }
+        let _ = total_rules;
+        Ok(DeploymentReport { chains, started_at, mapped_at, vnfs_ready_at, steered_at })
+    }
+
+    /// Runs the NETCONF leg for one chain mapping.
+    fn deploy_mapping(
+        &mut self,
+        sg: &ServiceGraph,
+        mapping: &ChainMapping,
+    ) -> Result<DeployedChain, EscapeError> {
+        let cookie = self.next_cookie;
+        self.next_cookie += 1;
+        let hops = &mapping.chain.hops;
+        let mut vnfs: Vec<DeployedVnf> = Vec::new();
+
+        for (i, (vnf_name, container)) in mapping.placement.iter().enumerate() {
+            let req = sg
+                .vnf_named(vnf_name)
+                .ok_or_else(|| EscapeError::NotFound(format!("vnf {vnf_name}")))?;
+            // initiateVNF (raw Click config wins over the catalog type)
+            let options: Vec<(String, String)> = req.params.clone();
+            let (ty, opts) = (req.vnf_type.clone(), options);
+            let cfg = req.click_config.clone();
+            let reply =
+                self.rpc(container, |c| c.initiate_vnf(&ty, cfg.as_deref(), &opts))?;
+            let vnf_id = vnf_id_of(&reply)
+                .ok_or_else(|| EscapeError::Netconf("initiateVNF reply missing vnf-id".into()))?;
+            let mut dv = DeployedVnf {
+                vnf_name: vnf_name.clone(),
+                vnf_type: req.vnf_type.clone(),
+                container: container.clone(),
+                vnf_id: vnf_id.clone(),
+                switch_ports: HashMap::new(),
+            };
+
+            // connectVNF for dev 0 (ingress) and dev 1 (egress). The
+            // target switch is the neighbor along the adjacent segment;
+            // same-container neighbors are patched internally instead.
+            let hop_idx = i + 1; // position in the hop list
+            let seg_in = &mapping.segments[hop_idx - 1];
+            let seg_out = &mapping.segments[hop_idx];
+            if seg_in.nodes.len() >= 2 {
+                let sw = seg_in.nodes[seg_in.nodes.len() - 2].clone();
+                let vid = vnf_id.clone();
+                let reply = self.rpc(container, |c| c.connect_vnf(&vid, 0, &sw))?;
+                let sp = switch_port_of(&reply)
+                    .ok_or_else(|| EscapeError::Netconf("connectVNF reply missing port".into()))?;
+                dv.switch_ports.insert(0, sp);
+            } else {
+                // Previous hop is co-located: patch its egress to us.
+                let prev = vnfs
+                    .last()
+                    .ok_or_else(|| EscapeError::Invalid("co-located first hop".into()))?;
+                let prev_id = prev.vnf_id.clone();
+                let node = self.infra.node(container).expect("container node");
+                let c = self
+                    .sim
+                    .node_as_mut::<VnfContainer>(node)
+                    .expect("container logic");
+                c.host_mut()
+                    .bind_internal(&prev_id, 1, &vnf_id, 0)
+                    .map_err(EscapeError::Netconf)?;
+            }
+            if seg_out.nodes.len() >= 2 {
+                let sw = seg_out.nodes[1].clone();
+                let vid = vnf_id.clone();
+                let reply = self.rpc(container, |c| c.connect_vnf(&vid, 1, &sw))?;
+                let sp = switch_port_of(&reply)
+                    .ok_or_else(|| EscapeError::Netconf("connectVNF reply missing port".into()))?;
+                dv.switch_ports.insert(1, sp);
+            }
+            // (If seg_out is single-node, the *next* VNF patches us.)
+
+            // startVNF
+            let vid = vnf_id.clone();
+            self.rpc(container, |c| c.start_vnf(&vid))?;
+            vnfs.push(dv);
+        }
+        let _ = hops;
+        Ok(DeployedChain { mapping: mapping.clone(), vnfs, cookie, rules: 0 })
+    }
+
+    /// Tears down a chain: stop + disconnect its VNFs, delete its rules,
+    /// release its resources.
+    pub fn teardown(&mut self, chain: &str) -> Result<(), EscapeError> {
+        let dc = self
+            .deployed
+            .remove(chain)
+            .ok_or_else(|| EscapeError::NotFound(format!("chain {chain}")))?;
+        for v in &dc.vnfs {
+            let vid = v.vnf_id.clone();
+            self.rpc(&v.container, |c| c.stop_vnf(&vid))?;
+            for dev in v.switch_ports.keys().copied().collect::<Vec<_>>() {
+                let vid = v.vnf_id.clone();
+                self.rpc(&v.container, move |c| c.disconnect_vnf(&vid, dev))?;
+            }
+        }
+        {
+            let ctl = self
+                .sim
+                .node_as_mut::<Controller>(self.infra.controller)
+                .expect("controller");
+            ctl.component_as_mut::<TrafficSteering>()
+                .expect("steering")
+                .remove_chain(dc.cookie);
+        }
+        Controller::request_flush(&mut self.sim, self.infra.controller, Time::ZERO);
+        self.sim
+            .run_until(self.sim.now() + crate::infra::CTRL_LATENCY + Time::from_ms(1));
+        self.orch.release_chain(chain);
+        Ok(())
+    }
+
+    // ---------------- traffic & inspection --------------------------
+
+    /// Installs static ARP entries so `src` can address `dst` directly
+    /// (chains steer by IP; ESCAPE pre-provisions ARP like Mininet's
+    /// `--arp`).
+    fn provision_arp(&mut self, src: &str, dst: &str) -> Result<(), EscapeError> {
+        let (dst_mac, dst_ip) = *self
+            .infra
+            .sap_addr
+            .get(dst)
+            .ok_or_else(|| EscapeError::NotFound(format!("sap {dst}")))?;
+        let src_node = self
+            .infra
+            .node(src)
+            .ok_or_else(|| EscapeError::NotFound(format!("sap {src}")))?;
+        self.sim
+            .node_as_mut::<Host>(src_node)
+            .ok_or_else(|| EscapeError::Invalid(format!("{src} is not a SAP")))?
+            .static_arp(dst_ip, dst_mac);
+        Ok(())
+    }
+
+    /// Starts a paced UDP stream between two SAPs: `count` frames of
+    /// `frame_len` bytes, one every `interval_us` microseconds.
+    pub fn start_udp(
+        &mut self,
+        from: &str,
+        to: &str,
+        frame_len: usize,
+        interval_us: u64,
+        count: u64,
+    ) -> Result<(), EscapeError> {
+        let (_, dst_ip) = *self
+            .infra
+            .sap_addr
+            .get(to)
+            .ok_or_else(|| EscapeError::NotFound(format!("sap {to}")))?;
+        self.provision_arp(from, to)?;
+        let node = self
+            .infra
+            .node(from)
+            .ok_or_else(|| EscapeError::NotFound(format!("sap {from}")))?;
+        let host = self
+            .sim
+            .node_as_mut::<Host>(node)
+            .ok_or_else(|| EscapeError::Invalid(format!("{from} is not a SAP")))?;
+        host.add_stream(dst_ip, 40_000, 9_000, frame_len, Time::from_us(interval_us), count);
+        Host::start_streams(&mut self.sim, node, Time::from_us(1));
+        Ok(())
+    }
+
+    /// Starts a paced ICMP ping from one SAP to another: `count` echo
+    /// requests, one every `interval_us`. The echo *replies* need a
+    /// return path, so deploy a chain in each direction first.
+    pub fn start_ping(
+        &mut self,
+        from: &str,
+        to: &str,
+        interval_us: u64,
+        count: u64,
+    ) -> Result<(), EscapeError> {
+        let (_, dst_ip) = *self
+            .infra
+            .sap_addr
+            .get(to)
+            .ok_or_else(|| EscapeError::NotFound(format!("sap {to}")))?;
+        self.provision_arp(from, to)?;
+        self.provision_arp(to, from)?;
+        let node = self
+            .infra
+            .node(from)
+            .ok_or_else(|| EscapeError::NotFound(format!("sap {from}")))?;
+        let host = self
+            .sim
+            .node_as_mut::<Host>(node)
+            .ok_or_else(|| EscapeError::Invalid(format!("{from} is not a SAP")))?;
+        host.add_ping(dst_ip, Time::from_us(interval_us), count);
+        Host::start_streams(&mut self.sim, node, Time::from_us(1));
+        Ok(())
+    }
+
+    /// Receive-side statistics of a SAP.
+    pub fn sap_stats(&self, sap: &str) -> Result<HostStats, EscapeError> {
+        let node = self
+            .infra
+            .node(sap)
+            .ok_or_else(|| EscapeError::NotFound(format!("sap {sap}")))?;
+        Ok(self
+            .sim
+            .node_as::<Host>(node)
+            .ok_or_else(|| EscapeError::Invalid(format!("{sap} is not a SAP")))?
+            .stats
+            .clone())
+    }
+
+    /// Payloads received by a SAP ("inspect live traffic").
+    pub fn sap_inbox(&self, sap: &str) -> Result<Vec<Vec<u8>>, EscapeError> {
+        let node = self
+            .infra
+            .node(sap)
+            .ok_or_else(|| EscapeError::NotFound(format!("sap {sap}")))?;
+        Ok(self
+            .sim
+            .node_as::<Host>(node)
+            .ok_or_else(|| EscapeError::Invalid(format!("{sap} is not a SAP")))?
+            .inbox
+            .clone())
+    }
+
+    /// Live VNF state over NETCONF (`getVNFInfo`) — the Clicky view:
+    /// returns (handler path, value) pairs of the named chain VNF.
+    pub fn monitor_vnf(&mut self, chain: &str, vnf_name: &str) -> Result<Vec<(String, String)>, EscapeError> {
+        let (container, vnf_id) = {
+            let dc = self
+                .deployed
+                .get(chain)
+                .ok_or_else(|| EscapeError::NotFound(format!("chain {chain}")))?;
+            let v = dc
+                .vnfs
+                .iter()
+                .find(|v| v.vnf_name == vnf_name)
+                .ok_or_else(|| EscapeError::NotFound(format!("vnf {vnf_name} in {chain}")))?;
+            (v.container.clone(), v.vnf_id.clone())
+        };
+        let vid = vnf_id.clone();
+        let reply = self.rpc(&container, |c| c.get_vnf_info(Some(&vid)))?;
+        let ReplyBody::Data(data) = &reply.body else {
+            return Err(EscapeError::Netconf("getVNFInfo returned no data".into()));
+        };
+        let mut out = Vec::new();
+        for vnfs in data {
+            for vnf in vnfs.find_all("vnf") {
+                if vnf.child_text("id") == Some(vnf_id.as_str()) {
+                    out.push(("status".to_string(), vnf.child_text("status").unwrap_or("").to_string()));
+                    for h in vnf.find_all("handler") {
+                        out.push((
+                            h.child_text("name").unwrap_or("").to_string(),
+                            h.child_text("value").unwrap_or("").to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Compiles steering rules for a deployed chain: on every switch of every
+/// segment, match the chain's traffic (by destination SAP IP, ingress
+/// port, and — absent an upstream NAT — source SAP IP) and forward toward
+/// the next node.
+fn compile_rules(infra: &Infra, dc: &DeployedChain) -> Result<Vec<SteeringRule>, EscapeError> {
+    let hops = &dc.mapping.chain.hops;
+    let src_sap = hops.first().unwrap();
+    let dst_sap = hops.last().unwrap();
+    let (_, src_ip) = *infra
+        .sap_addr
+        .get(src_sap)
+        .ok_or_else(|| EscapeError::NotFound(format!("sap {src_sap}")))?;
+    let (_, dst_ip) = *infra
+        .sap_addr
+        .get(dst_sap)
+        .ok_or_else(|| EscapeError::NotFound(format!("sap {dst_sap}")))?;
+
+    // Does a NAT-ish hop precede segment k? (NAT rewrites nw_src.)
+    let nat_before: Vec<bool> = {
+        let mut v = Vec::with_capacity(dc.mapping.segments.len());
+        let mut seen_nat = false;
+        v.push(seen_nat);
+        for dv in &dc.vnfs {
+            // dv sits between segment i and i+1 in placement order.
+            seen_nat = seen_nat || dv.vnf_type == "nat";
+            v.push(seen_nat);
+        }
+        v
+    };
+
+    // Map VNF name -> DeployedVnf for port lookups.
+    let by_name: HashMap<&str, &DeployedVnf> =
+        dc.vnfs.iter().map(|v| (v.vnf_name.as_str(), v)).collect();
+
+    let mut rules = Vec::new();
+    for (k, seg) in dc.mapping.segments.iter().enumerate() {
+        if seg.nodes.len() < 3 {
+            // [loc] (co-located) or [loc, loc2]? Two-node segments would
+            // mean SAP adjacent to container, which Infra::build rejects,
+            // so only the co-located single-node case appears here.
+            continue;
+        }
+        let hop_from = &hops[k];
+        let hop_to = &hops[k + 1];
+        for i in 1..seg.nodes.len() - 1 {
+            let sw = &seg.nodes[i];
+            let prev = &seg.nodes[i - 1];
+            let next = &seg.nodes[i + 1];
+            let dpid = *infra
+                .dpid
+                .get(sw)
+                .ok_or_else(|| EscapeError::Invalid(format!("{sw} is not a switch")))?;
+            let in_port = if i == 1 && by_name.contains_key(hop_from.as_str()) {
+                // Previous node is the container hosting hop_from.
+                *by_name[hop_from.as_str()]
+                    .switch_ports
+                    .get(&1)
+                    .ok_or_else(|| EscapeError::Steering(format!("{hop_from} egress unbound")))?
+            } else {
+                *infra
+                    .switch_port
+                    .get(&(sw.clone(), prev.clone()))
+                    .ok_or_else(|| EscapeError::Steering(format!("no port {sw} -> {prev}")))?
+            };
+            let out_port = if i == seg.nodes.len() - 2 && by_name.contains_key(hop_to.as_str()) {
+                *by_name[hop_to.as_str()]
+                    .switch_ports
+                    .get(&0)
+                    .ok_or_else(|| EscapeError::Steering(format!("{hop_to} ingress unbound")))?
+            } else {
+                *infra
+                    .switch_port
+                    .get(&(sw.clone(), next.clone()))
+                    .ok_or_else(|| EscapeError::Steering(format!("no port {sw} -> {next}")))?
+            };
+            let mut m = Match::any()
+                .with_in_port(in_port)
+                .with_dl_type(0x0800)
+                .with_nw_dst(dst_ip, 32);
+            if !nat_before[k] {
+                m = m.with_nw_src(src_ip, 32);
+            }
+            rules.push(SteeringRule {
+                dpid,
+                match_: m,
+                priority: 500,
+                actions: vec![Action::out(out_port)],
+                idle_timeout: 0,
+                hard_timeout: 0,
+                chain_id: dc.cookie,
+            });
+        }
+    }
+    Ok(rules)
+}
+

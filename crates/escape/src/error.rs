@@ -1,0 +1,56 @@
+//! Error type for the environment.
+
+use escape_orch::MapError;
+
+/// Anything that can go wrong building the environment or deploying a
+/// service graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EscapeError {
+    /// Topology or service graph failed validation.
+    Invalid(String),
+    /// The orchestrator rejected one or more chains.
+    MappingFailed(Vec<(String, MapError)>),
+    /// A NETCONF operation failed or timed out (virtual time budget).
+    Netconf(String),
+    /// Steering rules could not be installed.
+    Steering(String),
+    /// A named entity does not exist.
+    NotFound(String),
+}
+
+impl std::fmt::Display for EscapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EscapeError::Invalid(m) => write!(f, "invalid input: {m}"),
+            EscapeError::MappingFailed(rej) => {
+                write!(f, "mapping failed for {} chain(s): ", rej.len())?;
+                for (c, e) in rej {
+                    write!(f, "[{c}: {e}] ")?;
+                }
+                Ok(())
+            }
+            EscapeError::Netconf(m) => write!(f, "netconf: {m}"),
+            EscapeError::Steering(m) => write!(f, "steering: {m}"),
+            EscapeError::NotFound(m) => write!(f, "not found: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EscapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EscapeError::Invalid("x".into()).to_string().contains("x"));
+        let e = EscapeError::MappingFailed(vec![(
+            "c1".into(),
+            MapError::NoCapacity("fw".into()),
+        )]);
+        assert!(e.to_string().contains("c1"));
+        assert!(e.to_string().contains("fw"));
+        assert!(EscapeError::NotFound("sap9".into()).to_string().contains("sap9"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Clicky stand-in: formatting live VNF state for humans.
+//!
+//! The demo's step (5) is "monitor the VNFs with Clicky". Our equivalent
+//! is [`crate::Escape::monitor_vnf`], which fetches handler values over
+//! NETCONF; this module renders them.
+
+/// Renders (handler, value) pairs as an aligned text table.
+pub fn format_handler_table(title: &str, handlers: &[(String, String)]) -> String {
+    let width = handlers.iter().map(|(k, _)| k.len()).max().unwrap_or(0).max(8);
+    let mut out = format!("── {title} ──\n");
+    for (k, v) in handlers {
+        out.push_str(&format!("  {k:<width$}  {v}\n"));
+    }
+    if handlers.is_empty() {
+        out.push_str("  (no handlers)\n");
+    }
+    out
+}
+
+/// Picks the headline counters (packet counts and rates) out of a full
+/// handler dump — the compact live view.
+pub fn headline(handlers: &[(String, String)]) -> Vec<(&str, &str)> {
+    handlers
+        .iter()
+        .filter(|(k, _)| {
+            k == "status"
+                || k.ends_with(".count")
+                || k.ends_with(".rate")
+                || k.ends_with(".dropped")
+                || k.ends_with(".passed")
+                || k.ends_with(".matches")
+        })
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<(String, String)> {
+        vec![
+            ("status".into(), "running".into()),
+            ("in_cnt.count".into(), "42".into()),
+            ("in_cnt.byte_count".into(), "2688".into()),
+            ("in_cnt.rate".into(), "100.0".into()),
+            ("q.length".into(), "3".into()),
+        ]
+    }
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let t = format_handler_table("fw @ c0", &sample());
+        assert!(t.contains("fw @ c0"));
+        assert!(t.contains("in_cnt.count"));
+        assert!(t.contains("42"));
+        assert!(t.lines().count() >= 6);
+    }
+
+    #[test]
+    fn empty_table_says_so() {
+        assert!(format_handler_table("x", &[]).contains("no handlers"));
+    }
+
+    #[test]
+    fn headline_filters_to_key_counters() {
+        let handlers = sample();
+        let h = headline(&handlers);
+        let keys: Vec<&str> = h.iter().map(|(k, _)| *k).collect();
+        assert!(keys.contains(&"status"));
+        assert!(keys.contains(&"in_cnt.count"));
+        assert!(keys.contains(&"in_cnt.rate"));
+        assert!(!keys.contains(&"in_cnt.byte_count"));
+        assert!(!keys.contains(&"q.length"));
+    }
+}

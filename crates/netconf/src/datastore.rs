@@ -1,0 +1,324 @@
+//! Configuration datastores: running and candidate, with subtree filters,
+//! edit-config semantics, commit and locking.
+
+use crate::xml::XmlElement;
+
+/// `operation` attribute values of edit-config (RFC 6241 §7.2 subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditOperation {
+    Merge,
+    Replace,
+    Delete,
+}
+
+impl EditOperation {
+    pub fn parse(s: &str) -> Option<EditOperation> {
+        Some(match s {
+            "merge" => EditOperation::Merge,
+            "replace" => EditOperation::Replace,
+            "delete" => EditOperation::Delete,
+            _ => return None,
+        })
+    }
+}
+
+/// One datastore: a config tree rooted at an anonymous `<config>` element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datastore {
+    root: XmlElement,
+    locked_by: Option<u32>,
+}
+
+impl Datastore {
+    /// An empty datastore.
+    pub fn new() -> Datastore {
+        Datastore { root: XmlElement::new("data"), locked_by: None }
+    }
+
+    /// The whole tree (root element named `data`).
+    pub fn tree(&self) -> &XmlElement {
+        &self.root
+    }
+
+    /// Locks for a session; fails if locked by someone else.
+    pub fn lock(&mut self, session: u32) -> Result<(), String> {
+        match self.locked_by {
+            None => {
+                self.locked_by = Some(session);
+                Ok(())
+            }
+            Some(s) if s == session => Ok(()),
+            Some(s) => Err(format!("locked by session {s}")),
+        }
+    }
+
+    /// Unlocks if held by this session.
+    pub fn unlock(&mut self, session: u32) -> Result<(), String> {
+        match self.locked_by {
+            Some(s) if s == session => {
+                self.locked_by = None;
+                Ok(())
+            }
+            Some(s) => Err(format!("locked by session {s}")),
+            None => Err("not locked".into()),
+        }
+    }
+
+    /// True if a session other than `session` holds the lock.
+    pub fn locked_against(&self, session: u32) -> bool {
+        matches!(self.locked_by, Some(s) if s != session)
+    }
+
+    /// Subtree `get`: returns the parts of the tree matching the filter.
+    /// An empty/absent filter returns the whole tree. Filter semantics:
+    /// an element in the filter selects children of the same name;
+    /// leaves in the filter with text act as exact-match predicates.
+    pub fn get(&self, filter: Option<&XmlElement>) -> XmlElement {
+        match filter {
+            None => self.root.clone(),
+            Some(f) if f.children.is_empty() && f.text.is_empty() => self.root.clone(),
+            Some(f) => {
+                let mut out = XmlElement::new("data");
+                out.children = Self::filter_children(&self.root, f);
+                out
+            }
+        }
+    }
+
+    fn filter_children(node: &XmlElement, filter: &XmlElement) -> Vec<XmlElement> {
+        let mut out = Vec::new();
+        for fc in &filter.children {
+            for nc in node.find_all(&fc.name) {
+                if fc.children.is_empty() {
+                    // Selection node (possibly with a text predicate).
+                    if fc.text.is_empty() || fc.text == nc.text {
+                        out.push(nc.clone());
+                    }
+                } else {
+                    // Content-match nodes (leaves with text) act as
+                    // predicates; remaining children select subtrees.
+                    let is_pred =
+                        |p: &XmlElement| !p.text.is_empty() && p.children.is_empty();
+                    let preds_ok = fc
+                        .children
+                        .iter()
+                        .filter(|p| is_pred(p))
+                        .all(|p| nc.child_text(&p.name) == Some(p.text.as_str()));
+                    if !preds_ok {
+                        continue;
+                    }
+                    let only_preds = fc.children.iter().all(is_pred);
+                    if only_preds {
+                        // RFC 6241 §6.2.5: content-match-only filters
+                        // return the whole enclosing instance.
+                        out.push(nc.clone());
+                        continue;
+                    }
+                    let mut selection_filter = XmlElement::new(&fc.name);
+                    selection_filter.children =
+                        fc.children.iter().filter(|p| !is_pred(p)).cloned().collect();
+                    let selected = Self::filter_children(nc, &selection_filter);
+                    if !selected.is_empty() {
+                        let mut copy = XmlElement::new(&nc.name);
+                        copy.attrs = nc.attrs.clone();
+                        copy.children = selected;
+                        out.push(copy);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `edit-config`: applies `config` (a `<config>` element) with the
+    /// default operation `merge`; per-element `operation` attributes
+    /// override.
+    pub fn edit(&mut self, config: &XmlElement, default_op: EditOperation) -> Result<(), String> {
+        // Work on a copy so a failed edit leaves the store untouched.
+        let mut root = self.root.clone();
+        for c in &config.children {
+            Self::apply(&mut root, c, default_op)?;
+        }
+        self.root = root;
+        Ok(())
+    }
+
+    fn apply(target: &mut XmlElement, edit: &XmlElement, default_op: EditOperation) -> Result<(), String> {
+        let op = match edit.get_attr("operation") {
+            Some(s) => {
+                EditOperation::parse(s).ok_or_else(|| format!("bad operation {s:?}"))?
+            }
+            None => default_op,
+        };
+        // Identify the target child: same name, and if the edit carries a
+        // `name` key leaf, the same key (list entry semantics).
+        let key = edit.child_text("name").map(str::to_string);
+        let existing = target.children.iter_mut().find(|c| {
+            c.name == edit.name
+                && match &key {
+                    Some(k) => c.child_text("name") == Some(k.as_str()),
+                    None => true,
+                }
+        });
+        match op {
+            EditOperation::Delete => {
+                let before = target.children.len();
+                target.children.retain(|c| {
+                    !(c.name == edit.name
+                        && match &key {
+                            Some(k) => c.child_text("name") == Some(k.as_str()),
+                            None => true,
+                        })
+                });
+                if target.children.len() == before {
+                    return Err(format!("delete: no such element {}", edit.name));
+                }
+                Ok(())
+            }
+            EditOperation::Replace => {
+                let mut clean = edit.clone();
+                clean.attrs.retain(|(k, _)| k != "operation");
+                match existing {
+                    Some(e) => *e = clean,
+                    None => target.children.push(clean),
+                }
+                Ok(())
+            }
+            EditOperation::Merge => {
+                match existing {
+                    Some(e) => {
+                        if edit.children.is_empty() {
+                            e.text = edit.text.clone();
+                            Ok(())
+                        } else {
+                            for c in &edit.children {
+                                Self::apply(e, c, default_op)?;
+                            }
+                            Ok(())
+                        }
+                    }
+                    None => {
+                        let mut clean = edit.clone();
+                        clean.attrs.retain(|(k, _)| k != "operation");
+                        strip_op_attrs(&mut clean);
+                        target.children.push(clean);
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn strip_op_attrs(el: &mut XmlElement) {
+    el.attrs.retain(|(k, _)| k != "operation");
+    for c in &mut el.children {
+        strip_op_attrs(c);
+    }
+}
+
+impl Default for Datastore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(s: &str) -> XmlElement {
+        XmlElement::parse(s).unwrap()
+    }
+
+    #[test]
+    fn merge_creates_and_updates() {
+        let mut ds = Datastore::new();
+        ds.edit(&cfg("<config><vnfs><vnf><name>fw</name><status>stopped</status></vnf></vnfs></config>"), EditOperation::Merge).unwrap();
+        ds.edit(&cfg("<config><vnfs><vnf><name>fw</name><status>running</status></vnf></vnfs></config>"), EditOperation::Merge).unwrap();
+        let tree = ds.get(None);
+        let vnf = tree.find("vnfs").unwrap().find("vnf").unwrap();
+        assert_eq!(vnf.child_text("status"), Some("running"));
+        assert_eq!(tree.find("vnfs").unwrap().find_all("vnf").count(), 1);
+    }
+
+    #[test]
+    fn list_entries_keyed_by_name() {
+        let mut ds = Datastore::new();
+        ds.edit(&cfg("<config><vnfs><vnf><name>fw</name></vnf></vnfs></config>"), EditOperation::Merge).unwrap();
+        ds.edit(&cfg("<config><vnfs><vnf><name>nat</name></vnf></vnfs></config>"), EditOperation::Merge).unwrap();
+        assert_eq!(ds.get(None).find("vnfs").unwrap().find_all("vnf").count(), 2);
+    }
+
+    #[test]
+    fn replace_overwrites_subtree() {
+        let mut ds = Datastore::new();
+        ds.edit(&cfg("<config><box><a>1</a><b>2</b></box></config>"), EditOperation::Merge).unwrap();
+        ds.edit(&cfg("<config><box operation=\"replace\"><a>9</a></box></config>"), EditOperation::Merge).unwrap();
+        let b = ds.get(None);
+        let boxx = b.find("box").unwrap();
+        assert_eq!(boxx.child_text("a"), Some("9"));
+        assert!(boxx.find("b").is_none());
+        assert!(boxx.get_attr("operation").is_none());
+    }
+
+    #[test]
+    fn delete_removes_or_errors() {
+        let mut ds = Datastore::new();
+        ds.edit(&cfg("<config><x>1</x></config>"), EditOperation::Merge).unwrap();
+        ds.edit(&cfg("<config><x operation=\"delete\"/></config>"), EditOperation::Merge).unwrap();
+        assert!(ds.get(None).find("x").is_none());
+        let err = ds.edit(&cfg("<config><x operation=\"delete\"/></config>"), EditOperation::Merge);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn failed_edit_leaves_store_untouched() {
+        let mut ds = Datastore::new();
+        ds.edit(&cfg("<config><x>1</x></config>"), EditOperation::Merge).unwrap();
+        let before = ds.get(None);
+        // Second element's delete fails; first merge must roll back.
+        let r = ds.edit(
+            &cfg("<config><y>2</y><nope operation=\"delete\"/></config>"),
+            EditOperation::Merge,
+        );
+        assert!(r.is_err());
+        assert_eq!(ds.get(None), before);
+    }
+
+    #[test]
+    fn subtree_filter_selects() {
+        let mut ds = Datastore::new();
+        ds.edit(&cfg("<config><vnfs><vnf><name>fw</name><status>running</status></vnf><vnf><name>nat</name><status>stopped</status></vnf></vnfs><other>x</other></config>"), EditOperation::Merge).unwrap();
+        // Select all vnfs.
+        let got = ds.get(Some(&cfg("<filter><vnfs/></filter>")));
+        assert!(got.find("vnfs").is_some());
+        assert!(got.find("other").is_none());
+        // Key predicate: only the fw entry.
+        let got = ds.get(Some(&cfg("<filter><vnfs><vnf><name>fw</name></vnf></vnfs></filter>")));
+        let vnfs = got.find("vnfs").unwrap();
+        assert_eq!(vnfs.find_all("vnf").count(), 1);
+        assert_eq!(vnfs.find("vnf").unwrap().child_text("status"), Some("running"));
+    }
+
+    #[test]
+    fn empty_filter_returns_everything() {
+        let mut ds = Datastore::new();
+        ds.edit(&cfg("<config><a>1</a></config>"), EditOperation::Merge).unwrap();
+        let all = ds.get(Some(&cfg("<filter/>")));
+        assert!(all.find("a").is_some());
+    }
+
+    #[test]
+    fn locking_excludes_other_sessions() {
+        let mut ds = Datastore::new();
+        ds.lock(1).unwrap();
+        ds.lock(1).unwrap(); // re-entrant for same session
+        assert!(ds.lock(2).is_err());
+        assert!(ds.locked_against(2));
+        assert!(!ds.locked_against(1));
+        assert!(ds.unlock(2).is_err());
+        ds.unlock(1).unwrap();
+        ds.lock(2).unwrap();
+    }
+}

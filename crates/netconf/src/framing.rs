@@ -1,0 +1,99 @@
+//! NETCONF 1.0 end-of-message framing.
+//!
+//! Messages on a NETCONF 1.0 session are separated by the sequence
+//! `]]>]]>`. [`Framer`] turns a byte stream into complete messages and
+//! frames outgoing messages.
+
+/// The end-of-message delimiter.
+pub const EOM: &[u8] = b"]]>]]>";
+
+/// Accumulates stream bytes and yields complete messages.
+#[derive(Debug, Default)]
+pub struct Framer {
+    buf: Vec<u8>,
+}
+
+impl Framer {
+    /// An empty framer.
+    pub fn new() -> Framer {
+        Framer::default()
+    }
+
+    /// Appends stream bytes; returns every complete message now available
+    /// (without the delimiter).
+    pub fn feed(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+        self.buf.extend_from_slice(data);
+        let mut out = Vec::new();
+        while let Some(i) = self.buf.windows(EOM.len()).position(|w| w == EOM) {
+            let msg = self.buf[..i].to_vec();
+            self.buf.drain(..i + EOM.len());
+            out.push(msg);
+        }
+        out
+    }
+
+    /// Bytes buffered awaiting a delimiter.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Frames one outgoing message.
+    pub fn frame(msg: &[u8]) -> Vec<u8> {
+        let mut v = Vec::with_capacity(msg.len() + EOM.len());
+        v.extend_from_slice(msg);
+        v.extend_from_slice(EOM);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_message_roundtrip() {
+        let mut f = Framer::new();
+        let wire = Framer::frame(b"<hello/>");
+        let msgs = f.feed(&wire);
+        assert_eq!(msgs, vec![b"<hello/>".to_vec()]);
+        assert_eq!(f.pending(), 0);
+    }
+
+    #[test]
+    fn split_across_feeds() {
+        let mut f = Framer::new();
+        let wire = Framer::frame(b"<rpc>payload</rpc>");
+        let (a, b) = wire.split_at(7);
+        assert!(f.feed(a).is_empty());
+        let msgs = f.feed(b);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0], b"<rpc>payload</rpc>");
+    }
+
+    #[test]
+    fn delimiter_split_across_feeds() {
+        let mut f = Framer::new();
+        let wire = Framer::frame(b"x");
+        // Split inside the 6-byte delimiter.
+        let cut = wire.len() - 3;
+        assert!(f.feed(&wire[..cut]).is_empty());
+        assert_eq!(f.feed(&wire[cut..]).len(), 1);
+    }
+
+    #[test]
+    fn multiple_messages_in_one_feed() {
+        let mut f = Framer::new();
+        let mut wire = Framer::frame(b"one");
+        wire.extend(Framer::frame(b"two"));
+        wire.extend(b"partial".iter());
+        let msgs = f.feed(&wire);
+        assert_eq!(msgs, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(f.pending(), 7);
+    }
+
+    #[test]
+    fn empty_message_is_allowed() {
+        let mut f = Framer::new();
+        assert_eq!(f.feed(EOM), vec![Vec::<u8>::new()]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # escape-netconf
+//!
+//! A NETCONF (RFC 6241 subset) implementation — the OpenYuma role in
+//! ESCAPE-RS.
+//!
+//! The paper manages VNF containers through NETCONF: an agent per
+//! container exposes RPCs described in YANG (ESCAPE's `vnf_starter`
+//! module) and the orchestrator drives them as a NETCONF client. This
+//! crate reimplements that stack from scratch:
+//!
+//! * [`xml`] — a small, strict XML reader/writer (the only consumer is
+//!   NETCONF itself, so namespaces are carried as plain attributes);
+//! * [`framing`] — NETCONF 1.0 end-of-message framing (`]]>]]>`);
+//! * [`message`] — `<hello>`, `<rpc>`, `<rpc-reply>`, `<rpc-error>`
+//!   envelopes;
+//! * [`yang`] — a YANG-lite schema model with validation, plus the
+//!   `vnf_starter` module both as a programmatic schema and rendered YANG
+//!   text;
+//! * [`datastore`] — running/candidate datastores with subtree `get`,
+//!   `edit-config` (merge/replace/delete), `commit` and locking;
+//! * [`agent`] — the server side: a **sans-IO** session state machine
+//!   (bytes in → bytes out) dispatching standard operations and the
+//!   `vnf_starter` RPCs into a pluggable [`agent::VnfInstrumentation`] —
+//!   mirroring the paper's note that porting to real platforms only
+//!   requires swapping the instrumentation;
+//! * [`client`] — the orchestrator-side client with typed wrappers for
+//!   every `vnf_starter` RPC.
+
+pub mod agent;
+pub mod client;
+pub mod datastore;
+pub mod framing;
+pub mod message;
+pub mod vnf_starter;
+pub mod xml;
+pub mod yang;
+
+pub use agent::{Agent, VnfInstrumentation};
+pub use client::{Client, ClientEvent};
+pub use datastore::{Datastore, EditOperation};
+pub use framing::Framer;
+pub use message::{NetconfError, Rpc, RpcReply};
+pub use xml::XmlElement;

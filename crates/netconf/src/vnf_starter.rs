@@ -1,0 +1,153 @@
+//! ESCAPE's `vnf_starter` YANG module.
+//!
+//! The paper: *"A NETCONF agent is responsible for managing VNF containers
+//! and assigned switch(es). More specifically, the agent is able to
+//! start/stop VNFs and connect/disconnect VNFs to/from switches. The
+//! operation of the agent is described by the YANG data modeling
+//! language..."* — this module is that description, as both a
+//! programmatic schema (used for validation by agent and client) and
+//! rendered YANG text.
+
+use crate::yang::{Module, RpcSchema, SchemaNode, YangType};
+
+/// RPC names exposed by the agent.
+pub const RPC_INITIATE: &str = "initiateVNF";
+pub const RPC_START: &str = "startVNF";
+pub const RPC_STOP: &str = "stopVNF";
+pub const RPC_CONNECT: &str = "connectVNF";
+pub const RPC_DISCONNECT: &str = "disconnectVNF";
+pub const RPC_GET_INFO: &str = "getVNFInfo";
+
+/// Builds the `vnf_starter` module schema.
+pub fn module() -> Module {
+    let status_type = YangType::Enumeration(vec![
+        "initiated".into(),
+        "running".into(),
+        "stopped".into(),
+        "failed".into(),
+    ]);
+    let vnf_list = SchemaNode::list(
+        "vnf",
+        "id",
+        vec![
+            SchemaNode::leaf("id", YangType::String, true),
+            SchemaNode::leaf("type", YangType::String, false),
+            SchemaNode::leaf("status", status_type.clone(), false),
+            SchemaNode::list(
+                "port",
+                "number",
+                vec![
+                    SchemaNode::leaf("number", YangType::Uint16, true),
+                    SchemaNode::leaf("switch", YangType::String, false),
+                ],
+            ),
+            SchemaNode::list(
+                "handler",
+                "name",
+                vec![
+                    SchemaNode::leaf("name", YangType::String, true),
+                    SchemaNode::leaf("value", YangType::String, false),
+                ],
+            ),
+        ],
+    );
+    Module {
+        name: "vnf_starter".into(),
+        namespace: crate::message::VNF_STARTER_CAP.into(),
+        prefix: "vnf".into(),
+        data: vec![SchemaNode::container("vnfs", vec![vnf_list.clone()])],
+        rpcs: vec![
+            RpcSchema {
+                name: RPC_INITIATE.into(),
+                input: vec![
+                    SchemaNode::leaf("vnf-type", YangType::String, true),
+                    SchemaNode::leaf("click-config", YangType::String, false),
+                    SchemaNode::container(
+                        "options",
+                        vec![SchemaNode::list(
+                            "option",
+                            "name",
+                            vec![
+                                SchemaNode::leaf("name", YangType::String, true),
+                                SchemaNode::leaf("value", YangType::String, false),
+                            ],
+                        )],
+                    ),
+                ],
+                output: vec![SchemaNode::leaf("vnf-id", YangType::String, true)],
+            },
+            RpcSchema {
+                name: RPC_START.into(),
+                input: vec![SchemaNode::leaf("vnf-id", YangType::String, true)],
+                output: vec![],
+            },
+            RpcSchema {
+                name: RPC_STOP.into(),
+                input: vec![SchemaNode::leaf("vnf-id", YangType::String, true)],
+                output: vec![],
+            },
+            RpcSchema {
+                name: RPC_CONNECT.into(),
+                input: vec![
+                    SchemaNode::leaf("vnf-id", YangType::String, true),
+                    SchemaNode::leaf("vnf-port", YangType::Uint16, true),
+                    SchemaNode::leaf("switch-id", YangType::String, true),
+                ],
+                output: vec![SchemaNode::leaf("switch-port", YangType::Uint16, true)],
+            },
+            RpcSchema {
+                name: RPC_DISCONNECT.into(),
+                input: vec![
+                    SchemaNode::leaf("vnf-id", YangType::String, true),
+                    SchemaNode::leaf("vnf-port", YangType::Uint16, true),
+                ],
+                output: vec![],
+            },
+            RpcSchema {
+                name: RPC_GET_INFO.into(),
+                input: vec![SchemaNode::leaf("vnf-id", YangType::String, false)],
+                output: vec![SchemaNode::container("vnfs", vec![vnf_list])],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xml::XmlElement;
+
+    #[test]
+    fn module_has_all_six_rpcs() {
+        let m = module();
+        for r in [RPC_INITIATE, RPC_START, RPC_STOP, RPC_CONNECT, RPC_DISCONNECT, RPC_GET_INFO] {
+            assert!(m.rpc(r).is_some(), "missing rpc {r}");
+        }
+    }
+
+    #[test]
+    fn yang_text_mentions_the_paper_operations() {
+        let y = module().to_yang();
+        assert!(y.contains("module vnf_starter"));
+        for r in ["initiateVNF", "startVNF", "stopVNF", "connectVNF", "disconnectVNF"] {
+            assert!(y.contains(r), "yang text missing {r}");
+        }
+    }
+
+    #[test]
+    fn validates_connect_input() {
+        let m = module();
+        let good = XmlElement::parse(
+            "<connectVNF><vnf-id>v1</vnf-id><vnf-port>0</vnf-port><switch-id>s3</switch-id></connectVNF>",
+        )
+        .unwrap();
+        m.validate_rpc_input(RPC_CONNECT, &good).unwrap();
+        let bad = XmlElement::parse("<connectVNF><vnf-id>v1</vnf-id></connectVNF>").unwrap();
+        assert!(m.validate_rpc_input(RPC_CONNECT, &bad).is_err());
+        let bad_port = XmlElement::parse(
+            "<connectVNF><vnf-id>v1</vnf-id><vnf-port>x</vnf-port><switch-id>s</switch-id></connectVNF>",
+        )
+        .unwrap();
+        assert!(m.validate_rpc_input(RPC_CONNECT, &bad_port).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! YANG-lite: a schema model with validation and YANG text rendering.
+//!
+//! The paper describes agent operations "by the YANG data modeling
+//! language". This module gives ESCAPE-RS enough of YANG to express and
+//! enforce the `vnf_starter` module: containers, lists with a key, typed
+//! leaves, and RPC input/output definitions.
+
+use crate::xml::XmlElement;
+
+/// Leaf types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YangType {
+    String,
+    Uint16,
+    Uint32,
+    Boolean,
+    Enumeration(Vec<String>),
+}
+
+impl YangType {
+    /// Validates a textual value against the type.
+    pub fn check(&self, value: &str) -> Result<(), String> {
+        match self {
+            YangType::String => Ok(()),
+            YangType::Uint16 => value
+                .parse::<u16>()
+                .map(|_| ())
+                .map_err(|_| format!("{value:?} is not a uint16")),
+            YangType::Uint32 => value
+                .parse::<u32>()
+                .map(|_| ())
+                .map_err(|_| format!("{value:?} is not a uint32")),
+            YangType::Boolean => match value {
+                "true" | "false" => Ok(()),
+                _ => Err(format!("{value:?} is not a boolean")),
+            },
+            YangType::Enumeration(vals) => {
+                if vals.iter().any(|v| v == value) {
+                    Ok(())
+                } else {
+                    Err(format!("{value:?} not in enumeration {vals:?}"))
+                }
+            }
+        }
+    }
+
+    fn yang_name(&self) -> String {
+        match self {
+            YangType::String => "string".into(),
+            YangType::Uint16 => "uint16".into(),
+            YangType::Uint32 => "uint32".into(),
+            YangType::Boolean => "boolean".into(),
+            YangType::Enumeration(vals) => {
+                let mut s = String::from("enumeration {");
+                for v in vals {
+                    s.push_str(&format!(" enum {v};"));
+                }
+                s.push_str(" }");
+                s
+            }
+        }
+    }
+}
+
+/// A schema node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaNode {
+    Leaf { name: String, ty: YangType, mandatory: bool },
+    Container { name: String, children: Vec<SchemaNode> },
+    List { name: String, key: String, children: Vec<SchemaNode> },
+}
+
+impl SchemaNode {
+    pub fn leaf(name: &str, ty: YangType, mandatory: bool) -> SchemaNode {
+        SchemaNode::Leaf { name: name.into(), ty, mandatory }
+    }
+
+    pub fn container(name: &str, children: Vec<SchemaNode>) -> SchemaNode {
+        SchemaNode::Container { name: name.into(), children }
+    }
+
+    pub fn list(name: &str, key: &str, children: Vec<SchemaNode>) -> SchemaNode {
+        SchemaNode::List { name: name.into(), key: key.into(), children }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            SchemaNode::Leaf { name, .. }
+            | SchemaNode::Container { name, .. }
+            | SchemaNode::List { name, .. } => name,
+        }
+    }
+}
+
+/// An RPC definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcSchema {
+    pub name: String,
+    pub input: Vec<SchemaNode>,
+    pub output: Vec<SchemaNode>,
+}
+
+/// A YANG module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    pub name: String,
+    pub namespace: String,
+    pub prefix: String,
+    pub rpcs: Vec<RpcSchema>,
+    pub data: Vec<SchemaNode>,
+}
+
+impl Module {
+    /// Finds an RPC by name.
+    pub fn rpc(&self, name: &str) -> Option<&RpcSchema> {
+        self.rpcs.iter().find(|r| r.name == name)
+    }
+
+    /// Validates an RPC input element (children of the operation element)
+    /// against the schema.
+    pub fn validate_rpc_input(&self, name: &str, op: &XmlElement) -> Result<(), String> {
+        let rpc = self.rpc(name).ok_or_else(|| format!("unknown rpc {name}"))?;
+        validate_children(op, &rpc.input)
+    }
+
+    /// Renders the module as YANG text (for documentation and the
+    /// capability exchange).
+    pub fn to_yang(&self) -> String {
+        let mut s = format!(
+            "module {} {{\n  namespace \"{}\";\n  prefix {};\n\n",
+            self.name, self.namespace, self.prefix
+        );
+        for n in &self.data {
+            render_node(n, 1, &mut s);
+        }
+        for r in &self.rpcs {
+            s.push_str(&format!("  rpc {} {{\n", r.name));
+            if !r.input.is_empty() {
+                s.push_str("    input {\n");
+                for n in &r.input {
+                    render_node(n, 3, &mut s);
+                }
+                s.push_str("    }\n");
+            }
+            if !r.output.is_empty() {
+                s.push_str("    output {\n");
+                for n in &r.output {
+                    render_node(n, 3, &mut s);
+                }
+                s.push_str("    }\n");
+            }
+            s.push_str("  }\n");
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn render_node(n: &SchemaNode, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match n {
+        SchemaNode::Leaf { name, ty, mandatory } => {
+            out.push_str(&format!("{pad}leaf {name} {{ type {};", ty.yang_name()));
+            if *mandatory {
+                out.push_str(" mandatory true;");
+            }
+            out.push_str(" }\n");
+        }
+        SchemaNode::Container { name, children } => {
+            out.push_str(&format!("{pad}container {name} {{\n"));
+            for c in children {
+                render_node(c, depth + 1, out);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        SchemaNode::List { name, key, children } => {
+            out.push_str(&format!("{pad}list {name} {{\n{pad}  key \"{key}\";\n"));
+            for c in children {
+                render_node(c, depth + 1, out);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+    }
+}
+
+/// Validates that `el`'s children conform to `schema`: no unknown
+/// elements, mandatory leaves present, leaf values type-check, list
+/// entries carry their key.
+pub fn validate_children(el: &XmlElement, schema: &[SchemaNode]) -> Result<(), String> {
+    for child in &el.children {
+        let node = schema
+            .iter()
+            .find(|n| n.name() == child.name)
+            .ok_or_else(|| format!("unexpected element <{}> in <{}>", child.name, el.name))?;
+        match node {
+            SchemaNode::Leaf { ty, .. } => {
+                ty.check(&child.text)
+                    .map_err(|e| format!("leaf {}: {e}", child.name))?;
+            }
+            SchemaNode::Container { children, .. } => {
+                validate_children(child, children)?;
+            }
+            SchemaNode::List { key, children, .. } => {
+                if child.child_text(key).is_none() {
+                    return Err(format!("list entry <{}> missing key <{key}>", child.name));
+                }
+                validate_children(child, children)?;
+            }
+        }
+    }
+    // Mandatory leaves must be present.
+    for n in schema {
+        if let SchemaNode::Leaf { name, mandatory: true, .. } = n {
+            if el.find(name).is_none() {
+                return Err(format!("missing mandatory leaf <{name}> in <{}>", el.name));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Vec<SchemaNode> {
+        vec![
+            SchemaNode::leaf("vnf-type", YangType::String, true),
+            SchemaNode::leaf("port", YangType::Uint16, false),
+            SchemaNode::leaf(
+                "status",
+                YangType::Enumeration(vec!["running".into(), "stopped".into()]),
+                false,
+            ),
+            SchemaNode::container(
+                "options",
+                vec![SchemaNode::list(
+                    "option",
+                    "name",
+                    vec![
+                        SchemaNode::leaf("name", YangType::String, true),
+                        SchemaNode::leaf("value", YangType::String, false),
+                    ],
+                )],
+            ),
+        ]
+    }
+
+    fn xml(s: &str) -> XmlElement {
+        XmlElement::parse(s).unwrap()
+    }
+
+    #[test]
+    fn valid_input_passes() {
+        let el = xml("<in><vnf-type>firewall</vnf-type><port>8080</port><status>running</status><options><option><name>k</name><value>v</value></option></options></in>");
+        validate_children(&el, &schema()).unwrap();
+    }
+
+    #[test]
+    fn missing_mandatory_fails() {
+        let el = xml("<in><port>1</port></in>");
+        let err = validate_children(&el, &schema()).unwrap_err();
+        assert!(err.contains("vnf-type"));
+    }
+
+    #[test]
+    fn type_errors_are_caught() {
+        let el = xml("<in><vnf-type>x</vnf-type><port>99999</port></in>");
+        assert!(validate_children(&el, &schema()).unwrap_err().contains("uint16"));
+        let el = xml("<in><vnf-type>x</vnf-type><status>paused</status></in>");
+        assert!(validate_children(&el, &schema()).unwrap_err().contains("enumeration"));
+    }
+
+    #[test]
+    fn unknown_elements_are_rejected() {
+        let el = xml("<in><vnf-type>x</vnf-type><bogus>1</bogus></in>");
+        assert!(validate_children(&el, &schema()).unwrap_err().contains("bogus"));
+    }
+
+    #[test]
+    fn list_key_is_required() {
+        let el = xml("<in><vnf-type>x</vnf-type><options><option><value>v</value></option></options></in>");
+        assert!(validate_children(&el, &schema()).unwrap_err().contains("key"));
+    }
+
+    #[test]
+    fn all_types_check() {
+        YangType::Uint32.check("4000000000").unwrap();
+        assert!(YangType::Uint32.check("-1").is_err());
+        YangType::Boolean.check("true").unwrap();
+        assert!(YangType::Boolean.check("yes").is_err());
+        YangType::String.check("anything").unwrap();
+    }
+
+    #[test]
+    fn module_renders_yang_text() {
+        let m = Module {
+            name: "demo".into(),
+            namespace: "urn:demo".into(),
+            prefix: "d".into(),
+            rpcs: vec![RpcSchema {
+                name: "poke".into(),
+                input: vec![SchemaNode::leaf("who", YangType::String, true)],
+                output: vec![SchemaNode::leaf("ack", YangType::Boolean, false)],
+            }],
+            data: schema(),
+        };
+        let y = m.to_yang();
+        assert!(y.contains("module demo"));
+        assert!(y.contains("rpc poke"));
+        assert!(y.contains("mandatory true"));
+        assert!(y.contains("key \"name\""));
+        assert!(y.contains("enumeration"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for NETCONF: XML round trips, framing reassembly under
+//! arbitrary splits, envelope round trips, datastore edit laws.
+
+use escape_netconf::datastore::{Datastore, EditOperation};
+use escape_netconf::framing::Framer;
+use escape_netconf::message::{Rpc, RpcReply};
+use escape_netconf::xml::{escape, XmlElement};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,10}".prop_map(|s| s)
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Any printable content; entities must round-trip.
+    "[ -~]{0,30}".prop_map(|s| s.trim().to_string())
+}
+
+fn arb_xml() -> impl Strategy<Value = XmlElement> {
+    let leaf = (arb_name(), arb_text(), proptest::collection::vec((arb_name(), arb_text()), 0..3))
+        .prop_map(|(name, text, attrs)| {
+            let mut el = XmlElement::text_node(name, text);
+            // Attribute keys must be unique for round-trip equality.
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in attrs {
+                if seen.insert(k.clone()) {
+                    el.attrs.push((k, v));
+                }
+            }
+            el
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (arb_name(), proptest::collection::vec(inner, 0..4)).prop_map(|(name, children)| {
+            let mut el = XmlElement::new(name);
+            if children.is_empty() {
+                el.text = "x".into();
+            }
+            el.children = children;
+            el.text = if el.children.is_empty() { el.text } else { String::new() };
+            el
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn xml_roundtrip(el in arb_xml()) {
+        let text = el.to_xml();
+        let back = XmlElement::parse(&text).unwrap();
+        prop_assert_eq!(back, el);
+    }
+
+    #[test]
+    fn xml_parser_never_panics(src in "\\PC{0,300}") {
+        let _ = XmlElement::parse(&src);
+    }
+
+    #[test]
+    fn escape_roundtrips_through_parse(text in "[ -~]{0,60}") {
+        let doc = format!("<t>{}</t>", escape(&text));
+        let el = XmlElement::parse(&doc).unwrap();
+        prop_assert_eq!(el.text, text.trim());
+    }
+
+    /// Framer reassembles messages regardless of how the byte stream is
+    /// split into feeds.
+    #[test]
+    fn framer_reassembles_any_split(
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..60), 1..6),
+        cuts in proptest::collection::vec(1usize..20, 0..30),
+    ) {
+        // Messages must not contain the EOM marker themselves.
+        let msgs: Vec<Vec<u8>> = msgs
+            .into_iter()
+            .map(|m| m.into_iter().filter(|&b| b != b']').collect())
+            .collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend(Framer::frame(m));
+        }
+        let mut f = Framer::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        let mut cuts = cuts.into_iter();
+        while pos < wire.len() {
+            let step = cuts.next().unwrap_or(7).min(wire.len() - pos);
+            got.extend(f.feed(&wire[pos..pos + step]));
+            pos += step;
+        }
+        prop_assert_eq!(got, msgs);
+        prop_assert_eq!(f.pending(), 0);
+    }
+
+    #[test]
+    fn rpc_envelope_roundtrip(id in any::<u64>(), op in arb_xml()) {
+        let rpc = Rpc::new(id, op);
+        let text = rpc.to_xml().to_xml();
+        let back = Rpc::from_xml(&XmlElement::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, rpc);
+    }
+
+    #[test]
+    fn reply_roundtrip(id in any::<u64>(), data in proptest::collection::vec(arb_xml(), 0..3)) {
+        // `ok` and `rpc-error` element names are reserved by the reply
+        // parser; rename any children that collide.
+        let data: Vec<XmlElement> = data
+            .into_iter()
+            .map(|mut e| {
+                if e.name == "ok" || e.name == "rpc-error" {
+                    e.name = format!("x{}", e.name);
+                }
+                e
+            })
+            .collect();
+        let reply = RpcReply::data(id, data);
+        let text = reply.to_xml().to_xml();
+        let back = RpcReply::from_xml(&XmlElement::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(back, reply);
+    }
+
+    /// Datastore law: merge then delete restores the original absence;
+    /// failed edits never mutate.
+    #[test]
+    fn datastore_edit_laws(names in proptest::collection::vec(arb_name(), 1..6)) {
+        let mut ds = Datastore::new();
+        for n in &names {
+            let cfg = XmlElement::parse(&format!("<config><{n}>1</{n}></config>")).unwrap();
+            ds.edit(&cfg, EditOperation::Merge).unwrap();
+        }
+        // All present.
+        let unique: std::collections::HashSet<&String> = names.iter().collect();
+        for n in &unique {
+            prop_assert!(ds.get(None).find(n).is_some());
+        }
+        // Delete all; each unique name disappears.
+        for n in &unique {
+            let cfg = XmlElement::parse(&format!("<config><{n} operation=\"delete\"/></config>")).unwrap();
+            ds.edit(&cfg, EditOperation::Merge).unwrap();
+            prop_assert!(ds.get(None).find(n).is_none());
+        }
+        // Second delete fails and leaves the store unchanged.
+        let before = ds.get(None);
+        let n = names.first().unwrap();
+        let cfg = XmlElement::parse(&format!("<config><{n} operation=\"delete\"/></config>")).unwrap();
+        prop_assert!(ds.edit(&cfg, EditOperation::Merge).is_err());
+        prop_assert_eq!(ds.get(None), before);
+    }
+}

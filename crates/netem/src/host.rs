@@ -1,0 +1,416 @@
+//! A simple end host: ARP, ICMP echo responder, UDP traffic source/sink.
+//!
+//! Hosts play the role of Mininet's `h1`, `h2`, ... — the endpoints the
+//! demo's step (4) uses to "send and inspect live traffic". A host owns one
+//! interface (port 0), answers ARP and ping, can originate paced UDP
+//! streams, and keeps receive-side statistics including end-to-end latency
+//! (computed from each packet's birth timestamp).
+
+use crate::sim::{NodeCtx, NodeLogic};
+use crate::time::Time;
+use bytes::Bytes;
+use escape_packet::{
+    ArpPacket, EtherType, EthernetFrame, IcmpPacket, IcmpType, IpProtocol, Ipv4Packet, MacAddr,
+    Packet, PacketBuilder, UdpDatagram,
+};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Receive/transmit statistics of a host.
+#[derive(Debug, Clone, Default)]
+pub struct HostStats {
+    pub udp_rx: u64,
+    pub udp_tx: u64,
+    pub bytes_rx: u64,
+    pub icmp_echo_rx: u64,
+    pub icmp_reply_rx: u64,
+    pub arp_rx: u64,
+    /// Sum of end-to-end latencies (ns) of received UDP packets with a
+    /// birth timestamp.
+    pub latency_sum_ns: u64,
+    /// Count of latency samples.
+    pub latency_samples: u64,
+    /// Maximum observed latency (ns).
+    pub latency_max_ns: u64,
+}
+
+impl HostStats {
+    /// Mean end-to-end latency over received UDP packets.
+    pub fn mean_latency(&self) -> Option<Time> {
+        self.latency_sum_ns
+            .checked_div(self.latency_samples)
+            .map(Time::from_ns)
+    }
+}
+
+/// An active outgoing UDP stream.
+#[derive(Debug, Clone)]
+struct Stream {
+    dst_ip: Ipv4Addr,
+    sport: u16,
+    dport: u16,
+    frame_len: usize,
+    interval: Time,
+    remaining: u64,
+}
+
+/// An active ping schedule.
+#[derive(Debug, Clone)]
+struct PingJob {
+    dst_ip: Ipv4Addr,
+    interval: Time,
+    remaining: u64,
+    seq: u16,
+}
+
+/// Timer tokens `PING_TOKEN_BASE + k` drive ping job `k`; smaller tokens
+/// drive UDP stream `k`.
+const PING_TOKEN_BASE: u64 = 1 << 32;
+
+/// The host node. See the module docs.
+pub struct Host {
+    pub mac: MacAddr,
+    pub ip: Ipv4Addr,
+    pub stats: HostStats,
+    arp_table: HashMap<Ipv4Addr, MacAddr>,
+    /// Packets waiting for ARP resolution, keyed by next-hop IP.
+    pending: HashMap<Ipv4Addr, Vec<Bytes>>,
+    streams: Vec<Stream>,
+    pings: Vec<PingJob>,
+    /// Last payloads received, newest last (bounded, for demo inspection).
+    pub inbox: Vec<Vec<u8>>,
+}
+
+/// Timer token namespace: stream k fires with token k.
+const INBOX_CAP: usize = 64;
+
+impl Host {
+    /// Creates a host with the given addresses.
+    pub fn new(mac: MacAddr, ip: Ipv4Addr) -> Self {
+        Host {
+            mac,
+            ip,
+            stats: HostStats::default(),
+            arp_table: HashMap::new(),
+            pending: HashMap::new(),
+            streams: Vec::new(),
+            pings: Vec::new(),
+            inbox: Vec::new(),
+        }
+    }
+
+    /// Pre-populates the ARP table (like Mininet's `--arp` static mode).
+    pub fn static_arp(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.arp_table.insert(ip, mac);
+    }
+
+    /// Registers a paced UDP stream: `count` frames of `frame_len` bytes,
+    /// one every `interval`, to `dst_ip`. Call before the sim starts and
+    /// kick it off with [`Host::start_streams`].
+    pub fn add_stream(
+        &mut self,
+        dst_ip: Ipv4Addr,
+        sport: u16,
+        dport: u16,
+        frame_len: usize,
+        interval: Time,
+        count: u64,
+    ) -> usize {
+        self.streams.push(Stream { dst_ip, sport, dport, frame_len, interval, remaining: count });
+        self.streams.len() - 1
+    }
+
+    /// Registers a paced ping schedule: `count` echo requests to
+    /// `dst_ip`, one every `interval`. Needs an ARP entry (static or
+    /// learned) for the destination at fire time.
+    pub fn add_ping(&mut self, dst_ip: Ipv4Addr, interval: Time, count: u64) -> usize {
+        self.pings.push(PingJob { dst_ip, interval, remaining: count, seq: 0 });
+        self.pings.len() - 1
+    }
+
+    /// Arms the first timer of every registered stream and ping job.
+    /// `sim` must be the simulation this host lives in and `me` this
+    /// host's node id.
+    pub fn start_streams(sim: &mut crate::sim::Sim, me: crate::sim::NodeId, at: Time) {
+        let (n, p) = {
+            let h = sim.node_as::<Host>(me).expect("node is not a Host");
+            (h.streams.len(), h.pings.len())
+        };
+        for k in 0..n {
+            sim.set_timer_for(me, at, k as u64);
+        }
+        for k in 0..p {
+            sim.set_timer_for(me, at, PING_TOKEN_BASE + k as u64);
+        }
+    }
+
+    fn emit_ping(&mut self, ctx: &mut NodeCtx<'_>, k: usize) {
+        let job = self.pings[k].clone();
+        if job.remaining == 0 {
+            return;
+        }
+        self.pings[k].remaining -= 1;
+        self.pings[k].seq = self.pings[k].seq.wrapping_add(1);
+        let seq = self.pings[k].seq;
+        self.ping(ctx, job.dst_ip, seq);
+        if self.pings[k].remaining > 0 {
+            ctx.set_timer(job.interval, PING_TOKEN_BASE + k as u64);
+        }
+    }
+
+    fn emit_udp(&mut self, ctx: &mut NodeCtx<'_>, k: usize) {
+        let s = self.streams[k].clone();
+        if s.remaining == 0 {
+            return;
+        }
+        self.streams[k].remaining -= 1;
+        if let Some(&dst_mac) = self.arp_table.get(&s.dst_ip) {
+            let frame = PacketBuilder::udp_with_len(
+                self.mac, dst_mac, self.ip, s.dst_ip, s.sport, s.dport, s.frame_len,
+            );
+            let pkt = ctx.new_packet(frame);
+            self.stats.udp_tx += 1;
+            ctx.send(0, pkt);
+        } else {
+            // Resolve first; queue the frame against the resolution.
+            let frame = PacketBuilder::udp_with_len(
+                self.mac,
+                MacAddr::ZERO, // fixed up on resolution
+                self.ip,
+                s.dst_ip,
+                s.sport,
+                s.dport,
+                s.frame_len,
+            );
+            self.pending.entry(s.dst_ip).or_default().push(frame);
+            let req = PacketBuilder::arp_request(self.mac, self.ip, s.dst_ip);
+            let pkt = ctx.new_packet(req);
+            ctx.send(0, pkt);
+        }
+        if self.streams[k].remaining > 0 {
+            ctx.set_timer(s.interval, k as u64);
+        }
+    }
+
+    fn flush_pending(&mut self, ctx: &mut NodeCtx<'_>, ip: Ipv4Addr, mac: MacAddr) {
+        if let Some(frames) = self.pending.remove(&ip) {
+            for frame in frames {
+                // Patch the destination MAC (first 6 bytes of the frame).
+                let mut v = frame.to_vec();
+                v[0..6].copy_from_slice(&mac.0);
+                let pkt = ctx.new_packet(Bytes::from(v));
+                self.stats.udp_tx += 1;
+                ctx.send(0, pkt);
+            }
+        }
+    }
+
+    fn handle_arp(&mut self, ctx: &mut NodeCtx<'_>, eth: &EthernetFrame) {
+        self.stats.arp_rx += 1;
+        let Ok(arp) = ArpPacket::decode(&eth.payload) else { return };
+        // Learn the sender binding either way.
+        self.arp_table.insert(arp.sender_ip, arp.sender_mac);
+        self.flush_pending(ctx, arp.sender_ip, arp.sender_mac);
+        if arp.operation == escape_packet::ArpOperation::Request && arp.target_ip == self.ip {
+            let rep = ArpPacket::reply_to(&arp, self.mac).encode();
+            let frame =
+                EthernetFrame::new(arp.sender_mac, self.mac, EtherType::Arp, rep).encode();
+            let pkt = ctx.new_packet(frame);
+            ctx.send(0, pkt);
+        }
+    }
+
+    fn handle_ipv4(&mut self, ctx: &mut NodeCtx<'_>, pkt: &Packet, eth: &EthernetFrame) {
+        let Ok(ip) = Ipv4Packet::decode(&eth.payload) else { return };
+        if ip.dst != self.ip {
+            return; // not for us (hosts don't forward)
+        }
+        match ip.protocol {
+            IpProtocol::Udp => {
+                if let Ok(udp) = UdpDatagram::decode(&ip.payload, ip.src, ip.dst) {
+                    self.stats.udp_rx += 1;
+                    self.stats.bytes_rx += pkt.len() as u64;
+                    if pkt.born_ns != 0 {
+                        let lat = ctx.now().as_ns().saturating_sub(pkt.born_ns);
+                        self.stats.latency_sum_ns += lat;
+                        self.stats.latency_samples += 1;
+                        self.stats.latency_max_ns = self.stats.latency_max_ns.max(lat);
+                    }
+                    if self.inbox.len() < INBOX_CAP {
+                        self.inbox.push(udp.payload.to_vec());
+                    }
+                }
+            }
+            IpProtocol::Icmp => {
+                if let Ok(icmp) = IcmpPacket::decode(&ip.payload) {
+                    match icmp.icmp_type {
+                        IcmpType::EchoRequest => {
+                            self.stats.icmp_echo_rx += 1;
+                            let rep = IcmpPacket::echo_reply(&icmp).encode();
+                            let ipp = Ipv4Packet::new(self.ip, ip.src, IpProtocol::Icmp, rep).encode();
+                            let frame =
+                                EthernetFrame::new(eth.src, self.mac, EtherType::Ipv4, ipp).encode();
+                            let out = ctx.new_packet(frame);
+                            ctx.send(0, out);
+                        }
+                        IcmpType::EchoReply => {
+                            self.stats.icmp_reply_rx += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Sends one ICMP echo request (needs an ARP entry for `dst_ip`).
+    pub fn ping(&mut self, ctx: &mut NodeCtx<'_>, dst_ip: Ipv4Addr, seq: u16) -> bool {
+        let Some(&mac) = self.arp_table.get(&dst_ip) else { return false };
+        let frame = PacketBuilder::icmp_echo_request(self.mac, mac, self.ip, dst_ip, 1, seq);
+        let pkt = ctx.new_packet(frame);
+        ctx.send(0, pkt);
+        true
+    }
+}
+
+impl NodeLogic for Host {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: u16, pkt: Packet) {
+        let Ok(eth) = EthernetFrame::decode(&pkt.data) else { return };
+        if eth.dst != self.mac && !eth.dst.is_broadcast() {
+            return; // promiscuous filtering off
+        }
+        match eth.ethertype {
+            EtherType::Arp => self.handle_arp(ctx, &eth),
+            EtherType::Ipv4 => self.handle_ipv4(ctx, &pkt, &eth),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        if token >= PING_TOKEN_BASE {
+            let k = (token - PING_TOKEN_BASE) as usize;
+            if k < self.pings.len() {
+                self.emit_ping(ctx, k);
+            }
+            return;
+        }
+        let k = token as usize;
+        if k < self.streams.len() {
+            self.emit_udp(ctx, k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use crate::sim::Sim;
+
+    fn hosts_back_to_back() -> (Sim, crate::sim::NodeId, crate::sim::NodeId) {
+        let mut sim = Sim::new(7);
+        let a = Host::new(MacAddr::from_id(1), Ipv4Addr::new(10, 0, 0, 1));
+        let b = Host::new(MacAddr::from_id(2), Ipv4Addr::new(10, 0, 0, 2));
+        let na = sim.add_node("h1", 1, Box::new(a));
+        let nb = sim.add_node("h2", 1, Box::new(b));
+        sim.connect((na, 0), (nb, 0), LinkConfig::lan());
+        (sim, na, nb)
+    }
+
+    #[test]
+    fn udp_stream_with_arp_resolution_delivers_everything() {
+        let (mut sim, na, nb) = hosts_back_to_back();
+        sim.node_as_mut::<Host>(na).unwrap().add_stream(
+            Ipv4Addr::new(10, 0, 0, 2),
+            5000,
+            9000,
+            100,
+            Time::from_us(100),
+            50,
+        );
+        Host::start_streams(&mut sim, na, Time::ZERO);
+        sim.run(100_000);
+        let hb = sim.node_as::<Host>(nb).unwrap();
+        assert_eq!(hb.stats.udp_rx, 50);
+        assert!(hb.stats.mean_latency().unwrap() >= Time::from_us(50)); // at least propagation
+        let ha = sim.node_as::<Host>(na).unwrap();
+        assert_eq!(ha.stats.udp_tx, 50);
+    }
+
+    #[test]
+    fn static_arp_skips_resolution() {
+        let (mut sim, na, nb) = hosts_back_to_back();
+        {
+            let ha = sim.node_as_mut::<Host>(na).unwrap();
+            ha.static_arp(Ipv4Addr::new(10, 0, 0, 2), MacAddr::from_id(2));
+            ha.add_stream(Ipv4Addr::new(10, 0, 0, 2), 1, 2, 64, Time::from_us(10), 3);
+        }
+        Host::start_streams(&mut sim, na, Time::ZERO);
+        sim.run(10_000);
+        assert_eq!(sim.node_as::<Host>(nb).unwrap().stats.arp_rx, 0);
+        assert_eq!(sim.node_as::<Host>(nb).unwrap().stats.udp_rx, 3);
+    }
+
+    #[test]
+    fn ping_round_trip() {
+        let (mut sim, na, nb) = hosts_back_to_back();
+        // Resolve b's MAC first via a 1-packet stream... simpler: static.
+        sim.node_as_mut::<Host>(na)
+            .unwrap()
+            .static_arp(Ipv4Addr::new(10, 0, 0, 2), MacAddr::from_id(2));
+        // Drive the ping from a timer-like injection: build the echo frame
+        // directly and inject it at b-side port of a's interface.
+        let frame = PacketBuilder::icmp_echo_request(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            1,
+        );
+        sim.inject(nb, 0, frame, Time::ZERO);
+        sim.run(1000);
+        assert_eq!(sim.node_as::<Host>(nb).unwrap().stats.icmp_echo_rx, 1);
+        assert_eq!(sim.node_as::<Host>(na).unwrap().stats.icmp_reply_rx, 1);
+    }
+
+    #[test]
+    fn frames_for_other_macs_are_ignored() {
+        let (mut sim, _na, nb) = hosts_back_to_back();
+        let frame = PacketBuilder::udp(
+            MacAddr::from_id(9),
+            MacAddr::from_id(77), // not b's MAC
+            Ipv4Addr::new(10, 0, 0, 9),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            Bytes::from_static(b"not-mine"),
+        );
+        sim.inject(nb, 0, frame, Time::ZERO);
+        sim.run(100);
+        assert_eq!(sim.node_as::<Host>(nb).unwrap().stats.udp_rx, 0);
+    }
+
+    #[test]
+    fn inbox_captures_payloads() {
+        let (mut sim, na, nb) = hosts_back_to_back();
+        sim.node_as_mut::<Host>(na)
+            .unwrap()
+            .static_arp(Ipv4Addr::new(10, 0, 0, 2), MacAddr::from_id(2));
+        let frame = PacketBuilder::udp(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1234,
+            80,
+            Bytes::from_static(b"inspect me"),
+        );
+        sim.inject(nb, 0, frame, Time::ZERO);
+        sim.run(100);
+        let hb = sim.node_as::<Host>(nb).unwrap();
+        assert_eq!(hb.inbox.len(), 1);
+        assert_eq!(hb.inbox[0], b"inspect me");
+    }
+}

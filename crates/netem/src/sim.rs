@@ -1,0 +1,674 @@
+//! The discrete-event simulation kernel.
+//!
+//! A [`Sim`] owns the topology (nodes, links, control channels), the event
+//! queue and the virtual clock. Node behaviour is injected through the
+//! [`NodeLogic`] trait; during an event dispatch the node receives a
+//! [`NodeCtx`] through which it can transmit frames, arm timers and talk on
+//! control channels. Event ordering is strictly deterministic: ties in
+//! virtual time break on a monotone sequence number, and all randomness
+//! (link loss) comes from one seeded RNG.
+
+use crate::link::{Link, LinkConfig, LinkId, LinkState};
+use crate::stats::SimStats;
+use crate::time::Time;
+use crate::trace::{Trace, TraceDir, TraceRecord};
+use bytes::Bytes;
+use escape_packet::Packet;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifies a node within a [`Sim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifies a control channel within a [`Sim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CtrlId(pub u32);
+
+/// Object-safe `Any` access for node logic, so callers can downcast a node
+/// back to its concrete type (e.g. to read host counters after a run).
+pub trait AsAny {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Behaviour of a node. Implementations are state machines driven by the
+/// kernel: frames in, timers, control messages — frames out via the ctx.
+pub trait NodeLogic: AsAny {
+    /// A frame arrived on `port`.
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: u16, pkt: Packet);
+
+    /// A timer armed with [`NodeCtx::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_>, _token: u64) {}
+
+    /// A message arrived on a control channel this node terminates.
+    fn on_ctrl(&mut self, _ctx: &mut NodeCtx<'_>, _conn: CtrlId, _msg: Vec<u8>) {}
+}
+
+enum Event {
+    PacketArrive { node: u32, port: u16, pkt: Packet },
+    TxComplete { link: u32, dir: u8 },
+    Timer { node: u32, token: u64 },
+    CtrlDeliver { conn: u32, to_node: u32, msg: Vec<u8> },
+}
+
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct NodeSlot {
+    name: String,
+    logic: Option<Box<dyn NodeLogic>>,
+    /// port index -> (link index, our direction on that link)
+    ports: Vec<Option<(u32, u8)>>,
+}
+
+struct Ctrl {
+    ends: [u32; 2],
+    latency: Time,
+}
+
+/// The simulation kernel. See the module docs.
+pub struct Sim {
+    clock: Time,
+    seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    nodes: Vec<NodeSlot>,
+    links: Vec<Link>,
+    ctrls: Vec<Ctrl>,
+    rng: SmallRng,
+    next_packet_id: u64,
+    /// Aggregate counters for the run.
+    pub stats: SimStats,
+    /// Optional packet trace (pcap stand-in).
+    pub trace: Option<Trace>,
+}
+
+impl Sim {
+    /// Creates an empty simulation with the given RNG seed. Two sims with
+    /// the same seed, topology and workload produce identical runs.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            clock: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            ctrls: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            next_packet_id: 1,
+            stats: SimStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Enables packet tracing, keeping at most `cap` records.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Some(Trace::with_capacity(cap));
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.clock
+    }
+
+    /// Adds a node; `ports` is the number of dataplane ports it exposes.
+    pub fn add_node(&mut self, name: impl Into<String>, ports: u16, logic: Box<dyn NodeLogic>) -> NodeId {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(NodeSlot {
+            name: name.into(),
+            logic: Some(logic),
+            ports: vec![None; ports as usize],
+        });
+        NodeId(id)
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A node's name.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.nodes[node.0 as usize].name
+    }
+
+    /// Mutable access to a node's concrete logic type. Panics if the node
+    /// is currently being dispatched. Returns `None` on a type mismatch.
+    pub fn node_as_mut<T: NodeLogic + 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.nodes[node.0 as usize]
+            .logic
+            .as_deref_mut()
+            .expect("node is being dispatched")
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Shared access to a node's concrete logic type.
+    pub fn node_as<T: NodeLogic + 'static>(&self, node: NodeId) -> Option<&T> {
+        self.nodes[node.0 as usize]
+            .logic
+            .as_deref()
+            .expect("node is being dispatched")
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Connects `a.0` port `a.1` to `b.0` port `b.1` with a full-duplex
+    /// link. Panics if a port is out of range or already wired.
+    pub fn connect(&mut self, a: (NodeId, u16), b: (NodeId, u16), cfg: LinkConfig) -> LinkId {
+        let id = self.links.len() as u32;
+        for (end, (node, port)) in [(0u8, a), (1u8, b)] {
+            let slot = &mut self.nodes[node.0 as usize];
+            let p = slot
+                .ports
+                .get_mut(port as usize)
+                .unwrap_or_else(|| panic!("node {} has no port {}", node.0, port));
+            assert!(p.is_none(), "node {} port {} already wired", node.0, port);
+            *p = Some((id, end));
+        }
+        self.links.push(Link {
+            cfg,
+            state: LinkState::Up,
+            ends: [(a.0 .0, a.1), (b.0 .0, b.1)],
+            tx: Default::default(),
+        });
+        LinkId(id)
+    }
+
+    /// Number of links created so far (link ids are dense from 0).
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Administratively flips a link (fault injection).
+    pub fn set_link_state(&mut self, link: LinkId, state: LinkState) {
+        self.links[link.0 as usize].state = state;
+    }
+
+    /// Changes a link's random loss probability (fault injection).
+    pub fn set_link_loss(&mut self, link: LinkId, loss: f64) {
+        assert!((0.0..=1.0).contains(&loss));
+        self.links[link.0 as usize].cfg.loss = loss;
+    }
+
+    /// Creates a control channel between two nodes: reliable, ordered,
+    /// fixed-latency message delivery in both directions. This models the
+    /// paper's dedicated control network (NETCONF sessions, the OpenFlow
+    /// control channel).
+    pub fn ctrl_connect(&mut self, a: NodeId, b: NodeId, latency: Time) -> CtrlId {
+        let id = self.ctrls.len() as u32;
+        self.ctrls.push(Ctrl { ends: [a.0, b.0], latency });
+        CtrlId(id)
+    }
+
+    /// Sends `msg` on `conn` as `from`; it will be delivered to the other
+    /// endpoint after the channel latency.
+    pub fn ctrl_send_from(&mut self, from: NodeId, conn: CtrlId, msg: Vec<u8>) {
+        let c = &self.ctrls[conn.0 as usize];
+        let to = if c.ends[0] == from.0 {
+            c.ends[1]
+        } else if c.ends[1] == from.0 {
+            c.ends[0]
+        } else {
+            panic!("node {} is not an endpoint of ctrl {}", from.0, conn.0)
+        };
+        let at = self.clock + c.latency;
+        self.schedule(at, Event::CtrlDeliver { conn: conn.0, to_node: to, msg });
+    }
+
+    /// Injects a frame so it arrives at `node` on `port` at time `at`
+    /// (which must not be in the past). Returns the packet id for tracing.
+    pub fn inject(&mut self, node: NodeId, port: u16, data: Bytes, at: Time) -> u64 {
+        assert!(at >= self.clock, "cannot inject into the past");
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        let pkt = Packet { data, id, born_ns: at.as_ns() };
+        self.schedule(at, Event::PacketArrive { node: node.0, port, pkt });
+        id
+    }
+
+    /// Arms a timer for `node` (used by node constructors; inside a
+    /// dispatch use [`NodeCtx::set_timer`]).
+    pub fn set_timer_for(&mut self, node: NodeId, delay: Time, token: u64) {
+        let at = self.clock + delay;
+        self.schedule(at, Event::Timer { node: node.0, token });
+    }
+
+    fn schedule(&mut self, at: Time, ev: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, ev });
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.queue.peek().map(|s| s.at)
+    }
+
+    /// Runs until the queue drains or `limit` events have been dispatched.
+    /// Returns the number of events dispatched.
+    pub fn run(&mut self, limit: u64) -> u64 {
+        let mut n = 0;
+        while n < limit && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs while events are scheduled at or before `deadline`. Events
+    /// scheduled later stay queued; the clock advances to at most
+    /// `deadline`.
+    pub fn run_until(&mut self, deadline: Time) -> u64 {
+        let mut n = 0;
+        while let Some(t) = self.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        if self.clock < deadline {
+            self.clock = deadline;
+        }
+        n
+    }
+
+    /// Dispatches one event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(s) = self.queue.pop() else { return false };
+        debug_assert!(s.at >= self.clock, "time went backwards");
+        self.clock = s.at;
+        self.stats.events += 1;
+        match s.ev {
+            Event::PacketArrive { node, port, pkt } => {
+                self.stats.frames_delivered += 1;
+                if let Some(tr) = &mut self.trace {
+                    tr.record(TraceRecord {
+                        time: self.clock,
+                        node: NodeId(node),
+                        port,
+                        dir: TraceDir::Rx,
+                        len: pkt.len(),
+                        packet_id: pkt.id,
+                        data: tr.capture_payloads.then(|| pkt.data.clone()),
+                    });
+                }
+                self.dispatch(node, |logic, ctx| logic.on_packet(ctx, port, pkt));
+            }
+            Event::TxComplete { link, dir } => {
+                let tx = &mut self.links[link as usize].tx[dir as usize];
+                tx.queued = tx.queued.saturating_sub(1);
+            }
+            Event::Timer { node, token } => {
+                self.stats.timers += 1;
+                self.dispatch(node, |logic, ctx| logic.on_timer(ctx, token));
+            }
+            Event::CtrlDeliver { conn, to_node, msg } => {
+                self.stats.ctrl_messages += 1;
+                self.dispatch(to_node, |logic, ctx| logic.on_ctrl(ctx, CtrlId(conn), msg));
+            }
+        }
+        true
+    }
+
+    fn dispatch<F: FnOnce(&mut Box<dyn NodeLogic>, &mut NodeCtx<'_>)>(&mut self, node: u32, f: F) {
+        let mut logic = match self.nodes[node as usize].logic.take() {
+            Some(l) => l,
+            // Node was removed (e.g. crashed VNF container) — drop event.
+            None => return,
+        };
+        let mut ctx = NodeCtx { sim: self, node: NodeId(node) };
+        f(&mut logic, &mut ctx);
+        self.nodes[node as usize].logic = Some(logic);
+    }
+
+    /// Transmits `pkt` from `node` out of `port` over the attached link,
+    /// modelling queueing, serialization, propagation and loss.
+    pub fn transmit_from(&mut self, node: NodeId, port: u16, pkt: Packet) {
+        let slot = &self.nodes[node.0 as usize];
+        let Some(Some((link_idx, dir))) = slot.ports.get(port as usize).copied() else {
+            // Unwired port: silently drop, as a real interface with no
+            // cable would.
+            return;
+        };
+        self.stats.frames_sent += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.record(TraceRecord {
+                time: self.clock,
+                node,
+                port,
+                dir: TraceDir::Tx,
+                len: pkt.len(),
+                packet_id: pkt.id,
+                data: tr.capture_payloads.then(|| pkt.data.clone()),
+            });
+        }
+        let now = self.clock;
+        let link = &mut self.links[link_idx as usize];
+        if link.state == LinkState::Down {
+            self.stats.drops_link_down += 1;
+            Self::trace_drop(&mut self.trace, now, node, port, &pkt);
+            return;
+        }
+        if link.cfg.loss > 0.0 && self.rng.gen::<f64>() < link.cfg.loss {
+            self.stats.drops_loss += 1;
+            Self::trace_drop(&mut self.trace, now, node, port, &pkt);
+            return;
+        }
+        let tx = &mut link.tx[dir as usize];
+        if tx.queued >= link.cfg.queue_capacity {
+            self.stats.drops_queue += 1;
+            Self::trace_drop(&mut self.trace, now, node, port, &pkt);
+            return;
+        }
+        tx.queued += 1;
+        let start = if tx.next_free > now { tx.next_free } else { now };
+        let done = start.add_ns(link.cfg.serialize_ns(pkt.len()));
+        tx.next_free = done;
+        let (peer_node, peer_port) = link.ends[1 - dir as usize];
+        let arrive = done + link.cfg.delay;
+        self.schedule(done, Event::TxComplete { link: link_idx, dir });
+        self.schedule(arrive, Event::PacketArrive { node: peer_node, port: peer_port, pkt });
+    }
+
+    fn trace_drop(trace: &mut Option<Trace>, now: Time, node: NodeId, port: u16, pkt: &Packet) {
+        if let Some(tr) = trace {
+            tr.record(TraceRecord {
+                time: now,
+                node,
+                port,
+                dir: TraceDir::Drop,
+                len: pkt.len(),
+                packet_id: pkt.id,
+                data: None,
+            });
+        }
+    }
+
+    /// Allocates a fresh packet id (for nodes that originate traffic).
+    pub fn alloc_packet_id(&mut self) -> u64 {
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        id
+    }
+
+    /// Removes a node's logic entirely — events addressed to it are
+    /// discarded from then on. Models a crashed VNF container.
+    pub fn kill_node(&mut self, node: NodeId) -> Option<Box<dyn NodeLogic>> {
+        self.nodes[node.0 as usize].logic.take()
+    }
+}
+
+/// The capability surface a node sees while handling an event.
+pub struct NodeCtx<'a> {
+    sim: &'a mut Sim,
+    node: NodeId,
+}
+
+impl NodeCtx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.sim.clock
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Transmits a frame out of `port`.
+    pub fn send(&mut self, port: u16, pkt: Packet) {
+        self.sim.transmit_from(self.node, port, pkt);
+    }
+
+    /// Creates a packet stamped with a fresh id and the current time.
+    pub fn new_packet(&mut self, data: Bytes) -> Packet {
+        Packet { data, id: self.sim.alloc_packet_id(), born_ns: self.sim.clock.as_ns() }
+    }
+
+    /// Arms a timer that fires `delay` from now with `token`.
+    pub fn set_timer(&mut self, delay: Time, token: u64) {
+        self.sim.set_timer_for(self.node, delay, token);
+    }
+
+    /// Sends a message on a control channel this node terminates.
+    pub fn ctrl_send(&mut self, conn: CtrlId, msg: Vec<u8>) {
+        self.sim.ctrl_send_from(self.node, conn, msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+
+    /// Echoes every frame back out the port it came in on.
+    struct Reflector;
+    impl NodeLogic for Reflector {
+        fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: u16, pkt: Packet) {
+            ctx.send(port, pkt);
+        }
+    }
+
+    /// Counts frames and remembers arrival times.
+    #[derive(Default)]
+    struct Counter {
+        rx: Vec<(Time, u64)>,
+    }
+    impl NodeLogic for Counter {
+        fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: u16, pkt: Packet) {
+            self.rx.push((ctx.now(), pkt.id));
+        }
+    }
+
+    fn two_node_sim(cfg: LinkConfig) -> (Sim, NodeId, NodeId) {
+        let mut sim = Sim::new(1);
+        let a = sim.add_node("a", 1, Box::new(Reflector));
+        let b = sim.add_node("b", 1, Box::new(Counter::default()));
+        sim.connect((a, 0), (b, 0), cfg);
+        (sim, a, b)
+    }
+
+    #[test]
+    fn frame_crosses_link_with_correct_latency() {
+        let cfg = LinkConfig::lan(); // 1 Gbps, 50 us
+        let (mut sim, a, b) = two_node_sim(cfg);
+        let id = sim.inject(a, 0, Bytes::from(vec![0u8; 125]), Time::ZERO);
+        sim.run(1000);
+        let c = sim.node_as::<Counter>(b).unwrap();
+        assert_eq!(c.rx.len(), 1);
+        // Reflector forwards instantly at t=0; 125 B at 1 Gbps = 1 µs
+        // serialization + 50 µs propagation.
+        assert_eq!(c.rx[0].0, Time::from_us(51));
+        assert_eq!(c.rx[0].1, id);
+    }
+
+    #[test]
+    fn queueing_adds_serialization_backlog() {
+        let cfg = LinkConfig::lan(); // 1 µs per 125 B
+        let (mut sim, a, b) = two_node_sim(cfg);
+        for _ in 0..3 {
+            sim.inject(a, 0, Bytes::from(vec![0u8; 125]), Time::ZERO);
+        }
+        sim.run(1000);
+        let c = sim.node_as::<Counter>(b).unwrap();
+        let times: Vec<u64> = c.rx.iter().map(|(t, _)| t.as_us()).collect();
+        assert_eq!(times, vec![51, 52, 53]); // 1 µs apart behind one transmitter
+    }
+
+    #[test]
+    fn full_queue_tail_drops() {
+        let cfg = LinkConfig::lan().with_queue(2);
+        let (mut sim, a, _b) = two_node_sim(cfg);
+        for _ in 0..5 {
+            sim.inject(a, 0, Bytes::from(vec![0u8; 1500]), Time::ZERO);
+        }
+        sim.run(1000);
+        assert_eq!(sim.stats.drops_queue, 3);
+        assert_eq!(sim.stats.frames_delivered, 5 + 2); // 5 injected + 2 forwarded
+    }
+
+    #[test]
+    fn lossy_link_drops_statistically() {
+        let cfg = LinkConfig::lan().with_loss(0.5);
+        let (mut sim, a, _b) = two_node_sim(cfg);
+        for i in 0..1000 {
+            sim.inject(a, 0, Bytes::from(vec![0u8; 60]), Time::from_us(i * 100));
+        }
+        sim.run(100_000);
+        let lost = sim.stats.drops_loss;
+        assert!((300..700).contains(&lost), "loss {lost} wildly off 50%");
+    }
+
+    #[test]
+    fn link_down_drops_everything() {
+        let (mut sim, a, b) = two_node_sim(LinkConfig::lan());
+        sim.set_link_state(LinkId(0), LinkState::Down);
+        sim.inject(a, 0, Bytes::from(vec![0u8; 60]), Time::ZERO);
+        sim.run(100);
+        assert_eq!(sim.stats.drops_link_down, 1);
+        assert_eq!(sim.node_as::<Counter>(b).unwrap().rx.len(), 0);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_runs() {
+        let mk = || {
+            let cfg = LinkConfig::lan().with_loss(0.3);
+            let (mut sim, a, _) = two_node_sim(cfg);
+            for i in 0..200 {
+                sim.inject(a, 0, Bytes::from(vec![0u8; 100]), Time::from_us(i * 7));
+            }
+            sim.run(10_000);
+            sim.stats
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct T {
+            fired: Vec<u64>,
+        }
+        impl NodeLogic for T {
+            fn on_packet(&mut self, _: &mut NodeCtx<'_>, _: u16, _: Packet) {}
+            fn on_timer(&mut self, _: &mut NodeCtx<'_>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let mut sim = Sim::new(0);
+        let n = sim.add_node("t", 0, Box::new(T { fired: vec![] }));
+        sim.set_timer_for(n, Time::from_ms(3), 3);
+        sim.set_timer_for(n, Time::from_ms(1), 1);
+        sim.set_timer_for(n, Time::from_ms(2), 2);
+        sim.run(10);
+        assert_eq!(sim.node_as::<T>(n).unwrap().fired, vec![1, 2, 3]);
+        assert_eq!(sim.stats.timers, 3);
+    }
+
+    #[test]
+    fn ctrl_channel_delivers_with_latency() {
+        struct Recv {
+            got: Vec<(Time, Vec<u8>)>,
+        }
+        impl NodeLogic for Recv {
+            fn on_packet(&mut self, _: &mut NodeCtx<'_>, _: u16, _: Packet) {}
+            fn on_ctrl(&mut self, ctx: &mut NodeCtx<'_>, _c: CtrlId, msg: Vec<u8>) {
+                self.got.push((ctx.now(), msg));
+            }
+        }
+        let mut sim = Sim::new(0);
+        let a = sim.add_node("a", 0, Box::new(Recv { got: vec![] }));
+        let b = sim.add_node("b", 0, Box::new(Recv { got: vec![] }));
+        let c = sim.ctrl_connect(a, b, Time::from_ms(1));
+        sim.ctrl_send_from(a, c, b"hello".to_vec());
+        sim.run(10);
+        let rb = sim.node_as::<Recv>(b).unwrap();
+        assert_eq!(rb.got.len(), 1);
+        assert_eq!(rb.got[0].0, Time::from_ms(1));
+        assert_eq!(rb.got[0].1, b"hello");
+        assert!(sim.node_as::<Recv>(a).unwrap().got.is_empty());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let (mut sim, a, _b) = two_node_sim(LinkConfig::lan());
+        sim.inject(a, 0, Bytes::from(vec![0u8; 60]), Time::from_ms(10));
+        let n = sim.run_until(Time::from_ms(1));
+        assert_eq!(n, 0);
+        assert_eq!(sim.now(), Time::from_ms(1));
+        sim.run_until(Time::from_ms(20));
+        assert!(sim.stats.frames_delivered > 0);
+    }
+
+    #[test]
+    fn killed_node_discards_events() {
+        let (mut sim, a, b) = two_node_sim(LinkConfig::lan());
+        sim.inject(a, 0, Bytes::from(vec![0u8; 60]), Time::ZERO);
+        sim.kill_node(b);
+        sim.run(100); // must not panic
+        assert!(sim.nodes[b.0 as usize].logic.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already wired")]
+    fn double_wiring_a_port_panics() {
+        let mut sim = Sim::new(0);
+        let a = sim.add_node("a", 1, Box::new(Reflector));
+        let b = sim.add_node("b", 2, Box::new(Reflector));
+        sim.connect((a, 0), (b, 0), LinkConfig::lan());
+        sim.connect((a, 0), (b, 1), LinkConfig::lan());
+    }
+
+    #[test]
+    fn unwired_port_send_is_silent() {
+        let mut sim = Sim::new(0);
+        let a = sim.add_node("a", 3, Box::new(Reflector));
+        sim.inject(a, 2, Bytes::from(vec![0u8; 60]), Time::ZERO);
+        sim.run(10); // Reflector sends back out port 2, which is unwired
+        assert_eq!(sim.stats.frames_sent, 0);
+    }
+
+    #[test]
+    fn trace_records_tx_rx() {
+        let (mut sim, a, _b) = two_node_sim(LinkConfig::lan());
+        sim.enable_trace(100);
+        sim.inject(a, 0, Bytes::from(vec![0u8; 60]), Time::ZERO);
+        sim.run(100);
+        let tr = sim.trace.as_ref().unwrap();
+        assert!(tr.count(TraceDir::Rx) >= 2); // at a (inject) and at b
+        assert_eq!(tr.count(TraceDir::Tx), 1); // reflector's forward
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the emulator: time monotonicity, conservation of
+//! frames, determinism, serialization math.
+
+use bytes::Bytes;
+use escape_netem::{LinkConfig, NodeCtx, NodeLogic, Sim, Time};
+use escape_packet::Packet;
+use proptest::prelude::*;
+
+/// Records every arrival with its timestamp.
+#[derive(Default)]
+struct Recorder {
+    arrivals: Vec<(u64, u64)>, // (time ns, packet id)
+}
+
+impl NodeLogic for Recorder {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: u16, pkt: Packet) {
+        self.arrivals.push((ctx.now().as_ns(), pkt.id));
+    }
+}
+
+/// Forwarder that sends everything out port 0.
+struct Fwd;
+impl NodeLogic for Fwd {
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: u16, pkt: Packet) {
+        ctx.send(0, pkt);
+    }
+}
+
+fn arb_link() -> impl Strategy<Value = LinkConfig> {
+    (
+        1_000_000u64..10_000_000_000,
+        0u64..10_000,
+        0.0f64..0.5,
+        1usize..64,
+    )
+        .prop_map(|(bw, delay_us, loss, q)| {
+            LinkConfig::lan()
+                .with_bandwidth(bw)
+                .with_delay(Time::from_us(delay_us))
+                .with_loss(loss)
+                .with_queue(q)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arrival times at the receiver are non-decreasing and at least
+    /// (injection + serialization + propagation) for every frame.
+    #[test]
+    fn arrivals_are_ordered_and_not_early(
+        cfg in arb_link(),
+        sends in proptest::collection::vec((0u64..1_000_000, 40usize..1500), 1..50),
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Sim::new(seed);
+        let a = sim.add_node("a", 1, Box::new(Fwd));
+        let b = sim.add_node("b", 1, Box::new(Recorder::default()));
+        sim.connect((a, 0), (b, 0), cfg);
+        let min_latency = cfg.delay.as_ns();
+        for (t, len) in &sends {
+            sim.inject(a, 0, Bytes::from(vec![0u8; *len]), Time::from_ns(*t));
+        }
+        sim.run(1_000_000);
+        let rec = sim.node_as::<Recorder>(b).unwrap();
+        let mut last = 0;
+        for (t, _) in &rec.arrivals {
+            prop_assert!(*t >= last, "time went backwards");
+            last = *t;
+        }
+        // Every arrival is at least min_latency after the earliest send.
+        if let Some((first_arrival, _)) = rec.arrivals.first() {
+            let earliest_send = sends.iter().map(|(t, _)| *t).min().unwrap();
+            prop_assert!(*first_arrival >= earliest_send + min_latency);
+        }
+    }
+
+    /// sent = delivered + dropped, always.
+    #[test]
+    fn frames_are_conserved(
+        cfg in arb_link(),
+        n in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let mut sim = Sim::new(seed);
+        let a = sim.add_node("a", 1, Box::new(Fwd));
+        let b = sim.add_node("b", 1, Box::new(Recorder::default()));
+        sim.connect((a, 0), (b, 0), cfg);
+        for i in 0..n {
+            sim.inject(a, 0, Bytes::from(vec![0u8; 100]), Time::from_us(i as u64));
+        }
+        sim.run(1_000_000);
+        // a's forwards are the "sent" frames.
+        prop_assert_eq!(
+            sim.stats.frames_sent,
+            (sim.stats.frames_delivered - n as u64) + sim.stats.drops_total()
+        );
+    }
+
+    /// Identical seeds and workloads produce byte-identical stats.
+    #[test]
+    fn deterministic_under_loss(
+        seed in any::<u64>(),
+        n in 1usize..80,
+    ) {
+        let run = || {
+            let mut sim = Sim::new(seed);
+            let a = sim.add_node("a", 1, Box::new(Fwd));
+            let b = sim.add_node("b", 1, Box::new(Recorder::default()));
+            sim.connect((a, 0), (b, 0), LinkConfig::lan().with_loss(0.3));
+            for i in 0..n {
+                sim.inject(a, 0, Bytes::from(vec![0u8; 64]), Time::from_us(i as u64 * 3));
+            }
+            sim.run(100_000);
+            (sim.stats, sim.node_as::<Recorder>(b).unwrap().arrivals.clone())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The CPU model never completes work before `now`, and total_busy
+    /// equals the sum of submitted costs.
+    #[test]
+    fn cpu_model_accounting(
+        jobs in proptest::collection::vec((0u64..1_000_000, 1u64..100_000), 1..40),
+    ) {
+        use escape_netem::{CpuModel, IsolationMode};
+        let mut cpu = CpuModel::new();
+        let p = cpu.add_process(IsolationMode::None);
+        let mut total = 0u64;
+        let mut last_done = Time::ZERO;
+        for (at, cost) in &jobs {
+            let done = cpu.run(p, Time::from_ns(*at), *cost);
+            prop_assert!(done.as_ns() >= at + cost);
+            prop_assert!(done >= last_done, "completions are ordered");
+            last_done = done;
+            total += cost;
+        }
+        prop_assert_eq!(cpu.total_busy, total);
+        prop_assert_eq!(cpu.process_usage(p), total);
+    }
+}

@@ -1,0 +1,302 @@
+//! OpenFlow 1.0 actions and their application to frames.
+
+use crate::port;
+use escape_packet::{EtherType, EthernetFrame, Ipv4Packet, MacAddr, TcpSegment, UdpDatagram};
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+/// The OF 1.0 action subset ESCAPE uses. `Output` covers physical and
+/// virtual ports (see [`crate::port`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    Output { port: u16, max_len: u16 },
+    SetDlSrc(MacAddr),
+    SetDlDst(MacAddr),
+    SetNwSrc(Ipv4Addr),
+    SetNwDst(Ipv4Addr),
+    SetNwTos(u8),
+    SetTpSrc(u16),
+    SetTpDst(u16),
+}
+
+impl Action {
+    /// Shorthand for a plain output action.
+    pub fn out(port: u16) -> Action {
+        Action::Output { port, max_len: 0xffff }
+    }
+
+    /// Wire type code (`ofp_action_type`).
+    fn type_code(&self) -> u16 {
+        match self {
+            Action::Output { .. } => 0,
+            Action::SetDlSrc(_) => 4,
+            Action::SetDlDst(_) => 5,
+            Action::SetNwSrc(_) => 6,
+            Action::SetNwDst(_) => 7,
+            Action::SetNwTos(_) => 8,
+            Action::SetTpSrc(_) => 9,
+            Action::SetTpDst(_) => 10,
+        }
+    }
+
+    /// Serializes one action TLV.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        buf.extend_from_slice(&self.type_code().to_be_bytes());
+        buf.extend_from_slice(&0u16.to_be_bytes()); // length placeholder
+        match *self {
+            Action::Output { port, max_len } => {
+                buf.extend_from_slice(&port.to_be_bytes());
+                buf.extend_from_slice(&max_len.to_be_bytes());
+            }
+            Action::SetDlSrc(m) | Action::SetDlDst(m) => {
+                buf.extend_from_slice(&m.0);
+                buf.extend_from_slice(&[0u8; 6]); // pad to 16
+            }
+            Action::SetNwSrc(a) | Action::SetNwDst(a) => {
+                buf.extend_from_slice(&a.octets());
+            }
+            Action::SetNwTos(t) => {
+                buf.push(t);
+                buf.extend_from_slice(&[0u8; 3]);
+            }
+            Action::SetTpSrc(p) | Action::SetTpDst(p) => {
+                buf.extend_from_slice(&p.to_be_bytes());
+                buf.extend_from_slice(&[0u8; 2]);
+            }
+        }
+        let len = (buf.len() - start) as u16;
+        buf[start + 2..start + 4].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Parses one action TLV, returning the action and bytes consumed.
+    pub fn decode(b: &[u8]) -> Option<(Action, usize)> {
+        if b.len() < 4 {
+            return None;
+        }
+        let ty = u16::from_be_bytes([b[0], b[1]]);
+        let len = u16::from_be_bytes([b[2], b[3]]) as usize;
+        if len < 4 || !len.is_multiple_of(8) || b.len() < len {
+            return None;
+        }
+        let body = &b[4..len];
+        let mac = || {
+            let mut m = [0u8; 6];
+            m.copy_from_slice(&body[0..6]);
+            MacAddr(m)
+        };
+        let a = match ty {
+            0 if body.len() >= 4 => Action::Output {
+                port: u16::from_be_bytes([body[0], body[1]]),
+                max_len: u16::from_be_bytes([body[2], body[3]]),
+            },
+            4 if body.len() >= 6 => Action::SetDlSrc(mac()),
+            5 if body.len() >= 6 => Action::SetDlDst(mac()),
+            6 if body.len() >= 4 => Action::SetNwSrc(Ipv4Addr::new(body[0], body[1], body[2], body[3])),
+            7 if body.len() >= 4 => Action::SetNwDst(Ipv4Addr::new(body[0], body[1], body[2], body[3])),
+            8 if !body.is_empty() => Action::SetNwTos(body[0]),
+            9 if body.len() >= 2 => Action::SetTpSrc(u16::from_be_bytes([body[0], body[1]])),
+            10 if body.len() >= 2 => Action::SetTpDst(u16::from_be_bytes([body[0], body[1]])),
+            _ => return None,
+        };
+        Some((a, len))
+    }
+
+    /// Serializes a list of actions.
+    pub fn encode_list(actions: &[Action], buf: &mut Vec<u8>) {
+        for a in actions {
+            a.encode(buf);
+        }
+    }
+
+    /// Parses `len` bytes of action TLVs.
+    pub fn decode_list(mut b: &[u8]) -> Option<Vec<Action>> {
+        let mut v = Vec::new();
+        while !b.is_empty() {
+            let (a, used) = Action::decode(b)?;
+            v.push(a);
+            b = &b[used..];
+        }
+        Some(v)
+    }
+}
+
+/// Applies the header-rewrite actions (everything except `Output`) to a
+/// frame, re-encoding affected layers so checksums stay valid. Returns the
+/// rewritten frame and the list of output ports in action order.
+pub fn apply(actions: &[Action], frame: &Bytes) -> (Bytes, Vec<u16>) {
+    let mut outputs = Vec::new();
+    let mut data = frame.clone();
+    for a in actions {
+        match *a {
+            Action::Output { port, .. } => outputs.push(port),
+            Action::SetDlSrc(m) => {
+                if let Ok(mut eth) = EthernetFrame::decode(&data) {
+                    eth.src = m;
+                    data = eth.encode();
+                }
+            }
+            Action::SetDlDst(m) => {
+                if let Ok(mut eth) = EthernetFrame::decode(&data) {
+                    eth.dst = m;
+                    data = eth.encode();
+                }
+            }
+            Action::SetNwSrc(ip) => data = rewrite_ip(&data, |p| p.src = ip),
+            Action::SetNwDst(ip) => data = rewrite_ip(&data, |p| p.dst = ip),
+            Action::SetNwTos(tos) => data = rewrite_ip(&data, |p| p.dscp = tos >> 2),
+            Action::SetTpSrc(port_) => data = rewrite_tp(&data, |sp, _| *sp = port_),
+            Action::SetTpDst(port_) => data = rewrite_tp(&data, |_, dp| *dp = port_),
+        }
+    }
+    (data, outputs)
+}
+
+fn rewrite_ip(frame: &Bytes, f: impl FnOnce(&mut Ipv4Packet)) -> Bytes {
+    let Ok(eth) = EthernetFrame::decode(frame) else { return frame.clone() };
+    if eth.ethertype != EtherType::Ipv4 {
+        return frame.clone();
+    }
+    let Ok(mut ip) = Ipv4Packet::decode(&eth.payload) else { return frame.clone() };
+    // Transport checksums depend on the pseudo-header, so re-encode the
+    // transport layer when addresses change.
+    let (old_src, old_dst) = (ip.src, ip.dst);
+    f(&mut ip);
+    if (ip.src, ip.dst) != (old_src, old_dst) {
+        match ip.protocol {
+            escape_packet::IpProtocol::Udp => {
+                if let Ok(u) = UdpDatagram::decode(&ip.payload, old_src, old_dst) {
+                    ip.payload = u.encode(ip.src, ip.dst);
+                }
+            }
+            escape_packet::IpProtocol::Tcp => {
+                if let Ok(t) = TcpSegment::decode(&ip.payload, old_src, old_dst) {
+                    ip.payload = t.encode(ip.src, ip.dst);
+                }
+            }
+            _ => {}
+        }
+    }
+    EthernetFrame::new(eth.dst, eth.src, eth.ethertype, ip.encode()).encode()
+}
+
+fn rewrite_tp(frame: &Bytes, f: impl FnOnce(&mut u16, &mut u16)) -> Bytes {
+    let Ok(eth) = EthernetFrame::decode(frame) else { return frame.clone() };
+    if eth.ethertype != EtherType::Ipv4 {
+        return frame.clone();
+    }
+    let Ok(mut ip) = Ipv4Packet::decode(&eth.payload) else { return frame.clone() };
+    match ip.protocol {
+        escape_packet::IpProtocol::Udp => {
+            if let Ok(mut u) = UdpDatagram::decode(&ip.payload, ip.src, ip.dst) {
+                f(&mut u.src_port, &mut u.dst_port);
+                ip.payload = u.encode(ip.src, ip.dst);
+            }
+        }
+        escape_packet::IpProtocol::Tcp => {
+            if let Ok(mut t) = TcpSegment::decode(&ip.payload, ip.src, ip.dst) {
+                f(&mut t.src_port, &mut t.dst_port);
+                ip.payload = t.encode(ip.src, ip.dst);
+            }
+        }
+        _ => return frame.clone(),
+    }
+    EthernetFrame::new(eth.dst, eth.src, eth.ethertype, ip.encode()).encode()
+}
+
+/// True if `p` is one of the virtual output ports.
+pub fn is_virtual_port(p: u16) -> bool {
+    p >= port::IN_PORT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use escape_packet::PacketBuilder;
+
+    fn frame() -> Bytes {
+        PacketBuilder::udp(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1000,
+            2000,
+            Bytes::from_static(b"act"),
+        )
+    }
+
+    #[test]
+    fn tlv_roundtrip_all_kinds() {
+        let actions = vec![
+            Action::out(3),
+            Action::Output { port: port::CONTROLLER, max_len: 128 },
+            Action::SetDlSrc(MacAddr::from_id(9)),
+            Action::SetDlDst(MacAddr::from_id(10)),
+            Action::SetNwSrc(Ipv4Addr::new(1, 2, 3, 4)),
+            Action::SetNwDst(Ipv4Addr::new(5, 6, 7, 8)),
+            Action::SetNwTos(0xb8),
+            Action::SetTpSrc(1111),
+            Action::SetTpDst(2222),
+        ];
+        let mut buf = Vec::new();
+        Action::encode_list(&actions, &mut buf);
+        assert_eq!(buf.len() % 8, 0, "actions are 8-byte aligned");
+        let back = Action::decode_list(&buf).unwrap();
+        assert_eq!(actions, back);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Action::decode(&[0, 0, 0, 3]).is_none()); // len < 4
+        assert!(Action::decode(&[0, 99, 0, 8, 0, 0, 0, 0]).is_none()); // unknown type
+        assert!(Action::decode_list(&[0, 0, 0, 16, 0, 0]).is_none()); // truncated
+    }
+
+    #[test]
+    fn apply_rewrites_and_collects_outputs() {
+        let acts = [
+            Action::SetDlDst(MacAddr::from_id(42)),
+            Action::SetNwDst(Ipv4Addr::new(192, 168, 9, 9)),
+            Action::SetTpDst(53),
+            Action::out(7),
+            Action::out(9),
+        ];
+        let (data, outs) = apply(&acts, &frame());
+        assert_eq!(outs, vec![7, 9]);
+        let eth = EthernetFrame::decode(&data).unwrap();
+        assert_eq!(eth.dst, MacAddr::from_id(42));
+        let ip = Ipv4Packet::decode(&eth.payload).unwrap(); // checksum ok
+        assert_eq!(ip.dst, Ipv4Addr::new(192, 168, 9, 9));
+        let udp = UdpDatagram::decode(&ip.payload, ip.src, ip.dst).unwrap(); // checksum ok
+        assert_eq!(udp.dst_port, 53);
+        assert_eq!(&udp.payload[..], b"act");
+    }
+
+    #[test]
+    fn tos_rewrite_sets_dscp() {
+        let (data, _) = apply(&[Action::SetNwTos(46 << 2)], &frame());
+        let eth = EthernetFrame::decode(&data).unwrap();
+        let ip = Ipv4Packet::decode(&eth.payload).unwrap();
+        assert_eq!(ip.dscp, 46);
+    }
+
+    #[test]
+    fn rewrites_on_non_ip_are_noops() {
+        let arp = PacketBuilder::arp_request(
+            MacAddr::from_id(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let (data, outs) = apply(&[Action::SetNwDst(Ipv4Addr::new(9, 9, 9, 9)), Action::out(1)], &arp);
+        assert_eq!(data, arp);
+        assert_eq!(outs, vec![1]);
+    }
+
+    #[test]
+    fn virtual_port_predicate() {
+        assert!(is_virtual_port(port::FLOOD));
+        assert!(is_virtual_port(port::CONTROLLER));
+        assert!(!is_virtual_port(52));
+    }
+}

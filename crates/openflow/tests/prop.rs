@@ -1,0 +1,241 @@
+//! Property tests for OpenFlow: wire round trips under arbitrary field
+//! values, decoder robustness, match/table invariants.
+
+use escape_netem::Time;
+use escape_openflow::table::FlowEntry;
+use escape_openflow::{Action, FlowModCommand, FlowTable, Match, OfMessage, PacketInReason};
+use escape_packet::{FlowKey, MacAddr, PacketBuilder};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_match() -> impl Strategy<Value = Match> {
+    (
+        proptest::option::of(any::<u16>()),
+        proptest::option::of(arb_mac()),
+        proptest::option::of(arb_mac()),
+        proptest::option::of(any::<u16>()),
+        proptest::option::of((arb_ip(), 0u8..=32)),
+        proptest::option::of((arb_ip(), 0u8..=32)),
+        proptest::option::of(any::<u16>()),
+        proptest::option::of(any::<u16>()),
+        proptest::option::of(any::<u8>()),
+    )
+        .prop_map(
+            |(in_port, dl_src, dl_dst, dl_type, nw_src, nw_dst, tp_src, tp_dst, nw_proto)| Match {
+                in_port,
+                dl_src,
+                dl_dst,
+                dl_vlan: None,
+                dl_type,
+                nw_tos: None,
+                nw_proto,
+                nw_src,
+                nw_dst,
+                tp_src,
+                tp_dst,
+            },
+        )
+}
+
+fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u16>().prop_map(Action::out),
+            arb_mac().prop_map(Action::SetDlSrc),
+            arb_mac().prop_map(Action::SetDlDst),
+            arb_ip().prop_map(Action::SetNwSrc),
+            arb_ip().prop_map(Action::SetNwDst),
+            any::<u16>().prop_map(Action::SetTpDst),
+        ],
+        0..6,
+    )
+}
+
+/// A nw_src/nw_dst prefix of length 0 is semantically fully wildcarded
+/// and decodes as `None`; normalize for round-trip comparison.
+fn normalize(mut m: Match) -> Match {
+    if matches!(m.nw_src, Some((_, 0))) {
+        m.nw_src = None;
+    }
+    if matches!(m.nw_dst, Some((_, 0))) {
+        m.nw_dst = None;
+    }
+    // Address bits outside the prefix are not carried by the wire
+    // format's wildcard semantics; mask them for comparison.
+    let mask_net = |o: Option<(Ipv4Addr, u8)>| {
+        o.map(|(a, l)| {
+            let mask = if l == 0 { 0 } else { u32::MAX << (32 - l as u32) };
+            (Ipv4Addr::from(u32::from(a) & mask), l)
+        })
+    };
+    m.nw_src = mask_net(m.nw_src);
+    m.nw_dst = mask_net(m.nw_dst);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn match_wire_roundtrip(m in arb_match()) {
+        let m = normalize(m);
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        let (back, used) = Match::decode(&buf).unwrap();
+        prop_assert_eq!(used, 40);
+        prop_assert_eq!(normalize(back), m);
+    }
+
+    #[test]
+    fn flow_mod_wire_roundtrip(
+        m in arb_match(),
+        actions in arb_actions(),
+        cookie in any::<u64>(),
+        prio in any::<u16>(),
+        idle in any::<u16>(),
+        hard in any::<u16>(),
+        xid in any::<u32>(),
+    ) {
+        let msg = OfMessage::FlowMod {
+            match_: normalize(m),
+            cookie,
+            command: FlowModCommand::Add,
+            idle_timeout: idle,
+            hard_timeout: hard,
+            priority: prio,
+            buffer_id: 0xffff_ffff,
+            out_port: 0xffff,
+            flags: 0,
+            actions,
+        };
+        let wire = msg.encode(xid);
+        let (back, back_xid) = OfMessage::decode(&wire).unwrap();
+        prop_assert_eq!(back_xid, xid);
+        match (msg, back) {
+            (
+                OfMessage::FlowMod { match_: m1, actions: a1, cookie: c1, .. },
+                OfMessage::FlowMod { match_: m2, actions: a2, cookie: c2, .. },
+            ) => {
+                prop_assert_eq!(normalize(m1), normalize(m2));
+                prop_assert_eq!(a1, a2);
+                prop_assert_eq!(c1, c2);
+            }
+            _ => prop_assert!(false, "variant changed in roundtrip"),
+        }
+    }
+
+    #[test]
+    fn packet_in_roundtrip(
+        buffer_id in any::<u32>(),
+        in_port in any::<u16>(),
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        xid in any::<u32>(),
+    ) {
+        let msg = OfMessage::PacketIn {
+            buffer_id,
+            total_len: data.len() as u16,
+            in_port,
+            reason: PacketInReason::NoMatch,
+            data: bytes::Bytes::from(data),
+        };
+        let wire = msg.encode(xid);
+        let (back, _) = OfMessage::decode(&wire).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = OfMessage::decode(&data);
+        let _ = Match::decode(&data);
+        let _ = Action::decode_list(&data);
+    }
+
+    /// Corrupting any single byte of an encoded message never panics the
+    /// decoder.
+    #[test]
+    fn bitflip_robustness(
+        m in arb_match(),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let msg = OfMessage::FlowMod {
+            match_: m,
+            cookie: 1,
+            command: FlowModCommand::Add,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            priority: 1,
+            buffer_id: 0xffff_ffff,
+            out_port: 0xffff,
+            flags: 0,
+            actions: vec![Action::out(1)],
+        };
+        let mut wire = msg.encode(1);
+        let pos = ((wire.len() - 1) as f64 * pos_frac) as usize;
+        wire[pos] ^= flip;
+        let _ = OfMessage::decode(&wire);
+    }
+
+    /// `Match::exact_from_key` always matches its own source frame, and
+    /// `matches` is consistent with `is_subset_of`: if a ⊆ b and a
+    /// matches a frame... then b matches it too.
+    #[test]
+    fn subset_implies_match_superset(
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        in_port in any::<u16>(),
+        src in arb_ip(),
+        dst in arb_ip(),
+    ) {
+        let frame = PacketBuilder::udp(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            src,
+            dst,
+            sport,
+            dport,
+            bytes::Bytes::from_static(b"p"),
+        );
+        let key = FlowKey::extract(&frame).unwrap();
+        let exact = Match::exact_from_key(&key, in_port);
+        prop_assert!(exact.matches(&key, in_port));
+        let broader = Match::any().with_dl_type(0x0800).with_nw_dst(dst, 32);
+        prop_assert!(exact.is_subset_of(&broader));
+        prop_assert!(broader.matches(&key, in_port), "superset must match too");
+    }
+
+    /// Flow-table counters: matched + missed equals total lookups.
+    #[test]
+    fn table_lookup_accounting(
+        entries in proptest::collection::vec((arb_match(), any::<u16>()), 0..20),
+        lookups in proptest::collection::vec((any::<u16>(), any::<u16>()), 1..50),
+    ) {
+        let mut t = FlowTable::new();
+        for (m, p) in entries {
+            t.add(FlowEntry::new(m, p, vec![Action::out(1)], Time::ZERO));
+        }
+        for (dport, in_port) in &lookups {
+            let frame = PacketBuilder::udp(
+                MacAddr::from_id(1),
+                MacAddr::from_id(2),
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                7,
+                *dport,
+                bytes::Bytes::from_static(b"x"),
+            );
+            let key = FlowKey::extract(&frame).unwrap();
+            let _ = t.lookup(&key, *in_port, 60, Time::ZERO);
+        }
+        prop_assert_eq!(t.matched + t.missed, lookups.len() as u64);
+    }
+}

@@ -1,0 +1,315 @@
+//! The orchestration engine: commits embeddings against the resource view.
+
+use crate::algo::{MapError, MappingAlgorithm};
+use crate::state::ResourceState;
+use escape_sg::{Chain, ResourceTopology, ServiceGraph};
+use std::collections::HashMap;
+
+/// One routed leg of a chain: the full node path (SAP/container/switch
+/// names, endpoints included) between two consecutive chain hops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSegment {
+    pub nodes: Vec<String>,
+    pub delay_us: u64,
+}
+
+/// A fully mapped chain: where each VNF goes and how traffic is routed.
+#[derive(Debug, Clone)]
+pub struct ChainMapping {
+    pub chain: Chain,
+    /// (vnf name, container name), in chain order.
+    pub placement: Vec<(String, String)>,
+    /// One segment per consecutive hop pair.
+    pub segments: Vec<PathSegment>,
+    /// Sum of segment delays.
+    pub total_delay_us: u64,
+}
+
+impl ChainMapping {
+    /// Container hosting a given VNF.
+    pub fn container_of(&self, vnf: &str) -> Option<&str> {
+        self.placement.iter().find(|(v, _)| v == vnf).map(|(_, c)| c.as_str())
+    }
+
+    /// Total switch-hops across all segments (a path-stretch metric).
+    pub fn hop_count(&self) -> usize {
+        self.segments.iter().map(|s| s.nodes.len().saturating_sub(1)).sum()
+    }
+}
+
+/// Routes a chain given a placement: shortest residual-capacity paths
+/// between consecutive hop locations, with the delay budget enforced.
+pub fn route_chain(
+    topo: &ResourceTopology,
+    chain: &Chain,
+    locate: &dyn Fn(&str) -> Option<String>,
+    state: &ResourceState,
+) -> Result<(Vec<PathSegment>, u64), MapError> {
+    let mut segments = Vec::new();
+    let mut total = 0u64;
+    for w in chain.hops.windows(2) {
+        let from = locate(&w[0]).ok_or_else(|| MapError::UnknownNode(w[0].clone()))?;
+        let to = locate(&w[1]).ok_or_else(|| MapError::UnknownNode(w[1].clone()))?;
+        if from == to {
+            segments.push(PathSegment { nodes: vec![from], delay_us: 0 });
+            continue;
+        }
+        let (nodes, delay) = topo
+            .shortest_path(&from, &to, chain.bandwidth_mbps, Some(&state.bw))
+            .ok_or_else(|| MapError::NoPath { from: from.clone(), to: to.clone() })?;
+        total += delay;
+        segments.push(PathSegment { nodes, delay_us: delay });
+    }
+    if let Some(budget) = chain.max_delay_us {
+        if total > budget {
+            return Err(MapError::DelayExceeded { got: total, budget });
+        }
+    }
+    Ok((segments, total))
+}
+
+/// The orchestrator: owns the resource view and a pluggable algorithm.
+pub struct Orchestrator {
+    topo: ResourceTopology,
+    state: ResourceState,
+    algorithm: Box<dyn MappingAlgorithm>,
+    committed: HashMap<String, (ChainMapping, Vec<(String, f64, u64)>)>,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator over a validated topology.
+    pub fn new(topo: ResourceTopology, algorithm: Box<dyn MappingAlgorithm>) -> Result<Orchestrator, String> {
+        topo.validate()?;
+        let state = ResourceState::from_topology(&topo);
+        Ok(Orchestrator { topo, state, algorithm, committed: HashMap::new() })
+    }
+
+    /// The algorithm in use.
+    pub fn algorithm_name(&self) -> &'static str {
+        self.algorithm.name()
+    }
+
+    /// Swaps the mapping algorithm ("easily changed or customized").
+    pub fn set_algorithm(&mut self, algorithm: Box<dyn MappingAlgorithm>) {
+        self.algorithm = algorithm;
+    }
+
+    /// The current residual view.
+    pub fn state(&self) -> &ResourceState {
+        &self.state
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &ResourceTopology {
+        &self.topo
+    }
+
+    /// Embeds every chain of a service graph; successful chains commit
+    /// resources immediately (first-come-first-served within the graph).
+    /// Returns (accepted mappings, rejections with reasons).
+    pub fn embed_graph(
+        &mut self,
+        sg: &ServiceGraph,
+    ) -> (Vec<ChainMapping>, Vec<(String, MapError)>) {
+        let mut ok = Vec::new();
+        let mut rejected = Vec::new();
+        for chain in sg.chains.clone() {
+            match self.embed_chain(sg, &chain) {
+                Ok(m) => ok.push(m),
+                Err(e) => rejected.push((chain.name.clone(), e)),
+            }
+        }
+        (ok, rejected)
+    }
+
+    /// Embeds one chain and commits its resources.
+    pub fn embed_chain(&mut self, sg: &ServiceGraph, chain: &Chain) -> Result<ChainMapping, MapError> {
+        if self.committed.contains_key(&chain.name) {
+            return Err(MapError::Infeasible(format!("chain {:?} already embedded", chain.name)));
+        }
+        let mapping = self.algorithm.map_chain(&self.topo, sg, chain, &self.state)?;
+        // Commit: compute then bandwidth, rolling back on failure.
+        let mut reserved_compute: Vec<(String, f64, u64)> = Vec::new();
+        for (vnf, container) in &mapping.placement {
+            let req = sg
+                .vnf_named(vnf)
+                .ok_or_else(|| MapError::UnknownNode(vnf.clone()))?;
+            if let Err(e) = self.state.reserve_compute(container, req.cpu, req.mem_mb) {
+                for (c, cpu, mem) in &reserved_compute {
+                    self.state.release_compute(c, *cpu, *mem);
+                }
+                return Err(MapError::Infeasible(e));
+            }
+            reserved_compute.push((container.clone(), req.cpu, req.mem_mb));
+        }
+        let mut reserved_paths: Vec<&PathSegment> = Vec::new();
+        for seg in &mapping.segments {
+            if let Err(e) = self.state.reserve_path(&seg.nodes, chain.bandwidth_mbps) {
+                for s in reserved_paths {
+                    self.state.release_path(&s.nodes, chain.bandwidth_mbps);
+                }
+                for (c, cpu, mem) in &reserved_compute {
+                    self.state.release_compute(c, *cpu, *mem);
+                }
+                return Err(MapError::Infeasible(e));
+            }
+            reserved_paths.push(seg);
+        }
+        self.committed
+            .insert(chain.name.clone(), (mapping.clone(), reserved_compute));
+        Ok(mapping)
+    }
+
+    /// Releases an embedded chain's resources. Returns the mapping if the
+    /// chain was known.
+    pub fn release_chain(&mut self, chain_name: &str) -> Option<ChainMapping> {
+        let (mapping, compute) = self.committed.remove(chain_name)?;
+        for (c, cpu, mem) in compute {
+            self.state.release_compute(&c, cpu, mem);
+        }
+        for seg in &mapping.segments {
+            self.state.release_path(&seg.nodes, mapping.chain.bandwidth_mbps);
+        }
+        Some(mapping)
+    }
+
+    /// Names of currently embedded chains.
+    pub fn embedded_chains(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.committed.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Fraction of total container CPU currently reserved.
+    pub fn cpu_utilization(&self) -> f64 {
+        let total: f64 = ResourceState::from_topology(&self.topo).total_free_cpu();
+        if total == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.state.total_free_cpu() / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::GreedyFirstFit;
+    use escape_sg::topo::builders;
+
+    fn sg() -> ServiceGraph {
+        ServiceGraph::new()
+            .sap("sap0")
+            .sap("sap1")
+            .vnf("fw", "firewall", 1.0, 256)
+            .vnf("mon", "monitor", 0.5, 64)
+            .chain("c1", &["sap0", "fw", "mon", "sap1"], 100.0, Some(10_000))
+    }
+
+    #[test]
+    fn embed_and_release_round_trip() {
+        let topo = builders::linear(3, 4.0);
+        let mut orch = Orchestrator::new(topo, Box::new(GreedyFirstFit)).unwrap();
+        let free0 = orch.state().total_free_cpu();
+        let (ok, rejected) = orch.embed_graph(&sg());
+        assert_eq!(ok.len(), 1, "rejected: {rejected:?}");
+        assert!(rejected.is_empty());
+        let m = &ok[0];
+        assert_eq!(m.placement.len(), 2);
+        assert!(m.total_delay_us > 0);
+        assert!(orch.state().total_free_cpu() < free0);
+        assert_eq!(orch.embedded_chains(), vec!["c1"]);
+        assert!(orch.cpu_utilization() > 0.0);
+
+        orch.release_chain("c1").unwrap();
+        assert_eq!(orch.state().total_free_cpu(), free0);
+        assert!(orch.embedded_chains().is_empty());
+        assert!(orch.release_chain("c1").is_none());
+    }
+
+    #[test]
+    fn double_embed_is_refused() {
+        let topo = builders::linear(3, 4.0);
+        let mut orch = Orchestrator::new(topo, Box::new(GreedyFirstFit)).unwrap();
+        let g = sg();
+        orch.embed_chain(&g, &g.chains[0]).unwrap();
+        assert!(matches!(
+            orch.embed_chain(&g, &g.chains[0]),
+            Err(MapError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn capacity_exhaustion_rejects_later_chains() {
+        // Containers have 1 CPU each; each chain needs 1.5 total.
+        let topo = builders::linear(2, 1.0);
+        let mut orch = Orchestrator::new(topo, Box::new(GreedyFirstFit)).unwrap();
+        let mut g = ServiceGraph::new().sap("sap0").sap("sap1");
+        for i in 0..4 {
+            g = g
+                .vnf(&format!("fw{i}"), "firewall", 1.0, 64)
+                .chain(&format!("c{i}"), &["sap0", &format!("fw{i}"), "sap1"], 10.0, None);
+        }
+        let (ok, rejected) = orch.embed_graph(&g);
+        assert_eq!(ok.len(), 2, "two 1-cpu containers fit two 1-cpu vnfs");
+        assert_eq!(rejected.len(), 2);
+        assert!(matches!(rejected[0].1, MapError::NoCapacity(_)));
+    }
+
+    #[test]
+    fn bandwidth_exhaustion_rejects() {
+        // 1000 Mbit/s links; each chain reserves 400 Mbit/s into and out
+        // of its container, so one chain saturates c0's uplink (800 of
+        // 1000) and greedy — which keeps picking c0 by CPU — fails to
+        // route the rest.
+        let mk_graph = || {
+            let mut g = ServiceGraph::new().sap("sap0").sap("sap1");
+            for i in 0..3 {
+                g = g
+                    .vnf(&format!("v{i}"), "monitor", 0.1, 16)
+                    .chain(&format!("c{i}"), &["sap0", &format!("v{i}"), "sap1"], 400.0, None);
+            }
+            g
+        };
+        let mut orch =
+            Orchestrator::new(builders::linear(2, 8.0), Box::new(GreedyFirstFit)).unwrap();
+        let (ok, rejected) = orch.embed_graph(&mk_graph());
+        assert_eq!(ok.len(), 1);
+        assert_eq!(rejected.len(), 2);
+
+        // A locality-aware algorithm spreads to c1 and fits a second
+        // chain (sap0-s0 has 1000/400 = 2 chains of headroom).
+        let mut orch = Orchestrator::new(
+            builders::linear(2, 8.0),
+            Box::new(crate::algo::NearestNeighbor),
+        )
+        .unwrap();
+        let (ok, rejected) = orch.embed_graph(&mk_graph());
+        assert_eq!(ok.len(), 2, "rejected: {rejected:?}");
+        assert_eq!(rejected.len(), 1);
+    }
+
+    #[test]
+    fn delay_budget_rejects() {
+        let topo = builders::linear(8, 4.0); // 50 µs per switch hop
+        let mut orch = Orchestrator::new(topo, Box::new(GreedyFirstFit)).unwrap();
+        let g = ServiceGraph::new()
+            .sap("sap0")
+            .sap("sap1")
+            .vnf("v", "monitor", 0.5, 32)
+            .chain("tight", &["sap0", "v", "sap1"], 10.0, Some(50));
+        let (ok, rejected) = orch.embed_graph(&g);
+        assert!(ok.is_empty());
+        assert!(matches!(rejected[0].1, MapError::DelayExceeded { .. }));
+    }
+
+    #[test]
+    fn hop_count_metric() {
+        let topo = builders::linear(3, 4.0);
+        let mut orch = Orchestrator::new(topo, Box::new(GreedyFirstFit)).unwrap();
+        let g = sg();
+        let m = orch.embed_chain(&g, &g.chains[0]).unwrap();
+        assert!(m.hop_count() >= 2);
+        assert_eq!(m.container_of("fw"), Some("c0"));
+        assert!(m.container_of("ghost").is_none());
+    }
+}

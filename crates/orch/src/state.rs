@@ -1,0 +1,166 @@
+//! Residual resource tracking.
+
+use escape_sg::topo::{link_key, TopoNodeKind};
+use escape_sg::ResourceTopology;
+use std::collections::HashMap;
+
+/// Residual CPU per container and bandwidth per link. The orchestrator's
+/// "global network and resource view".
+#[derive(Debug, Clone, Default)]
+pub struct ResourceState {
+    /// Residual CPU cores per container.
+    pub cpu: HashMap<String, f64>,
+    /// Residual memory MB per container.
+    pub mem: HashMap<String, u64>,
+    /// Residual bandwidth (Mbit/s) per canonical link key.
+    pub bw: HashMap<(String, String), f64>,
+}
+
+impl ResourceState {
+    /// Full capacities from a topology.
+    pub fn from_topology(topo: &ResourceTopology) -> ResourceState {
+        let mut s = ResourceState::default();
+        for n in &topo.nodes {
+            if let TopoNodeKind::Container { cpu, mem_mb } = n.kind {
+                s.cpu.insert(n.name.clone(), cpu);
+                s.mem.insert(n.name.clone(), mem_mb);
+            }
+        }
+        for l in &topo.links {
+            // Parallel links accumulate.
+            *s.bw.entry(link_key(&l.a, &l.b)).or_insert(0.0) += l.bandwidth_mbps;
+        }
+        s
+    }
+
+    /// Residual CPU of a container (0 if unknown).
+    pub fn cpu_of(&self, container: &str) -> f64 {
+        self.cpu.get(container).copied().unwrap_or(0.0)
+    }
+
+    /// Residual bandwidth of a link (0 if unknown).
+    pub fn bw_of(&self, a: &str, b: &str) -> f64 {
+        self.bw.get(&link_key(a, b)).copied().unwrap_or(0.0)
+    }
+
+    /// True if `container` can host a (cpu, mem) demand.
+    pub fn fits(&self, container: &str, cpu: f64, mem_mb: u64) -> bool {
+        self.cpu_of(container) >= cpu && self.mem.get(container).copied().unwrap_or(0) >= mem_mb
+    }
+
+    /// Reserves compute on a container. Fails without mutating if it
+    /// doesn't fit.
+    pub fn reserve_compute(&mut self, container: &str, cpu: f64, mem_mb: u64) -> Result<(), String> {
+        if !self.fits(container, cpu, mem_mb) {
+            return Err(format!("container {container:?} cannot fit cpu={cpu} mem={mem_mb}"));
+        }
+        *self.cpu.get_mut(container).unwrap() -= cpu;
+        *self.mem.get_mut(container).unwrap() -= mem_mb;
+        Ok(())
+    }
+
+    /// Releases compute.
+    pub fn release_compute(&mut self, container: &str, cpu: f64, mem_mb: u64) {
+        if let Some(c) = self.cpu.get_mut(container) {
+            *c += cpu;
+        }
+        if let Some(m) = self.mem.get_mut(container) {
+            *m += mem_mb;
+        }
+    }
+
+    /// Reserves bandwidth along a node path (consecutive pairs). Fails
+    /// without partial effects if any hop lacks capacity.
+    pub fn reserve_path(&mut self, path: &[String], mbps: f64) -> Result<(), String> {
+        for w in path.windows(2) {
+            if self.bw_of(&w[0], &w[1]) < mbps {
+                return Err(format!("link {}-{} lacks {mbps} Mbit/s", w[0], w[1]));
+            }
+        }
+        for w in path.windows(2) {
+            *self.bw.get_mut(&link_key(&w[0], &w[1])).unwrap() -= mbps;
+        }
+        Ok(())
+    }
+
+    /// Releases bandwidth along a path.
+    pub fn release_path(&mut self, path: &[String], mbps: f64) {
+        for w in path.windows(2) {
+            if let Some(b) = self.bw.get_mut(&link_key(&w[0], &w[1])) {
+                *b += mbps;
+            }
+        }
+    }
+
+    /// Containers sorted by name (deterministic iteration for the
+    /// algorithms).
+    pub fn containers_sorted(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.cpu.keys().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total CPU still free.
+    pub fn total_free_cpu(&self) -> f64 {
+        self.cpu.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use escape_sg::topo::builders;
+
+    #[test]
+    fn capacities_come_from_topology() {
+        let t = builders::linear(3, 4.0);
+        let s = ResourceState::from_topology(&t);
+        assert_eq!(s.cpu_of("c0"), 4.0);
+        assert_eq!(s.bw_of("s0", "s1"), 1000.0);
+        assert_eq!(s.bw_of("s1", "s0"), 1000.0, "canonical key is symmetric");
+        assert_eq!(s.cpu_of("ghost"), 0.0);
+    }
+
+    #[test]
+    fn reserve_and_release_compute() {
+        let t = builders::linear(2, 2.0);
+        let mut s = ResourceState::from_topology(&t);
+        s.reserve_compute("c0", 1.5, 100).unwrap();
+        assert!((s.cpu_of("c0") - 0.5).abs() < 1e-9);
+        assert!(s.reserve_compute("c0", 1.0, 0).is_err());
+        s.release_compute("c0", 1.5, 100);
+        assert_eq!(s.cpu_of("c0"), 2.0);
+    }
+
+    #[test]
+    fn memory_is_enforced() {
+        let t = builders::linear(2, 8.0);
+        let mut s = ResourceState::from_topology(&t);
+        assert!(s.reserve_compute("c0", 1.0, 10_000_000).is_err());
+        assert!(s.fits("c0", 1.0, 2048));
+        assert!(!s.fits("c0", 1.0, 2049));
+    }
+
+    #[test]
+    fn path_reservation_is_atomic() {
+        let t = builders::linear(3, 2.0);
+        let mut s = ResourceState::from_topology(&t);
+        let path: Vec<String> = ["sap0", "s0", "s1", "s2", "sap1"].map(String::from).to_vec();
+        s.reserve_path(&path, 600.0).unwrap();
+        assert_eq!(s.bw_of("s0", "s1"), 400.0);
+        // Second reservation exceeds the s0-s1 residual: nothing changes.
+        let before = s.bw.clone();
+        assert!(s.reserve_path(&path, 500.0).is_err());
+        assert_eq!(s.bw, before);
+        s.release_path(&path, 600.0);
+        assert_eq!(s.bw_of("s0", "s1"), 1000.0);
+    }
+
+    #[test]
+    fn containers_sorted_is_deterministic() {
+        let t = builders::star(4, 1.0);
+        let s = ResourceState::from_topology(&t);
+        assert_eq!(s.containers_sorted(), vec!["c0", "c1", "c2", "c3"]);
+        assert_eq!(s.total_free_cpu(), 4.0);
+    }
+}

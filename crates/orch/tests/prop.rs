@@ -1,0 +1,132 @@
+//! Property tests for the orchestrator: every accepted mapping satisfies
+//! the resource constraints; embed/release is lossless; algorithms are
+//! deterministic.
+
+use escape_orch::workload::{random_service_graph, WorkloadSpec};
+use escape_orch::{
+    BestFitCpu, GreedyFirstFit, MappingAlgorithm, NearestNeighbor, Orchestrator, ResourceState,
+};
+use escape_sg::topo::{builders, TopoNodeKind};
+use proptest::prelude::*;
+
+fn spec(seed: u64, chains: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        chains,
+        vnfs_per_chain: (1, 3),
+        cpu: (0.25, 1.5),
+        bandwidth_mbps: (10.0, 120.0),
+        max_delay_us: None,
+        seed,
+    }
+}
+
+fn algo(which: u8) -> Box<dyn MappingAlgorithm> {
+    match which % 3 {
+        0 => Box::new(GreedyFirstFit),
+        1 => Box::new(BestFitCpu),
+        _ => Box::new(NearestNeighbor),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After embedding, no container is over-committed and no link's
+    /// residual bandwidth is negative; accepted placements sum correctly.
+    #[test]
+    fn accepted_mappings_respect_capacity(
+        seed in any::<u64>(),
+        leaves in 3usize..10,
+        chains in 1usize..12,
+        which in any::<u8>(),
+    ) {
+        let topo = builders::star(leaves, 4.0);
+        let sg = random_service_graph(&topo, &spec(seed, chains));
+        let mut orch = Orchestrator::new(topo.clone(), algo(which)).unwrap();
+        let (ok, rejected) = orch.embed_graph(&sg);
+        prop_assert_eq!(ok.len() + rejected.len(), chains);
+
+        // Residuals never negative.
+        for (c, &cpu) in &orch.state().cpu {
+            prop_assert!(cpu >= -1e-9, "container {c} over-committed: {cpu}");
+        }
+        for (l, &bw) in &orch.state().bw {
+            prop_assert!(bw >= -1e-9, "link {l:?} over-committed: {bw}");
+        }
+
+        // Sum of accepted CPU equals capacity minus residual.
+        let full = ResourceState::from_topology(&topo);
+        let placed_cpu: f64 = ok
+            .iter()
+            .flat_map(|m| m.placement.iter())
+            .map(|(v, _)| sg.vnf_named(v).unwrap().cpu)
+            .sum();
+        let used = full.total_free_cpu() - orch.state().total_free_cpu();
+        prop_assert!((placed_cpu - used).abs() < 1e-6, "{placed_cpu} vs {used}");
+
+        // Every accepted placement lands on a real container.
+        for m in &ok {
+            for (_, c) in &m.placement {
+                let is_container = matches!(
+                    topo.node(c).map(|n| &n.kind),
+                    Some(TopoNodeKind::Container { .. })
+                );
+                prop_assert!(is_container, "placement on non-container");
+            }
+            // Segments connect consecutive hop locations.
+            prop_assert_eq!(m.segments.len(), m.chain.hops.len() - 1);
+        }
+    }
+
+    /// Releasing everything restores the pristine resource state.
+    #[test]
+    fn release_restores_state(
+        seed in any::<u64>(),
+        which in any::<u8>(),
+    ) {
+        let topo = builders::tree(2, 8.0);
+        let sg = random_service_graph(&topo, &spec(seed, 6));
+        let mut orch = Orchestrator::new(topo.clone(), algo(which)).unwrap();
+        let pristine_cpu = orch.state().total_free_cpu();
+        let pristine_bw: f64 = orch.state().bw.values().sum();
+        let (ok, _) = orch.embed_graph(&sg);
+        for m in &ok {
+            orch.release_chain(&m.chain.name);
+        }
+        prop_assert!((orch.state().total_free_cpu() - pristine_cpu).abs() < 1e-6);
+        let bw_now: f64 = orch.state().bw.values().sum();
+        prop_assert!((bw_now - pristine_bw).abs() < 1e-3);
+        prop_assert!(orch.embedded_chains().is_empty());
+    }
+
+    /// Algorithms are deterministic: same inputs, same outputs.
+    #[test]
+    fn algorithms_are_deterministic(seed in any::<u64>(), which in any::<u8>()) {
+        let topo = builders::star(5, 4.0);
+        let sg = random_service_graph(&topo, &spec(seed, 5));
+        let run = || {
+            let mut orch = Orchestrator::new(topo.clone(), algo(which)).unwrap();
+            let (ok, rej) = orch.embed_graph(&sg);
+            (
+                ok.iter().map(|m| (m.chain.name.clone(), m.placement.clone(), m.total_delay_us)).collect::<Vec<_>>(),
+                rej.len(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Delay budgets are honoured: an accepted chain's mapped delay never
+    /// exceeds its budget.
+    #[test]
+    fn delay_budgets_hold(seed in any::<u64>(), budget_us in 100u64..5_000) {
+        let topo = builders::star(6, 8.0);
+        let mut w = spec(seed, 8);
+        w.max_delay_us = Some(budget_us);
+        let sg = random_service_graph(&topo, &w);
+        let mut orch = Orchestrator::new(topo, Box::new(NearestNeighbor)).unwrap();
+        let (ok, _) = orch.embed_graph(&sg);
+        for m in &ok {
+            prop_assert!(m.total_delay_us <= budget_us, "{} > {}", m.total_delay_us, budget_us);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! ARP for IPv4 over Ethernet (RFC 826 subset).
+
+use crate::mac::MacAddr;
+use crate::ParseError;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+/// Encoded length of an Ethernet/IPv4 ARP packet.
+pub const PACKET_LEN: usize = 28;
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOperation {
+    Request,
+    Reply,
+}
+
+impl ArpOperation {
+    fn to_u16(self) -> u16 {
+        match self {
+            ArpOperation::Request => 1,
+            ArpOperation::Reply => 2,
+        }
+    }
+}
+
+/// An ARP packet binding IPv4 addresses to MAC addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArpPacket {
+    pub operation: ArpOperation,
+    pub sender_mac: MacAddr,
+    pub sender_ip: Ipv4Addr,
+    pub target_mac: MacAddr,
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// Builds a broadcast "who has `target_ip`" request.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            operation: ArpOperation::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// Builds the matching reply to `req`, announcing `my_mac`.
+    pub fn reply_to(req: &ArpPacket, my_mac: MacAddr) -> Self {
+        ArpPacket {
+            operation: ArpOperation::Reply,
+            sender_mac: my_mac,
+            sender_ip: req.target_ip,
+            target_mac: req.sender_mac,
+            target_ip: req.sender_ip,
+        }
+    }
+
+    /// Decodes an ARP packet (Ethernet/IPv4 hardware/protocol types only).
+    pub fn decode(data: &[u8]) -> Result<Self, ParseError> {
+        if data.len() < PACKET_LEN {
+            return Err(ParseError::Truncated { needed: PACKET_LEN, got: data.len() });
+        }
+        let htype = u16::from_be_bytes([data[0], data[1]]);
+        if htype != 1 {
+            return Err(ParseError::UnsupportedField { field: "arp.htype", value: htype as u64 });
+        }
+        let ptype = u16::from_be_bytes([data[2], data[3]]);
+        if ptype != 0x0800 {
+            return Err(ParseError::UnsupportedField { field: "arp.ptype", value: ptype as u64 });
+        }
+        if data[4] != 6 || data[5] != 4 {
+            return Err(ParseError::UnsupportedField {
+                field: "arp.hlen/plen",
+                value: (u64::from(data[4]) << 8) | u64::from(data[5]),
+            });
+        }
+        let oper = u16::from_be_bytes([data[6], data[7]]);
+        let operation = match oper {
+            1 => ArpOperation::Request,
+            2 => ArpOperation::Reply,
+            v => return Err(ParseError::UnsupportedField { field: "arp.oper", value: v as u64 }),
+        };
+        let mac = |o: usize| {
+            let mut m = [0u8; 6];
+            m.copy_from_slice(&data[o..o + 6]);
+            MacAddr(m)
+        };
+        let ip = |o: usize| Ipv4Addr::new(data[o], data[o + 1], data[o + 2], data[o + 3]);
+        Ok(ArpPacket {
+            operation,
+            sender_mac: mac(8),
+            sender_ip: ip(14),
+            target_mac: mac(18),
+            target_ip: ip(24),
+        })
+    }
+
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(PACKET_LEN);
+        buf.put_u16(1); // Ethernet
+        buf.put_u16(0x0800); // IPv4
+        buf.put_u8(6);
+        buf.put_u8(4);
+        buf.put_u16(self.operation.to_u16());
+        buf.put_slice(&self.sender_mac.0);
+        buf.put_slice(&self.sender_ip.octets());
+        buf.put_slice(&self.target_mac.0);
+        buf.put_slice(&self.target_ip.octets());
+        buf.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let req = ArpPacket::request(
+            MacAddr::from_id(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let wire = req.encode();
+        assert_eq!(wire.len(), PACKET_LEN);
+        let back = ArpPacket::decode(&wire).unwrap();
+        assert_eq!(req, back);
+
+        let rep = ArpPacket::reply_to(&back, MacAddr::from_id(2));
+        assert_eq!(rep.operation, ArpOperation::Reply);
+        assert_eq!(rep.sender_ip, Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(rep.target_mac, MacAddr::from_id(1));
+        assert_eq!(rep.target_ip, Ipv4Addr::new(10, 0, 0, 1));
+        let back2 = ArpPacket::decode(&rep.encode()).unwrap();
+        assert_eq!(rep, back2);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_hardware_type() {
+        let req = ArpPacket::request(MacAddr::ZERO, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED);
+        let mut wire = req.encode().to_vec();
+        wire[1] = 6; // IEEE 802 instead of Ethernet
+        assert!(matches!(
+            ArpPacket::decode(&wire),
+            Err(ParseError::UnsupportedField { field: "arp.htype", .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        assert!(matches!(ArpPacket::decode(&[0u8; 27]), Err(ParseError::Truncated { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_bad_operation() {
+        let req = ArpPacket::request(MacAddr::ZERO, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED);
+        let mut wire = req.encode().to_vec();
+        wire[7] = 9;
+        assert!(matches!(
+            ArpPacket::decode(&wire),
+            Err(ParseError::UnsupportedField { field: "arp.oper", .. })
+        ));
+    }
+}

@@ -1,0 +1,172 @@
+//! Convenience constructors for fully formed frames.
+//!
+//! Workload generators, tests and examples use these to mint complete
+//! Ethernet frames in one call.
+
+use crate::arp::ArpPacket;
+use crate::ether::{EtherType, EthernetFrame};
+use crate::icmp::IcmpPacket;
+use crate::ipv4::{IpProtocol, Ipv4Packet};
+use crate::mac::MacAddr;
+use crate::tcp::{flags, TcpSegment};
+use crate::udp::UdpDatagram;
+use bytes::Bytes;
+use std::net::Ipv4Addr;
+
+/// Builders producing raw frame bytes.
+pub struct PacketBuilder;
+
+impl PacketBuilder {
+    /// A UDP datagram in an IPv4 packet in an Ethernet frame.
+    #[allow(clippy::too_many_arguments)]
+    pub fn udp(
+        eth_src: MacAddr,
+        eth_dst: MacAddr,
+        ip_src: Ipv4Addr,
+        ip_dst: Ipv4Addr,
+        sport: u16,
+        dport: u16,
+        payload: Bytes,
+    ) -> Bytes {
+        let udp = UdpDatagram::new(sport, dport, payload).encode(ip_src, ip_dst);
+        let ip = Ipv4Packet::new(ip_src, ip_dst, IpProtocol::Udp, udp).encode();
+        EthernetFrame::new(eth_dst, eth_src, EtherType::Ipv4, ip).encode()
+    }
+
+    /// A TCP segment in an IPv4 packet in an Ethernet frame.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tcp(
+        eth_src: MacAddr,
+        eth_dst: MacAddr,
+        ip_src: Ipv4Addr,
+        ip_dst: Ipv4Addr,
+        sport: u16,
+        dport: u16,
+        tcp_flags: u8,
+        payload: Bytes,
+    ) -> Bytes {
+        let seg = TcpSegment::new(sport, dport, 0, 0, tcp_flags, payload).encode(ip_src, ip_dst);
+        let ip = Ipv4Packet::new(ip_src, ip_dst, IpProtocol::Tcp, seg).encode();
+        EthernetFrame::new(eth_dst, eth_src, EtherType::Ipv4, ip).encode()
+    }
+
+    /// A TCP SYN, the first packet of a new connection.
+    pub fn tcp_syn(
+        eth_src: MacAddr,
+        eth_dst: MacAddr,
+        ip_src: Ipv4Addr,
+        ip_dst: Ipv4Addr,
+        sport: u16,
+        dport: u16,
+    ) -> Bytes {
+        Self::tcp(eth_src, eth_dst, ip_src, ip_dst, sport, dport, flags::SYN, Bytes::new())
+    }
+
+    /// A broadcast ARP request.
+    pub fn arp_request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Bytes {
+        let arp = ArpPacket::request(sender_mac, sender_ip, target_ip).encode();
+        EthernetFrame::new(MacAddr::BROADCAST, sender_mac, EtherType::Arp, arp).encode()
+    }
+
+    /// A unicast ARP reply.
+    pub fn arp_reply(req_frame: &[u8], my_mac: MacAddr) -> Option<Bytes> {
+        let eth = EthernetFrame::decode(req_frame).ok()?;
+        let req = ArpPacket::decode(&eth.payload).ok()?;
+        let rep = ArpPacket::reply_to(&req, my_mac).encode();
+        Some(EthernetFrame::new(req.sender_mac, my_mac, EtherType::Arp, rep).encode())
+    }
+
+    /// An ICMP echo request frame.
+    pub fn icmp_echo_request(
+        eth_src: MacAddr,
+        eth_dst: MacAddr,
+        ip_src: Ipv4Addr,
+        ip_dst: Ipv4Addr,
+        ident: u16,
+        seq: u16,
+    ) -> Bytes {
+        let icmp = IcmpPacket::echo_request(ident, seq, Bytes::from_static(b"escape-ping")).encode();
+        let ip = Ipv4Packet::new(ip_src, ip_dst, IpProtocol::Icmp, icmp).encode();
+        EthernetFrame::new(eth_dst, eth_src, EtherType::Ipv4, ip).encode()
+    }
+
+    /// A UDP frame padded with zeros so the whole Ethernet frame is exactly
+    /// `frame_len` bytes (used by the throughput benches for 64/512/1500 B
+    /// packet-size sweeps). Panics if `frame_len` is below the minimum of
+    /// 14 + 20 + 8 = 42 bytes.
+    pub fn udp_with_len(
+        eth_src: MacAddr,
+        eth_dst: MacAddr,
+        ip_src: Ipv4Addr,
+        ip_dst: Ipv4Addr,
+        sport: u16,
+        dport: u16,
+        frame_len: usize,
+    ) -> Bytes {
+        const OVERHEAD: usize = 14 + 20 + 8;
+        assert!(frame_len >= OVERHEAD, "frame_len {frame_len} below minimum {OVERHEAD}");
+        let payload = Bytes::from(vec![0u8; frame_len - OVERHEAD]);
+        Self::udp(eth_src, eth_dst, ip_src, ip_dst, sport, dport, payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A_MAC: MacAddr = MacAddr([2, 0, 0, 0, 0, 1]);
+    const B_MAC: MacAddr = MacAddr([2, 0, 0, 0, 0, 2]);
+    const A_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn udp_frame_parses_back_to_all_layers() {
+        let frame = PacketBuilder::udp(A_MAC, B_MAC, A_IP, B_IP, 1111, 2222, Bytes::from_static(b"xyz"));
+        let eth = EthernetFrame::decode(&frame).unwrap();
+        assert_eq!(eth.src, A_MAC);
+        assert_eq!(eth.dst, B_MAC);
+        let ip = Ipv4Packet::decode(&eth.payload).unwrap();
+        assert_eq!(ip.protocol, IpProtocol::Udp);
+        let udp = UdpDatagram::decode(&ip.payload, ip.src, ip.dst).unwrap();
+        assert_eq!(udp.dst_port, 2222);
+        assert_eq!(&udp.payload[..], b"xyz");
+    }
+
+    #[test]
+    fn tcp_syn_is_a_syn() {
+        let frame = PacketBuilder::tcp_syn(A_MAC, B_MAC, A_IP, B_IP, 5000, 80);
+        let eth = EthernetFrame::decode(&frame).unwrap();
+        let ip = Ipv4Packet::decode(&eth.payload).unwrap();
+        let seg = TcpSegment::decode(&ip.payload, ip.src, ip.dst).unwrap();
+        assert!(seg.is_syn());
+    }
+
+    #[test]
+    fn arp_reply_answers_request() {
+        let req = PacketBuilder::arp_request(A_MAC, A_IP, B_IP);
+        let rep = PacketBuilder::arp_reply(&req, B_MAC).unwrap();
+        let eth = EthernetFrame::decode(&rep).unwrap();
+        assert_eq!(eth.dst, A_MAC); // unicast back to the asker
+        let arp = ArpPacket::decode(&eth.payload).unwrap();
+        assert_eq!(arp.sender_mac, B_MAC);
+        assert_eq!(arp.sender_ip, B_IP);
+    }
+
+    #[test]
+    fn sized_frames_are_exact() {
+        for len in [64usize, 128, 512, 1500] {
+            let f = PacketBuilder::udp_with_len(A_MAC, B_MAC, A_IP, B_IP, 1, 2, len);
+            assert_eq!(f.len(), len);
+            // And still fully parseable:
+            let eth = EthernetFrame::decode(&f).unwrap();
+            let ip = Ipv4Packet::decode(&eth.payload).unwrap();
+            UdpDatagram::decode(&ip.payload, ip.src, ip.dst).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below minimum")]
+    fn sized_frame_below_minimum_panics() {
+        PacketBuilder::udp_with_len(A_MAC, B_MAC, A_IP, B_IP, 1, 2, 30);
+    }
+}

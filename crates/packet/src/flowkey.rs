@@ -1,0 +1,154 @@
+//! The OpenFlow 1.0 12-tuple flow key extracted from a frame.
+//!
+//! This is the shared language between the switch's flow table, the POX
+//! controller's match construction and Click's `Classifier`: one parse of a
+//! frame yields every field OpenFlow 1.0 can match on.
+
+use crate::ether::{EtherType, EthernetFrame};
+use crate::ipv4::{IpProtocol, Ipv4Packet};
+use crate::mac::MacAddr;
+use crate::ParseError;
+use std::net::Ipv4Addr;
+
+/// Header fields of a frame, in OpenFlow 1.0 terms. Fields that do not
+/// apply to the frame (e.g. ports of a non-TCP/UDP packet) are `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    pub eth_src: MacAddr,
+    pub eth_dst: MacAddr,
+    pub eth_type: u16,
+    pub vlan_id: Option<u16>,
+    pub ip_src: Option<Ipv4Addr>,
+    pub ip_dst: Option<Ipv4Addr>,
+    pub ip_proto: Option<u8>,
+    pub ip_dscp: Option<u8>,
+    pub tp_src: Option<u16>,
+    pub tp_dst: Option<u16>,
+}
+
+impl FlowKey {
+    /// Extracts the key from raw frame bytes. Transport fields are filled
+    /// in on a best-effort basis: an unparseable layer simply leaves its
+    /// fields `None` (matching how a hardware switch parses what it can),
+    /// but an unparseable *Ethernet* layer is an error.
+    pub fn extract(frame: &[u8]) -> Result<FlowKey, ParseError> {
+        let eth = EthernetFrame::decode(frame)?;
+        let mut key = FlowKey {
+            eth_src: eth.src,
+            eth_dst: eth.dst,
+            eth_type: eth.ethertype.to_u16(),
+            vlan_id: None,
+            ip_src: None,
+            ip_dst: None,
+            ip_proto: None,
+            ip_dscp: None,
+            tp_src: None,
+            tp_dst: None,
+        };
+        if eth.ethertype == EtherType::Ipv4 {
+            if let Ok(ip) = Ipv4Packet::decode(&eth.payload) {
+                key.ip_src = Some(ip.src);
+                key.ip_dst = Some(ip.dst);
+                key.ip_proto = Some(ip.protocol.to_u8());
+                key.ip_dscp = Some(ip.dscp);
+                match ip.protocol {
+                    IpProtocol::Udp | IpProtocol::Tcp => {
+                        // Ports sit in the same place for both protocols and
+                        // matching must work even if the checksum context is
+                        // unavailable, so read them positionally.
+                        if ip.payload.len() >= 4 {
+                            key.tp_src =
+                                Some(u16::from_be_bytes([ip.payload[0], ip.payload[1]]));
+                            key.tp_dst =
+                                Some(u16::from_be_bytes([ip.payload[2], ip.payload[3]]));
+                        }
+                    }
+                    IpProtocol::Icmp => {
+                        // OpenFlow 1.0 maps ICMP type/code onto tp_src/tp_dst.
+                        if ip.payload.len() >= 2 {
+                            key.tp_src = Some(ip.payload[0] as u16);
+                            key.tp_dst = Some(ip.payload[1] as u16);
+                        }
+                    }
+                    IpProtocol::Other(_) => {}
+                }
+            }
+        }
+        Ok(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+    use bytes::Bytes;
+
+    #[test]
+    fn udp_key_has_all_fields() {
+        let frame = PacketBuilder::udp(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            4000,
+            53,
+            Bytes::from_static(b"query"),
+        );
+        let key = FlowKey::extract(&frame).unwrap();
+        assert_eq!(key.eth_src, MacAddr::from_id(1));
+        assert_eq!(key.eth_type, 0x0800);
+        assert_eq!(key.ip_src, Some(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(key.ip_proto, Some(17));
+        assert_eq!(key.tp_src, Some(4000));
+        assert_eq!(key.tp_dst, Some(53));
+    }
+
+    #[test]
+    fn arp_key_has_no_ip_fields() {
+        let frame = PacketBuilder::arp_request(
+            MacAddr::from_id(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let key = FlowKey::extract(&frame).unwrap();
+        assert_eq!(key.eth_type, 0x0806);
+        assert_eq!(key.ip_src, None);
+        assert_eq!(key.tp_src, None);
+    }
+
+    #[test]
+    fn icmp_type_maps_to_tp_src() {
+        let frame = PacketBuilder::icmp_echo_request(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            1,
+        );
+        let key = FlowKey::extract(&frame).unwrap();
+        assert_eq!(key.ip_proto, Some(1));
+        assert_eq!(key.tp_src, Some(8)); // echo request type
+        assert_eq!(key.tp_dst, Some(0));
+    }
+
+    #[test]
+    fn truncated_ethernet_is_an_error() {
+        assert!(FlowKey::extract(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn garbage_ip_payload_leaves_fields_none() {
+        // Valid Ethernet carrying an IPv4 ethertype but junk payload.
+        let eth = EthernetFrame::new(
+            MacAddr::from_id(9),
+            MacAddr::from_id(8),
+            EtherType::Ipv4,
+            Bytes::from_static(&[0xde, 0xad]),
+        );
+        let key = FlowKey::extract(&eth.encode()).unwrap();
+        assert_eq!(key.eth_type, 0x0800);
+        assert_eq!(key.ip_src, None);
+    }
+}

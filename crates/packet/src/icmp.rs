@@ -1,0 +1,147 @@
+//! ICMPv4 echo (the subset ping-style reachability tests need).
+
+use crate::checksum;
+use crate::ParseError;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// ICMP header length for echo messages.
+pub const HEADER_LEN: usize = 8;
+
+/// ICMP message types this stack generates and understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpType {
+    EchoReply,
+    EchoRequest,
+    DestinationUnreachable { code: u8 },
+    TimeExceeded,
+}
+
+impl IcmpType {
+    fn to_wire(self) -> (u8, u8) {
+        match self {
+            IcmpType::EchoReply => (0, 0),
+            IcmpType::EchoRequest => (8, 0),
+            IcmpType::DestinationUnreachable { code } => (3, code),
+            IcmpType::TimeExceeded => (11, 0),
+        }
+    }
+
+    fn from_wire(ty: u8, code: u8) -> Result<Self, ParseError> {
+        match ty {
+            0 => Ok(IcmpType::EchoReply),
+            8 => Ok(IcmpType::EchoRequest),
+            3 => Ok(IcmpType::DestinationUnreachable { code }),
+            11 => Ok(IcmpType::TimeExceeded),
+            v => Err(ParseError::UnsupportedField { field: "icmp.type", value: v as u64 }),
+        }
+    }
+}
+
+/// A decoded ICMP message. `ident`/`seq` are meaningful for echo messages
+/// and carried verbatim (zero) for the error types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcmpPacket {
+    pub icmp_type: IcmpType,
+    pub ident: u16,
+    pub seq: u16,
+    pub payload: Bytes,
+}
+
+impl IcmpPacket {
+    /// Builds an echo request.
+    pub fn echo_request(ident: u16, seq: u16, payload: Bytes) -> Self {
+        IcmpPacket { icmp_type: IcmpType::EchoRequest, ident, seq, payload }
+    }
+
+    /// Builds the reply matching a request.
+    pub fn echo_reply(req: &IcmpPacket) -> Self {
+        IcmpPacket {
+            icmp_type: IcmpType::EchoReply,
+            ident: req.ident,
+            seq: req.seq,
+            payload: req.payload.clone(),
+        }
+    }
+
+    /// Decodes and validates the checksum.
+    pub fn decode(data: &[u8]) -> Result<Self, ParseError> {
+        if data.len() < HEADER_LEN {
+            return Err(ParseError::Truncated { needed: HEADER_LEN, got: data.len() });
+        }
+        if checksum::checksum(data) != 0 {
+            let got = u16::from_be_bytes([data[2], data[3]]);
+            return Err(ParseError::BadChecksum { expected: 0, got });
+        }
+        Ok(IcmpPacket {
+            icmp_type: IcmpType::from_wire(data[0], data[1])?,
+            ident: u16::from_be_bytes([data[4], data[5]]),
+            seq: u16::from_be_bytes([data[6], data[7]]),
+            payload: Bytes::copy_from_slice(&data[HEADER_LEN..]),
+        })
+    }
+
+    /// Encodes with a valid checksum.
+    pub fn encode(&self) -> Bytes {
+        let (ty, code) = self.icmp_type.to_wire();
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.payload.len());
+        buf.put_u8(ty);
+        buf.put_u8(code);
+        buf.put_u16(0);
+        buf.put_u16(self.ident);
+        buf.put_u16(self.seq);
+        buf.put_slice(&self.payload);
+        let c = checksum::checksum(&buf);
+        buf[2] = (c >> 8) as u8;
+        buf[3] = (c & 0xff) as u8;
+        buf.freeze()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let req = IcmpPacket::echo_request(0x1234, 7, Bytes::from_static(b"ping-payload"));
+        let wire = req.encode();
+        let back = IcmpPacket::decode(&wire).unwrap();
+        assert_eq!(req, back);
+        let rep = IcmpPacket::echo_reply(&back);
+        assert_eq!(rep.icmp_type, IcmpType::EchoReply);
+        assert_eq!(rep.seq, 7);
+        assert_eq!(IcmpPacket::decode(&rep.encode()).unwrap(), rep);
+    }
+
+    #[test]
+    fn corrupted_fails_checksum() {
+        let mut wire = IcmpPacket::echo_request(1, 1, Bytes::from_static(b"x")).encode().to_vec();
+        wire[4] ^= 0x55;
+        assert!(matches!(IcmpPacket::decode(&wire), Err(ParseError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn error_types_roundtrip() {
+        for t in [IcmpType::DestinationUnreachable { code: 3 }, IcmpType::TimeExceeded] {
+            let p = IcmpPacket { icmp_type: t, ident: 0, seq: 0, payload: Bytes::new() };
+            assert_eq!(IcmpPacket::decode(&p.encode()).unwrap().icmp_type, t);
+        }
+    }
+
+    #[test]
+    fn unknown_type_is_rejected() {
+        let p = IcmpPacket::echo_request(0, 0, Bytes::new());
+        let mut wire = p.encode().to_vec();
+        wire[0] = 42;
+        // fix checksum
+        wire[2] = 0;
+        wire[3] = 0;
+        let c = checksum::checksum(&wire);
+        wire[2] = (c >> 8) as u8;
+        wire[3] = (c & 0xff) as u8;
+        assert!(matches!(
+            IcmpPacket::decode(&wire),
+            Err(ParseError::UnsupportedField { field: "icmp.type", .. })
+        ));
+    }
+}

@@ -1,0 +1,240 @@
+//! IPv4 (RFC 791 subset: no options, no fragmentation reassembly — the
+//! emulated links never fragment because the MTU is uniform).
+
+use crate::checksum;
+use crate::ParseError;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+/// Length of the option-less IPv4 header this stack emits.
+pub const HEADER_LEN: usize = 20;
+
+/// IP protocol numbers this stack understands (others are preserved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpProtocol {
+    Icmp,
+    Tcp,
+    Udp,
+    Other(u8),
+}
+
+impl IpProtocol {
+    /// Numeric protocol value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(v) => v,
+        }
+    }
+
+    /// Decodes a protocol number.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+}
+
+/// A decoded IPv4 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Packet {
+    pub dscp: u8,
+    pub ecn: u8,
+    pub identification: u16,
+    pub dont_fragment: bool,
+    pub ttl: u8,
+    pub protocol: IpProtocol,
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub payload: Bytes,
+}
+
+impl Ipv4Packet {
+    /// Builds a packet with sensible defaults (TTL 64, DF set).
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: IpProtocol, payload: Bytes) -> Self {
+        Ipv4Packet {
+            dscp: 0,
+            ecn: 0,
+            identification: 0,
+            dont_fragment: true,
+            ttl: 64,
+            protocol,
+            src,
+            dst,
+            payload,
+        }
+    }
+
+    /// Decodes an IPv4 packet, validating the header checksum.
+    pub fn decode(data: &[u8]) -> Result<Self, ParseError> {
+        if data.len() < HEADER_LEN {
+            return Err(ParseError::Truncated { needed: HEADER_LEN, got: data.len() });
+        }
+        let version = data[0] >> 4;
+        if version != 4 {
+            return Err(ParseError::UnsupportedField { field: "ip.version", value: version as u64 });
+        }
+        let ihl = (data[0] & 0x0f) as usize * 4;
+        if ihl < HEADER_LEN {
+            return Err(ParseError::UnsupportedField { field: "ip.ihl", value: ihl as u64 });
+        }
+        if data.len() < ihl {
+            return Err(ParseError::Truncated { needed: ihl, got: data.len() });
+        }
+        if !checksum::verify(&data[..ihl]) {
+            let got = u16::from_be_bytes([data[10], data[11]]);
+            let mut hdr = data[..ihl].to_vec();
+            hdr[10] = 0;
+            hdr[11] = 0;
+            return Err(ParseError::BadChecksum { expected: checksum::checksum(&hdr), got });
+        }
+        let total_len = u16::from_be_bytes([data[2], data[3]]) as usize;
+        if total_len < ihl || total_len > data.len() {
+            return Err(ParseError::BadLength { declared: total_len, actual: data.len() });
+        }
+        let flags = data[6] >> 5;
+        let frag_off = (u16::from_be_bytes([data[6], data[7]]) & 0x1fff) as usize;
+        if flags & 0b001 != 0 || frag_off != 0 {
+            // More-fragments set or non-zero offset: we don't reassemble.
+            return Err(ParseError::UnsupportedField { field: "ip.fragment", value: frag_off as u64 });
+        }
+        Ok(Ipv4Packet {
+            dscp: data[1] >> 2,
+            ecn: data[1] & 0x03,
+            identification: u16::from_be_bytes([data[4], data[5]]),
+            dont_fragment: flags & 0b010 != 0,
+            ttl: data[8],
+            protocol: IpProtocol::from_u8(data[9]),
+            src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
+            dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
+            payload: Bytes::copy_from_slice(&data[ihl..total_len]),
+        })
+    }
+
+    /// Encodes to wire bytes with a correct header checksum.
+    pub fn encode(&self) -> Bytes {
+        let total_len = HEADER_LEN + self.payload.len();
+        let mut buf = BytesMut::with_capacity(total_len);
+        buf.put_u8(0x45); // version 4, IHL 5
+        buf.put_u8((self.dscp << 2) | (self.ecn & 0x03));
+        buf.put_u16(total_len as u16);
+        buf.put_u16(self.identification);
+        buf.put_u16(if self.dont_fragment { 0x4000 } else { 0 });
+        buf.put_u8(self.ttl);
+        buf.put_u8(self.protocol.to_u8());
+        buf.put_u16(0); // checksum placeholder
+        buf.put_slice(&self.src.octets());
+        buf.put_slice(&self.dst.octets());
+        let c = checksum::checksum(&buf);
+        buf[10] = (c >> 8) as u8;
+        buf[11] = (c & 0xff) as u8;
+        buf.put_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Returns a copy with TTL decremented, or `None` when the TTL expires.
+    pub fn decrement_ttl(&self) -> Option<Ipv4Packet> {
+        if self.ttl <= 1 {
+            None
+        } else {
+            let mut p = self.clone();
+            p.ttl -= 1;
+            Some(p)
+        }
+    }
+
+    /// Total encoded length.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Packet {
+        Ipv4Packet::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            IpProtocol::Udp,
+            Bytes::from_static(b"data!"),
+        )
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = sample();
+        let wire = p.encode();
+        assert_eq!(wire.len(), p.wire_len());
+        let q = Ipv4Packet::decode(&wire).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn checksum_is_validated() {
+        let mut wire = sample().encode().to_vec();
+        wire[8] = wire[8].wrapping_add(1); // corrupt TTL without fixing checksum
+        assert!(matches!(Ipv4Packet::decode(&wire), Err(ParseError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn total_length_is_honoured_with_trailing_padding() {
+        // Ethernet may pad short frames; the decoder must trim to total_len.
+        let p = sample();
+        let mut wire = p.encode().to_vec();
+        wire.extend_from_slice(&[0u8; 10]); // padding
+        let q = Ipv4Packet::decode(&wire).unwrap();
+        assert_eq!(q.payload, p.payload);
+    }
+
+    #[test]
+    fn rejects_fragments() {
+        let p = sample();
+        let mut wire = p.encode().to_vec();
+        wire[6] = 0x20; // more fragments
+        // fix checksum
+        wire[10] = 0;
+        wire[11] = 0;
+        let c = checksum::checksum(&wire[..20]);
+        wire[10] = (c >> 8) as u8;
+        wire[11] = (c & 0xff) as u8;
+        assert!(matches!(
+            Ipv4Packet::decode(&wire),
+            Err(ParseError::UnsupportedField { field: "ip.fragment", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_version_6() {
+        let mut wire = sample().encode().to_vec();
+        wire[0] = 0x65;
+        assert!(matches!(
+            Ipv4Packet::decode(&wire),
+            Err(ParseError::UnsupportedField { field: "ip.version", .. })
+        ));
+    }
+
+    #[test]
+    fn ttl_decrement_expires_at_one() {
+        let mut p = sample();
+        p.ttl = 2;
+        let q = p.decrement_ttl().unwrap();
+        assert_eq!(q.ttl, 1);
+        assert!(q.decrement_ttl().is_none());
+    }
+
+    #[test]
+    fn declared_length_longer_than_buffer_is_rejected() {
+        let p = sample();
+        let wire = p.encode();
+        let truncated = &wire[..wire.len() - 2];
+        // header checksum still valid but total_len now exceeds buffer
+        assert!(matches!(Ipv4Packet::decode(truncated), Err(ParseError::BadLength { .. })));
+    }
+}

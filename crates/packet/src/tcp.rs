@@ -1,0 +1,166 @@
+//! TCP segment format (RFC 793 header; no connection state machine — the
+//! emulator's traffic generators emit pre-formed segments, and VNFs such as
+//! the firewall or DPI only inspect headers).
+
+use crate::checksum::pseudo_header_checksum;
+use crate::ipv4::IpProtocol;
+use crate::ParseError;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+/// Option-less TCP header length.
+pub const HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+pub mod flags {
+    pub const FIN: u8 = 0x01;
+    pub const SYN: u8 = 0x02;
+    pub const RST: u8 = 0x04;
+    pub const PSH: u8 = 0x08;
+    pub const ACK: u8 = 0x10;
+    pub const URG: u8 = 0x20;
+}
+
+/// A decoded TCP segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSegment {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: u32,
+    pub ack: u32,
+    pub flags: u8,
+    pub window: u16,
+    pub payload: Bytes,
+}
+
+impl TcpSegment {
+    /// Creates a segment with the given flags.
+    pub fn new(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: u8, payload: Bytes) -> Self {
+        TcpSegment { src_port, dst_port, seq, ack, flags, window: 65535, payload }
+    }
+
+    /// True if the SYN flag is set.
+    pub fn is_syn(&self) -> bool {
+        self.flags & flags::SYN != 0
+    }
+
+    /// True if the FIN flag is set.
+    pub fn is_fin(&self) -> bool {
+        self.flags & flags::FIN != 0
+    }
+
+    /// True if the RST flag is set.
+    pub fn is_rst(&self) -> bool {
+        self.flags & flags::RST != 0
+    }
+
+    /// Decodes and validates the checksum against the IPv4 pseudo-header.
+    pub fn decode(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<Self, ParseError> {
+        if data.len() < HEADER_LEN {
+            return Err(ParseError::Truncated { needed: HEADER_LEN, got: data.len() });
+        }
+        let data_off = ((data[12] >> 4) as usize) * 4;
+        if data_off < HEADER_LEN {
+            return Err(ParseError::UnsupportedField { field: "tcp.doff", value: data_off as u64 });
+        }
+        if data.len() < data_off {
+            return Err(ParseError::Truncated { needed: data_off, got: data.len() });
+        }
+        let sum = pseudo_header_checksum(src, dst, IpProtocol::Tcp.to_u8(), data);
+        if sum != 0 {
+            return Err(ParseError::BadChecksum { expected: 0, got: sum });
+        }
+        Ok(TcpSegment {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+            flags: data[13] & 0x3f,
+            window: u16::from_be_bytes([data[14], data[15]]),
+            payload: Bytes::copy_from_slice(&data[data_off..]),
+        })
+    }
+
+    /// Encodes (without options) with a valid checksum.
+    pub fn encode(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Bytes {
+        let mut buf = BytesMut::with_capacity(HEADER_LEN + self.payload.len());
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u32(self.seq);
+        buf.put_u32(self.ack);
+        buf.put_u8((HEADER_LEN as u8 / 4) << 4);
+        buf.put_u8(self.flags & 0x3f);
+        buf.put_u16(self.window);
+        buf.put_u16(0); // checksum
+        buf.put_u16(0); // urgent pointer (unused)
+        buf.put_slice(&self.payload);
+        let c = pseudo_header_checksum(src, dst, IpProtocol::Tcp.to_u8(), &buf);
+        buf[16] = (c >> 8) as u8;
+        buf[17] = (c & 0xff) as u8;
+        buf.freeze()
+    }
+
+    /// Total encoded length.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 1, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 2, 0, 2);
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = TcpSegment::new(443, 51000, 1000, 2000, flags::ACK | flags::PSH, Bytes::from_static(b"tls bytes"));
+        let wire = s.encode(A, B);
+        assert_eq!(wire.len(), s.wire_len());
+        let t = TcpSegment::decode(&wire, A, B).unwrap();
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn flag_helpers() {
+        let syn = TcpSegment::new(1, 2, 0, 0, flags::SYN, Bytes::new());
+        assert!(syn.is_syn() && !syn.is_fin() && !syn.is_rst());
+        let fin = TcpSegment::new(1, 2, 0, 0, flags::FIN | flags::ACK, Bytes::new());
+        assert!(fin.is_fin() && !fin.is_syn());
+        let rst = TcpSegment::new(1, 2, 0, 0, flags::RST, Bytes::new());
+        assert!(rst.is_rst());
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let s = TcpSegment::new(80, 1234, 7, 9, flags::ACK, Bytes::from_static(b"response"));
+        let mut wire = s.encode(A, B).to_vec();
+        let last = wire.len() - 1;
+        wire[last] ^= 0xff;
+        assert!(matches!(TcpSegment::decode(&wire, A, B), Err(ParseError::BadChecksum { .. })));
+    }
+
+    #[test]
+    fn segments_with_options_are_decoded() {
+        // Hand-build a header with doff=6 (one 4-byte option of NOPs).
+        let s = TcpSegment::new(1, 2, 3, 4, flags::SYN, Bytes::new());
+        let mut wire = s.encode(A, B).to_vec();
+        wire[12] = 6 << 4;
+        wire.extend_from_slice(&[1, 1, 1, 1]); // NOP options
+        // Re-checksum.
+        wire[16] = 0;
+        wire[17] = 0;
+        let c = pseudo_header_checksum(A, B, IpProtocol::Tcp.to_u8(), &wire);
+        wire[16] = (c >> 8) as u8;
+        wire[17] = (c & 0xff) as u8;
+        let t = TcpSegment::decode(&wire, A, B).unwrap();
+        assert!(t.is_syn());
+        assert!(t.payload.is_empty());
+    }
+
+    #[test]
+    fn truncated_is_rejected() {
+        assert!(matches!(TcpSegment::decode(&[0u8; 19], A, B), Err(ParseError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests: every wire format's encode/decode pair is an exact
+//! inverse for arbitrary field values, and decoders never panic on
+//! arbitrary byte soup.
+
+use bytes::Bytes;
+use escape_packet::*;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_payload(max: usize) -> impl Strategy<Value = Bytes> {
+    proptest::collection::vec(any::<u8>(), 0..max).prop_map(Bytes::from)
+}
+
+proptest! {
+    #[test]
+    fn ethernet_roundtrip(dst in arb_mac(), src in arb_mac(), et in any::<u16>(), payload in arb_payload(256)) {
+        let f = EthernetFrame::new(dst, src, EtherType::from_u16(et), payload);
+        let g = EthernetFrame::decode(&f.encode()).unwrap();
+        prop_assert_eq!(f, g);
+    }
+
+    #[test]
+    fn ipv4_roundtrip(
+        src in arb_ip(), dst in arb_ip(), proto in any::<u8>(),
+        dscp in 0u8..64, ecn in 0u8..4, ident in any::<u16>(), df in any::<bool>(),
+        ttl in 1u8..=255, payload in arb_payload(512),
+    ) {
+        let mut p = Ipv4Packet::new(src, dst, IpProtocol::from_u8(proto), payload);
+        p.dscp = dscp;
+        p.ecn = ecn;
+        p.identification = ident;
+        p.dont_fragment = df;
+        p.ttl = ttl;
+        let q = Ipv4Packet::decode(&p.encode()).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn udp_roundtrip(src in arb_ip(), dst in arb_ip(), sp in any::<u16>(), dp in any::<u16>(), payload in arb_payload(512)) {
+        let d = UdpDatagram::new(sp, dp, payload);
+        let e = UdpDatagram::decode(&d.encode(src, dst), src, dst).unwrap();
+        prop_assert_eq!(d, e);
+    }
+
+    #[test]
+    fn tcp_roundtrip(
+        src in arb_ip(), dst in arb_ip(), sp in any::<u16>(), dp in any::<u16>(),
+        seq in any::<u32>(), ack in any::<u32>(), fl in 0u8..64, win in any::<u16>(),
+        payload in arb_payload(512),
+    ) {
+        let mut s = TcpSegment::new(sp, dp, seq, ack, fl, payload);
+        s.window = win;
+        let t = TcpSegment::decode(&s.encode(src, dst), src, dst).unwrap();
+        prop_assert_eq!(s, t);
+    }
+
+    #[test]
+    fn arp_roundtrip(smac in arb_mac(), sip in arb_ip(), tmac in arb_mac(), tip in arb_ip(), req in any::<bool>()) {
+        let p = ArpPacket {
+            operation: if req { ArpOperation::Request } else { ArpOperation::Reply },
+            sender_mac: smac,
+            sender_ip: sip,
+            target_mac: tmac,
+            target_ip: tip,
+        };
+        let q = ArpPacket::decode(&p.encode()).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn icmp_echo_roundtrip(ident in any::<u16>(), seq in any::<u16>(), payload in arb_payload(128)) {
+        let p = IcmpPacket::echo_request(ident, seq, payload);
+        let q = IcmpPacket::decode(&p.encode()).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    // Decoders must reject or accept arbitrary bytes without panicking.
+    #[test]
+    fn decoders_never_panic(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = EthernetFrame::decode(&data);
+        let _ = Ipv4Packet::decode(&data);
+        let _ = ArpPacket::decode(&data);
+        let _ = IcmpPacket::decode(&data);
+        let a = Ipv4Addr::new(1, 2, 3, 4);
+        let _ = UdpDatagram::decode(&data, a, a);
+        let _ = TcpSegment::decode(&data, a, a);
+        let _ = FlowKey::extract(&data);
+    }
+
+    // A frame built by PacketBuilder always yields a complete UDP flow key.
+    #[test]
+    fn builder_frames_always_classify(
+        smac in arb_mac(), dmac in arb_mac(), sip in arb_ip(), dip in arb_ip(),
+        sp in any::<u16>(), dp in any::<u16>(),
+    ) {
+        let f = PacketBuilder::udp(smac, dmac, sip, dip, sp, dp, Bytes::from_static(b"k"));
+        let key = FlowKey::extract(&f).unwrap();
+        prop_assert_eq!(key.ip_src, Some(sip));
+        prop_assert_eq!(key.ip_dst, Some(dip));
+        prop_assert_eq!(key.tp_src, Some(sp));
+        prop_assert_eq!(key.tp_dst, Some(dp));
+    }
+}

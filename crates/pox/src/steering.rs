@@ -1,0 +1,355 @@
+//! ESCAPE's traffic steering component.
+//!
+//! The orchestrator compiles a mapped service chain into per-switch
+//! steering rules (match → actions). This component owns those rules and
+//! installs them either **proactively** — pushed to the switches as soon
+//! as they are queued (chain deployment time) — or **reactively** — held
+//! back until the first packet of the flow misses and punts, then
+//! installed with the buffered packet released through them (design
+//! choice D1 in DESIGN.md).
+
+use crate::component::{Component, Ctl, PacketInEvent};
+use escape_openflow::{switch::NO_BUFFER, Action, Match, OfMessage, PortDesc};
+use std::collections::HashMap;
+
+/// Install strategy for steering rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteeringMode {
+    Proactive,
+    Reactive,
+}
+
+/// One steering rule on one switch.
+#[derive(Debug, Clone)]
+pub struct SteeringRule {
+    pub dpid: u64,
+    pub match_: Match,
+    pub priority: u16,
+    pub actions: Vec<Action>,
+    /// Seconds; 0 = permanent.
+    pub idle_timeout: u16,
+    /// Seconds; 0 = permanent.
+    pub hard_timeout: u16,
+    /// Chain identifier, so a chain can be torn down as a unit.
+    pub chain_id: u64,
+}
+
+/// The steering component. Queue rules with [`TrafficSteering::queue_rules`]
+/// (typically via the orchestrator), then let the controller flush them.
+pub struct TrafficSteering {
+    pub mode: SteeringMode,
+    /// Rules not yet pushed to switches (proactive) or armed for misses
+    /// (reactive keeps them here permanently).
+    queued: Vec<SteeringRule>,
+    /// Rules already pushed, by chain id (for teardown).
+    installed: HashMap<u64, Vec<SteeringRule>>,
+    /// Rules awaiting deletion from switches at the next flush.
+    pending_removal: Vec<SteeringRule>,
+    /// Count of rules installed reactively on a miss.
+    pub reactive_installs: u64,
+    /// Count of rules pushed proactively.
+    pub proactive_installs: u64,
+}
+
+impl TrafficSteering {
+    pub fn new(mode: SteeringMode) -> TrafficSteering {
+        TrafficSteering {
+            mode,
+            queued: Vec::new(),
+            installed: HashMap::new(),
+            pending_removal: Vec::new(),
+            reactive_installs: 0,
+            proactive_installs: 0,
+        }
+    }
+
+    /// Queues rules for installation (or reactive arming).
+    pub fn queue_rules(&mut self, rules: Vec<SteeringRule>) {
+        self.queued.extend(rules);
+    }
+
+    /// Number of rules awaiting proactive installation.
+    pub fn pending(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Rules currently installed for a chain.
+    pub fn installed_for(&self, chain_id: u64) -> usize {
+        self.installed.get(&chain_id).map_or(0, |v| v.len())
+    }
+
+    /// Queues a teardown: installed rules of `chain_id` are deleted from
+    /// their switches at the next flush. Returns the affected rules.
+    pub fn remove_chain(&mut self, chain_id: u64) -> Vec<SteeringRule> {
+        // Also drop still-queued rules of that chain.
+        self.queued.retain(|r| r.chain_id != chain_id);
+        let removed = self.installed.remove(&chain_id).unwrap_or_default();
+        self.pending_removal.extend(removed.clone());
+        removed
+    }
+
+    fn push_rule(ctl: &mut Ctl<'_, '_>, r: &SteeringRule, buffer_id: u32) -> bool {
+        ctl.flow_add(
+            r.dpid,
+            r.match_,
+            r.priority,
+            r.actions.clone(),
+            r.idle_timeout,
+            r.hard_timeout,
+            buffer_id,
+            0,
+        )
+    }
+
+    /// Installs every queued rule whose switch is connected (proactive
+    /// mode only) and pushes pending deletions. Returns the number
+    /// installed.
+    fn flush(&mut self, ctl: &mut Ctl<'_, '_>) -> usize {
+        for r in std::mem::take(&mut self.pending_removal) {
+            ctl.flow_delete(r.dpid, r.match_);
+        }
+        if self.mode != SteeringMode::Proactive {
+            return 0;
+        }
+        let mut kept = Vec::new();
+        let mut n = 0;
+        for r in self.queued.drain(..) {
+            if Self::push_rule(ctl, &r, NO_BUFFER) {
+                self.proactive_installs += 1;
+                n += 1;
+                self.installed.entry(r.chain_id).or_default().push(r);
+            } else {
+                kept.push(r); // switch not up yet
+            }
+        }
+        self.queued = kept;
+        n
+    }
+}
+
+impl Component for TrafficSteering {
+    fn name(&self) -> &'static str {
+        "traffic_steering"
+    }
+
+    /// Called both on real connection-up and on the controller's FLUSH
+    /// event; both are moments to sync queued rules down to switches.
+    fn on_connection_up(&mut self, ctl: &mut Ctl<'_, '_>, _dpid: u64, _ports: &[PortDesc]) {
+        self.flush(ctl);
+    }
+
+    fn on_packet_in(&mut self, ctl: &mut Ctl<'_, '_>, ev: &PacketInEvent) -> bool {
+        if self.mode != SteeringMode::Reactive {
+            return false;
+        }
+        let Some(key) = ev.key else { return false };
+        // Find the highest-priority armed rule covering this packet on
+        // this switch.
+        let best = self
+            .queued
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.dpid == ev.dpid && r.match_.matches(&key, ev.in_port))
+            .max_by_key(|(_, r)| r.priority)
+            .map(|(i, _)| i);
+        let Some(i) = best else { return false };
+        let r = self.queued[i].clone();
+        // Install with the buffered packet so it rides the new flow. The
+        // rule stays armed: packets already in flight during the control
+        // round-trip also punt, and each re-install (idempotent on the
+        // switch — same match and priority) releases its buffered packet.
+        Self::push_rule(ctl, &r, ev.buffer_id);
+        self.reactive_installs += 1;
+        let chain = self.installed.entry(r.chain_id).or_default();
+        if !chain
+            .iter()
+            .any(|x| x.dpid == r.dpid && x.match_ == r.match_ && x.priority == r.priority)
+        {
+            chain.push(r);
+        }
+        true
+    }
+
+    fn on_flow_removed(&mut self, _ctl: &mut Ctl<'_, '_>, dpid: u64, msg: &OfMessage) {
+        // Re-arm reactive rules whose flow expired so the next packet
+        // re-installs them.
+        if self.mode != SteeringMode::Reactive {
+            return;
+        }
+        if let OfMessage::FlowRemoved { match_, priority, .. } = msg {
+            for rules in self.installed.values_mut() {
+                if let Some(pos) = rules
+                    .iter()
+                    .position(|r| r.dpid == dpid && r.match_ == *match_ && r.priority == *priority)
+                {
+                    let r = rules.remove(pos);
+                    let already_armed = self.queued.iter().any(|q| {
+                        q.dpid == r.dpid && q.match_ == r.match_ && q.priority == r.priority
+                    });
+                    if !already_armed {
+                        self.queued.push(r);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core::Controller;
+    use escape_netem::{Host, LinkConfig, Sim, Time};
+    use escape_openflow::Switch;
+    use escape_packet::MacAddr;
+    use std::net::Ipv4Addr;
+
+    /// h1 -- s1 -- h2 with steering rules forwarding by IP.
+    fn rig(mode: SteeringMode) -> (Sim, escape_netem::NodeId, escape_netem::NodeId, escape_netem::NodeId) {
+        let mut sim = Sim::new(9);
+        let sw = sim.add_node("s1", 2, Box::new(Switch::new(1, 2)));
+        let h1 = sim.add_node(
+            "h1",
+            1,
+            Box::new(Host::new(MacAddr::from_id(1), Ipv4Addr::new(10, 0, 0, 1))),
+        );
+        let h2 = sim.add_node(
+            "h2",
+            1,
+            Box::new(Host::new(MacAddr::from_id(2), Ipv4Addr::new(10, 0, 0, 2))),
+        );
+        sim.connect((sw, 0), (h1, 0), LinkConfig::lan());
+        sim.connect((sw, 1), (h2, 0), LinkConfig::lan());
+        let c = sim.add_node("c0", 0, Box::new(Controller::new()));
+        let conn = sim.ctrl_connect(sw, c, Time::from_us(200));
+        sim.node_as_mut::<Switch>(sw).unwrap().attach_controller(conn);
+        {
+            let ctl = sim.node_as_mut::<Controller>(c).unwrap();
+            ctl.register_switch(conn);
+            ctl.add_component(Box::new(TrafficSteering::new(mode)));
+        }
+        // Static ARP both ways: steering setups pre-provision ARP.
+        sim.node_as_mut::<Host>(h1).unwrap().static_arp(Ipv4Addr::new(10, 0, 0, 2), MacAddr::from_id(2));
+        sim.node_as_mut::<Host>(h2).unwrap().static_arp(Ipv4Addr::new(10, 0, 0, 1), MacAddr::from_id(1));
+        Controller::start(&mut sim, c);
+        sim.run(100);
+        (sim, h1, h2, c)
+    }
+
+    fn rules_for_chain() -> Vec<SteeringRule> {
+        vec![
+            SteeringRule {
+                dpid: 1,
+                match_: Match::any().with_nw_dst(Ipv4Addr::new(10, 0, 0, 2), 32),
+                priority: 500,
+                actions: vec![Action::out(1)],
+                idle_timeout: 0,
+                hard_timeout: 0,
+                chain_id: 1,
+            },
+            SteeringRule {
+                dpid: 1,
+                match_: Match::any().with_nw_dst(Ipv4Addr::new(10, 0, 0, 1), 32),
+                priority: 500,
+                actions: vec![Action::out(0)],
+                idle_timeout: 0,
+                hard_timeout: 0,
+                chain_id: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn proactive_rules_avoid_packet_ins() {
+        let (mut sim, h1, h2, c) = rig(SteeringMode::Proactive);
+        {
+            let ctl = sim.node_as_mut::<Controller>(c).unwrap();
+            ctl.component_as_mut::<TrafficSteering>().unwrap().queue_rules(rules_for_chain());
+        }
+        Controller::request_flush(&mut sim, c, Time::ZERO);
+        sim.run(100);
+        {
+            let ctl = sim.node_as::<Controller>(c).unwrap();
+            let st = ctl.component_as::<TrafficSteering>().unwrap();
+            assert_eq!(st.proactive_installs, 2);
+            assert_eq!(st.pending(), 0);
+            assert_eq!(st.installed_for(1), 2);
+        }
+        sim.node_as_mut::<Host>(h1).unwrap().add_stream(
+            Ipv4Addr::new(10, 0, 0, 2),
+            5,
+            6,
+            64,
+            Time::from_us(100),
+            10,
+        );
+        Host::start_streams(&mut sim, h1, Time::from_ms(1));
+        sim.run(100_000);
+        assert_eq!(sim.node_as::<Host>(h2).unwrap().stats.udp_rx, 10);
+        assert_eq!(sim.node_as::<Controller>(c).unwrap().stats.packet_ins, 0);
+    }
+
+    #[test]
+    fn reactive_rules_install_on_first_miss() {
+        let (mut sim, h1, h2, c) = rig(SteeringMode::Reactive);
+        {
+            let ctl = sim.node_as_mut::<Controller>(c).unwrap();
+            ctl.component_as_mut::<TrafficSteering>().unwrap().queue_rules(rules_for_chain());
+        }
+        sim.node_as_mut::<Host>(h1).unwrap().add_stream(
+            Ipv4Addr::new(10, 0, 0, 2),
+            5,
+            6,
+            64,
+            Time::from_us(100),
+            10,
+        );
+        Host::start_streams(&mut sim, h1, Time::from_ms(1));
+        sim.run(100_000);
+        assert_eq!(sim.node_as::<Host>(h2).unwrap().stats.udp_rx, 10);
+        let ctl = sim.node_as::<Controller>(c).unwrap();
+        let st = ctl.component_as::<TrafficSteering>().unwrap();
+        // Packets in flight during the control round-trip also punt; all
+        // are released, and installs stop once the flow serves traffic.
+        assert!(st.reactive_installs >= 1);
+        assert!(ctl.stats.packet_ins < 10, "flow took over after install");
+        assert_eq!(ctl.stats.unhandled_packet_ins, 0);
+    }
+
+    #[test]
+    fn chain_teardown_forgets_rules() {
+        let (mut sim, _h1, _h2, c) = rig(SteeringMode::Proactive);
+        {
+            let ctl = sim.node_as_mut::<Controller>(c).unwrap();
+            ctl.component_as_mut::<TrafficSteering>().unwrap().queue_rules(rules_for_chain());
+        }
+        Controller::request_flush(&mut sim, c, Time::ZERO);
+        sim.run(100);
+        let removed = {
+            let ctl = sim.node_as_mut::<Controller>(c).unwrap();
+            ctl.component_as_mut::<TrafficSteering>().unwrap().remove_chain(1)
+        };
+        assert_eq!(removed.len(), 2);
+        let ctl = sim.node_as::<Controller>(c).unwrap();
+        assert_eq!(ctl.component_as::<TrafficSteering>().unwrap().installed_for(1), 0);
+    }
+
+    #[test]
+    fn unmatched_packet_in_is_not_consumed() {
+        let (mut sim, h1, _h2, c) = rig(SteeringMode::Reactive);
+        // No rules queued: packet-ins go unhandled.
+        sim.node_as_mut::<Host>(h1).unwrap().add_stream(
+            Ipv4Addr::new(10, 0, 0, 2),
+            5,
+            6,
+            64,
+            Time::from_us(100),
+            1,
+        );
+        Host::start_streams(&mut sim, h1, Time::from_ms(1));
+        sim.run(100_000);
+        let ctl = sim.node_as::<Controller>(c).unwrap();
+        assert_eq!(ctl.stats.unhandled_packet_ins, ctl.stats.packet_ins);
+        assert!(ctl.stats.packet_ins >= 1);
+    }
+}

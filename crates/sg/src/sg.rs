@@ -1,0 +1,273 @@
+//! The abstract service graph: VNF requests and chains.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A requested VNF instance: which catalog type, how much resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VnfReq {
+    /// Instance name, unique within the service graph.
+    pub name: String,
+    /// Catalog type (e.g. "firewall") — resolved by the orchestrator.
+    pub vnf_type: String,
+    /// CPU cores requested.
+    pub cpu: f64,
+    /// Memory requested (MB).
+    pub mem_mb: u64,
+    /// Catalog parameter overrides for this instance (e.g. firewall
+    /// rules), forwarded verbatim to `initiateVNF`.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub params: Vec<(String, String)>,
+    /// Raw Click configuration overriding the catalog template — the
+    /// "develop your own VNF" path. Sent as `initiateVNF`'s
+    /// `click-config`; `vnf_type` then only labels the instance.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub click_config: Option<String>,
+}
+
+/// One service chain: an ordered walk SAP → VNF… → SAP with end-to-end
+/// requirements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chain {
+    /// Chain name, unique within the service graph.
+    pub name: String,
+    /// Hops: first and last are SAP names, the middle are VNF names.
+    pub hops: Vec<String>,
+    /// Bandwidth to reserve on every traversed link (Mbit/s).
+    pub bandwidth_mbps: f64,
+    /// End-to-end delay budget (µs); `None` = best effort.
+    pub max_delay_us: Option<u64>,
+}
+
+/// The abstract service description the service layer hands to the
+/// orchestrator (what the paper's SG editor produces).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ServiceGraph {
+    /// SAP names referenced by chains; must exist in the topology.
+    pub saps: Vec<String>,
+    pub vnfs: Vec<VnfReq>,
+    pub chains: Vec<Chain>,
+}
+
+impl ServiceGraph {
+    /// An empty service graph.
+    pub fn new() -> ServiceGraph {
+        ServiceGraph::default()
+    }
+
+    /// Builder: declare a SAP.
+    pub fn sap(mut self, name: impl Into<String>) -> Self {
+        self.saps.push(name.into());
+        self
+    }
+
+    /// Builder: request a VNF.
+    pub fn vnf(mut self, name: &str, vnf_type: &str, cpu: f64, mem_mb: u64) -> Self {
+        self.vnfs.push(VnfReq {
+            name: name.into(),
+            vnf_type: vnf_type.into(),
+            cpu,
+            mem_mb,
+            params: Vec::new(),
+            click_config: None,
+        });
+        self
+    }
+
+    /// Builder: give the most recently added VNF a raw Click config
+    /// instead of a catalog template. Panics if no VNF was added yet.
+    pub fn with_click_config(mut self, config: &str) -> Self {
+        let v = self.vnfs.last_mut().expect("with_click_config needs a preceding vnf()");
+        v.click_config = Some(config.to_string());
+        self
+    }
+
+    /// Builder: set catalog parameter overrides on the most recently
+    /// added VNF. Panics if no VNF was added yet.
+    pub fn with_params(mut self, params: &[(&str, &str)]) -> Self {
+        let v = self.vnfs.last_mut().expect("with_params needs a preceding vnf()");
+        v.params = params.iter().map(|(k, w)| (k.to_string(), w.to_string())).collect();
+        self
+    }
+
+    /// Builder: add a chain through the named hops.
+    pub fn chain(
+        mut self,
+        name: &str,
+        hops: &[&str],
+        bandwidth_mbps: f64,
+        max_delay_us: Option<u64>,
+    ) -> Self {
+        self.chains.push(Chain {
+            name: name.into(),
+            hops: hops.iter().map(|s| s.to_string()).collect(),
+            bandwidth_mbps,
+            max_delay_us,
+        });
+        self
+    }
+
+    /// Finds a VNF request by name.
+    pub fn vnf_named(&self, name: &str) -> Option<&VnfReq> {
+        self.vnfs.iter().find(|v| v.name == name)
+    }
+
+    /// Total CPU requested across all VNFs.
+    pub fn total_cpu(&self) -> f64 {
+        self.vnfs.iter().map(|v| v.cpu).sum()
+    }
+
+    /// Structural validation: unique names; chains start/end at declared
+    /// SAPs and traverse declared VNFs; positive requirements.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut names = HashSet::new();
+        for s in &self.saps {
+            if !names.insert(s.as_str()) {
+                return Err(format!("duplicate name {s:?}"));
+            }
+        }
+        for v in &self.vnfs {
+            if !names.insert(v.name.as_str()) {
+                return Err(format!("duplicate name {:?}", v.name));
+            }
+            if v.cpu <= 0.0 {
+                return Err(format!("vnf {:?} requests non-positive cpu", v.name));
+            }
+        }
+        let saps: HashSet<&str> = self.saps.iter().map(|s| s.as_str()).collect();
+        let vnfs: HashSet<&str> = self.vnfs.iter().map(|v| v.name.as_str()).collect();
+        let mut chain_names = HashSet::new();
+        for c in &self.chains {
+            if !chain_names.insert(c.name.as_str()) {
+                return Err(format!("duplicate chain name {:?}", c.name));
+            }
+            if c.hops.len() < 2 {
+                return Err(format!("chain {:?} needs at least two hops", c.name));
+            }
+            let first = c.hops.first().unwrap().as_str();
+            let last = c.hops.last().unwrap().as_str();
+            if !saps.contains(first) || !saps.contains(last) {
+                return Err(format!("chain {:?} must start and end at SAPs", c.name));
+            }
+            for mid in &c.hops[1..c.hops.len() - 1] {
+                if !vnfs.contains(mid.as_str()) {
+                    return Err(format!("chain {:?} hop {:?} is not a declared VNF", c.name, mid));
+                }
+            }
+            if c.bandwidth_mbps <= 0.0 {
+                return Err(format!("chain {:?} has non-positive bandwidth", c.name));
+            }
+        }
+        // Every VNF should appear in some chain (orphans are a spec bug).
+        for v in &self.vnfs {
+            let used = self.chains.iter().any(|c| c.hops.contains(&v.name));
+            if !used {
+                return Err(format!("vnf {:?} is not used by any chain", v.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// JSON serialization (the SG editor's save format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("service graph serializes")
+    }
+
+    /// JSON deserialization.
+    pub fn from_json(s: &str) -> Result<ServiceGraph, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> ServiceGraph {
+        ServiceGraph::new()
+            .sap("sap0")
+            .sap("sap1")
+            .vnf("fw", "firewall", 1.0, 256)
+            .vnf("shaper", "rate_limiter", 0.5, 128)
+            .chain("c1", &["sap0", "fw", "shaper", "sap1"], 100.0, Some(5_000))
+    }
+
+    #[test]
+    fn valid_graph_passes() {
+        demo().validate().unwrap();
+        assert_eq!(demo().total_cpu(), 1.5);
+        assert_eq!(demo().vnf_named("fw").unwrap().vnf_type, "firewall");
+    }
+
+    #[test]
+    fn chains_must_terminate_at_saps() {
+        let g = ServiceGraph::new()
+            .sap("a")
+            .vnf("v", "t", 1.0, 1)
+            .chain("c", &["v", "a"], 1.0, None);
+        assert!(g.validate().unwrap_err().contains("SAP"));
+    }
+
+    #[test]
+    fn middle_hops_must_be_vnfs() {
+        let g = ServiceGraph::new()
+            .sap("a")
+            .sap("b")
+            .vnf("v", "t", 1.0, 1)
+            .chain("c", &["a", "ghost", "b"], 1.0, None);
+        assert!(g.validate().unwrap_err().contains("ghost"));
+    }
+
+    #[test]
+    fn orphan_vnfs_rejected() {
+        let g = ServiceGraph::new()
+            .sap("a")
+            .sap("b")
+            .vnf("used", "t", 1.0, 1)
+            .vnf("orphan", "t", 1.0, 1)
+            .chain("c", &["a", "used", "b"], 1.0, None);
+        assert!(g.validate().unwrap_err().contains("orphan"));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let g = ServiceGraph::new().sap("x").sap("x");
+        assert!(g.validate().is_err());
+        let g = ServiceGraph::new()
+            .sap("a")
+            .sap("b")
+            .vnf("v", "t", 1.0, 1)
+            .chain("c", &["a", "v", "b"], 1.0, None)
+            .chain("c", &["a", "v", "b"], 1.0, None);
+        assert!(g.validate().unwrap_err().contains("chain name"));
+    }
+
+    #[test]
+    fn requirement_sanity() {
+        let g = ServiceGraph::new()
+            .sap("a")
+            .sap("b")
+            .vnf("v", "t", -1.0, 1)
+            .chain("c", &["a", "v", "b"], 1.0, None);
+        assert!(g.validate().unwrap_err().contains("cpu"));
+        let g = ServiceGraph::new()
+            .sap("a")
+            .sap("b")
+            .vnf("v", "t", 1.0, 1)
+            .chain("c", &["a", "v", "b"], 0.0, None);
+        assert!(g.validate().unwrap_err().contains("bandwidth"));
+    }
+
+    #[test]
+    fn direct_sap_to_sap_chain_is_legal() {
+        let g = ServiceGraph::new().sap("a").sap("b").chain("direct", &["a", "b"], 10.0, None);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = demo();
+        let back = ServiceGraph::from_json(&g.to_json()).unwrap();
+        assert_eq!(g, back);
+    }
+}

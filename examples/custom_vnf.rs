@@ -1,0 +1,126 @@
+//! Developing a custom VNF — the paper's first target audience:
+//! "ESCAPE fosters VNF development by providing a simple, Mininet-based
+//! API where service graphs, built from given VNFs, can be instantiated
+//! and tested automatically."
+//!
+//! This example shows both extension points:
+//!   1. a new *Click configuration* registered in the catalog (no code:
+//!      compose existing elements);
+//!   2. a new *Click element class* registered in the element registry
+//!      (code: implement `Element`), then used from a config.
+//!
+//! ```sh
+//! cargo run --example custom_vnf
+//! ```
+
+use escape::env::Escape;
+use escape_catalog::{Catalog, VnfTemplate};
+use escape_click::{ElemCtx, Element, Registry, Router};
+use escape_netem::Time;
+use escape_orch::GreedyFirstFit;
+use escape_packet::Packet;
+use escape_pox::SteeringMode;
+use escape_sg::topo::builders;
+use escape_sg::ServiceGraph;
+
+/// Extension point 2: a brand-new element. TruncateBytes caps every
+/// packet at N bytes — a toy "header-only capture" element.
+struct TruncateBytes {
+    max: usize,
+    truncated: u64,
+}
+
+impl Element for TruncateBytes {
+    fn class_name(&self) -> &'static str {
+        "TruncateBytes"
+    }
+    fn ports(&self) -> (usize, usize) {
+        (1, 1)
+    }
+    fn push(&mut self, ctx: &mut ElemCtx<'_>, _port: usize, mut pkt: Packet) {
+        if pkt.data.len() > self.max {
+            pkt.data = pkt.data.slice(..self.max);
+            self.truncated += 1;
+        }
+        ctx.emit(0, pkt);
+    }
+    fn read_handler(&self, name: &str) -> Option<String> {
+        match name {
+            "truncated" => Some(self.truncated.to_string()),
+            "max" => Some(self.max.to_string()),
+            _ => None,
+        }
+    }
+}
+
+fn main() {
+    // --- Unit-test the element in a bare router first (the fast inner
+    // loop of VNF development: no emulation needed). ---
+    let mut registry = Registry::standard();
+    registry.register("TruncateBytes", |args| {
+        let max = args
+            .first()
+            .and_then(|a| a.parse().ok())
+            .ok_or("TruncateBytes needs a byte limit")?;
+        Ok(Box::new(TruncateBytes { max, truncated: 0 }))
+    });
+    let mut router = Router::from_config(
+        "FromDevice(0) -> t :: TruncateBytes(100) -> ToDevice(1);",
+        &registry,
+        0,
+    )
+    .expect("config compiles");
+    let big = Packet { data: bytes::Bytes::from(vec![0u8; 500]), id: 1, born_ns: 0 };
+    let out = router.push_external(0, big, Time::ZERO);
+    assert_eq!(out.external[0].1.len(), 100);
+    println!(
+        "element test: 500 B in -> {} B out, handler truncated={}",
+        out.external[0].1.len(),
+        router.read_handler("t.truncated").unwrap()
+    );
+
+    // --- Extension point 1: a catalog entry composing standard elements
+    // (a "tiny IDS": count suspicious payloads, drop oversize packets). ---
+    let mut catalog = Catalog::standard();
+    catalog.register(VnfTemplate {
+        name: "tiny_ids",
+        description: "Flags payloads containing a pattern; drops nothing",
+        ports: 2,
+        default_cpu: 1.0,
+        default_mem_mb: 128,
+        template: "\
+FromDevice(0) -> m :: StringMatcher({{pattern}});\n\
+m [0] -> alert :: Counter -> ToDevice(1);\n\
+m [1] -> clean :: Counter -> ToDevice(1);\n\
+FromDevice(1) -> rev :: Counter -> ToDevice(0);\n",
+        params: &[("pattern", "\"attack\"")],
+    });
+    let cfg = catalog.render("tiny_ids", &[]).unwrap();
+    println!("\ntiny_ids click config:\n{cfg}");
+    Router::from_config(&cfg, &registry, 0).expect("tiny_ids compiles");
+
+    // --- Deploy the new VNF through the full environment. The catalog
+    // in the deployed containers is the standard one, so ship the
+    // rendered Click text via initiateVNF's click-config... which the
+    // environment does automatically when the type is unknown? No — the
+    // supported path for custom types is the raw config option, shown
+    // here through a standard-type chain with custom parameters instead.
+    let topo = builders::linear(2, 4.0);
+    let mut esc = Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Proactive, 5).unwrap();
+    let sg = ServiceGraph::new()
+        .sap("sap0")
+        .sap("sap1")
+        .vnf("ids", "dpi", 1.0, 128)
+        .with_params(&[("pattern", "\"attack\"")])
+        .chain("c", &["sap0", "ids", "sap1"], 10.0, None);
+    esc.deploy(&sg).unwrap();
+    esc.start_udp("sap0", "sap1", 200, 500, 10).unwrap();
+    esc.run_for_ms(50);
+    println!(
+        "\ndeployed dpi with custom pattern: sap1 received {} frames",
+        esc.sap_stats("sap1").unwrap().udp_rx
+    );
+    let handlers = esc.monitor_vnf("c", "ids").unwrap();
+    println!("{}", escape::monitor::format_handler_table("ids @ c", &handlers));
+    println!("ok.");
+}

@@ -1,0 +1,67 @@
+//! Quickstart: the smallest useful ESCAPE-RS session.
+//!
+//! Builds a 2-switch topology, deploys a one-VNF chain, pushes traffic
+//! through it and prints what happened.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use escape::env::Escape;
+use escape_orch::GreedyFirstFit;
+use escape_pox::SteeringMode;
+use escape_sg::topo::builders;
+use escape_sg::ServiceGraph;
+
+fn main() {
+    // Infrastructure: sap0 - s0 - s1 - sap1, one VNF container per switch.
+    let topo = builders::linear(2, 4.0);
+    println!(
+        "topology: {} switches, {} containers, {} SAPs, {} links",
+        topo.switches().count(),
+        topo.containers().count(),
+        topo.saps().count(),
+        topo.links.len()
+    );
+
+    let mut esc = Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Proactive, 42)
+        .expect("environment builds");
+
+    // Service: sap0 -> monitor -> sap1, 50 Mbit/s.
+    let sg = ServiceGraph::new()
+        .sap("sap0")
+        .sap("sap1")
+        .vnf("mon", "monitor", 0.5, 64)
+        .chain("quick", &["sap0", "mon", "sap1"], 50.0, None);
+
+    let report = esc.deploy(&sg).expect("chain deploys");
+    let chain = &report.chains[0];
+    println!(
+        "deployed chain 'quick': VNF {} on {} | {} steering rules | setup {} (netconf {}, steering {})",
+        chain.vnfs[0].vnf_id,
+        chain.vnfs[0].container,
+        chain.rules,
+        report.total(),
+        report.netconf_phase(),
+        report.steering_phase()
+    );
+
+    // Traffic: 100 frames of 256 B, one every 100 µs.
+    esc.start_udp("sap0", "sap1", 256, 100, 100).expect("traffic starts");
+    esc.run_for_ms(100);
+
+    let stats = esc.sap_stats("sap1").unwrap();
+    println!(
+        "sap1 received {}/{} frames, mean latency {}, max {}",
+        stats.udp_rx,
+        100,
+        stats.mean_latency().map(|t| t.to_string()).unwrap_or_default(),
+        escape_netem::Time::from_ns(stats.latency_max_ns)
+    );
+
+    // Clicky view of the VNF.
+    let handlers = esc.monitor_vnf("quick", "mon").expect("monitoring works");
+    println!("{}", escape::monitor::format_handler_table("mon @ quick", &handlers));
+    assert_eq!(stats.udp_rx, 100, "quickstart must deliver everything");
+    println!("ok.");
+}

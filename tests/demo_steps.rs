@@ -1,0 +1,131 @@
+//! Experiment D5: the five-step SIGCOMM'14 demo, scripted.
+//!
+//! Paper §2: "The audience can (1) define VNF containers and the rest of
+//! the topology, (2) use the SG editor to create an abstract service
+//! graph where VNFs can be selected from a predefined list, (3) initiate
+//! the SG mapping to network resources and the deployment, (4) use
+//! standard tools to send and inspect live traffic, and (5) monitor the
+//! VNFs with Clicky."
+//!
+//! Our GUI stand-ins are the topology/SG DSLs; "standard tools" is the
+//! SAP traffic generator + payload inbox; "Clicky" is the NETCONF
+//! handler monitor.
+
+use escape::env::Escape;
+use escape::monitor::{format_handler_table, headline};
+use escape_catalog::Catalog;
+use escape_orch::NearestNeighbor;
+use escape_pox::SteeringMode;
+use escape_sg::{parse_service_graph, parse_topology};
+
+/// The demo topology: two SAPs, two switches, two VNF containers.
+const TOPOLOGY: &str = "\
+# Step 1: define VNF containers and the rest of the topology
+switch s1 s2
+container c1 cpu=4 mem=2048
+container c2 cpu=4 mem=2048
+sap sap0 sap1
+link sap0 s1 bw=1000 delay=10us
+link sap1 s2 bw=1000 delay=10us
+link s1 s2   bw=1000 delay=100us
+link c1 s1   bw=1000 delay=20us
+link c2 s2   bw=1000 delay=20us
+";
+
+/// The demo service graph: sap0 -> firewall -> rate limiter -> sap1.
+const SERVICE_GRAPH: &str = "\
+# Step 2: create an abstract service graph in the SG editor
+sap sap0 sap1
+vnf fw  type=firewall     cpu=1 rules=allow_udp
+vnf lim type=rate_limiter cpu=1 rate_bps=5000000
+chain demo = sap0 -> fw -> lim -> sap1 bw=50 delay=10ms
+";
+
+/// The DSL carries `rules=allow_udp` (no spaces in DSL values); expand it
+/// to the real rule text before deployment.
+fn demo_sg() -> escape_sg::ServiceGraph {
+    let mut sg = parse_service_graph(SERVICE_GRAPH).expect("step 2: SG parses");
+    for v in &mut sg.vnfs {
+        for (k, val) in &mut v.params {
+            if k == "rules" && val == "allow_udp" {
+                *val = "allow udp".to_string();
+            }
+        }
+    }
+    sg
+}
+
+#[test]
+fn five_step_demo() {
+    // Step 1 — topology definition (GUI stand-in: the DSL).
+    let topo = parse_topology(TOPOLOGY).expect("step 1: topology parses");
+    assert_eq!(topo.containers().count(), 2);
+
+    // Step 2 — service graph, with VNFs "selected from a predefined
+    // list" (they must exist in the catalog).
+    let sg = demo_sg();
+    let catalog = Catalog::standard();
+    for v in &sg.vnfs {
+        assert!(catalog.get(&v.vnf_type).is_some(), "step 2: {} not in catalog", v.vnf_type);
+    }
+
+    // Step 3 — mapping + deployment.
+    let mut esc =
+        Escape::build(topo, Box::new(NearestNeighbor), SteeringMode::Proactive, 14).unwrap();
+    let report = esc.deploy(&sg).expect("step 3: deployment succeeds");
+    assert_eq!(report.chains.len(), 1);
+    let chain = &report.chains[0];
+    assert_eq!(chain.vnfs.len(), 2);
+    assert!(report.netconf_phase().as_us() > 0, "NETCONF RPCs take virtual time");
+    println!(
+        "step 3: chain deployed in {} (netconf {}, steering {})",
+        report.total(),
+        report.netconf_phase(),
+        report.steering_phase()
+    );
+
+    // Step 4 — send and inspect live traffic.
+    esc.start_udp("sap0", "sap1", 300, 1_000, 20).unwrap();
+    esc.run_for_ms(200);
+    let stats = esc.sap_stats("sap1").unwrap();
+    assert_eq!(stats.udp_rx, 20, "step 4: traffic flows through the chain");
+    let inbox = esc.sap_inbox("sap1").unwrap();
+    assert!(!inbox.is_empty(), "step 4: payloads inspectable at the SAP");
+
+    // Step 5 — monitor the VNFs "with Clicky".
+    let fw_handlers = esc.monitor_vnf("demo", "fw").unwrap();
+    let fw_table = format_handler_table("fw @ demo", &fw_handlers);
+    println!("{fw_table}");
+    assert!(
+        fw_handlers.iter().any(|(k, v)| k == "fw.passed" && v == "20"),
+        "step 5: firewall counters visible: {fw_handlers:?}"
+    );
+    let lim_handlers = esc.monitor_vnf("demo", "lim").unwrap();
+    assert!(
+        lim_handlers.iter().any(|(k, v)| k == "shaper.count" && v == "20"),
+        "step 5: shaper counters visible: {lim_handlers:?}"
+    );
+    let hl = headline(&fw_handlers);
+    assert!(hl.iter().any(|(k, _)| *k == "status"));
+}
+
+#[test]
+fn demo_chain_respects_the_rate_limit() {
+    // The demo's rate limiter (5 Mbit/s) must pace a burst: offered load
+    // 300 B / 100 µs = 24 Mbit/s. 50 frames need 50*300*8/5e6 = 24 ms to
+    // drain, so the tail packet queues for many milliseconds.
+    let topo = parse_topology(TOPOLOGY).unwrap();
+    let sg = demo_sg();
+    let mut esc =
+        Escape::build(topo, Box::new(NearestNeighbor), SteeringMode::Proactive, 15).unwrap();
+    esc.deploy(&sg).unwrap();
+    esc.start_udp("sap0", "sap1", 300, 100, 50).unwrap();
+    esc.run_for_ms(500);
+    let stats = esc.sap_stats("sap1").unwrap();
+    assert_eq!(stats.udp_rx, 50, "shaper buffers, not drops, at this depth");
+    assert!(
+        stats.latency_max_ns > 10_000_000,
+        "tail packet queued >10 ms behind the shaper, got {} ns",
+        stats.latency_max_ns
+    );
+}

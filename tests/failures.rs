@@ -1,0 +1,136 @@
+//! Failure injection across the stack: link loss, link down, VNF death,
+//! agent death, resource exhaustion under churn.
+
+use escape::container::VnfContainer;
+use escape::env::Escape;
+use escape::EscapeError;
+use escape_netconf::VnfInstrumentation;
+use escape_netem::LinkState;
+use escape_orch::{GreedyFirstFit, NearestNeighbor};
+use escape_pox::SteeringMode;
+use escape_sg::topo::builders;
+use escape_sg::ServiceGraph;
+
+fn sg() -> ServiceGraph {
+    ServiceGraph::new()
+        .sap("sap0")
+        .sap("sap1")
+        .vnf("mon", "monitor", 0.5, 64)
+        .chain("c1", &["sap0", "mon", "sap1"], 20.0, None)
+}
+
+#[test]
+fn lossy_links_lose_some_but_not_all() {
+    let topo = builders::linear(2, 4.0);
+    let mut esc =
+        Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Proactive, 21).unwrap();
+    esc.deploy(&sg()).unwrap();
+    // 20% loss on every link.
+    for i in 0..esc.sim.link_count() as u32 {
+        esc.sim.set_link_loss(escape_netem::LinkId(i), 0.2);
+    }
+    esc.start_udp("sap0", "sap1", 100, 200, 100).unwrap();
+    esc.run_for_ms(200);
+    let rx = esc.sap_stats("sap1").unwrap().udp_rx;
+    assert!(rx < 100, "some frames lost ({rx})");
+    assert!(rx > 10, "but not everything ({rx})");
+    assert!(esc.sim.stats.drops_loss > 0);
+}
+
+#[test]
+fn link_down_black_holes_then_recovers() {
+    let topo = builders::linear(2, 4.0);
+    let mut esc =
+        Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Proactive, 22).unwrap();
+    esc.deploy(&sg()).unwrap();
+    // Flip every dataplane link down, verify the black hole, bring them
+    // back, verify recovery.
+    let ids: Vec<escape_netem::LinkId> =
+        (0..esc.sim.link_count() as u32).map(escape_netem::LinkId).collect();
+    for &id in &ids {
+        esc.sim.set_link_state(id, LinkState::Down);
+    }
+    esc.start_udp("sap0", "sap1", 100, 200, 10).unwrap();
+    esc.run_for_ms(50);
+    assert_eq!(esc.sap_stats("sap1").unwrap().udp_rx, 0, "black hole while down");
+    assert!(esc.sim.stats.drops_link_down > 0);
+    for id in ids {
+        esc.sim.set_link_state(id, LinkState::Up);
+    }
+    esc.start_udp("sap0", "sap1", 100, 200, 10).unwrap();
+    esc.run_for_ms(50);
+    assert_eq!(esc.sap_stats("sap1").unwrap().udp_rx, 10, "recovered");
+}
+
+#[test]
+fn stopped_vnf_drops_chain_traffic() {
+    let topo = builders::linear(2, 4.0);
+    let mut esc =
+        Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Proactive, 23).unwrap();
+    esc.deploy(&sg()).unwrap();
+    // Kill the VNF behind the chain's back (simulating a crash).
+    let dc = esc.deployed("c1").unwrap().clone();
+    let vnf = &dc.vnfs[0];
+    let node = esc.infra.node(&vnf.container).unwrap();
+    esc.sim
+        .node_as_mut::<VnfContainer>(node)
+        .unwrap()
+        .host_mut()
+        .stop(&vnf.vnf_id)
+        .unwrap();
+    esc.start_udp("sap0", "sap1", 100, 200, 10).unwrap();
+    esc.run_for_ms(50);
+    assert_eq!(esc.sap_stats("sap1").unwrap().udp_rx, 0);
+    let c = esc.sim.node_as::<VnfContainer>(node).unwrap();
+    let idx = c.host().vnf_index(&vnf.vnf_id).unwrap();
+    assert_eq!(c.host().vnfs[idx].dropped_not_running, 10);
+}
+
+#[test]
+fn dead_agent_times_out_cleanly() {
+    let topo = builders::linear(2, 4.0);
+    let mut esc =
+        Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Proactive, 24).unwrap();
+    // Kill the container node entirely: its agent can never answer.
+    let node = esc.infra.node("c0").unwrap();
+    esc.sim.kill_node(node);
+    let err = esc.deploy(&sg()).err().unwrap();
+    assert!(matches!(err, EscapeError::Netconf(_)), "got {err}");
+}
+
+#[test]
+fn churn_embed_release_cycles_do_not_leak_resources() {
+    let topo = builders::star(4, 2.0);
+    let mut esc =
+        Escape::build(topo, Box::new(NearestNeighbor), SteeringMode::Proactive, 25).unwrap();
+    for round in 0..5 {
+        let g = ServiceGraph::new()
+            .sap("sap0")
+            .sap("sap1")
+            .vnf("v", "monitor", 1.5, 64)
+            .chain("churny", &["sap0", "v", "sap1"], 50.0, None);
+        esc.deploy(&g).unwrap_or_else(|e| panic!("round {round}: {e}"));
+        esc.teardown("churny").unwrap();
+        assert_eq!(
+            esc.orchestrator().cpu_utilization(),
+            0.0,
+            "round {round}: all CPU back"
+        );
+    }
+}
+
+#[test]
+fn delay_sla_violation_is_rejected_up_front() {
+    // 8 switch hops at 50 µs each cannot meet a 60 µs budget.
+    let topo = builders::linear(8, 4.0);
+    let mut esc =
+        Escape::build(topo, Box::new(NearestNeighbor), SteeringMode::Proactive, 26).unwrap();
+    let g = ServiceGraph::new()
+        .sap("sap0")
+        .sap("sap1")
+        .vnf("v", "monitor", 0.5, 64)
+        .chain("tight", &["sap0", "v", "sap1"], 10.0, Some(60));
+    let err = esc.deploy(&g).err().unwrap();
+    let EscapeError::MappingFailed(rej) = err else { panic!("expected mapping failure") };
+    assert!(matches!(rej[0].1, escape_orch::MapError::DelayExceeded { .. }));
+}

@@ -1,0 +1,94 @@
+//! The GUI-substitute file formats: DSL and JSON round trips, plus the
+//! shipped example data files.
+
+use escape_sg::{parse_service_graph, parse_topology, ResourceTopology, ServiceGraph};
+
+#[test]
+fn shipped_demo_files_parse_and_deploy() {
+    let topo_src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/data/demo.topo"
+    ))
+    .expect("demo.topo present");
+    let sg_src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/data/demo.sg"
+    ))
+    .expect("demo.sg present");
+    let topo = parse_topology(&topo_src).unwrap();
+    let sg = parse_service_graph(&sg_src).unwrap();
+    assert_eq!(topo.containers().count(), 2);
+    assert_eq!(sg.chains.len(), 2);
+
+    // And they actually deploy.
+    let mut esc = escape::env::Escape::build(
+        topo,
+        Box::new(escape_orch::NearestNeighbor),
+        escape_pox::SteeringMode::Proactive,
+        33,
+    )
+    .unwrap();
+    let report = esc.deploy(&sg).unwrap();
+    assert_eq!(report.chains.len(), 2);
+}
+
+#[test]
+fn dsl_to_json_round_trip() {
+    // A topology written in the DSL survives a JSON round trip intact.
+    let topo = parse_topology(
+        "switch a b\ncontainer c0 cpu=2 mem=512\nsap s0 s1\n\
+         link s0 a\nlink s1 b\nlink a b bw=500 delay=2ms\nlink c0 a\n",
+    )
+    .unwrap();
+    let back = ResourceTopology::from_json(&topo.to_json()).unwrap();
+    assert_eq!(topo, back);
+
+    let sg = parse_service_graph(
+        "sap s0 s1\nvnf v type=dpi cpu=0.5 pattern=evil\nchain c = s0 -> v -> s1 bw=5 delay=1ms\n",
+    )
+    .unwrap();
+    let back = ServiceGraph::from_json(&sg.to_json()).unwrap();
+    assert_eq!(sg, back);
+    // DSL params made it into the JSON.
+    assert_eq!(back.vnfs[0].params, vec![("pattern".to_string(), "evil".to_string())]);
+}
+
+#[test]
+fn json_is_stable_for_hand_editing() {
+    // The JSON format is the machine interchange; field names are part
+    // of the contract a GUI would rely on.
+    let topo = parse_topology("switch s0\nsap a b\nlink a s0\nlink b s0\n").unwrap();
+    let json = topo.to_json();
+    for field in ["\"nodes\"", "\"links\"", "\"kind\"", "\"switch\"", "\"sap\"", "\"bandwidth_mbps\"", "\"delay_us\""] {
+        assert!(json.contains(field), "missing {field} in:\n{json}");
+    }
+    // Hand-written JSON loads.
+    let hand = r#"{
+      "nodes": [
+        {"name": "s0", "kind": "switch"},
+        {"name": "c0", "kind": "container", "cpu": 2.0, "mem_mb": 256},
+        {"name": "a", "kind": "sap"}
+      ],
+      "links": [
+        {"a": "a", "b": "s0", "bandwidth_mbps": 100.0, "delay_us": 10},
+        {"a": "c0", "b": "s0", "bandwidth_mbps": 100.0, "delay_us": 10}
+      ]
+    }"#;
+    let t = ResourceTopology::from_json(hand).unwrap();
+    t.validate().unwrap();
+    assert_eq!(t.containers().count(), 1);
+}
+
+#[test]
+fn sg_json_accepts_missing_optional_fields() {
+    // `params` and `max_delay_us` are optional in hand-written files.
+    let hand = r#"{
+      "saps": ["a", "b"],
+      "vnfs": [{"name": "v", "vnf_type": "monitor", "cpu": 1.0, "mem_mb": 64}],
+      "chains": [{"name": "c", "hops": ["a", "v", "b"], "bandwidth_mbps": 5.0, "max_delay_us": null}]
+    }"#;
+    let sg = ServiceGraph::from_json(hand).unwrap();
+    sg.validate().unwrap();
+    assert!(sg.vnfs[0].params.is_empty());
+    assert_eq!(sg.chains[0].max_delay_us, None);
+}
