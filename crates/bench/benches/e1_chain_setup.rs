@@ -40,6 +40,7 @@ fn print_table() {
         "{:>6} {:>12} {:>12} {:>12} {:>8} {:>8}",
         "vnfs", "total_us", "netconf_us", "steering_us", "rpcs", "rules"
     );
+    let mut runs = Vec::new();
     for n in [1usize, 2, 3, 4, 6, 8] {
         let mut esc = fresh_env();
         let report = esc.deploy(&chain_sg(n)).expect("deploys");
@@ -55,6 +56,19 @@ fn print_table() {
             rpcs,
             dc.rules
         );
+        runs.push(
+            escape_json::Value::obj()
+                .set("vnfs", n as u64)
+                .set("total_us", report.total().as_us())
+                .set("metrics", esc.metrics().json_value())
+                .set("trace", esc.tracer().json_value()),
+        );
+    }
+    let doc = escape_json::Value::obj()
+        .set("experiment", "e1_chain_setup")
+        .set("runs", escape_json::Value::Arr(runs));
+    if let Some(path) = escape_bench::write_telemetry_artifact("e1_chain_setup", &doc) {
+        println!("telemetry artifact: {}", path.display());
     }
     println!("(expected shape: total grows linearly with chain length, NETCONF dominates)\n");
 }

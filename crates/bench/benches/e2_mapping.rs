@@ -13,13 +13,30 @@ use escape_orch::{
 };
 use escape_sg::topo::builders;
 
-fn algos() -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn MappingAlgorithm>>)> {
+type AlgoFactory = Box<dyn Fn() -> Box<dyn MappingAlgorithm>>;
+
+fn algos() -> Vec<(&'static str, AlgoFactory)> {
     vec![
         ("first_fit", Box::new(|| Box::new(GreedyFirstFit))),
         ("best_fit", Box::new(|| Box::new(BestFitCpu))),
         ("nearest", Box::new(|| Box::new(NearestNeighbor))),
-        ("backtrack", Box::new(|| Box::new(Backtracking { node_budget: 50_000 }))),
-        ("anneal", Box::new(|| Box::new(SimulatedAnnealing { iterations: 200, seed: 9 }))),
+        (
+            "backtrack",
+            Box::new(|| {
+                Box::new(Backtracking {
+                    node_budget: 50_000,
+                })
+            }),
+        ),
+        (
+            "anneal",
+            Box::new(|| {
+                Box::new(SimulatedAnnealing {
+                    iterations: 200,
+                    seed: 9,
+                })
+            }),
+        ),
     ]
 }
 
@@ -63,7 +80,12 @@ fn print_table() {
             };
             println!(
                 "{:>7} {:>11} {:>7}/{:<3} {:>10}us {:>11.1}",
-                leaves, name, n, sg.chains.len(), mean_delay, mean_hops
+                leaves,
+                name,
+                n,
+                sg.chains.len(),
+                mean_delay,
+                mean_hops
             );
         }
     }

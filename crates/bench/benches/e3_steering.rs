@@ -25,17 +25,28 @@ fn sg() -> ServiceGraph {
         .chain("c", &["sap0", "m", "sap1"], 20.0, None)
 }
 
-fn run_mode(mode: SteeringMode) -> (u64, u64, u64, u64) {
+fn run_mode(mode: SteeringMode) -> (u64, u64, u64, u64, escape_json::Value) {
     let mut esc =
         Escape::build(builders::linear(2, 4.0), Box::new(GreedyFirstFit), mode, 3).unwrap();
     esc.deploy(&sg()).unwrap();
     esc.start_udp("sap0", "sap1", 128, 1_000, 20).unwrap();
     esc.run_for_ms(100);
     let stats = esc.sap_stats("sap1").unwrap();
-    let ctl = esc.sim.node_as::<Controller>(esc.infra.controller).unwrap().stats;
+    let ctl = esc
+        .sim
+        .node_as::<Controller>(esc.infra.controller)
+        .unwrap()
+        .stats();
+    let metrics = esc.metrics().json_value();
     // First packet latency ≈ max (it pays the reactive penalty), steady
     // state ≈ mean of the rest.
-    (stats.latency_max_ns / 1_000, stats.latency_sum_ns / stats.latency_samples.max(1) / 1_000, ctl.packet_ins, ctl.flow_mods_sent)
+    (
+        stats.latency_max_ns / 1_000,
+        stats.latency_sum_ns / stats.latency_samples.max(1) / 1_000,
+        ctl.packet_ins,
+        ctl.flow_mods_sent,
+        metrics,
+    )
 }
 
 fn print_table() {
@@ -44,9 +55,17 @@ fn print_table() {
         "{:>10} {:>14} {:>13} {:>11} {:>10}",
         "mode", "first_pkt_us", "mean_lat_us", "packet_ins", "flow_mods"
     );
-    for (name, mode) in [("proactive", SteeringMode::Proactive), ("reactive", SteeringMode::Reactive)] {
-        let (first, mean, pins, fmods) = run_mode(mode);
+    let mut doc = escape_json::Value::obj().set("experiment", "e3_steering");
+    for (name, mode) in [
+        ("proactive", SteeringMode::Proactive),
+        ("reactive", SteeringMode::Reactive),
+    ] {
+        let (first, mean, pins, fmods, metrics) = run_mode(mode);
         println!("{name:>10} {first:>14} {mean:>13} {pins:>11} {fmods:>10}");
+        doc = doc.set(name, metrics);
+    }
+    if let Some(path) = escape_bench::write_telemetry_artifact("e3_steering", &doc) {
+        println!("telemetry artifact: {}", path.display());
     }
     println!("(expected shape: reactive pays a controller round-trip on the first");
     println!(" packet and emits packet-ins; proactive pre-installs everything)\n");
@@ -88,7 +107,9 @@ fn bench(c: &mut Criterion) {
 
     // Wire encode/decode cost of a flow-mod (control channel overhead).
     let fm = escape_openflow::OfMessage::FlowMod {
-        match_: Match::any().with_dl_type(0x0800).with_nw_dst(Ipv4Addr::new(10, 0, 0, 2), 32),
+        match_: Match::any()
+            .with_dl_type(0x0800)
+            .with_nw_dst(Ipv4Addr::new(10, 0, 0, 2), 32),
         cookie: 1,
         command: escape_openflow::FlowModCommand::Add,
         idle_timeout: 0,

@@ -21,12 +21,23 @@ fn frame(len: usize) -> Packet {
         8000,
         len,
     );
-    Packet { data, id: 1, born_ns: 0 }
+    Packet {
+        data,
+        id: 1,
+        born_ns: 0,
+    }
 }
 
 /// VNFs with a plain port-0 -> port-1 forward path.
 const TYPES: &[&str] = &[
-    "bridge", "firewall", "rate_limiter", "dpi", "nat", "monitor", "qos_marker", "sampler",
+    "bridge",
+    "firewall",
+    "rate_limiter",
+    "dpi",
+    "nat",
+    "monitor",
+    "qos_marker",
+    "sampler",
     "ttl_guard",
 ];
 
@@ -37,7 +48,9 @@ fn build(vnf: &str) -> Router {
         "rate_limiter" => vec![("rate_bps".into(), "100000000000".into())],
         _ => vec![],
     };
-    catalog.build_router(vnf, &overrides, &Registry::standard(), 1).unwrap()
+    catalog
+        .build_router(vnf, &overrides, &Registry::standard(), 1)
+        .unwrap()
 }
 
 fn print_table() {

@@ -21,7 +21,12 @@ struct NullInstr {
 }
 
 impl VnfInstrumentation for NullInstr {
-    fn initiate(&mut self, t: &str, _c: Option<&str>, _o: &[(String, String)]) -> Result<String, String> {
+    fn initiate(
+        &mut self,
+        t: &str,
+        _c: Option<&str>,
+        _o: &[(String, String)],
+    ) -> Result<String, String> {
         self.n += 1;
         Ok(format!("{t}{}", self.n))
     }

@@ -35,11 +35,11 @@ fn print_table() {
             .chain("c", &["sap0", "m", "sap1"], 10.0, None);
         esc.deploy(&sg).unwrap();
         esc.start_udp("sap0", "sap1", 128, 50, 2_000).unwrap();
-        let e0 = esc.sim.stats.events;
+        let e0 = esc.sim.stats().events;
         let t1 = Instant::now();
         esc.run_for_ms(200);
         let wall = t1.elapsed().as_secs_f64();
-        let events = esc.sim.stats.events - e0;
+        let events = esc.sim.stats().events - e0;
         println!(
             "{:>8} {:>8} {:>12} {:>12} {:>14.0}",
             leaves,
@@ -71,7 +71,7 @@ fn bench(c: &mut Criterion) {
             esc.deploy(&sg).unwrap();
             esc.start_udp("sap0", "sap1", 128, 50, 2_000).unwrap();
             esc.run_for_ms(150);
-            esc.sim.stats.events
+            esc.sim.stats().events
         });
     });
     g.finish();

@@ -72,7 +72,10 @@ fn victim_latency_us(noisy_isolation: &str) -> (u64, u64) {
 fn print_table() {
     println!("\nE8: co-located VNF interference under isolation modes");
     println!("(victim = monitor chain; noisy neighbour = DPI chain on the same container)");
-    println!("{:>22} {:>18} {:>16}", "noisy isolation", "victim_mean_us", "noisy_rx");
+    println!(
+        "{:>22} {:>18} {:>16}",
+        "noisy isolation", "victim_mean_us", "noisy_rx"
+    );
     for (label, spec) in [
         ("none (shared CPU)", "none"),
         ("cpu share 1/4", "share:1:4"),

@@ -1,1 +1,32 @@
-//! escape-bench: benchmark harness crate. All content lives in benches/.
+//! escape-bench: benchmark harness crate. The experiments live in
+//! `benches/`; this lib holds shared plumbing.
+
+use escape_json::Value;
+use std::path::PathBuf;
+
+/// Writes a telemetry artifact (JSON) next to the timing output, under
+/// `target/telemetry/<name>.json`. Benches call this so every run leaves
+/// a machine-readable metrics snapshot alongside the printed numbers.
+/// Returns the path written, or `None` if the filesystem refused.
+pub fn write_telemetry_artifact(name: &str, doc: &Value) -> Option<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/telemetry");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, doc.to_string_pretty()).ok()?;
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_round_trips() {
+        let doc = Value::obj().set("bench", "smoke").set("n", 3u64);
+        let path = write_telemetry_artifact("smoke_test", &doc).expect("writable target dir");
+        let read = std::fs::read_to_string(&path).unwrap();
+        let parsed = Value::parse(&read).unwrap();
+        assert_eq!(parsed.get("n").unwrap().as_u64(), Some(3));
+        std::fs::remove_file(path).ok();
+    }
+}

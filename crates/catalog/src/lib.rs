@@ -68,7 +68,9 @@ pub struct Catalog {
 impl Catalog {
     /// The standard catalog shipped with ESCAPE-RS.
     pub fn standard() -> Catalog {
-        Catalog { entries: standard_entries() }
+        Catalog {
+            entries: standard_entries(),
+        }
     }
 
     /// All type names, sorted.
@@ -90,12 +92,19 @@ impl Catalog {
     }
 
     /// Renders a type's Click config with parameter overrides.
-    pub fn render(&self, name: &str, overrides: &[(String, String)]) -> Result<String, CatalogError> {
+    pub fn render(
+        &self,
+        name: &str,
+        overrides: &[(String, String)],
+    ) -> Result<String, CatalogError> {
         let entry = self
             .get(name)
             .ok_or_else(|| CatalogError::UnknownType(name.to_string()))?;
-        let mut values: HashMap<&str, String> =
-            entry.params.iter().map(|(k, v)| (*k, v.to_string())).collect();
+        let mut values: HashMap<&str, String> = entry
+            .params
+            .iter()
+            .map(|(k, v)| (*k, v.to_string()))
+            .collect();
         for (k, v) in overrides {
             let key = entry
                 .params
@@ -282,8 +291,17 @@ mod tests {
     fn catalog_has_the_advertised_types() {
         let c = Catalog::standard();
         for name in [
-            "bridge", "firewall", "rate_limiter", "dpi", "nat", "load_balancer", "monitor",
-            "delay", "qos_marker", "sampler", "ttl_guard",
+            "bridge",
+            "firewall",
+            "rate_limiter",
+            "dpi",
+            "nat",
+            "load_balancer",
+            "monitor",
+            "delay",
+            "qos_marker",
+            "sampler",
+            "ttl_guard",
         ] {
             assert!(c.get(name).is_some(), "missing {name}");
         }
@@ -376,7 +394,10 @@ mod tests {
         let mut r = c
             .build_router(
                 "firewall",
-                &[("rules".to_string(), "deny dst port 23, allow all".to_string())],
+                &[(
+                    "rules".to_string(),
+                    "deny dst port 23, allow all".to_string(),
+                )],
                 &Registry::standard(),
                 1,
             )
@@ -391,7 +412,11 @@ mod tests {
                 dport,
                 Bytes::from_static(b"x"),
             );
-            Packet { data, id: 0, born_ns: 0 }
+            Packet {
+                data,
+                id: 0,
+                born_ns: 0,
+            }
         };
         assert_eq!(r.push_external(0, mk(80), Time::ZERO).external.len(), 1);
         assert_eq!(r.push_external(0, mk(23), Time::ZERO).external.len(), 0);

@@ -99,7 +99,11 @@ pub trait Element: AsAnyElement {
 /// Deferred work produced while an element runs.
 pub(crate) enum Effect {
     /// Push `pkt` downstream from output `(from_elem, from_port)`.
-    Downstream { from_elem: usize, from_port: usize, pkt: Packet },
+    Downstream {
+        from_elem: usize,
+        from_port: usize,
+        pkt: Packet,
+    },
     /// Emit `pkt` out of the VNF on device `dev`.
     External { dev: u16, pkt: Packet },
     /// Wake whatever is connected downstream of `(from_elem, from_port)`.
@@ -201,7 +205,9 @@ mod tests {
 
     #[test]
     fn handler_error_display() {
-        assert!(HandlerError::NoSuchHandler("x".into()).to_string().contains("x"));
+        assert!(HandlerError::NoSuchHandler("x".into())
+            .to_string()
+            .contains("x"));
         assert!(HandlerError::BadValue("y".into()).to_string().contains("y"));
     }
 }

@@ -12,7 +12,11 @@ pub fn install(r: &mut Registry) {
         if n == 0 {
             return Err("needs at least one output".into());
         }
-        Ok(Box::new(RoundRobinSwitch { n, next: 0, count: 0 }))
+        Ok(Box::new(RoundRobinSwitch {
+            n,
+            next: 0,
+            count: 0,
+        }))
     });
     r.register("HashSwitch", |a| {
         args::max(a, 1)?;
@@ -133,7 +137,11 @@ mod tests {
             80,
             Bytes::from_static(b"lb"),
         );
-        Packet { data, id: 0, born_ns: 0 }
+        Packet {
+            data,
+            id: 0,
+            born_ns: 0,
+        }
     }
 
     #[test]
@@ -161,7 +169,10 @@ mod tests {
         // Same flow -> same output, every time.
         let first = r.push_external(0, udp(1234), Time::ZERO).external[0].0;
         for _ in 0..10 {
-            assert_eq!(r.push_external(0, udp(1234), Time::ZERO).external[0].0, first);
+            assert_eq!(
+                r.push_external(0, udp(1234), Time::ZERO).external[0].0,
+                first
+            );
         }
         // Many flows spread over more than one output.
         let mut used = std::collections::HashSet::new();

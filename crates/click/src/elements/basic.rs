@@ -53,7 +53,11 @@ pub fn install(r: &mut Registry) {
         if rate == 0 {
             return Err("rate must be positive".into());
         }
-        Ok(Box::new(RatedUnqueue { interval_ns: 1_000_000_000 / rate, next: None, moved: 0 }))
+        Ok(Box::new(RatedUnqueue {
+            interval_ns: 1_000_000_000 / rate,
+            next: None,
+            moved: 0,
+        }))
     });
 }
 
@@ -140,7 +144,10 @@ impl Element for Counter {
                 if span == 0 || self.count < 2 {
                     Some("0".to_string())
                 } else {
-                    Some(format!("{:.1}", (self.count - 1) as f64 * 1e9 / span as f64))
+                    Some(format!(
+                        "{:.1}",
+                        (self.count - 1) as f64 * 1e9 / span as f64
+                    ))
                 }
             }
             "bit_rate" => {
@@ -149,7 +156,10 @@ impl Element for Counter {
                 if span == 0 || self.count < 2 {
                     Some("0".to_string())
                 } else {
-                    Some(format!("{:.0}", self.byte_count as f64 * 8.0 * 1e9 / span as f64))
+                    Some(format!(
+                        "{:.0}",
+                        self.byte_count as f64 * 8.0 * 1e9 / span as f64
+                    ))
                 }
             }
             _ => None,
@@ -228,7 +238,12 @@ pub struct Queue {
 
 impl Queue {
     fn new(cap: usize) -> Self {
-        Queue { q: VecDeque::new(), cap, drops: 0, highwater: 0 }
+        Queue {
+            q: VecDeque::new(),
+            cap,
+            drops: 0,
+            highwater: 0,
+        }
     }
 }
 
@@ -377,7 +392,11 @@ mod tests {
     use escape_packet::Packet;
 
     fn pkt(n: usize) -> Packet {
-        Packet { data: Bytes::from(vec![0xaau8; n]), id: 0, born_ns: 0 }
+        Packet {
+            data: Bytes::from(vec![0xaau8; n]),
+            id: 0,
+            born_ns: 0,
+        }
     }
 
     fn mk(cfg: &str) -> Router {
@@ -408,8 +427,7 @@ mod tests {
     fn queue_without_drainer_overflows() {
         // Queue pull output must be connected; use RatedUnqueue with a very
         // slow rate so nothing drains at t=0.
-        let mut r =
-            mk("FromDevice(0) -> q :: Queue(2); q -> RatedUnqueue(1) -> ToDevice(0);");
+        let mut r = mk("FromDevice(0) -> q :: Queue(2); q -> RatedUnqueue(1) -> ToDevice(0);");
         for _ in 0..5 {
             r.push_external(0, pkt(10), Time::ZERO);
         }
@@ -458,9 +476,7 @@ mod tests {
 
     #[test]
     fn unqueue_burst_limits_per_wake() {
-        let mut r = mk(
-            "FromDevice(0) -> q :: Queue(10); q -> u :: Unqueue(1) -> ToDevice(0);",
-        );
+        let mut r = mk("FromDevice(0) -> q :: Queue(10); q -> u :: Unqueue(1) -> ToDevice(0);");
         // Each push kicks only on empty->nonempty; with burst 1 the queue
         // retains the backlog.
         let o1 = r.push_external(0, pkt(10), Time::ZERO);
@@ -473,7 +489,12 @@ mod tests {
     #[test]
     fn bad_factory_args_are_errors() {
         let reg = Registry::standard();
-        assert!(Router::from_config("q :: Queue(0); FromDevice(0) -> q; q -> Unqueue -> ToDevice(0);", &reg, 0).is_err());
+        assert!(Router::from_config(
+            "q :: Queue(0); FromDevice(0) -> q; q -> Unqueue -> ToDevice(0);",
+            &reg,
+            0
+        )
+        .is_err());
         assert!(Router::from_config("u :: RatedUnqueue(0);", &reg, 0).is_err());
         assert!(Router::from_config("t :: Tee(0);", &reg, 0).is_err());
         assert!(Router::from_config("f :: FromDevice(notanumber);", &reg, 0).is_err());

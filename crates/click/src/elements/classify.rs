@@ -10,14 +10,20 @@ pub fn install(r: &mut Registry) {
         if a.is_empty() {
             return Err("needs at least one pattern".into());
         }
-        let patterns = a.iter().map(|p| BytePattern::parse(p)).collect::<Result<Vec<_>, _>>()?;
+        let patterns = a
+            .iter()
+            .map(|p| BytePattern::parse(p))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Box::new(Classifier { patterns, drops: 0 }))
     });
     r.register("IPClassifier", |a| {
         if a.is_empty() {
             return Err("needs at least one expression".into());
         }
-        let exprs = a.iter().map(|e| IpExpr::parse(e)).collect::<Result<Vec<_>, _>>()?;
+        let exprs = a
+            .iter()
+            .map(|e| IpExpr::parse(e))
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Box::new(IpClassifier { exprs, drops: 0 }))
     });
 }
@@ -34,7 +40,9 @@ impl BytePattern {
     pub fn parse(s: &str) -> Result<BytePattern, String> {
         let s = s.trim();
         if s == "-" {
-            return Ok(BytePattern { clauses: Vec::new() });
+            return Ok(BytePattern {
+                clauses: Vec::new(),
+            });
         }
         let mut clauses = Vec::new();
         for part in s.split_whitespace() {
@@ -139,7 +147,11 @@ impl IpTerm {
     fn eval(&self, k: &FlowKey) -> bool {
         let in_net = |ip: Option<Ipv4Addr>, net: Ipv4Addr, len: u8| {
             ip.is_some_and(|ip| {
-                let mask = if len == 0 { 0 } else { u32::MAX << (32 - len as u32) };
+                let mask = if len == 0 {
+                    0
+                } else {
+                    u32::MAX << (32 - len as u32)
+                };
                 u32::from(ip) & mask == u32::from(net) & mask
             })
         };
@@ -177,7 +189,9 @@ impl IpExpr {
     pub fn parse(s: &str) -> Result<IpExpr, String> {
         let s = s.trim();
         if s == "-" || s.eq_ignore_ascii_case("any") || s.eq_ignore_ascii_case("all") {
-            return Ok(IpExpr { terms: vec![IpTerm::Any] });
+            return Ok(IpExpr {
+                terms: vec![IpTerm::Any],
+            });
         }
         let mut terms = Vec::new();
         for clause in s.split(" and ") {
@@ -202,9 +216,7 @@ impl IpExpr {
                 ["src", "port", p] => IpTerm::SrcPort(parse_port(p)?),
                 ["dst", "port", p] => IpTerm::DstPort(parse_port(p)?),
                 ["port", p] => IpTerm::Port(parse_port(p)?),
-                ["dscp", d] => {
-                    IpTerm::Dscp(d.parse().map_err(|_| format!("bad dscp {d:?}"))?)
-                }
+                ["dscp", d] => IpTerm::Dscp(d.parse().map_err(|_| format!("bad dscp {d:?}"))?),
                 _ => return Err(format!("cannot parse expression clause {clause:?}")),
             };
             terms.push(term);
@@ -227,7 +239,9 @@ fn parse_port(s: &str) -> Result<u16, String> {
 }
 
 fn parse_net(s: &str) -> Result<(Ipv4Addr, u8), String> {
-    let (a, l) = s.split_once('/').ok_or_else(|| format!("bad network {s:?}, expected A.B.C.D/len"))?;
+    let (a, l) = s
+        .split_once('/')
+        .ok_or_else(|| format!("bad network {s:?}, expected A.B.C.D/len"))?;
     let len: u8 = l.parse().map_err(|_| format!("bad prefix length {l:?}"))?;
     if len > 32 {
         return Err(format!("prefix length {len} > 32"));
@@ -290,7 +304,11 @@ mod tests {
             dport,
             Bytes::from_static(b"x"),
         );
-        Packet { data, id: 0, born_ns: 0 }
+        Packet {
+            data,
+            id: 0,
+            born_ns: 0,
+        }
     }
 
     fn arp_frame() -> Packet {
@@ -299,7 +317,11 @@ mod tests {
             Ipv4Addr::new(10, 0, 0, 1),
             Ipv4Addr::new(10, 0, 0, 2),
         );
-        Packet { data, id: 0, born_ns: 0 }
+        Packet {
+            data,
+            id: 0,
+            born_ns: 0,
+        }
     }
 
     #[test]
@@ -363,7 +385,9 @@ mod tests {
         assert!(e.matches(&udp_frame(1).flow_key().unwrap()));
         let e = IpExpr::parse("dst net 11.0.0.0/8").unwrap();
         assert!(!e.matches(&udp_frame(1).flow_key().unwrap()));
-        assert!(IpExpr::parse("port 4444").unwrap().matches(&udp_frame(1).flow_key().unwrap()));
+        assert!(IpExpr::parse("port 4444")
+            .unwrap()
+            .matches(&udp_frame(1).flow_key().unwrap()));
     }
 
     #[test]
@@ -382,8 +406,15 @@ mod tests {
             0,
         )
         .unwrap();
-        assert_eq!(r.push_external(0, udp_frame(53), Time::ZERO).external[0].0, 0);
-        assert_eq!(r.push_external(0, udp_frame(80), Time::ZERO).external[0].0, 1);
-        assert_eq!(r.push_external(0, arp_frame(), Time::ZERO).external[0].0, 1); // catch-all
+        assert_eq!(
+            r.push_external(0, udp_frame(53), Time::ZERO).external[0].0,
+            0
+        );
+        assert_eq!(
+            r.push_external(0, udp_frame(80), Time::ZERO).external[0].0,
+            1
+        );
+        assert_eq!(r.push_external(0, arp_frame(), Time::ZERO).external[0].0, 1);
+        // catch-all
     }
 }

@@ -32,7 +32,11 @@ pub fn install(r: &mut Registry) {
             .ok_or("missing destination MAC")?
             .parse()
             .map_err(|_| "bad destination MAC".to_string())?;
-        Ok(Box::new(EtherEncap { ethertype, src, dst }))
+        Ok(Box::new(EtherEncap {
+            ethertype,
+            src,
+            dst,
+        }))
     });
     r.register("CheckIPHeader", |a| {
         args::max(a, 0)?;
@@ -164,12 +168,16 @@ impl Element for DecIpTtl {
         (1, 1)
     }
     fn push(&mut self, ctx: &mut ElemCtx<'_>, _port: usize, mut pkt: Packet) {
-        let Ok(eth) = EthernetFrame::decode(&pkt.data) else { return };
+        let Ok(eth) = EthernetFrame::decode(&pkt.data) else {
+            return;
+        };
         if eth.ethertype != EtherType::Ipv4 {
             ctx.emit(0, pkt); // non-IP passes through untouched
             return;
         }
-        let Ok(ip) = Ipv4Packet::decode(&eth.payload) else { return };
+        let Ok(ip) = Ipv4Packet::decode(&eth.payload) else {
+            return;
+        };
         match ip.decrement_ttl() {
             Some(newip) => {
                 let frame = EthernetFrame::new(eth.dst, eth.src, eth.ethertype, newip.encode());
@@ -203,12 +211,16 @@ impl Element for SetIpDscp {
         (1, 1)
     }
     fn push(&mut self, ctx: &mut ElemCtx<'_>, _port: usize, mut pkt: Packet) {
-        let Ok(eth) = EthernetFrame::decode(&pkt.data) else { return };
+        let Ok(eth) = EthernetFrame::decode(&pkt.data) else {
+            return;
+        };
         if eth.ethertype != EtherType::Ipv4 {
             ctx.emit(0, pkt);
             return;
         }
-        let Ok(mut ip) = Ipv4Packet::decode(&eth.payload) else { return };
+        let Ok(mut ip) = Ipv4Packet::decode(&eth.payload) else {
+            return;
+        };
         ip.dscp = self.dscp;
         let frame = EthernetFrame::new(eth.dst, eth.src, eth.ethertype, ip.encode());
         pkt.data = frame.encode();
@@ -223,8 +235,8 @@ impl Element for SetIpDscp {
 mod tests {
     use super::*;
     use crate::registry::Registry;
-    use bytes::Bytes;
     use crate::router::Router;
+    use bytes::Bytes;
     use escape_netem::Time;
     use escape_packet::PacketBuilder;
     use std::net::Ipv4Addr;
@@ -239,7 +251,11 @@ mod tests {
             2,
             Bytes::from_static(b"payload"),
         );
-        Packet { data, id: 0, born_ns: 0 }
+        Packet {
+            data,
+            id: 0,
+            born_ns: 0,
+        }
     }
 
     fn mk(cfg: &str) -> Router {
@@ -264,7 +280,11 @@ mod tests {
     fn check_ip_header_filters_garbage() {
         let mut r = mk("FromDevice(0) -> c :: CheckIPHeader -> ToDevice(0);");
         assert_eq!(r.push_external(0, udp_pkt(), Time::ZERO).external.len(), 1);
-        let junk = Packet { data: Bytes::from(vec![0u8; 40]), id: 0, born_ns: 0 };
+        let junk = Packet {
+            data: Bytes::from(vec![0u8; 40]),
+            id: 0,
+            born_ns: 0,
+        };
         assert_eq!(r.push_external(0, junk, Time::ZERO).external.len(), 0);
         assert_eq!(r.read_handler("c.drops").unwrap(), "1");
     }
@@ -291,7 +311,15 @@ mod tests {
             low.encode(),
         )
         .encode();
-        let out = r.push_external(0, Packet { data: frame, id: 0, born_ns: 0 }, Time::ZERO);
+        let out = r.push_external(
+            0,
+            Packet {
+                data: frame,
+                id: 0,
+                born_ns: 0,
+            },
+            Time::ZERO,
+        );
         assert!(out.external.is_empty());
         assert_eq!(r.read_handler("d.expired").unwrap(), "1");
     }
@@ -314,7 +342,15 @@ mod tests {
             Ipv4Addr::new(10, 0, 0, 2),
         );
         let before = arp.clone();
-        let out = r.push_external(0, Packet { data: arp, id: 0, born_ns: 0 }, Time::ZERO);
+        let out = r.push_external(
+            0,
+            Packet {
+                data: arp,
+                id: 0,
+                born_ns: 0,
+            },
+            Time::ZERO,
+        );
         assert_eq!(out.external[0].1.data, before);
     }
 
@@ -322,7 +358,10 @@ mod tests {
     fn factory_validation() {
         let reg = Registry::standard();
         assert!(Router::from_config("s :: SetIPDSCP(64);", &reg, 0).is_err());
-        assert!(Router::from_config("e :: EtherEncap(zzzz, 0:0:0:0:0:1, 0:0:0:0:0:2);", &reg, 0).is_err());
+        assert!(
+            Router::from_config("e :: EtherEncap(zzzz, 0:0:0:0:0:1, 0:0:0:0:0:2);", &reg, 0)
+                .is_err()
+        );
         assert!(Router::from_config("e :: EtherEncap(0800);", &reg, 0).is_err());
     }
 }

@@ -41,7 +41,9 @@ pub(crate) mod args {
         match args.get(idx) {
             None => Ok(default),
             Some(s) if s.is_empty() => Ok(default),
-            Some(s) => s.parse().map_err(|_| format!("bad argument {:?} at position {}", s, idx)),
+            Some(s) => s
+                .parse()
+                .map_err(|_| format!("bad argument {:?} at position {}", s, idx)),
         }
     }
 
@@ -56,7 +58,10 @@ pub(crate) mod args {
     /// Rejects extra arguments.
     pub fn max(args: &[String], n: usize) -> Result<(), String> {
         if args.len() > n {
-            Err(format!("expected at most {n} arguments, got {}", args.len()))
+            Err(format!(
+                "expected at most {n} arguments, got {}",
+                args.len()
+            ))
         } else {
             Ok(())
         }

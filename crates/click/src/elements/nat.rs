@@ -10,7 +10,9 @@
 use super::args;
 use crate::element::{ElemCtx, Element};
 use crate::registry::Registry;
-use escape_packet::{EtherType, EthernetFrame, IpProtocol, Ipv4Packet, Packet, TcpSegment, UdpDatagram};
+use escape_packet::{
+    EtherType, EthernetFrame, IpProtocol, Ipv4Packet, Packet, TcpSegment, UdpDatagram,
+};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -94,7 +96,11 @@ impl IpRewriter {
             _ => return None,
         }
         let frame = EthernetFrame::new(eth.dst, eth.src, eth.ethertype, ip.encode());
-        Some(Packet { data: frame.encode(), id: pkt.id, born_ns: pkt.born_ns })
+        Some(Packet {
+            data: frame.encode(),
+            id: pkt.id,
+            born_ns: pkt.born_ns,
+        })
     }
 }
 
@@ -189,7 +195,11 @@ mod tests {
             53,
             Bytes::from_static(b"query"),
         );
-        Packet { data, id: 0, born_ns: 0 }
+        Packet {
+            data,
+            id: 0,
+            born_ns: 0,
+        }
     }
 
     fn parse_udp(p: &Packet) -> (Ipv4Addr, Ipv4Addr, u16, u16) {
@@ -226,7 +236,15 @@ mod tests {
             40_000,
             Bytes::from_static(b"answer"),
         );
-        let out = r.push_external(1, Packet { data: reply, id: 0, born_ns: 0 }, Time::ZERO);
+        let out = r.push_external(
+            1,
+            Packet {
+                data: reply,
+                id: 0,
+                born_ns: 0,
+            },
+            Time::ZERO,
+        );
         assert_eq!(out.external.len(), 1);
         assert_eq!(out.external[0].0, 0);
         let (src, dst, sp, dp) = parse_udp(&out.external[0].1);
@@ -258,7 +276,15 @@ mod tests {
             41_234,
             Bytes::from_static(b"scan"),
         );
-        let out = r.push_external(1, Packet { data: stray, id: 0, born_ns: 0 }, Time::ZERO);
+        let out = r.push_external(
+            1,
+            Packet {
+                data: stray,
+                id: 0,
+                born_ns: 0,
+            },
+            Time::ZERO,
+        );
         assert!(out.external.is_empty());
         assert_eq!(r.read_handler("nat.dropped").unwrap(), "1");
     }
@@ -267,7 +293,15 @@ mod tests {
     fn non_rewritable_frames_are_dropped() {
         let mut r = mk();
         let arp = PacketBuilder::arp_request(MacAddr::from_id(1), PRIV, SRV);
-        let out = r.push_external(0, Packet { data: arp, id: 0, born_ns: 0 }, Time::ZERO);
+        let out = r.push_external(
+            0,
+            Packet {
+                data: arp,
+                id: 0,
+                born_ns: 0,
+            },
+            Time::ZERO,
+        );
         assert!(out.external.is_empty());
         assert_eq!(r.read_handler("nat.dropped").unwrap(), "1");
     }
@@ -275,8 +309,23 @@ mod tests {
     #[test]
     fn tcp_flows_are_translated_too() {
         let mut r = mk();
-        let syn = PacketBuilder::tcp_syn(MacAddr::from_id(1), MacAddr::from_id(2), PRIV, SRV, 6000, 80);
-        let out = r.push_external(0, Packet { data: syn, id: 0, born_ns: 0 }, Time::ZERO);
+        let syn = PacketBuilder::tcp_syn(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            PRIV,
+            SRV,
+            6000,
+            80,
+        );
+        let out = r.push_external(
+            0,
+            Packet {
+                data: syn,
+                id: 0,
+                born_ns: 0,
+            },
+            Time::ZERO,
+        );
         assert_eq!(out.external.len(), 1);
         let eth = EthernetFrame::decode(&out.external[0].1.data).unwrap();
         let ip = Ipv4Packet::decode(&eth.payload).unwrap();

@@ -11,8 +11,15 @@ pub fn install(r: &mut Registry) {
         if a.is_empty() {
             return Err("needs at least one rule".into());
         }
-        let rules = a.iter().map(|r| FilterRule::parse(r)).collect::<Result<Vec<_>, _>>()?;
-        Ok(Box::new(IpFilter { rules, passed: 0, dropped: 0 }))
+        let rules = a
+            .iter()
+            .map(|r| FilterRule::parse(r))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Box::new(IpFilter {
+            rules,
+            passed: 0,
+            dropped: 0,
+        }))
     });
     r.register("StringMatcher", |a| {
         let pat = a.first().ok_or("needs a pattern argument")?;
@@ -20,7 +27,10 @@ pub fn install(r: &mut Registry) {
         if pat.is_empty() {
             return Err("pattern must be non-empty".into());
         }
-        Ok(Box::new(StringMatcher { pattern: pat, matches: 0 }))
+        Ok(Box::new(StringMatcher {
+            pattern: pat,
+            matches: 0,
+        }))
     });
 }
 
@@ -43,7 +53,10 @@ impl FilterRule {
             "deny" | "drop" | "reject" => false,
             other => return Err(format!("unknown action {other:?}")),
         };
-        Ok(FilterRule { allow, expr: IpExpr::parse(rest)? })
+        Ok(FilterRule {
+            allow,
+            expr: IpExpr::parse(rest)?,
+        })
     }
 }
 
@@ -65,7 +78,10 @@ impl Element for IpFilter {
     }
     fn push(&mut self, ctx: &mut ElemCtx<'_>, _port: usize, pkt: Packet) {
         let verdict = FlowKey::extract(&pkt.data).ok().and_then(|key| {
-            self.rules.iter().find(|r| r.expr.matches(&key)).map(|r| r.allow)
+            self.rules
+                .iter()
+                .find(|r| r.expr.matches(&key))
+                .map(|r| r.allow)
         });
         if verdict == Some(true) {
             self.passed += 1;
@@ -205,7 +221,11 @@ mod tests {
             dport,
             Bytes::from_static(payload),
         );
-        Packet { data, id: 0, born_ns: 0 }
+        Packet {
+            data,
+            id: 0,
+            born_ns: 0,
+        }
     }
 
     fn mk(cfg: &str) -> Router {
@@ -224,11 +244,20 @@ mod tests {
 
     #[test]
     fn firewall_first_match_wins_default_deny() {
-        let mut r = mk(
-            "FromDevice(0) -> f :: IPFilter(deny dst port 23, allow udp) -> ToDevice(0);",
+        let mut r =
+            mk("FromDevice(0) -> f :: IPFilter(deny dst port 23, allow udp) -> ToDevice(0);");
+        assert_eq!(
+            r.push_external(0, udp(53, b"ok"), Time::ZERO)
+                .external
+                .len(),
+            1
         );
-        assert_eq!(r.push_external(0, udp(53, b"ok"), Time::ZERO).external.len(), 1);
-        assert_eq!(r.push_external(0, udp(23, b"telnet"), Time::ZERO).external.len(), 0);
+        assert_eq!(
+            r.push_external(0, udp(23, b"telnet"), Time::ZERO)
+                .external
+                .len(),
+            0
+        );
         // Unmatched (non-UDP e.g. ARP) -> default deny.
         let arp = PacketBuilder::arp_request(
             MacAddr::from_id(1),
@@ -236,7 +265,17 @@ mod tests {
             Ipv4Addr::new(10, 0, 0, 2),
         );
         assert_eq!(
-            r.push_external(0, Packet { data: arp, id: 0, born_ns: 0 }, Time::ZERO).external.len(),
+            r.push_external(
+                0,
+                Packet {
+                    data: arp,
+                    id: 0,
+                    born_ns: 0
+                },
+                Time::ZERO
+            )
+            .external
+            .len(),
             0
         );
         assert_eq!(r.read_handler("f.passed").unwrap(), "1");
@@ -246,9 +285,15 @@ mod tests {
     #[test]
     fn firewall_rules_can_be_rewritten_live() {
         let mut r = mk("FromDevice(0) -> f :: IPFilter(deny all) -> ToDevice(0);");
-        assert_eq!(r.push_external(0, udp(80, b"x"), Time::ZERO).external.len(), 0);
+        assert_eq!(
+            r.push_external(0, udp(80, b"x"), Time::ZERO).external.len(),
+            0
+        );
         r.write_handler("f.rules", "allow udp\ndeny all").unwrap();
-        assert_eq!(r.push_external(0, udp(80, b"x"), Time::ZERO).external.len(), 1);
+        assert_eq!(
+            r.push_external(0, udp(80, b"x"), Time::ZERO).external.len(),
+            1
+        );
         assert!(r.write_handler("f.rules", "garbage here").is_err());
         assert!(r.write_handler("f.rules", "").is_err());
     }
@@ -286,7 +331,15 @@ mod tests {
             Ipv4Addr::new(10, 0, 0, 1),
             Ipv4Addr::new(10, 0, 0, 2),
         );
-        let out = r.push_external(0, Packet { data: arp, id: 0, born_ns: 0 }, Time::ZERO);
+        let out = r.push_external(
+            0,
+            Packet {
+                data: arp,
+                id: 0,
+                born_ns: 0,
+            },
+            Time::ZERO,
+        );
         assert_eq!(out.external[0].0, 0);
     }
 }

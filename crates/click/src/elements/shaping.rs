@@ -27,7 +27,10 @@ pub fn install(r: &mut Registry) {
     r.register("DelayShaper", |a| {
         args::max(a, 1)?;
         let delay_us: u64 = args::req(a, 0, "delay in microseconds")?;
-        Ok(Box::new(DelayShaper { delay: Time::from_us(delay_us), q: VecDeque::new() }))
+        Ok(Box::new(DelayShaper {
+            delay: Time::from_us(delay_us),
+            q: VecDeque::new(),
+        }))
     });
     r.register("RandomSample", |a| {
         args::max(a, 1)?;
@@ -186,7 +189,11 @@ mod tests {
     use bytes::Bytes;
 
     fn pkt(n: usize) -> Packet {
-        Packet { data: Bytes::from(vec![0u8; n]), id: 0, born_ns: 0 }
+        Packet {
+            data: Bytes::from(vec![0u8; n]),
+            id: 0,
+            born_ns: 0,
+        }
     }
 
     fn mk(cfg: &str) -> Router {
@@ -224,7 +231,10 @@ mod tests {
     #[test]
     fn delay_shaper_holds_for_fixed_time() {
         let mut r = mk("FromDevice(0) -> d :: DelayShaper(500) -> ToDevice(0);");
-        assert!(r.push_external(0, pkt(60), Time::from_us(100)).external.is_empty());
+        assert!(r
+            .push_external(0, pkt(60), Time::from_us(100))
+            .external
+            .is_empty());
         assert_eq!(r.next_wake(), Some(Time::from_us(600)));
         let out = r.tick(Time::from_us(600));
         assert_eq!(out.external.len(), 1);

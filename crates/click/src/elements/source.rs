@@ -63,7 +63,11 @@ impl Element for RatedSource {
             7001,
             self.len,
         );
-        let pkt = escape_packet::Packet { data, id: self.emitted, born_ns: ctx.now().as_ns() };
+        let pkt = escape_packet::Packet {
+            data,
+            id: self.emitted,
+            born_ns: ctx.now().as_ns(),
+        };
         ctx.emit(0, pkt);
         self.next = if self.remaining > 0 {
             Some(ctx.now().add_ns(self.interval_ns))

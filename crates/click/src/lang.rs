@@ -82,11 +82,18 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> ConfigError {
-        ConfigError { line: self.line, message: message.into() }
+        ConfigError {
+            line: self.line,
+            message: message.into(),
+        }
     }
 
     fn bump(&mut self) -> Option<u8> {
@@ -187,7 +194,9 @@ impl<'a> Lexer<'a> {
     fn next_tok(&mut self) -> Result<Option<(Tok, usize)>, ConfigError> {
         self.skip_trivia()?;
         let line = self.line;
-        let Some(c) = self.peek() else { return Ok(None) };
+        let Some(c) = self.peek() else {
+            return Ok(None);
+        };
         let tok = match c {
             b':' if self.peek2() == Some(b':') => {
                 self.bump();
@@ -280,7 +289,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ConfigError {
-        ConfigError { line: self.line(), message: message.into() }
+        ConfigError {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn is_declared(&self, name: &str) -> bool {
@@ -322,7 +334,12 @@ impl Parser {
             if self.is_declared(&first) {
                 return Err(self.err(format!("duplicate element name '{first}'")));
             }
-            self.cfg.decls.push(Decl { name: first.clone(), class, args, line });
+            self.cfg.decls.push(Decl {
+                name: first.clone(),
+                class,
+                args,
+                line,
+            });
             name = first;
         } else if let Some(Tok::Args(_)) = self.peek() {
             // Anonymous `Class(args)`.
@@ -332,7 +349,12 @@ impl Parser {
             };
             let gen = format!("{}@{}", first, self.anon_counter);
             self.anon_counter += 1;
-            self.cfg.decls.push(Decl { name: gen.clone(), class: first, args, line });
+            self.cfg.decls.push(Decl {
+                name: gen.clone(),
+                class: first,
+                args,
+                line,
+            });
             name = gen;
         } else if self.is_declared(&first) {
             name = first;
@@ -340,7 +362,12 @@ impl Parser {
             // Bare capitalized identifier: anonymous element with no args.
             let gen = format!("{}@{}", first, self.anon_counter);
             self.anon_counter += 1;
-            self.cfg.decls.push(Decl { name: gen.clone(), class: first, args: Vec::new(), line });
+            self.cfg.decls.push(Decl {
+                name: gen.clone(),
+                class: first,
+                args: Vec::new(),
+                line,
+            });
             name = gen;
         }
         let mut out_port = 0usize;
@@ -354,7 +381,11 @@ impl Parser {
             };
             out_port = n;
         }
-        Ok(Endpoint { in_port, name, out_port })
+        Ok(Endpoint {
+            in_port,
+            name,
+            out_port,
+        })
     }
 
     fn statement(&mut self) -> Result<(), ConfigError> {
@@ -397,7 +428,12 @@ pub fn parse_config(src: &str) -> Result<ParsedConfig, ConfigError> {
     while let Some(t) = lx.next_tok()? {
         toks.push(t);
     }
-    let mut p = Parser { toks, pos: 0, cfg: ParsedConfig::default(), anon_counter: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        cfg: ParsedConfig::default(),
+        anon_counter: 0,
+    };
     while p.peek().is_some() {
         p.statement()?;
     }
@@ -448,15 +484,20 @@ mod tests {
 
     #[test]
     fn inline_declaration_in_chain() {
-        let cfg = parse_config("FromDevice(0) -> q :: Queue(100) -> Unqueue -> ToDevice(0);").unwrap();
-        assert!(cfg.decls.iter().any(|d| d.name == "q" && d.class == "Queue"));
+        let cfg =
+            parse_config("FromDevice(0) -> q :: Queue(100) -> Unqueue -> ToDevice(0);").unwrap();
+        assert!(cfg
+            .decls
+            .iter()
+            .any(|d| d.name == "q" && d.class == "Queue"));
         assert!(cfg.decls.iter().any(|d| d.class == "Unqueue"));
         assert_eq!(cfg.conns.len(), 3);
     }
 
     #[test]
     fn quoted_and_nested_args() {
-        let cfg = parse_config(r#"m :: StringMatcher("attack, or not", 7); m -> Discard;"#).unwrap();
+        let cfg =
+            parse_config(r#"m :: StringMatcher("attack, or not", 7); m -> Discard;"#).unwrap();
         assert_eq!(cfg.decls[0].args[0], r#""attack, or not""#);
         assert_eq!(cfg.decls[0].args[1], "7");
     }

@@ -46,12 +46,20 @@ impl Registry {
     }
 
     /// Instantiates `class` with `args`; `line` contextualizes errors.
-    pub fn build(&self, class: &str, args: &[String], line: usize) -> Result<Box<dyn Element>, ConfigError> {
+    pub fn build(
+        &self,
+        class: &str,
+        args: &[String],
+        line: usize,
+    ) -> Result<Box<dyn Element>, ConfigError> {
         let f = self.factories.get(class).ok_or_else(|| ConfigError {
             line,
             message: format!("unknown element class '{class}'"),
         })?;
-        f(args).map_err(|message| ConfigError { line, message: format!("{class}: {message}") })
+        f(args).map_err(|message| ConfigError {
+            line,
+            message: format!("{class}: {message}"),
+        })
     }
 }
 
@@ -101,7 +109,10 @@ mod tests {
     fn factory_errors_are_prefixed_with_class() {
         let mut r = Registry::new();
         r.register("Dummy", dummy_factory);
-        let err = r.build("Dummy", &["a".into(), "b".into()], 3).err().unwrap();
+        let err = r
+            .build("Dummy", &["a".into(), "b".into()], 3)
+            .err()
+            .unwrap();
         assert!(err.message.starts_with("Dummy:"));
     }
 
@@ -109,8 +120,16 @@ mod tests {
     fn standard_registry_is_well_stocked() {
         let r = Registry::standard();
         for class in [
-            "FromDevice", "ToDevice", "Counter", "Queue", "Unqueue", "Discard", "Tee",
-            "Classifier", "IPClassifier", "IPFilter",
+            "FromDevice",
+            "ToDevice",
+            "Counter",
+            "Queue",
+            "Unqueue",
+            "Discard",
+            "Tee",
+            "Classifier",
+            "IPClassifier",
+            "IPFilter",
         ] {
             assert!(r.contains(class), "missing standard element {class}");
         }

@@ -47,13 +47,21 @@ const MAX_EFFECTS_PER_CALL: usize = 100_000;
 
 impl Router {
     /// Parses `config` and compiles it against `registry`.
-    pub fn from_config(config: &str, registry: &Registry, seed: u64) -> Result<Router, ConfigError> {
+    pub fn from_config(
+        config: &str,
+        registry: &Registry,
+        seed: u64,
+    ) -> Result<Router, ConfigError> {
         let parsed = parse_config(config)?;
         Self::from_parsed(&parsed, registry, seed)
     }
 
     /// Compiles an already-parsed configuration.
-    pub fn from_parsed(parsed: &ParsedConfig, registry: &Registry, seed: u64) -> Result<Router, ConfigError> {
+    pub fn from_parsed(
+        parsed: &ParsedConfig,
+        registry: &Registry,
+        seed: u64,
+    ) -> Result<Router, ConfigError> {
         let mut names = Vec::new();
         let mut classes = Vec::new();
         let mut elements: Vec<Option<Box<dyn Element>>> = Vec::new();
@@ -63,10 +71,14 @@ impl Router {
             let elem = registry.build(&d.class, &d.args, d.line)?;
             let idx = elements.len();
             if d.class == "FromDevice" {
-                let dev: u16 = d.args.first().and_then(|a| a.parse().ok()).ok_or(ConfigError {
-                    line: d.line,
-                    message: "FromDevice requires a device number".into(),
-                })?;
+                let dev: u16 = d
+                    .args
+                    .first()
+                    .and_then(|a| a.parse().ok())
+                    .ok_or(ConfigError {
+                        line: d.line,
+                        message: "FromDevice requires a device number".into(),
+                    })?;
                 if from_device.insert(dev, idx).is_some() {
                     return Err(ConfigError {
                         line: d.line,
@@ -98,10 +110,12 @@ impl Router {
                 line: c.line,
                 message: format!("unknown element '{}'", c.to),
             })?;
-            let out_slot = out_conns[from].get_mut(c.from_port).ok_or_else(|| ConfigError {
-                line: c.line,
-                message: format!("'{}' has no output port {}", c.from, c.from_port),
-            })?;
+            let out_slot = out_conns[from]
+                .get_mut(c.from_port)
+                .ok_or_else(|| ConfigError {
+                    line: c.line,
+                    message: format!("'{}' has no output port {}", c.from, c.from_port),
+                })?;
             if out_slot.is_some() {
                 return Err(ConfigError {
                     line: c.line,
@@ -185,7 +199,11 @@ impl Router {
         };
         // FromDevice immediately forwards out of its single output.
         self.work_acc += self.elements[entry].as_deref().map_or(0, |e| e.cost_ns());
-        self.pending.push_back(Effect::Downstream { from_elem: entry, from_port: 0, pkt });
+        self.pending.push_back(Effect::Downstream {
+            from_elem: entry,
+            from_port: 0,
+            pkt,
+        });
         self.drain(&mut out);
         out.work_ns = self.work_acc;
         out
@@ -226,7 +244,11 @@ impl Router {
         f: impl FnOnce(&mut Box<dyn Element>, &mut ElemCtx<'_>) -> R,
     ) -> Option<R> {
         let mut e = self.elements[idx].take()?;
-        let mut ctx = ElemCtx { router: self, elem_idx: idx, depth };
+        let mut ctx = ElemCtx {
+            router: self,
+            elem_idx: idx,
+            depth,
+        };
         let r = f(&mut e, &mut ctx);
         self.elements[idx] = Some(e);
         Some(r)
@@ -250,7 +272,11 @@ impl Router {
             budget -= 1;
             match effect {
                 Effect::External { dev, pkt } => out.external.push((dev, pkt)),
-                Effect::Downstream { from_elem, from_port, pkt } => {
+                Effect::Downstream {
+                    from_elem,
+                    from_port,
+                    pkt,
+                } => {
                     let Some(&Some((dst, dport))) =
                         self.out_conns.get(from_elem).and_then(|c| c.get(from_port))
                     else {
@@ -261,7 +287,10 @@ impl Router {
                     self.work_acc += cost;
                     self.with_element(dst, 0, |e, ctx| e.push(ctx, dport, pkt));
                 }
-                Effect::Notify { from_elem, from_port } => {
+                Effect::Notify {
+                    from_elem,
+                    from_port,
+                } => {
                     let Some(&Some((dst, dport))) =
                         self.out_conns.get(from_elem).and_then(|c| c.get(from_port))
                     else {
@@ -282,8 +311,13 @@ impl Router {
 
     /// Writes handler `spec` of the form `element.handler`.
     pub fn write_handler(&mut self, spec: &str, value: &str) -> Result<(), String> {
-        let (name, handler) = spec.split_once('.').ok_or("handler spec must be element.handler")?;
-        let &idx = self.name_index.get(name).ok_or_else(|| format!("no element '{name}'"))?;
+        let (name, handler) = spec
+            .split_once('.')
+            .ok_or("handler spec must be element.handler")?;
+        let &idx = self
+            .name_index
+            .get(name)
+            .ok_or_else(|| format!("no element '{name}'"))?;
         self.elements[idx]
             .as_deref_mut()
             .ok_or("element busy")?
@@ -319,7 +353,11 @@ mod tests {
     use bytes::Bytes;
 
     fn pkt(n: usize) -> Packet {
-        Packet { data: Bytes::from(vec![0u8; n]), id: 1, born_ns: 0 }
+        Packet {
+            data: Bytes::from(vec![0u8; n]),
+            id: 1,
+            born_ns: 0,
+        }
     }
 
     fn mk(cfg: &str) -> Router {
@@ -346,14 +384,17 @@ mod tests {
 
     #[test]
     fn unconnected_output_port_is_a_config_error() {
-        let err = Router::from_config("c :: Counter;", &Registry::standard(), 0).err().unwrap();
+        let err = Router::from_config("c :: Counter;", &Registry::standard(), 0)
+            .err()
+            .unwrap();
         assert!(err.message.contains("unconnected"), "{}", err.message);
     }
 
     #[test]
     fn unknown_class_is_a_config_error() {
-        let err =
-            Router::from_config("x :: NoSuchThing; x -> x;", &Registry::standard(), 0).err().unwrap();
+        let err = Router::from_config("x :: NoSuchThing; x -> x;", &Registry::standard(), 0)
+            .err()
+            .unwrap();
         assert!(err.message.contains("NoSuchThing"));
     }
 
@@ -364,7 +405,8 @@ mod tests {
             &Registry::standard(),
             0,
         )
-        .err().unwrap();
+        .err()
+        .unwrap();
         assert!(err.message.contains("connected twice"));
     }
 
@@ -379,9 +421,8 @@ mod tests {
 
     #[test]
     fn queue_holds_until_unqueue_ticks() {
-        let mut r = mk(
-            "FromDevice(0) -> q :: Queue(10); q -> u :: RatedUnqueue(1000); u -> ToDevice(0);",
-        );
+        let mut r =
+            mk("FromDevice(0) -> q :: Queue(10); q -> u :: RatedUnqueue(1000); u -> ToDevice(0);");
         let out = r.push_external(0, pkt(60), Time::ZERO);
         assert!(out.external.is_empty(), "queued, not forwarded");
         assert_eq!(r.read_handler("q.length").unwrap(), "1");
@@ -424,7 +465,8 @@ mod tests {
             &Registry::standard(),
             0,
         )
-        .err().unwrap();
+        .err()
+        .unwrap();
         assert!(err.message.contains("duplicate FromDevice"));
     }
 }

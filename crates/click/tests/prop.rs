@@ -39,7 +39,11 @@ fn udp_packet() -> Packet {
         200,
         bytes::Bytes::from_static(b"prop"),
     );
-    Packet { data, id: 1, born_ns: 0 }
+    Packet {
+        data,
+        id: 1,
+        born_ns: 0,
+    }
 }
 
 proptest! {

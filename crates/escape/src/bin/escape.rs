@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! escape <topology-file> <service-graph-file> [options]
+//! escape metrics [<topology-file> <service-graph-file>] [options]
 //!
 //! options:
 //!   --algorithm first_fit|best_fit|nearest|backtrack|anneal   (default nearest)
@@ -13,15 +14,20 @@
 //!   --monitor   CHAIN:VNF                                     (repeatable)
 //!   --seed N                                                  (default 1)
 //!   --json      topology/SG files are JSON instead of DSL
+//!   --format    prometheus|json      (metrics subcommand; default prometheus)
 //! ```
+//!
+//! The `metrics` subcommand runs the same deployment (a built-in demo
+//! chain when no files are given), then dumps the telemetry registry —
+//! Prometheus text exposition, or a JSON object with the metric snapshot
+//! and the virtual-time span trace.
 //!
 //! Exit code 0 on success, 1 on any error, 2 on bad usage.
 
 use escape::env::Escape;
 use escape::monitor::format_handler_table;
 use escape_orch::{
-    Backtracking, BestFitCpu, GreedyFirstFit, MappingAlgorithm, NearestNeighbor,
-    SimulatedAnnealing,
+    Backtracking, BestFitCpu, GreedyFirstFit, MappingAlgorithm, NearestNeighbor, SimulatedAnnealing,
 };
 use escape_pox::SteeringMode;
 use escape_sg::{parse_service_graph, parse_topology, ResourceTopology, ServiceGraph};
@@ -38,13 +44,18 @@ struct Options {
     monitors: Vec<(String, String)>,
     seed: u64,
     json: bool,
+    /// `escape metrics ...`: dump telemetry after the run.
+    metrics: bool,
+    /// Exposition format for the metrics subcommand.
+    format: String,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: escape <topology> <service-graph> [--algorithm A] [--steering M] \
          [--traffic F:T:N[:LEN[:US]]]... [--ping F:T:N]... [--duration-ms N] \
-         [--monitor CHAIN:VNF]... [--seed N] [--json]"
+         [--monitor CHAIN:VNF]... [--seed N] [--json]\n       \
+         escape metrics [<topology> <service-graph>] [options] [--format prometheus|json]"
     );
     ExitCode::from(2)
 }
@@ -63,11 +74,19 @@ fn parse_args() -> Result<Options, String> {
         monitors: Vec::new(),
         seed: 1,
         json: false,
+        metrics: false,
+        format: "prometheus".into(),
     };
+    let mut first = true;
     while let Some(a) = args.next() {
-        let mut need = |name: &str| {
-            args.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        if first {
+            first = false;
+            if a == "metrics" {
+                o.metrics = true;
+                continue;
+            }
+        }
+        let mut need = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match a.as_str() {
             "--algorithm" => o.algorithm = need("--algorithm")?,
             "--steering" => {
@@ -83,10 +102,19 @@ fn parse_args() -> Result<Options, String> {
                 if parts.len() < 3 {
                     return Err(format!("--traffic {v:?}: need FROM:TO:COUNT"));
                 }
-                let count = parts[2].parse().map_err(|_| format!("bad count in {v:?}"))?;
-                let len = parts.get(3).map_or(Ok(128), |s| s.parse()).map_err(|_| format!("bad len in {v:?}"))?;
-                let us = parts.get(4).map_or(Ok(200), |s| s.parse()).map_err(|_| format!("bad interval in {v:?}"))?;
-                o.traffic.push((parts[0].into(), parts[1].into(), count, len, us));
+                let count = parts[2]
+                    .parse()
+                    .map_err(|_| format!("bad count in {v:?}"))?;
+                let len = parts
+                    .get(3)
+                    .map_or(Ok(128), |s| s.parse())
+                    .map_err(|_| format!("bad len in {v:?}"))?;
+                let us = parts
+                    .get(4)
+                    .map_or(Ok(200), |s| s.parse())
+                    .map_err(|_| format!("bad interval in {v:?}"))?;
+                o.traffic
+                    .push((parts[0].into(), parts[1].into(), count, len, us));
             }
             "--ping" => {
                 let v = need("--ping")?;
@@ -94,7 +122,9 @@ fn parse_args() -> Result<Options, String> {
                 if parts.len() != 3 {
                     return Err(format!("--ping {v:?}: need FROM:TO:COUNT"));
                 }
-                let count = parts[2].parse().map_err(|_| format!("bad count in {v:?}"))?;
+                let count = parts[2]
+                    .parse()
+                    .map_err(|_| format!("bad count in {v:?}"))?;
                 o.pings.push((parts[0].into(), parts[1].into(), count));
             }
             "--duration-ms" => {
@@ -109,15 +139,25 @@ fn parse_args() -> Result<Options, String> {
             }
             "--seed" => o.seed = need("--seed")?.parse().map_err(|_| "bad seed")?,
             "--json" => o.json = true,
+            "--format" => {
+                o.format = need("--format")?;
+                if o.format != "prometheus" && o.format != "json" {
+                    return Err(format!("unknown format {:?}", o.format));
+                }
+            }
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
         }
     }
-    if positional.len() != 2 {
-        return Err("need exactly two positional arguments".into());
+    match positional.len() {
+        2 => {
+            o.topo_file = positional.remove(0);
+            o.sg_file = positional.remove(0);
+        }
+        // `escape metrics` alone runs the built-in demo chain.
+        0 if o.metrics => {}
+        _ => return Err("need exactly two positional arguments".into()),
     }
-    o.topo_file = positional.remove(0);
-    o.sg_file = positional.remove(0);
     Ok(o)
 }
 
@@ -132,11 +172,22 @@ fn algorithm(name: &str) -> Result<Box<dyn MappingAlgorithm>, String> {
     })
 }
 
-fn run(o: Options) -> Result<(), String> {
-    let topo_src = std::fs::read_to_string(&o.topo_file)
-        .map_err(|e| format!("{}: {e}", o.topo_file))?;
-    let sg_src =
-        std::fs::read_to_string(&o.sg_file).map_err(|e| format!("{}: {e}", o.sg_file))?;
+/// Loads the topology/SG pair from files, or the built-in demo chain
+/// when no files were given (`escape metrics` with no arguments).
+fn load_inputs(o: &Options) -> Result<(ResourceTopology, ServiceGraph), String> {
+    if o.topo_file.is_empty() {
+        let topo = escape_sg::topo::builders::linear(3, 4.0);
+        let sg = ServiceGraph::new()
+            .sap("sap0")
+            .sap("sap1")
+            .vnf("fw", "firewall", 1.0, 256)
+            .vnf("mon", "monitor", 0.5, 64)
+            .chain("demo", &["sap0", "fw", "mon", "sap1"], 100.0, Some(50_000));
+        return Ok((topo, sg));
+    }
+    let topo_src =
+        std::fs::read_to_string(&o.topo_file).map_err(|e| format!("{}: {e}", o.topo_file))?;
+    let sg_src = std::fs::read_to_string(&o.sg_file).map_err(|e| format!("{}: {e}", o.sg_file))?;
     let topo: ResourceTopology = if o.json {
         ResourceTopology::from_json(&topo_src)?
     } else {
@@ -147,6 +198,44 @@ fn run(o: Options) -> Result<(), String> {
     } else {
         parse_service_graph(&sg_src).map_err(|e| e.to_string())?
     };
+    Ok((topo, sg))
+}
+
+/// `escape metrics`: deploy, push traffic through every chain, then dump
+/// the telemetry registry (Prometheus text or JSON snapshot + trace).
+fn run_metrics(o: Options) -> Result<(), String> {
+    let (topo, sg) = load_inputs(&o)?;
+    let mut esc = Escape::build(topo, algorithm(&o.algorithm)?, o.steering, o.seed)
+        .map_err(|e| e.to_string())?;
+    esc.deploy(&sg).map_err(|e| e.to_string())?;
+    let mut flows = o.traffic.clone();
+    if flows.is_empty() {
+        // Default: 20 frames end to end through each deployed chain so
+        // dataplane and steering counters move.
+        for chain in &sg.chains {
+            let src = chain.hops.first().cloned().unwrap_or_default();
+            let dst = chain.hops.last().cloned().unwrap_or_default();
+            flows.push((src, dst, 20, 128, 200));
+        }
+    }
+    for (from, to, count, len, us) in &flows {
+        esc.start_udp(from, to, *len, *us, *count)
+            .map_err(|e| e.to_string())?;
+    }
+    esc.run_for_ms(o.duration_ms);
+    if o.format == "json" {
+        let doc = escape_json::Value::obj()
+            .set("metrics", esc.metrics().json_value())
+            .set("trace", esc.tracer().json_value());
+        println!("{}", doc.to_string_pretty());
+    } else {
+        print!("{}", esc.metrics().prometheus());
+    }
+    Ok(())
+}
+
+fn run(o: Options) -> Result<(), String> {
+    let (topo, sg) = load_inputs(&o)?;
 
     println!(
         "escape: {} switches, {} containers, {} SAPs | {} VNFs, {} chains | algorithm={} steering={:?}",
@@ -184,11 +273,13 @@ fn run(o: Options) -> Result<(), String> {
     );
 
     for (from, to, count, len, us) in &o.traffic {
-        esc.start_udp(from, to, *len, *us, *count).map_err(|e| e.to_string())?;
+        esc.start_udp(from, to, *len, *us, *count)
+            .map_err(|e| e.to_string())?;
         println!("traffic: {from} -> {to}, {count} x {len} B every {us} µs");
     }
     for (from, to, count) in &o.pings {
-        esc.start_ping(from, to, 1_000, *count).map_err(|e| e.to_string())?;
+        esc.start_ping(from, to, 1_000, *count)
+            .map_err(|e| e.to_string())?;
         println!("ping: {from} -> {to} x {count}");
     }
     esc.run_for_ms(o.duration_ms);
@@ -204,13 +295,18 @@ fn run(o: Options) -> Result<(), String> {
                 s.bytes_rx,
                 s.icmp_echo_rx,
                 s.icmp_reply_rx,
-                s.mean_latency().map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+                s.mean_latency()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".into()),
             );
         }
     }
     for (chain, vnf) in &o.monitors {
         let handlers = esc.monitor_vnf(chain, vnf).map_err(|e| e.to_string())?;
-        println!("{}", format_handler_table(&format!("{vnf} @ {chain}"), &handlers));
+        println!(
+            "{}",
+            format_handler_table(&format!("{vnf} @ {chain}"), &handlers)
+        );
     }
     Ok(())
 }
@@ -223,7 +319,8 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    match run(o) {
+    let result = if o.metrics { run_metrics(o) } else { run(o) };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

@@ -17,15 +17,29 @@ use escape_packet::Packet;
 use std::collections::{BinaryHeap, HashMap};
 
 /// Handlers sampled for `getVNFInfo` (the Clicky view).
-const MONITOR_HANDLERS: &[&str] =
-    &["count", "byte_count", "rate", "dropped", "passed", "matches", "length", "drops", "expired", "mappings"];
+const MONITOR_HANDLERS: &[&str] = &[
+    "count",
+    "byte_count",
+    "rate",
+    "dropped",
+    "passed",
+    "matches",
+    "length",
+    "drops",
+    "expired",
+    "mappings",
+];
 
 /// Where a VNF device is wired.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Binding {
     /// To the physical fabric: a container port (and the switch port on
     /// the far side, as reported back to the orchestrator).
-    External { container_port: u16, switch_port: u16, switch: String },
+    External {
+        container_port: u16,
+        switch_port: u16,
+        switch: String,
+    },
     /// Directly into another VNF on the same container (service chaining
     /// without leaving the box).
     Internal { vnf: usize, dev: u16 },
@@ -119,7 +133,11 @@ impl VnfHost {
     }
 
     fn parse_isolation(options: &[(String, String)]) -> Result<IsolationMode, String> {
-        match options.iter().find(|(k, _)| k == "isolation").map(|(_, v)| v.as_str()) {
+        match options
+            .iter()
+            .find(|(k, _)| k == "isolation")
+            .map(|(_, v)| v.as_str())
+        {
             None | Some("none") => Ok(IsolationMode::None),
             Some(v) => {
                 let parts: Vec<&str> = v.split(':').collect();
@@ -132,7 +150,10 @@ impl VnfHost {
                     ["quota", q, p] => {
                         let quota_ns = q.parse().map_err(|_| format!("bad quota {q:?}"))?;
                         let period_ns = p.parse().map_err(|_| format!("bad period {p:?}"))?;
-                        Ok(IsolationMode::CpuQuota { quota_ns, period_ns })
+                        Ok(IsolationMode::CpuQuota {
+                            quota_ns,
+                            period_ns,
+                        })
                     }
                     _ => Err(format!("bad isolation spec {v:?}")),
                 }
@@ -143,7 +164,13 @@ impl VnfHost {
     /// Runs a frame through a VNF (following internal bindings), charging
     /// CPU. Returns frames to emit as (container port, packet) plus the
     /// CPU completion time.
-    pub fn process(&mut self, vnf: usize, dev: u16, pkt: Packet, now: Time) -> (Vec<(u16, Packet)>, Time) {
+    pub fn process(
+        &mut self,
+        vnf: usize,
+        dev: u16,
+        pkt: Packet,
+        now: Time,
+    ) -> (Vec<(u16, Packet)>, Time) {
         let mut total_work = 0u64;
         let mut external = Vec::new();
         // (vnf, dev, pkt) work queue for internal chaining.
@@ -174,7 +201,11 @@ impl VnfHost {
                 }
             }
         }
-        let done = if total_work == 0 { now } else { self.cpu.run(entry_proc, now, total_work) };
+        let done = if total_work == 0 {
+            now
+        } else {
+            self.cpu.run(entry_proc, now, total_work)
+        };
         (external, done)
     }
 
@@ -198,7 +229,11 @@ impl VnfHost {
             }
         }
         let proc_ = slot.proc;
-        let mut done = if work == 0 { now } else { self.cpu.run(proc_, now, work) };
+        let mut done = if work == 0 {
+            now
+        } else {
+            self.cpu.run(proc_, now, work)
+        };
         for (nv, nd, p) in internal {
             let (more, d2) = self.process(nv, nd, p, now);
             external.extend(more);
@@ -223,12 +258,26 @@ impl VnfHost {
 
     /// Wires one VNF device directly into another VNF on this container
     /// (used by the deployment pipeline for co-located chain hops).
-    pub fn bind_internal(&mut self, from_id: &str, from_dev: u16, to_id: &str, to_dev: u16) -> Result<(), String> {
-        let from = self.vnf_index(from_id).ok_or_else(|| format!("no vnf {from_id}"))?;
-        let to = self.vnf_index(to_id).ok_or_else(|| format!("no vnf {to_id}"))?;
-        self.vnfs[from]
-            .bindings
-            .insert(from_dev, Binding::Internal { vnf: to, dev: to_dev });
+    pub fn bind_internal(
+        &mut self,
+        from_id: &str,
+        from_dev: u16,
+        to_id: &str,
+        to_dev: u16,
+    ) -> Result<(), String> {
+        let from = self
+            .vnf_index(from_id)
+            .ok_or_else(|| format!("no vnf {from_id}"))?;
+        let to = self
+            .vnf_index(to_id)
+            .ok_or_else(|| format!("no vnf {to_id}"))?;
+        self.vnfs[from].bindings.insert(
+            from_dev,
+            Binding::Internal {
+                vnf: to,
+                dev: to_dev,
+            },
+        );
         Ok(())
     }
 
@@ -240,7 +289,9 @@ impl VnfHost {
 
     /// Writes one handler of one VNF (live reconfiguration).
     pub fn write_handler(&mut self, vnf_id: &str, spec: &str, value: &str) -> Result<(), String> {
-        let idx = self.vnf_index(vnf_id).ok_or_else(|| format!("no vnf {vnf_id}"))?;
+        let idx = self
+            .vnf_index(vnf_id)
+            .ok_or_else(|| format!("no vnf {vnf_id}"))?;
         self.vnfs[idx].router.write_handler(spec, value)
     }
 }
@@ -260,11 +311,18 @@ impl VnfInstrumentation for VnfHost {
             .collect();
         let config = match click_config {
             Some(cfg) if !cfg.is_empty() => cfg.to_string(),
-            _ => self.catalog.render(vnf_type, &overrides).map_err(|e| e.to_string())?,
+            _ => self
+                .catalog
+                .render(vnf_type, &overrides)
+                .map_err(|e| e.to_string())?,
         };
         self.next_vnf += 1;
-        let seed = self.seed.wrapping_mul(0x9e37_79b9).wrapping_add(self.next_vnf as u64);
-        let router = Router::from_config(&config, &self.registry, seed).map_err(|e| e.to_string())?;
+        let seed = self
+            .seed
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(self.next_vnf as u64);
+        let router =
+            Router::from_config(&config, &self.registry, seed).map_err(|e| e.to_string())?;
         let proc_ = self.cpu.add_process(isolation);
         let id = format!("{}-vnf{}", self.name, self.next_vnf);
         self.by_id.insert(id.clone(), self.vnfs.len());
@@ -281,19 +339,25 @@ impl VnfInstrumentation for VnfHost {
     }
 
     fn start(&mut self, vnf_id: &str) -> Result<(), String> {
-        let idx = self.vnf_index(vnf_id).ok_or_else(|| format!("no vnf {vnf_id}"))?;
+        let idx = self
+            .vnf_index(vnf_id)
+            .ok_or_else(|| format!("no vnf {vnf_id}"))?;
         self.vnfs[idx].status = VnfStatus::Running;
         Ok(())
     }
 
     fn stop(&mut self, vnf_id: &str) -> Result<(), String> {
-        let idx = self.vnf_index(vnf_id).ok_or_else(|| format!("no vnf {vnf_id}"))?;
+        let idx = self
+            .vnf_index(vnf_id)
+            .ok_or_else(|| format!("no vnf {vnf_id}"))?;
         self.vnfs[idx].status = VnfStatus::Stopped;
         Ok(())
     }
 
     fn connect(&mut self, vnf_id: &str, vnf_port: u16, switch_id: &str) -> Result<u16, String> {
-        let idx = self.vnf_index(vnf_id).ok_or_else(|| format!("no vnf {vnf_id}"))?;
+        let idx = self
+            .vnf_index(vnf_id)
+            .ok_or_else(|| format!("no vnf {vnf_id}"))?;
         if self.vnfs[idx].bindings.contains_key(&vnf_port) {
             return Err(format!("vnf {vnf_id} port {vnf_port} already connected"));
         }
@@ -317,9 +381,15 @@ impl VnfInstrumentation for VnfHost {
     }
 
     fn disconnect(&mut self, vnf_id: &str, vnf_port: u16) -> Result<(), String> {
-        let idx = self.vnf_index(vnf_id).ok_or_else(|| format!("no vnf {vnf_id}"))?;
+        let idx = self
+            .vnf_index(vnf_id)
+            .ok_or_else(|| format!("no vnf {vnf_id}"))?;
         match self.vnfs[idx].bindings.remove(&vnf_port) {
-            Some(Binding::External { container_port, switch_port, switch }) => {
+            Some(Binding::External {
+                container_port,
+                switch_port,
+                switch,
+            }) => {
                 self.port_bindings.remove(&container_port);
                 self.attach_free
                     .entry(switch)
@@ -402,7 +472,12 @@ pub struct VnfContainer {
 impl VnfContainer {
     /// Creates a container node. `session_id` seeds the agent; `attach`
     /// pre-provisions attachment points (see [`VnfHost::new`]).
-    pub fn new(name: impl Into<String>, session_id: u32, attach: Vec<(String, u16, u16)>, seed: u64) -> VnfContainer {
+    pub fn new(
+        name: impl Into<String>,
+        session_id: u32,
+        attach: Vec<(String, u16, u16)>,
+        seed: u64,
+    ) -> VnfContainer {
         VnfContainer {
             agent: Agent::new(session_id, VnfHost::new(name, attach, seed)),
             conn: None,
@@ -421,12 +496,7 @@ impl VnfContainer {
         &mut self.agent.instr
     }
 
-    fn schedule_outputs(
-        &mut self,
-        ctx: &mut NodeCtx<'_>,
-        outputs: Vec<(u16, Packet)>,
-        done: Time,
-    ) {
+    fn schedule_outputs(&mut self, ctx: &mut NodeCtx<'_>, outputs: Vec<(u16, Packet)>, done: Time) {
         let now = ctx.now();
         if done <= now {
             for (port, pkt) in outputs {
@@ -435,9 +505,17 @@ impl VnfContainer {
         } else {
             for (port, pkt) in outputs {
                 self.seq += 1;
-                self.pending.push(PendingOut { at: done, seq: self.seq, port, pkt });
+                self.pending.push(PendingOut {
+                    at: done,
+                    seq: self.seq,
+                    port,
+                    pkt,
+                });
             }
-            ctx.set_timer(Time::from_ns(done.since(now)), KIND_RELEASE << TOKEN_KIND_SHIFT);
+            ctx.set_timer(
+                Time::from_ns(done.since(now)),
+                KIND_RELEASE << TOKEN_KIND_SHIFT,
+            );
         }
     }
 
@@ -478,7 +556,10 @@ impl NodeLogic for VnfContainer {
                 }
                 if let Some(p) = self.pending.peek() {
                     let at = p.at;
-                    ctx.set_timer(Time::from_ns(at.since(now).max(1)), KIND_RELEASE << TOKEN_KIND_SHIFT);
+                    ctx.set_timer(
+                        Time::from_ns(at.since(now).max(1)),
+                        KIND_RELEASE << TOKEN_KIND_SHIFT,
+                    );
                 }
             }
             KIND_TICK => {
@@ -564,8 +645,14 @@ mod tests {
     #[test]
     fn isolation_options_are_parsed() {
         let mut h = VnfHost::new("c0", attach4(), 1);
-        h.initiate("monitor", None, &[("isolation".into(), "share:1:4".into())]).unwrap();
-        h.initiate("monitor", None, &[("isolation".into(), "quota:1000:10000".into())]).unwrap();
+        h.initiate("monitor", None, &[("isolation".into(), "share:1:4".into())])
+            .unwrap();
+        h.initiate(
+            "monitor",
+            None,
+            &[("isolation".into(), "quota:1000:10000".into())],
+        )
+        .unwrap();
         assert!(h
             .initiate("monitor", None, &[("isolation".into(), "bogus".into())])
             .is_err());
@@ -575,7 +662,11 @@ mod tests {
     fn catalog_params_pass_through_options() {
         let mut h = VnfHost::new("c0", attach4(), 1);
         let id = h
-            .initiate("firewall", None, &[("rules".into(), "deny udp, allow all".into())])
+            .initiate(
+                "firewall",
+                None,
+                &[("rules".into(), "deny udp, allow all".into())],
+            )
             .unwrap();
         assert_eq!(h.read_handler(&id, "fw.rules").unwrap(), "2");
     }
@@ -584,7 +675,11 @@ mod tests {
     fn raw_click_config_overrides_catalog() {
         let mut h = VnfHost::new("c0", attach4(), 1);
         let id = h
-            .initiate("custom", Some("FromDevice(0) -> c :: Counter -> ToDevice(1);"), &[])
+            .initiate(
+                "custom",
+                Some("FromDevice(0) -> c :: Counter -> ToDevice(1);"),
+                &[],
+            )
             .unwrap();
         assert!(h.read_handler(&id, "c.count").is_some());
         assert!(h.initiate("custom", Some("syntax error ("), &[]).is_err());
@@ -642,7 +737,11 @@ mod tests {
     #[test]
     fn stopped_vnf_drops() {
         let (mut sim, c, sink, vnf_id) = rigged_sim();
-        sim.node_as_mut::<VnfContainer>(c).unwrap().host_mut().stop(&vnf_id).unwrap();
+        sim.node_as_mut::<VnfContainer>(c)
+            .unwrap()
+            .host_mut()
+            .stop(&vnf_id)
+            .unwrap();
         sim.inject(c, 0, frame(80), Time::ZERO);
         sim.run(1000);
         assert!(sim.node_as::<Sink>(sink).unwrap().rx.is_empty());
@@ -753,7 +852,9 @@ mod tests {
         sim.run(100);
         let reply = sim.node_as_mut::<Relay>(mgr).unwrap().inbox.remove(0);
         let ev = client.on_bytes(&reply);
-        let ClientEvent::Reply(r) = &ev[0] else { panic!() };
+        let ClientEvent::Reply(r) = &ev[0] else {
+            panic!()
+        };
         let vnf_id = escape_netconf::client::vnf_id_of(r).unwrap();
         assert_eq!(vnf_id, "c0-vnf1");
     }

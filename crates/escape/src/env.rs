@@ -20,6 +20,7 @@ use escape_openflow::{Action, Match};
 use escape_orch::{ChainMapping, MappingAlgorithm, Orchestrator};
 use escape_pox::{Controller, SteeringMode, SteeringRule, TrafficSteering};
 use escape_sg::{ResourceTopology, ServiceGraph};
+use escape_telemetry::{Counter, Histogram, Registry, Snapshot, Tracer};
 use std::collections::HashMap;
 
 /// Virtual-time budget for a single NETCONF round trip before we declare
@@ -89,6 +90,16 @@ pub struct Escape {
     next_cookie: u64,
     topo: ResourceTopology,
     mode: SteeringMode,
+    /// Simulation-wide metric registry, shared by every subsystem.
+    telemetry: Registry,
+    /// Virtual-time span tracer (chain setup phases).
+    tracer: Tracer,
+    /// NETCONF round-trip latency in virtual ns (`netconf.rpc_latency_ns`).
+    rpc_latency: Histogram,
+    deploys_ctr: Counter,
+    deploy_failures_ctr: Counter,
+    chains_ctr: Counter,
+    teardowns_ctr: Counter,
 }
 
 impl Escape {
@@ -101,10 +112,11 @@ impl Escape {
         mode: SteeringMode,
         seed: u64,
     ) -> Result<Escape, EscapeError> {
-        let mut sim = Sim::new(seed);
+        let telemetry = Registry::new();
+        let mut sim = Sim::with_registry(seed, telemetry.clone());
         let infra = Infra::build(&mut sim, &topo, mode, seed).map_err(EscapeError::Invalid)?;
-        let orch =
-            Orchestrator::new(topo.clone(), algorithm).map_err(EscapeError::Invalid)?;
+        let orch = Orchestrator::with_registry(topo.clone(), algorithm, telemetry.clone())
+            .map_err(EscapeError::Invalid)?;
         let mut esc = Escape {
             sim,
             infra,
@@ -114,6 +126,13 @@ impl Escape {
             next_cookie: 1,
             topo,
             mode,
+            tracer: Tracer::new(telemetry.clone()),
+            rpc_latency: telemetry.histogram("netconf.rpc_latency_ns"),
+            deploys_ctr: telemetry.counter("escape.deploys"),
+            deploy_failures_ctr: telemetry.counter("escape.deploy_failures"),
+            chains_ctr: telemetry.counter("escape.chains_deployed"),
+            teardowns_ctr: telemetry.counter("escape.teardowns"),
+            telemetry,
         };
         // Let the OpenFlow handshake and hello exchanges settle.
         esc.sim.run_until(esc.sim.now() + Time::from_ms(5));
@@ -151,6 +170,22 @@ impl Escape {
         self.deployed.get(chain)
     }
 
+    /// The simulation-wide telemetry registry (netem, pox, orch, netconf
+    /// and escape metrics all land here).
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// The virtual-time span tracer: chain setup phases as nested spans.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Point-in-time snapshot of every metric in the environment.
+    pub fn metrics(&self) -> Snapshot {
+        self.telemetry.snapshot()
+    }
+
     // ---------------- NETCONF plumbing ------------------------------
 
     /// Drains the manager relay inbox into the right client sessions;
@@ -165,8 +200,13 @@ impl Escape {
         };
         let mut replies = Vec::new();
         for (conn, bytes) in msgs {
-            let Some(owner) = self.infra.conn_owner.get(&conn.0).cloned() else { continue };
-            let client = self.clients.entry(owner.clone()).or_default();
+            let Some(owner) = self.infra.conn_owner.get(&conn.0).cloned() else {
+                continue;
+            };
+            let client = self
+                .clients
+                .entry(owner.clone())
+                .or_insert_with(|| Client::with_registry(self.telemetry.clone()));
             for ev in client.on_bytes(&bytes) {
                 if let ClientEvent::Reply(r) = ev {
                     replies.push((owner.clone(), r));
@@ -183,12 +223,12 @@ impl Escape {
             .netconf_conn
             .get(container)
             .ok_or_else(|| EscapeError::NotFound(format!("container {container}")))?;
-        let needs_hello = self
-            .clients
-            .get(container)
-            .is_none_or(|c| !c.ready());
+        let needs_hello = self.clients.get(container).is_none_or(|c| !c.ready());
         if needs_hello {
-            let client = self.clients.entry(container.to_string()).or_default();
+            let client = self
+                .clients
+                .entry(container.to_string())
+                .or_insert_with(|| Client::with_registry(self.telemetry.clone()));
             let hello = client.start();
             self.sim.ctrl_send_from(self.infra.manager, conn, hello);
             let deadline = self.sim.now() + RPC_TIMEOUT;
@@ -217,12 +257,14 @@ impl Escape {
     ) -> Result<RpcReply, EscapeError> {
         let conn = self.ensure_session(container)?;
         let (id, bytes) = build(self.clients.get_mut(container).expect("session exists"));
+        let sent_at = self.sim.now();
         self.sim.ctrl_send_from(self.infra.manager, conn, bytes);
         let deadline = self.sim.now() + RPC_TIMEOUT;
         loop {
             self.sim.run_until(self.sim.now().add_ns(50_000));
             for (owner, reply) in self.drain_inbox() {
                 if owner == container && reply.message_id == id {
+                    self.rpc_latency.observe(self.sim.now().since(sent_at));
                     if let ReplyBody::Errors(errs) = &reply.body {
                         return Err(EscapeError::Netconf(format!(
                             "{container}: {}",
@@ -246,11 +288,29 @@ impl Escape {
     /// every VNF over NETCONF → install steering rules. Partial mapping
     /// failures abort the deployment (already-mapped chains are rolled
     /// back from the resource view).
+    ///
+    /// The whole operation is traced in virtual time: a `deploy` span
+    /// with `mapping`, one `chain_setup` per chain (its NETCONF leg) and
+    /// `steering` children.
     pub fn deploy(&mut self, sg: &ServiceGraph) -> Result<DeploymentReport, EscapeError> {
+        let sp = self.tracer.enter("deploy", self.sim.now().as_ns());
+        let result = self.deploy_inner(sg);
+        let now = self.sim.now().as_ns();
+        self.tracer.exit(sp, now);
+        match &result {
+            Ok(_) => self.deploys_ctr.inc(),
+            Err(_) => self.deploy_failures_ctr.inc(),
+        }
+        result
+    }
+
+    fn deploy_inner(&mut self, sg: &ServiceGraph) -> Result<DeploymentReport, EscapeError> {
         sg.validate().map_err(EscapeError::Invalid)?;
         let started_at = self.sim.now();
 
+        let sp_map = self.tracer.enter("mapping", self.sim.now().as_ns());
         let (mappings, rejected) = self.orch.embed_graph(sg);
+        self.tracer.exit(sp_map, self.sim.now().as_ns());
         if !rejected.is_empty() {
             for m in &mappings {
                 self.orch.release_chain(&m.chain.name);
@@ -261,8 +321,11 @@ impl Escape {
 
         let mut chains = Vec::new();
         for mapping in &mappings {
-            let deployed = self.deploy_mapping(sg, mapping)?;
-            chains.push(deployed);
+            let sp = self.tracer.enter("chain_setup", self.sim.now().as_ns());
+            let deployed = self.deploy_mapping(sg, mapping);
+            self.tracer.exit(sp, self.sim.now().as_ns());
+            chains.push(deployed?);
+            self.chains_ctr.inc();
         }
         let vnfs_ready_at = self.sim.now();
 
@@ -281,6 +344,36 @@ impl Escape {
                 .queue_rules(rules);
         }
         Controller::request_flush(&mut self.sim, self.infra.controller, Time::ZERO);
+        let sp_steer = self.tracer.enter("steering", self.sim.now().as_ns());
+        let steer_res = self.await_steering();
+        self.tracer.exit(sp_steer, self.sim.now().as_ns());
+        steer_res?;
+        let steered_at = self.sim.now();
+
+        // Provision static ARP on the SAP endpoints of each chain.
+        for dc in &chains {
+            let hops = &dc.mapping.chain.hops;
+            let (src, dst) = (hops.first().unwrap().clone(), hops.last().unwrap().clone());
+            self.provision_arp(&src, &dst)?;
+        }
+
+        for dc in &chains {
+            self.deployed
+                .insert(dc.mapping.chain.name.clone(), dc.clone());
+        }
+        let _ = total_rules;
+        Ok(DeploymentReport {
+            chains,
+            started_at,
+            mapped_at,
+            vnfs_ready_at,
+            steered_at,
+        })
+    }
+
+    /// Waits (in virtual time) until flushed steering rules reached the
+    /// switches (proactive), or gives reactive arming a settle beat.
+    fn await_steering(&mut self) -> Result<(), EscapeError> {
         if self.mode == SteeringMode::Proactive {
             // Wait for the rules to reach the switches.
             let deadline = self.sim.now() + RPC_TIMEOUT;
@@ -295,7 +388,7 @@ impl Escape {
                     // One more control-latency beat for in-flight flow-mods.
                     self.sim
                         .run_until(self.sim.now() + crate::infra::CTRL_LATENCY + Time::from_us(10));
-                    break;
+                    return Ok(());
                 }
                 if self.sim.now() > deadline {
                     return Err(EscapeError::Steering(format!(
@@ -305,21 +398,8 @@ impl Escape {
             }
         } else {
             self.sim.run_until(self.sim.now().add_ns(100_000));
+            Ok(())
         }
-        let steered_at = self.sim.now();
-
-        // Provision static ARP on the SAP endpoints of each chain.
-        for dc in &chains {
-            let hops = &dc.mapping.chain.hops;
-            let (src, dst) = (hops.first().unwrap().clone(), hops.last().unwrap().clone());
-            self.provision_arp(&src, &dst)?;
-        }
-
-        for dc in &chains {
-            self.deployed.insert(dc.mapping.chain.name.clone(), dc.clone());
-        }
-        let _ = total_rules;
-        Ok(DeploymentReport { chains, started_at, mapped_at, vnfs_ready_at, steered_at })
     }
 
     /// Runs the NETCONF leg for one chain mapping.
@@ -341,8 +421,7 @@ impl Escape {
             let options: Vec<(String, String)> = req.params.clone();
             let (ty, opts) = (req.vnf_type.clone(), options);
             let cfg = req.click_config.clone();
-            let reply =
-                self.rpc(container, |c| c.initiate_vnf(&ty, cfg.as_deref(), &opts))?;
+            let reply = self.rpc(container, |c| c.initiate_vnf(&ty, cfg.as_deref(), &opts))?;
             let vnf_id = vnf_id_of(&reply)
                 .ok_or_else(|| EscapeError::Netconf("initiateVNF reply missing vnf-id".into()))?;
             let mut dv = DeployedVnf {
@@ -397,7 +476,12 @@ impl Escape {
             vnfs.push(dv);
         }
         let _ = hops;
-        Ok(DeployedChain { mapping: mapping.clone(), vnfs, cookie, rules: 0 })
+        Ok(DeployedChain {
+            mapping: mapping.clone(),
+            vnfs,
+            cookie,
+            rules: 0,
+        })
     }
 
     /// Tears down a chain: stop + disconnect its VNFs, delete its rules,
@@ -428,6 +512,7 @@ impl Escape {
         self.sim
             .run_until(self.sim.now() + crate::infra::CTRL_LATENCY + Time::from_ms(1));
         self.orch.release_chain(chain);
+        self.teardowns_ctr.inc();
         Ok(())
     }
 
@@ -477,7 +562,14 @@ impl Escape {
             .sim
             .node_as_mut::<Host>(node)
             .ok_or_else(|| EscapeError::Invalid(format!("{from} is not a SAP")))?;
-        host.add_stream(dst_ip, 40_000, 9_000, frame_len, Time::from_us(interval_us), count);
+        host.add_stream(
+            dst_ip,
+            40_000,
+            9_000,
+            frame_len,
+            Time::from_us(interval_us),
+            count,
+        );
         Host::start_streams(&mut self.sim, node, Time::from_us(1));
         Ok(())
     }
@@ -542,7 +634,11 @@ impl Escape {
 
     /// Live VNF state over NETCONF (`getVNFInfo`) — the Clicky view:
     /// returns (handler path, value) pairs of the named chain VNF.
-    pub fn monitor_vnf(&mut self, chain: &str, vnf_name: &str) -> Result<Vec<(String, String)>, EscapeError> {
+    pub fn monitor_vnf(
+        &mut self,
+        chain: &str,
+        vnf_name: &str,
+    ) -> Result<Vec<(String, String)>, EscapeError> {
         let (container, vnf_id) = {
             let dc = self
                 .deployed
@@ -564,7 +660,10 @@ impl Escape {
         for vnfs in data {
             for vnf in vnfs.find_all("vnf") {
                 if vnf.child_text("id") == Some(vnf_id.as_str()) {
-                    out.push(("status".to_string(), vnf.child_text("status").unwrap_or("").to_string()));
+                    out.push((
+                        "status".to_string(),
+                        vnf.child_text("status").unwrap_or("").to_string(),
+                    ));
                     for h in vnf.find_all("handler") {
                         out.push((
                             h.child_text("name").unwrap_or("").to_string(),
@@ -673,4 +772,3 @@ fn compile_rules(infra: &Infra, dc: &DeployedChain) -> Result<Vec<SteeringRule>,
     }
     Ok(rules)
 }
-

@@ -45,12 +45,11 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(EscapeError::Invalid("x".into()).to_string().contains("x"));
-        let e = EscapeError::MappingFailed(vec![(
-            "c1".into(),
-            MapError::NoCapacity("fw".into()),
-        )]);
+        let e = EscapeError::MappingFailed(vec![("c1".into(), MapError::NoCapacity("fw".into()))]);
         assert!(e.to_string().contains("c1"));
         assert!(e.to_string().contains("fw"));
-        assert!(EscapeError::NotFound("sap9".into()).to_string().contains("sap9"));
+        assert!(EscapeError::NotFound("sap9".into())
+            .to_string()
+            .contains("sap9"));
     }
 }

@@ -113,7 +113,11 @@ impl Infra {
                 ));
             }
             // Normalize: `sw` is a switch; `peer` is the other end.
-            let (sw, peer) = if is_switch(&l.a) { (&l.a, &l.b) } else { (&l.b, &l.a) };
+            let (sw, peer) = if is_switch(&l.a) {
+                (&l.a, &l.b)
+            } else {
+                (&l.b, &l.a)
+            };
             if is_container(peer) {
                 for _ in 0..ATTACH_POINTS_PER_LINK {
                     let sp = alloc_port(&mut next_port, sw);
@@ -201,8 +205,9 @@ impl Infra {
             sim.connect((nodes[&p.a], p.a_port), (nodes[&p.b], p.b_port), p.cfg);
         }
 
-        // Control network: controller <-> every switch.
-        let mut controller = Controller::new();
+        // Control network: controller <-> every switch. The controller
+        // publishes its counters into the simulation-wide registry.
+        let mut controller = Controller::with_registry(sim.telemetry().clone());
         controller.add_component(Box::new(TrafficSteering::new(mode)));
         let controller_node = sim.add_node("controller", 0, Box::new(controller));
         for (name, &node) in &nodes {
@@ -302,7 +307,9 @@ mod tests {
         // s0 connects to: c0 (8 attach ports), s1, sap0.
         assert!(infra.switch_port.contains_key(&("s0".into(), "s1".into())));
         assert!(infra.switch_port.contains_key(&("s1".into(), "s0".into())));
-        assert!(infra.switch_port.contains_key(&("s0".into(), "sap0".into())));
+        assert!(infra
+            .switch_port
+            .contains_key(&("s0".into(), "sap0".into())));
         // Container adjacency is not in switch_port (allocated per VNF).
         assert!(!infra.switch_port.contains_key(&("s0".into(), "c0".into())));
     }
@@ -320,7 +327,10 @@ mod tests {
         for dev in 0..ATTACH_POINTS_PER_LINK {
             host.connect(&id, dev, "s0").unwrap();
         }
-        assert!(host.connect(&id, 100, "s0").is_err(), "attach points exhausted");
+        assert!(
+            host.connect(&id, 100, "s0").is_err(),
+            "attach points exhausted"
+        );
     }
 
     #[test]
@@ -332,7 +342,8 @@ mod tests {
             .add_link("c0", "c1", 100.0, 10);
         let mut sim = Sim::new(1);
         assert!(Infra::build(&mut sim, &topo, SteeringMode::Proactive, 7)
-            .err().unwrap()
+            .err()
+            .unwrap()
             .contains("switches"));
         // SAP with two uplinks.
         let mut topo = ResourceTopology::new();
@@ -346,7 +357,8 @@ mod tests {
             .add_link("s0", "s1", 100.0, 10);
         let mut sim = Sim::new(1);
         assert!(Infra::build(&mut sim, &topo, SteeringMode::Proactive, 7)
-            .err().unwrap()
+            .err()
+            .unwrap()
             .contains("exactly one uplink"));
     }
 }

@@ -6,7 +6,12 @@
 
 /// Renders (handler, value) pairs as an aligned text table.
 pub fn format_handler_table(title: &str, handlers: &[(String, String)]) -> String {
-    let width = handlers.iter().map(|(k, _)| k.len()).max().unwrap_or(0).max(8);
+    let width = handlers
+        .iter()
+        .map(|(k, _)| k.len())
+        .max()
+        .unwrap_or(0)
+        .max(8);
     let mut out = format!("── {title} ──\n");
     for (k, v) in handlers {
         out.push_str(&format!("  {k:<width$}  {v}\n"));

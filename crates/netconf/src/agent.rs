@@ -8,7 +8,9 @@
 use crate::datastore::{Datastore, EditOperation};
 use crate::framing::Framer;
 use crate::message::{self, NetconfError, ReplyBody, Rpc, RpcReply};
-use crate::vnf_starter::{self, RPC_CONNECT, RPC_DISCONNECT, RPC_GET_INFO, RPC_INITIATE, RPC_START, RPC_STOP};
+use crate::vnf_starter::{
+    self, RPC_CONNECT, RPC_DISCONNECT, RPC_GET_INFO, RPC_INITIATE, RPC_START, RPC_STOP,
+};
 use crate::xml::XmlElement;
 use crate::yang::Module;
 
@@ -134,7 +136,9 @@ impl<I: VnfInstrumentation> Agent<I> {
     }
 
     fn on_message(&mut self, raw: &[u8]) -> Option<String> {
-        let Ok(text) = std::str::from_utf8(raw) else { return None };
+        let Ok(text) = std::str::from_utf8(raw) else {
+            return None;
+        };
         let Ok(el) = XmlElement::parse(text) else {
             self.stats.errors += 1;
             return None;
@@ -284,9 +288,7 @@ impl<I: VnfInstrumentation> Agent<I> {
                     })
                     .unwrap_or_default();
                 match self.instr.initiate(vnf_type, click, &options) {
-                    Ok(new_id) => {
-                        RpcReply::data(id, vec![XmlElement::text_node("vnf-id", new_id)])
-                    }
+                    Ok(new_id) => RpcReply::data(id, vec![XmlElement::text_node("vnf-id", new_id)]),
                     Err(e) => RpcReply::error(id, NetconfError::operation_failed(e)),
                 }
             }
@@ -299,7 +301,11 @@ impl<I: VnfInstrumentation> Agent<I> {
                 Err(e) => RpcReply::error(id, NetconfError::operation_failed(e)),
             },
             RPC_CONNECT => {
-                let port: u16 = op.child_text("vnf-port").unwrap_or("0").parse().unwrap_or(0);
+                let port: u16 = op
+                    .child_text("vnf-port")
+                    .unwrap_or("0")
+                    .parse()
+                    .unwrap_or(0);
                 let sw = op.child_text("switch-id").unwrap_or("");
                 match self.instr.connect(vnf_id.unwrap_or(""), port, sw) {
                     Ok(sw_port) => RpcReply::data(
@@ -310,7 +316,11 @@ impl<I: VnfInstrumentation> Agent<I> {
                 }
             }
             RPC_DISCONNECT => {
-                let port: u16 = op.child_text("vnf-port").unwrap_or("0").parse().unwrap_or(0);
+                let port: u16 = op
+                    .child_text("vnf-port")
+                    .unwrap_or("0")
+                    .parse()
+                    .unwrap_or(0);
                 match self.instr.disconnect(vnf_id.unwrap_or(""), port) {
                     Ok(()) => RpcReply::ok(id),
                     Err(e) => RpcReply::error(id, NetconfError::operation_failed(e)),
@@ -350,7 +360,10 @@ impl<I: VnfInstrumentation> Agent<I> {
 }
 
 fn source_name<'a>(op: &'a XmlElement, container: &str) -> Option<&'a str> {
-    op.find(container)?.children.first().map(|c| c.name.as_str())
+    op.find(container)?
+        .children
+        .first()
+        .map(|c| c.name.as_str())
 }
 
 #[cfg(test)]
@@ -410,7 +423,8 @@ pub(crate) mod test_instr {
         }
 
         fn connect(&mut self, vnf_id: &str, vnf_port: u16, switch_id: &str) -> Result<u16, String> {
-            self.calls.push(format!("connect {vnf_id}:{vnf_port} {switch_id}"));
+            self.calls
+                .push(format!("connect {vnf_id}:{vnf_port} {switch_id}"));
             let v = self.vnfs.get_mut(vnf_id).ok_or("no vnf")?;
             v.ports.push((vnf_port, switch_id.to_string()));
             Ok(100 + vnf_port)
@@ -444,8 +458,11 @@ mod tests {
     fn ready_agent() -> Agent<MockInstr> {
         let mut a = Agent::new(1, MockInstr::default());
         let _hello = a.start();
-        let client_hello =
-            Framer::frame(message::hello(&[message::BASE_CAP], None).to_xml().as_bytes());
+        let client_hello = Framer::frame(
+            message::hello(&[message::BASE_CAP], None)
+                .to_xml()
+                .as_bytes(),
+        );
         let out = a.on_bytes(&client_hello);
         assert!(out.is_empty(), "hello needs no reply");
         a
@@ -493,7 +510,9 @@ mod tests {
             1,
             xml("<initiateVNF><vnf-type>firewall</vnf-type></initiateVNF>"),
         );
-        let ReplyBody::Data(d) = &r.body else { panic!("expected data, got {r:?}") };
+        let ReplyBody::Data(d) = &r.body else {
+            panic!("expected data, got {r:?}")
+        };
         assert_eq!(d[0].name, "vnf-id");
         let vnf_id = d[0].text.clone();
         // connect
@@ -504,20 +523,32 @@ mod tests {
                 "<connectVNF><vnf-id>{vnf_id}</vnf-id><vnf-port>0</vnf-port><switch-id>s1</switch-id></connectVNF>"
             )),
         );
-        let ReplyBody::Data(d) = &r.body else { panic!() };
+        let ReplyBody::Data(d) = &r.body else {
+            panic!()
+        };
         assert_eq!(d[0].name, "switch-port");
         assert_eq!(d[0].text, "100");
         // start
-        let r = send(&mut a, 3, xml(&format!("<startVNF><vnf-id>{vnf_id}</vnf-id></startVNF>")));
+        let r = send(
+            &mut a,
+            3,
+            xml(&format!("<startVNF><vnf-id>{vnf_id}</vnf-id></startVNF>")),
+        );
         assert_eq!(r.body, ReplyBody::Ok);
         // getVNFInfo shows status running + the port.
         let r = send(&mut a, 4, xml("<getVNFInfo/>"));
-        let ReplyBody::Data(d) = &r.body else { panic!() };
+        let ReplyBody::Data(d) = &r.body else {
+            panic!()
+        };
         let vnf = d[0].find("vnf").unwrap();
         assert_eq!(vnf.child_text("status"), Some("running"));
         assert_eq!(vnf.find("port").unwrap().child_text("switch"), Some("s1"));
         // stop + disconnect
-        let r = send(&mut a, 5, xml(&format!("<stopVNF><vnf-id>{vnf_id}</vnf-id></stopVNF>")));
+        let r = send(
+            &mut a,
+            5,
+            xml(&format!("<stopVNF><vnf-id>{vnf_id}</vnf-id></stopVNF>")),
+        );
         assert_eq!(r.body, ReplyBody::Ok);
         let r = send(
             &mut a,
@@ -551,9 +582,15 @@ mod tests {
     fn instrumentation_failure_propagates() {
         let mut a = ready_agent();
         a.instr.fail_start = true;
-        send(&mut a, 1, xml("<initiateVNF><vnf-type>x</vnf-type></initiateVNF>"));
+        send(
+            &mut a,
+            1,
+            xml("<initiateVNF><vnf-type>x</vnf-type></initiateVNF>"),
+        );
         let r = send(&mut a, 2, xml("<startVNF><vnf-id>vnf1</vnf-id></startVNF>"));
-        let ReplyBody::Errors(errs) = &r.body else { panic!() };
+        let ReplyBody::Errors(errs) = &r.body else {
+            panic!()
+        };
         assert!(errs[0].message.contains("refused"));
     }
 
@@ -566,9 +603,18 @@ mod tests {
             xml("<edit-config><target><running/></target><config><policy><name>gold</name></policy></config></edit-config>"),
         );
         assert_eq!(r.body, ReplyBody::Ok);
-        let r = send(&mut a, 2, xml("<get-config><source><running/></source></get-config>"));
-        let ReplyBody::Data(d) = &r.body else { panic!() };
-        assert_eq!(d[0].find("policy").unwrap().child_text("name"), Some("gold"));
+        let r = send(
+            &mut a,
+            2,
+            xml("<get-config><source><running/></source></get-config>"),
+        );
+        let ReplyBody::Data(d) = &r.body else {
+            panic!()
+        };
+        assert_eq!(
+            d[0].find("policy").unwrap().child_text("name"),
+            Some("gold")
+        );
         assert_eq!(a.stats.edits, 1);
     }
 
@@ -578,15 +624,29 @@ mod tests {
         send(
             &mut a,
             1,
-            xml("<edit-config><target><candidate/></target><config><x>1</x></config></edit-config>"),
+            xml(
+                "<edit-config><target><candidate/></target><config><x>1</x></config></edit-config>",
+            ),
         );
         // Running unaffected before commit.
-        let r = send(&mut a, 2, xml("<get-config><source><running/></source></get-config>"));
-        let ReplyBody::Data(d) = &r.body else { panic!() };
+        let r = send(
+            &mut a,
+            2,
+            xml("<get-config><source><running/></source></get-config>"),
+        );
+        let ReplyBody::Data(d) = &r.body else {
+            panic!()
+        };
         assert!(d[0].find("x").is_none());
         send(&mut a, 3, xml("<commit/>"));
-        let r = send(&mut a, 4, xml("<get-config><source><running/></source></get-config>"));
-        let ReplyBody::Data(d) = &r.body else { panic!() };
+        let r = send(
+            &mut a,
+            4,
+            xml("<get-config><source><running/></source></get-config>"),
+        );
+        let ReplyBody::Data(d) = &r.body else {
+            panic!()
+        };
         assert!(d[0].find("x").is_some());
     }
 
@@ -605,16 +665,24 @@ mod tests {
     fn unknown_operation_is_not_supported() {
         let mut a = ready_agent();
         let r = send(&mut a, 1, xml("<kill-switch/>"));
-        let ReplyBody::Errors(e) = &r.body else { panic!() };
+        let ReplyBody::Errors(e) = &r.body else {
+            panic!()
+        };
         assert_eq!(e[0].tag, "operation-not-supported");
     }
 
     #[test]
     fn get_includes_live_vnf_state() {
         let mut a = ready_agent();
-        send(&mut a, 1, xml("<initiateVNF><vnf-type>dpi</vnf-type></initiateVNF>"));
+        send(
+            &mut a,
+            1,
+            xml("<initiateVNF><vnf-type>dpi</vnf-type></initiateVNF>"),
+        );
         let r = send(&mut a, 2, XmlElement::new("get"));
-        let ReplyBody::Data(d) = &r.body else { panic!() };
+        let ReplyBody::Data(d) = &r.body else {
+            panic!()
+        };
         let vnfs = d[0].find("vnfs").unwrap();
         assert_eq!(vnfs.find("vnf").unwrap().child_text("type"), Some("dpi"));
     }

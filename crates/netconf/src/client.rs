@@ -1,15 +1,21 @@
 //! The NETCONF client (the orchestrator side), sans-IO.
 
 use crate::framing::Framer;
-use crate::message::{self, RpcReply};
-use crate::vnf_starter::{RPC_CONNECT, RPC_DISCONNECT, RPC_GET_INFO, RPC_INITIATE, RPC_START, RPC_STOP};
+use crate::message::{self, ReplyBody, RpcReply};
+use crate::vnf_starter::{
+    RPC_CONNECT, RPC_DISCONNECT, RPC_GET_INFO, RPC_INITIATE, RPC_START, RPC_STOP,
+};
 use crate::xml::XmlElement;
+use escape_telemetry::{Counter, Registry};
 
 /// Events surfaced to the caller as server bytes are fed in.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientEvent {
     /// The server hello arrived.
-    HelloReceived { session_id: Option<u32>, capabilities: Vec<String> },
+    HelloReceived {
+        session_id: Option<u32>,
+        capabilities: Vec<String>,
+    },
     /// A reply to an outstanding rpc.
     Reply(RpcReply),
 }
@@ -25,22 +31,41 @@ pub struct Client {
     pub server_caps: Vec<String>,
     /// Message ids sent but not yet answered.
     pub outstanding: Vec<u64>,
+    /// RPCs sent (`netconf.rpcs_sent`).
+    rpcs_ctr: Counter,
+    /// Replies parsed (`netconf.replies_received`).
+    replies_ctr: Counter,
+    /// Replies carrying `<rpc-error>` (`netconf.rpc_errors`).
+    errors_ctr: Counter,
 }
 
 impl Client {
     pub fn new() -> Client {
+        Client::with_registry(Registry::new())
+    }
+
+    /// A client publishing `netconf.*` counters into `registry` — the
+    /// environment passes the simulation-wide registry here.
+    pub fn with_registry(registry: Registry) -> Client {
         Client {
             framer: Framer::new(),
             next_id: 0,
             session_id: None,
             server_caps: Vec::new(),
             outstanding: Vec::new(),
+            rpcs_ctr: registry.counter("netconf.rpcs_sent"),
+            replies_ctr: registry.counter("netconf.replies_received"),
+            errors_ctr: registry.counter("netconf.rpc_errors"),
         }
     }
 
     /// The client `<hello>`, framed.
     pub fn start(&self) -> Vec<u8> {
-        Framer::frame(message::hello(&[message::BASE_CAP], None).to_xml().as_bytes())
+        Framer::frame(
+            message::hello(&[message::BASE_CAP], None)
+                .to_xml()
+                .as_bytes(),
+        )
     }
 
     /// True once the capability exchange completed.
@@ -50,7 +75,9 @@ impl Client {
 
     /// True if the server announced the `vnf_starter` capability.
     pub fn has_vnf_starter(&self) -> bool {
-        self.server_caps.iter().any(|c| c == message::VNF_STARTER_CAP)
+        self.server_caps
+            .iter()
+            .any(|c| c == message::VNF_STARTER_CAP)
     }
 
     /// Wraps an operation into a framed `<rpc>`; returns (message-id,
@@ -58,6 +85,7 @@ impl Client {
     pub fn rpc(&mut self, operation: XmlElement) -> (u64, Vec<u8>) {
         self.next_id += 1;
         let id = self.next_id;
+        self.rpcs_ctr.inc();
         self.outstanding.push(id);
         let rpc = message::Rpc::new(id, operation);
         (id, Framer::frame(rpc.to_xml().to_xml().as_bytes()))
@@ -67,16 +95,27 @@ impl Client {
     pub fn on_bytes(&mut self, data: &[u8]) -> Vec<ClientEvent> {
         let mut events = Vec::new();
         for msg in self.framer.feed(data) {
-            let Ok(text) = std::str::from_utf8(&msg) else { continue };
-            let Ok(el) = XmlElement::parse(text) else { continue };
+            let Ok(text) = std::str::from_utf8(&msg) else {
+                continue;
+            };
+            let Ok(el) = XmlElement::parse(text) else {
+                continue;
+            };
             if let Some((caps, sid)) = message::parse_hello(&el) {
                 self.session_id = sid;
                 self.server_caps = caps.clone();
-                events.push(ClientEvent::HelloReceived { session_id: sid, capabilities: caps });
+                events.push(ClientEvent::HelloReceived {
+                    session_id: sid,
+                    capabilities: caps,
+                });
                 continue;
             }
             if let Some(reply) = RpcReply::from_xml(&el) {
                 self.outstanding.retain(|&i| i != reply.message_id);
+                self.replies_ctr.inc();
+                if matches!(reply.body, ReplyBody::Errors(_)) {
+                    self.errors_ctr.inc();
+                }
                 events.push(ClientEvent::Reply(reply));
             }
         }
@@ -93,8 +132,8 @@ impl Client {
         click_config: Option<&str>,
         options: &[(String, String)],
     ) -> (u64, Vec<u8>) {
-        let mut op = XmlElement::new(RPC_INITIATE)
-            .child(XmlElement::text_node("vnf-type", vnf_type));
+        let mut op =
+            XmlElement::new(RPC_INITIATE).child(XmlElement::text_node("vnf-type", vnf_type));
         if let Some(cfg) = click_config {
             op.children.push(XmlElement::text_node("click-config", cfg));
         }
@@ -176,9 +215,10 @@ impl Default for Client {
 /// Pulls the `vnf-id` out of an `initiateVNF` reply.
 pub fn vnf_id_of(reply: &RpcReply) -> Option<String> {
     match &reply.body {
-        crate::message::ReplyBody::Data(d) => {
-            d.iter().find(|e| e.name == "vnf-id").map(|e| e.text.clone())
-        }
+        crate::message::ReplyBody::Data(d) => d
+            .iter()
+            .find(|e| e.name == "vnf-id")
+            .map(|e| e.text.clone()),
         _ => None,
     }
 }
@@ -209,7 +249,10 @@ mod tests {
 
     impl Loop {
         fn new() -> Loop {
-            let mut l = Loop { client: Client::new(), agent: Agent::new(9, MockInstr::default()) };
+            let mut l = Loop {
+                client: Client::new(),
+                agent: Agent::new(9, MockInstr::default()),
+            };
             let server_hello = l.agent.start();
             let events = l.client.on_bytes(&server_hello);
             assert!(matches!(events[0], ClientEvent::HelloReceived { .. }));
@@ -258,8 +301,13 @@ mod tests {
 
         let (_, req) = l.client.get_vnf_info(None);
         let reply = l.call(req);
-        let ReplyBody::Data(d) = &reply.body else { panic!() };
-        assert_eq!(d[0].find("vnf").unwrap().child_text("status"), Some("running"));
+        let ReplyBody::Data(d) = &reply.body else {
+            panic!()
+        };
+        assert_eq!(
+            d[0].find("vnf").unwrap().child_text("status"),
+            Some("running")
+        );
 
         let (_, req) = l.client.stop_vnf(&vnf_id);
         assert_eq!(l.call(req).body, ReplyBody::Ok);
@@ -298,7 +346,9 @@ mod tests {
         l.call(req);
         let (_, req) = l.client.get(Some(XmlElement::new("vnfs")));
         let reply = l.call(req);
-        let ReplyBody::Data(d) = &reply.body else { panic!() };
+        let ReplyBody::Data(d) = &reply.body else {
+            panic!()
+        };
         // Live state tree appears under <data>.
         assert!(d[0].find("vnfs").is_some());
     }

@@ -32,7 +32,10 @@ pub struct Datastore {
 impl Datastore {
     /// An empty datastore.
     pub fn new() -> Datastore {
-        Datastore { root: XmlElement::new("data"), locked_by: None }
+        Datastore {
+            root: XmlElement::new("data"),
+            locked_by: None,
+        }
     }
 
     /// The whole tree (root element named `data`).
@@ -97,8 +100,7 @@ impl Datastore {
                 } else {
                     // Content-match nodes (leaves with text) act as
                     // predicates; remaining children select subtrees.
-                    let is_pred =
-                        |p: &XmlElement| !p.text.is_empty() && p.children.is_empty();
+                    let is_pred = |p: &XmlElement| !p.text.is_empty() && p.children.is_empty();
                     let preds_ok = fc
                         .children
                         .iter()
@@ -115,8 +117,12 @@ impl Datastore {
                         continue;
                     }
                     let mut selection_filter = XmlElement::new(&fc.name);
-                    selection_filter.children =
-                        fc.children.iter().filter(|p| !is_pred(p)).cloned().collect();
+                    selection_filter.children = fc
+                        .children
+                        .iter()
+                        .filter(|p| !is_pred(p))
+                        .cloned()
+                        .collect();
                     let selected = Self::filter_children(nc, &selection_filter);
                     if !selected.is_empty() {
                         let mut copy = XmlElement::new(&nc.name);
@@ -143,11 +149,13 @@ impl Datastore {
         Ok(())
     }
 
-    fn apply(target: &mut XmlElement, edit: &XmlElement, default_op: EditOperation) -> Result<(), String> {
+    fn apply(
+        target: &mut XmlElement,
+        edit: &XmlElement,
+        default_op: EditOperation,
+    ) -> Result<(), String> {
         let op = match edit.get_attr("operation") {
-            Some(s) => {
-                EditOperation::parse(s).ok_or_else(|| format!("bad operation {s:?}"))?
-            }
+            Some(s) => EditOperation::parse(s).ok_or_else(|| format!("bad operation {s:?}"))?,
             None => default_op,
         };
         // Identify the target child: same name, and if the edit carries a
@@ -184,28 +192,26 @@ impl Datastore {
                 }
                 Ok(())
             }
-            EditOperation::Merge => {
-                match existing {
-                    Some(e) => {
-                        if edit.children.is_empty() {
-                            e.text = edit.text.clone();
-                            Ok(())
-                        } else {
-                            for c in &edit.children {
-                                Self::apply(e, c, default_op)?;
-                            }
-                            Ok(())
+            EditOperation::Merge => match existing {
+                Some(e) => {
+                    if edit.children.is_empty() {
+                        e.text = edit.text.clone();
+                        Ok(())
+                    } else {
+                        for c in &edit.children {
+                            Self::apply(e, c, default_op)?;
                         }
-                    }
-                    None => {
-                        let mut clean = edit.clone();
-                        clean.attrs.retain(|(k, _)| k != "operation");
-                        strip_op_attrs(&mut clean);
-                        target.children.push(clean);
                         Ok(())
                     }
                 }
-            }
+                None => {
+                    let mut clean = edit.clone();
+                    clean.attrs.retain(|(k, _)| k != "operation");
+                    strip_op_attrs(&mut clean);
+                    target.children.push(clean);
+                    Ok(())
+                }
+            },
         }
     }
 }
@@ -234,8 +240,20 @@ mod tests {
     #[test]
     fn merge_creates_and_updates() {
         let mut ds = Datastore::new();
-        ds.edit(&cfg("<config><vnfs><vnf><name>fw</name><status>stopped</status></vnf></vnfs></config>"), EditOperation::Merge).unwrap();
-        ds.edit(&cfg("<config><vnfs><vnf><name>fw</name><status>running</status></vnf></vnfs></config>"), EditOperation::Merge).unwrap();
+        ds.edit(
+            &cfg(
+                "<config><vnfs><vnf><name>fw</name><status>stopped</status></vnf></vnfs></config>",
+            ),
+            EditOperation::Merge,
+        )
+        .unwrap();
+        ds.edit(
+            &cfg(
+                "<config><vnfs><vnf><name>fw</name><status>running</status></vnf></vnfs></config>",
+            ),
+            EditOperation::Merge,
+        )
+        .unwrap();
         let tree = ds.get(None);
         let vnf = tree.find("vnfs").unwrap().find("vnf").unwrap();
         assert_eq!(vnf.child_text("status"), Some("running"));
@@ -245,16 +263,35 @@ mod tests {
     #[test]
     fn list_entries_keyed_by_name() {
         let mut ds = Datastore::new();
-        ds.edit(&cfg("<config><vnfs><vnf><name>fw</name></vnf></vnfs></config>"), EditOperation::Merge).unwrap();
-        ds.edit(&cfg("<config><vnfs><vnf><name>nat</name></vnf></vnfs></config>"), EditOperation::Merge).unwrap();
-        assert_eq!(ds.get(None).find("vnfs").unwrap().find_all("vnf").count(), 2);
+        ds.edit(
+            &cfg("<config><vnfs><vnf><name>fw</name></vnf></vnfs></config>"),
+            EditOperation::Merge,
+        )
+        .unwrap();
+        ds.edit(
+            &cfg("<config><vnfs><vnf><name>nat</name></vnf></vnfs></config>"),
+            EditOperation::Merge,
+        )
+        .unwrap();
+        assert_eq!(
+            ds.get(None).find("vnfs").unwrap().find_all("vnf").count(),
+            2
+        );
     }
 
     #[test]
     fn replace_overwrites_subtree() {
         let mut ds = Datastore::new();
-        ds.edit(&cfg("<config><box><a>1</a><b>2</b></box></config>"), EditOperation::Merge).unwrap();
-        ds.edit(&cfg("<config><box operation=\"replace\"><a>9</a></box></config>"), EditOperation::Merge).unwrap();
+        ds.edit(
+            &cfg("<config><box><a>1</a><b>2</b></box></config>"),
+            EditOperation::Merge,
+        )
+        .unwrap();
+        ds.edit(
+            &cfg("<config><box operation=\"replace\"><a>9</a></box></config>"),
+            EditOperation::Merge,
+        )
+        .unwrap();
         let b = ds.get(None);
         let boxx = b.find("box").unwrap();
         assert_eq!(boxx.child_text("a"), Some("9"));
@@ -265,17 +302,26 @@ mod tests {
     #[test]
     fn delete_removes_or_errors() {
         let mut ds = Datastore::new();
-        ds.edit(&cfg("<config><x>1</x></config>"), EditOperation::Merge).unwrap();
-        ds.edit(&cfg("<config><x operation=\"delete\"/></config>"), EditOperation::Merge).unwrap();
+        ds.edit(&cfg("<config><x>1</x></config>"), EditOperation::Merge)
+            .unwrap();
+        ds.edit(
+            &cfg("<config><x operation=\"delete\"/></config>"),
+            EditOperation::Merge,
+        )
+        .unwrap();
         assert!(ds.get(None).find("x").is_none());
-        let err = ds.edit(&cfg("<config><x operation=\"delete\"/></config>"), EditOperation::Merge);
+        let err = ds.edit(
+            &cfg("<config><x operation=\"delete\"/></config>"),
+            EditOperation::Merge,
+        );
         assert!(err.is_err());
     }
 
     #[test]
     fn failed_edit_leaves_store_untouched() {
         let mut ds = Datastore::new();
-        ds.edit(&cfg("<config><x>1</x></config>"), EditOperation::Merge).unwrap();
+        ds.edit(&cfg("<config><x>1</x></config>"), EditOperation::Merge)
+            .unwrap();
         let before = ds.get(None);
         // Second element's delete fails; first merge must roll back.
         let r = ds.edit(
@@ -295,16 +341,22 @@ mod tests {
         assert!(got.find("vnfs").is_some());
         assert!(got.find("other").is_none());
         // Key predicate: only the fw entry.
-        let got = ds.get(Some(&cfg("<filter><vnfs><vnf><name>fw</name></vnf></vnfs></filter>")));
+        let got = ds.get(Some(&cfg(
+            "<filter><vnfs><vnf><name>fw</name></vnf></vnfs></filter>",
+        )));
         let vnfs = got.find("vnfs").unwrap();
         assert_eq!(vnfs.find_all("vnf").count(), 1);
-        assert_eq!(vnfs.find("vnf").unwrap().child_text("status"), Some("running"));
+        assert_eq!(
+            vnfs.find("vnf").unwrap().child_text("status"),
+            Some("running")
+        );
     }
 
     #[test]
     fn empty_filter_returns_everything() {
         let mut ds = Datastore::new();
-        ds.edit(&cfg("<config><a>1</a></config>"), EditOperation::Merge).unwrap();
+        ds.edit(&cfg("<config><a>1</a></config>"), EditOperation::Merge)
+            .unwrap();
         let all = ds.get(Some(&cfg("<filter/>")));
         assert!(all.find("a").is_some());
     }

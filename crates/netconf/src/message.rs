@@ -63,7 +63,11 @@ impl NetconfError {
 
 impl std::fmt::Display for NetconfError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "rpc-error [{}/{}]: {}", self.error_type, self.tag, self.message)
+        write!(
+            f,
+            "rpc-error [{}/{}]: {}",
+            self.error_type, self.tag, self.message
+        )
     }
 }
 
@@ -78,7 +82,8 @@ pub fn hello(capabilities: &[&str], session_id: Option<u32>) -> XmlElement {
     }
     let mut h = XmlElement::new("hello").attr("xmlns", BASE_NS).child(caps);
     if let Some(sid) = session_id {
-        h.children.push(XmlElement::text_node("session-id", sid.to_string()));
+        h.children
+            .push(XmlElement::text_node("session-id", sid.to_string()));
     }
     h
 }
@@ -107,7 +112,10 @@ pub struct Rpc {
 impl Rpc {
     /// Wraps an operation.
     pub fn new(message_id: u64, operation: XmlElement) -> Rpc {
-        Rpc { message_id, operation }
+        Rpc {
+            message_id,
+            operation,
+        }
     }
 
     /// Serializes to the `<rpc>` envelope.
@@ -124,7 +132,10 @@ impl Rpc {
             return None;
         }
         let message_id = el.get_attr("message-id")?.parse().ok()?;
-        Some(Rpc { message_id, operation: el.children[0].clone() })
+        Some(Rpc {
+            message_id,
+            operation: el.children[0].clone(),
+        })
     }
 }
 
@@ -146,15 +157,24 @@ pub enum ReplyBody {
 
 impl RpcReply {
     pub fn ok(message_id: u64) -> RpcReply {
-        RpcReply { message_id, body: ReplyBody::Ok }
+        RpcReply {
+            message_id,
+            body: ReplyBody::Ok,
+        }
     }
 
     pub fn data(message_id: u64, data: Vec<XmlElement>) -> RpcReply {
-        RpcReply { message_id, body: ReplyBody::Data(data) }
+        RpcReply {
+            message_id,
+            body: ReplyBody::Data(data),
+        }
     }
 
     pub fn error(message_id: u64, e: NetconfError) -> RpcReply {
-        RpcReply { message_id, body: ReplyBody::Errors(vec![e]) }
+        RpcReply {
+            message_id,
+            body: ReplyBody::Errors(vec![e]),
+        }
     }
 
     /// Serializes to the `<rpc-reply>` envelope.
@@ -178,8 +198,10 @@ impl RpcReply {
             return None;
         }
         let message_id = el.get_attr("message-id")?.parse().ok()?;
-        let errors: Vec<NetconfError> =
-            el.find_all("rpc-error").map(NetconfError::from_xml).collect();
+        let errors: Vec<NetconfError> = el
+            .find_all("rpc-error")
+            .map(NetconfError::from_xml)
+            .collect();
         let body = if !errors.is_empty() {
             ReplyBody::Errors(errors)
         } else if el.find("ok").is_some() {
@@ -230,8 +252,14 @@ mod tests {
 
     #[test]
     fn error_constructors() {
-        assert_eq!(NetconfError::missing_element("vnf-id").tag, "missing-element");
-        assert_eq!(NetconfError::not_supported("x").tag, "operation-not-supported");
+        assert_eq!(
+            NetconfError::missing_element("vnf-id").tag,
+            "missing-element"
+        );
+        assert_eq!(
+            NetconfError::not_supported("x").tag,
+            "operation-not-supported"
+        );
         let e = NetconfError::operation_failed("nope");
         assert!(e.to_string().contains("nope"));
     }

@@ -120,7 +120,14 @@ mod tests {
     #[test]
     fn module_has_all_six_rpcs() {
         let m = module();
-        for r in [RPC_INITIATE, RPC_START, RPC_STOP, RPC_CONNECT, RPC_DISCONNECT, RPC_GET_INFO] {
+        for r in [
+            RPC_INITIATE,
+            RPC_START,
+            RPC_STOP,
+            RPC_CONNECT,
+            RPC_DISCONNECT,
+            RPC_GET_INFO,
+        ] {
             assert!(m.rpc(r).is_some(), "missing rpc {r}");
         }
     }
@@ -129,7 +136,13 @@ mod tests {
     fn yang_text_mentions_the_paper_operations() {
         let y = module().to_yang();
         assert!(y.contains("module vnf_starter"));
-        for r in ["initiateVNF", "startVNF", "stopVNF", "connectVNF", "disconnectVNF"] {
+        for r in [
+            "initiateVNF",
+            "startVNF",
+            "stopVNF",
+            "connectVNF",
+            "disconnectVNF",
+        ] {
             assert!(y.contains(r), "yang text missing {r}");
         }
     }

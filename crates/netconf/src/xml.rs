@@ -37,12 +37,19 @@ impl std::error::Error for XmlError {}
 impl XmlElement {
     /// An element with no content.
     pub fn new(name: impl Into<String>) -> XmlElement {
-        XmlElement { name: name.into(), ..Default::default() }
+        XmlElement {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// An element holding text.
     pub fn text_node(name: impl Into<String>, text: impl Into<String>) -> XmlElement {
-        XmlElement { name: name.into(), text: text.into(), ..Default::default() }
+        XmlElement {
+            name: name.into(),
+            text: text.into(),
+            ..Default::default()
+        }
     }
 
     /// Builder: adds an attribute.
@@ -74,7 +81,10 @@ impl XmlElement {
 
     /// Attribute value by name.
     pub fn get_attr(&self, name: &str) -> Option<&str> {
-        self.attrs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Serializes to a compact XML string.
@@ -114,7 +124,10 @@ impl XmlElement {
     /// Parses a document, returning its root element. A leading
     /// `<?xml ...?>` declaration is allowed and skipped.
     pub fn parse(src: &str) -> Result<XmlElement, XmlError> {
-        let mut p = Parser { b: src.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            b: src.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         p.skip_decl()?;
         p.skip_ws();
@@ -153,7 +166,10 @@ fn unescape(s: &str, at: usize) -> Result<String, XmlError> {
     while let Some(i) = rest.find('&') {
         out.push_str(&rest[..i]);
         rest = &rest[i..];
-        let semi = rest.find(';').ok_or(XmlError { pos: at, message: "unterminated entity".into() })?;
+        let semi = rest.find(';').ok_or(XmlError {
+            pos: at,
+            message: "unterminated entity".into(),
+        })?;
         match &rest[..=semi] {
             "&amp;" => out.push('&'),
             "&lt;" => out.push('<'),
@@ -161,7 +177,10 @@ fn unescape(s: &str, at: usize) -> Result<String, XmlError> {
             "&quot;" => out.push('"'),
             "&apos;" => out.push('\''),
             other => {
-                return Err(XmlError { pos: at, message: format!("unknown entity {other}") })
+                return Err(XmlError {
+                    pos: at,
+                    message: format!("unknown entity {other}"),
+                })
             }
         }
         rest = &rest[semi + 1..];
@@ -177,7 +196,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, m: impl Into<String>) -> XmlError {
-        XmlError { pos: self.pos, message: m.into() }
+        XmlError {
+            pos: self.pos,
+            message: m.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -202,13 +224,16 @@ impl Parser<'_> {
 
     fn name(&mut self) -> Result<String, XmlError> {
         let start = self.pos;
-        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b':' | b'.')) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b':' | b'.'))
+        {
             self.pos += 1;
         }
         if self.pos == start {
             return Err(self.err("expected name"));
         }
-        Ok(std::str::from_utf8(&self.b[start..self.pos]).unwrap().to_string())
+        Ok(std::str::from_utf8(&self.b[start..self.pos])
+            .unwrap()
+            .to_string())
     }
 
     fn element(&mut self) -> Result<XmlElement, XmlError> {
@@ -332,8 +357,17 @@ mod tests {
         let src = r#"<hello xmlns="urn:ietf:params:xml:ns:netconf:base:1.0"><capabilities><capability>urn:x</capability></capabilities><session-id>4</session-id></hello>"#;
         let el = XmlElement::parse(src).unwrap();
         assert_eq!(el.name, "hello");
-        assert_eq!(el.get_attr("xmlns").unwrap(), "urn:ietf:params:xml:ns:netconf:base:1.0");
-        assert_eq!(el.find("capabilities").unwrap().find_all("capability").count(), 1);
+        assert_eq!(
+            el.get_attr("xmlns").unwrap(),
+            "urn:ietf:params:xml:ns:netconf:base:1.0"
+        );
+        assert_eq!(
+            el.find("capabilities")
+                .unwrap()
+                .find_all("capability")
+                .count(),
+            1
+        );
         assert_eq!(el.child_text("session-id"), Some("4"));
         assert_eq!(XmlElement::parse(&el.to_xml()).unwrap(), el);
     }

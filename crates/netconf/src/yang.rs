@@ -65,22 +65,44 @@ impl YangType {
 /// A schema node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SchemaNode {
-    Leaf { name: String, ty: YangType, mandatory: bool },
-    Container { name: String, children: Vec<SchemaNode> },
-    List { name: String, key: String, children: Vec<SchemaNode> },
+    Leaf {
+        name: String,
+        ty: YangType,
+        mandatory: bool,
+    },
+    Container {
+        name: String,
+        children: Vec<SchemaNode>,
+    },
+    List {
+        name: String,
+        key: String,
+        children: Vec<SchemaNode>,
+    },
 }
 
 impl SchemaNode {
     pub fn leaf(name: &str, ty: YangType, mandatory: bool) -> SchemaNode {
-        SchemaNode::Leaf { name: name.into(), ty, mandatory }
+        SchemaNode::Leaf {
+            name: name.into(),
+            ty,
+            mandatory,
+        }
     }
 
     pub fn container(name: &str, children: Vec<SchemaNode>) -> SchemaNode {
-        SchemaNode::Container { name: name.into(), children }
+        SchemaNode::Container {
+            name: name.into(),
+            children,
+        }
     }
 
     pub fn list(name: &str, key: &str, children: Vec<SchemaNode>) -> SchemaNode {
-        SchemaNode::List { name: name.into(), key: key.into(), children }
+        SchemaNode::List {
+            name: name.into(),
+            key: key.into(),
+            children,
+        }
     }
 
     fn name(&self) -> &str {
@@ -119,7 +141,9 @@ impl Module {
     /// Validates an RPC input element (children of the operation element)
     /// against the schema.
     pub fn validate_rpc_input(&self, name: &str, op: &XmlElement) -> Result<(), String> {
-        let rpc = self.rpc(name).ok_or_else(|| format!("unknown rpc {name}"))?;
+        let rpc = self
+            .rpc(name)
+            .ok_or_else(|| format!("unknown rpc {name}"))?;
         validate_children(op, &rpc.input)
     }
 
@@ -159,7 +183,11 @@ impl Module {
 fn render_node(n: &SchemaNode, depth: usize, out: &mut String) {
     let pad = "  ".repeat(depth);
     match n {
-        SchemaNode::Leaf { name, ty, mandatory } => {
+        SchemaNode::Leaf {
+            name,
+            ty,
+            mandatory,
+        } => {
             out.push_str(&format!("{pad}leaf {name} {{ type {};", ty.yang_name()));
             if *mandatory {
                 out.push_str(" mandatory true;");
@@ -173,7 +201,11 @@ fn render_node(n: &SchemaNode, depth: usize, out: &mut String) {
             }
             out.push_str(&format!("{pad}}}\n"));
         }
-        SchemaNode::List { name, key, children } => {
+        SchemaNode::List {
+            name,
+            key,
+            children,
+        } => {
             out.push_str(&format!("{pad}list {name} {{\n{pad}  key \"{key}\";\n"));
             for c in children {
                 render_node(c, depth + 1, out);
@@ -210,7 +242,12 @@ pub fn validate_children(el: &XmlElement, schema: &[SchemaNode]) -> Result<(), S
     }
     // Mandatory leaves must be present.
     for n in schema {
-        if let SchemaNode::Leaf { name, mandatory: true, .. } = n {
+        if let SchemaNode::Leaf {
+            name,
+            mandatory: true,
+            ..
+        } = n
+        {
             if el.find(name).is_none() {
                 return Err(format!("missing mandatory leaf <{name}> in <{}>", el.name));
             }
@@ -266,21 +303,31 @@ mod tests {
     #[test]
     fn type_errors_are_caught() {
         let el = xml("<in><vnf-type>x</vnf-type><port>99999</port></in>");
-        assert!(validate_children(&el, &schema()).unwrap_err().contains("uint16"));
+        assert!(validate_children(&el, &schema())
+            .unwrap_err()
+            .contains("uint16"));
         let el = xml("<in><vnf-type>x</vnf-type><status>paused</status></in>");
-        assert!(validate_children(&el, &schema()).unwrap_err().contains("enumeration"));
+        assert!(validate_children(&el, &schema())
+            .unwrap_err()
+            .contains("enumeration"));
     }
 
     #[test]
     fn unknown_elements_are_rejected() {
         let el = xml("<in><vnf-type>x</vnf-type><bogus>1</bogus></in>");
-        assert!(validate_children(&el, &schema()).unwrap_err().contains("bogus"));
+        assert!(validate_children(&el, &schema())
+            .unwrap_err()
+            .contains("bogus"));
     }
 
     #[test]
     fn list_key_is_required() {
-        let el = xml("<in><vnf-type>x</vnf-type><options><option><value>v</value></option></options></in>");
-        assert!(validate_children(&el, &schema()).unwrap_err().contains("key"));
+        let el = xml(
+            "<in><vnf-type>x</vnf-type><options><option><value>v</value></option></options></in>",
+        );
+        assert!(validate_children(&el, &schema())
+            .unwrap_err()
+            .contains("key"));
     }
 
     #[test]

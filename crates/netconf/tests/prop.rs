@@ -17,7 +17,11 @@ fn arb_text() -> impl Strategy<Value = String> {
 }
 
 fn arb_xml() -> impl Strategy<Value = XmlElement> {
-    let leaf = (arb_name(), arb_text(), proptest::collection::vec((arb_name(), arb_text()), 0..3))
+    let leaf = (
+        arb_name(),
+        arb_text(),
+        proptest::collection::vec((arb_name(), arb_text()), 0..3),
+    )
         .prop_map(|(name, text, attrs)| {
             let mut el = XmlElement::text_node(name, text);
             // Attribute keys must be unique for round-trip equality.
@@ -36,7 +40,11 @@ fn arb_xml() -> impl Strategy<Value = XmlElement> {
                 el.text = "x".into();
             }
             el.children = children;
-            el.text = if el.children.is_empty() { el.text } else { String::new() };
+            el.text = if el.children.is_empty() {
+                el.text
+            } else {
+                String::new()
+            };
             el
         })
     })

@@ -116,7 +116,14 @@ impl Host {
         interval: Time,
         count: u64,
     ) -> usize {
-        self.streams.push(Stream { dst_ip, sport, dport, frame_len, interval, remaining: count });
+        self.streams.push(Stream {
+            dst_ip,
+            sport,
+            dport,
+            frame_len,
+            interval,
+            remaining: count,
+        });
         self.streams.len() - 1
     }
 
@@ -124,7 +131,12 @@ impl Host {
     /// `dst_ip`, one every `interval`. Needs an ARP entry (static or
     /// learned) for the destination at fire time.
     pub fn add_ping(&mut self, dst_ip: Ipv4Addr, interval: Time, count: u64) -> usize {
-        self.pings.push(PingJob { dst_ip, interval, remaining: count, seq: 0 });
+        self.pings.push(PingJob {
+            dst_ip,
+            interval,
+            remaining: count,
+            seq: 0,
+        });
         self.pings.len() - 1
     }
 
@@ -166,7 +178,13 @@ impl Host {
         self.streams[k].remaining -= 1;
         if let Some(&dst_mac) = self.arp_table.get(&s.dst_ip) {
             let frame = PacketBuilder::udp_with_len(
-                self.mac, dst_mac, self.ip, s.dst_ip, s.sport, s.dport, s.frame_len,
+                self.mac,
+                dst_mac,
+                self.ip,
+                s.dst_ip,
+                s.sport,
+                s.dport,
+                s.frame_len,
             );
             let pkt = ctx.new_packet(frame);
             self.stats.udp_tx += 1;
@@ -207,21 +225,24 @@ impl Host {
 
     fn handle_arp(&mut self, ctx: &mut NodeCtx<'_>, eth: &EthernetFrame) {
         self.stats.arp_rx += 1;
-        let Ok(arp) = ArpPacket::decode(&eth.payload) else { return };
+        let Ok(arp) = ArpPacket::decode(&eth.payload) else {
+            return;
+        };
         // Learn the sender binding either way.
         self.arp_table.insert(arp.sender_ip, arp.sender_mac);
         self.flush_pending(ctx, arp.sender_ip, arp.sender_mac);
         if arp.operation == escape_packet::ArpOperation::Request && arp.target_ip == self.ip {
             let rep = ArpPacket::reply_to(&arp, self.mac).encode();
-            let frame =
-                EthernetFrame::new(arp.sender_mac, self.mac, EtherType::Arp, rep).encode();
+            let frame = EthernetFrame::new(arp.sender_mac, self.mac, EtherType::Arp, rep).encode();
             let pkt = ctx.new_packet(frame);
             ctx.send(0, pkt);
         }
     }
 
     fn handle_ipv4(&mut self, ctx: &mut NodeCtx<'_>, pkt: &Packet, eth: &EthernetFrame) {
-        let Ok(ip) = Ipv4Packet::decode(&eth.payload) else { return };
+        let Ok(ip) = Ipv4Packet::decode(&eth.payload) else {
+            return;
+        };
         if ip.dst != self.ip {
             return; // not for us (hosts don't forward)
         }
@@ -247,9 +268,10 @@ impl Host {
                         IcmpType::EchoRequest => {
                             self.stats.icmp_echo_rx += 1;
                             let rep = IcmpPacket::echo_reply(&icmp).encode();
-                            let ipp = Ipv4Packet::new(self.ip, ip.src, IpProtocol::Icmp, rep).encode();
-                            let frame =
-                                EthernetFrame::new(eth.src, self.mac, EtherType::Ipv4, ipp).encode();
+                            let ipp =
+                                Ipv4Packet::new(self.ip, ip.src, IpProtocol::Icmp, rep).encode();
+                            let frame = EthernetFrame::new(eth.src, self.mac, EtherType::Ipv4, ipp)
+                                .encode();
                             let out = ctx.new_packet(frame);
                             ctx.send(0, out);
                         }
@@ -266,7 +288,9 @@ impl Host {
 
     /// Sends one ICMP echo request (needs an ARP entry for `dst_ip`).
     pub fn ping(&mut self, ctx: &mut NodeCtx<'_>, dst_ip: Ipv4Addr, seq: u16) -> bool {
-        let Some(&mac) = self.arp_table.get(&dst_ip) else { return false };
+        let Some(&mac) = self.arp_table.get(&dst_ip) else {
+            return false;
+        };
         let frame = PacketBuilder::icmp_echo_request(self.mac, mac, self.ip, dst_ip, 1, seq);
         let pkt = ctx.new_packet(frame);
         ctx.send(0, pkt);
@@ -276,7 +300,9 @@ impl Host {
 
 impl NodeLogic for Host {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, _port: u16, pkt: Packet) {
-        let Ok(eth) = EthernetFrame::decode(&pkt.data) else { return };
+        let Ok(eth) = EthernetFrame::decode(&pkt.data) else {
+            return;
+        };
         if eth.dst != self.mac && !eth.dst.is_broadcast() {
             return; // promiscuous filtering off
         }

@@ -43,7 +43,12 @@ impl LinkConfig {
     /// An ideal link: infinite bandwidth, zero delay, lossless. Useful for
     /// isolating other effects in tests.
     pub fn ideal() -> Self {
-        LinkConfig { bandwidth_bps: u64::MAX, delay: Time::ZERO, loss: 0.0, queue_capacity: usize::MAX }
+        LinkConfig {
+            bandwidth_bps: u64::MAX,
+            delay: Time::ZERO,
+            loss: 0.0,
+            queue_capacity: usize::MAX,
+        }
     }
 
     /// Builder-style bandwidth override (bits/s).

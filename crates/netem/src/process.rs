@@ -28,10 +28,7 @@ pub enum IsolationMode {
     /// cpu.cfs_quota-style hard cap: the process may consume at most
     /// `quota_ns` of CPU per `period_ns`; work beyond the quota waits for
     /// the next period.
-    CpuQuota {
-        quota_ns: u64,
-        period_ns: u64,
-    },
+    CpuQuota { quota_ns: u64, period_ns: u64 },
 }
 
 impl IsolationMode {
@@ -39,10 +36,19 @@ impl IsolationMode {
         match *self {
             IsolationMode::None => {}
             IsolationMode::CpuShare { weight, total } => {
-                assert!(weight > 0 && total >= weight, "invalid cpu share {weight}/{total}");
+                assert!(
+                    weight > 0 && total >= weight,
+                    "invalid cpu share {weight}/{total}"
+                );
             }
-            IsolationMode::CpuQuota { quota_ns, period_ns } => {
-                assert!(quota_ns > 0 && period_ns >= quota_ns, "invalid quota {quota_ns}/{period_ns}");
+            IsolationMode::CpuQuota {
+                quota_ns,
+                period_ns,
+            } => {
+                assert!(
+                    quota_ns > 0 && period_ns >= quota_ns,
+                    "invalid quota {quota_ns}/{period_ns}"
+                );
             }
         }
     }
@@ -90,7 +96,11 @@ pub struct ProcId(pub usize);
 impl CpuModel {
     /// A fresh idle CPU.
     pub fn new() -> Self {
-        CpuModel { busy_until: Time::ZERO, procs: Vec::new(), total_busy: 0 }
+        CpuModel {
+            busy_until: Time::ZERO,
+            procs: Vec::new(),
+            total_busy: 0,
+        }
     }
 
     /// Registers a process with the given isolation mode.
@@ -119,7 +129,10 @@ impl CpuModel {
                 let inflated = (cost_ns as u128 * total as u128 / weight as u128) as u64;
                 (now, inflated)
             }
-            IsolationMode::CpuQuota { quota_ns, period_ns } => {
+            IsolationMode::CpuQuota {
+                quota_ns,
+                period_ns,
+            } => {
                 // Advance to the current period.
                 let mut start = now;
                 let elapsed = now.since(p.period_start);
@@ -149,7 +162,11 @@ impl CpuModel {
             IsolationMode::None => &mut self.busy_until,
             _ => &mut p.own_busy_until,
         };
-        let start = if *lane > start_floor { *lane } else { start_floor };
+        let start = if *lane > start_floor {
+            *lane
+        } else {
+            start_floor
+        };
         let done = start.add_ns(effective_cost);
         *lane = done;
         done
@@ -198,7 +215,10 @@ mod tests {
     #[test]
     fn cpu_share_inflates_cost() {
         let mut cpu = CpuModel::new();
-        let half = cpu.add_process(IsolationMode::CpuShare { weight: 1, total: 2 });
+        let half = cpu.add_process(IsolationMode::CpuShare {
+            weight: 1,
+            total: 2,
+        });
         let done = cpu.run(half, Time::ZERO, 1_000);
         assert_eq!(done.as_ns(), 2_000); // half the CPU -> twice the time
     }
@@ -206,7 +226,10 @@ mod tests {
     #[test]
     fn quota_defers_overflow_to_next_period() {
         let mut cpu = CpuModel::new();
-        let q = cpu.add_process(IsolationMode::CpuQuota { quota_ns: 1_000, period_ns: 10_000 });
+        let q = cpu.add_process(IsolationMode::CpuQuota {
+            quota_ns: 1_000,
+            period_ns: 10_000,
+        });
         // First item fits the quota.
         let d1 = cpu.run(q, Time::ZERO, 800);
         assert_eq!(d1.as_ns(), 800);
@@ -218,7 +241,10 @@ mod tests {
     #[test]
     fn quota_resets_after_idle_period() {
         let mut cpu = CpuModel::new();
-        let q = cpu.add_process(IsolationMode::CpuQuota { quota_ns: 1_000, period_ns: 10_000 });
+        let q = cpu.add_process(IsolationMode::CpuQuota {
+            quota_ns: 1_000,
+            period_ns: 10_000,
+        });
         cpu.run(q, Time::ZERO, 1_000);
         // Long idle: a fresh period begins at `now`, quota is fresh.
         let d = cpu.run(q, Time::from_us(100), 1_000);
@@ -229,7 +255,10 @@ mod tests {
     fn usage_accounting() {
         let mut cpu = CpuModel::new();
         let a = cpu.add_process(IsolationMode::None);
-        let b = cpu.add_process(IsolationMode::CpuShare { weight: 1, total: 4 });
+        let b = cpu.add_process(IsolationMode::CpuShare {
+            weight: 1,
+            total: 4,
+        });
         cpu.run(a, Time::ZERO, 100);
         cpu.run(b, Time::ZERO, 200);
         assert_eq!(cpu.process_usage(a), 100);
@@ -240,12 +269,18 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid cpu share")]
     fn zero_weight_rejected() {
-        CpuModel::new().add_process(IsolationMode::CpuShare { weight: 0, total: 1 });
+        CpuModel::new().add_process(IsolationMode::CpuShare {
+            weight: 0,
+            total: 1,
+        });
     }
 
     #[test]
     #[should_panic(expected = "invalid quota")]
     fn quota_larger_than_period_rejected() {
-        CpuModel::new().add_process(IsolationMode::CpuQuota { quota_ns: 10, period_ns: 5 });
+        CpuModel::new().add_process(IsolationMode::CpuQuota {
+            quota_ns: 10,
+            period_ns: 5,
+        });
     }
 }

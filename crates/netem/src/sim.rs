@@ -14,11 +14,54 @@ use crate::time::Time;
 use crate::trace::{Trace, TraceDir, TraceRecord};
 use bytes::Bytes;
 use escape_packet::Packet;
+use escape_telemetry::{Counter, Gauge, Registry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Cached handles into the telemetry [`Registry`] for the kernel's hot
+/// paths — one atomic increment per event, no lookups.
+struct SimCounters {
+    events: Counter,
+    timers: Counter,
+    ctrl_messages: Counter,
+    frames_sent: Counter,
+    frames_delivered: Counter,
+    drops_queue: Counter,
+    drops_loss: Counter,
+    drops_link_down: Counter,
+    /// Frames sitting in egress queues right now, across all links.
+    queued_frames: Gauge,
+    /// High-water mark of `queued_frames`.
+    queued_frames_max: Gauge,
+}
+
+impl SimCounters {
+    fn new(r: &Registry) -> SimCounters {
+        SimCounters {
+            events: r.counter("netem.events"),
+            timers: r.counter("netem.timers"),
+            ctrl_messages: r.counter("netem.ctrl_messages"),
+            frames_sent: r.counter("netem.frames_sent"),
+            frames_delivered: r.counter("netem.frames_delivered"),
+            drops_queue: r.counter("netem.drops.queue"),
+            drops_loss: r.counter("netem.drops.loss"),
+            drops_link_down: r.counter("netem.drops.link_down"),
+            queued_frames: r.gauge("netem.queued_frames"),
+            queued_frames_max: r.gauge("netem.queued_frames.max"),
+        }
+    }
+
+    fn enqueue(&self) {
+        self.queued_frames.add(1);
+        let depth = self.queued_frames.get();
+        if depth > self.queued_frames_max.get() {
+            self.queued_frames_max.set(depth);
+        }
+    }
+}
 
 /// Identifies a node within a [`Sim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -58,10 +101,24 @@ pub trait NodeLogic: AsAny {
 }
 
 enum Event {
-    PacketArrive { node: u32, port: u16, pkt: Packet },
-    TxComplete { link: u32, dir: u8 },
-    Timer { node: u32, token: u64 },
-    CtrlDeliver { conn: u32, to_node: u32, msg: Vec<u8> },
+    PacketArrive {
+        node: u32,
+        port: u16,
+        pkt: Packet,
+    },
+    TxComplete {
+        link: u32,
+        dir: u8,
+    },
+    Timer {
+        node: u32,
+        token: u64,
+    },
+    CtrlDeliver {
+        conn: u32,
+        to_node: u32,
+        msg: Vec<u8>,
+    },
 }
 
 struct Scheduled {
@@ -110,8 +167,11 @@ pub struct Sim {
     ctrls: Vec<Ctrl>,
     rng: SmallRng,
     next_packet_id: u64,
-    /// Aggregate counters for the run.
-    pub stats: SimStats,
+    telemetry: Registry,
+    counters: SimCounters,
+    /// Per-link drop counters (`netem.link_drops{link="a-b"}`), parallel
+    /// to `links`.
+    link_drops: Vec<Counter>,
     /// Optional packet trace (pcap stand-in).
     pub trace: Option<Trace>,
 }
@@ -120,6 +180,14 @@ impl Sim {
     /// Creates an empty simulation with the given RNG seed. Two sims with
     /// the same seed, topology and workload produce identical runs.
     pub fn new(seed: u64) -> Self {
+        Sim::with_registry(seed, Registry::new())
+    }
+
+    /// Like [`Sim::new`], but recording telemetry into a shared registry
+    /// (so the whole stack — kernel, controller, orchestrator — lands in
+    /// one snapshot).
+    pub fn with_registry(seed: u64, telemetry: Registry) -> Self {
+        let counters = SimCounters::new(&telemetry);
         Sim {
             clock: Time::ZERO,
             seq: 0,
@@ -129,8 +197,31 @@ impl Sim {
             ctrls: Vec::new(),
             rng: SmallRng::seed_from_u64(seed),
             next_packet_id: 1,
-            stats: SimStats::default(),
+            telemetry,
+            counters,
+            link_drops: Vec::new(),
             trace: None,
+        }
+    }
+
+    /// The telemetry registry this simulation records into.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// Aggregate counters for the run, read back from the telemetry
+    /// registry (compatibility view; the registry is the single source
+    /// of truth).
+    pub fn stats(&self) -> SimStats {
+        SimStats {
+            events: self.counters.events.get(),
+            frames_sent: self.counters.frames_sent.get(),
+            frames_delivered: self.counters.frames_delivered.get(),
+            drops_queue: self.counters.drops_queue.get(),
+            drops_loss: self.counters.drops_loss.get(),
+            drops_link_down: self.counters.drops_link_down.get(),
+            ctrl_messages: self.counters.ctrl_messages.get(),
+            timers: self.counters.timers.get(),
         }
     }
 
@@ -145,7 +236,12 @@ impl Sim {
     }
 
     /// Adds a node; `ports` is the number of dataplane ports it exposes.
-    pub fn add_node(&mut self, name: impl Into<String>, ports: u16, logic: Box<dyn NodeLogic>) -> NodeId {
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        ports: u16,
+        logic: Box<dyn NodeLogic>,
+    ) -> NodeId {
         let id = self.nodes.len() as u32;
         self.nodes.push(NodeSlot {
             name: name.into(),
@@ -199,6 +295,14 @@ impl Sim {
             assert!(p.is_none(), "node {} port {} already wired", node.0, port);
             *p = Some((id, end));
         }
+        let label = format!(
+            "{}-{}",
+            self.nodes[a.0 .0 as usize].name, self.nodes[b.0 .0 as usize].name
+        );
+        self.link_drops.push(
+            self.telemetry
+                .counter_with("netem.link_drops", &[("link", &label)]),
+        );
         self.links.push(Link {
             cfg,
             state: LinkState::Up,
@@ -230,7 +334,10 @@ impl Sim {
     /// control channel).
     pub fn ctrl_connect(&mut self, a: NodeId, b: NodeId, latency: Time) -> CtrlId {
         let id = self.ctrls.len() as u32;
-        self.ctrls.push(Ctrl { ends: [a.0, b.0], latency });
+        self.ctrls.push(Ctrl {
+            ends: [a.0, b.0],
+            latency,
+        });
         CtrlId(id)
     }
 
@@ -246,7 +353,14 @@ impl Sim {
             panic!("node {} is not an endpoint of ctrl {}", from.0, conn.0)
         };
         let at = self.clock + c.latency;
-        self.schedule(at, Event::CtrlDeliver { conn: conn.0, to_node: to, msg });
+        self.schedule(
+            at,
+            Event::CtrlDeliver {
+                conn: conn.0,
+                to_node: to,
+                msg,
+            },
+        );
     }
 
     /// Injects a frame so it arrives at `node` on `port` at time `at`
@@ -255,8 +369,19 @@ impl Sim {
         assert!(at >= self.clock, "cannot inject into the past");
         let id = self.next_packet_id;
         self.next_packet_id += 1;
-        let pkt = Packet { data, id, born_ns: at.as_ns() };
-        self.schedule(at, Event::PacketArrive { node: node.0, port, pkt });
+        let pkt = Packet {
+            data,
+            id,
+            born_ns: at.as_ns(),
+        };
+        self.schedule(
+            at,
+            Event::PacketArrive {
+                node: node.0,
+                port,
+                pkt,
+            },
+        );
         id
     }
 
@@ -264,7 +389,13 @@ impl Sim {
     /// dispatch use [`NodeCtx::set_timer`]).
     pub fn set_timer_for(&mut self, node: NodeId, delay: Time, token: u64) {
         let at = self.clock + delay;
-        self.schedule(at, Event::Timer { node: node.0, token });
+        self.schedule(
+            at,
+            Event::Timer {
+                node: node.0,
+                token,
+            },
+        );
     }
 
     fn schedule(&mut self, at: Time, ev: Event) {
@@ -308,13 +439,15 @@ impl Sim {
 
     /// Dispatches one event. Returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(s) = self.queue.pop() else { return false };
+        let Some(s) = self.queue.pop() else {
+            return false;
+        };
         debug_assert!(s.at >= self.clock, "time went backwards");
         self.clock = s.at;
-        self.stats.events += 1;
+        self.counters.events.inc();
         match s.ev {
             Event::PacketArrive { node, port, pkt } => {
-                self.stats.frames_delivered += 1;
+                self.counters.frames_delivered.inc();
                 if let Some(tr) = &mut self.trace {
                     tr.record(TraceRecord {
                         time: self.clock,
@@ -330,14 +463,17 @@ impl Sim {
             }
             Event::TxComplete { link, dir } => {
                 let tx = &mut self.links[link as usize].tx[dir as usize];
+                if tx.queued > 0 {
+                    self.counters.queued_frames.sub(1);
+                }
                 tx.queued = tx.queued.saturating_sub(1);
             }
             Event::Timer { node, token } => {
-                self.stats.timers += 1;
+                self.counters.timers.inc();
                 self.dispatch(node, |logic, ctx| logic.on_timer(ctx, token));
             }
             Event::CtrlDeliver { conn, to_node, msg } => {
-                self.stats.ctrl_messages += 1;
+                self.counters.ctrl_messages.inc();
                 self.dispatch(to_node, |logic, ctx| logic.on_ctrl(ctx, CtrlId(conn), msg));
             }
         }
@@ -350,7 +486,10 @@ impl Sim {
             // Node was removed (e.g. crashed VNF container) — drop event.
             None => return,
         };
-        let mut ctx = NodeCtx { sim: self, node: NodeId(node) };
+        let mut ctx = NodeCtx {
+            sim: self,
+            node: NodeId(node),
+        };
         f(&mut logic, &mut ctx);
         self.nodes[node as usize].logic = Some(logic);
     }
@@ -364,7 +503,7 @@ impl Sim {
             // cable would.
             return;
         };
-        self.stats.frames_sent += 1;
+        self.counters.frames_sent.inc();
         if let Some(tr) = &mut self.trace {
             tr.record(TraceRecord {
                 time: self.clock,
@@ -379,29 +518,50 @@ impl Sim {
         let now = self.clock;
         let link = &mut self.links[link_idx as usize];
         if link.state == LinkState::Down {
-            self.stats.drops_link_down += 1;
+            self.counters.drops_link_down.inc();
+            self.link_drops[link_idx as usize].inc();
             Self::trace_drop(&mut self.trace, now, node, port, &pkt);
             return;
         }
         if link.cfg.loss > 0.0 && self.rng.gen::<f64>() < link.cfg.loss {
-            self.stats.drops_loss += 1;
+            self.counters.drops_loss.inc();
+            self.link_drops[link_idx as usize].inc();
             Self::trace_drop(&mut self.trace, now, node, port, &pkt);
             return;
         }
         let tx = &mut link.tx[dir as usize];
         if tx.queued >= link.cfg.queue_capacity {
-            self.stats.drops_queue += 1;
+            self.counters.drops_queue.inc();
+            self.link_drops[link_idx as usize].inc();
             Self::trace_drop(&mut self.trace, now, node, port, &pkt);
             return;
         }
         tx.queued += 1;
-        let start = if tx.next_free > now { tx.next_free } else { now };
+        self.counters.enqueue();
+        let start = if tx.next_free > now {
+            tx.next_free
+        } else {
+            now
+        };
         let done = start.add_ns(link.cfg.serialize_ns(pkt.len()));
         tx.next_free = done;
         let (peer_node, peer_port) = link.ends[1 - dir as usize];
         let arrive = done + link.cfg.delay;
-        self.schedule(done, Event::TxComplete { link: link_idx, dir });
-        self.schedule(arrive, Event::PacketArrive { node: peer_node, port: peer_port, pkt });
+        self.schedule(
+            done,
+            Event::TxComplete {
+                link: link_idx,
+                dir,
+            },
+        );
+        self.schedule(
+            arrive,
+            Event::PacketArrive {
+                node: peer_node,
+                port: peer_port,
+                pkt,
+            },
+        );
     }
 
     fn trace_drop(trace: &mut Option<Trace>, now: Time, node: NodeId, port: u16, pkt: &Packet) {
@@ -456,7 +616,11 @@ impl NodeCtx<'_> {
 
     /// Creates a packet stamped with a fresh id and the current time.
     pub fn new_packet(&mut self, data: Bytes) -> Packet {
-        Packet { data, id: self.sim.alloc_packet_id(), born_ns: self.sim.clock.as_ns() }
+        Packet {
+            data,
+            id: self.sim.alloc_packet_id(),
+            born_ns: self.sim.clock.as_ns(),
+        }
     }
 
     /// Arms a timer that fires `delay` from now with `token`.
@@ -537,8 +701,8 @@ mod tests {
             sim.inject(a, 0, Bytes::from(vec![0u8; 1500]), Time::ZERO);
         }
         sim.run(1000);
-        assert_eq!(sim.stats.drops_queue, 3);
-        assert_eq!(sim.stats.frames_delivered, 5 + 2); // 5 injected + 2 forwarded
+        assert_eq!(sim.stats().drops_queue, 3);
+        assert_eq!(sim.stats().frames_delivered, 5 + 2); // 5 injected + 2 forwarded
     }
 
     #[test]
@@ -549,7 +713,7 @@ mod tests {
             sim.inject(a, 0, Bytes::from(vec![0u8; 60]), Time::from_us(i * 100));
         }
         sim.run(100_000);
-        let lost = sim.stats.drops_loss;
+        let lost = sim.stats().drops_loss;
         assert!((300..700).contains(&lost), "loss {lost} wildly off 50%");
     }
 
@@ -559,7 +723,7 @@ mod tests {
         sim.set_link_state(LinkId(0), LinkState::Down);
         sim.inject(a, 0, Bytes::from(vec![0u8; 60]), Time::ZERO);
         sim.run(100);
-        assert_eq!(sim.stats.drops_link_down, 1);
+        assert_eq!(sim.stats().drops_link_down, 1);
         assert_eq!(sim.node_as::<Counter>(b).unwrap().rx.len(), 0);
     }
 
@@ -572,7 +736,7 @@ mod tests {
                 sim.inject(a, 0, Bytes::from(vec![0u8; 100]), Time::from_us(i * 7));
             }
             sim.run(10_000);
-            sim.stats
+            sim.stats()
         };
         assert_eq!(mk(), mk());
     }
@@ -595,7 +759,7 @@ mod tests {
         sim.set_timer_for(n, Time::from_ms(2), 2);
         sim.run(10);
         assert_eq!(sim.node_as::<T>(n).unwrap().fired, vec![1, 2, 3]);
-        assert_eq!(sim.stats.timers, 3);
+        assert_eq!(sim.stats().timers, 3);
     }
 
     #[test]
@@ -630,7 +794,7 @@ mod tests {
         assert_eq!(n, 0);
         assert_eq!(sim.now(), Time::from_ms(1));
         sim.run_until(Time::from_ms(20));
-        assert!(sim.stats.frames_delivered > 0);
+        assert!(sim.stats().frames_delivered > 0);
     }
 
     #[test]
@@ -658,7 +822,33 @@ mod tests {
         let a = sim.add_node("a", 3, Box::new(Reflector));
         sim.inject(a, 2, Bytes::from(vec![0u8; 60]), Time::ZERO);
         sim.run(10); // Reflector sends back out port 2, which is unwired
-        assert_eq!(sim.stats.frames_sent, 0);
+        assert_eq!(sim.stats().frames_sent, 0);
+    }
+
+    #[test]
+    fn telemetry_registry_sees_kernel_counters() {
+        let reg = escape_telemetry::Registry::new();
+        let mut sim = Sim::with_registry(1, reg.clone());
+        let a = sim.add_node("a", 1, Box::new(Reflector));
+        let b = sim.add_node("b", 1, Box::new(Counter::default()));
+        sim.connect((a, 0), (b, 0), LinkConfig::lan().with_queue(2));
+        for _ in 0..5 {
+            sim.inject(a, 0, Bytes::from(vec![0u8; 1500]), Time::ZERO);
+        }
+        sim.run(1000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("netem.drops.queue", &[]), Some(3));
+        assert_eq!(
+            snap.counter("netem.link_drops", &[("link", "a-b")]),
+            Some(3)
+        );
+        assert_eq!(snap.counter("netem.events", &[]), Some(sim.stats().events));
+        assert!(snap.gauge("netem.queued_frames.max", &[]).unwrap() >= 1);
+        assert_eq!(
+            snap.gauge("netem.queued_frames", &[]),
+            Some(0),
+            "queues drained"
+        );
     }
 
     #[test]

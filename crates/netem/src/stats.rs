@@ -43,14 +43,23 @@ mod tests {
 
     #[test]
     fn drop_total_sums_causes() {
-        let s = SimStats { drops_queue: 1, drops_loss: 2, drops_link_down: 3, ..Default::default() };
+        let s = SimStats {
+            drops_queue: 1,
+            drops_loss: 2,
+            drops_link_down: 3,
+            ..Default::default()
+        };
         assert_eq!(s.drops_total(), 6);
     }
 
     #[test]
     fn delivery_ratio_handles_zero_sent() {
         assert_eq!(SimStats::default().delivery_ratio(), 1.0);
-        let s = SimStats { frames_sent: 4, frames_delivered: 3, ..Default::default() };
+        let s = SimStats {
+            frames_sent: 4,
+            frames_delivered: 3,
+            ..Default::default()
+        };
         assert!((s.delivery_ratio() - 0.75).abs() < 1e-12);
     }
 }

@@ -50,7 +50,11 @@ pub struct Trace {
 impl Trace {
     /// A trace bounded to `cap` records.
     pub fn with_capacity(cap: usize) -> Self {
-        Trace { records: Vec::new(), cap, capture_payloads: false }
+        Trace {
+            records: Vec::new(),
+            cap,
+            capture_payloads: false,
+        }
     }
 
     /// Records an event (no-op once the cap is reached).
@@ -173,7 +177,7 @@ mod tests {
         assert_eq!(pcap.len(), 24 + 16 + 60);
         assert_eq!(&pcap[0..4], &0xa1b2_c3d4u32.to_le_bytes());
         assert_eq!(&pcap[20..24], &1u32.to_le_bytes()); // Ethernet
-        // Timestamp: 0 s, 1500 µs.
+                                                        // Timestamp: 0 s, 1500 µs.
         assert_eq!(&pcap[24..28], &0u32.to_le_bytes());
         assert_eq!(&pcap[28..32], &1500u32.to_le_bytes());
         // Lengths.

@@ -92,8 +92,8 @@ proptest! {
         sim.run(1_000_000);
         // a's forwards are the "sent" frames.
         prop_assert_eq!(
-            sim.stats.frames_sent,
-            (sim.stats.frames_delivered - n as u64) + sim.stats.drops_total()
+            sim.stats().frames_sent,
+            (sim.stats().frames_delivered - n as u64) + sim.stats().drops_total()
         );
     }
 
@@ -112,7 +112,7 @@ proptest! {
                 sim.inject(a, 0, Bytes::from(vec![0u8; 64]), Time::from_us(i as u64 * 3));
             }
             sim.run(100_000);
-            (sim.stats, sim.node_as::<Recorder>(b).unwrap().arrivals.clone())
+            (sim.stats(), sim.node_as::<Recorder>(b).unwrap().arrivals.clone())
         };
         prop_assert_eq!(run(), run());
     }

@@ -1,8 +1,8 @@
 //! OpenFlow 1.0 actions and their application to frames.
 
 use crate::port;
-use escape_packet::{EtherType, EthernetFrame, Ipv4Packet, MacAddr, TcpSegment, UdpDatagram};
 use bytes::Bytes;
+use escape_packet::{EtherType, EthernetFrame, Ipv4Packet, MacAddr, TcpSegment, UdpDatagram};
 use std::net::Ipv4Addr;
 
 /// The OF 1.0 action subset ESCAPE uses. `Output` covers physical and
@@ -22,7 +22,10 @@ pub enum Action {
 impl Action {
     /// Shorthand for a plain output action.
     pub fn out(port: u16) -> Action {
-        Action::Output { port, max_len: 0xffff }
+        Action::Output {
+            port,
+            max_len: 0xffff,
+        }
     }
 
     /// Wire type code (`ofp_action_type`).
@@ -92,8 +95,12 @@ impl Action {
             },
             4 if body.len() >= 6 => Action::SetDlSrc(mac()),
             5 if body.len() >= 6 => Action::SetDlDst(mac()),
-            6 if body.len() >= 4 => Action::SetNwSrc(Ipv4Addr::new(body[0], body[1], body[2], body[3])),
-            7 if body.len() >= 4 => Action::SetNwDst(Ipv4Addr::new(body[0], body[1], body[2], body[3])),
+            6 if body.len() >= 4 => {
+                Action::SetNwSrc(Ipv4Addr::new(body[0], body[1], body[2], body[3]))
+            }
+            7 if body.len() >= 4 => {
+                Action::SetNwDst(Ipv4Addr::new(body[0], body[1], body[2], body[3]))
+            }
             8 if !body.is_empty() => Action::SetNwTos(body[0]),
             9 if body.len() >= 2 => Action::SetTpSrc(u16::from_be_bytes([body[0], body[1]])),
             10 if body.len() >= 2 => Action::SetTpDst(u16::from_be_bytes([body[0], body[1]])),
@@ -153,11 +160,15 @@ pub fn apply(actions: &[Action], frame: &Bytes) -> (Bytes, Vec<u16>) {
 }
 
 fn rewrite_ip(frame: &Bytes, f: impl FnOnce(&mut Ipv4Packet)) -> Bytes {
-    let Ok(eth) = EthernetFrame::decode(frame) else { return frame.clone() };
+    let Ok(eth) = EthernetFrame::decode(frame) else {
+        return frame.clone();
+    };
     if eth.ethertype != EtherType::Ipv4 {
         return frame.clone();
     }
-    let Ok(mut ip) = Ipv4Packet::decode(&eth.payload) else { return frame.clone() };
+    let Ok(mut ip) = Ipv4Packet::decode(&eth.payload) else {
+        return frame.clone();
+    };
     // Transport checksums depend on the pseudo-header, so re-encode the
     // transport layer when addresses change.
     let (old_src, old_dst) = (ip.src, ip.dst);
@@ -181,11 +192,15 @@ fn rewrite_ip(frame: &Bytes, f: impl FnOnce(&mut Ipv4Packet)) -> Bytes {
 }
 
 fn rewrite_tp(frame: &Bytes, f: impl FnOnce(&mut u16, &mut u16)) -> Bytes {
-    let Ok(eth) = EthernetFrame::decode(frame) else { return frame.clone() };
+    let Ok(eth) = EthernetFrame::decode(frame) else {
+        return frame.clone();
+    };
     if eth.ethertype != EtherType::Ipv4 {
         return frame.clone();
     }
-    let Ok(mut ip) = Ipv4Packet::decode(&eth.payload) else { return frame.clone() };
+    let Ok(mut ip) = Ipv4Packet::decode(&eth.payload) else {
+        return frame.clone();
+    };
     match ip.protocol {
         escape_packet::IpProtocol::Udp => {
             if let Ok(mut u) = UdpDatagram::decode(&ip.payload, ip.src, ip.dst) {
@@ -230,7 +245,10 @@ mod tests {
     fn tlv_roundtrip_all_kinds() {
         let actions = vec![
             Action::out(3),
-            Action::Output { port: port::CONTROLLER, max_len: 128 },
+            Action::Output {
+                port: port::CONTROLLER,
+                max_len: 128,
+            },
             Action::SetDlSrc(MacAddr::from_id(9)),
             Action::SetDlDst(MacAddr::from_id(10)),
             Action::SetNwSrc(Ipv4Addr::new(1, 2, 3, 4)),
@@ -288,7 +306,10 @@ mod tests {
             Ipv4Addr::new(10, 0, 0, 1),
             Ipv4Addr::new(10, 0, 0, 2),
         );
-        let (data, outs) = apply(&[Action::SetNwDst(Ipv4Addr::new(9, 9, 9, 9)), Action::out(1)], &arp);
+        let (data, outs) = apply(
+            &[Action::SetNwDst(Ipv4Addr::new(9, 9, 9, 9)), Action::out(1)],
+            &arp,
+        );
         assert_eq!(data, arp);
         assert_eq!(outs, vec![1]);
     }

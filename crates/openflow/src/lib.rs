@@ -30,7 +30,9 @@ pub use action::Action;
 pub use ofmatch::Match;
 pub use switch::Switch;
 pub use table::{FlowEntry, FlowTable};
-pub use wire::{FlowModCommand, FlowStats, OfMessage, PacketInReason, PortDesc, PortStats, WireError};
+pub use wire::{
+    FlowModCommand, FlowStats, OfMessage, PacketInReason, PortDesc, PortStats, WireError,
+};
 
 /// Virtual port numbers from OpenFlow 1.0 (`ofp_port`).
 pub mod port {

@@ -85,7 +85,9 @@ impl Match {
             && self.dl_dst.is_none_or(|m| m == key.eth_dst)
             && self.dl_vlan.is_none_or(|v| Some(v) == key.vlan_id)
             && self.dl_type.is_none_or(|t| t == key.eth_type)
-            && self.nw_tos.is_none_or(|t| key.ip_dscp.map(|d| d << 2) == Some(t))
+            && self
+                .nw_tos
+                .is_none_or(|t| key.ip_dscp.map(|d| d << 2) == Some(t))
             && self.nw_proto.is_none_or(|p| key.ip_proto == Some(p))
             && net_match(self.nw_src, key.ip_src)
             && net_match(self.nw_dst, key.ip_dst)
@@ -112,7 +114,11 @@ impl Match {
                     if la < lb {
                         return false;
                     }
-                    let mask = if lb == 0 { 0 } else { u32::MAX << (32 - lb.min(32) as u32) };
+                    let mask = if lb == 0 {
+                        0
+                    } else {
+                        u32::MAX << (32 - lb.min(32) as u32)
+                    };
                     u32::from(a) & mask == u32::from(b) & mask
                 }
             }
@@ -319,7 +325,9 @@ mod tests {
             Match::any(),
             Match::exact_from_key(&key(443), 7),
             Match::any().with_dl_type(0x0806),
-            Match::any().with_nw_src(Ipv4Addr::new(192, 168, 0, 0), 24).with_tp_dst(53),
+            Match::any()
+                .with_nw_src(Ipv4Addr::new(192, 168, 0, 0), 24)
+                .with_tp_dst(53),
             Match::any().with_in_port(65_000).with_nw_proto(6),
         ];
         for m in cases {
@@ -351,7 +359,10 @@ mod tests {
     #[test]
     fn specificity_orders_matches() {
         let k = key(80);
-        assert!(Match::exact_from_key(&k, 1).specificity() > Match::any().with_dl_type(0x0800).specificity());
+        assert!(
+            Match::exact_from_key(&k, 1).specificity()
+                > Match::any().with_dl_type(0x0800).specificity()
+        );
         assert_eq!(Match::any().specificity(), 0);
     }
 

@@ -3,7 +3,9 @@
 use crate::action::{self, Action};
 use crate::port;
 use crate::table::{FlowEntry, FlowTable, RemovedReason};
-use crate::wire::{FlowModCommand, OfMessage, PacketInReason, PortDesc, PortStats, OFPFF_SEND_FLOW_REM};
+use crate::wire::{
+    FlowModCommand, OfMessage, PacketInReason, PortDesc, PortStats, OFPFF_SEND_FLOW_REM,
+};
 use escape_netem::{CtrlId, NodeCtx, NodeLogic, Time};
 use escape_packet::{FlowKey, MacAddr, Packet};
 use std::collections::HashMap;
@@ -49,7 +51,10 @@ impl Switch {
             buffer_order: Vec::new(),
             next_buffer: 1,
             port_stats: (0..n_ports)
-                .map(|p| PortStats { port_no: p, ..Default::default() })
+                .map(|p| PortStats {
+                    port_no: p,
+                    ..Default::default()
+                })
                 .collect(),
             miss_send_len: 0xffff,
             xid: 1,
@@ -131,9 +136,19 @@ impl Switch {
     }
 
     /// Runs `actions` on `pkt` (from `in_port`) and transmits.
-    fn run_actions(&mut self, ctx: &mut NodeCtx<'_>, actions: &[Action], in_port: u16, pkt: &Packet) {
+    fn run_actions(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        actions: &[Action],
+        in_port: u16,
+        pkt: &Packet,
+    ) {
         let (data, outs) = action::apply(actions, &pkt.data);
-        let newpkt = Packet { data, id: pkt.id, born_ns: pkt.born_ns };
+        let newpkt = Packet {
+            data,
+            id: pkt.id,
+            born_ns: pkt.born_ns,
+        };
         for out in outs {
             self.emit(ctx, out, in_port, &newpkt);
         }
@@ -165,6 +180,7 @@ impl Switch {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_flow_mod(
         &mut self,
         ctx: &mut NodeCtx<'_>,
@@ -213,8 +229,10 @@ impl Switch {
             FlowModCommand::Delete | FlowModCommand::DeleteStrict => {
                 let strict = command == FlowModCommand::DeleteStrict;
                 let removed = self.table.delete(&match_, priority, strict, out_port);
-                let removed: Vec<_> =
-                    removed.into_iter().map(|e| (e, RemovedReason::Delete)).collect();
+                let removed: Vec<_> = removed
+                    .into_iter()
+                    .map(|e| (e, RemovedReason::Delete))
+                    .collect();
                 self.notify_removed(ctx, removed);
             }
         }
@@ -269,7 +287,14 @@ impl NodeLogic for Switch {
         let (msg, xid) = match OfMessage::decode(&msg) {
             Ok(ok) => ok,
             Err(_) => {
-                self.send_ctrl(ctx, OfMessage::Error { err_type: 0, code: 0, data: msg });
+                self.send_ctrl(
+                    ctx,
+                    OfMessage::Error {
+                        err_type: 0,
+                        code: 0,
+                        data: msg,
+                    },
+                );
                 return;
             }
         };
@@ -305,11 +330,25 @@ impl NodeLogic for Switch {
                 actions,
             } => {
                 self.handle_flow_mod(
-                    ctx, match_, cookie, command, idle_timeout, hard_timeout, priority,
-                    buffer_id, out_port, flags, actions,
+                    ctx,
+                    match_,
+                    cookie,
+                    command,
+                    idle_timeout,
+                    hard_timeout,
+                    priority,
+                    buffer_id,
+                    out_port,
+                    flags,
+                    actions,
                 );
             }
-            OfMessage::PacketOut { buffer_id, in_port, actions, data } => {
+            OfMessage::PacketOut {
+                buffer_id,
+                in_port,
+                actions,
+                data,
+            } => {
                 let pkt = if buffer_id != NO_BUFFER {
                     self.buffer_order.retain(|&b| b != buffer_id);
                     self.buffers.remove(&buffer_id).map(|(_, p)| p)
@@ -397,7 +436,13 @@ mod tests {
     }
 
     /// Sim with: switch (3 ports), sinks on ports 0..3, controller stub.
-    fn rig() -> (Sim, escape_netem::NodeId, Vec<escape_netem::NodeId>, escape_netem::NodeId, CtrlId) {
+    fn rig() -> (
+        Sim,
+        escape_netem::NodeId,
+        Vec<escape_netem::NodeId>,
+        escape_netem::NodeId,
+        CtrlId,
+    ) {
         let mut sim = Sim::new(3);
         let sw = sim.add_node("s1", 3, Box::new(Switch::new(1, 3)));
         let mut sinks = Vec::new();
@@ -408,7 +453,9 @@ mod tests {
         }
         let c = sim.add_node("ctrl", 0, Box::new(CtrlStub::default()));
         let conn = sim.ctrl_connect(sw, c, escape_netem::Time::from_us(100));
-        sim.node_as_mut::<Switch>(sw).unwrap().attach_controller(conn);
+        sim.node_as_mut::<Switch>(sw)
+            .unwrap()
+            .attach_controller(conn);
         (sim, sw, sinks, c, conn)
     }
 
@@ -435,7 +482,12 @@ mod tests {
         let stub = sim.node_as::<CtrlStub>(c).unwrap();
         assert_eq!(stub.inbox.len(), 1);
         match &stub.inbox[0] {
-            OfMessage::PacketIn { buffer_id, in_port, reason, .. } => {
+            OfMessage::PacketIn {
+                buffer_id,
+                in_port,
+                reason,
+                ..
+            } => {
                 assert_ne!(*buffer_id, NO_BUFFER);
                 assert_eq!(*in_port, 0);
                 assert_eq!(*reason, PacketInReason::NoMatch);
@@ -448,13 +500,21 @@ mod tests {
     fn installed_flow_forwards_without_controller_round_trip() {
         let (mut sim, sw, sinks, c, conn) = rig();
         // Install: udp dst port 80 -> output port 2.
-        let fm = flow_mod_add(Match::any().with_dl_type(0x0800).with_tp_dst(80), 10, vec![Action::out(2)]);
+        let fm = flow_mod_add(
+            Match::any().with_dl_type(0x0800).with_tp_dst(80),
+            10,
+            vec![Action::out(2)],
+        );
         sim.ctrl_send_from(c, conn, fm.encode(1));
         sim.run(10);
         sim.inject(sw, 0, frame(80), sim.now());
         sim.run(100);
         assert_eq!(sim.node_as::<Sink>(sinks[2]).unwrap().rx.len(), 1);
-        assert_eq!(sim.node_as::<CtrlStub>(c).unwrap().inbox.len(), 0, "no packet-in");
+        assert_eq!(
+            sim.node_as::<CtrlStub>(c).unwrap().inbox.len(),
+            0,
+            "no packet-in"
+        );
         // A different flow still misses.
         sim.inject(sw, 0, frame(443), sim.now());
         sim.run(100);
@@ -470,7 +530,11 @@ mod tests {
         sim.inject(sw, 1, frame(80), sim.now());
         sim.run(100);
         assert_eq!(sim.node_as::<Sink>(sinks[0]).unwrap().rx.len(), 1);
-        assert_eq!(sim.node_as::<Sink>(sinks[1]).unwrap().rx.len(), 0, "not back out ingress");
+        assert_eq!(
+            sim.node_as::<Sink>(sinks[1]).unwrap().rx.len(),
+            0,
+            "not back out ingress"
+        );
         assert_eq!(sim.node_as::<Sink>(sinks[2]).unwrap().rx.len(), 1);
     }
 
@@ -535,7 +599,9 @@ mod tests {
         let stub = sim.node_as::<CtrlStub>(c).unwrap();
         assert!(matches!(stub.inbox[0], OfMessage::Hello));
         match &stub.inbox[1] {
-            OfMessage::FeaturesReply { datapath_id, ports, .. } => {
+            OfMessage::FeaturesReply {
+                datapath_id, ports, ..
+            } => {
                 assert_eq!(*datapath_id, 1);
                 assert_eq!(ports.len(), 3);
                 assert_eq!(ports[2].name, "s1-eth2");
@@ -563,7 +629,9 @@ mod tests {
         sim.run_until(escape_netem::Time::from_secs(2));
         let stub = sim.node_as::<CtrlStub>(c).unwrap();
         assert!(
-            stub.inbox.iter().any(|m| matches!(m, OfMessage::FlowRemoved { cookie: 77, .. })),
+            stub.inbox
+                .iter()
+                .any(|m| matches!(m, OfMessage::FlowRemoved { cookie: 77, .. })),
             "no flow-removed in {:?}",
             stub.inbox
         );
@@ -578,8 +646,23 @@ mod tests {
         sim.run(10);
         sim.inject(sw, 0, frame(80), sim.now());
         sim.run(100);
-        sim.ctrl_send_from(c, conn, OfMessage::FlowStatsRequest { match_: Match::any(), out_port: port::NONE }.encode(2));
-        sim.ctrl_send_from(c, conn, OfMessage::PortStatsRequest { port_no: port::NONE }.encode(3));
+        sim.ctrl_send_from(
+            c,
+            conn,
+            OfMessage::FlowStatsRequest {
+                match_: Match::any(),
+                out_port: port::NONE,
+            }
+            .encode(2),
+        );
+        sim.ctrl_send_from(
+            c,
+            conn,
+            OfMessage::PortStatsRequest {
+                port_no: port::NONE,
+            }
+            .encode(3),
+        );
         sim.run(100);
         let stub = sim.node_as::<CtrlStub>(c).unwrap();
         let flow = stub.inbox.iter().find_map(|m| match m {

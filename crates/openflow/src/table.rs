@@ -62,7 +62,13 @@ impl FlowTable {
     /// Looks up the highest-priority entry matching `key` on `in_port`,
     /// updating its counters. Ties break towards the earliest installed
     /// entry (stable order).
-    pub fn lookup(&mut self, key: &FlowKey, in_port: u16, len: usize, now: Time) -> Option<&FlowEntry> {
+    pub fn lookup(
+        &mut self,
+        key: &FlowKey,
+        in_port: u16,
+        len: usize,
+        now: Time,
+    ) -> Option<&FlowEntry> {
         let mut best: Option<usize> = None;
         for (i, e) in self.entries.iter().enumerate() {
             if e.match_.matches(key, in_port)
@@ -104,7 +110,13 @@ impl FlowTable {
     /// `OFPFC_MODIFY[_STRICT]`: update actions of matching entries;
     /// returns how many changed. Non-strict matches every entry whose
     /// match is a subset of the given one; strict requires equality.
-    pub fn modify(&mut self, match_: &Match, priority: u16, strict: bool, actions: &[Action]) -> usize {
+    pub fn modify(
+        &mut self,
+        match_: &Match,
+        priority: u16,
+        strict: bool,
+        actions: &[Action],
+    ) -> usize {
         let mut n = 0;
         for e in &mut self.entries {
             let hit = if strict {
@@ -123,7 +135,13 @@ impl FlowTable {
     /// `OFPFC_DELETE[_STRICT]`: remove matching entries; `out_port`
     /// (unless `port::NONE`) further restricts to entries with an output
     /// action to that port. Returns the removed entries.
-    pub fn delete(&mut self, match_: &Match, priority: u16, strict: bool, out_port: u16) -> Vec<FlowEntry> {
+    pub fn delete(
+        &mut self,
+        match_: &Match,
+        priority: u16,
+        strict: bool,
+        out_port: u16,
+    ) -> Vec<FlowEntry> {
         let mut removed = Vec::new();
         self.entries.retain(|e| {
             let m = if strict {
@@ -150,12 +168,14 @@ impl FlowTable {
     pub fn expire(&mut self, now: Time) -> Vec<(FlowEntry, RemovedReason)> {
         let mut out = Vec::new();
         self.entries.retain(|e| {
-            if e.hard_timeout > 0 && now.since(e.installed_at) >= e.hard_timeout as u64 * 1_000_000_000
+            if e.hard_timeout > 0
+                && now.since(e.installed_at) >= e.hard_timeout as u64 * 1_000_000_000
             {
                 out.push((e.clone(), RemovedReason::HardTimeout));
                 return false;
             }
-            if e.idle_timeout > 0 && now.since(e.last_used) >= e.idle_timeout as u64 * 1_000_000_000 {
+            if e.idle_timeout > 0 && now.since(e.last_used) >= e.idle_timeout as u64 * 1_000_000_000
+            {
                 out.push((e.clone(), RemovedReason::IdleTimeout));
                 return false;
             }
@@ -253,7 +273,12 @@ mod tests {
     #[test]
     fn priority_wins_over_order() {
         let mut t = FlowTable::new();
-        t.add(FlowEntry::new(Match::any(), 1, vec![Action::out(1)], Time::ZERO));
+        t.add(FlowEntry::new(
+            Match::any(),
+            1,
+            vec![Action::out(1)],
+            Time::ZERO,
+        ));
         t.add(FlowEntry::new(
             Match::any().with_dl_type(0x0800),
             100,
@@ -268,8 +293,18 @@ mod tests {
     #[test]
     fn equal_priority_ties_break_to_first_installed() {
         let mut t = FlowTable::new();
-        t.add(FlowEntry::new(Match::any(), 5, vec![Action::out(1)], Time::ZERO));
-        t.add(FlowEntry::new(Match::any().with_dl_type(0x0800), 5, vec![Action::out(2)], Time::ZERO));
+        t.add(FlowEntry::new(
+            Match::any(),
+            5,
+            vec![Action::out(1)],
+            Time::ZERO,
+        ));
+        t.add(FlowEntry::new(
+            Match::any().with_dl_type(0x0800),
+            5,
+            vec![Action::out(2)],
+            Time::ZERO,
+        ));
         let e = t.lookup(&key(80), 0, 60, Time::ZERO).unwrap();
         assert_eq!(e.actions, vec![Action::out(1)]);
     }
@@ -277,8 +312,18 @@ mod tests {
     #[test]
     fn add_replaces_same_match_and_priority() {
         let mut t = FlowTable::new();
-        t.add(FlowEntry::new(Match::any(), 5, vec![Action::out(1)], Time::ZERO));
-        t.add(FlowEntry::new(Match::any(), 5, vec![Action::out(9)], Time::ZERO));
+        t.add(FlowEntry::new(
+            Match::any(),
+            5,
+            vec![Action::out(1)],
+            Time::ZERO,
+        ));
+        t.add(FlowEntry::new(
+            Match::any(),
+            5,
+            vec![Action::out(9)],
+            Time::ZERO,
+        ));
         assert_eq!(t.len(), 1);
         assert_eq!(t.entries()[0].actions, vec![Action::out(9)]);
     }
@@ -286,7 +331,12 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let mut t = FlowTable::new();
-        t.add(FlowEntry::new(Match::any(), 1, vec![Action::out(1)], Time::ZERO));
+        t.add(FlowEntry::new(
+            Match::any(),
+            1,
+            vec![Action::out(1)],
+            Time::ZERO,
+        ));
         t.lookup(&key(80), 0, 100, Time::from_ms(1));
         t.lookup(&key(81), 0, 50, Time::from_ms(2));
         let e = &t.entries()[0];
@@ -344,8 +394,18 @@ mod tests {
     #[test]
     fn delete_nonstrict_uses_subset() {
         let mut t = FlowTable::new();
-        t.add(FlowEntry::new(Match::any().with_tp_dst(80), 1, vec![Action::out(1)], Time::ZERO));
-        t.add(FlowEntry::new(Match::any().with_tp_dst(443), 1, vec![Action::out(2)], Time::ZERO));
+        t.add(FlowEntry::new(
+            Match::any().with_tp_dst(80),
+            1,
+            vec![Action::out(1)],
+            Time::ZERO,
+        ));
+        t.add(FlowEntry::new(
+            Match::any().with_tp_dst(443),
+            1,
+            vec![Action::out(2)],
+            Time::ZERO,
+        ));
         let removed = t.delete(&Match::any(), 0, false, port::NONE);
         assert_eq!(removed.len(), 2);
         assert!(t.is_empty());
@@ -354,16 +414,35 @@ mod tests {
     #[test]
     fn delete_strict_requires_exact() {
         let mut t = FlowTable::new();
-        t.add(FlowEntry::new(Match::any().with_tp_dst(80), 7, vec![Action::out(1)], Time::ZERO));
+        t.add(FlowEntry::new(
+            Match::any().with_tp_dst(80),
+            7,
+            vec![Action::out(1)],
+            Time::ZERO,
+        ));
         assert!(t.delete(&Match::any(), 7, true, port::NONE).is_empty());
-        assert_eq!(t.delete(&Match::any().with_tp_dst(80), 7, true, port::NONE).len(), 1);
+        assert_eq!(
+            t.delete(&Match::any().with_tp_dst(80), 7, true, port::NONE)
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn delete_filters_by_out_port() {
         let mut t = FlowTable::new();
-        t.add(FlowEntry::new(Match::any().with_tp_dst(80), 1, vec![Action::out(1)], Time::ZERO));
-        t.add(FlowEntry::new(Match::any().with_tp_dst(443), 1, vec![Action::out(2)], Time::ZERO));
+        t.add(FlowEntry::new(
+            Match::any().with_tp_dst(80),
+            1,
+            vec![Action::out(1)],
+            Time::ZERO,
+        ));
+        t.add(FlowEntry::new(
+            Match::any().with_tp_dst(443),
+            1,
+            vec![Action::out(2)],
+            Time::ZERO,
+        ));
         let removed = t.delete(&Match::any(), 0, false, 2);
         assert_eq!(removed.len(), 1);
         assert_eq!(t.len(), 1);
@@ -372,7 +451,12 @@ mod tests {
     #[test]
     fn modify_rewrites_actions() {
         let mut t = FlowTable::new();
-        t.add(FlowEntry::new(Match::any().with_tp_dst(80), 1, vec![Action::out(1)], Time::ZERO));
+        t.add(FlowEntry::new(
+            Match::any().with_tp_dst(80),
+            1,
+            vec![Action::out(1)],
+            Time::ZERO,
+        ));
         let n = t.modify(&Match::any(), 0, false, &[Action::out(5)]);
         assert_eq!(n, 1);
         assert_eq!(t.entries()[0].actions, vec![Action::out(5)]);
@@ -381,7 +465,12 @@ mod tests {
     #[test]
     fn stats_reports_matching_entries() {
         let mut t = FlowTable::new();
-        t.add(FlowEntry::new(Match::any().with_tp_dst(80), 1, vec![Action::out(1)], Time::ZERO));
+        t.add(FlowEntry::new(
+            Match::any().with_tp_dst(80),
+            1,
+            vec![Action::out(1)],
+            Time::ZERO,
+        ));
         t.lookup(&key(80), 0, 64, Time::from_secs(1));
         let stats = t.stats(&Match::any(), port::NONE, Time::from_secs(2));
         assert_eq!(stats.len(), 1);

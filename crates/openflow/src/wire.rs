@@ -115,13 +115,33 @@ pub struct PortStats {
 #[derive(Debug, Clone, PartialEq)]
 pub enum OfMessage {
     Hello,
-    Error { err_type: u16, code: u16, data: Vec<u8> },
+    Error {
+        err_type: u16,
+        code: u16,
+        data: Vec<u8>,
+    },
     EchoRequest(Vec<u8>),
     EchoReply(Vec<u8>),
     FeaturesRequest,
-    FeaturesReply { datapath_id: u64, n_buffers: u32, n_tables: u8, ports: Vec<PortDesc> },
-    PacketIn { buffer_id: u32, total_len: u16, in_port: u16, reason: PacketInReason, data: Bytes },
-    PacketOut { buffer_id: u32, in_port: u16, actions: Vec<Action>, data: Bytes },
+    FeaturesReply {
+        datapath_id: u64,
+        n_buffers: u32,
+        n_tables: u8,
+        ports: Vec<PortDesc>,
+    },
+    PacketIn {
+        buffer_id: u32,
+        total_len: u16,
+        in_port: u16,
+        reason: PacketInReason,
+        data: Bytes,
+    },
+    PacketOut {
+        buffer_id: u32,
+        in_port: u16,
+        actions: Vec<Action>,
+        data: Bytes,
+    },
     FlowMod {
         match_: Match,
         cookie: u64,
@@ -145,9 +165,14 @@ pub enum OfMessage {
     },
     BarrierRequest,
     BarrierReply,
-    FlowStatsRequest { match_: Match, out_port: u16 },
+    FlowStatsRequest {
+        match_: Match,
+        out_port: u16,
+    },
     FlowStatsReply(Vec<FlowStats>),
-    PortStatsRequest { port_no: u16 },
+    PortStatsRequest {
+        port_no: u16,
+    },
     PortStatsReply(Vec<PortStats>),
 }
 
@@ -206,13 +231,22 @@ impl OfMessage {
             | OfMessage::FeaturesRequest
             | OfMessage::BarrierRequest
             | OfMessage::BarrierReply => {}
-            OfMessage::Error { err_type, code, data } => {
+            OfMessage::Error {
+                err_type,
+                code,
+                data,
+            } => {
                 b.extend_from_slice(&err_type.to_be_bytes());
                 b.extend_from_slice(&code.to_be_bytes());
                 b.extend_from_slice(data);
             }
             OfMessage::EchoRequest(d) | OfMessage::EchoReply(d) => b.extend_from_slice(d),
-            OfMessage::FeaturesReply { datapath_id, n_buffers, n_tables, ports } => {
+            OfMessage::FeaturesReply {
+                datapath_id,
+                n_buffers,
+                n_tables,
+                ports,
+            } => {
                 b.extend_from_slice(&datapath_id.to_be_bytes());
                 b.extend_from_slice(&n_buffers.to_be_bytes());
                 b.push(*n_tables);
@@ -229,7 +263,13 @@ impl OfMessage {
                     b.extend_from_slice(&[0u8; 24]); // config..peer features
                 }
             }
-            OfMessage::PacketIn { buffer_id, total_len, in_port, reason, data } => {
+            OfMessage::PacketIn {
+                buffer_id,
+                total_len,
+                in_port,
+                reason,
+                data,
+            } => {
                 b.extend_from_slice(&buffer_id.to_be_bytes());
                 b.extend_from_slice(&total_len.to_be_bytes());
                 b.extend_from_slice(&in_port.to_be_bytes());
@@ -240,7 +280,12 @@ impl OfMessage {
                 b.push(0); // pad
                 b.extend_from_slice(data);
             }
-            OfMessage::PacketOut { buffer_id, in_port, actions, data } => {
+            OfMessage::PacketOut {
+                buffer_id,
+                in_port,
+                actions,
+                data,
+            } => {
                 b.extend_from_slice(&buffer_id.to_be_bytes());
                 b.extend_from_slice(&in_port.to_be_bytes());
                 let mut ab = Vec::new();
@@ -382,7 +427,11 @@ impl OfMessage {
                 if body.len() < 4 {
                     return Err(WireError::Malformed("error too short"));
                 }
-                OfMessage::Error { err_type: u16at(0), code: u16at(2), data: body[4..].to_vec() }
+                OfMessage::Error {
+                    err_type: u16at(0),
+                    code: u16at(2),
+                    data: body[4..].to_vec(),
+                }
             }
             ty::ECHO_REQUEST => OfMessage::EchoRequest(body.to_vec()),
             ty::ECHO_REPLY => OfMessage::EchoReply(body.to_vec()),
@@ -403,7 +452,11 @@ impl OfMessage {
                         .take_while(|&&c| c != 0)
                         .map(|&c| c as char)
                         .collect::<String>();
-                    ports.push(PortDesc { port_no, hw_addr: MacAddr(mac), name });
+                    ports.push(PortDesc {
+                        port_no,
+                        hw_addr: MacAddr(mac),
+                        name,
+                    });
                     off += 48;
                 }
                 OfMessage::FeaturesReply {
@@ -421,7 +474,11 @@ impl OfMessage {
                     buffer_id: u32at(0),
                     total_len: u16at(4),
                     in_port: u16at(6),
-                    reason: if body[8] == 0 { PacketInReason::NoMatch } else { PacketInReason::Action },
+                    reason: if body[8] == 0 {
+                        PacketInReason::NoMatch
+                    } else {
+                        PacketInReason::Action
+                    },
                     data: Bytes::copy_from_slice(&body[10..]),
                 }
             }
@@ -443,7 +500,8 @@ impl OfMessage {
                 }
             }
             ty::FLOW_MOD => {
-                let (match_, used) = Match::decode(body).ok_or(WireError::Malformed("bad match"))?;
+                let (match_, used) =
+                    Match::decode(body).ok_or(WireError::Malformed("bad match"))?;
                 if body.len() < used + 24 {
                     return Err(WireError::Malformed("flow-mod too short"));
                 }
@@ -465,7 +523,8 @@ impl OfMessage {
                 }
             }
             ty::FLOW_REMOVED => {
-                let (match_, used) = Match::decode(body).ok_or(WireError::Malformed("bad match"))?;
+                let (match_, used) =
+                    Match::decode(body).ok_or(WireError::Malformed("bad match"))?;
                 if body.len() < used + 40 {
                     return Err(WireError::Malformed("flow-removed too short"));
                 }
@@ -493,7 +552,10 @@ impl OfMessage {
                         if body.len() < 4 + used + 4 {
                             return Err(WireError::Malformed("flow stats request too short"));
                         }
-                        OfMessage::FlowStatsRequest { match_, out_port: u16at(4 + used + 2) }
+                        OfMessage::FlowStatsRequest {
+                            match_,
+                            out_port: u16at(4 + used + 2),
+                        }
                     }
                     OFPST_PORT => OfMessage::PortStatsRequest { port_no: u16at(4) },
                     _ => return Err(WireError::Malformed("unsupported stats kind")),
@@ -595,7 +657,11 @@ mod tests {
         roundtrip(OfMessage::EchoReply(vec![]));
         roundtrip(OfMessage::BarrierRequest);
         roundtrip(OfMessage::BarrierReply);
-        roundtrip(OfMessage::Error { err_type: 1, code: 2, data: vec![9, 9] });
+        roundtrip(OfMessage::Error {
+            err_type: 1,
+            code: 2,
+            data: vec![9, 9],
+        });
     }
 
     #[test]
@@ -605,8 +671,16 @@ mod tests {
             n_buffers: 256,
             n_tables: 1,
             ports: vec![
-                PortDesc { port_no: 1, hw_addr: MacAddr::from_id(1), name: "s1-eth1".into() },
-                PortDesc { port_no: 2, hw_addr: MacAddr::from_id(2), name: "s1-eth2".into() },
+                PortDesc {
+                    port_no: 1,
+                    hw_addr: MacAddr::from_id(1),
+                    name: "s1-eth1".into(),
+                },
+                PortDesc {
+                    port_no: 2,
+                    hw_addr: MacAddr::from_id(2),
+                    name: "s1-eth2".into(),
+                },
             ],
         });
     }
@@ -631,7 +705,10 @@ mod tests {
     #[test]
     fn flow_mod_roundtrip() {
         roundtrip(OfMessage::FlowMod {
-            match_: Match::any().with_in_port(1).with_dl_type(0x0800).with_tp_dst(80),
+            match_: Match::any()
+                .with_in_port(1)
+                .with_dl_type(0x0800)
+                .with_tp_dst(80),
             cookie: 7,
             command: FlowModCommand::Add,
             idle_timeout: 10,
@@ -659,7 +736,10 @@ mod tests {
 
     #[test]
     fn stats_roundtrip() {
-        roundtrip(OfMessage::FlowStatsRequest { match_: Match::any(), out_port: port::NONE });
+        roundtrip(OfMessage::FlowStatsRequest {
+            match_: Match::any(),
+            out_port: port::NONE,
+        });
         roundtrip(OfMessage::PortStatsRequest { port_no: 0xffff });
         roundtrip(OfMessage::FlowStatsReply(vec![
             FlowStats {

@@ -72,7 +72,11 @@ fn normalize(mut m: Match) -> Match {
     // format's wildcard semantics; mask them for comparison.
     let mask_net = |o: Option<(Ipv4Addr, u8)>| {
         o.map(|(a, l)| {
-            let mask = if l == 0 { 0 } else { u32::MAX << (32 - l as u32) };
+            let mask = if l == 0 {
+                0
+            } else {
+                u32::MAX << (32 - l as u32)
+            };
             (Ipv4Addr::from(u32::from(a) & mask), l)
         })
     };

@@ -61,7 +61,9 @@ fn chain_vnfs<'a>(
     let mut v = Vec::new();
     if chain.hops.len() >= 2 {
         for h in &chain.hops[1..chain.hops.len() - 1] {
-            let req = sg.vnf_named(h).ok_or_else(|| MapError::UnknownNode(h.clone()))?;
+            let req = sg
+                .vnf_named(h)
+                .ok_or_else(|| MapError::UnknownNode(h.clone()))?;
             v.push((h.as_str(), req.cpu, req.mem_mb));
         }
     }
@@ -76,8 +78,10 @@ fn finish(
     placement: Vec<(String, String)>,
     state: &ResourceState,
 ) -> Result<ChainMapping, MapError> {
-    let by_vnf: HashMap<&str, &str> =
-        placement.iter().map(|(v, c)| (v.as_str(), c.as_str())).collect();
+    let by_vnf: HashMap<&str, &str> = placement
+        .iter()
+        .map(|(v, c)| (v.as_str(), c.as_str()))
+        .collect();
     let locate = |hop: &str| -> Option<String> {
         match by_vnf.get(hop) {
             Some(c) => Some(c.to_string()),
@@ -85,7 +89,12 @@ fn finish(
         }
     };
     let (segments, total) = route_chain(topo, chain, &locate, state)?;
-    Ok(ChainMapping { chain: chain.clone(), placement, segments, total_delay_us: total })
+    Ok(ChainMapping {
+        chain: chain.clone(),
+        placement,
+        segments,
+        total_delay_us: total,
+    })
 }
 
 /// First-fit: walk containers in name order, take the first that fits.
@@ -112,7 +121,9 @@ impl MappingAlgorithm for GreedyFirstFit {
                 .into_iter()
                 .find(|c| scratch.fits(c, cpu, mem))
                 .ok_or_else(|| MapError::NoCapacity(vnf.to_string()))?;
-            scratch.reserve_compute(&host, cpu, mem).expect("fits was checked");
+            scratch
+                .reserve_compute(&host, cpu, mem)
+                .expect("fits was checked");
             placement.push((vnf.to_string(), host));
         }
         finish(topo, chain, placement, state)
@@ -149,7 +160,9 @@ impl MappingAlgorithm for BestFitCpu {
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .ok_or_else(|| MapError::NoCapacity(vnf.to_string()))?;
-            scratch.reserve_compute(&host, cpu, mem).expect("fits was checked");
+            scratch
+                .reserve_compute(&host, cpu, mem)
+                .expect("fits was checked");
             placement.push((vnf.to_string(), host));
         }
         finish(topo, chain, placement, state)
@@ -200,7 +213,9 @@ impl MappingAlgorithm for NearestNeighbor {
                 }
             }
             let (_, host) = best.ok_or_else(|| MapError::NoCapacity(vnf.to_string()))?;
-            scratch.reserve_compute(&host, cpu, mem).expect("fits was checked");
+            scratch
+                .reserve_compute(&host, cpu, mem)
+                .expect("fits was checked");
             location = host.clone();
             placement.push((vnf.to_string(), host));
         }
@@ -217,7 +232,9 @@ pub struct Backtracking {
 
 impl Default for Backtracking {
     fn default() -> Self {
-        Backtracking { node_budget: 200_000 }
+        Backtracking {
+            node_budget: 200_000,
+        }
     }
 }
 
@@ -239,6 +256,7 @@ impl MappingAlgorithm for Backtracking {
         let mut budget = self.node_budget;
         let mut stack: Vec<(String, String)> = Vec::new();
 
+        #[allow(clippy::too_many_arguments)]
         fn recurse(
             topo: &ResourceTopology,
             chain: &Chain,
@@ -270,9 +288,13 @@ impl MappingAlgorithm for Backtracking {
                 if !scratch.fits(c, cpu, mem) {
                     continue;
                 }
-                scratch.reserve_compute(c, cpu, mem).expect("fits was checked");
+                scratch
+                    .reserve_compute(c, cpu, mem)
+                    .expect("fits was checked");
                 stack.push((vnf.to_string(), c.clone()));
-                recurse(topo, chain, state, scratch, vnfs, containers, stack, best, budget);
+                recurse(
+                    topo, chain, state, scratch, vnfs, containers, stack, best, budget,
+                );
                 stack.pop();
                 scratch.release_compute(c, cpu, mem);
             }
@@ -280,7 +302,14 @@ impl MappingAlgorithm for Backtracking {
 
         let mut scratch = state.clone();
         recurse(
-            topo, chain, state, &mut scratch, &vnfs, &containers, &mut stack, &mut best,
+            topo,
+            chain,
+            state,
+            &mut scratch,
+            &vnfs,
+            &containers,
+            &mut stack,
+            &mut best,
             &mut budget,
         );
         best.ok_or_else(|| {
@@ -307,7 +336,10 @@ pub struct SimulatedAnnealing {
 
 impl Default for SimulatedAnnealing {
     fn default() -> Self {
-        SimulatedAnnealing { iterations: 500, seed: 42 }
+        SimulatedAnnealing {
+            iterations: 500,
+            seed: 42,
+        }
     }
 }
 
@@ -345,7 +377,10 @@ impl MappingAlgorithm for SimulatedAnnealing {
             let mut scratch = state.clone();
             let mut feasible = true;
             for ((vnf, host), (_, cpu, mem)) in proposal.iter().zip(&vnfs) {
-                debug_assert_eq!(vnf, vnfs[proposal.iter().position(|(v, _)| v == vnf).unwrap()].0);
+                debug_assert_eq!(
+                    vnf,
+                    vnfs[proposal.iter().position(|(v, _)| v == vnf).unwrap()].0
+                );
                 if scratch.reserve_compute(host, *cpu, *mem).is_err() {
                     feasible = false;
                     break;
@@ -354,7 +389,9 @@ impl MappingAlgorithm for SimulatedAnnealing {
             if !feasible {
                 continue;
             }
-            let Ok(candidate) = finish(topo, chain, proposal, state) else { continue };
+            let Ok(candidate) = finish(topo, chain, proposal, state) else {
+                continue;
+            };
             let delta = candidate.total_delay_us as f64 - current.total_delay_us as f64;
             let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / (1.0 + 5_000.0 * temp)).exp();
             if accept {
@@ -420,7 +457,9 @@ mod tests {
             .vnf("b", "monitor", 1.0, 64)
             .chain("c", &["sap0", "a", "b", "sap5"], 10.0, None);
         let state = ResourceState::from_topology(&topo);
-        let greedy = GreedyFirstFit.map_chain(&topo, &sg, &sg.chains[0], &state).unwrap();
+        let greedy = GreedyFirstFit
+            .map_chain(&topo, &sg, &sg.chains[0], &state)
+            .unwrap();
         let optimal = Backtracking::default()
             .map_chain(&topo, &sg, &sg.chains[0], &state)
             .unwrap();
@@ -438,8 +477,12 @@ mod tests {
             .vnf("v", "monitor", 1.0, 64)
             .chain("c", &["sap3", "v", "sap4"], 10.0, None);
         let state = ResourceState::from_topology(&topo);
-        let nn = NearestNeighbor.map_chain(&topo, &sg, &sg.chains[0], &state).unwrap();
-        let ff = GreedyFirstFit.map_chain(&topo, &sg, &sg.chains[0], &state).unwrap();
+        let nn = NearestNeighbor
+            .map_chain(&topo, &sg, &sg.chains[0], &state)
+            .unwrap();
+        let ff = GreedyFirstFit
+            .map_chain(&topo, &sg, &sg.chains[0], &state)
+            .unwrap();
         assert!(nn.total_delay_us <= ff.total_delay_us);
         assert_eq!(nn.container_of("v"), Some("c3"));
     }
@@ -452,7 +495,10 @@ mod tests {
         // Shrink c0 to 1 CPU.
         for n in &mut topo.nodes {
             if n.name == "c0" {
-                n.kind = escape_sg::TopoNodeKind::Container { cpu: 1.0, mem_mb: 2048 };
+                n.kind = escape_sg::TopoNodeKind::Container {
+                    cpu: 1.0,
+                    mem_mb: 2048,
+                };
             }
         }
         let sg = ServiceGraph::new()
@@ -461,7 +507,9 @@ mod tests {
             .vnf("small", "monitor", 0.5, 64)
             .chain("c", &["sap0", "small", "sap1"], 10.0, None);
         let state = ResourceState::from_topology(&topo);
-        let m = BestFitCpu.map_chain(&topo, &sg, &sg.chains[0], &state).unwrap();
+        let m = BestFitCpu
+            .map_chain(&topo, &sg, &sg.chains[0], &state)
+            .unwrap();
         assert_eq!(m.container_of("small"), Some("c0"));
     }
 
@@ -470,12 +518,18 @@ mod tests {
         let topo = builders::star(8, 2.0);
         let sg = two_vnf_sg();
         let state = ResourceState::from_topology(&topo);
-        let m1 = SimulatedAnnealing { iterations: 300, seed: 7 }
-            .map_chain(&topo, &sg, &sg.chains[0], &state)
-            .unwrap();
-        let m2 = SimulatedAnnealing { iterations: 300, seed: 7 }
-            .map_chain(&topo, &sg, &sg.chains[0], &state)
-            .unwrap();
+        let m1 = SimulatedAnnealing {
+            iterations: 300,
+            seed: 7,
+        }
+        .map_chain(&topo, &sg, &sg.chains[0], &state)
+        .unwrap();
+        let m2 = SimulatedAnnealing {
+            iterations: 300,
+            seed: 7,
+        }
+        .map_chain(&topo, &sg, &sg.chains[0], &state)
+        .unwrap();
         assert_eq!(m1.placement, m2.placement);
         assert_eq!(m1.total_delay_us, m2.total_delay_us);
     }
@@ -509,7 +563,9 @@ mod tests {
             None,
         );
         let state = ResourceState::from_topology(&topo);
-        let m = GreedyFirstFit.map_chain(&topo, &sg, &sg.chains[0], &state).unwrap();
+        let m = GreedyFirstFit
+            .map_chain(&topo, &sg, &sg.chains[0], &state)
+            .unwrap();
         assert!(m.placement.is_empty());
         assert_eq!(m.segments.len(), 1);
     }
@@ -517,9 +573,14 @@ mod tests {
     #[test]
     fn map_error_display() {
         assert!(MapError::NoCapacity("x".into()).to_string().contains("x"));
-        assert!(MapError::NoPath { from: "a".into(), to: "b".into() }
+        assert!(MapError::NoPath {
+            from: "a".into(),
+            to: "b".into()
+        }
+        .to_string()
+        .contains("a"));
+        assert!(MapError::DelayExceeded { got: 10, budget: 5 }
             .to_string()
-            .contains("a"));
-        assert!(MapError::DelayExceeded { got: 10, budget: 5 }.to_string().contains("10"));
+            .contains("10"));
     }
 }

@@ -3,7 +3,9 @@
 use crate::algo::{MapError, MappingAlgorithm};
 use crate::state::ResourceState;
 use escape_sg::{Chain, ResourceTopology, ServiceGraph};
+use escape_telemetry::{Counter, Histogram, Registry};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// One routed leg of a chain: the full node path (SAP/container/switch
 /// names, endpoints included) between two consecutive chain hops.
@@ -28,12 +30,18 @@ pub struct ChainMapping {
 impl ChainMapping {
     /// Container hosting a given VNF.
     pub fn container_of(&self, vnf: &str) -> Option<&str> {
-        self.placement.iter().find(|(v, _)| v == vnf).map(|(_, c)| c.as_str())
+        self.placement
+            .iter()
+            .find(|(v, _)| v == vnf)
+            .map(|(_, c)| c.as_str())
     }
 
     /// Total switch-hops across all segments (a path-stretch metric).
     pub fn hop_count(&self) -> usize {
-        self.segments.iter().map(|s| s.nodes.len().saturating_sub(1)).sum()
+        self.segments
+            .iter()
+            .map(|s| s.nodes.len().saturating_sub(1))
+            .sum()
     }
 }
 
@@ -51,14 +59,23 @@ pub fn route_chain(
         let from = locate(&w[0]).ok_or_else(|| MapError::UnknownNode(w[0].clone()))?;
         let to = locate(&w[1]).ok_or_else(|| MapError::UnknownNode(w[1].clone()))?;
         if from == to {
-            segments.push(PathSegment { nodes: vec![from], delay_us: 0 });
+            segments.push(PathSegment {
+                nodes: vec![from],
+                delay_us: 0,
+            });
             continue;
         }
         let (nodes, delay) = topo
             .shortest_path(&from, &to, chain.bandwidth_mbps, Some(&state.bw))
-            .ok_or_else(|| MapError::NoPath { from: from.clone(), to: to.clone() })?;
+            .ok_or_else(|| MapError::NoPath {
+                from: from.clone(),
+                to: to.clone(),
+            })?;
         total += delay;
-        segments.push(PathSegment { nodes, delay_us: delay });
+        segments.push(PathSegment {
+            nodes,
+            delay_us: delay,
+        });
     }
     if let Some(budget) = chain.max_delay_us {
         if total > budget {
@@ -68,20 +85,73 @@ pub fn route_chain(
     Ok((segments, total))
 }
 
+/// Cached registry handles for the mapping path.
+struct OrchCounters {
+    attempts: Counter,
+    embedded: Counter,
+    rejected: Counter,
+    sg_rejected: Counter,
+    placement_ns: Histogram,
+}
+
+impl OrchCounters {
+    fn new(reg: &Registry) -> OrchCounters {
+        OrchCounters {
+            attempts: reg.counter("orch.mapping_attempts"),
+            embedded: reg.counter("orch.chains_embedded"),
+            rejected: reg.counter("orch.chains_rejected"),
+            sg_rejected: reg.counter("orch.sg_rejected"),
+            placement_ns: reg.histogram("orch.placement_ns"),
+        }
+    }
+}
+
 /// The orchestrator: owns the resource view and a pluggable algorithm.
+/// Per-chain commit record: the mapping plus the (container, cpu, mem)
+/// reservations to release on teardown.
+type CommitRecord = (ChainMapping, Vec<(String, f64, u64)>);
+
 pub struct Orchestrator {
     topo: ResourceTopology,
     state: ResourceState,
     algorithm: Box<dyn MappingAlgorithm>,
-    committed: HashMap<String, (ChainMapping, Vec<(String, f64, u64)>)>,
+    committed: HashMap<String, CommitRecord>,
+    telemetry: Registry,
+    counters: OrchCounters,
 }
 
 impl Orchestrator {
-    /// Creates an orchestrator over a validated topology.
-    pub fn new(topo: ResourceTopology, algorithm: Box<dyn MappingAlgorithm>) -> Result<Orchestrator, String> {
+    /// Creates an orchestrator over a validated topology with a private
+    /// telemetry registry.
+    pub fn new(
+        topo: ResourceTopology,
+        algorithm: Box<dyn MappingAlgorithm>,
+    ) -> Result<Orchestrator, String> {
+        Orchestrator::with_registry(topo, algorithm, Registry::new())
+    }
+
+    /// Creates an orchestrator publishing `orch.*` metrics into `registry`.
+    pub fn with_registry(
+        topo: ResourceTopology,
+        algorithm: Box<dyn MappingAlgorithm>,
+        registry: Registry,
+    ) -> Result<Orchestrator, String> {
         topo.validate()?;
         let state = ResourceState::from_topology(&topo);
-        Ok(Orchestrator { topo, state, algorithm, committed: HashMap::new() })
+        let counters = OrchCounters::new(&registry);
+        Ok(Orchestrator {
+            topo,
+            state,
+            algorithm,
+            committed: HashMap::new(),
+            telemetry: registry,
+            counters,
+        })
+    }
+
+    /// The registry this orchestrator publishes `orch.*` metrics into.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
     }
 
     /// The algorithm in use.
@@ -119,15 +189,45 @@ impl Orchestrator {
                 Err(e) => rejected.push((chain.name.clone(), e)),
             }
         }
+        if !rejected.is_empty() {
+            self.counters.sg_rejected.inc();
+        }
         (ok, rejected)
     }
 
     /// Embeds one chain and commits its resources.
-    pub fn embed_chain(&mut self, sg: &ServiceGraph, chain: &Chain) -> Result<ChainMapping, MapError> {
-        if self.committed.contains_key(&chain.name) {
-            return Err(MapError::Infeasible(format!("chain {:?} already embedded", chain.name)));
+    pub fn embed_chain(
+        &mut self,
+        sg: &ServiceGraph,
+        chain: &Chain,
+    ) -> Result<ChainMapping, MapError> {
+        let started = Instant::now();
+        self.counters.attempts.inc();
+        let result = self.embed_chain_inner(sg, chain);
+        self.counters
+            .placement_ns
+            .observe(started.elapsed().as_nanos() as u64);
+        match &result {
+            Ok(_) => self.counters.embedded.inc(),
+            Err(_) => self.counters.rejected.inc(),
         }
-        let mapping = self.algorithm.map_chain(&self.topo, sg, chain, &self.state)?;
+        result
+    }
+
+    fn embed_chain_inner(
+        &mut self,
+        sg: &ServiceGraph,
+        chain: &Chain,
+    ) -> Result<ChainMapping, MapError> {
+        if self.committed.contains_key(&chain.name) {
+            return Err(MapError::Infeasible(format!(
+                "chain {:?} already embedded",
+                chain.name
+            )));
+        }
+        let mapping = self
+            .algorithm
+            .map_chain(&self.topo, sg, chain, &self.state)?;
         // Commit: compute then bandwidth, rolling back on failure.
         let mut reserved_compute: Vec<(String, f64, u64)> = Vec::new();
         for (vnf, container) in &mapping.placement {
@@ -168,7 +268,8 @@ impl Orchestrator {
             self.state.release_compute(&c, cpu, mem);
         }
         for seg in &mapping.segments {
-            self.state.release_path(&seg.nodes, mapping.chain.bandwidth_mbps);
+            self.state
+                .release_path(&seg.nodes, mapping.chain.bandwidth_mbps);
         }
         Some(mapping)
     }
@@ -245,9 +346,12 @@ mod tests {
         let mut orch = Orchestrator::new(topo, Box::new(GreedyFirstFit)).unwrap();
         let mut g = ServiceGraph::new().sap("sap0").sap("sap1");
         for i in 0..4 {
-            g = g
-                .vnf(&format!("fw{i}"), "firewall", 1.0, 64)
-                .chain(&format!("c{i}"), &["sap0", &format!("fw{i}"), "sap1"], 10.0, None);
+            g = g.vnf(&format!("fw{i}"), "firewall", 1.0, 64).chain(
+                &format!("c{i}"),
+                &["sap0", &format!("fw{i}"), "sap1"],
+                10.0,
+                None,
+            );
         }
         let (ok, rejected) = orch.embed_graph(&g);
         assert_eq!(ok.len(), 2, "two 1-cpu containers fit two 1-cpu vnfs");
@@ -264,9 +368,12 @@ mod tests {
         let mk_graph = || {
             let mut g = ServiceGraph::new().sap("sap0").sap("sap1");
             for i in 0..3 {
-                g = g
-                    .vnf(&format!("v{i}"), "monitor", 0.1, 16)
-                    .chain(&format!("c{i}"), &["sap0", &format!("v{i}"), "sap1"], 400.0, None);
+                g = g.vnf(&format!("v{i}"), "monitor", 0.1, 16).chain(
+                    &format!("c{i}"),
+                    &["sap0", &format!("v{i}"), "sap1"],
+                    400.0,
+                    None,
+                );
             }
             g
         };

@@ -50,9 +50,16 @@ impl ResourceState {
 
     /// Reserves compute on a container. Fails without mutating if it
     /// doesn't fit.
-    pub fn reserve_compute(&mut self, container: &str, cpu: f64, mem_mb: u64) -> Result<(), String> {
+    pub fn reserve_compute(
+        &mut self,
+        container: &str,
+        cpu: f64,
+        mem_mb: u64,
+    ) -> Result<(), String> {
         if !self.fits(container, cpu, mem_mb) {
-            return Err(format!("container {container:?} cannot fit cpu={cpu} mem={mem_mb}"));
+            return Err(format!(
+                "container {container:?} cannot fit cpu={cpu} mem={mem_mb}"
+            ));
         }
         *self.cpu.get_mut(container).unwrap() -= cpu;
         *self.mem.get_mut(container).unwrap() -= mem_mb;
@@ -145,7 +152,9 @@ mod tests {
     fn path_reservation_is_atomic() {
         let t = builders::linear(3, 2.0);
         let mut s = ResourceState::from_topology(&t);
-        let path: Vec<String> = ["sap0", "s0", "s1", "s2", "sap1"].map(String::from).to_vec();
+        let path: Vec<String> = ["sap0", "s0", "s1", "s2", "sap1"]
+            .map(String::from)
+            .to_vec();
         s.reserve_path(&path, 600.0).unwrap();
         assert_eq!(s.bw_of("s0", "s1"), 400.0);
         // Second reservation exceeds the s0-s1 residual: nothing changes.

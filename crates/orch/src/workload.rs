@@ -107,7 +107,13 @@ mod tests {
     fn generated_graphs_validate() {
         let topo = builders::star(6, 4.0);
         for seed in 0..5 {
-            let g = random_service_graph(&topo, &WorkloadSpec { seed, ..Default::default() });
+            let g = random_service_graph(
+                &topo,
+                &WorkloadSpec {
+                    seed,
+                    ..Default::default()
+                },
+            );
             g.validate().unwrap();
             assert_eq!(g.chains.len(), 10);
         }
@@ -116,8 +122,14 @@ mod tests {
     #[test]
     fn same_seed_same_graph() {
         let topo = builders::star(4, 2.0);
-        let spec = WorkloadSpec { seed: 99, ..Default::default() };
-        assert_eq!(random_service_graph(&topo, &spec), random_service_graph(&topo, &spec));
+        let spec = WorkloadSpec {
+            seed: 99,
+            ..Default::default()
+        };
+        assert_eq!(
+            random_service_graph(&topo, &spec),
+            random_service_graph(&topo, &spec)
+        );
     }
 
     #[test]
@@ -125,7 +137,11 @@ mod tests {
         let topo = builders::tree(3, 16.0);
         let g = random_service_graph(
             &topo,
-            &WorkloadSpec { chains: 5, seed: 3, ..Default::default() },
+            &WorkloadSpec {
+                chains: 5,
+                seed: 3,
+                ..Default::default()
+            },
         );
         let mut orch = Orchestrator::new(topo, Box::new(GreedyFirstFit)).unwrap();
         let (ok, rejected) = orch.embed_graph(&g);
@@ -139,7 +155,11 @@ mod tests {
         let g = random_service_graph(&topo, &WorkloadSpec::default());
         let catalog = Catalog::standard();
         for v in &g.vnfs {
-            assert!(catalog.get(&v.vnf_type).is_some(), "unknown type {}", v.vnf_type);
+            assert!(
+                catalog.get(&v.vnf_type).is_some(),
+                "unknown type {}",
+                v.vnf_type
+            );
             assert_eq!(catalog.get(&v.vnf_type).unwrap().ports, 2);
         }
     }

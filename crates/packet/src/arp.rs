@@ -60,15 +60,24 @@ impl ArpPacket {
     /// Decodes an ARP packet (Ethernet/IPv4 hardware/protocol types only).
     pub fn decode(data: &[u8]) -> Result<Self, ParseError> {
         if data.len() < PACKET_LEN {
-            return Err(ParseError::Truncated { needed: PACKET_LEN, got: data.len() });
+            return Err(ParseError::Truncated {
+                needed: PACKET_LEN,
+                got: data.len(),
+            });
         }
         let htype = u16::from_be_bytes([data[0], data[1]]);
         if htype != 1 {
-            return Err(ParseError::UnsupportedField { field: "arp.htype", value: htype as u64 });
+            return Err(ParseError::UnsupportedField {
+                field: "arp.htype",
+                value: htype as u64,
+            });
         }
         let ptype = u16::from_be_bytes([data[2], data[3]]);
         if ptype != 0x0800 {
-            return Err(ParseError::UnsupportedField { field: "arp.ptype", value: ptype as u64 });
+            return Err(ParseError::UnsupportedField {
+                field: "arp.ptype",
+                value: ptype as u64,
+            });
         }
         if data[4] != 6 || data[5] != 4 {
             return Err(ParseError::UnsupportedField {
@@ -80,7 +89,12 @@ impl ArpPacket {
         let operation = match oper {
             1 => ArpOperation::Request,
             2 => ArpOperation::Reply,
-            v => return Err(ParseError::UnsupportedField { field: "arp.oper", value: v as u64 }),
+            v => {
+                return Err(ParseError::UnsupportedField {
+                    field: "arp.oper",
+                    value: v as u64,
+                })
+            }
         };
         let mac = |o: usize| {
             let mut m = [0u8; 6];
@@ -145,13 +159,19 @@ mod tests {
         wire[1] = 6; // IEEE 802 instead of Ethernet
         assert!(matches!(
             ArpPacket::decode(&wire),
-            Err(ParseError::UnsupportedField { field: "arp.htype", .. })
+            Err(ParseError::UnsupportedField {
+                field: "arp.htype",
+                ..
+            })
         ));
     }
 
     #[test]
     fn decode_rejects_truncated() {
-        assert!(matches!(ArpPacket::decode(&[0u8; 27]), Err(ParseError::Truncated { .. })));
+        assert!(matches!(
+            ArpPacket::decode(&[0u8; 27]),
+            Err(ParseError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -161,7 +181,10 @@ mod tests {
         wire[7] = 9;
         assert!(matches!(
             ArpPacket::decode(&wire),
-            Err(ParseError::UnsupportedField { field: "arp.oper", .. })
+            Err(ParseError::UnsupportedField {
+                field: "arp.oper",
+                ..
+            })
         ));
     }
 }

@@ -59,7 +59,16 @@ impl PacketBuilder {
         sport: u16,
         dport: u16,
     ) -> Bytes {
-        Self::tcp(eth_src, eth_dst, ip_src, ip_dst, sport, dport, flags::SYN, Bytes::new())
+        Self::tcp(
+            eth_src,
+            eth_dst,
+            ip_src,
+            ip_dst,
+            sport,
+            dport,
+            flags::SYN,
+            Bytes::new(),
+        )
     }
 
     /// A broadcast ARP request.
@@ -85,7 +94,8 @@ impl PacketBuilder {
         ident: u16,
         seq: u16,
     ) -> Bytes {
-        let icmp = IcmpPacket::echo_request(ident, seq, Bytes::from_static(b"escape-ping")).encode();
+        let icmp =
+            IcmpPacket::echo_request(ident, seq, Bytes::from_static(b"escape-ping")).encode();
         let ip = Ipv4Packet::new(ip_src, ip_dst, IpProtocol::Icmp, icmp).encode();
         EthernetFrame::new(eth_dst, eth_src, EtherType::Ipv4, ip).encode()
     }
@@ -104,7 +114,10 @@ impl PacketBuilder {
         frame_len: usize,
     ) -> Bytes {
         const OVERHEAD: usize = 14 + 20 + 8;
-        assert!(frame_len >= OVERHEAD, "frame_len {frame_len} below minimum {OVERHEAD}");
+        assert!(
+            frame_len >= OVERHEAD,
+            "frame_len {frame_len} below minimum {OVERHEAD}"
+        );
         let payload = Bytes::from(vec![0u8; frame_len - OVERHEAD]);
         Self::udp(eth_src, eth_dst, ip_src, ip_dst, sport, dport, payload)
     }
@@ -121,7 +134,15 @@ mod tests {
 
     #[test]
     fn udp_frame_parses_back_to_all_layers() {
-        let frame = PacketBuilder::udp(A_MAC, B_MAC, A_IP, B_IP, 1111, 2222, Bytes::from_static(b"xyz"));
+        let frame = PacketBuilder::udp(
+            A_MAC,
+            B_MAC,
+            A_IP,
+            B_IP,
+            1111,
+            2222,
+            Bytes::from_static(b"xyz"),
+        );
         let eth = EthernetFrame::decode(&frame).unwrap();
         assert_eq!(eth.src, A_MAC);
         assert_eq!(eth.dst, B_MAC);

@@ -70,7 +70,9 @@ mod tests {
 
     #[test]
     fn verify_accepts_buffer_with_embedded_checksum() {
-        let mut data = vec![0x45, 0x00, 0x00, 0x14, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x14, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0,
+        ];
         let c = checksum(&data);
         data[10] = (c >> 8) as u8;
         data[11] = (c & 0xff) as u8;

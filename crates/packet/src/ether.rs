@@ -51,13 +51,21 @@ pub struct EthernetFrame {
 impl EthernetFrame {
     /// Creates a frame.
     pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: Bytes) -> Self {
-        EthernetFrame { dst, src, ethertype, payload }
+        EthernetFrame {
+            dst,
+            src,
+            ethertype,
+            payload,
+        }
     }
 
     /// Decodes a frame from raw bytes.
     pub fn decode(data: &[u8]) -> Result<Self, ParseError> {
         if data.len() < HEADER_LEN {
-            return Err(ParseError::Truncated { needed: HEADER_LEN, got: data.len() });
+            return Err(ParseError::Truncated {
+                needed: HEADER_LEN,
+                got: data.len(),
+            });
         }
         let mut dst = [0u8; 6];
         dst.copy_from_slice(&data[0..6]);
@@ -113,7 +121,13 @@ mod tests {
     #[test]
     fn decode_rejects_short_frame() {
         let err = EthernetFrame::decode(&[0u8; 13]).unwrap_err();
-        assert_eq!(err, ParseError::Truncated { needed: 14, got: 13 });
+        assert_eq!(
+            err,
+            ParseError::Truncated {
+                needed: 14,
+                got: 13
+            }
+        );
     }
 
     #[test]

@@ -57,10 +57,8 @@ impl FlowKey {
                         // matching must work even if the checksum context is
                         // unavailable, so read them positionally.
                         if ip.payload.len() >= 4 {
-                            key.tp_src =
-                                Some(u16::from_be_bytes([ip.payload[0], ip.payload[1]]));
-                            key.tp_dst =
-                                Some(u16::from_be_bytes([ip.payload[2], ip.payload[3]]));
+                            key.tp_src = Some(u16::from_be_bytes([ip.payload[0], ip.payload[1]]));
+                            key.tp_dst = Some(u16::from_be_bytes([ip.payload[2], ip.payload[3]]));
                         }
                     }
                     IpProtocol::Icmp => {

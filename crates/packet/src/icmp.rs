@@ -32,7 +32,10 @@ impl IcmpType {
             8 => Ok(IcmpType::EchoRequest),
             3 => Ok(IcmpType::DestinationUnreachable { code }),
             11 => Ok(IcmpType::TimeExceeded),
-            v => Err(ParseError::UnsupportedField { field: "icmp.type", value: v as u64 }),
+            v => Err(ParseError::UnsupportedField {
+                field: "icmp.type",
+                value: v as u64,
+            }),
         }
     }
 }
@@ -50,7 +53,12 @@ pub struct IcmpPacket {
 impl IcmpPacket {
     /// Builds an echo request.
     pub fn echo_request(ident: u16, seq: u16, payload: Bytes) -> Self {
-        IcmpPacket { icmp_type: IcmpType::EchoRequest, ident, seq, payload }
+        IcmpPacket {
+            icmp_type: IcmpType::EchoRequest,
+            ident,
+            seq,
+            payload,
+        }
     }
 
     /// Builds the reply matching a request.
@@ -66,7 +74,10 @@ impl IcmpPacket {
     /// Decodes and validates the checksum.
     pub fn decode(data: &[u8]) -> Result<Self, ParseError> {
         if data.len() < HEADER_LEN {
-            return Err(ParseError::Truncated { needed: HEADER_LEN, got: data.len() });
+            return Err(ParseError::Truncated {
+                needed: HEADER_LEN,
+                got: data.len(),
+            });
         }
         if checksum::checksum(data) != 0 {
             let got = u16::from_be_bytes([data[2], data[3]]);
@@ -115,15 +126,28 @@ mod tests {
 
     #[test]
     fn corrupted_fails_checksum() {
-        let mut wire = IcmpPacket::echo_request(1, 1, Bytes::from_static(b"x")).encode().to_vec();
+        let mut wire = IcmpPacket::echo_request(1, 1, Bytes::from_static(b"x"))
+            .encode()
+            .to_vec();
         wire[4] ^= 0x55;
-        assert!(matches!(IcmpPacket::decode(&wire), Err(ParseError::BadChecksum { .. })));
+        assert!(matches!(
+            IcmpPacket::decode(&wire),
+            Err(ParseError::BadChecksum { .. })
+        ));
     }
 
     #[test]
     fn error_types_roundtrip() {
-        for t in [IcmpType::DestinationUnreachable { code: 3 }, IcmpType::TimeExceeded] {
-            let p = IcmpPacket { icmp_type: t, ident: 0, seq: 0, payload: Bytes::new() };
+        for t in [
+            IcmpType::DestinationUnreachable { code: 3 },
+            IcmpType::TimeExceeded,
+        ] {
+            let p = IcmpPacket {
+                icmp_type: t,
+                ident: 0,
+                seq: 0,
+                payload: Bytes::new(),
+            };
             assert_eq!(IcmpPacket::decode(&p.encode()).unwrap().icmp_type, t);
         }
     }
@@ -141,7 +165,10 @@ mod tests {
         wire[3] = (c & 0xff) as u8;
         assert!(matches!(
             IcmpPacket::decode(&wire),
-            Err(ParseError::UnsupportedField { field: "icmp.type", .. })
+            Err(ParseError::UnsupportedField {
+                field: "icmp.type",
+                ..
+            })
         ));
     }
 }

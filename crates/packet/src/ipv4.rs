@@ -73,35 +73,56 @@ impl Ipv4Packet {
     /// Decodes an IPv4 packet, validating the header checksum.
     pub fn decode(data: &[u8]) -> Result<Self, ParseError> {
         if data.len() < HEADER_LEN {
-            return Err(ParseError::Truncated { needed: HEADER_LEN, got: data.len() });
+            return Err(ParseError::Truncated {
+                needed: HEADER_LEN,
+                got: data.len(),
+            });
         }
         let version = data[0] >> 4;
         if version != 4 {
-            return Err(ParseError::UnsupportedField { field: "ip.version", value: version as u64 });
+            return Err(ParseError::UnsupportedField {
+                field: "ip.version",
+                value: version as u64,
+            });
         }
         let ihl = (data[0] & 0x0f) as usize * 4;
         if ihl < HEADER_LEN {
-            return Err(ParseError::UnsupportedField { field: "ip.ihl", value: ihl as u64 });
+            return Err(ParseError::UnsupportedField {
+                field: "ip.ihl",
+                value: ihl as u64,
+            });
         }
         if data.len() < ihl {
-            return Err(ParseError::Truncated { needed: ihl, got: data.len() });
+            return Err(ParseError::Truncated {
+                needed: ihl,
+                got: data.len(),
+            });
         }
         if !checksum::verify(&data[..ihl]) {
             let got = u16::from_be_bytes([data[10], data[11]]);
             let mut hdr = data[..ihl].to_vec();
             hdr[10] = 0;
             hdr[11] = 0;
-            return Err(ParseError::BadChecksum { expected: checksum::checksum(&hdr), got });
+            return Err(ParseError::BadChecksum {
+                expected: checksum::checksum(&hdr),
+                got,
+            });
         }
         let total_len = u16::from_be_bytes([data[2], data[3]]) as usize;
         if total_len < ihl || total_len > data.len() {
-            return Err(ParseError::BadLength { declared: total_len, actual: data.len() });
+            return Err(ParseError::BadLength {
+                declared: total_len,
+                actual: data.len(),
+            });
         }
         let flags = data[6] >> 5;
         let frag_off = (u16::from_be_bytes([data[6], data[7]]) & 0x1fff) as usize;
         if flags & 0b001 != 0 || frag_off != 0 {
             // More-fragments set or non-zero offset: we don't reassemble.
-            return Err(ParseError::UnsupportedField { field: "ip.fragment", value: frag_off as u64 });
+            return Err(ParseError::UnsupportedField {
+                field: "ip.fragment",
+                value: frag_off as u64,
+            });
         }
         Ok(Ipv4Packet {
             dscp: data[1] >> 2,
@@ -180,7 +201,10 @@ mod tests {
     fn checksum_is_validated() {
         let mut wire = sample().encode().to_vec();
         wire[8] = wire[8].wrapping_add(1); // corrupt TTL without fixing checksum
-        assert!(matches!(Ipv4Packet::decode(&wire), Err(ParseError::BadChecksum { .. })));
+        assert!(matches!(
+            Ipv4Packet::decode(&wire),
+            Err(ParseError::BadChecksum { .. })
+        ));
     }
 
     #[test]
@@ -198,7 +222,7 @@ mod tests {
         let p = sample();
         let mut wire = p.encode().to_vec();
         wire[6] = 0x20; // more fragments
-        // fix checksum
+                        // fix checksum
         wire[10] = 0;
         wire[11] = 0;
         let c = checksum::checksum(&wire[..20]);
@@ -206,7 +230,10 @@ mod tests {
         wire[11] = (c & 0xff) as u8;
         assert!(matches!(
             Ipv4Packet::decode(&wire),
-            Err(ParseError::UnsupportedField { field: "ip.fragment", .. })
+            Err(ParseError::UnsupportedField {
+                field: "ip.fragment",
+                ..
+            })
         ));
     }
 
@@ -216,7 +243,10 @@ mod tests {
         wire[0] = 0x65;
         assert!(matches!(
             Ipv4Packet::decode(&wire),
-            Err(ParseError::UnsupportedField { field: "ip.version", .. })
+            Err(ParseError::UnsupportedField {
+                field: "ip.version",
+                ..
+            })
         ));
     }
 
@@ -235,6 +265,9 @@ mod tests {
         let wire = p.encode();
         let truncated = &wire[..wire.len() - 2];
         // header checksum still valid but total_len now exceeds buffer
-        assert!(matches!(Ipv4Packet::decode(truncated), Err(ParseError::BadLength { .. })));
+        assert!(matches!(
+            Ipv4Packet::decode(truncated),
+            Err(ParseError::BadLength { .. })
+        ));
     }
 }

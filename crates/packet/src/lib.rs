@@ -67,7 +67,10 @@ impl std::fmt::Display for ParseError {
                 write!(f, "unsupported value {value:#x} in field {field}")
             }
             ParseError::BadLength { declared, actual } => {
-                write!(f, "bad length: header declares {declared}, buffer has {actual}")
+                write!(
+                    f,
+                    "bad length: header declares {declared}, buffer has {actual}"
+                )
             }
         }
     }
@@ -94,7 +97,11 @@ pub struct Packet {
 impl Packet {
     /// Wraps raw frame bytes into a packet with id 0 and no timestamp.
     pub fn from_bytes(data: Bytes) -> Self {
-        Packet { data, id: 0, born_ns: 0 }
+        Packet {
+            data,
+            id: 0,
+            born_ns: 0,
+        }
     }
 
     /// Frame length in bytes.
@@ -126,11 +133,20 @@ mod tests {
     fn parse_error_display_is_informative() {
         let e = ParseError::Truncated { needed: 14, got: 3 };
         assert!(e.to_string().contains("14"));
-        let e = ParseError::BadChecksum { expected: 0xabcd, got: 0x1234 };
+        let e = ParseError::BadChecksum {
+            expected: 0xabcd,
+            got: 0x1234,
+        };
         assert!(e.to_string().contains("0xabcd"));
-        let e = ParseError::UnsupportedField { field: "ihl", value: 3 };
+        let e = ParseError::UnsupportedField {
+            field: "ihl",
+            value: 3,
+        };
         assert!(e.to_string().contains("ihl"));
-        let e = ParseError::BadLength { declared: 100, actual: 20 };
+        let e = ParseError::BadLength {
+            declared: 100,
+            actual: 20,
+        };
         assert!(e.to_string().contains("100"));
     }
 

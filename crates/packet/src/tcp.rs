@@ -35,8 +35,23 @@ pub struct TcpSegment {
 
 impl TcpSegment {
     /// Creates a segment with the given flags.
-    pub fn new(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: u8, payload: Bytes) -> Self {
-        TcpSegment { src_port, dst_port, seq, ack, flags, window: 65535, payload }
+    pub fn new(
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: u8,
+        payload: Bytes,
+    ) -> Self {
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window: 65535,
+            payload,
+        }
     }
 
     /// True if the SYN flag is set.
@@ -57,18 +72,30 @@ impl TcpSegment {
     /// Decodes and validates the checksum against the IPv4 pseudo-header.
     pub fn decode(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<Self, ParseError> {
         if data.len() < HEADER_LEN {
-            return Err(ParseError::Truncated { needed: HEADER_LEN, got: data.len() });
+            return Err(ParseError::Truncated {
+                needed: HEADER_LEN,
+                got: data.len(),
+            });
         }
         let data_off = ((data[12] >> 4) as usize) * 4;
         if data_off < HEADER_LEN {
-            return Err(ParseError::UnsupportedField { field: "tcp.doff", value: data_off as u64 });
+            return Err(ParseError::UnsupportedField {
+                field: "tcp.doff",
+                value: data_off as u64,
+            });
         }
         if data.len() < data_off {
-            return Err(ParseError::Truncated { needed: data_off, got: data.len() });
+            return Err(ParseError::Truncated {
+                needed: data_off,
+                got: data.len(),
+            });
         }
         let sum = pseudo_header_checksum(src, dst, IpProtocol::Tcp.to_u8(), data);
         if sum != 0 {
-            return Err(ParseError::BadChecksum { expected: 0, got: sum });
+            return Err(ParseError::BadChecksum {
+                expected: 0,
+                got: sum,
+            });
         }
         Ok(TcpSegment {
             src_port: u16::from_be_bytes([data[0], data[1]]),
@@ -115,7 +142,14 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        let s = TcpSegment::new(443, 51000, 1000, 2000, flags::ACK | flags::PSH, Bytes::from_static(b"tls bytes"));
+        let s = TcpSegment::new(
+            443,
+            51000,
+            1000,
+            2000,
+            flags::ACK | flags::PSH,
+            Bytes::from_static(b"tls bytes"),
+        );
         let wire = s.encode(A, B);
         assert_eq!(wire.len(), s.wire_len());
         let t = TcpSegment::decode(&wire, A, B).unwrap();
@@ -138,7 +172,10 @@ mod tests {
         let mut wire = s.encode(A, B).to_vec();
         let last = wire.len() - 1;
         wire[last] ^= 0xff;
-        assert!(matches!(TcpSegment::decode(&wire, A, B), Err(ParseError::BadChecksum { .. })));
+        assert!(matches!(
+            TcpSegment::decode(&wire, A, B),
+            Err(ParseError::BadChecksum { .. })
+        ));
     }
 
     #[test]
@@ -148,7 +185,7 @@ mod tests {
         let mut wire = s.encode(A, B).to_vec();
         wire[12] = 6 << 4;
         wire.extend_from_slice(&[1, 1, 1, 1]); // NOP options
-        // Re-checksum.
+                                               // Re-checksum.
         wire[16] = 0;
         wire[17] = 0;
         let c = pseudo_header_checksum(A, B, IpProtocol::Tcp.to_u8(), &wire);
@@ -161,6 +198,9 @@ mod tests {
 
     #[test]
     fn truncated_is_rejected() {
-        assert!(matches!(TcpSegment::decode(&[0u8; 19], A, B), Err(ParseError::Truncated { .. })));
+        assert!(matches!(
+            TcpSegment::decode(&[0u8; 19], A, B),
+            Err(ParseError::Truncated { .. })
+        ));
     }
 }

@@ -20,7 +20,11 @@ pub struct UdpDatagram {
 impl UdpDatagram {
     /// Creates a datagram.
     pub fn new(src_port: u16, dst_port: u16, payload: Bytes) -> Self {
-        UdpDatagram { src_port, dst_port, payload }
+        UdpDatagram {
+            src_port,
+            dst_port,
+            payload,
+        }
     }
 
     /// Decodes a datagram and validates its checksum against the
@@ -28,17 +32,26 @@ impl UdpDatagram {
     /// A zero checksum means "not computed" and is accepted per RFC 768.
     pub fn decode(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<Self, ParseError> {
         if data.len() < HEADER_LEN {
-            return Err(ParseError::Truncated { needed: HEADER_LEN, got: data.len() });
+            return Err(ParseError::Truncated {
+                needed: HEADER_LEN,
+                got: data.len(),
+            });
         }
         let length = u16::from_be_bytes([data[4], data[5]]) as usize;
         if length < HEADER_LEN || length > data.len() {
-            return Err(ParseError::BadLength { declared: length, actual: data.len() });
+            return Err(ParseError::BadLength {
+                declared: length,
+                actual: data.len(),
+            });
         }
         let wire_sum = u16::from_be_bytes([data[6], data[7]]);
         if wire_sum != 0 {
             let ok = pseudo_header_checksum(src, dst, IpProtocol::Udp.to_u8(), &data[..length]);
             if ok != 0 {
-                return Err(ParseError::BadChecksum { expected: 0, got: ok });
+                return Err(ParseError::BadChecksum {
+                    expected: 0,
+                    got: ok,
+                });
             }
         }
         Ok(UdpDatagram {
@@ -122,7 +135,10 @@ mod tests {
         let d = UdpDatagram::new(1, 2, Bytes::from_static(b"abc"));
         let mut wire = d.encode(A, B).to_vec();
         wire[5] = 200; // declared length > buffer
-        assert!(matches!(UdpDatagram::decode(&wire, A, B), Err(ParseError::BadLength { .. })));
+        assert!(matches!(
+            UdpDatagram::decode(&wire, A, B),
+            Err(ParseError::BadLength { .. })
+        ));
     }
 
     #[test]

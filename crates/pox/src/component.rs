@@ -1,9 +1,10 @@
 //! The component (POX app) model.
 
+use bytes::Bytes;
 use escape_netem::{CtrlId, NodeCtx, Time};
 use escape_openflow::{port, Action, FlowModCommand, Match, OfMessage, PortDesc};
-use bytes::Bytes;
 use escape_packet::FlowKey;
+use escape_telemetry::{Counter, Registry};
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -42,6 +43,11 @@ pub trait Component: AsAnyComponent {
     /// Component name (diagnostics).
     fn name(&self) -> &'static str;
 
+    /// Called once when the component is added to a controller; counters
+    /// the component owns should be re-homed into `registry` so they show
+    /// up in the environment-wide telemetry snapshot.
+    fn attach_telemetry(&mut self, _registry: &Registry) {}
+
     /// A switch completed the handshake.
     fn on_connection_up(&mut self, _ctl: &mut Ctl<'_, '_>, _dpid: u64, _ports: &[PortDesc]) {}
 
@@ -61,8 +67,8 @@ pub trait Component: AsAnyComponent {
 pub struct Ctl<'a, 'b> {
     pub(crate) ctx: &'a mut NodeCtx<'b>,
     pub(crate) by_dpid: &'a HashMap<u64, CtrlId>,
-    pub(crate) flow_mods_sent: &'a mut u64,
-    pub(crate) packet_outs_sent: &'a mut u64,
+    pub(crate) flow_mods_sent: &'a Counter,
+    pub(crate) packet_outs_sent: &'a Counter,
     pub(crate) xid: &'a mut u32,
 }
 
@@ -82,13 +88,15 @@ impl Ctl<'_, '_> {
     /// Sends a raw OpenFlow message to a switch. Returns false if the
     /// datapath is unknown.
     pub fn send(&mut self, dpid: u64, msg: OfMessage) -> bool {
-        let Some(&conn) = self.by_dpid.get(&dpid) else { return false };
+        let Some(&conn) = self.by_dpid.get(&dpid) else {
+            return false;
+        };
         *self.xid = self.xid.wrapping_add(1);
         if matches!(msg, OfMessage::FlowMod { .. }) {
-            *self.flow_mods_sent += 1;
+            self.flow_mods_sent.inc();
         }
         if matches!(msg, OfMessage::PacketOut { .. }) {
-            *self.packet_outs_sent += 1;
+            self.packet_outs_sent.inc();
         }
         let wire = msg.encode(*self.xid);
         self.ctx.ctrl_send(conn, wire);
@@ -154,7 +162,15 @@ impl Ctl<'_, '_> {
         actions: Vec<Action>,
         data: Bytes,
     ) -> bool {
-        self.send(dpid, OfMessage::PacketOut { buffer_id, in_port, actions, data })
+        self.send(
+            dpid,
+            OfMessage::PacketOut {
+                buffer_id,
+                in_port,
+                actions,
+                data,
+            },
+        )
     }
 }
 

@@ -4,6 +4,7 @@ use crate::component::{Component, Ctl, PacketInEvent};
 use escape_netem::{CtrlId, NodeCtx, NodeLogic, Time};
 use escape_openflow::{OfMessage, PortDesc};
 use escape_packet::{FlowKey, Packet};
+use escape_telemetry::{Counter, Registry};
 use std::collections::HashMap;
 
 /// Timer token: kick off handshakes on registered connections.
@@ -12,7 +13,8 @@ const HANDSHAKE_TOKEN: u64 = 0xC0DE;
 /// [`Controller::request_flush`]).
 pub const FLUSH_TOKEN: u64 = 0xF1;
 
-/// Counters exposed by the controller.
+/// Counters exposed by the controller — a point-in-time view over the
+/// telemetry registry (`pox.*` counters), kept for API compatibility.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ControllerStats {
     pub packet_ins: u64,
@@ -20,6 +22,27 @@ pub struct ControllerStats {
     pub packet_outs_sent: u64,
     pub connections_up: u64,
     pub unhandled_packet_ins: u64,
+}
+
+/// Cached registry handles for the controller hot path.
+struct CoreCounters {
+    packet_ins: Counter,
+    flow_mods: Counter,
+    packet_outs: Counter,
+    connections_up: Counter,
+    unhandled_packet_ins: Counter,
+}
+
+impl CoreCounters {
+    fn new(reg: &Registry) -> CoreCounters {
+        CoreCounters {
+            packet_ins: reg.counter("pox.packet_ins"),
+            flow_mods: reg.counter("pox.flow_mods"),
+            packet_outs: reg.counter("pox.packet_outs"),
+            connections_up: reg.counter("pox.connections_up"),
+            unhandled_packet_ins: reg.counter("pox.unhandled_packet_ins"),
+        }
+    }
 }
 
 struct ConnState {
@@ -36,30 +59,63 @@ pub struct Controller {
     by_dpid: HashMap<u64, CtrlId>,
     ports_by_dpid: HashMap<u64, Vec<PortDesc>>,
     components: Vec<Option<Box<dyn Component>>>,
-    pub stats: ControllerStats,
+    telemetry: Registry,
+    counters: CoreCounters,
     xid: u32,
 }
 
 impl Controller {
-    /// An empty controller.
+    /// An empty controller with a private telemetry registry.
     pub fn new() -> Controller {
+        Controller::with_registry(Registry::new())
+    }
+
+    /// An empty controller publishing its counters into `registry` —
+    /// the environment passes the simulation-wide registry here.
+    pub fn with_registry(registry: Registry) -> Controller {
+        let counters = CoreCounters::new(&registry);
         Controller {
             conns: HashMap::new(),
             by_dpid: HashMap::new(),
             ports_by_dpid: HashMap::new(),
             components: Vec::new(),
-            stats: ControllerStats::default(),
+            telemetry: registry,
+            counters,
             xid: 0,
+        }
+    }
+
+    /// The registry this controller publishes `pox.*` counters into.
+    pub fn telemetry(&self) -> &Registry {
+        &self.telemetry
+    }
+
+    /// Current counter values (compat view over the telemetry registry).
+    pub fn stats(&self) -> ControllerStats {
+        ControllerStats {
+            packet_ins: self.counters.packet_ins.get(),
+            flow_mods_sent: self.counters.flow_mods.get(),
+            packet_outs_sent: self.counters.packet_outs.get(),
+            connections_up: self.counters.connections_up.get(),
+            unhandled_packet_ins: self.counters.unhandled_packet_ins.get(),
         }
     }
 
     /// Registers the control channel of one switch. Call before `start`.
     pub fn register_switch(&mut self, conn: CtrlId) {
-        self.conns.insert(conn.0, ConnState { dpid: None, hello_sent: false });
+        self.conns.insert(
+            conn.0,
+            ConnState {
+                dpid: None,
+                hello_sent: false,
+            },
+        );
     }
 
-    /// Adds a component at the end of the dispatch chain.
-    pub fn add_component(&mut self, c: Box<dyn Component>) {
+    /// Adds a component at the end of the dispatch chain. The component's
+    /// counters are re-homed into this controller's telemetry registry.
+    pub fn add_component(&mut self, mut c: Box<dyn Component>) {
+        c.attach_telemetry(&self.telemetry);
         self.components.push(Some(c));
     }
 
@@ -111,12 +167,14 @@ impl Controller {
         mut f: impl FnMut(&mut Box<dyn Component>, &mut Ctl<'_, '_>) -> bool,
     ) -> bool {
         for i in 0..self.components.len() {
-            let Some(mut c) = self.components[i].take() else { continue };
+            let Some(mut c) = self.components[i].take() else {
+                continue;
+            };
             let mut ctl = Ctl {
                 ctx,
                 by_dpid: &self.by_dpid,
-                flow_mods_sent: &mut self.stats.flow_mods_sent,
-                packet_outs_sent: &mut self.stats.packet_outs_sent,
+                flow_mods_sent: &self.counters.flow_mods,
+                packet_outs_sent: &self.counters.packet_outs,
                 xid: &mut self.xid,
             };
             let consumed = f(&mut c, &mut ctl);
@@ -176,25 +234,37 @@ impl NodeLogic for Controller {
     }
 
     fn on_ctrl(&mut self, ctx: &mut NodeCtx<'_>, conn: CtrlId, msg: Vec<u8>) {
-        let Ok((msg, _xid)) = OfMessage::decode(&msg) else { return };
+        let Ok((msg, _xid)) = OfMessage::decode(&msg) else {
+            return;
+        };
         match msg {
             OfMessage::Hello => {} // our hello was already sent
             OfMessage::EchoRequest(d) => self.send_on(ctx, conn, OfMessage::EchoReply(d)),
-            OfMessage::FeaturesReply { datapath_id, ports, .. } => {
+            OfMessage::FeaturesReply {
+                datapath_id, ports, ..
+            } => {
                 if let Some(st) = self.conns.get_mut(&conn.0) {
                     st.dpid = Some(datapath_id);
                 }
                 self.by_dpid.insert(datapath_id, conn);
                 self.ports_by_dpid.insert(datapath_id, ports.clone());
-                self.stats.connections_up += 1;
+                self.counters.connections_up.inc();
                 self.dispatch(ctx, |c, ctl| {
                     c.on_connection_up(ctl, datapath_id, &ports);
                     false
                 });
             }
-            OfMessage::PacketIn { buffer_id, total_len, in_port, data, .. } => {
-                let Some(dpid) = self.conns.get(&conn.0).and_then(|s| s.dpid) else { return };
-                self.stats.packet_ins += 1;
+            OfMessage::PacketIn {
+                buffer_id,
+                total_len,
+                in_port,
+                data,
+                ..
+            } => {
+                let Some(dpid) = self.conns.get(&conn.0).and_then(|s| s.dpid) else {
+                    return;
+                };
+                self.counters.packet_ins.inc();
                 let ev = PacketInEvent {
                     dpid,
                     buffer_id,
@@ -205,11 +275,13 @@ impl NodeLogic for Controller {
                 };
                 let consumed = self.dispatch(ctx, |c, ctl| c.on_packet_in(ctl, &ev));
                 if !consumed {
-                    self.stats.unhandled_packet_ins += 1;
+                    self.counters.unhandled_packet_ins.inc();
                 }
             }
             OfMessage::FlowRemoved { .. } => {
-                let Some(dpid) = self.conns.get(&conn.0).and_then(|s| s.dpid) else { return };
+                let Some(dpid) = self.conns.get(&conn.0).and_then(|s| s.dpid) else {
+                    return;
+                };
                 let m = msg.clone();
                 self.dispatch(ctx, |c, ctl| {
                     c.on_flow_removed(ctl, dpid, &m);
@@ -217,7 +289,9 @@ impl NodeLogic for Controller {
                 });
             }
             OfMessage::FlowStatsReply(_) | OfMessage::PortStatsReply(_) => {
-                let Some(dpid) = self.conns.get(&conn.0).and_then(|s| s.dpid) else { return };
+                let Some(dpid) = self.conns.get(&conn.0).and_then(|s| s.dpid) else {
+                    return;
+                };
                 let m = msg.clone();
                 self.dispatch(ctx, |c, _ctl| {
                     c.on_stats(dpid, &m);
@@ -255,7 +329,7 @@ mod tests {
         sim.run(100);
         let ctl = sim.node_as::<Controller>(c).unwrap();
         assert_eq!(ctl.connected_dpids(), vec![11, 22]);
-        assert_eq!(ctl.stats.connections_up, 2);
+        assert_eq!(ctl.stats().connections_up, 2);
         assert_eq!(ctl.ports_of(11).unwrap().len(), 2);
     }
 
@@ -272,8 +346,8 @@ mod tests {
         sim.run(50);
         // Now fire an echo from the switch side.
         sim.ctrl_send_from(s1, l, OfMessage::EchoRequest(vec![7]).encode(99));
-        let before = sim.stats.ctrl_messages;
+        let before = sim.stats().ctrl_messages;
         sim.run(50);
-        assert!(sim.stats.ctrl_messages > before, "echo reply flowed");
+        assert!(sim.stats().ctrl_messages > before, "echo reply flowed");
     }
 }

@@ -7,8 +7,8 @@
 //! resource view can be validated against.
 
 use crate::component::{Component, Ctl, PacketInEvent};
-use escape_openflow::{switch::NO_BUFFER, Action, PortDesc};
 use bytes::Bytes;
+use escape_openflow::{switch::NO_BUFFER, Action, PortDesc};
 use escape_packet::{EtherType, EthernetFrame, MacAddr};
 use std::collections::BTreeSet;
 
@@ -152,10 +152,16 @@ mod tests {
         let c = sim.add_node("c0", 0, Box::new(Controller::new()));
         for &sw in &[s1, s2, s3] {
             let conn = sim.ctrl_connect(sw, c, Time::from_us(100));
-            sim.node_as_mut::<Switch>(sw).unwrap().attach_controller(conn);
-            sim.node_as_mut::<Controller>(c).unwrap().register_switch(conn);
+            sim.node_as_mut::<Switch>(sw)
+                .unwrap()
+                .attach_controller(conn);
+            sim.node_as_mut::<Controller>(c)
+                .unwrap()
+                .register_switch(conn);
         }
-        sim.node_as_mut::<Controller>(c).unwrap().add_component(Box::new(Discovery::new()));
+        sim.node_as_mut::<Controller>(c)
+            .unwrap()
+            .add_component(Box::new(Discovery::new()));
         Controller::start(&mut sim, c);
         (sim, c)
     }
@@ -169,9 +175,24 @@ mod tests {
         let links = d.links();
         // s1<->s2 and s2<->s3, both directions each.
         assert_eq!(links.len(), 4, "{links:?}");
-        assert!(links.contains(&DiscoveredLink { src_dpid: 1, src_port: 1, dst_dpid: 2, dst_port: 0 }));
-        assert!(links.contains(&DiscoveredLink { src_dpid: 2, src_port: 0, dst_dpid: 1, dst_port: 1 }));
-        assert!(links.contains(&DiscoveredLink { src_dpid: 2, src_port: 1, dst_dpid: 3, dst_port: 0 }));
+        assert!(links.contains(&DiscoveredLink {
+            src_dpid: 1,
+            src_port: 1,
+            dst_dpid: 2,
+            dst_port: 0
+        }));
+        assert!(links.contains(&DiscoveredLink {
+            src_dpid: 2,
+            src_port: 0,
+            dst_dpid: 1,
+            dst_port: 1
+        }));
+        assert!(links.contains(&DiscoveredLink {
+            src_dpid: 2,
+            src_port: 1,
+            dst_dpid: 3,
+            dst_port: 0
+        }));
         assert_eq!(d.bidirectional_links(), 2);
     }
 
@@ -215,6 +236,10 @@ mod tests {
         sim.inject(s1, 0, udp, sim.now());
         sim.run(1_000);
         let ctl = sim.node_as::<Controller>(c).unwrap();
-        assert_eq!(ctl.stats.unhandled_packet_ins, 1, "user traffic left to other apps");
+        assert_eq!(
+            ctl.stats().unhandled_packet_ins,
+            1,
+            "user traffic left to other apps"
+        );
     }
 }

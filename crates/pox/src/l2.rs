@@ -20,7 +20,12 @@ pub struct L2Learning {
 
 impl L2Learning {
     pub fn new() -> L2Learning {
-        L2Learning { table: HashMap::new(), idle_timeout: 10, flows_installed: 0, floods: 0 }
+        L2Learning {
+            table: HashMap::new(),
+            idle_timeout: 10,
+            flows_installed: 0,
+            floods: 0,
+        }
     }
 
     /// Looks up a learned location.
@@ -51,7 +56,13 @@ impl Component for L2Learning {
                 if out == ev.in_port {
                     // Destination is where the packet came from: drop it
                     // to avoid a loop (packet-out with no actions).
-                    ctl.packet_out(ev.dpid, ev.buffer_id, ev.in_port, vec![], bytes::Bytes::new());
+                    ctl.packet_out(
+                        ev.dpid,
+                        ev.buffer_id,
+                        ev.in_port,
+                        vec![],
+                        bytes::Bytes::new(),
+                    );
                     return true;
                 }
                 // Install an exact flow and release the buffered packet
@@ -106,7 +117,12 @@ mod tests {
     use std::net::Ipv4Addr;
 
     /// h1 -- s1 -- h2, controller running l2_learning.
-    fn rig() -> (Sim, escape_netem::NodeId, escape_netem::NodeId, escape_netem::NodeId) {
+    fn rig() -> (
+        Sim,
+        escape_netem::NodeId,
+        escape_netem::NodeId,
+        escape_netem::NodeId,
+    ) {
         let mut sim = Sim::new(5);
         let sw = sim.add_node("s1", 2, Box::new(Switch::new(1, 2)));
         let h1 = sim.add_node(
@@ -123,7 +139,9 @@ mod tests {
         sim.connect((sw, 1), (h2, 0), LinkConfig::lan());
         let c = sim.add_node("c0", 0, Box::new(Controller::new()));
         let conn = sim.ctrl_connect(sw, c, Time::from_us(200));
-        sim.node_as_mut::<Switch>(sw).unwrap().attach_controller(conn);
+        sim.node_as_mut::<Switch>(sw)
+            .unwrap()
+            .attach_controller(conn);
         {
             let ctl = sim.node_as_mut::<Controller>(c).unwrap();
             ctl.register_switch(conn);
@@ -154,7 +172,7 @@ mod tests {
         let l2 = ctl.component_as::<L2Learning>().unwrap();
         assert!(l2.flows_installed >= 1, "reactive flow installed");
         assert!(l2.floods >= 1, "first packet flooded");
-        assert!(ctl.stats.packet_ins >= 2, "ARP + first UDP punted");
+        assert!(ctl.stats().packet_ins >= 2, "ARP + first UDP punted");
         // The learning table knows both hosts.
         assert_eq!(l2.location_of(1, MacAddr::from_id(1)), Some(0));
         assert_eq!(l2.location_of(1, MacAddr::from_id(2)), Some(1));
@@ -173,7 +191,7 @@ mod tests {
         );
         Host::start_streams(&mut sim, h1, Time::from_ms(1));
         sim.run(1_000_000);
-        let pi_before = sim.node_as::<Controller>(c).unwrap().stats.packet_ins;
+        let pi_before = sim.node_as::<Controller>(c).unwrap().stats().packet_ins;
         // A second stream (different ports) needs one more reactive
         // install but no flooding (locations known).
         sim.node_as_mut::<Host>(h1).unwrap().add_stream(
@@ -190,6 +208,10 @@ mod tests {
         sim.run(1_000_000);
         assert_eq!(sim.node_as::<Host>(h2).unwrap().stats.udp_rx, 10);
         let ctl = sim.node_as::<Controller>(c).unwrap();
-        assert_eq!(ctl.stats.packet_ins, pi_before + 1, "exactly one more miss");
+        assert_eq!(
+            ctl.stats().packet_ins,
+            pi_before + 1,
+            "exactly one more miss"
+        );
     }
 }

@@ -35,7 +35,7 @@ pub mod steering;
 
 pub use crate::core::{Controller, ControllerStats};
 pub use component::{Component, Ctl, PacketInEvent};
-pub use discovery::{Discovery, DiscoveredLink};
+pub use discovery::{DiscoveredLink, Discovery};
 pub use l2::L2Learning;
 pub use stats::StatsCollector;
 pub use steering::{SteeringMode, SteeringRule, TrafficSteering};

@@ -1,5 +1,5 @@
 //! Flow/port statistics collection (POX's `openflow.of_01` stats plumbing
-//! + what ESCAPE's orchestration layer uses for its "global network and
+//! plus what ESCAPE's orchestration layer uses for its "global network and
 //! resource view").
 //!
 //! The component records every stats reply the controller receives;
@@ -8,47 +8,95 @@
 
 use crate::component::{Component, Ctl};
 use escape_openflow::{port, FlowStats, Match, OfMessage, PortDesc, PortStats};
+use escape_telemetry::{Counter, Registry};
 use std::collections::HashMap;
 
 /// Latest statistics per datapath.
-#[derive(Default)]
 pub struct StatsCollector {
     pub flows: HashMap<u64, Vec<FlowStats>>,
     pub ports: HashMap<u64, Vec<PortStats>>,
-    pub polls_sent: u64,
-    pub replies_seen: u64,
+    /// Poll requests sent (`pox.stats.polls_sent`).
+    polls_ctr: Counter,
+    /// Stats replies recorded (`pox.stats.replies_seen`).
+    replies_ctr: Counter,
     /// When true, a poll sweep is issued on every connection-up/flush.
     pub poll_on_flush: bool,
 }
 
+impl Default for StatsCollector {
+    fn default() -> Self {
+        let reg = Registry::new();
+        StatsCollector {
+            flows: HashMap::new(),
+            ports: HashMap::new(),
+            polls_ctr: reg.counter("pox.stats.polls_sent"),
+            replies_ctr: reg.counter("pox.stats.replies_seen"),
+            poll_on_flush: false,
+        }
+    }
+}
+
 impl StatsCollector {
     pub fn new() -> StatsCollector {
-        StatsCollector { poll_on_flush: true, ..Default::default() }
+        StatsCollector {
+            poll_on_flush: true,
+            ..Default::default()
+        }
+    }
+
+    /// Poll requests sent so far.
+    pub fn polls_sent(&self) -> u64 {
+        self.polls_ctr.get()
+    }
+
+    /// Stats replies recorded so far.
+    pub fn replies_seen(&self) -> u64 {
+        self.replies_ctr.get()
     }
 
     /// Requests flow + port stats from every connected switch.
     pub fn poll_all(&mut self, ctl: &mut Ctl<'_, '_>) {
         for dpid in ctl.dpids() {
-            self.polls_sent += 2;
-            ctl.send(dpid, OfMessage::FlowStatsRequest { match_: Match::any(), out_port: port::NONE });
-            ctl.send(dpid, OfMessage::PortStatsRequest { port_no: port::NONE });
+            self.polls_ctr.add(2);
+            ctl.send(
+                dpid,
+                OfMessage::FlowStatsRequest {
+                    match_: Match::any(),
+                    out_port: port::NONE,
+                },
+            );
+            ctl.send(
+                dpid,
+                OfMessage::PortStatsRequest {
+                    port_no: port::NONE,
+                },
+            );
         }
     }
 
     /// Total packets counted across all flows of a datapath.
     pub fn total_flow_packets(&self, dpid: u64) -> u64 {
-        self.flows.get(&dpid).map_or(0, |v| v.iter().map(|f| f.packet_count).sum())
+        self.flows
+            .get(&dpid)
+            .map_or(0, |v| v.iter().map(|f| f.packet_count).sum())
     }
 
     /// Aggregate rx packets across all ports of a datapath.
     pub fn total_rx_packets(&self, dpid: u64) -> u64 {
-        self.ports.get(&dpid).map_or(0, |v| v.iter().map(|p| p.rx_packets).sum())
+        self.ports
+            .get(&dpid)
+            .map_or(0, |v| v.iter().map(|p| p.rx_packets).sum())
     }
 }
 
 impl Component for StatsCollector {
     fn name(&self) -> &'static str {
         "stats_collector"
+    }
+
+    fn attach_telemetry(&mut self, registry: &Registry) {
+        self.polls_ctr = registry.counter("pox.stats.polls_sent");
+        self.replies_ctr = registry.counter("pox.stats.replies_seen");
     }
 
     fn on_connection_up(&mut self, ctl: &mut Ctl<'_, '_>, _dpid: u64, _ports: &[PortDesc]) {
@@ -60,11 +108,11 @@ impl Component for StatsCollector {
     fn on_stats(&mut self, dpid: u64, msg: &OfMessage) {
         match msg {
             OfMessage::FlowStatsReply(v) => {
-                self.replies_seen += 1;
+                self.replies_ctr.inc();
                 self.flows.insert(dpid, v.clone());
             }
             OfMessage::PortStatsReply(v) => {
-                self.replies_seen += 1;
+                self.replies_ctr.inc();
                 self.ports.insert(dpid, v.clone());
             }
             _ => {}
@@ -100,7 +148,9 @@ mod tests {
         sim.connect((sw, 1), (h2, 0), LinkConfig::lan());
         let c = sim.add_node("c0", 0, Box::new(Controller::new()));
         let conn = sim.ctrl_connect(sw, c, Time::from_us(100));
-        sim.node_as_mut::<Switch>(sw).unwrap().attach_controller(conn);
+        sim.node_as_mut::<Switch>(sw)
+            .unwrap()
+            .attach_controller(conn);
         {
             let ctl = sim.node_as_mut::<Controller>(c).unwrap();
             ctl.register_switch(conn);
@@ -130,8 +180,12 @@ mod tests {
 
         let ctl = sim.node_as::<Controller>(c).unwrap();
         let sc = ctl.component_as::<StatsCollector>().unwrap();
-        assert!(sc.replies_seen >= 2, "{} replies", sc.replies_seen);
-        assert!(sc.total_rx_packets(1) >= 10, "port counters live: {}", sc.total_rx_packets(1));
+        assert!(sc.replies_seen() >= 2, "{} replies", sc.replies_seen());
+        assert!(
+            sc.total_rx_packets(1) >= 10,
+            "port counters live: {}",
+            sc.total_rx_packets(1)
+        );
         assert!(sc.total_flow_packets(1) > 0, "flow counters live");
         assert!(!sc.flows.get(&1).unwrap().is_empty());
     }

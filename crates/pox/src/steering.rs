@@ -10,6 +10,7 @@
 
 use crate::component::{Component, Ctl, PacketInEvent};
 use escape_openflow::{switch::NO_BUFFER, Action, Match, OfMessage, PortDesc};
+use escape_telemetry::{Counter, Registry};
 use std::collections::HashMap;
 
 /// Install strategy for steering rules.
@@ -45,22 +46,35 @@ pub struct TrafficSteering {
     installed: HashMap<u64, Vec<SteeringRule>>,
     /// Rules awaiting deletion from switches at the next flush.
     pending_removal: Vec<SteeringRule>,
-    /// Count of rules installed reactively on a miss.
-    pub reactive_installs: u64,
-    /// Count of rules pushed proactively.
-    pub proactive_installs: u64,
+    /// Rules installed reactively on a miss (`pox.steering.reactive_installs`).
+    reactive_ctr: Counter,
+    /// Rules pushed proactively (`pox.steering.proactive_installs`).
+    proactive_ctr: Counter,
 }
 
 impl TrafficSteering {
     pub fn new(mode: SteeringMode) -> TrafficSteering {
+        // A private registry until the controller re-homes the counters
+        // (handles outlive the registry, so counts are never lost).
+        let reg = Registry::new();
         TrafficSteering {
             mode,
             queued: Vec::new(),
             installed: HashMap::new(),
             pending_removal: Vec::new(),
-            reactive_installs: 0,
-            proactive_installs: 0,
+            reactive_ctr: reg.counter("pox.steering.reactive_installs"),
+            proactive_ctr: reg.counter("pox.steering.proactive_installs"),
         }
+    }
+
+    /// Count of rules installed reactively on a miss.
+    pub fn reactive_installs(&self) -> u64 {
+        self.reactive_ctr.get()
+    }
+
+    /// Count of rules pushed proactively.
+    pub fn proactive_installs(&self) -> u64 {
+        self.proactive_ctr.get()
     }
 
     /// Queues rules for installation (or reactive arming).
@@ -115,7 +129,7 @@ impl TrafficSteering {
         let mut n = 0;
         for r in self.queued.drain(..) {
             if Self::push_rule(ctl, &r, NO_BUFFER) {
-                self.proactive_installs += 1;
+                self.proactive_ctr.inc();
                 n += 1;
                 self.installed.entry(r.chain_id).or_default().push(r);
             } else {
@@ -130,6 +144,11 @@ impl TrafficSteering {
 impl Component for TrafficSteering {
     fn name(&self) -> &'static str {
         "traffic_steering"
+    }
+
+    fn attach_telemetry(&mut self, registry: &Registry) {
+        self.reactive_ctr = registry.counter("pox.steering.reactive_installs");
+        self.proactive_ctr = registry.counter("pox.steering.proactive_installs");
     }
 
     /// Called both on real connection-up and on the controller's FLUSH
@@ -159,7 +178,7 @@ impl Component for TrafficSteering {
         // round-trip also punt, and each re-install (idempotent on the
         // switch — same match and priority) releases its buffered packet.
         Self::push_rule(ctl, &r, ev.buffer_id);
-        self.reactive_installs += 1;
+        self.reactive_ctr.inc();
         let chain = self.installed.entry(r.chain_id).or_default();
         if !chain
             .iter()
@@ -176,7 +195,10 @@ impl Component for TrafficSteering {
         if self.mode != SteeringMode::Reactive {
             return;
         }
-        if let OfMessage::FlowRemoved { match_, priority, .. } = msg {
+        if let OfMessage::FlowRemoved {
+            match_, priority, ..
+        } = msg
+        {
             for rules in self.installed.values_mut() {
                 if let Some(pos) = rules
                     .iter()
@@ -205,7 +227,14 @@ mod tests {
     use std::net::Ipv4Addr;
 
     /// h1 -- s1 -- h2 with steering rules forwarding by IP.
-    fn rig(mode: SteeringMode) -> (Sim, escape_netem::NodeId, escape_netem::NodeId, escape_netem::NodeId) {
+    fn rig(
+        mode: SteeringMode,
+    ) -> (
+        Sim,
+        escape_netem::NodeId,
+        escape_netem::NodeId,
+        escape_netem::NodeId,
+    ) {
         let mut sim = Sim::new(9);
         let sw = sim.add_node("s1", 2, Box::new(Switch::new(1, 2)));
         let h1 = sim.add_node(
@@ -222,15 +251,21 @@ mod tests {
         sim.connect((sw, 1), (h2, 0), LinkConfig::lan());
         let c = sim.add_node("c0", 0, Box::new(Controller::new()));
         let conn = sim.ctrl_connect(sw, c, Time::from_us(200));
-        sim.node_as_mut::<Switch>(sw).unwrap().attach_controller(conn);
+        sim.node_as_mut::<Switch>(sw)
+            .unwrap()
+            .attach_controller(conn);
         {
             let ctl = sim.node_as_mut::<Controller>(c).unwrap();
             ctl.register_switch(conn);
             ctl.add_component(Box::new(TrafficSteering::new(mode)));
         }
         // Static ARP both ways: steering setups pre-provision ARP.
-        sim.node_as_mut::<Host>(h1).unwrap().static_arp(Ipv4Addr::new(10, 0, 0, 2), MacAddr::from_id(2));
-        sim.node_as_mut::<Host>(h2).unwrap().static_arp(Ipv4Addr::new(10, 0, 0, 1), MacAddr::from_id(1));
+        sim.node_as_mut::<Host>(h1)
+            .unwrap()
+            .static_arp(Ipv4Addr::new(10, 0, 0, 2), MacAddr::from_id(2));
+        sim.node_as_mut::<Host>(h2)
+            .unwrap()
+            .static_arp(Ipv4Addr::new(10, 0, 0, 1), MacAddr::from_id(1));
         Controller::start(&mut sim, c);
         sim.run(100);
         (sim, h1, h2, c)
@@ -264,14 +299,16 @@ mod tests {
         let (mut sim, h1, h2, c) = rig(SteeringMode::Proactive);
         {
             let ctl = sim.node_as_mut::<Controller>(c).unwrap();
-            ctl.component_as_mut::<TrafficSteering>().unwrap().queue_rules(rules_for_chain());
+            ctl.component_as_mut::<TrafficSteering>()
+                .unwrap()
+                .queue_rules(rules_for_chain());
         }
         Controller::request_flush(&mut sim, c, Time::ZERO);
         sim.run(100);
         {
             let ctl = sim.node_as::<Controller>(c).unwrap();
             let st = ctl.component_as::<TrafficSteering>().unwrap();
-            assert_eq!(st.proactive_installs, 2);
+            assert_eq!(st.proactive_installs(), 2);
             assert_eq!(st.pending(), 0);
             assert_eq!(st.installed_for(1), 2);
         }
@@ -286,7 +323,7 @@ mod tests {
         Host::start_streams(&mut sim, h1, Time::from_ms(1));
         sim.run(100_000);
         assert_eq!(sim.node_as::<Host>(h2).unwrap().stats.udp_rx, 10);
-        assert_eq!(sim.node_as::<Controller>(c).unwrap().stats.packet_ins, 0);
+        assert_eq!(sim.node_as::<Controller>(c).unwrap().stats().packet_ins, 0);
     }
 
     #[test]
@@ -294,7 +331,9 @@ mod tests {
         let (mut sim, h1, h2, c) = rig(SteeringMode::Reactive);
         {
             let ctl = sim.node_as_mut::<Controller>(c).unwrap();
-            ctl.component_as_mut::<TrafficSteering>().unwrap().queue_rules(rules_for_chain());
+            ctl.component_as_mut::<TrafficSteering>()
+                .unwrap()
+                .queue_rules(rules_for_chain());
         }
         sim.node_as_mut::<Host>(h1).unwrap().add_stream(
             Ipv4Addr::new(10, 0, 0, 2),
@@ -311,9 +350,9 @@ mod tests {
         let st = ctl.component_as::<TrafficSteering>().unwrap();
         // Packets in flight during the control round-trip also punt; all
         // are released, and installs stop once the flow serves traffic.
-        assert!(st.reactive_installs >= 1);
-        assert!(ctl.stats.packet_ins < 10, "flow took over after install");
-        assert_eq!(ctl.stats.unhandled_packet_ins, 0);
+        assert!(st.reactive_installs() >= 1);
+        assert!(ctl.stats().packet_ins < 10, "flow took over after install");
+        assert_eq!(ctl.stats().unhandled_packet_ins, 0);
     }
 
     #[test]
@@ -321,17 +360,26 @@ mod tests {
         let (mut sim, _h1, _h2, c) = rig(SteeringMode::Proactive);
         {
             let ctl = sim.node_as_mut::<Controller>(c).unwrap();
-            ctl.component_as_mut::<TrafficSteering>().unwrap().queue_rules(rules_for_chain());
+            ctl.component_as_mut::<TrafficSteering>()
+                .unwrap()
+                .queue_rules(rules_for_chain());
         }
         Controller::request_flush(&mut sim, c, Time::ZERO);
         sim.run(100);
         let removed = {
             let ctl = sim.node_as_mut::<Controller>(c).unwrap();
-            ctl.component_as_mut::<TrafficSteering>().unwrap().remove_chain(1)
+            ctl.component_as_mut::<TrafficSteering>()
+                .unwrap()
+                .remove_chain(1)
         };
         assert_eq!(removed.len(), 2);
         let ctl = sim.node_as::<Controller>(c).unwrap();
-        assert_eq!(ctl.component_as::<TrafficSteering>().unwrap().installed_for(1), 0);
+        assert_eq!(
+            ctl.component_as::<TrafficSteering>()
+                .unwrap()
+                .installed_for(1),
+            0
+        );
     }
 
     #[test]
@@ -349,7 +397,7 @@ mod tests {
         Host::start_streams(&mut sim, h1, Time::from_ms(1));
         sim.run(100_000);
         let ctl = sim.node_as::<Controller>(c).unwrap();
-        assert_eq!(ctl.stats.unhandled_packet_ins, ctl.stats.packet_ins);
-        assert!(ctl.stats.packet_ins >= 1);
+        assert_eq!(ctl.stats().unhandled_packet_ins, ctl.stats().packet_ins);
+        assert!(ctl.stats().packet_ins >= 1);
     }
 }

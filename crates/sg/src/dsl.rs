@@ -40,7 +40,10 @@ impl std::fmt::Display for DslError {
 impl std::error::Error for DslError {}
 
 fn err(line: usize, message: impl Into<String>) -> DslError {
-    DslError { line, message: message.into() }
+    DslError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Splits `k=v` options out of a token list; returns (plain tokens, kv).
@@ -60,14 +63,24 @@ fn get_opt<'a>(kv: &'a [(String, String)], key: &str) -> Option<&'a str> {
     kv.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
 }
 
-fn parse_f64(line: usize, kv: &[(String, String)], key: &str, default: f64) -> Result<f64, DslError> {
+fn parse_f64(
+    line: usize,
+    kv: &[(String, String)],
+    key: &str,
+    default: f64,
+) -> Result<f64, DslError> {
     match get_opt(kv, key) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| err(line, format!("bad {key}={v:?}"))),
     }
 }
 
-fn parse_u64(line: usize, kv: &[(String, String)], key: &str, default: u64) -> Result<u64, DslError> {
+fn parse_u64(
+    line: usize,
+    kv: &[(String, String)],
+    key: &str,
+    default: u64,
+) -> Result<u64, DslError> {
     match get_opt(kv, key) {
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| err(line, format!("bad {key}={v:?}"))),
@@ -85,7 +98,9 @@ fn parse_delay_us(line: usize, v: &str) -> Result<u64, DslError> {
     } else {
         (v, 1)
     };
-    let base: f64 = num.parse().map_err(|_| err(line, format!("bad delay {v:?}")))?;
+    let base: f64 = num
+        .parse()
+        .map_err(|_| err(line, format!("bad delay {v:?}")))?;
     Ok((base * mult as f64) as u64)
 }
 
@@ -118,7 +133,9 @@ pub fn parse_topology(src: &str) -> Result<ResourceTopology, DslError> {
                 }
             }
             "container" => {
-                let name = plain.first().ok_or_else(|| err(line, "container needs a name"))?;
+                let name = plain
+                    .first()
+                    .ok_or_else(|| err(line, "container needs a name"))?;
                 let cpu = parse_f64(line, &kv, "cpu", 1.0)?;
                 let mem = parse_u64(line, &kv, "mem", 1024)?;
                 t.add_container(name.clone(), cpu, mem);

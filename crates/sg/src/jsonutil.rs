@@ -1,0 +1,41 @@
+//! Field-extraction helpers shared by the JSON loaders in [`crate::sg`]
+//! and [`crate::topo`]. All errors name the missing/mistyped field so
+//! hand-edited files fail with actionable messages.
+
+use escape_json::Value;
+
+pub(crate) fn str_field(v: &Value, key: &str, ctx: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{ctx}: missing or non-string field {key:?}"))
+}
+
+pub(crate) fn f64_field(v: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{ctx}: missing or non-numeric field {key:?}"))
+}
+
+pub(crate) fn u64_field(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{ctx}: missing or non-integer field {key:?}"))
+}
+
+pub(crate) fn arr_field<'a>(v: &'a Value, key: &str, ctx: &str) -> Result<&'a [Value], String> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{ctx}: missing or non-array field {key:?}"))
+}
+
+pub(crate) fn str_items(items: &[Value], ctx: &str) -> Result<Vec<String>, String> {
+    items
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{ctx}: expected an array of strings"))
+        })
+        .collect()
+}

@@ -13,10 +13,11 @@
 //!   requirement on a sub-graph" of the paper);
 //! * [`dsl`] — the textual format standing in for the GUI: a line-based
 //!   language describing both topologies and service graphs;
-//! * JSON (de)serialization on every model via serde, the machine
-//!   interchange format.
+//! * JSON (de)serialization on every model via `escape-json`, the
+//!   machine interchange format.
 
 pub mod dsl;
+mod jsonutil;
 pub mod sg;
 pub mod topo;
 

@@ -1,10 +1,11 @@
 //! The abstract service graph: VNF requests and chains.
 
-use serde::{Deserialize, Serialize};
+use crate::jsonutil::{arr_field, f64_field, str_field, str_items, u64_field};
+use escape_json::Value;
 use std::collections::HashSet;
 
 /// A requested VNF instance: which catalog type, how much resource.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VnfReq {
     /// Instance name, unique within the service graph.
     pub name: String,
@@ -15,19 +16,19 @@ pub struct VnfReq {
     /// Memory requested (MB).
     pub mem_mb: u64,
     /// Catalog parameter overrides for this instance (e.g. firewall
-    /// rules), forwarded verbatim to `initiateVNF`.
-    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    /// rules), forwarded verbatim to `initiateVNF`. Omitted from the
+    /// JSON form when empty.
     pub params: Vec<(String, String)>,
     /// Raw Click configuration overriding the catalog template — the
     /// "develop your own VNF" path. Sent as `initiateVNF`'s
     /// `click-config`; `vnf_type` then only labels the instance.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
+    /// Omitted from the JSON form when absent.
     pub click_config: Option<String>,
 }
 
 /// One service chain: an ordered walk SAP → VNF… → SAP with end-to-end
 /// requirements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Chain {
     /// Chain name, unique within the service graph.
     pub name: String,
@@ -41,7 +42,7 @@ pub struct Chain {
 
 /// The abstract service description the service layer hands to the
 /// orchestrator (what the paper's SG editor produces).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServiceGraph {
     /// SAP names referenced by chains; must exist in the topology.
     pub saps: Vec<String>,
@@ -77,7 +78,10 @@ impl ServiceGraph {
     /// Builder: give the most recently added VNF a raw Click config
     /// instead of a catalog template. Panics if no VNF was added yet.
     pub fn with_click_config(mut self, config: &str) -> Self {
-        let v = self.vnfs.last_mut().expect("with_click_config needs a preceding vnf()");
+        let v = self
+            .vnfs
+            .last_mut()
+            .expect("with_click_config needs a preceding vnf()");
         v.click_config = Some(config.to_string());
         self
     }
@@ -85,8 +89,14 @@ impl ServiceGraph {
     /// Builder: set catalog parameter overrides on the most recently
     /// added VNF. Panics if no VNF was added yet.
     pub fn with_params(mut self, params: &[(&str, &str)]) -> Self {
-        let v = self.vnfs.last_mut().expect("with_params needs a preceding vnf()");
-        v.params = params.iter().map(|(k, w)| (k.to_string(), w.to_string())).collect();
+        let v = self
+            .vnfs
+            .last_mut()
+            .expect("with_params needs a preceding vnf()");
+        v.params = params
+            .iter()
+            .map(|(k, w)| (k.to_string(), w.to_string()))
+            .collect();
         self
     }
 
@@ -151,7 +161,10 @@ impl ServiceGraph {
             }
             for mid in &c.hops[1..c.hops.len() - 1] {
                 if !vnfs.contains(mid.as_str()) {
-                    return Err(format!("chain {:?} hop {:?} is not a declared VNF", c.name, mid));
+                    return Err(format!(
+                        "chain {:?} hop {:?} is not a declared VNF",
+                        c.name, mid
+                    ));
                 }
             }
             if c.bandwidth_mbps <= 0.0 {
@@ -170,12 +183,123 @@ impl ServiceGraph {
 
     /// JSON serialization (the SG editor's save format).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("service graph serializes")
+        Value::obj()
+            .set("saps", self.saps.clone())
+            .set(
+                "vnfs",
+                Value::Arr(self.vnfs.iter().map(VnfReq::to_value).collect()),
+            )
+            .set(
+                "chains",
+                Value::Arr(self.chains.iter().map(Chain::to_value).collect()),
+            )
+            .to_string_pretty()
     }
 
     /// JSON deserialization.
     pub fn from_json(s: &str) -> Result<ServiceGraph, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
+        let v = Value::parse(s)?;
+        let saps = str_items(arr_field(&v, "saps", "service graph")?, "saps")?;
+        let vnfs = arr_field(&v, "vnfs", "service graph")?
+            .iter()
+            .map(VnfReq::from_value)
+            .collect::<Result<_, _>>()?;
+        let chains = arr_field(&v, "chains", "service graph")?
+            .iter()
+            .map(Chain::from_value)
+            .collect::<Result<_, _>>()?;
+        Ok(ServiceGraph { saps, vnfs, chains })
+    }
+}
+
+impl VnfReq {
+    fn to_value(&self) -> Value {
+        let mut v = Value::obj()
+            .set("name", self.name.as_str())
+            .set("vnf_type", self.vnf_type.as_str())
+            .set("cpu", self.cpu)
+            .set("mem_mb", self.mem_mb);
+        if !self.params.is_empty() {
+            v = v.set(
+                "params",
+                Value::Arr(
+                    self.params
+                        .iter()
+                        .map(|(k, w)| Value::Arr(vec![k.as_str().into(), w.as_str().into()]))
+                        .collect(),
+                ),
+            );
+        }
+        if let Some(cfg) = &self.click_config {
+            v = v.set("click_config", cfg.as_str());
+        }
+        v
+    }
+
+    fn from_value(v: &Value) -> Result<VnfReq, String> {
+        let name = str_field(v, "name", "vnf")?;
+        let ctx = format!("vnf {name:?}");
+        let params = match v.get("params") {
+            None => Vec::new(),
+            Some(p) => p
+                .as_arr()
+                .ok_or_else(|| format!("{ctx}: params must be an array"))?
+                .iter()
+                .map(|pair| {
+                    let kv = pair.as_arr().filter(|kv| kv.len() == 2);
+                    match kv.map(|kv| (kv[0].as_str(), kv[1].as_str())) {
+                        Some((Some(k), Some(w))) => Ok((k.to_string(), w.to_string())),
+                        _ => Err(format!("{ctx}: each param must be a [key, value] pair")),
+                    }
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let click_config = match v.get("click_config") {
+            None => None,
+            Some(c) if c.is_null() => None,
+            Some(c) => Some(
+                c.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("{ctx}: click_config must be a string"))?,
+            ),
+        };
+        Ok(VnfReq {
+            vnf_type: str_field(v, "vnf_type", &ctx)?,
+            cpu: f64_field(v, "cpu", &ctx)?,
+            mem_mb: u64_field(v, "mem_mb", &ctx)?,
+            params,
+            click_config,
+            name,
+        })
+    }
+}
+
+impl Chain {
+    fn to_value(&self) -> Value {
+        Value::obj()
+            .set("name", self.name.as_str())
+            .set("hops", self.hops.clone())
+            .set("bandwidth_mbps", self.bandwidth_mbps)
+            .set("max_delay_us", self.max_delay_us)
+    }
+
+    fn from_value(v: &Value) -> Result<Chain, String> {
+        let name = str_field(v, "name", "chain")?;
+        let ctx = format!("chain {name:?}");
+        let max_delay_us = match v.get("max_delay_us") {
+            None => None,
+            Some(d) if d.is_null() => None,
+            Some(d) => Some(
+                d.as_u64()
+                    .ok_or_else(|| format!("{ctx}: max_delay_us must be an integer"))?,
+            ),
+        };
+        Ok(Chain {
+            hops: str_items(arr_field(v, "hops", &ctx)?, &ctx)?,
+            bandwidth_mbps: f64_field(v, "bandwidth_mbps", &ctx)?,
+            max_delay_us,
+            name,
+        })
     }
 }
 
@@ -201,10 +325,11 @@ mod tests {
 
     #[test]
     fn chains_must_terminate_at_saps() {
-        let g = ServiceGraph::new()
-            .sap("a")
-            .vnf("v", "t", 1.0, 1)
-            .chain("c", &["v", "a"], 1.0, None);
+        let g =
+            ServiceGraph::new()
+                .sap("a")
+                .vnf("v", "t", 1.0, 1)
+                .chain("c", &["v", "a"], 1.0, None);
         assert!(g.validate().unwrap_err().contains("SAP"));
     }
 
@@ -260,7 +385,10 @@ mod tests {
 
     #[test]
     fn direct_sap_to_sap_chain_is_legal() {
-        let g = ServiceGraph::new().sap("a").sap("b").chain("direct", &["a", "b"], 10.0, None);
+        let g = ServiceGraph::new()
+            .sap("a")
+            .sap("b")
+            .chain("direct", &["a", "b"], 10.0, None);
         g.validate().unwrap();
     }
 

@@ -1,11 +1,13 @@
 //! The resource topology: the orchestrator's view of the infrastructure.
 
-use serde::{Deserialize, Serialize};
+use crate::jsonutil::{arr_field, f64_field, str_field, u64_field};
+use escape_json::Value;
 use std::collections::{BinaryHeap, HashMap};
 
-/// What a topology node is.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+/// What a topology node is. In the JSON form this is a `"kind"` tag
+/// (`"switch"` / `"container"` / `"sap"`) with the container capacity
+/// fields inlined next to it.
+#[derive(Debug, Clone, PartialEq)]
 pub enum TopoNodeKind {
     /// An OpenFlow switch.
     Switch,
@@ -16,15 +18,14 @@ pub enum TopoNodeKind {
 }
 
 /// One topology node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TopoNode {
     pub name: String,
-    #[serde(flatten)]
     pub kind: TopoNodeKind,
 }
 
 /// One bidirectional link.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TopoLink {
     pub a: String,
     pub b: String,
@@ -33,7 +34,7 @@ pub struct TopoLink {
 }
 
 /// The infrastructure topology.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResourceTopology {
     pub nodes: Vec<TopoNode>,
     pub links: Vec<TopoLink>,
@@ -47,20 +48,28 @@ impl ResourceTopology {
 
     /// Adds a switch.
     pub fn add_switch(&mut self, name: impl Into<String>) -> &mut Self {
-        self.nodes.push(TopoNode { name: name.into(), kind: TopoNodeKind::Switch });
+        self.nodes.push(TopoNode {
+            name: name.into(),
+            kind: TopoNodeKind::Switch,
+        });
         self
     }
 
     /// Adds a VNF container with capacity.
     pub fn add_container(&mut self, name: impl Into<String>, cpu: f64, mem_mb: u64) -> &mut Self {
-        self.nodes
-            .push(TopoNode { name: name.into(), kind: TopoNodeKind::Container { cpu, mem_mb } });
+        self.nodes.push(TopoNode {
+            name: name.into(),
+            kind: TopoNodeKind::Container { cpu, mem_mb },
+        });
         self
     }
 
     /// Adds a SAP.
     pub fn add_sap(&mut self, name: impl Into<String>) -> &mut Self {
-        self.nodes.push(TopoNode { name: name.into(), kind: TopoNodeKind::Sap });
+        self.nodes.push(TopoNode {
+            name: name.into(),
+            kind: TopoNodeKind::Sap,
+        });
         self
     }
 
@@ -72,7 +81,12 @@ impl ResourceTopology {
         bandwidth_mbps: f64,
         delay_us: u64,
     ) -> &mut Self {
-        self.links.push(TopoLink { a: a.into(), b: b.into(), bandwidth_mbps, delay_us });
+        self.links.push(TopoLink {
+            a: a.into(),
+            b: b.into(),
+            bandwidth_mbps,
+            delay_us,
+        });
         self
     }
 
@@ -83,17 +97,23 @@ impl ResourceTopology {
 
     /// All container nodes.
     pub fn containers(&self) -> impl Iterator<Item = &TopoNode> {
-        self.nodes.iter().filter(|n| matches!(n.kind, TopoNodeKind::Container { .. }))
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, TopoNodeKind::Container { .. }))
     }
 
     /// All switch nodes.
     pub fn switches(&self) -> impl Iterator<Item = &TopoNode> {
-        self.nodes.iter().filter(|n| matches!(n.kind, TopoNodeKind::Switch))
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, TopoNodeKind::Switch))
     }
 
     /// All SAPs.
     pub fn saps(&self) -> impl Iterator<Item = &TopoNode> {
-        self.nodes.iter().filter(|n| matches!(n.kind, TopoNodeKind::Sap))
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, TopoNodeKind::Sap))
     }
 
     /// Neighbors of a node with the connecting link.
@@ -189,12 +209,80 @@ impl ResourceTopology {
 
     /// JSON serialization (the MiniEdit-substitute file format).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("topology serializes")
+        Value::obj()
+            .set(
+                "nodes",
+                Value::Arr(self.nodes.iter().map(TopoNode::to_value).collect()),
+            )
+            .set(
+                "links",
+                Value::Arr(self.links.iter().map(TopoLink::to_value).collect()),
+            )
+            .to_string_pretty()
     }
 
     /// JSON deserialization.
     pub fn from_json(s: &str) -> Result<ResourceTopology, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
+        let v = Value::parse(s)?;
+        let nodes = arr_field(&v, "nodes", "topology")?
+            .iter()
+            .map(TopoNode::from_value)
+            .collect::<Result<_, _>>()?;
+        let links = arr_field(&v, "links", "topology")?
+            .iter()
+            .map(TopoLink::from_value)
+            .collect::<Result<_, _>>()?;
+        Ok(ResourceTopology { nodes, links })
+    }
+}
+
+impl TopoNode {
+    fn to_value(&self) -> Value {
+        let v = Value::obj().set("name", self.name.as_str());
+        match &self.kind {
+            TopoNodeKind::Switch => v.set("kind", "switch"),
+            TopoNodeKind::Container { cpu, mem_mb } => v
+                .set("kind", "container")
+                .set("cpu", *cpu)
+                .set("mem_mb", *mem_mb),
+            TopoNodeKind::Sap => v.set("kind", "sap"),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<TopoNode, String> {
+        let name = str_field(v, "name", "node")?;
+        let ctx = format!("node {name:?}");
+        let kind = match str_field(v, "kind", &ctx)?.as_str() {
+            "switch" => TopoNodeKind::Switch,
+            "sap" => TopoNodeKind::Sap,
+            "container" => TopoNodeKind::Container {
+                cpu: f64_field(v, "cpu", &ctx)?,
+                mem_mb: u64_field(v, "mem_mb", &ctx)?,
+            },
+            other => return Err(format!("{ctx}: unknown kind {other:?}")),
+        };
+        Ok(TopoNode { name, kind })
+    }
+}
+
+impl TopoLink {
+    fn to_value(&self) -> Value {
+        Value::obj()
+            .set("a", self.a.as_str())
+            .set("b", self.b.as_str())
+            .set("bandwidth_mbps", self.bandwidth_mbps)
+            .set("delay_us", self.delay_us)
+    }
+
+    fn from_value(v: &Value) -> Result<TopoLink, String> {
+        let a = str_field(v, "a", "link")?;
+        let ctx = format!("link from {a:?}");
+        Ok(TopoLink {
+            b: str_field(v, "b", &ctx)?,
+            bandwidth_mbps: f64_field(v, "bandwidth_mbps", &ctx)?,
+            delay_us: u64_field(v, "delay_us", &ctx)?,
+            a,
+        })
     }
 }
 

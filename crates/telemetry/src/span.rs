@@ -1,0 +1,185 @@
+//! Lightweight span tracing.
+//!
+//! A [`Tracer`] records named spans with explicit, caller-supplied
+//! timestamps — in ESCAPE-RS that is the netem virtual clock, so traces
+//! of a simulation are bit-identical across runs with the same seed.
+//! Spans nest: the span open at `enter` time becomes the parent. Every
+//! finished span feeds two registry metrics,
+//! `span.duration_ns{span="<name>"}` (histogram) and
+//! `span.count{span="<name>"}` (counter), so snapshots and reports see
+//! span activity without walking the trace.
+
+use crate::{Registry, DURATION_BOUNDS_NS};
+use escape_json::Value;
+
+/// One span in a [`Tracer`]'s trace buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    pub name: String,
+    /// Index of the parent span in [`Tracer::records`], if nested.
+    pub parent: Option<usize>,
+    pub start_ns: u64,
+    /// `None` while the span is still open.
+    pub end_ns: Option<u64>,
+}
+
+impl SpanRecord {
+    pub fn duration_ns(&self) -> Option<u64> {
+        self.end_ns.map(|e| e.saturating_sub(self.start_ns))
+    }
+}
+
+/// Handle returned by [`Tracer::enter`]; pass back to [`Tracer::exit`].
+/// Deliberately not `Copy`/`Clone`: each span ends exactly once.
+#[derive(Debug)]
+#[must_use = "exit the span with Tracer::exit"]
+pub struct SpanHandle(usize);
+
+/// Span recorder; one per simulation environment.
+pub struct Tracer {
+    registry: Registry,
+    records: Vec<SpanRecord>,
+    stack: Vec<usize>,
+}
+
+impl Tracer {
+    pub fn new(registry: Registry) -> Tracer {
+        Tracer {
+            registry,
+            records: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Opens a span at `now_ns`, nested under the currently open span.
+    pub fn enter(&mut self, name: &str, now_ns: u64) -> SpanHandle {
+        let idx = self.records.len();
+        self.records.push(SpanRecord {
+            name: name.to_string(),
+            parent: self.stack.last().copied(),
+            start_ns: now_ns,
+            end_ns: None,
+        });
+        self.stack.push(idx);
+        SpanHandle(idx)
+    }
+
+    /// Closes a span at `now_ns` and records its duration metrics.
+    /// Spans may be exited out of LIFO order (interleaved operations);
+    /// parentage is decided at `enter` time.
+    pub fn exit(&mut self, handle: SpanHandle, now_ns: u64) {
+        let idx = handle.0;
+        if let Some(pos) = self.stack.iter().rposition(|&i| i == idx) {
+            self.stack.remove(pos);
+        }
+        let rec = &mut self.records[idx];
+        debug_assert!(rec.end_ns.is_none(), "span {:?} exited twice", rec.name);
+        rec.end_ns = Some(now_ns.max(rec.start_ns));
+        let duration = rec.end_ns.unwrap() - rec.start_ns;
+        let name = rec.name.clone();
+        self.registry
+            .histogram_with("span.duration_ns", &[("span", &name)], DURATION_BOUNDS_NS)
+            .observe(duration);
+        self.registry
+            .counter_with("span.count", &[("span", &name)])
+            .inc();
+    }
+
+    /// All spans recorded so far (open and closed), in enter order.
+    pub fn records(&self) -> &[SpanRecord] {
+        &self.records
+    }
+
+    /// Closed spans with the given name.
+    pub fn finished<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> + 'a {
+        self.records
+            .iter()
+            .filter(move |r| r.name == name && r.end_ns.is_some())
+    }
+
+    /// Nesting depth of the currently open span chain.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// JSON dump of the trace: one object per span with name, parent
+    /// index, timestamps and duration.
+    pub fn json_value(&self) -> Value {
+        let spans: Vec<Value> = self
+            .records
+            .iter()
+            .map(|r| {
+                Value::obj()
+                    .set("name", r.name.as_str())
+                    .set("parent", r.parent)
+                    .set("start_ns", r.start_ns)
+                    .set("end_ns", r.end_ns)
+                    .set("duration_ns", r.duration_ns())
+            })
+            .collect();
+        Value::obj().set("spans", Value::Arr(spans))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_durations() {
+        let reg = Registry::new();
+        let mut t = Tracer::new(reg.clone());
+
+        let outer = t.enter("chain_setup", 1_000);
+        assert_eq!(t.depth(), 1);
+        let inner = t.enter("mapping", 2_000);
+        assert_eq!(t.records()[1].parent, Some(0));
+        t.exit(inner, 5_000);
+        let inner2 = t.enter("netconf", 5_000);
+        t.exit(inner2, 9_000);
+        t.exit(outer, 10_000);
+        assert_eq!(t.depth(), 0);
+
+        assert_eq!(t.finished("chain_setup").count(), 1);
+        assert_eq!(t.records()[0].duration_ns(), Some(9_000));
+        assert_eq!(t.records()[2].parent, Some(0));
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("span.count", &[("span", "mapping")]), Some(1));
+        let h = snap
+            .histogram("span.duration_ns", &[("span", "chain_setup")])
+            .unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 9_000);
+    }
+
+    #[test]
+    fn out_of_order_exit_is_tolerated() {
+        let reg = Registry::new();
+        let mut t = Tracer::new(reg);
+        let a = t.enter("a", 0);
+        let b = t.enter("b", 10);
+        t.exit(a, 20); // a closes before its child b
+        t.exit(b, 30);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.records()[0].duration_ns(), Some(20));
+        assert_eq!(t.records()[1].duration_ns(), Some(20));
+        assert_eq!(t.records()[1].parent, Some(0));
+    }
+
+    #[test]
+    fn trace_json_dump_has_parentage() {
+        let reg = Registry::new();
+        let mut t = Tracer::new(reg);
+        let a = t.enter("deploy", 100);
+        let b = t.enter("rpc", 200);
+        t.exit(b, 300);
+        t.exit(a, 400);
+        let v = t.json_value();
+        let spans = v.get("spans").unwrap().as_arr().unwrap();
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].get("parent").unwrap().is_null());
+        assert_eq!(spans[1].get("parent").unwrap().as_u64(), Some(0));
+        assert_eq!(spans[1].get("duration_ns").unwrap().as_u64(), Some(100));
+    }
+}

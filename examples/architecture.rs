@@ -33,29 +33,62 @@ fn main() {
     let n_sw = esc.topology().switches().count();
     let n_c = esc.topology().containers().count();
     let n_sap = esc.topology().saps().count();
-    let ctl_stats = esc.sim.node_as::<Controller>(esc.infra.controller).unwrap().stats;
+    let ctl_stats = esc
+        .sim
+        .node_as::<Controller>(esc.infra.controller)
+        .unwrap()
+        .stats();
     let steering = esc
         .sim
         .node_as::<Controller>(esc.infra.controller)
         .unwrap()
         .component_as::<TrafficSteering>()
         .unwrap()
-        .proactive_installs;
+        .proactive_installs();
 
     println!("┌──────────────────────────── SERVICE LAYER ────────────────────────────┐");
     println!("│ SG editor stand-ins: DSL + JSON                                       │");
-    println!("│ VNF catalog: {:2} Click-implemented types                               │", catalog.names().len());
+    println!(
+        "│ VNF catalog: {:2} Click-implemented types                               │",
+        catalog.names().len()
+    );
     println!("│   {}", catalog.names().join(", "));
-    println!("│ SLA: chain 'svc' delay budget 50 ms -> mapped at {:6} µs             │", report.chains[0].mapping.total_delay_us);
+    println!(
+        "│ SLA: chain 'svc' delay budget 50 ms -> mapped at {:6} µs             │",
+        report.chains[0].mapping.total_delay_us
+    );
     println!("├───────────────────────── ORCHESTRATION LAYER ─────────────────────────┤");
-    println!("│ mapping algorithm: {} (pluggable)                       │", esc.orchestrator().algorithm_name());
-    println!("│ resource view: {:4.1} CPU cores free after embedding                    │", esc.orchestrator().state().total_free_cpu());
-    println!("│ NETCONF client: {} RPC module '{}'                          │", module.rpcs.len(), module.name);
-    println!("│ traffic steering: {} proactive flow rules installed                    │", steering);
+    println!(
+        "│ mapping algorithm: {} (pluggable)                       │",
+        esc.orchestrator().algorithm_name()
+    );
+    println!(
+        "│ resource view: {:4.1} CPU cores free after embedding                    │",
+        esc.orchestrator().state().total_free_cpu()
+    );
+    println!(
+        "│ NETCONF client: {} RPC module '{}'                          │",
+        module.rpcs.len(),
+        module.name
+    );
+    println!(
+        "│ traffic steering: {} proactive flow rules installed                    │",
+        steering
+    );
     println!("├───────────────────────── INFRASTRUCTURE LAYER ────────────────────────┤");
-    println!("│ emulated network: {} OpenFlow switches, {} VNF containers, {} SAPs      │", n_sw, n_c, n_sap);
-    println!("│ control network: {} OpenFlow connections up, {} flow-mods sent         │", ctl_stats.connections_up, ctl_stats.flow_mods_sent);
-    println!("│ dataplane: {} frames forwarded, {} events simulated               │", esc.sim.stats.frames_delivered, esc.sim.stats.events);
+    println!(
+        "│ emulated network: {} OpenFlow switches, {} VNF containers, {} SAPs      │",
+        n_sw, n_c, n_sap
+    );
+    println!(
+        "│ control network: {} OpenFlow connections up, {} flow-mods sent         │",
+        ctl_stats.connections_up, ctl_stats.flow_mods_sent
+    );
+    println!(
+        "│ dataplane: {} frames forwarded, {} events simulated               │",
+        esc.sim.stats().frames_delivered,
+        esc.sim.stats().events
+    );
     println!("└────────────────────────────────────────────────────────────────────────┘");
 
     let rx = esc.sap_stats("sap1").unwrap().udp_rx;

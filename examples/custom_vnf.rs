@@ -70,7 +70,11 @@ fn main() {
         0,
     )
     .expect("config compiles");
-    let big = Packet { data: bytes::Bytes::from(vec![0u8; 500]), id: 1, born_ns: 0 };
+    let big = Packet {
+        data: bytes::Bytes::from(vec![0u8; 500]),
+        id: 1,
+        born_ns: 0,
+    };
     let out = router.push_external(0, big, Time::ZERO);
     assert_eq!(out.external[0].1.len(), 100);
     println!(
@@ -106,7 +110,8 @@ FromDevice(1) -> rev :: Counter -> ToDevice(0);\n",
     // supported path for custom types is the raw config option, shown
     // here through a standard-type chain with custom parameters instead.
     let topo = builders::linear(2, 4.0);
-    let mut esc = Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Proactive, 5).unwrap();
+    let mut esc =
+        Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Proactive, 5).unwrap();
     let sg = ServiceGraph::new()
         .sap("sap0")
         .sap("sap1")
@@ -121,6 +126,9 @@ FromDevice(1) -> rev :: Counter -> ToDevice(0);\n",
         esc.sap_stats("sap1").unwrap().udp_rx
     );
     let handlers = esc.monitor_vnf("c", "ids").unwrap();
-    println!("{}", escape::monitor::format_handler_table("ids @ c", &handlers));
+    println!(
+        "{}",
+        escape::monitor::format_handler_table("ids @ c", &handlers)
+    );
     println!("ok.");
 }

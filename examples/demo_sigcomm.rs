@@ -52,17 +52,28 @@ fn main() {
     let catalog = Catalog::standard();
     for v in &sg.vnfs {
         let entry = catalog.get(&v.vnf_type).expect("catalog type");
-        println!("    {:4} :: {:13} — {}", v.name, v.vnf_type, entry.description);
+        println!(
+            "    {:4} :: {:13} — {}",
+            v.name, v.vnf_type, entry.description
+        );
     }
     println!("    chain: {}", sg.chains[0].hops.join(" -> "));
 
     println!("\n(3) map the SG to resources and deploy");
-    let mut esc =
-        Escape::build(topo, Box::new(NearestNeighbor), SteeringMode::Proactive, 2014).unwrap();
+    let mut esc = Escape::build(
+        topo,
+        Box::new(NearestNeighbor),
+        SteeringMode::Proactive,
+        2014,
+    )
+    .unwrap();
     let report = esc.deploy(&sg).expect("deployment");
     for dc in &report.chains {
         for v in &dc.vnfs {
-            println!("    {} ({}) -> container {} (NETCONF id {})", v.vnf_name, v.vnf_type, v.container, v.vnf_id);
+            println!(
+                "    {} ({}) -> container {} (NETCONF id {})",
+                v.vnf_name, v.vnf_type, v.container, v.vnf_id
+            );
         }
         println!(
             "    path delay (mapped): {} µs | steering rules: {}",
@@ -84,15 +95,24 @@ fn main() {
         "    sap1: {} frames, {} bytes, mean latency {}",
         stats.udp_rx,
         stats.bytes_rx,
-        stats.mean_latency().map(|t| t.to_string()).unwrap_or_default()
+        stats
+            .mean_latency()
+            .map(|t| t.to_string())
+            .unwrap_or_default()
     );
     let inbox = esc.sap_inbox("sap1").unwrap();
-    println!("    first payload bytes: {:?}...", &inbox[0][..8.min(inbox[0].len())]);
+    println!(
+        "    first payload bytes: {:?}...",
+        &inbox[0][..8.min(inbox[0].len())]
+    );
 
     println!("\n(5) monitor the VNFs (Clicky)");
     for vnf in ["fw", "dpi", "lim"] {
         let handlers = esc.monitor_vnf("demo", vnf).unwrap();
-        println!("{}", format_handler_table(&format!("{vnf} @ demo"), &handlers));
+        println!(
+            "{}",
+            format_handler_table(&format!("{vnf} @ demo"), &handlers)
+        );
     }
 
     assert_eq!(stats.udp_rx, 40);

@@ -47,7 +47,8 @@ fn main() {
     );
 
     // Traffic: 100 frames of 256 B, one every 100 µs.
-    esc.start_udp("sap0", "sap1", 256, 100, 100).expect("traffic starts");
+    esc.start_udp("sap0", "sap1", 256, 100, 100)
+        .expect("traffic starts");
     esc.run_for_ms(100);
 
     let stats = esc.sap_stats("sap1").unwrap();
@@ -55,13 +56,19 @@ fn main() {
         "sap1 received {}/{} frames, mean latency {}, max {}",
         stats.udp_rx,
         100,
-        stats.mean_latency().map(|t| t.to_string()).unwrap_or_default(),
+        stats
+            .mean_latency()
+            .map(|t| t.to_string())
+            .unwrap_or_default(),
         escape_netem::Time::from_ns(stats.latency_max_ns)
     );
 
     // Clicky view of the VNF.
     let handlers = esc.monitor_vnf("quick", "mon").expect("monitoring works");
-    println!("{}", escape::monitor::format_handler_table("mon @ quick", &handlers));
+    println!(
+        "{}",
+        escape::monitor::format_handler_table("mon @ quick", &handlers)
+    );
     assert_eq!(stats.udp_rx, 100, "quickstart must deliver everything");
     println!("ok.");
 }

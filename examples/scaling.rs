@@ -16,15 +16,22 @@ use escape_sg::topo::builders;
 use std::time::Instant;
 
 fn main() {
-    println!("{:>8} {:>8} {:>8} {:>10} {:>12} {:>12} {:>10}", "leaves", "nodes", "chains", "accepted", "build_ms", "deploy_ms", "events");
+    println!(
+        "{:>8} {:>8} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "leaves", "nodes", "chains", "accepted", "build_ms", "deploy_ms", "events"
+    );
     for leaves in [4usize, 8, 16, 32, 64, 128] {
         let t0 = Instant::now();
         let topo = builders::star(leaves, 8.0);
         // Emulator nodes: 1 core + per leaf (switch+container+sap) + ctrl + mgr.
         let n_nodes = 1 + leaves * 3 + 2;
-        let mut esc =
-            Escape::build(topo.clone(), Box::new(NearestNeighbor), SteeringMode::Proactive, leaves as u64)
-                .expect("build");
+        let mut esc = Escape::build(
+            topo.clone(),
+            Box::new(NearestNeighbor),
+            SteeringMode::Proactive,
+            leaves as u64,
+        )
+        .expect("build");
         let build_ms = t0.elapsed().as_millis();
 
         let n_chains = (leaves / 2).max(1);
@@ -54,7 +61,13 @@ fn main() {
         }
         println!(
             "{:>8} {:>8} {:>8} {:>10} {:>12} {:>12} {:>10}",
-            leaves, n_nodes, n_chains, accepted, build_ms, deploy_ms, esc.sim.stats.events
+            leaves,
+            n_nodes,
+            n_chains,
+            accepted,
+            build_ms,
+            deploy_ms,
+            esc.sim.stats().events
         );
     }
     println!("\nhundreds of emulated nodes remain workable on a laptop-scale budget.");

@@ -33,16 +33,33 @@ fn figure1_all_layers_present_and_live() {
 
     // Switches handshaked with the controller over the control network.
     let ctl = esc.sim.node_as::<Controller>(esc.infra.controller).unwrap();
-    assert_eq!(ctl.connected_dpids().len(), n_switches, "OpenFlow switches up");
+    assert_eq!(
+        ctl.connected_dpids().len(),
+        n_switches,
+        "OpenFlow switches up"
+    );
     // Steering component registered (POX role).
-    assert!(ctl.component_as::<TrafficSteering>().is_some(), "traffic steering app");
+    assert!(
+        ctl.component_as::<TrafficSteering>().is_some(),
+        "traffic steering app"
+    );
     // Containers expose NETCONF agents speaking vnf_starter (OpenYuma role).
     assert_eq!(esc.infra.netconf_conn.len(), n_containers, "NETCONF agents");
     let module = vnf_starter::module();
-    for rpc in ["initiateVNF", "startVNF", "stopVNF", "connectVNF", "disconnectVNF", "getVNFInfo"] {
+    for rpc in [
+        "initiateVNF",
+        "startVNF",
+        "stopVNF",
+        "connectVNF",
+        "disconnectVNF",
+        "getVNFInfo",
+    ] {
         assert!(module.rpc(rpc).is_some(), "vnf_starter rpc {rpc}");
     }
-    assert!(module.to_yang().contains("module vnf_starter"), "YANG data model");
+    assert!(
+        module.to_yang().contains("module vnf_starter"),
+        "YANG data model"
+    );
     assert_eq!(esc.infra.sap_addr.len(), n_saps, "SAPs addressable");
 
     // ---------- Service layer ----------
@@ -60,7 +77,10 @@ fn figure1_all_layers_present_and_live() {
 
     // ---------- Orchestration layer ----------
     assert_eq!(esc.orchestrator().algorithm_name(), "nearest_neighbor");
-    assert!(esc.orchestrator().state().total_free_cpu() > 0.0, "global resource view");
+    assert!(
+        esc.orchestrator().state().total_free_cpu() > 0.0,
+        "global resource view"
+    );
     let report = esc.deploy(&sg).unwrap();
     assert_eq!(report.chains.len(), 1);
     assert!(
@@ -88,8 +108,14 @@ fn figure1_all_layers_present_and_live() {
     assert_eq!(esc.sap_stats("sap1").unwrap().udp_rx, 5);
 
     // Print the layer inventory (the figure, in text).
-    println!("┌─ Service layer ──────── SG editor (DSL/JSON), catalog ({} VNFs), SLAs", catalog.names().len());
-    println!("├─ Orchestration layer ── {} mapping, NETCONF client, steering", esc.orchestrator().algorithm_name());
+    println!(
+        "┌─ Service layer ──────── SG editor (DSL/JSON), catalog ({} VNFs), SLAs",
+        catalog.names().len()
+    );
+    println!(
+        "├─ Orchestration layer ── {} mapping, NETCONF client, steering",
+        esc.orchestrator().algorithm_name()
+    );
     println!(
         "└─ Infrastructure layer ─ {} switches (OF 1.0), {} containers (Click+NETCONF), {} SAPs",
         n_switches, n_containers, n_saps

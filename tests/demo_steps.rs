@@ -66,7 +66,11 @@ fn five_step_demo() {
     let sg = demo_sg();
     let catalog = Catalog::standard();
     for v in &sg.vnfs {
-        assert!(catalog.get(&v.vnf_type).is_some(), "step 2: {} not in catalog", v.vnf_type);
+        assert!(
+            catalog.get(&v.vnf_type).is_some(),
+            "step 2: {} not in catalog",
+            v.vnf_type
+        );
     }
 
     // Step 3 — mapping + deployment.
@@ -76,7 +80,10 @@ fn five_step_demo() {
     assert_eq!(report.chains.len(), 1);
     let chain = &report.chains[0];
     assert_eq!(chain.vnfs.len(), 2);
-    assert!(report.netconf_phase().as_us() > 0, "NETCONF RPCs take virtual time");
+    assert!(
+        report.netconf_phase().as_us() > 0,
+        "NETCONF RPCs take virtual time"
+    );
     println!(
         "step 3: chain deployed in {} (netconf {}, steering {})",
         report.total(),
@@ -97,12 +104,16 @@ fn five_step_demo() {
     let fw_table = format_handler_table("fw @ demo", &fw_handlers);
     println!("{fw_table}");
     assert!(
-        fw_handlers.iter().any(|(k, v)| k == "fw.passed" && v == "20"),
+        fw_handlers
+            .iter()
+            .any(|(k, v)| k == "fw.passed" && v == "20"),
         "step 5: firewall counters visible: {fw_handlers:?}"
     );
     let lim_handlers = esc.monitor_vnf("demo", "lim").unwrap();
     assert!(
-        lim_handlers.iter().any(|(k, v)| k == "shaper.count" && v == "20"),
+        lim_handlers
+            .iter()
+            .any(|(k, v)| k == "shaper.count" && v == "20"),
         "step 5: shaper counters visible: {lim_handlers:?}"
     );
     let hl = headline(&fw_handlers);

@@ -34,7 +34,7 @@ fn lossy_links_lose_some_but_not_all() {
     let rx = esc.sap_stats("sap1").unwrap().udp_rx;
     assert!(rx < 100, "some frames lost ({rx})");
     assert!(rx > 10, "but not everything ({rx})");
-    assert!(esc.sim.stats.drops_loss > 0);
+    assert!(esc.sim.stats().drops_loss > 0);
 }
 
 #[test]
@@ -45,15 +45,20 @@ fn link_down_black_holes_then_recovers() {
     esc.deploy(&sg()).unwrap();
     // Flip every dataplane link down, verify the black hole, bring them
     // back, verify recovery.
-    let ids: Vec<escape_netem::LinkId> =
-        (0..esc.sim.link_count() as u32).map(escape_netem::LinkId).collect();
+    let ids: Vec<escape_netem::LinkId> = (0..esc.sim.link_count() as u32)
+        .map(escape_netem::LinkId)
+        .collect();
     for &id in &ids {
         esc.sim.set_link_state(id, LinkState::Down);
     }
     esc.start_udp("sap0", "sap1", 100, 200, 10).unwrap();
     esc.run_for_ms(50);
-    assert_eq!(esc.sap_stats("sap1").unwrap().udp_rx, 0, "black hole while down");
-    assert!(esc.sim.stats.drops_link_down > 0);
+    assert_eq!(
+        esc.sap_stats("sap1").unwrap().udp_rx,
+        0,
+        "black hole while down"
+    );
+    assert!(esc.sim.stats().drops_link_down > 0);
     for id in ids {
         esc.sim.set_link_state(id, LinkState::Up);
     }
@@ -109,7 +114,8 @@ fn churn_embed_release_cycles_do_not_leak_resources() {
             .sap("sap1")
             .vnf("v", "monitor", 1.5, 64)
             .chain("churny", &["sap0", "v", "sap1"], 50.0, None);
-        esc.deploy(&g).unwrap_or_else(|e| panic!("round {round}: {e}"));
+        esc.deploy(&g)
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
         esc.teardown("churny").unwrap();
         assert_eq!(
             esc.orchestrator().cpu_utilization(),
@@ -131,6 +137,11 @@ fn delay_sla_violation_is_rejected_up_front() {
         .vnf("v", "monitor", 0.5, 64)
         .chain("tight", &["sap0", "v", "sap1"], 10.0, Some(60));
     let err = esc.deploy(&g).err().unwrap();
-    let EscapeError::MappingFailed(rej) = err else { panic!("expected mapping failure") };
-    assert!(matches!(rej[0].1, escape_orch::MapError::DelayExceeded { .. }));
+    let EscapeError::MappingFailed(rej) = err else {
+        panic!("expected mapping failure")
+    };
+    assert!(matches!(
+        rej[0].1,
+        escape_orch::MapError::DelayExceeded { .. }
+    ));
 }

@@ -50,7 +50,10 @@ fn dsl_to_json_round_trip() {
     let back = ServiceGraph::from_json(&sg.to_json()).unwrap();
     assert_eq!(sg, back);
     // DSL params made it into the JSON.
-    assert_eq!(back.vnfs[0].params, vec![("pattern".to_string(), "evil".to_string())]);
+    assert_eq!(
+        back.vnfs[0].params,
+        vec![("pattern".to_string(), "evil".to_string())]
+    );
 }
 
 #[test]
@@ -59,7 +62,15 @@ fn json_is_stable_for_hand_editing() {
     // of the contract a GUI would rely on.
     let topo = parse_topology("switch s0\nsap a b\nlink a s0\nlink b s0\n").unwrap();
     let json = topo.to_json();
-    for field in ["\"nodes\"", "\"links\"", "\"kind\"", "\"switch\"", "\"sap\"", "\"bandwidth_mbps\"", "\"delay_us\""] {
+    for field in [
+        "\"nodes\"",
+        "\"links\"",
+        "\"kind\"",
+        "\"switch\"",
+        "\"sap\"",
+        "\"bandwidth_mbps\"",
+        "\"delay_us\"",
+    ] {
         assert!(json.contains(field), "missing {field} in:\n{json}");
     }
     // Hand-written JSON loads.

@@ -61,7 +61,10 @@ fn three_vnf_chain_works() {
     assert_eq!(esc.sap_stats("sap1").unwrap().udp_rx, 10);
     // Firewall counted passes; monitor counted arrivals.
     let fw = esc.monitor_vnf("c1", "fw").unwrap();
-    assert!(fw.iter().any(|(k, v)| k == "fw.passed" && v == "10"), "{fw:?}");
+    assert!(
+        fw.iter().any(|(k, v)| k == "fw.passed" && v == "10"),
+        "{fw:?}"
+    );
 }
 
 #[test]
@@ -81,19 +84,24 @@ fn firewall_chain_filters_disallowed_traffic() {
     esc.run_for_ms(50);
     assert_eq!(esc.sap_stats("sap1").unwrap().udp_rx, 0);
     let fw = esc.monitor_vnf("c1", "fw").unwrap();
-    assert!(fw.iter().any(|(k, v)| k == "fw.dropped" && v == "10"), "{fw:?}");
+    assert!(
+        fw.iter().any(|(k, v)| k == "fw.dropped" && v == "10"),
+        "{fw:?}"
+    );
 }
 
 #[test]
 fn reactive_steering_also_delivers() {
     let topo = builders::linear(2, 4.0);
-    let mut esc =
-        Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Reactive, 4).unwrap();
+    let mut esc = Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Reactive, 4).unwrap();
     esc.deploy(&simple_sg()).unwrap();
     esc.start_udp("sap0", "sap1", 128, 500, 10).unwrap();
     esc.run_for_ms(100);
     let stats = esc.sap_stats("sap1").unwrap();
-    assert_eq!(stats.udp_rx, 10, "reactive install releases buffered packets");
+    assert_eq!(
+        stats.udp_rx, 10,
+        "reactive install releases buffered packets"
+    );
 }
 
 #[test]
@@ -217,13 +225,23 @@ fn packet_trace_captures_chain_traversal() {
     esc.start_udp("sap0", "sap1", 128, 500, 3).unwrap();
     esc.run_for_ms(50);
     let trace = esc.sim.trace.as_ref().unwrap();
-    assert!(trace.count(escape_netem::TraceDir::Rx) >= 9, "multi-hop rx events");
-    assert!(trace.count(escape_netem::TraceDir::Tx) >= 6, "switch/container forwards");
+    assert!(
+        trace.count(escape_netem::TraceDir::Rx) >= 9,
+        "multi-hop rx events"
+    );
+    assert!(
+        trace.count(escape_netem::TraceDir::Tx) >= 6,
+        "switch/container forwards"
+    );
     let dump = trace.dump();
     assert!(dump.contains("rx"), "{dump}");
     // And the pcap export is a valid libpcap file carrying real frames.
     let pcap = trace.to_pcap();
-    assert!(pcap.len() > 24 + (16 + 128) * 3, "pcap has frames: {} bytes", pcap.len());
+    assert!(
+        pcap.len() > 24 + (16 + 128) * 3,
+        "pcap has frames: {} bytes",
+        pcap.len()
+    );
     assert_eq!(&pcap[0..4], &0xa1b2_c3d4u32.to_le_bytes());
 }
 
@@ -251,7 +269,9 @@ fn custom_click_config_vnf_deploys_end_to_end() {
     // The custom element graph is live and countable over NETCONF.
     let handlers = esc.monitor_vnf("c1", "mine").unwrap();
     assert!(
-        handlers.iter().any(|(k, v)| k == "tagged.count" && v == "7"),
+        handlers
+            .iter()
+            .any(|(k, v)| k == "tagged.count" && v == "7"),
         "{handlers:?}"
     );
     // Bad configs are rejected by the agent, reported as a NETCONF error.
@@ -263,4 +283,101 @@ fn custom_click_config_vnf_deploys_end_to_end() {
         .chain("c2", &["sap0", "broken", "sap1"], 10.0, None);
     let err = esc.deploy(&bad).err().unwrap();
     assert!(matches!(err, escape::EscapeError::Netconf(_)), "got {err}");
+}
+
+#[test]
+fn telemetry_spans_all_layers() {
+    // The acceptance gate for the observability subsystem: one demo run
+    // must leave counters and histograms from the netem, pox, orch, and
+    // escape crates in a single shared registry, plus virtual-time spans
+    // around the chain-setup path.
+    let topo = builders::linear(3, 4.0);
+    let mut esc =
+        Escape::build(topo, Box::new(NearestNeighbor), SteeringMode::Proactive, 7).unwrap();
+    let sg = ServiceGraph::new()
+        .sap("sap0")
+        .sap("sap1")
+        .vnf("fw", "firewall", 1.0, 128)
+        .vnf("mon", "monitor", 0.5, 64)
+        .chain("demo", &["sap0", "fw", "mon", "sap1"], 25.0, Some(50_000));
+    esc.deploy(&sg).unwrap();
+    esc.start_udp("sap0", "sap1", 128, 200, 15).unwrap();
+    esc.run_for_ms(60);
+
+    let snap = esc.metrics();
+
+    // Counters from four distinct crates moved through the shared registry.
+    assert!(snap.counter_total("netem.events") > 0, "netem counters");
+    assert!(
+        snap.counter_total("netem.frames_delivered") > 0,
+        "dataplane moved"
+    );
+    assert!(snap.counter_total("pox.flow_mods") > 0, "pox counters");
+    assert!(
+        snap.counter_total("pox.steering.proactive_installs") > 0,
+        "steering installs recorded"
+    );
+    assert!(
+        snap.counter_total("orch.mapping_attempts") > 0,
+        "orch counters"
+    );
+    assert!(
+        snap.counter_total("escape.chains_deployed") > 0,
+        "escape counters"
+    );
+    assert!(
+        snap.counter_total("netconf.rpcs_sent") > 0,
+        "netconf counters"
+    );
+
+    // The NETCONF RPC latency histogram saw real round-trips.
+    let h = snap
+        .histogram("netconf.rpc_latency_ns", &[])
+        .expect("rpc latency histogram");
+    assert!(h.count > 0 && h.sum > 0, "rpc latency observed");
+
+    // Orchestrator placement time was measured.
+    let p = snap
+        .histogram("orch.placement_ns", &[])
+        .expect("placement histogram");
+    assert!(p.count > 0, "placement timed");
+
+    // Chain-setup spans: one per chain, balanced, with non-zero virtual
+    // duration, nested under the deploy span.
+    let setups: Vec<_> = esc.tracer().finished("chain_setup").collect();
+    assert_eq!(setups.len(), 1, "one chain_setup span per chain");
+    assert!(
+        setups[0].duration_ns().unwrap_or(0) > 0,
+        "chain setup takes virtual time"
+    );
+    assert!(setups[0].parent.is_some(), "chain_setup nests under deploy");
+    assert_eq!(esc.tracer().finished("deploy").count(), 1);
+    assert_eq!(esc.tracer().finished("mapping").count(), 1);
+    assert_eq!(esc.tracer().depth(), 0, "all spans closed");
+    assert_eq!(
+        snap.counter("span.count", &[("span", "chain_setup")])
+            .unwrap_or(0),
+        1,
+        "span counter matches trace"
+    );
+
+    // Both expositions carry all four crates' series.
+    let prom = snap.prometheus();
+    for prefix in ["netem_", "pox_", "orch_", "escape_", "netconf_"] {
+        assert!(
+            prom.contains(prefix),
+            "prometheus text has {prefix}* series"
+        );
+    }
+    let json = snap.json_value().to_string();
+    assert!(json.contains("pox.flow_mods") && json.contains("orch.mapping_attempts"));
+
+    // The diff report sees further activity as deltas.
+    esc.start_udp("sap0", "sap1", 128, 200, 5).unwrap();
+    esc.run_for_ms(20);
+    let report = snap.diff(&esc.metrics());
+    assert!(
+        report.counter_delta("netem.frames_delivered") > 0,
+        "diff captures new frames"
+    );
 }

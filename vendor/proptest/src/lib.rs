@@ -1,0 +1,704 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container this repo builds in has no crates.io access, so the
+//! property tests run on this small reimplementation of the proptest
+//! surface they use: the [`Strategy`] trait with `prop_map` /
+//! `prop_recursive` / `boxed`, `any::<T>()`, range and tuple strategies,
+//! regex-literal string strategies (a practical subset of the regex
+//! syntax), `proptest::collection::vec`, `proptest::option::of`,
+//! [`Just`], `prop_oneof!` and the `proptest!` test macro.
+//!
+//! Differences from upstream: cases are generated from a seed derived
+//! from the test name (fully deterministic, overridable with
+//! `PROPTEST_SEED`), and failing cases are *not* shrunk — the failing
+//! input is printed as-is.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Per-test configuration (`cases` is the only knob the repo uses).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-test RNG: seeded from the test name (FNV-1a),
+    /// or from `PROPTEST_SEED` when set.
+    pub fn new_rng(test_name: &str) -> super::SmallRng {
+        use rand::SeedableRng;
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = s.parse::<u64>() {
+                return super::SmallRng::seed_from_u64(seed);
+            }
+        }
+        let mut h = 0xcbf29ce484222325u64;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        super::SmallRng::seed_from_u64(h)
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `f` (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Builds recursive structures: `f` receives a strategy for the
+    /// nested level and returns the strategy for one level up. `depth`
+    /// bounds the nesting (the size hints are accepted for upstream
+    /// compatibility and unused).
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut s = self.boxed();
+        for _ in 0..depth {
+            s = f(s).boxed();
+        }
+        s
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut SmallRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?} rejected 1000 candidates", self.whence);
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Union<T> {
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(
+            !alternatives.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        Union(alternatives)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------- ranges
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, f32, f64);
+
+// ---------------------------------------------------------------- tuples
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+// ------------------------------------------------------------- arbitrary
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, bool, f32, f64);
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// The strategy behind [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A uniformly random value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+// ------------------------------------------------------------ collections
+
+pub mod collection {
+    use super::*;
+
+    /// Accepted length specifications for [`vec`].
+    #[derive(Clone)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize, // exclusive
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    /// Vectors of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = if self.size.min + 1 >= self.size.max {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..self.size.max)
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::*;
+
+    /// `None` a quarter of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Option<S::Value> {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- string regexes
+
+/// `&str` literals act as regex-shaped string strategies. Supported
+/// subset: concatenations of atoms, where an atom is a character class
+/// `[...]` (with ranges and `\n`/`\[`/`\]`/`\\` escapes), the class
+/// `\PC` (printable, non-control), or a literal character; each atom may
+/// carry a `{min,max}` repetition. This covers every pattern in the
+/// repo's property tests.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut SmallRng) -> String {
+        let atoms = parse_pattern(self)
+            .unwrap_or_else(|e| panic!("unsupported regex strategy {self:?}: {e}"));
+        let mut out = String::new();
+        for (atom, min, max) in &atoms {
+            let n = if min == max {
+                *min
+            } else {
+                rng.gen_range(*min..=*max)
+            };
+            for _ in 0..n {
+                out.push(atom.sample_char(rng));
+            }
+        }
+        out
+    }
+}
+
+enum Atom {
+    /// Explicit choices (expanded from a class or a literal).
+    Choices(Vec<char>),
+    /// Any printable, non-control character (`\PC`).
+    Printable,
+}
+
+impl Atom {
+    fn sample_char(&self, rng: &mut SmallRng) -> char {
+        match self {
+            Atom::Choices(set) => set[rng.gen_range(0..set.len())],
+            Atom::Printable => {
+                // Mostly ASCII printable, with a sprinkle of wider
+                // unicode to keep decoders honest.
+                const EXOTIC: &[char] = &['é', 'λ', '→', '𝕏', '中'];
+                if rng.gen_range(0u32..16) == 0 {
+                    EXOTIC[rng.gen_range(0..EXOTIC.len())]
+                } else {
+                    char::from(rng.gen_range(0x20u8..0x7f))
+                }
+            }
+        }
+    }
+}
+
+type Rep = (Atom, usize, usize);
+
+fn parse_pattern(src: &str) -> Result<Vec<Rep>, String> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut atoms: Vec<Rep> = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1)?;
+                i = next;
+                Atom::Choices(set)
+            }
+            '\\' => {
+                let (atom, next) = parse_escape(&chars, i + 1)?;
+                i = next;
+                atom
+            }
+            c => {
+                i += 1;
+                Atom::Choices(vec![c])
+            }
+        };
+        // Optional {min,max} repetition.
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .ok_or("unterminated {..}")?
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = body.split_once(',').ok_or("need {min,max}")?;
+            i = close + 1;
+            (
+                lo.trim().parse::<usize>().map_err(|e| e.to_string())?,
+                hi.trim().parse::<usize>().map_err(|e| e.to_string())?,
+            )
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, min, max));
+    }
+    Ok(atoms)
+}
+
+fn parse_escape(chars: &[char], i: usize) -> Result<(Atom, usize), String> {
+    match chars.get(i) {
+        Some('P') => {
+            // Only \PC (not-control) is supported.
+            if chars.get(i + 1) == Some(&'C') {
+                Ok((Atom::Printable, i + 2))
+            } else {
+                Err("only \\PC is supported".into())
+            }
+        }
+        Some('n') => Ok((Atom::Choices(vec!['\n']), i + 1)),
+        Some('t') => Ok((Atom::Choices(vec!['\t']), i + 1)),
+        Some(&c) => Ok((Atom::Choices(vec![c]), i + 1)),
+        None => Err("dangling backslash".into()),
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), String> {
+    let mut set = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        match chars.get(i) {
+            None => return Err("unterminated [..]".into()),
+            Some(']') => {
+                if let Some(p) = prev {
+                    set.push(p);
+                }
+                return Ok((set, i + 1));
+            }
+            Some('\\') => {
+                if let Some(p) = prev.take() {
+                    set.push(p);
+                }
+                let c = match chars.get(i + 1) {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(&c) => c,
+                    None => return Err("dangling backslash in class".into()),
+                };
+                prev = Some(c);
+                i += 2;
+            }
+            Some('-') if prev.is_some() && chars.get(i + 1).is_some_and(|&c| c != ']') => {
+                // Range like a-z.
+                let lo = prev.take().unwrap();
+                let hi = match chars.get(i + 1) {
+                    Some('\\') => {
+                        i += 1;
+                        match chars.get(i + 1) {
+                            Some('n') => '\n',
+                            Some(&c) => c,
+                            None => return Err("dangling backslash in class".into()),
+                        }
+                    }
+                    Some(&c) => c,
+                    None => return Err("unterminated range".into()),
+                };
+                if lo as u32 > hi as u32 {
+                    return Err(format!("bad range {lo}-{hi}"));
+                }
+                for code in lo as u32..=hi as u32 {
+                    if let Some(c) = char::from_u32(code) {
+                        set.push(c);
+                    }
+                }
+                i += 2;
+            }
+            Some(&c) => {
+                if let Some(p) = prev.replace(c) {
+                    set.push(p);
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- macros
+
+/// Uniform choice between the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Assertion macros: identical to `assert!`/`assert_eq!` (no shrinking,
+/// so the plain panic already carries the failing input via the harness
+/// message below).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests. Each `fn name(binding in strategy, ...)`
+/// becomes a `#[test]` running `cases` random samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::new_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                let _ = __case;
+                $crate::__proptest_bindings!{ (__rng) $($args)* }
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    (($rng:ident)) => {};
+    (($rng:ident) $pat:pat in $strat:expr) => {
+        let $pat = $crate::Strategy::sample(&$strat, &mut $rng);
+    };
+    (($rng:ident) $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::sample(&$strat, &mut $rng);
+        $crate::__proptest_bindings!{ ($rng) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, Strategy,
+    };
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::new_rng;
+
+    #[test]
+    fn ranges_and_maps_sample_in_bounds() {
+        let mut rng = new_rng("t1");
+        let s = (0u8..10).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(v < 20 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = new_rng("t2");
+        for _ in 0..50 {
+            let s = "[a-z][a-z0-9-]{0,10}".sample(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 11);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+
+            let p = "\\PC{0,20}".sample(&mut rng);
+            assert!(p.chars().all(|c| !c.is_control()));
+            assert!(p.chars().count() <= 20);
+
+            let cls = "[ -~]{0,30}".sample(&mut rng);
+            assert!(cls.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_and_oneof() {
+        let mut rng = new_rng("t3");
+        let v = crate::collection::vec(crate::any::<u8>(), 2..5);
+        let o = crate::option::of(0u8..4);
+        let u = prop_oneof![Just(1u8), Just(2u8), 10u8..12];
+        let mut saw_none = false;
+        for _ in 0..200 {
+            let xs = v.sample(&mut rng);
+            assert!((2..5).contains(&xs.len()));
+            saw_none |= o.sample(&mut rng).is_none();
+            let x = u.sample(&mut rng);
+            assert!(x == 1 || x == 2 || x == 10 || x == 11);
+        }
+        assert!(saw_none);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0u32..100, b in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(a < 100);
+            prop_assert!(b.len() < 4);
+        }
+    }
+}
