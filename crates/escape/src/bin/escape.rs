@@ -2,7 +2,8 @@
 //! graph (DSL or JSON), deploy, push traffic, report.
 //!
 //! ```text
-//! escape <topology-file> <service-graph-file> [options]
+//! escape [run] <topology-file> <service-graph-file> [options]
+//! escape run [options]                 (built-in demo chain)
 //! escape metrics [<topology-file> <service-graph-file>] [options]
 //!
 //! options:
@@ -14,8 +15,14 @@
 //!   --monitor   CHAIN:VNF                                     (repeatable)
 //!   --seed N                                                  (default 1)
 //!   --json      topology/SG files are JSON instead of DSL
+//!   --faults    FILE   fault plan (JSON); run with self-healing recovery
 //!   --format    prometheus|json      (metrics subcommand; default prometheus)
 //! ```
+//!
+//! With `--faults`, the run drives the simulation through
+//! `run_with_recovery`: scheduled faults are injected in virtual time,
+//! the environment re-routes/re-maps/re-steers around them, and the
+//! deterministic fault/recovery event trace is printed at the end.
 //!
 //! The `metrics` subcommand runs the same deployment (a built-in demo
 //! chain when no files are given), then dumps the telemetry registry —
@@ -46,15 +53,21 @@ struct Options {
     json: bool,
     /// `escape metrics ...`: dump telemetry after the run.
     metrics: bool,
+    /// `escape run ...`: explicit run subcommand (demo chain when no
+    /// files are given).
+    run: bool,
+    /// Fault plan file (JSON); enables self-healing recovery.
+    faults: Option<String>,
     /// Exposition format for the metrics subcommand.
     format: String,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: escape <topology> <service-graph> [--algorithm A] [--steering M] \
+        "usage: escape [run] <topology> <service-graph> [--algorithm A] [--steering M] \
          [--traffic F:T:N[:LEN[:US]]]... [--ping F:T:N]... [--duration-ms N] \
-         [--monitor CHAIN:VNF]... [--seed N] [--json]\n       \
+         [--monitor CHAIN:VNF]... [--seed N] [--json] [--faults PLAN.json]\n       \
+         escape run [options]    (built-in demo chain)\n       \
          escape metrics [<topology> <service-graph>] [options] [--format prometheus|json]"
     );
     ExitCode::from(2)
@@ -75,6 +88,8 @@ fn parse_args() -> Result<Options, String> {
         seed: 1,
         json: false,
         metrics: false,
+        run: false,
+        faults: None,
         format: "prometheus".into(),
     };
     let mut first = true;
@@ -83,6 +98,10 @@ fn parse_args() -> Result<Options, String> {
             first = false;
             if a == "metrics" {
                 o.metrics = true;
+                continue;
+            }
+            if a == "run" {
+                o.run = true;
                 continue;
             }
         }
@@ -139,6 +158,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--seed" => o.seed = need("--seed")?.parse().map_err(|_| "bad seed")?,
             "--json" => o.json = true,
+            "--faults" => o.faults = Some(need("--faults")?),
             "--format" => {
                 o.format = need("--format")?;
                 if o.format != "prometheus" && o.format != "json" {
@@ -154,8 +174,8 @@ fn parse_args() -> Result<Options, String> {
             o.topo_file = positional.remove(0);
             o.sg_file = positional.remove(0);
         }
-        // `escape metrics` alone runs the built-in demo chain.
-        0 if o.metrics => {}
+        // `escape metrics` / `escape run` alone use the built-in demo chain.
+        0 if o.metrics || o.run => {}
         _ => return Err("need exactly two positional arguments".into()),
     }
     Ok(o)
@@ -234,8 +254,19 @@ fn run_metrics(o: Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Loads and parses the fault plan file, if one was given.
+fn load_fault_plan(o: &Options) -> Result<Option<escape_netem::FaultPlan>, String> {
+    let Some(file) = &o.faults else {
+        return Ok(None);
+    };
+    let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let plan = escape_netem::FaultPlan::from_json(&src).map_err(|e| format!("{file}: {e}"))?;
+    Ok(Some(plan))
+}
+
 fn run(o: Options) -> Result<(), String> {
     let (topo, sg) = load_inputs(&o)?;
+    let fault_plan = load_fault_plan(&o)?;
 
     println!(
         "escape: {} switches, {} containers, {} SAPs | {} VNFs, {} chains | algorithm={} steering={:?}",
@@ -282,7 +313,17 @@ fn run(o: Options) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
         println!("ping: {from} -> {to} x {count}");
     }
-    esc.run_for_ms(o.duration_ms);
+    if let Some(plan) = &fault_plan {
+        esc.load_fault_plan(plan).map_err(|e| e.to_string())?;
+        println!(
+            "faults: plan {:?} armed, {} events",
+            plan.name,
+            plan.events.len()
+        );
+        esc.run_with_recovery(o.duration_ms);
+    } else {
+        esc.run_for_ms(o.duration_ms);
+    }
 
     // Report every SAP with any receive activity.
     let saps: Vec<String> = esc.topology().saps().map(|n| n.name.clone()).collect();
@@ -307,6 +348,19 @@ fn run(o: Options) -> Result<(), String> {
             "{}",
             format_handler_table(&format!("{vnf} @ {chain}"), &handlers)
         );
+    }
+    if fault_plan.is_some() {
+        let m = esc.metrics();
+        println!(
+            "faults: injected={} recoveries={} failures={} rpc_retries={}",
+            m.counter_total("faults.injected"),
+            m.counter("escape.recoveries", &[]).unwrap_or(0),
+            m.counter("escape.recovery_failures", &[]).unwrap_or(0),
+            m.counter("netconf.rpc_retries", &[]).unwrap_or(0),
+        );
+        for line in esc.event_trace() {
+            println!("  {line}");
+        }
     }
     Ok(())
 }

@@ -14,8 +14,10 @@ use crate::error::EscapeError;
 use crate::infra::{Infra, ManagerRelay};
 use escape_netconf::client::{switch_port_of, vnf_id_of};
 use escape_netconf::message::ReplyBody;
-use escape_netconf::{Client, ClientEvent, RpcReply};
-use escape_netem::{CtrlId, Host, HostStats, Sim, Time};
+use escape_netconf::{Client, ClientEvent, RetryPolicy, RpcReply};
+use escape_netem::{
+    CtrlId, FaultInjector, FaultKind, FaultPlan, FaultRecord, Host, HostStats, NodeId, Sim, Time,
+};
 use escape_openflow::{Action, Match};
 use escape_orch::{ChainMapping, MappingAlgorithm, Orchestrator};
 use escape_pox::{Controller, SteeringMode, SteeringRule, TrafficSteering};
@@ -87,9 +89,18 @@ pub struct Escape {
     orch: Orchestrator,
     clients: HashMap<String, Client>,
     deployed: HashMap<String, DeployedChain>,
+    /// Service graph each deployed chain came from, for crash re-mapping.
+    graphs: HashMap<String, ServiceGraph>,
     next_cookie: u64,
     topo: ResourceTopology,
     mode: SteeringMode,
+    /// Installed fault injector, if a plan was loaded.
+    injector: Option<NodeId>,
+    /// Backoff schedule for NETCONF RPC retries.
+    retry: RetryPolicy,
+    /// Human-readable, virtual-timestamped fault/recovery event log —
+    /// byte-identical across same-seed runs (the determinism witness).
+    events: Vec<String>,
     /// Simulation-wide metric registry, shared by every subsystem.
     telemetry: Registry,
     /// Virtual-time span tracer (chain setup phases).
@@ -100,6 +111,41 @@ pub struct Escape {
     deploy_failures_ctr: Counter,
     chains_ctr: Counter,
     teardowns_ctr: Counter,
+    /// RPC attempts that were retried (`netconf.rpc_retries`).
+    rpc_retries_ctr: Counter,
+    /// Successful chain recoveries (`escape.recoveries`).
+    recoveries_ctr: Counter,
+    /// Chains that could not be recovered (`escape.recovery_failures`).
+    recovery_failures_ctr: Counter,
+    /// Virtual ns from fault detection to restored steering
+    /// (`recovery.latency_ns`).
+    recovery_latency: Histogram,
+}
+
+/// How a single RPC attempt failed: retryably (no reply within the
+/// budget) or fatally (agent answered with an error, or the target does
+/// not exist).
+enum AttemptError {
+    Timeout,
+    Fatal(EscapeError),
+}
+
+/// What recovery does to a chain hit by a fault.
+#[derive(Debug, Clone, Copy)]
+enum RecoveryAction {
+    /// Keep the placement, move only the paths (link failures).
+    Reroute,
+    /// New placement on surviving containers (container crashes).
+    Remap,
+}
+
+impl RecoveryAction {
+    fn label(self) -> &'static str {
+        match self {
+            RecoveryAction::Reroute => "reroute",
+            RecoveryAction::Remap => "remap",
+        }
+    }
 }
 
 impl Escape {
@@ -123,15 +169,23 @@ impl Escape {
             orch,
             clients: HashMap::new(),
             deployed: HashMap::new(),
+            graphs: HashMap::new(),
             next_cookie: 1,
             topo,
             mode,
+            injector: None,
+            retry: RetryPolicy::standard(seed),
+            events: Vec::new(),
             tracer: Tracer::new(telemetry.clone()),
             rpc_latency: telemetry.histogram("netconf.rpc_latency_ns"),
             deploys_ctr: telemetry.counter("escape.deploys"),
             deploy_failures_ctr: telemetry.counter("escape.deploy_failures"),
             chains_ctr: telemetry.counter("escape.chains_deployed"),
             teardowns_ctr: telemetry.counter("escape.teardowns"),
+            rpc_retries_ctr: telemetry.counter("netconf.rpc_retries"),
+            recoveries_ctr: telemetry.counter("escape.recoveries"),
+            recovery_failures_ctr: telemetry.counter("escape.recovery_failures"),
+            recovery_latency: telemetry.histogram("recovery.latency_ns"),
             telemetry,
         };
         // Let the OpenFlow handshake and hello exchanges settle.
@@ -217,12 +271,11 @@ impl Escape {
     }
 
     /// Ensures the NETCONF session to `container` is up (hello exchange).
-    fn ensure_session(&mut self, container: &str) -> Result<CtrlId, EscapeError> {
-        let conn = *self
-            .infra
-            .netconf_conn
-            .get(container)
-            .ok_or_else(|| EscapeError::NotFound(format!("container {container}")))?;
+    /// A hello timeout is retryable — the agent may just be stalled.
+    fn ensure_session(&mut self, container: &str) -> Result<CtrlId, AttemptError> {
+        let conn = *self.infra.netconf_conn.get(container).ok_or_else(|| {
+            AttemptError::Fatal(EscapeError::NotFound(format!("container {container}")))
+        })?;
         let needs_hello = self.clients.get(container).is_none_or(|c| !c.ready());
         if needs_hello {
             let client = self
@@ -239,22 +292,20 @@ impl Escape {
                     break;
                 }
                 if self.sim.now() > deadline {
-                    return Err(EscapeError::Netconf(format!(
-                        "hello exchange with {container} timed out"
-                    )));
+                    return Err(AttemptError::Timeout);
                 }
             }
         }
         Ok(conn)
     }
 
-    /// Sends one RPC to a container's agent and waits (in virtual time)
-    /// for its reply.
-    fn rpc(
+    /// One RPC attempt: send, then wait (in virtual time) up to the RPC
+    /// deadline for the matching reply.
+    fn rpc_attempt(
         &mut self,
         container: &str,
-        build: impl FnOnce(&mut Client) -> (u64, Vec<u8>),
-    ) -> Result<RpcReply, EscapeError> {
+        build: &mut dyn FnMut(&mut Client) -> (u64, Vec<u8>),
+    ) -> Result<RpcReply, AttemptError> {
         let conn = self.ensure_session(container)?;
         let (id, bytes) = build(self.clients.get_mut(container).expect("session exists"));
         let sent_at = self.sim.now();
@@ -266,18 +317,48 @@ impl Escape {
                 if owner == container && reply.message_id == id {
                     self.rpc_latency.observe(self.sim.now().since(sent_at));
                     if let ReplyBody::Errors(errs) = &reply.body {
-                        return Err(EscapeError::Netconf(format!(
+                        return Err(AttemptError::Fatal(EscapeError::Netconf(format!(
                             "{container}: {}",
                             errs.first().map(|e| e.to_string()).unwrap_or_default()
-                        )));
+                        ))));
                     }
                     return Ok(reply);
                 }
             }
             if self.sim.now() > deadline {
-                return Err(EscapeError::Netconf(format!(
-                    "rpc to {container} timed out (message {id})"
-                )));
+                return Err(AttemptError::Timeout);
+            }
+        }
+    }
+
+    /// Sends one RPC to a container's agent with retry: timeouts back off
+    /// on the policy's deterministic schedule (waiting in virtual time)
+    /// and re-send a *fresh* message; agent-reported errors fail fast.
+    /// After the whole budget is spent the typed
+    /// [`EscapeError::RpcTimeout`] names the container and attempt count.
+    fn rpc(
+        &mut self,
+        container: &str,
+        mut build: impl FnMut(&mut Client) -> (u64, Vec<u8>),
+    ) -> Result<RpcReply, EscapeError> {
+        let policy = self.retry;
+        let mut attempt = 0u32;
+        loop {
+            match self.rpc_attempt(container, &mut build) {
+                Ok(reply) => return Ok(reply),
+                Err(AttemptError::Fatal(e)) => return Err(e),
+                Err(AttemptError::Timeout) => {
+                    if attempt >= policy.max_retries {
+                        return Err(EscapeError::RpcTimeout {
+                            container: container.to_string(),
+                            attempts: policy.attempts(),
+                        });
+                    }
+                    self.rpc_retries_ctr.inc();
+                    let wait = policy.delay_ns(attempt);
+                    self.sim.run_until(self.sim.now().add_ns(wait));
+                    attempt += 1;
+                }
             }
         }
     }
@@ -360,6 +441,9 @@ impl Escape {
         for dc in &chains {
             self.deployed
                 .insert(dc.mapping.chain.name.clone(), dc.clone());
+            // Remember the source graph so a crash can re-map the chain.
+            self.graphs
+                .insert(dc.mapping.chain.name.clone(), sg.clone());
         }
         let _ = total_rules;
         Ok(DeploymentReport {
@@ -410,6 +494,17 @@ impl Escape {
     ) -> Result<DeployedChain, EscapeError> {
         let cookie = self.next_cookie;
         self.next_cookie += 1;
+        self.deploy_mapping_with_cookie(sg, mapping, cookie)
+    }
+
+    /// The NETCONF leg with an explicit steering cookie — recovery reuses
+    /// a chain's original cookie so its rules replace the stale ones.
+    fn deploy_mapping_with_cookie(
+        &mut self,
+        sg: &ServiceGraph,
+        mapping: &ChainMapping,
+        cookie: u64,
+    ) -> Result<DeployedChain, EscapeError> {
         let hops = &mapping.chain.hops;
         let mut vnfs: Vec<DeployedVnf> = Vec::new();
 
@@ -512,8 +607,219 @@ impl Escape {
         self.sim
             .run_until(self.sim.now() + crate::infra::CTRL_LATENCY + Time::from_ms(1));
         self.orch.release_chain(chain);
+        self.graphs.remove(chain);
         self.teardowns_ctr.inc();
         Ok(())
+    }
+
+    // ---------------- fault injection & self-healing ----------------
+
+    /// Installs a fault plan into the emulation. Event times are relative
+    /// to *now*; entity names are resolved immediately, so a plan naming
+    /// an unknown node or link fails here rather than mid-run.
+    pub fn load_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), EscapeError> {
+        let node = FaultInjector::install(&mut self.sim, plan).map_err(EscapeError::Invalid)?;
+        self.injector = Some(node);
+        self.note(format!(
+            "fault plan {:?} armed ({} events)",
+            plan.name,
+            plan.events.len()
+        ));
+        Ok(())
+    }
+
+    /// The fault/recovery event log: one line per injected fault and per
+    /// recovery action, stamped with virtual time. Same seed + same plan
+    /// ⇒ byte-identical log (asserted by the chaos harness).
+    pub fn event_trace(&self) -> &[String] {
+        &self.events
+    }
+
+    /// Appends a virtual-timestamped line to the event log.
+    fn note(&mut self, msg: String) {
+        self.events
+            .push(format!("[{}ns] {msg}", self.sim.now().as_ns()));
+    }
+
+    /// Advances virtual time by `ms` milliseconds like
+    /// [`Escape::run_for_ms`], but checks for injected faults every
+    /// millisecond and runs recovery (re-route / re-map / re-steer) as
+    /// soon as one lands.
+    pub fn run_with_recovery(&mut self, ms: u64) {
+        let deadline = self.sim.now() + Time::from_ms(ms);
+        while self.sim.now() < deadline {
+            let slice = (self.sim.now() + Time::from_ms(1)).min(deadline);
+            self.sim.run_until(slice);
+            self.heal();
+        }
+    }
+
+    /// Drains injected-fault records and reacts to each in order.
+    fn heal(&mut self) {
+        let Some(inj) = self.injector else { return };
+        let records = match self.sim.node_as_mut::<FaultInjector>(inj) {
+            Some(fi) => fi.take_records(),
+            None => return,
+        };
+        for rec in records {
+            self.handle_fault(rec);
+        }
+    }
+
+    /// Loss at or above this fraction is treated as a link failure (the
+    /// paper's "degraded beyond use" threshold) and triggers a re-route.
+    const LOSS_FAILURE_THRESHOLD: f64 = 0.25;
+
+    fn handle_fault(&mut self, rec: FaultRecord) {
+        self.note(format!("fault {} {}", rec.kind.label(), rec.kind.target()));
+        match rec.kind {
+            FaultKind::LinkDown { a, b } => self.heal_link(&a, &b),
+            FaultKind::LossSpike { a, b, loss } if loss >= Self::LOSS_FAILURE_THRESHOLD => {
+                self.heal_link(&a, &b)
+            }
+            FaultKind::LinkUp { a, b } | FaultKind::LossClear { a, b } => {
+                if self.orch.mark_link_recovered(&a, &b) {
+                    self.note(format!("link {a}-{b} back in the resource view"));
+                }
+            }
+            FaultKind::VnfCrash { node } => self.heal_container(&node),
+            // Tolerable degradations: delay spikes ride out on their own,
+            // stalls are bridged by the RPC retry schedule.
+            FaultKind::LossSpike { .. }
+            | FaultKind::DelaySpike { .. }
+            | FaultKind::DelayClear { .. }
+            | FaultKind::VnfStall { .. }
+            | FaultKind::VnfResume { .. } => {}
+        }
+    }
+
+    /// Link failed (or degraded beyond use): mark it in the resource view
+    /// and re-route every chain whose path crossed it, keeping placements.
+    fn heal_link(&mut self, a: &str, b: &str) {
+        self.orch.mark_link_failed(a, b);
+        for chain in self.orch.chains_using_link(a, b) {
+            self.recover_chain(&chain, RecoveryAction::Reroute);
+        }
+    }
+
+    /// Container died: its agent is gone, its residuals are written off,
+    /// and every chain with a VNF on it is re-mapped onto survivors and
+    /// redeployed over NETCONF.
+    fn heal_container(&mut self, container: &str) {
+        self.clients.remove(container); // session died with the agent
+        self.orch.mark_container_failed(container);
+        for chain in self.orch.chains_on_container(container) {
+            self.recover_chain(&chain, RecoveryAction::Remap);
+        }
+    }
+
+    /// Runs one recovery action under a `recovery` span, updating the
+    /// recovery counters and latency histogram.
+    fn recover_chain(&mut self, chain: &str, action: RecoveryAction) {
+        let start = self.sim.now();
+        let sp = self.tracer.enter("recovery", start.as_ns());
+        let result = match action {
+            RecoveryAction::Reroute => self.reroute_deployed(chain),
+            RecoveryAction::Remap => self.remap_deployed(chain),
+        };
+        self.tracer.exit(sp, self.sim.now().as_ns());
+        match result {
+            Ok(()) => {
+                self.recoveries_ctr.inc();
+                self.recovery_latency.observe(self.sim.now().since(start));
+                self.note(format!("recovered chain {chain} ({})", action.label()));
+            }
+            Err(e) => {
+                self.recovery_failures_ctr.inc();
+                self.abandon_chain(chain);
+                self.note(format!("recovery of chain {chain} failed: {e}"));
+            }
+        }
+    }
+
+    /// Re-routes a deployed chain around failed links (placement kept),
+    /// then re-steers its flows onto the new paths.
+    fn reroute_deployed(&mut self, chain: &str) -> Result<(), EscapeError> {
+        let mapping = self
+            .orch
+            .reroute_chain(chain)
+            .map_err(|e| EscapeError::MappingFailed(vec![(chain.to_string(), e)]))?;
+        let mut dc = self
+            .deployed
+            .get(chain)
+            .cloned()
+            .ok_or_else(|| EscapeError::NotFound(format!("chain {chain}")))?;
+        dc.mapping = mapping;
+        self.resteer(&mut dc)?;
+        self.deployed.insert(chain.to_string(), dc);
+        Ok(())
+    }
+
+    /// Fully re-maps a chain (new placement on surviving containers),
+    /// redeploys its VNFs over NETCONF under the original cookie, and
+    /// re-steers.
+    fn remap_deployed(&mut self, chain: &str) -> Result<(), EscapeError> {
+        let sg = self
+            .graphs
+            .get(chain)
+            .cloned()
+            .ok_or_else(|| EscapeError::NotFound(format!("service graph of chain {chain}")))?;
+        let old = self
+            .deployed
+            .get(chain)
+            .cloned()
+            .ok_or_else(|| EscapeError::NotFound(format!("chain {chain}")))?;
+        let mapping = self
+            .orch
+            .remap_chain(&sg, chain)
+            .map_err(|e| EscapeError::MappingFailed(vec![(chain.to_string(), e)]))?;
+        // Best-effort stop of surviving old instances: their containers
+        // may host the replacements too, so don't leak running VNFs.
+        for v in &old.vnfs {
+            if self.orch.state().container_failed(&v.container) {
+                continue; // died with the container
+            }
+            let vid = v.vnf_id.clone();
+            let _ = self.rpc(&v.container, |c| c.stop_vnf(&vid));
+        }
+        let mut dc = self.deploy_mapping_with_cookie(&sg, &mapping, old.cookie)?;
+        self.resteer(&mut dc)?;
+        self.deployed.insert(chain.to_string(), dc);
+        Ok(())
+    }
+
+    /// Replaces a chain's steering rules atomically (stale rules deleted,
+    /// new ones installed at one flush) and waits for the switches.
+    fn resteer(&mut self, dc: &mut DeployedChain) -> Result<(), EscapeError> {
+        let rules = compile_rules(&self.infra, dc)?;
+        dc.rules = rules.len();
+        let ctl = self
+            .sim
+            .node_as_mut::<Controller>(self.infra.controller)
+            .expect("controller");
+        ctl.component_as_mut::<TrafficSteering>()
+            .expect("steering component")
+            .resteer_chain(dc.cookie, rules);
+        Controller::request_flush(&mut self.sim, self.infra.controller, Time::ZERO);
+        self.await_steering()
+    }
+
+    /// A chain that could not be recovered: tear its stale rules out of
+    /// the switches and forget it (the resource view was already cleaned
+    /// by the failed re-map/re-route). Its service graph stays cached for
+    /// a later manual redeploy.
+    fn abandon_chain(&mut self, chain: &str) {
+        let Some(dc) = self.deployed.remove(chain) else {
+            return;
+        };
+        let ctl = self
+            .sim
+            .node_as_mut::<Controller>(self.infra.controller)
+            .expect("controller");
+        ctl.component_as_mut::<TrafficSteering>()
+            .expect("steering component")
+            .remove_chain(dc.cookie);
+        Controller::request_flush(&mut self.sim, self.infra.controller, Time::ZERO);
     }
 
     // ---------------- traffic & inspection --------------------------

@@ -12,6 +12,14 @@ pub enum EscapeError {
     MappingFailed(Vec<(String, MapError)>),
     /// A NETCONF operation failed or timed out (virtual time budget).
     Netconf(String),
+    /// A NETCONF RPC exhausted its retry budget without a reply — the
+    /// agent is unreachable (crashed container, partitioned control
+    /// network, or a stall longer than the whole backoff schedule).
+    RpcTimeout {
+        container: String,
+        /// Attempts made (first try + retries).
+        attempts: u32,
+    },
     /// Steering rules could not be installed.
     Steering(String),
     /// A named entity does not exist.
@@ -30,6 +38,13 @@ impl std::fmt::Display for EscapeError {
                 Ok(())
             }
             EscapeError::Netconf(m) => write!(f, "netconf: {m}"),
+            EscapeError::RpcTimeout {
+                container,
+                attempts,
+            } => write!(
+                f,
+                "netconf: rpc to {container} timed out after {attempts} attempt(s)"
+            ),
             EscapeError::Steering(m) => write!(f, "steering: {m}"),
             EscapeError::NotFound(m) => write!(f, "not found: {m}"),
         }
@@ -51,5 +66,11 @@ mod tests {
         assert!(EscapeError::NotFound("sap9".into())
             .to_string()
             .contains("sap9"));
+        let t = EscapeError::RpcTimeout {
+            container: "c0".into(),
+            attempts: 5,
+        };
+        assert!(t.to_string().contains("c0"));
+        assert!(t.to_string().contains("5 attempt"));
     }
 }

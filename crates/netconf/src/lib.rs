@@ -24,13 +24,16 @@
 //!   mirroring the paper's note that porting to real platforms only
 //!   requires swapping the instrumentation;
 //! * [`client`] — the orchestrator-side client with typed wrappers for
-//!   every `vnf_starter` RPC.
+//!   every `vnf_starter` RPC;
+//! * [`retry`] — deterministic exponential-backoff schedules (with cap
+//!   and seeded jitter) for driving RPC retries in virtual time.
 
 pub mod agent;
 pub mod client;
 pub mod datastore;
 pub mod framing;
 pub mod message;
+pub mod retry;
 pub mod vnf_starter;
 pub mod xml;
 pub mod yang;
@@ -40,4 +43,5 @@ pub use client::{Client, ClientEvent};
 pub use datastore::{Datastore, EditOperation};
 pub use framing::Framer;
 pub use message::{NetconfError, Rpc, RpcReply};
+pub use retry::RetryPolicy;
 pub use xml::XmlElement;

@@ -1,0 +1,137 @@
+//! Retry scheduling for NETCONF RPCs: exponential backoff with a cap and
+//! deterministic jitter.
+//!
+//! The environment drives RPCs in *virtual* time, so delays are plain
+//! nanosecond counts (no clocks, no threads) and the jitter must be a
+//! pure function of the policy — two runs with the same seed produce the
+//! same schedule. The schedule keeps three invariants, property-tested in
+//! `tests/prop.rs`:
+//!
+//! 1. delays are monotone non-decreasing in the attempt number;
+//! 2. every delay is ≤ `max_ns`;
+//! 3. jitter only stretches a delay upward, by at most `jitter` × base
+//!    (before the cap).
+
+/// Exponential backoff policy. All durations are virtual nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base_ns: u64,
+    /// Ceiling for any single delay.
+    pub max_ns: u64,
+    /// Upward jitter fraction in `0.0..=1.0` (clamped on construction).
+    pub jitter: f64,
+    /// Retries after the first attempt (total attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with explicit parameters. `jitter` is clamped to
+    /// `0.0..=1.0` so the monotonicity invariant holds (doubling always
+    /// outruns the jitter).
+    pub fn new(base_ns: u64, max_ns: u64, jitter: f64, max_retries: u32, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            base_ns: base_ns.max(1),
+            max_ns: max_ns.max(base_ns.max(1)),
+            jitter: jitter.clamp(0.0, 1.0),
+            max_retries,
+            seed,
+        }
+    }
+
+    /// Default for the environment: 10 ms base doubling to an 80 ms cap,
+    /// 10% jitter, 4 retries.
+    pub fn standard(seed: u64) -> RetryPolicy {
+        RetryPolicy::new(10_000_000, 80_000_000, 0.1, 4, seed)
+    }
+
+    /// Total attempts (first try + retries).
+    pub fn attempts(&self) -> u32 {
+        self.max_retries + 1
+    }
+
+    /// The undithered exponential delay for retry `attempt` (0-based):
+    /// `base · 2^attempt`, capped at `max_ns`.
+    pub fn raw_delay_ns(&self, attempt: u32) -> u64 {
+        if attempt >= 63 {
+            return self.max_ns;
+        }
+        self.base_ns
+            .saturating_mul(1u64 << attempt)
+            .min(self.max_ns)
+    }
+
+    /// The jittered delay for retry `attempt`: the raw delay stretched
+    /// upward by up to `jitter` of itself, then clamped to `max_ns`.
+    pub fn delay_ns(&self, attempt: u32) -> u64 {
+        let raw = self.raw_delay_ns(attempt);
+        let unit = unit_interval(splitmix64(
+            self.seed ^ (u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        ));
+        let stretch = (raw as f64 * self.jitter * unit) as u64;
+        raw.saturating_add(stretch).min(self.max_ns)
+    }
+
+    /// The whole schedule, one delay per retry.
+    pub fn schedule(&self) -> Vec<u64> {
+        (0..self.max_retries).map(|a| self.delay_ns(a)).collect()
+    }
+}
+
+/// SplitMix64: a tiny, high-quality bit mixer. Pure, so the jitter stream
+/// is a function of (seed, attempt) only.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Maps a u64 onto `[0, 1)`.
+fn unit_interval(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_schedule_doubles_then_caps() {
+        let p = RetryPolicy::new(10, 80, 0.0, 6, 1);
+        let raws: Vec<u64> = (0..6).map(|a| p.raw_delay_ns(a)).collect();
+        assert_eq!(raws, vec![10, 20, 40, 80, 80, 80]);
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds_and_cap() {
+        let p = RetryPolicy::new(1_000, 8_000, 0.5, 8, 42);
+        for a in 0..8 {
+            let raw = p.raw_delay_ns(a);
+            let d = p.delay_ns(a);
+            assert!(d >= raw, "attempt {a}: {d} < raw {raw}");
+            assert!(d <= (raw + raw / 2).min(p.max_ns), "attempt {a}: {d}");
+        }
+    }
+
+    #[test]
+    fn schedule_is_monotone_and_deterministic() {
+        let p = RetryPolicy::standard(7);
+        let s1 = p.schedule();
+        let s2 = RetryPolicy::standard(7).schedule();
+        assert_eq!(s1, s2);
+        assert!(s1.windows(2).all(|w| w[0] <= w[1]), "{s1:?}");
+        // A different seed gives a different (but still valid) schedule.
+        let s3 = RetryPolicy::standard(8).schedule();
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn extreme_attempts_do_not_overflow() {
+        let p = RetryPolicy::new(u64::MAX / 2, u64::MAX, 1.0, 200, 3);
+        assert_eq!(p.delay_ns(200), u64::MAX);
+        assert_eq!(p.delay_ns(64), u64::MAX);
+    }
+}

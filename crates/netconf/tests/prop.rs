@@ -1,9 +1,11 @@
 //! Property tests for NETCONF: XML round trips, framing reassembly under
-//! arbitrary splits, envelope round trips, datastore edit laws.
+//! arbitrary splits, envelope round trips, datastore edit laws, backoff
+//! schedule invariants.
 
 use escape_netconf::datastore::{Datastore, EditOperation};
 use escape_netconf::framing::Framer;
 use escape_netconf::message::{Rpc, RpcReply};
+use escape_netconf::retry::RetryPolicy;
 use escape_netconf::xml::{escape, XmlElement};
 use proptest::prelude::*;
 
@@ -154,5 +156,52 @@ proptest! {
         let cfg = XmlElement::parse(&format!("<config><{n} operation=\"delete\"/></config>")).unwrap();
         prop_assert!(ds.edit(&cfg, EditOperation::Merge).is_err());
         prop_assert_eq!(ds.get(None), before);
+    }
+
+    /// Backoff schedules are monotone non-decreasing: later retries never
+    /// wait less than earlier ones, jitter notwithstanding.
+    #[test]
+    fn backoff_is_monotone_non_decreasing(
+        base in 1u64..1_000_000,
+        cap_mult in 1u64..1_000,
+        jitter in 0.0f64..1.0,
+        retries in 1u32..40,
+        seed in any::<u64>(),
+    ) {
+        let p = RetryPolicy::new(base, base.saturating_mul(cap_mult), jitter, retries, seed);
+        let s = p.schedule();
+        prop_assert_eq!(s.len(), retries as usize);
+        prop_assert!(s.windows(2).all(|w| w[0] <= w[1]), "not monotone: {:?}", s);
+    }
+
+    /// Every delay respects the cap, and jitter only stretches upward by
+    /// at most the jitter fraction of the raw exponential delay.
+    #[test]
+    fn backoff_is_capped_with_bounded_jitter(
+        base in 1u64..1_000_000,
+        cap_mult in 1u64..1_000,
+        jitter in 0.0f64..1.0,
+        attempt in 0u32..80,
+        seed in any::<u64>(),
+    ) {
+        let p = RetryPolicy::new(base, base.saturating_mul(cap_mult), jitter, 4, seed);
+        let raw = p.raw_delay_ns(attempt);
+        let d = p.delay_ns(attempt);
+        prop_assert!(d <= p.max_ns, "delay {d} above cap {}", p.max_ns);
+        prop_assert!(d >= raw.min(p.max_ns), "jitter shrank the delay");
+        let ceiling = raw.saturating_add((raw as f64 * p.jitter).ceil() as u64).min(p.max_ns);
+        prop_assert!(d <= ceiling, "delay {d} above jitter ceiling {ceiling}");
+    }
+
+    /// The schedule is a pure function of the policy: same parameters,
+    /// same delays — the determinism guard for recovery runs.
+    #[test]
+    fn backoff_is_deterministic_per_seed(
+        base in 1u64..1_000_000,
+        jitter in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mk = || RetryPolicy::new(base, base * 8, jitter, 6, seed).schedule();
+        prop_assert_eq!(mk(), mk());
     }
 }

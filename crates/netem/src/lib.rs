@@ -26,6 +26,7 @@
 //! Everything is single-threaded and sans-IO: a run is a pure function of
 //! the topology, the workload and the seed.
 
+pub mod fault;
 pub mod host;
 pub mod link;
 pub mod process;
@@ -34,6 +35,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord};
 pub use host::{Host, HostStats};
 pub use link::{LinkConfig, LinkId, LinkState};
 pub use process::{CpuModel, IsolationMode};

@@ -148,6 +148,9 @@ impl Ord for Scheduled {
 struct NodeSlot {
     name: String,
     logic: Option<Box<dyn NodeLogic>>,
+    /// Logic parked by [`Sim::pause_node`] (a stalled process): events
+    /// are discarded until [`Sim::resume_node`] moves it back.
+    parked: Option<Box<dyn NodeLogic>>,
     /// port index -> (link index, our direction on that link)
     ports: Vec<Option<(u32, u8)>>,
 }
@@ -246,9 +249,41 @@ impl Sim {
         self.nodes.push(NodeSlot {
             name: name.into(),
             logic: Some(logic),
+            parked: None,
             ports: vec![None; ports as usize],
         });
         NodeId(id)
+    }
+
+    /// Finds a node by name (first match).
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Every link whose endpoints are the named nodes, in either order
+    /// (parallel links between the same pair are all returned).
+    pub fn find_links(&self, a: &str, b: &str) -> Vec<LinkId> {
+        let (Some(na), Some(nb)) = (self.find_node(a), self.find_node(b)) else {
+            return Vec::new();
+        };
+        let key = if na.0 <= nb.0 {
+            [na.0, nb.0]
+        } else {
+            [nb.0, na.0]
+        };
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| {
+                let mut ends = [l.ends[0].0, l.ends[1].0];
+                ends.sort_unstable();
+                ends == key
+            })
+            .map(|(i, _)| LinkId(i as u32))
+            .collect()
     }
 
     /// Node count.
@@ -326,6 +361,26 @@ impl Sim {
     pub fn set_link_loss(&mut self, link: LinkId, loss: f64) {
         assert!((0.0..=1.0).contains(&loss));
         self.links[link.0 as usize].cfg.loss = loss;
+    }
+
+    /// A link's current loss probability.
+    pub fn link_loss(&self, link: LinkId) -> f64 {
+        self.links[link.0 as usize].cfg.loss
+    }
+
+    /// Changes a link's propagation delay (fault injection).
+    pub fn set_link_delay(&mut self, link: LinkId, delay: Time) {
+        self.links[link.0 as usize].cfg.delay = delay;
+    }
+
+    /// A link's current propagation delay.
+    pub fn link_delay(&self, link: LinkId) -> Time {
+        self.links[link.0 as usize].cfg.delay
+    }
+
+    /// A link's current administrative state.
+    pub fn link_state(&self, link: LinkId) -> LinkState {
+        self.links[link.0 as usize].state
     }
 
     /// Creates a control channel between two nodes: reliable, ordered,
@@ -588,7 +643,41 @@ impl Sim {
     /// Removes a node's logic entirely — events addressed to it are
     /// discarded from then on. Models a crashed VNF container.
     pub fn kill_node(&mut self, node: NodeId) -> Option<Box<dyn NodeLogic>> {
-        self.nodes[node.0 as usize].logic.take()
+        let slot = &mut self.nodes[node.0 as usize];
+        slot.parked = None;
+        slot.logic.take()
+    }
+
+    /// Parks a node's logic: events addressed to it are discarded until
+    /// [`Sim::resume_node`]. Models a stalled (hung but alive) process.
+    /// Returns false if the node is already paused or dead.
+    pub fn pause_node(&mut self, node: NodeId) -> bool {
+        let slot = &mut self.nodes[node.0 as usize];
+        match slot.logic.take() {
+            Some(l) => {
+                slot.parked = Some(l);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Un-parks a paused node. Returns false if it was not paused (e.g.
+    /// it was killed in the meantime).
+    pub fn resume_node(&mut self, node: NodeId) -> bool {
+        let slot = &mut self.nodes[node.0 as usize];
+        match slot.parked.take() {
+            Some(l) => {
+                slot.logic = Some(l);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if the node currently has live logic (not killed or paused).
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.nodes[node.0 as usize].logic.is_some()
     }
 }
 
@@ -631,6 +720,48 @@ impl NodeCtx<'_> {
     /// Sends a message on a control channel this node terminates.
     pub fn ctrl_send(&mut self, conn: CtrlId, msg: Vec<u8>) {
         self.sim.ctrl_send_from(self.node, conn, msg);
+    }
+
+    // ------------- fault-injection capabilities ---------------------
+    // Used by the fault injector node (crate::fault): a node dispatched
+    // by the kernel may manipulate links and *other* nodes.
+
+    /// Administratively flips a link.
+    pub fn set_link_state(&mut self, link: LinkId, state: LinkState) {
+        self.sim.set_link_state(link, state);
+    }
+
+    /// Changes a link's random loss probability.
+    pub fn set_link_loss(&mut self, link: LinkId, loss: f64) {
+        self.sim.set_link_loss(link, loss);
+    }
+
+    /// Changes a link's propagation delay.
+    pub fn set_link_delay(&mut self, link: LinkId, delay: Time) {
+        self.sim.set_link_delay(link, delay);
+    }
+
+    /// Kills another node (no-op on self: logic is already taken).
+    pub fn kill_node(&mut self, node: NodeId) {
+        self.sim.kill_node(node);
+    }
+
+    /// Pauses another node.
+    pub fn pause_node(&mut self, node: NodeId) -> bool {
+        self.sim.pause_node(node)
+    }
+
+    /// Resumes a paused node.
+    pub fn resume_node(&mut self, node: NodeId) -> bool {
+        self.sim.resume_node(node)
+    }
+
+    /// Increments `faults.injected{kind=...}` in the sim's registry.
+    pub fn count_fault(&mut self, kind: &str) {
+        self.sim
+            .telemetry
+            .counter_with("faults.injected", &[("kind", kind)])
+            .inc();
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::algo::{MapError, MappingAlgorithm};
 use crate::state::ResourceState;
+use escape_sg::topo::{link_key, TopoNodeKind};
 use escape_sg::{Chain, ResourceTopology, ServiceGraph};
 use escape_telemetry::{Counter, Histogram, Registry};
 use std::collections::HashMap;
@@ -91,6 +92,10 @@ struct OrchCounters {
     embedded: Counter,
     rejected: Counter,
     sg_rejected: Counter,
+    remaps: Counter,
+    remap_failures: Counter,
+    reroutes: Counter,
+    reroute_failures: Counter,
     placement_ns: Histogram,
 }
 
@@ -101,6 +106,10 @@ impl OrchCounters {
             embedded: reg.counter("orch.chains_embedded"),
             rejected: reg.counter("orch.chains_rejected"),
             sg_rejected: reg.counter("orch.sg_rejected"),
+            remaps: reg.counter("orch.remaps"),
+            remap_failures: reg.counter("orch.remap_failures"),
+            reroutes: reg.counter("orch.reroutes"),
+            reroute_failures: reg.counter("orch.reroute_failures"),
             placement_ns: reg.histogram("orch.placement_ns"),
         }
     }
@@ -274,6 +283,159 @@ impl Orchestrator {
         Some(mapping)
     }
 
+    // ------------- fault handling -----------------------------------
+
+    /// Marks a container failed in the resource view (see
+    /// [`ResourceState::fail_container`]).
+    pub fn mark_container_failed(&mut self, container: &str) -> bool {
+        self.state.fail_container(container)
+    }
+
+    /// Restores a failed container's capacity.
+    pub fn mark_container_recovered(&mut self, container: &str) -> bool {
+        self.state.recover_container(container)
+    }
+
+    /// Marks a link failed: path search and reservation route around it.
+    pub fn mark_link_failed(&mut self, a: &str, b: &str) -> bool {
+        self.state.fail_link(a, b)
+    }
+
+    /// Restores a failed link's capacity.
+    pub fn mark_link_recovered(&mut self, a: &str, b: &str) -> bool {
+        self.state.recover_link(a, b)
+    }
+
+    /// The committed mapping of an embedded chain, if any.
+    pub fn chain_mapping(&self, chain_name: &str) -> Option<&ChainMapping> {
+        self.committed.get(chain_name).map(|(m, _)| m)
+    }
+
+    /// Embedded chains whose routed segments traverse the `a`-`b` link,
+    /// sorted for deterministic recovery order.
+    pub fn chains_using_link(&self, a: &str, b: &str) -> Vec<String> {
+        let key = link_key(a, b);
+        let mut v: Vec<String> = self
+            .committed
+            .iter()
+            .filter(|(_, (m, _))| {
+                m.segments
+                    .iter()
+                    .any(|s| s.nodes.windows(2).any(|w| link_key(&w[0], &w[1]) == key))
+            })
+            .map(|(name, _)| name.clone())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Embedded chains with at least one VNF placed on `container`,
+    /// sorted for deterministic recovery order.
+    pub fn chains_on_container(&self, container: &str) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .committed
+            .iter()
+            .filter(|(_, (m, _))| m.placement.iter().any(|(_, c)| c == container))
+            .map(|(name, _)| name.clone())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Fully re-embeds a chain (new placement and routes), e.g. after the
+    /// container hosting one of its VNFs died. The old embedding is
+    /// released first; on failure the chain stays un-embedded and its
+    /// healthy resources stay released (the caller decides whether to
+    /// retry later).
+    pub fn remap_chain(
+        &mut self,
+        sg: &ServiceGraph,
+        chain_name: &str,
+    ) -> Result<ChainMapping, MapError> {
+        let Some(old) = self.release_chain(chain_name) else {
+            return Err(MapError::Infeasible(format!(
+                "chain {chain_name:?} is not embedded"
+            )));
+        };
+        match self.embed_chain(sg, &old.chain) {
+            Ok(m) => {
+                self.counters.remaps.inc();
+                Ok(m)
+            }
+            Err(e) => {
+                self.counters.remap_failures.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// Re-routes a chain around failed links while keeping its placement
+    /// (VNFs stay where they run; only the paths move). On failure the
+    /// chain is fully released — placement included — so a subsequent
+    /// [`Orchestrator::remap_chain`]-style re-embedding can start clean.
+    pub fn reroute_chain(&mut self, chain_name: &str) -> Result<ChainMapping, MapError> {
+        let Some((old, compute)) = self.committed.remove(chain_name) else {
+            return Err(MapError::Infeasible(format!(
+                "chain {chain_name:?} is not embedded"
+            )));
+        };
+        // Free the old paths (failed hops land in the stash), keep compute.
+        for seg in &old.segments {
+            self.state
+                .release_path(&seg.nodes, old.chain.bandwidth_mbps);
+        }
+        let placement = old.placement.clone();
+        let topo = &self.topo;
+        let locate = |hop: &str| -> Option<String> {
+            if let Some((_, c)) = placement.iter().find(|(v, _)| v == hop) {
+                return Some(c.clone());
+            }
+            match topo.node(hop).map(|n| &n.kind) {
+                Some(TopoNodeKind::Sap) => Some(hop.to_string()),
+                _ => None,
+            }
+        };
+        let routed =
+            route_chain(topo, &old.chain, &locate, &self.state).and_then(|(segments, total)| {
+                let mut reserved: Vec<&PathSegment> = Vec::new();
+                for seg in &segments {
+                    if let Err(e) = self
+                        .state
+                        .reserve_path(&seg.nodes, old.chain.bandwidth_mbps)
+                    {
+                        for s in reserved {
+                            self.state.release_path(&s.nodes, old.chain.bandwidth_mbps);
+                        }
+                        return Err(MapError::Infeasible(e));
+                    }
+                    reserved.push(seg);
+                }
+                Ok((segments, total))
+            });
+        match routed {
+            Ok((segments, total)) => {
+                let mapping = ChainMapping {
+                    segments,
+                    total_delay_us: total,
+                    ..old
+                };
+                self.committed
+                    .insert(chain_name.to_string(), (mapping.clone(), compute));
+                self.counters.reroutes.inc();
+                Ok(mapping)
+            }
+            Err(e) => {
+                // No viable route: give the compute back too and leave the
+                // chain un-embedded.
+                for (c, cpu, mem) in compute {
+                    self.state.release_compute(&c, cpu, mem);
+                }
+                self.counters.reroute_failures.inc();
+                Err(e)
+            }
+        }
+    }
+
     /// Names of currently embedded chains.
     pub fn embedded_chains(&self) -> Vec<&str> {
         let mut v: Vec<&str> = self.committed.keys().map(|s| s.as_str()).collect();
@@ -407,6 +569,135 @@ mod tests {
         let (ok, rejected) = orch.embed_graph(&g);
         assert!(ok.is_empty());
         assert!(matches!(rejected[0].1, MapError::DelayExceeded { .. }));
+    }
+
+    /// A redundant triangle: the s0-s1 primary link has a two-hop backup
+    /// through s2, so reroutes have somewhere to go.
+    fn triangle() -> ResourceTopology {
+        let mut t = ResourceTopology::new();
+        t.add_sap("sap0").add_sap("sap1");
+        t.add_switch("s0").add_switch("s1").add_switch("s2");
+        t.add_container("c0", 4.0, 2048);
+        t.add_link("sap0", "s0", 1000.0, 10);
+        t.add_link("s0", "c0", 1000.0, 20);
+        t.add_link("s0", "s1", 1000.0, 50);
+        t.add_link("s0", "s2", 1000.0, 100);
+        t.add_link("s2", "s1", 1000.0, 100);
+        t.add_link("sap1", "s1", 1000.0, 10);
+        t
+    }
+
+    #[test]
+    fn reroute_moves_traffic_off_a_failed_link() {
+        let mut orch = Orchestrator::new(triangle(), Box::new(GreedyFirstFit)).unwrap();
+        let g = ServiceGraph::new()
+            .sap("sap0")
+            .sap("sap1")
+            .vnf("fw", "firewall", 1.0, 256)
+            .chain("c1", &["sap0", "fw", "sap1"], 100.0, None);
+        let m = orch.embed_chain(&g, &g.chains[0]).unwrap();
+        assert!(
+            m.segments.iter().any(|s| s
+                .nodes
+                .windows(2)
+                .any(|w| { (w[0] == "s0" && w[1] == "s1") || (w[0] == "s1" && w[1] == "s0") })),
+            "primary route should use the direct s0-s1 link: {m:?}"
+        );
+        assert_eq!(orch.chains_using_link("s1", "s0"), vec!["c1"]);
+        assert_eq!(orch.chains_on_container("c0"), vec!["c1"]);
+
+        orch.mark_link_failed("s0", "s1");
+        let m2 = orch.reroute_chain("c1").unwrap();
+        assert_eq!(m2.placement, m.placement, "reroute keeps the placement");
+        assert!(
+            m2.segments
+                .iter()
+                .any(|s| s.nodes.iter().any(|n| n == "s2")),
+            "reroute should detour through s2: {m2:?}"
+        );
+        assert!(m2.total_delay_us > m.total_delay_us);
+        assert!(orch.chains_using_link("s0", "s1").is_empty());
+        let snap = orch.telemetry().snapshot();
+        assert_eq!(snap.counter("orch.reroutes", &[]), Some(1));
+        // The full round trip still releases cleanly.
+        orch.mark_link_recovered("s0", "s1");
+        orch.release_chain("c1").unwrap();
+        let fresh = ResourceState::from_topology(orch.topology());
+        assert_eq!(orch.state().bw, fresh.bw);
+        assert_eq!(orch.state().cpu, fresh.cpu);
+    }
+
+    #[test]
+    fn reroute_without_alternate_path_releases_everything() {
+        // linear(2) has a single path between the SAPs.
+        let mut orch =
+            Orchestrator::new(builders::linear(2, 4.0), Box::new(GreedyFirstFit)).unwrap();
+        let g = sg();
+        orch.embed_chain(&g, &g.chains[0]).unwrap();
+        orch.mark_link_failed("s0", "s1");
+        let err = orch.reroute_chain("c1").unwrap_err();
+        assert!(matches!(err, MapError::NoPath { .. }), "{err:?}");
+        assert!(orch.embedded_chains().is_empty(), "chain fully released");
+        // Healthy resources were returned (only the failed link is held).
+        orch.mark_link_recovered("s0", "s1");
+        let fresh = ResourceState::from_topology(orch.topology());
+        assert_eq!(orch.state().cpu, fresh.cpu);
+        assert_eq!(orch.state().bw, fresh.bw);
+        assert_eq!(
+            orch.telemetry()
+                .snapshot()
+                .counter("orch.reroute_failures", &[]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn remap_moves_a_chain_off_a_failed_container() {
+        let mut orch = Orchestrator::new(builders::star(2, 4.0), Box::new(GreedyFirstFit)).unwrap();
+        let g = ServiceGraph::new()
+            .sap("sap0")
+            .sap("sap1")
+            .vnf("fw", "firewall", 1.0, 256)
+            .chain("c1", &["sap0", "fw", "sap1"], 100.0, None);
+        let m = orch.embed_chain(&g, &g.chains[0]).unwrap();
+        assert_eq!(m.container_of("fw"), Some("c0"));
+
+        orch.mark_container_failed("c0");
+        let m2 = orch.remap_chain(&g, "c1").unwrap();
+        assert_eq!(m2.container_of("fw"), Some("c1"), "moved to the survivor");
+        assert_eq!(orch.chains_on_container("c1"), vec!["c1"]);
+        assert_eq!(
+            orch.telemetry().snapshot().counter("orch.remaps", &[]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn remap_without_capacity_fails_gracefully() {
+        let mut orch = Orchestrator::new(builders::star(2, 1.0), Box::new(GreedyFirstFit)).unwrap();
+        let g = ServiceGraph::new()
+            .sap("sap0")
+            .sap("sap1")
+            .vnf("fw", "firewall", 1.0, 256)
+            .chain("c1", &["sap0", "fw", "sap1"], 100.0, None);
+        orch.embed_chain(&g, &g.chains[0]).unwrap();
+        orch.mark_container_failed("c0");
+        orch.mark_container_failed("c1");
+        let err = orch.remap_chain(&g, "c1").unwrap_err();
+        assert!(matches!(err, MapError::NoCapacity(_)), "{err:?}");
+        assert!(orch.embedded_chains().is_empty());
+        assert!(orch.remap_chain(&g, "c1").is_err(), "unknown chain now");
+        assert_eq!(
+            orch.telemetry()
+                .snapshot()
+                .counter("orch.remap_failures", &[]),
+            Some(1)
+        );
+        // Survivors come back once the containers recover.
+        orch.mark_container_recovered("c0");
+        orch.mark_container_recovered("c1");
+        let m = orch.embed_chain(&g, &g.chains[0]).unwrap();
+        assert_eq!(m.placement.len(), 1);
     }
 
     #[test]

@@ -14,6 +14,12 @@ pub struct ResourceState {
     pub mem: HashMap<String, u64>,
     /// Residual bandwidth (Mbit/s) per canonical link key.
     pub bw: HashMap<(String, String), f64>,
+    /// Residuals stashed away for failed containers: while a container is
+    /// in here its live cpu/mem read zero, and releases route into the
+    /// stash so recovery restores an exact view.
+    failed_compute: HashMap<String, (f64, u64)>,
+    /// Same for failed links (stashed residual bandwidth).
+    failed_links: HashMap<(String, String), f64>,
 }
 
 impl ResourceState {
@@ -43,9 +49,76 @@ impl ResourceState {
         self.bw.get(&link_key(a, b)).copied().unwrap_or(0.0)
     }
 
-    /// True if `container` can host a (cpu, mem) demand.
+    /// True if `container` can host a (cpu, mem) demand. Failed
+    /// containers never fit.
     pub fn fits(&self, container: &str, cpu: f64, mem_mb: u64) -> bool {
-        self.cpu_of(container) >= cpu && self.mem.get(container).copied().unwrap_or(0) >= mem_mb
+        !self.failed_compute.contains_key(container)
+            && self.cpu_of(container) >= cpu
+            && self.mem.get(container).copied().unwrap_or(0) >= mem_mb
+    }
+
+    // ------------- failure marking ----------------------------------
+
+    /// Marks a container failed: its residual cpu/mem is stashed and
+    /// reads zero, so no algorithm places onto it and no release leaks
+    /// capacity back. Returns false if unknown or already failed.
+    pub fn fail_container(&mut self, container: &str) -> bool {
+        if self.failed_compute.contains_key(container) {
+            return false;
+        }
+        let (Some(c), Some(m)) = (self.cpu.get_mut(container), self.mem.get_mut(container)) else {
+            return false;
+        };
+        self.failed_compute.insert(container.to_string(), (*c, *m));
+        *c = 0.0;
+        *m = 0;
+        true
+    }
+
+    /// Restores a failed container's stashed residuals.
+    pub fn recover_container(&mut self, container: &str) -> bool {
+        let Some((c, m)) = self.failed_compute.remove(container) else {
+            return false;
+        };
+        *self.cpu.get_mut(container).expect("known container") += c;
+        *self.mem.get_mut(container).expect("known container") += m;
+        true
+    }
+
+    /// True if the container is currently marked failed.
+    pub fn container_failed(&self, container: &str) -> bool {
+        self.failed_compute.contains_key(container)
+    }
+
+    /// Marks a link failed: its residual bandwidth is stashed and reads
+    /// zero, so path search and reservation route around it.
+    pub fn fail_link(&mut self, a: &str, b: &str) -> bool {
+        let key = link_key(a, b);
+        if self.failed_links.contains_key(&key) {
+            return false;
+        }
+        let Some(bw) = self.bw.get_mut(&key) else {
+            return false;
+        };
+        let stashed = *bw;
+        *bw = 0.0;
+        self.failed_links.insert(key, stashed);
+        true
+    }
+
+    /// Restores a failed link's stashed residual bandwidth.
+    pub fn recover_link(&mut self, a: &str, b: &str) -> bool {
+        let key = link_key(a, b);
+        let Some(stashed) = self.failed_links.remove(&key) else {
+            return false;
+        };
+        *self.bw.get_mut(&key).expect("known link") += stashed;
+        true
+    }
+
+    /// True if the link is currently marked failed.
+    pub fn link_failed(&self, a: &str, b: &str) -> bool {
+        self.failed_links.contains_key(&link_key(a, b))
     }
 
     /// Reserves compute on a container. Fails without mutating if it
@@ -66,8 +139,14 @@ impl ResourceState {
         Ok(())
     }
 
-    /// Releases compute.
+    /// Releases compute. Releases onto a failed container land in its
+    /// stash, keeping the live view at zero until recovery.
     pub fn release_compute(&mut self, container: &str, cpu: f64, mem_mb: u64) {
+        if let Some((c, m)) = self.failed_compute.get_mut(container) {
+            *c += cpu;
+            *m += mem_mb;
+            return;
+        }
         if let Some(c) = self.cpu.get_mut(container) {
             *c += cpu;
         }
@@ -90,10 +169,14 @@ impl ResourceState {
         Ok(())
     }
 
-    /// Releases bandwidth along a path.
+    /// Releases bandwidth along a path. Releases onto a failed link land
+    /// in its stash.
     pub fn release_path(&mut self, path: &[String], mbps: f64) {
         for w in path.windows(2) {
-            if let Some(b) = self.bw.get_mut(&link_key(&w[0], &w[1])) {
+            let key = link_key(&w[0], &w[1]);
+            if let Some(stash) = self.failed_links.get_mut(&key) {
+                *stash += mbps;
+            } else if let Some(b) = self.bw.get_mut(&key) {
                 *b += mbps;
             }
         }
@@ -163,6 +246,45 @@ mod tests {
         assert_eq!(s.bw, before);
         s.release_path(&path, 600.0);
         assert_eq!(s.bw_of("s0", "s1"), 1000.0);
+    }
+
+    #[test]
+    fn failed_container_is_unusable_until_recovery() {
+        let t = builders::linear(2, 2.0);
+        let mut s = ResourceState::from_topology(&t);
+        s.reserve_compute("c0", 1.0, 100).unwrap();
+        assert!(s.fail_container("c0"));
+        assert!(!s.fail_container("c0"), "idempotent");
+        assert!(s.container_failed("c0"));
+        assert_eq!(s.cpu_of("c0"), 0.0);
+        assert!(!s.fits("c0", 0.0, 0), "failed container never fits");
+        // Releasing the dead placement must not resurrect capacity.
+        s.release_compute("c0", 1.0, 100);
+        assert_eq!(s.cpu_of("c0"), 0.0);
+        // Recovery restores the exact pre-failure free view.
+        assert!(s.recover_container("c0"));
+        assert_eq!(s.cpu_of("c0"), 2.0);
+        assert!(!s.recover_container("c0"));
+        assert!(!s.fail_container("ghost"));
+    }
+
+    #[test]
+    fn failed_link_blocks_and_restores_exactly() {
+        let t = builders::linear(3, 2.0);
+        let mut s = ResourceState::from_topology(&t);
+        let path: Vec<String> = ["s0", "s1", "s2"].map(String::from).to_vec();
+        s.reserve_path(&path, 300.0).unwrap();
+        assert!(s.fail_link("s1", "s0"), "order-insensitive");
+        assert!(s.link_failed("s0", "s1"));
+        assert_eq!(s.bw_of("s0", "s1"), 0.0);
+        assert!(s.reserve_path(&path, 1.0).is_err());
+        // Release of the old path goes to the stash, not the live view.
+        s.release_path(&path, 300.0);
+        assert_eq!(s.bw_of("s0", "s1"), 0.0);
+        assert_eq!(s.bw_of("s1", "s2"), 1000.0, "healthy links release live");
+        assert!(s.recover_link("s0", "s1"));
+        assert_eq!(s.bw_of("s0", "s1"), 1000.0);
+        assert!(!s.link_failed("s0", "s1"));
     }
 
     #[test]

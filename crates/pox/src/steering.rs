@@ -50,6 +50,8 @@ pub struct TrafficSteering {
     reactive_ctr: Counter,
     /// Rules pushed proactively (`pox.steering.proactive_installs`).
     proactive_ctr: Counter,
+    /// Chains re-steered after a fault (`pox.steering.resteers`).
+    resteer_ctr: Counter,
 }
 
 impl TrafficSteering {
@@ -64,6 +66,7 @@ impl TrafficSteering {
             pending_removal: Vec::new(),
             reactive_ctr: reg.counter("pox.steering.reactive_installs"),
             proactive_ctr: reg.counter("pox.steering.proactive_installs"),
+            resteer_ctr: reg.counter("pox.steering.resteers"),
         }
     }
 
@@ -100,6 +103,22 @@ impl TrafficSteering {
         let removed = self.installed.remove(&chain_id).unwrap_or_default();
         self.pending_removal.extend(removed.clone());
         removed
+    }
+
+    /// Re-steers a chain after a fault: its stale rules are queued for
+    /// deletion and the replacement rules for installation, all applied
+    /// at the next flush so switches never see a half-updated chain.
+    /// Returns the number of stale rules torn down.
+    pub fn resteer_chain(&mut self, chain_id: u64, rules: Vec<SteeringRule>) -> usize {
+        let stale = self.remove_chain(chain_id).len();
+        self.queue_rules(rules);
+        self.resteer_ctr.inc();
+        stale
+    }
+
+    /// Count of chains re-steered after faults.
+    pub fn resteers(&self) -> u64 {
+        self.resteer_ctr.get()
     }
 
     fn push_rule(ctl: &mut Ctl<'_, '_>, r: &SteeringRule, buffer_id: u32) -> bool {
@@ -149,6 +168,7 @@ impl Component for TrafficSteering {
     fn attach_telemetry(&mut self, registry: &Registry) {
         self.reactive_ctr = registry.counter("pox.steering.reactive_installs");
         self.proactive_ctr = registry.counter("pox.steering.proactive_installs");
+        self.resteer_ctr = registry.counter("pox.steering.resteers");
     }
 
     /// Called both on real connection-up and on the controller's FLUSH
@@ -380,6 +400,50 @@ mod tests {
                 .installed_for(1),
             0
         );
+    }
+
+    #[test]
+    fn resteer_replaces_rules_atomically_at_flush() {
+        let (mut sim, h1, h2, c) = rig(SteeringMode::Proactive);
+        {
+            let ctl = sim.node_as_mut::<Controller>(c).unwrap();
+            ctl.component_as_mut::<TrafficSteering>()
+                .unwrap()
+                .queue_rules(rules_for_chain());
+        }
+        Controller::request_flush(&mut sim, c, Time::ZERO);
+        sim.run(100);
+        // Re-steer the chain onto a fresh (identical-shape) rule set, as
+        // the environment does after rerouting around a failed link.
+        {
+            let ctl = sim.node_as_mut::<Controller>(c).unwrap();
+            let st = ctl.component_as_mut::<TrafficSteering>().unwrap();
+            let stale = st.resteer_chain(1, rules_for_chain());
+            assert_eq!(stale, 2);
+            assert_eq!(st.resteers(), 1);
+            assert_eq!(st.installed_for(1), 0, "stale rules gone immediately");
+            assert_eq!(st.pending(), 2, "replacements wait for the flush");
+        }
+        Controller::request_flush(&mut sim, c, Time::ZERO);
+        sim.run(100);
+        {
+            let ctl = sim.node_as::<Controller>(c).unwrap();
+            let st = ctl.component_as::<TrafficSteering>().unwrap();
+            assert_eq!(st.installed_for(1), 2);
+            assert_eq!(st.pending(), 0);
+        }
+        // Traffic still flows through the re-steered chain.
+        sim.node_as_mut::<Host>(h1).unwrap().add_stream(
+            Ipv4Addr::new(10, 0, 0, 2),
+            5,
+            6,
+            64,
+            Time::from_us(100),
+            10,
+        );
+        Host::start_streams(&mut sim, h1, Time::from_ms(1));
+        sim.run(100_000);
+        assert_eq!(sim.node_as::<Host>(h2).unwrap().stats.udp_rx, 10);
     }
 
     #[test]

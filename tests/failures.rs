@@ -96,11 +96,70 @@ fn dead_agent_times_out_cleanly() {
     let topo = builders::linear(2, 4.0);
     let mut esc =
         Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Proactive, 24).unwrap();
-    // Kill the container node entirely: its agent can never answer.
+    // Kill the container node entirely: its agent can never answer, so
+    // every retry times out and the typed error names the container and
+    // the exhausted attempt budget.
     let node = esc.infra.node("c0").unwrap();
     esc.sim.kill_node(node);
+    let before = esc.now();
     let err = esc.deploy(&sg()).err().unwrap();
-    assert!(matches!(err, EscapeError::Netconf(_)), "got {err}");
+    let EscapeError::RpcTimeout {
+        container,
+        attempts,
+    } = err
+    else {
+        panic!("expected RpcTimeout, got {err}");
+    };
+    assert_eq!(container, "c0");
+    assert_eq!(attempts, 5, "first try + 4 retries");
+    // Each attempt waited out the RPC deadline plus its backoff slot.
+    assert!(
+        esc.now().since(before) >= 5 * 100_000_000,
+        "virtual time spent waiting"
+    );
+    // The retry counter saw exactly the retries (not the first attempt).
+    assert_eq!(esc.metrics().counter("netconf.rpc_retries", &[]), Some(4));
+}
+
+#[test]
+fn remap_with_no_surviving_capacity_degrades_gracefully() {
+    // Two 1-CPU containers; the chain's VNF needs a full CPU. Crash the
+    // hosting container, then fill the survivor so re-mapping has nowhere
+    // to go: recovery must fail cleanly (no panic), the chain is
+    // abandoned, and the failure is counted and logged.
+    let topo = builders::star(2, 1.0);
+    let mut esc =
+        Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Proactive, 27).unwrap();
+    let g = ServiceGraph::new()
+        .sap("sap0")
+        .sap("sap1")
+        .vnf("fw", "firewall", 1.0, 256)
+        .chain("c1", &["sap0", "fw", "sap1"], 20.0, None);
+    esc.deploy(&g).unwrap();
+    assert_eq!(
+        esc.deployed("c1").unwrap().vnfs[0].container,
+        "c0",
+        "greedy picks c0"
+    );
+    // Take the survivor's capacity out of play too.
+    esc.orchestrator_mut().mark_container_failed("c1");
+
+    let plan = escape_netem::FaultPlan::new("no-capacity")
+        .at_ms(5, escape_netem::FaultKind::VnfCrash { node: "c0".into() });
+    esc.load_fault_plan(&plan).unwrap();
+    esc.run_with_recovery(30);
+
+    assert!(esc.deployed("c1").is_none(), "chain abandoned");
+    let m = esc.metrics();
+    assert_eq!(m.counter("escape.recovery_failures", &[]), Some(1));
+    assert_eq!(m.counter("escape.recoveries", &[]), Some(0));
+    assert!(
+        esc.event_trace()
+            .iter()
+            .any(|l| l.contains("recovery of chain c1 failed")),
+        "trace: {:#?}",
+        esc.event_trace()
+    );
 }
 
 #[test]

@@ -103,3 +103,59 @@ fn sg_json_accepts_missing_optional_fields() {
     assert!(sg.vnfs[0].params.is_empty());
     assert_eq!(sg.chains[0].max_delay_us, None);
 }
+
+#[test]
+fn fault_plan_json_round_trips_identically() {
+    use escape_netem::{FaultKind, FaultPlan};
+    let plan = FaultPlan::new("demo-chaos")
+        .at_ms(
+            5,
+            FaultKind::LinkDown {
+                a: "s0".into(),
+                b: "s1".into(),
+            },
+        )
+        .at_ms(
+            8,
+            FaultKind::LossSpike {
+                a: "s0".into(),
+                b: "s2".into(),
+                loss: 0.4,
+            },
+        )
+        .at_ms(12, FaultKind::VnfCrash { node: "c0".into() })
+        .at_ms(
+            20,
+            FaultKind::VnfStall {
+                node: "c1".into(),
+                for_us: 3_000,
+            },
+        );
+    // parse(serialize(plan)) is the identity, and serialization is a
+    // fixpoint: serialize(parse(json)) == json.
+    let json = plan.to_json();
+    let back = FaultPlan::from_json(&json).unwrap();
+    assert_eq!(back, plan);
+    assert_eq!(back.to_json(), json);
+    // The JSON really is escape-json parseable (satellite: use crates/json).
+    let doc = escape_json::Value::parse(&json).unwrap();
+    assert_eq!(doc.get("name").and_then(|v| v.as_str()), Some("demo-chaos"));
+}
+
+#[test]
+fn malformed_fault_plans_name_the_bad_field() {
+    use escape_netem::FaultPlan;
+    let missing_at = r#"{"name": "p", "events": [{"kind": "link_down", "a": "x", "b": "y"}]}"#;
+    let err = FaultPlan::from_json(missing_at).unwrap_err();
+    assert!(err.contains("at_us"), "{err}");
+    assert!(err.contains("events[0]"), "{err}");
+
+    let bad_kind = r#"{"name": "p", "events": [{"at_us": 1, "kind": "meteor_strike"}]}"#;
+    let err = FaultPlan::from_json(bad_kind).unwrap_err();
+    assert!(err.contains("meteor_strike"), "{err}");
+    assert!(err.contains("kind"), "{err}");
+
+    let bad_loss = r#"{"name": "p", "events": [{"at_us": 1, "kind": "loss_spike", "a": "x", "b": "y", "loss": 1.5}]}"#;
+    let err = FaultPlan::from_json(bad_loss).unwrap_err();
+    assert!(err.contains("loss"), "{err}");
+}
