@@ -17,6 +17,11 @@ pub struct RouterOutput {
     pub external: Vec<(u16, Packet)>,
     /// CPU cost of this processing step.
     pub work_ns: u64,
+    /// Element names traversed by pushed frames, in traversal order.
+    /// Populated only when [`Router::trace_paths`] is set; pull-side
+    /// traversal (e.g. `RatedUnqueue` draining a `Queue`) is not
+    /// recorded.
+    pub path: Vec<String>,
 }
 
 /// A running Click router (one VNF instance).
@@ -39,6 +44,9 @@ pub struct Router {
     now: Time,
     /// Packets dropped because they reached an unconnected output port.
     pub dead_ends: u64,
+    /// When set, [`RouterOutput::path`] lists the elements each call
+    /// pushed frames through — the flight recorder's per-element view.
+    pub trace_paths: bool,
 }
 
 /// Hard cap on effects processed per external call; a mis-configured push
@@ -156,6 +164,7 @@ impl Router {
             work_acc: 0,
             now: Time::ZERO,
             dead_ends: 0,
+            trace_paths: false,
         })
     }
 
@@ -199,6 +208,9 @@ impl Router {
         };
         // FromDevice immediately forwards out of its single output.
         self.work_acc += self.elements[entry].as_deref().map_or(0, |e| e.cost_ns());
+        if self.trace_paths {
+            out.path.push(self.names[entry].clone());
+        }
         self.pending.push_back(Effect::Downstream {
             from_elem: entry,
             from_port: 0,
@@ -285,6 +297,9 @@ impl Router {
                     };
                     let cost = self.elements[dst].as_deref().map_or(0, |e| e.cost_ns());
                     self.work_acc += cost;
+                    if self.trace_paths {
+                        out.path.push(self.names[dst].clone());
+                    }
                     self.with_element(dst, 0, |e, ctx| e.push(ctx, dport, pkt));
                 }
                 Effect::Notify {
@@ -450,6 +465,27 @@ mod tests {
         assert_eq!(r.read_handler("c.count").unwrap(), "1");
         r.write_handler("c.reset", "").unwrap();
         assert_eq!(r.read_handler("c.count").unwrap(), "0");
+    }
+
+    #[test]
+    fn trace_paths_records_element_traversal_order() {
+        let mut r = mk("FromDevice(0) -> a :: Counter -> b :: Counter -> ToDevice(1);");
+        r.trace_paths = true;
+        let out = r.push_external(0, pkt(60), Time::ZERO);
+        // Anonymous FromDevice/ToDevice get generated names; the named
+        // counters must appear in push order between them.
+        let named: Vec<&str> = out
+            .path
+            .iter()
+            .map(|s| s.as_str())
+            .filter(|s| *s == "a" || *s == "b")
+            .collect();
+        assert_eq!(named, vec!["a", "b"]);
+        assert_eq!(out.external.len(), 1);
+        // Off by default: no path collection.
+        r.trace_paths = false;
+        let out = r.push_external(0, pkt(60), Time::ZERO);
+        assert!(out.path.is_empty());
     }
 
     #[test]

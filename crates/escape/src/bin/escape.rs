@@ -5,6 +5,7 @@
 //! escape [run] <topology-file> <service-graph-file> [options]
 //! escape run [options]                 (built-in demo chain)
 //! escape metrics [<topology-file> <service-graph-file>] [options]
+//! escape trace [<topology-file> <service-graph-file>] [options]
 //!
 //! options:
 //!   --algorithm first_fit|best_fit|nearest|backtrack|anneal   (default nearest)
@@ -17,6 +18,8 @@
 //!   --json      topology/SG files are JSON instead of DSL
 //!   --faults    FILE   fault plan (JSON); run with self-healing recovery
 //!   --format    prometheus|json      (metrics subcommand; default prometheus)
+//!   --chrome    FILE   (trace subcommand) also write a Chrome trace-event
+//!                      JSON document loadable in chrome://tracing/Perfetto
 //! ```
 //!
 //! With `--faults`, the run drives the simulation through
@@ -29,6 +32,12 @@
 //! Prometheus text exposition, or a JSON object with the metric snapshot
 //! and the virtual-time span trace.
 //!
+//! The `trace` subcommand turns on the packet flight recorder before
+//! pushing traffic, then prints every packet's hop-by-hop journey
+//! (which flow rule steered it at each switch, which Click elements it
+//! traversed in each VNF, where and why lost packets died) and each
+//! chain's SLA verdict.
+//!
 //! Exit code 0 on success, 1 on any error, 2 on bad usage.
 
 use escape::env::Escape;
@@ -37,7 +46,7 @@ use escape_orch::{
     Backtracking, BestFitCpu, GreedyFirstFit, MappingAlgorithm, NearestNeighbor, SimulatedAnnealing,
 };
 use escape_pox::SteeringMode;
-use escape_sg::{parse_service_graph, parse_topology, ResourceTopology, ServiceGraph};
+use escape_sg::{parse_service_graph, parse_topology, ResourceTopology, ServiceGraph, Sla};
 use std::process::ExitCode;
 
 struct Options {
@@ -60,6 +69,10 @@ struct Options {
     faults: Option<String>,
     /// Exposition format for the metrics subcommand.
     format: String,
+    /// `escape trace ...`: flight-recorder run with journey timelines.
+    trace: bool,
+    /// Chrome trace-event output file (trace subcommand).
+    chrome: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -68,7 +81,8 @@ fn usage() -> ExitCode {
          [--traffic F:T:N[:LEN[:US]]]... [--ping F:T:N]... [--duration-ms N] \
          [--monitor CHAIN:VNF]... [--seed N] [--json] [--faults PLAN.json]\n       \
          escape run [options]    (built-in demo chain)\n       \
-         escape metrics [<topology> <service-graph>] [options] [--format prometheus|json]"
+         escape metrics [<topology> <service-graph>] [options] [--format prometheus|json]\n       \
+         escape trace [<topology> <service-graph>] [options] [--chrome FILE]"
     );
     ExitCode::from(2)
 }
@@ -91,6 +105,8 @@ fn parse_args() -> Result<Options, String> {
         run: false,
         faults: None,
         format: "prometheus".into(),
+        trace: false,
+        chrome: None,
     };
     let mut first = true;
     while let Some(a) = args.next() {
@@ -102,6 +118,10 @@ fn parse_args() -> Result<Options, String> {
             }
             if a == "run" {
                 o.run = true;
+                continue;
+            }
+            if a == "trace" {
+                o.trace = true;
                 continue;
             }
         }
@@ -159,6 +179,7 @@ fn parse_args() -> Result<Options, String> {
             "--seed" => o.seed = need("--seed")?.parse().map_err(|_| "bad seed")?,
             "--json" => o.json = true,
             "--faults" => o.faults = Some(need("--faults")?),
+            "--chrome" => o.chrome = Some(need("--chrome")?),
             "--format" => {
                 o.format = need("--format")?;
                 if o.format != "prometheus" && o.format != "json" {
@@ -174,8 +195,9 @@ fn parse_args() -> Result<Options, String> {
             o.topo_file = positional.remove(0);
             o.sg_file = positional.remove(0);
         }
-        // `escape metrics` / `escape run` alone use the built-in demo chain.
-        0 if o.metrics || o.run => {}
+        // `escape metrics` / `escape run` / `escape trace` alone use the
+        // built-in demo chain.
+        0 if o.metrics || o.run || o.trace => {}
         _ => return Err("need exactly two positional arguments".into()),
     }
     Ok(o)
@@ -202,7 +224,11 @@ fn load_inputs(o: &Options) -> Result<(ResourceTopology, ServiceGraph), String> 
             .sap("sap1")
             .vnf("fw", "firewall", 1.0, 256)
             .vnf("mon", "monitor", 0.5, 64)
-            .chain("demo", &["sap0", "fw", "mon", "sap1"], 100.0, Some(50_000));
+            .chain("demo", &["sap0", "fw", "mon", "sap1"], 100.0, Some(50_000))
+            .with_sla(Sla {
+                max_latency_us: Some(50_000),
+                max_loss: Some(0.1),
+            });
         return Ok((topo, sg));
     }
     let topo_src =
@@ -250,6 +276,43 @@ fn run_metrics(o: Options) -> Result<(), String> {
         println!("{}", doc.to_string_pretty());
     } else {
         print!("{}", esc.metrics().prometheus());
+    }
+    Ok(())
+}
+
+/// `escape trace`: deploy with the flight recorder on, push traffic,
+/// then print per-packet journeys, the per-chain summary and SLA
+/// verdicts; optionally write a Chrome trace-event file.
+fn run_trace(o: Options) -> Result<(), String> {
+    let (topo, sg) = load_inputs(&o)?;
+    let mut esc = Escape::build(topo, algorithm(&o.algorithm)?, o.steering, o.seed)
+        .map_err(|e| e.to_string())?;
+    esc.deploy(&sg).map_err(|e| e.to_string())?;
+    // The recorder must be armed before the first frame is sent.
+    esc.enable_flight_recorder(65_536);
+    let mut flows = o.traffic.clone();
+    if flows.is_empty() {
+        for chain in &sg.chains {
+            let src = chain.hops.first().cloned().unwrap_or_default();
+            let dst = chain.hops.last().cloned().unwrap_or_default();
+            flows.push((src, dst, 5, 128, 200));
+        }
+    }
+    for (from, to, count, len, us) in &flows {
+        esc.start_udp(from, to, *len, *us, *count)
+            .map_err(|e| e.to_string())?;
+    }
+    esc.run_for_ms(o.duration_ms);
+
+    let fr = esc.flight_record_aggregated();
+    print!("{}", fr.timelines());
+    println!("{} journeys recorded", fr.journeys.len());
+    for v in esc.sla_verdicts() {
+        println!("{v}");
+    }
+    if let Some(file) = &o.chrome {
+        std::fs::write(file, fr.chrome_json()).map_err(|e| format!("{file}: {e}"))?;
+        println!("chrome trace written to {file}");
     }
     Ok(())
 }
@@ -373,7 +436,13 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    let result = if o.metrics { run_metrics(o) } else { run(o) };
+    let result = if o.metrics {
+        run_metrics(o)
+    } else if o.trace {
+        run_trace(o)
+    } else {
+        run(o)
+    };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

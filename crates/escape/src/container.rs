@@ -12,7 +12,9 @@ use escape_catalog::Catalog;
 use escape_click::{Registry, Router};
 use escape_netconf::agent::{Agent, VnfInstrumentation, VnfStatusInfo};
 use escape_netem::process::ProcId;
-use escape_netem::{CpuModel, CtrlId, IsolationMode, NodeCtx, NodeLogic, Time};
+use escape_netem::{
+    CpuModel, CtrlId, DropReason, HopDetail, IsolationMode, NodeCtx, NodeLogic, Time,
+};
 use escape_packet::Packet;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -97,6 +99,9 @@ pub struct VnfHost {
     next_vnf: u32,
     /// Frames that arrived on an unbound port.
     pub unbound_rx: u64,
+    /// When set, [`VnfHost::process`] collects the Click elements each
+    /// frame traverses (the flight recorder's per-element view).
+    trace_paths: bool,
 }
 
 impl VnfHost {
@@ -124,7 +129,13 @@ impl VnfHost {
             seed,
             next_vnf: 0,
             unbound_rx: 0,
+            trace_paths: false,
         }
+    }
+
+    /// Enables per-element path collection (see [`VnfHost::process`]).
+    pub fn set_trace_paths(&mut self, on: bool) {
+        self.trace_paths = on;
     }
 
     /// Index of a VNF by id.
@@ -162,21 +173,25 @@ impl VnfHost {
     }
 
     /// Runs a frame through a VNF (following internal bindings), charging
-    /// CPU. Returns frames to emit as (container port, packet) plus the
-    /// CPU completion time.
+    /// CPU. Returns frames to emit as (container port, packet), the CPU
+    /// completion time, and — when path tracing is enabled — the Click
+    /// elements the frame was pushed through (elements of chained
+    /// co-located VNFs are prefixed with their VNF id).
     pub fn process(
         &mut self,
         vnf: usize,
         dev: u16,
         pkt: Packet,
         now: Time,
-    ) -> (Vec<(u16, Packet)>, Time) {
+    ) -> (Vec<(u16, Packet)>, Time, Vec<String>) {
         let mut total_work = 0u64;
         let mut external = Vec::new();
+        let mut path = Vec::new();
         // (vnf, dev, pkt) work queue for internal chaining.
         let mut queue = vec![(vnf, dev, pkt)];
         let mut hops = 0;
         let entry_proc = self.vnfs[vnf].proc;
+        let trace_paths = self.trace_paths;
         while let Some((vi, d, p)) = queue.pop() {
             hops += 1;
             if hops > 32 {
@@ -187,8 +202,16 @@ impl VnfHost {
                 slot.dropped_not_running += 1;
                 continue;
             }
+            slot.router.trace_paths = trace_paths;
             let out = slot.router.push_external(d, p, now);
             total_work += out.work_ns;
+            for elem in out.path {
+                if vi == vnf {
+                    path.push(elem);
+                } else {
+                    path.push(format!("{}:{}", slot.id, elem));
+                }
+            }
             for (out_dev, out_pkt) in out.external {
                 match slot.bindings.get(&out_dev) {
                     Some(Binding::External { container_port, .. }) => {
@@ -206,7 +229,7 @@ impl VnfHost {
         } else {
             self.cpu.run(entry_proc, now, total_work)
         };
-        (external, done)
+        (external, done, path)
     }
 
     /// Drives time-based element work (shapers, sources) of one VNF.
@@ -235,7 +258,9 @@ impl VnfHost {
             self.cpu.run(proc_, now, work)
         };
         for (nv, nd, p) in internal {
-            let (more, d2) = self.process(nv, nd, p, now);
+            // Path attribution is not collected for tick-driven work —
+            // deferred frames left the recorded journey at the shaper.
+            let (more, d2, _path) = self.process(nv, nd, p, now);
             external.extend(more);
             done = done.max(d2);
         }
@@ -535,12 +560,37 @@ impl VnfContainer {
 
 impl NodeLogic for VnfContainer {
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: u16, pkt: Packet) {
+        let (pkt_id, pkt_len) = (pkt.id, pkt.len());
         let Some((vnf, dev)) = self.agent.instr.binding_at(port) else {
             self.agent.instr.unbound_rx += 1;
+            ctx.trace_drop(pkt_id, pkt_len, port, DropReason::NoRoute);
             return;
         };
         let now = ctx.now();
-        let (outputs, done) = self.agent.instr.process(vnf, dev, pkt, now);
+        self.agent.instr.set_trace_paths(ctx.tracing());
+        let was_running = self.agent.instr.vnfs[vnf].status == VnfStatus::Running;
+        let (outputs, done, path) = self.agent.instr.process(vnf, dev, pkt, now);
+        if !path.is_empty() {
+            ctx.trace_hop(
+                pkt_id,
+                pkt_len,
+                port,
+                HopDetail::VnfPath {
+                    vnf: self.agent.instr.vnfs[vnf].id.clone(),
+                    elements: path,
+                },
+            );
+        }
+        if outputs.is_empty() {
+            if !was_running {
+                ctx.trace_drop(pkt_id, pkt_len, port, DropReason::VnfDown);
+            } else if self.agent.instr.next_wake().is_none() {
+                // Nothing deferred anywhere: the VNF consumed the frame
+                // (e.g. a firewall deny rule). A frame parked behind a
+                // shaper would have left a pending wake instead.
+                ctx.trace_drop(pkt_id, pkt_len, port, DropReason::Filtered);
+            }
+        }
         self.schedule_outputs(ctx, outputs, done);
         self.arm_ticks(ctx);
     }
@@ -758,6 +808,77 @@ mod tests {
         sim.inject(c, 0, frame(80), Time::ZERO);
         sim.run(100);
         assert_eq!(sim.node_as::<VnfContainer>(c).unwrap().host().unbound_rx, 1);
+    }
+
+    #[test]
+    fn vnf_path_hop_and_vnf_down_drop_are_recorded() {
+        let (mut sim, c, _sink, vnf_id) = rigged_sim();
+        sim.enable_trace(1000);
+        let id = sim.inject(c, 0, frame(80), Time::ZERO);
+        sim.run(1000);
+        {
+            let tr = sim.trace.as_ref().unwrap();
+            let hop = tr
+                .for_packet(id)
+                .find(|r| r.dir == escape_netem::TraceDir::Hop)
+                .expect("VNF hop recorded");
+            let Some(HopDetail::VnfPath { vnf, elements }) = &hop.hop else {
+                panic!("expected VnfPath, got {:?}", hop.hop);
+            };
+            assert_eq!(vnf, &vnf_id);
+            assert!(
+                elements.iter().any(|e| e == "in_cnt"),
+                "monitor's counter missing from path {elements:?}"
+            );
+        }
+        // Stopped VNF: the drop is typed and counted.
+        sim.node_as_mut::<VnfContainer>(c)
+            .unwrap()
+            .host_mut()
+            .stop(&vnf_id)
+            .unwrap();
+        let id2 = sim.inject(c, 0, frame(80), sim.now());
+        sim.run(1000);
+        let tr = sim.trace.as_ref().unwrap();
+        let drop = tr
+            .for_packet(id2)
+            .find(|r| r.dir == escape_netem::TraceDir::Drop)
+            .expect("drop recorded");
+        assert_eq!(drop.drop, Some(DropReason::VnfDown));
+        let snap = sim.telemetry().snapshot();
+        assert_eq!(
+            snap.counter("netem.drops", &[("reason", "vnf_down")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn firewall_deny_is_attributed_as_filtered() {
+        let mut sim = Sim::new(2);
+        let attach = vec![("s0".to_string(), 0u16, 0u16), ("s0".to_string(), 1, 1)];
+        let c = sim.add_node("c0", 2, Box::new(VnfContainer::new("c0", 1, attach, 7)));
+        let sink = sim.add_node("peer", 2, Box::new(Sink::default()));
+        sim.connect((c, 0), (sink, 0), LinkConfig::ideal());
+        sim.connect((c, 1), (sink, 1), LinkConfig::ideal());
+        {
+            let host = sim.node_as_mut::<VnfContainer>(c).unwrap().host_mut();
+            let id = host
+                .initiate("firewall", None, &[("rules".into(), "deny udp".into())])
+                .unwrap();
+            host.connect(&id, 0, "s0").unwrap();
+            host.connect(&id, 1, "s0").unwrap();
+            host.start(&id).unwrap();
+        }
+        sim.enable_trace(1000);
+        let id = sim.inject(c, 0, frame(80), Time::ZERO);
+        sim.run(1000);
+        assert!(sim.node_as::<Sink>(sink).unwrap().rx.is_empty());
+        let tr = sim.trace.as_ref().unwrap();
+        let drop = tr
+            .for_packet(id)
+            .find(|r| r.dir == escape_netem::TraceDir::Drop)
+            .expect("filtered frame leaves a drop record");
+        assert_eq!(drop.drop, Some(DropReason::Filtered));
     }
 
     #[test]

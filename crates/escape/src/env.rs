@@ -11,6 +11,7 @@
 
 use crate::container::VnfContainer;
 use crate::error::EscapeError;
+use crate::flight::{self, FlightRecord, NodeKind, SlaVerdict};
 use crate::infra::{Infra, ManagerRelay};
 use escape_netconf::client::{switch_port_of, vnf_id_of};
 use escape_netconf::message::ReplyBody;
@@ -238,6 +239,81 @@ impl Escape {
     /// Point-in-time snapshot of every metric in the environment.
     pub fn metrics(&self) -> Snapshot {
         self.telemetry.snapshot()
+    }
+
+    // ---------------- flight recorder -------------------------------
+
+    /// Turns on the packet flight recorder: a trace ring of `cap`
+    /// records that [`Self::flight_record`] later correlates into
+    /// per-packet journeys. Enable it *before* starting traffic.
+    pub fn enable_flight_recorder(&mut self, cap: usize) {
+        self.sim.enable_trace(cap);
+    }
+
+    /// Reconstructs every traced packet's journey. Empty if the flight
+    /// recorder was never enabled.
+    pub fn flight_record(&self) -> FlightRecord {
+        let Some(trace) = &self.sim.trace else {
+            return FlightRecord::default();
+        };
+        // Topology-name and role lookup for every emulator node.
+        let mut roles: HashMap<NodeId, (String, NodeKind)> = HashMap::new();
+        for (name, &node) in &self.infra.nodes {
+            let kind = if self.infra.dpid.contains_key(name) {
+                NodeKind::Switch
+            } else if self.infra.sap_addr.contains_key(name) {
+                NodeKind::Host
+            } else if self.infra.netconf_conn.contains_key(name) {
+                NodeKind::Container
+            } else {
+                NodeKind::Other
+            };
+            roles.insert(node, (name.clone(), kind));
+        }
+        let cookies: HashMap<u64, String> = self
+            .deployed
+            .iter()
+            .map(|(name, dc)| (dc.cookie, name.clone()))
+            .collect();
+        flight::reconstruct(
+            trace.records(),
+            |n| {
+                roles
+                    .get(&n)
+                    .cloned()
+                    .unwrap_or_else(|| (self.sim.node_name(n).to_string(), NodeKind::Other))
+            },
+            &cookies,
+        )
+    }
+
+    /// Reconstructs journeys, publishes per-chain aggregates into the
+    /// telemetry registry and returns the record.
+    pub fn flight_record_aggregated(&self) -> FlightRecord {
+        let fr = self.flight_record();
+        fr.aggregate(&self.telemetry);
+        fr
+    }
+
+    /// Evaluates every deployed chain's SLA (from its service graph)
+    /// against the recorded traffic, in chain-name order. Chains without
+    /// an SLA get a vacuous pass.
+    pub fn sla_verdicts(&self) -> Vec<SlaVerdict> {
+        let fr = self.flight_record();
+        let mut names: Vec<&String> = self.deployed.keys().collect();
+        names.sort();
+        names
+            .into_iter()
+            .map(|name| {
+                let sla = self
+                    .graphs
+                    .get(name)
+                    .and_then(|g| g.chains.iter().find(|c| &c.name == name))
+                    .and_then(|c| c.sla)
+                    .unwrap_or_default();
+                flight::evaluate_sla(name, &sla, fr.for_chain(name))
+            })
+            .collect()
     }
 
     // ---------------- NETCONF plumbing ------------------------------

@@ -1,0 +1,617 @@
+//! Packet flight recorder: hop-by-hop journey reconstruction.
+//!
+//! The netem trace is a flat stream of per-node [`TraceRecord`]s. This
+//! module correlates them by packet id into end-to-end [`Journey`]s: an
+//! ordered list of node visits ([`Hop`]s) with arrival/departure virtual
+//! timestamps, the flow rule or Click elements that handled the packet at
+//! each hop, and — for lost packets — the exact node and typed
+//! [`DropReason`] where the journey ended. Journeys are attributed to
+//! deployed chains through the steering cookie carried on
+//! [`HopDetail::FlowMatch`] records, which makes per-chain latency
+//! aggregation and [SLA](escape_sg::Sla) verdicts possible after a
+//! traffic run.
+
+use escape_netem::{DropReason, HopDetail, NodeId, Time, TraceDir, TraceRecord};
+use escape_sg::Sla;
+use escape_telemetry::{ChromeEvent, Registry, DURATION_BOUNDS_NS};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt::Write as _;
+
+/// What role a visited node plays in the emulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A SAP host (traffic source or sink).
+    Host,
+    /// An OpenFlow switch.
+    Switch,
+    /// A VNF container.
+    Container,
+    /// Anything else (controller, manager relay, raw nodes).
+    Other,
+}
+
+impl NodeKind {
+    /// Short lowercase label for rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            NodeKind::Host => "host",
+            NodeKind::Switch => "switch",
+            NodeKind::Container => "container",
+            NodeKind::Other => "node",
+        }
+    }
+}
+
+/// One node visit within a journey.
+#[derive(Debug, Clone)]
+pub struct Hop {
+    /// Node name (topology name where known, emulator name otherwise).
+    pub node: String,
+    pub kind: NodeKind,
+    /// When the packet arrived here (for the origin host: when it was
+    /// transmitted).
+    pub arrived: Time,
+    /// When the packet left; `None` if it was consumed or dropped here.
+    pub departed: Option<Time>,
+    /// What handled the packet here (flow match, table miss, VNF path).
+    pub details: Vec<HopDetail>,
+    /// Set when the packet died at this hop.
+    pub drop: Option<DropReason>,
+}
+
+impl Hop {
+    /// Virtual ns spent at this node, if the packet left again.
+    pub fn dwell_ns(&self) -> Option<u64> {
+        self.departed.map(|d| d.since(self.arrived))
+    }
+}
+
+/// How a journey ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Reached a host that consumed it.
+    Delivered { at: Time },
+    /// Died mid-path.
+    Dropped { node: String, reason: DropReason },
+    /// Still queued or in transit when the trace was cut.
+    InFlight,
+}
+
+/// One packet's reconstructed end-to-end path.
+#[derive(Debug, Clone)]
+pub struct Journey {
+    pub packet_id: u64,
+    /// Deployed chain this packet was steered by, if any hop matched a
+    /// steering rule whose cookie belongs to a deployed chain.
+    pub chain: Option<String>,
+    /// The first steering cookie observed along the path.
+    pub cookie: Option<u64>,
+    /// Node visits in virtual-time order.
+    pub hops: Vec<Hop>,
+    pub outcome: Outcome,
+}
+
+impl Journey {
+    /// When the packet first entered the network.
+    pub fn started_at(&self) -> Time {
+        self.hops.first().map(|h| h.arrived).unwrap_or(Time::ZERO)
+    }
+
+    /// End-to-end latency in virtual ns, for delivered packets.
+    pub fn e2e_latency_ns(&self) -> Option<u64> {
+        match self.outcome {
+            Outcome::Delivered { at } => Some(at.since(self.started_at())),
+            _ => None,
+        }
+    }
+}
+
+/// The full set of journeys reconstructed from one trace.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecord {
+    /// Journeys ordered by packet id.
+    pub journeys: Vec<Journey>,
+}
+
+/// Correlates a flat trace into journeys.
+///
+/// `resolve` maps emulator node ids to display names and kinds;
+/// `chains` maps steering cookies to deployed chain names. Records must
+/// arrive in virtual-time order (the trace ring preserves it).
+pub fn reconstruct<'a>(
+    records: impl Iterator<Item = &'a TraceRecord>,
+    resolve: impl Fn(NodeId) -> (String, NodeKind),
+    chains: &HashMap<u64, String>,
+) -> FlightRecord {
+    // Group by packet id; BTreeMap keeps journey order deterministic.
+    let mut by_packet: BTreeMap<u64, Vec<&TraceRecord>> = BTreeMap::new();
+    for r in records {
+        by_packet.entry(r.packet_id).or_default().push(r);
+    }
+    let journeys = by_packet
+        .into_iter()
+        .map(|(packet_id, recs)| build_journey(packet_id, &recs, &resolve, chains))
+        .collect();
+    FlightRecord { journeys }
+}
+
+fn build_journey(
+    packet_id: u64,
+    recs: &[&TraceRecord],
+    resolve: &impl Fn(NodeId) -> (String, NodeKind),
+    chains: &HashMap<u64, String>,
+) -> Journey {
+    let mut hops: Vec<Hop> = Vec::new();
+    let mut outcome = Outcome::InFlight;
+    for r in recs {
+        let (node, kind) = resolve(r.node);
+        // Does this record continue the current node visit?
+        let open = hops
+            .last()
+            .is_some_and(|h| h.node == node && h.departed.is_none() && h.drop.is_none());
+        match r.dir {
+            TraceDir::Rx => hops.push(Hop {
+                node,
+                kind,
+                arrived: r.time,
+                departed: None,
+                details: Vec::new(),
+                drop: None,
+            }),
+            TraceDir::Hop => {
+                if !open {
+                    hops.push(Hop {
+                        node,
+                        kind,
+                        arrived: r.time,
+                        departed: None,
+                        details: Vec::new(),
+                        drop: None,
+                    });
+                }
+                if let Some(d) = &r.hop {
+                    hops.last_mut()
+                        .expect("hop pushed above")
+                        .details
+                        .push(d.clone());
+                }
+            }
+            TraceDir::Tx => {
+                if open {
+                    hops.last_mut().expect("open visit").departed = Some(r.time);
+                } else {
+                    // Origin host: the first record is the transmit itself.
+                    hops.push(Hop {
+                        node,
+                        kind,
+                        arrived: r.time,
+                        departed: Some(r.time),
+                        details: Vec::new(),
+                        drop: None,
+                    });
+                }
+            }
+            TraceDir::Drop => {
+                if !open {
+                    hops.push(Hop {
+                        node: node.clone(),
+                        kind,
+                        arrived: r.time,
+                        departed: None,
+                        details: Vec::new(),
+                        drop: None,
+                    });
+                }
+                let h = hops.last_mut().expect("drop hop exists");
+                h.drop = r.drop;
+                if let Some(reason) = r.drop {
+                    outcome = Outcome::Dropped { node, reason };
+                }
+            }
+        }
+    }
+    // Delivered: the last visit is a host that kept the packet.
+    if outcome == Outcome::InFlight {
+        if let Some(last) = hops.last() {
+            if last.kind == NodeKind::Host && last.departed.is_none() && last.drop.is_none() {
+                outcome = Outcome::Delivered { at: last.arrived };
+            }
+        }
+    }
+    // Chain attribution: first steering cookie seen along the path.
+    let cookie = hops.iter().flat_map(|h| &h.details).find_map(|d| match d {
+        HopDetail::FlowMatch { cookie, .. } => Some(*cookie),
+        _ => None,
+    });
+    let chain = cookie.and_then(|c| chains.get(&c).cloned());
+    Journey {
+        packet_id,
+        chain,
+        cookie,
+        hops,
+        outcome,
+    }
+}
+
+impl FlightRecord {
+    /// Journeys attributed to the named chain.
+    pub fn for_chain<'a>(&'a self, chain: &'a str) -> impl Iterator<Item = &'a Journey> {
+        self.journeys
+            .iter()
+            .filter(move |j| j.chain.as_deref() == Some(chain))
+    }
+
+    /// The journey of one packet.
+    pub fn journey(&self, packet_id: u64) -> Option<&Journey> {
+        self.journeys.iter().find(|j| j.packet_id == packet_id)
+    }
+
+    /// Publishes per-chain aggregates into the registry: delivered and
+    /// dropped counters (`chain.delivered`, `chain.dropped{reason=…}`),
+    /// in-flight counts, and an end-to-end latency histogram
+    /// (`chain.e2e_latency_ns`). Unattributed journeys land under
+    /// `chain="unattributed"`.
+    pub fn aggregate(&self, registry: &Registry) {
+        for j in &self.journeys {
+            let chain = j.chain.as_deref().unwrap_or("unattributed");
+            match &j.outcome {
+                Outcome::Delivered { .. } => {
+                    registry
+                        .counter_with("chain.delivered", &[("chain", chain)])
+                        .inc();
+                    if let Some(ns) = j.e2e_latency_ns() {
+                        registry
+                            .histogram_with(
+                                "chain.e2e_latency_ns",
+                                &[("chain", chain)],
+                                DURATION_BOUNDS_NS,
+                            )
+                            .observe(ns);
+                    }
+                }
+                Outcome::Dropped { reason, .. } => {
+                    registry
+                        .counter_with(
+                            "chain.dropped",
+                            &[("chain", chain), ("reason", reason.label())],
+                        )
+                        .inc();
+                }
+                Outcome::InFlight => {
+                    registry
+                        .counter_with("chain.in_flight", &[("chain", chain)])
+                        .inc();
+                }
+            }
+        }
+    }
+
+    /// Human-readable timeline of one journey.
+    pub fn timeline(&self, j: &Journey) -> String {
+        let mut out = String::new();
+        let start = j.started_at();
+        let chain = j.chain.as_deref().unwrap_or("-");
+        let verdict = match &j.outcome {
+            Outcome::Delivered { at } => {
+                format!("delivered in {}", Time::from_ns(at.since(start)))
+            }
+            Outcome::Dropped { node, reason } => format!("DROPPED at {node} ({reason})"),
+            Outcome::InFlight => "in flight".to_string(),
+        };
+        let _ = writeln!(out, "packet {} chain={chain} {verdict}", j.packet_id);
+        for h in &j.hops {
+            let rel = Time::from_ns(h.arrived.since(start));
+            let dwell = match h.dwell_ns() {
+                Some(ns) => format!(" dwell {}", Time::from_ns(ns)),
+                None => String::new(),
+            };
+            let _ = writeln!(out, "  +{rel:<12} {} [{}]{dwell}", h.node, h.kind.label());
+            for d in &h.details {
+                let _ = writeln!(out, "      {d}");
+            }
+            if let Some(reason) = h.drop {
+                let _ = writeln!(out, "      dropped: {reason}");
+            }
+        }
+        out
+    }
+
+    /// Timelines for every journey, in packet-id order.
+    pub fn timelines(&self) -> String {
+        self.journeys.iter().map(|j| self.timeline(j)).collect()
+    }
+
+    /// Converts journeys to Chrome trace events: one lane (tid) per node,
+    /// a complete event per traversed hop, an instant event per drop.
+    /// Order is (packet id, hop index) — fully deterministic.
+    pub fn chrome_events(&self) -> Vec<ChromeEvent> {
+        // Stable node -> tid assignment across the whole record.
+        let nodes: BTreeSet<&str> = self
+            .journeys
+            .iter()
+            .flat_map(|j| j.hops.iter().map(|h| h.node.as_str()))
+            .collect();
+        let tid_of: HashMap<&str, u64> = nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| (n, i as u64 + 1))
+            .collect();
+        let mut events = Vec::new();
+        for j in &self.journeys {
+            let cat = j.chain.clone().unwrap_or_else(|| "unattributed".into());
+            for h in &j.hops {
+                let mut args = vec![
+                    ("packet".to_string(), j.packet_id.to_string()),
+                    ("kind".to_string(), h.kind.label().to_string()),
+                ];
+                for d in &h.details {
+                    args.push(("detail".to_string(), d.to_string()));
+                }
+                events.push(ChromeEvent {
+                    name: format!("{} #{}", h.node, j.packet_id),
+                    cat: cat.clone(),
+                    ts_us: h.arrived.as_us(),
+                    // A consumed/dropped packet still gets a sliver so the
+                    // visit is visible; dwell otherwise.
+                    dur_us: Some(h.dwell_ns().map(|ns| ns / 1_000).unwrap_or(0).max(1)),
+                    pid: 1,
+                    tid: tid_of[h.node.as_str()],
+                    args,
+                });
+                if let Some(reason) = h.drop {
+                    events.push(ChromeEvent {
+                        name: format!("drop: {reason}"),
+                        cat: cat.clone(),
+                        ts_us: h.arrived.as_us(),
+                        dur_us: None,
+                        pid: 1,
+                        tid: tid_of[h.node.as_str()],
+                        args: vec![("packet".to_string(), j.packet_id.to_string())],
+                    });
+                }
+            }
+        }
+        events
+    }
+
+    /// The Chrome trace-event JSON document for the whole record.
+    pub fn chrome_json(&self) -> String {
+        escape_telemetry::chrome::render(&self.chrome_events())
+    }
+}
+
+/// Post-run verdict of one chain's SLA against recorded traffic.
+#[derive(Debug, Clone)]
+pub struct SlaVerdict {
+    pub chain: String,
+    pub delivered: u64,
+    pub dropped: u64,
+    pub in_flight: u64,
+    /// Worst end-to-end latency among delivered packets (virtual ns).
+    pub max_latency_ns: Option<u64>,
+    /// Observed loss ratio over finished journeys.
+    pub loss: f64,
+    pub pass: bool,
+    /// One line per violated objective; empty when passing.
+    pub violations: Vec<String>,
+}
+
+impl std::fmt::Display for SlaVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chain {} {}: {} delivered, {} dropped (loss {:.1}%), max latency {}",
+            self.chain,
+            if self.pass { "PASS" } else { "FAIL" },
+            self.delivered,
+            self.dropped,
+            self.loss * 100.0,
+            self.max_latency_ns
+                .map(|ns| Time::from_ns(ns).to_string())
+                .unwrap_or_else(|| "-".into()),
+        )?;
+        for v in &self.violations {
+            write!(f, "\n  violation: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks `sla` against the journeys attributed to `chain`.
+pub fn evaluate_sla<'a>(
+    chain: &str,
+    sla: &Sla,
+    journeys: impl Iterator<Item = &'a Journey>,
+) -> SlaVerdict {
+    let (mut delivered, mut dropped, mut in_flight) = (0u64, 0u64, 0u64);
+    let mut max_latency_ns: Option<u64> = None;
+    for j in journeys {
+        match &j.outcome {
+            Outcome::Delivered { .. } => {
+                delivered += 1;
+                if let Some(ns) = j.e2e_latency_ns() {
+                    max_latency_ns = Some(max_latency_ns.unwrap_or(0).max(ns));
+                }
+            }
+            Outcome::Dropped { .. } => dropped += 1,
+            Outcome::InFlight => in_flight += 1,
+        }
+    }
+    let finished = delivered + dropped;
+    let loss = if finished == 0 {
+        0.0
+    } else {
+        dropped as f64 / finished as f64
+    };
+    let mut violations = Vec::new();
+    if let (Some(budget_us), Some(worst)) = (sla.max_latency_us, max_latency_ns) {
+        let budget_ns = budget_us * 1_000;
+        if worst > budget_ns {
+            violations.push(format!(
+                "max latency {} exceeds sla {}",
+                Time::from_ns(worst),
+                Time::from_us(budget_us)
+            ));
+        }
+    }
+    if let Some(max_loss) = sla.max_loss {
+        if loss > max_loss {
+            violations.push(format!(
+                "loss {:.1}% exceeds sla {:.1}%",
+                loss * 100.0,
+                max_loss * 100.0
+            ));
+        }
+    }
+    SlaVerdict {
+        chain: chain.to_string(),
+        delivered,
+        dropped,
+        in_flight,
+        max_latency_ns,
+        loss,
+        pass: violations.is_empty(),
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(time_us: u64, node: u32, dir: TraceDir) -> TraceRecord {
+        TraceRecord::wire(Time::from_us(time_us), NodeId(node), 0, dir, 64, 7)
+    }
+
+    fn resolve(n: NodeId) -> (String, NodeKind) {
+        match n.0 {
+            0 => ("sap0".into(), NodeKind::Host),
+            1 => ("s0".into(), NodeKind::Switch),
+            2 => ("c0".into(), NodeKind::Container),
+            3 => ("sap1".into(), NodeKind::Host),
+            _ => (format!("n{}", n.0), NodeKind::Other),
+        }
+    }
+
+    fn chains() -> HashMap<u64, String> {
+        HashMap::from([(9, "demo".to_string())])
+    }
+
+    fn delivered_trace() -> Vec<TraceRecord> {
+        let mut v = vec![rec(0, 0, TraceDir::Tx), rec(10, 1, TraceDir::Rx)];
+        let mut m = rec(10, 1, TraceDir::Hop);
+        m.hop = Some(HopDetail::FlowMatch {
+            dpid: 1,
+            cookie: 9,
+            priority: 500,
+        });
+        v.push(m);
+        v.extend([
+            rec(12, 1, TraceDir::Tx),
+            rec(20, 2, TraceDir::Rx),
+            rec(25, 2, TraceDir::Tx),
+            rec(30, 1, TraceDir::Rx),
+            rec(31, 1, TraceDir::Tx),
+            rec(40, 3, TraceDir::Rx),
+        ]);
+        v
+    }
+
+    #[test]
+    fn delivered_journey_reconstructs_hops_and_latency() {
+        let trace = delivered_trace();
+        let fr = reconstruct(trace.iter(), resolve, &chains());
+        assert_eq!(fr.journeys.len(), 1);
+        let j = &fr.journeys[0];
+        assert_eq!(j.chain.as_deref(), Some("demo"));
+        assert_eq!(j.cookie, Some(9));
+        let names: Vec<&str> = j.hops.iter().map(|h| h.node.as_str()).collect();
+        assert_eq!(names, ["sap0", "s0", "c0", "s0", "sap1"]);
+        assert_eq!(
+            j.outcome,
+            Outcome::Delivered {
+                at: Time::from_us(40)
+            }
+        );
+        assert_eq!(j.e2e_latency_ns(), Some(40_000));
+        assert_eq!(j.hops[1].dwell_ns(), Some(2_000));
+        // Arrival times are monotonic.
+        assert!(j.hops.windows(2).all(|w| w[0].arrived <= w[1].arrived));
+    }
+
+    #[test]
+    fn dropped_journey_points_at_the_right_hop() {
+        let mut trace = delivered_trace();
+        trace.truncate(4); // up to the first switch Tx
+        let mut d = rec(12, 1, TraceDir::Drop);
+        d.drop = Some(DropReason::LinkDown);
+        trace.push(d);
+        let fr = reconstruct(trace.iter(), resolve, &chains());
+        let j = &fr.journeys[0];
+        assert_eq!(
+            j.outcome,
+            Outcome::Dropped {
+                node: "s0".into(),
+                reason: DropReason::LinkDown
+            }
+        );
+        assert_eq!(j.e2e_latency_ns(), None);
+        // The drop is pinned on the switch visit (departed already set, so
+        // a fresh terminal hop carries it).
+        let last = j.hops.last().unwrap();
+        assert_eq!(last.node, "s0");
+        assert_eq!(last.drop, Some(DropReason::LinkDown));
+    }
+
+    #[test]
+    fn aggregate_publishes_chain_metrics() {
+        let trace = delivered_trace();
+        let fr = reconstruct(trace.iter(), resolve, &chains());
+        let reg = Registry::new();
+        fr.aggregate(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("chain.delivered", &[("chain", "demo")]),
+            Some(1)
+        );
+        let h = snap
+            .histogram("chain.e2e_latency_ns", &[("chain", "demo")])
+            .unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 40_000);
+    }
+
+    #[test]
+    fn sla_verdicts_pass_and_fail() {
+        let trace = delivered_trace();
+        let fr = reconstruct(trace.iter(), resolve, &chains());
+        let loose = Sla {
+            max_latency_us: Some(1_000),
+            max_loss: Some(0.5),
+        };
+        let v = evaluate_sla("demo", &loose, fr.for_chain("demo"));
+        assert!(v.pass, "loose sla should pass: {v}");
+        let tight = Sla {
+            max_latency_us: Some(10),
+            max_loss: None,
+        };
+        let v = evaluate_sla("demo", &tight, fr.for_chain("demo"));
+        assert!(!v.pass);
+        assert_eq!(v.violations.len(), 1);
+        assert!(v.to_string().contains("FAIL"));
+    }
+
+    #[test]
+    fn timeline_and_chrome_export_cover_the_journey() {
+        let trace = delivered_trace();
+        let fr = reconstruct(trace.iter(), resolve, &chains());
+        let text = fr.timelines();
+        assert!(text.contains("packet 7 chain=demo delivered"));
+        assert!(text.contains("flow-match"));
+        let doc = fr.chrome_json();
+        let v = escape_json::Value::parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 5); // one complete event per hop
+        assert_eq!(fr.chrome_json(), doc); // deterministic
+    }
+}

@@ -46,9 +46,11 @@
 pub mod container;
 pub mod env;
 pub mod error;
+pub mod flight;
 pub mod infra;
 pub mod monitor;
 
 pub use container::{VnfContainer, VnfHost};
 pub use env::{DeploymentReport, Escape};
 pub use error::EscapeError;
+pub use flight::{FlightRecord, Journey, Outcome, SlaVerdict};

@@ -78,4 +78,46 @@ mod tests {
         assert!(!keys.contains(&"in_cnt.byte_count"));
         assert!(!keys.contains(&"q.length"));
     }
+
+    #[test]
+    fn table_columns_align_on_the_longest_handler_name() {
+        let t = format_handler_table("fw @ c0", &sample());
+        // Every value column starts at the same offset: name padded to the
+        // widest key ("in_cnt.byte_count", 17 chars) plus the two-space
+        // gutters.
+        let value_col = 2 + "in_cnt.byte_count".len() + 2;
+        for line in t.lines().skip(1) {
+            assert_eq!(
+                &line[value_col - 2..value_col],
+                "  ",
+                "misaligned: {line:?}"
+            );
+            assert_ne!(&line[value_col..=value_col], " ", "misaligned: {line:?}");
+        }
+    }
+
+    #[test]
+    fn table_enforces_minimum_name_width() {
+        // Keys shorter than the 8-column floor still get padded to it.
+        let t = format_handler_table("t", &[("a".into(), "1".into())]);
+        let line = t.lines().nth(1).unwrap();
+        assert_eq!(line, format!("  {:<8}  1", "a"));
+    }
+
+    #[test]
+    fn headline_keeps_firewall_and_drop_counters() {
+        let handlers: Vec<(String, String)> = vec![
+            ("fw.matches".into(), "7".into()),
+            ("fw.passed".into(), "30".into()),
+            ("q.dropped".into(), "2".into()),
+            ("fw.rules".into(), "4".into()),
+        ];
+        let keys: Vec<&str> = headline(&handlers).iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, ["fw.matches", "fw.passed", "q.dropped"]);
+    }
+
+    #[test]
+    fn headline_of_empty_dump_is_empty() {
+        assert!(headline(&[]).is_empty());
+    }
 }

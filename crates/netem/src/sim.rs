@@ -11,7 +11,7 @@
 use crate::link::{Link, LinkConfig, LinkId, LinkState};
 use crate::stats::SimStats;
 use crate::time::Time;
-use crate::trace::{Trace, TraceDir, TraceRecord};
+use crate::trace::{DropReason, HopDetail, Trace, TraceDir, TraceRecord};
 use bytes::Bytes;
 use escape_packet::Packet;
 use escape_telemetry::{Counter, Gauge, Registry};
@@ -504,15 +504,16 @@ impl Sim {
             Event::PacketArrive { node, port, pkt } => {
                 self.counters.frames_delivered.inc();
                 if let Some(tr) = &mut self.trace {
-                    tr.record(TraceRecord {
-                        time: self.clock,
-                        node: NodeId(node),
+                    let mut rec = TraceRecord::wire(
+                        self.clock,
+                        NodeId(node),
                         port,
-                        dir: TraceDir::Rx,
-                        len: pkt.len(),
-                        packet_id: pkt.id,
-                        data: tr.capture_payloads.then(|| pkt.data.clone()),
-                    });
+                        TraceDir::Rx,
+                        pkt.len(),
+                        pkt.id,
+                    );
+                    rec.data = tr.capture_payloads.then(|| pkt.data.clone());
+                    tr.record(rec);
                 }
                 self.dispatch(node, |logic, ctx| logic.on_packet(ctx, port, pkt));
             }
@@ -554,43 +555,44 @@ impl Sim {
     pub fn transmit_from(&mut self, node: NodeId, port: u16, pkt: Packet) {
         let slot = &self.nodes[node.0 as usize];
         let Some(Some((link_idx, dir))) = slot.ports.get(port as usize).copied() else {
-            // Unwired port: silently drop, as a real interface with no
-            // cable would.
+            // Unwired port: the frame falls on the floor, as with a real
+            // cable-less interface — but the drop is attributed.
+            self.record_drop(node, port, &pkt, DropReason::NoRoute, None);
             return;
         };
         self.counters.frames_sent.inc();
         if let Some(tr) = &mut self.trace {
-            tr.record(TraceRecord {
-                time: self.clock,
-                node,
-                port,
-                dir: TraceDir::Tx,
-                len: pkt.len(),
-                packet_id: pkt.id,
-                data: tr.capture_payloads.then(|| pkt.data.clone()),
-            });
+            let mut rec =
+                TraceRecord::wire(self.clock, node, port, TraceDir::Tx, pkt.len(), pkt.id);
+            rec.data = tr.capture_payloads.then(|| pkt.data.clone());
+            tr.record(rec);
         }
         let now = self.clock;
-        let link = &mut self.links[link_idx as usize];
-        if link.state == LinkState::Down {
+        let (state, loss) = {
+            let l = &self.links[link_idx as usize];
+            (l.state, l.cfg.loss)
+        };
+        if state == LinkState::Down {
             self.counters.drops_link_down.inc();
-            self.link_drops[link_idx as usize].inc();
-            Self::trace_drop(&mut self.trace, now, node, port, &pkt);
+            self.record_drop(node, port, &pkt, DropReason::LinkDown, Some(link_idx));
             return;
         }
-        if link.cfg.loss > 0.0 && self.rng.gen::<f64>() < link.cfg.loss {
+        if loss > 0.0 && self.rng.gen::<f64>() < loss {
             self.counters.drops_loss.inc();
-            self.link_drops[link_idx as usize].inc();
-            Self::trace_drop(&mut self.trace, now, node, port, &pkt);
+            self.record_drop(node, port, &pkt, DropReason::RandomLoss, Some(link_idx));
             return;
         }
-        let tx = &mut link.tx[dir as usize];
-        if tx.queued >= link.cfg.queue_capacity {
+        let full = {
+            let l = &self.links[link_idx as usize];
+            l.tx[dir as usize].queued >= l.cfg.queue_capacity
+        };
+        if full {
             self.counters.drops_queue.inc();
-            self.link_drops[link_idx as usize].inc();
-            Self::trace_drop(&mut self.trace, now, node, port, &pkt);
+            self.record_drop(node, port, &pkt, DropReason::QueueFull, Some(link_idx));
             return;
         }
+        let link = &mut self.links[link_idx as usize];
+        let tx = &mut link.tx[dir as usize];
         tx.queued += 1;
         self.counters.enqueue();
         let start = if tx.next_free > now {
@@ -619,18 +621,33 @@ impl Sim {
         );
     }
 
-    fn trace_drop(trace: &mut Option<Trace>, now: Time, node: NodeId, port: u16, pkt: &Packet) {
-        if let Some(tr) = trace {
-            tr.record(TraceRecord {
-                time: now,
-                node,
-                port,
-                dir: TraceDir::Drop,
-                len: pkt.len(),
-                packet_id: pkt.id,
-                data: None,
-            });
+    /// Counts a drop under `netem.drops{reason=...}` (plus the per-link
+    /// counter when the drop happened on a link) and records a typed
+    /// `Drop` trace record.
+    fn record_drop(
+        &mut self,
+        node: NodeId,
+        port: u16,
+        pkt: &Packet,
+        reason: DropReason,
+        link_idx: Option<u32>,
+    ) {
+        self.count_drop_reason(reason);
+        if let Some(idx) = link_idx {
+            self.link_drops[idx as usize].inc();
         }
+        if let Some(tr) = &mut self.trace {
+            let mut rec =
+                TraceRecord::wire(self.clock, node, port, TraceDir::Drop, pkt.len(), pkt.id);
+            rec.drop = Some(reason);
+            tr.record(rec);
+        }
+    }
+
+    fn count_drop_reason(&self, reason: DropReason) {
+        self.telemetry
+            .counter_with("netem.drops", &[("reason", reason.label())])
+            .inc();
     }
 
     /// Allocates a fresh packet id (for nodes that originate traffic).
@@ -720,6 +737,52 @@ impl NodeCtx<'_> {
     /// Sends a message on a control channel this node terminates.
     pub fn ctrl_send(&mut self, conn: CtrlId, msg: Vec<u8>) {
         self.sim.ctrl_send_from(self.node, conn, msg);
+    }
+
+    // ------------- flight-recorder capabilities ---------------------
+    // Node logic annotates the packet trace with what happened *inside*
+    // the node: which flow rule matched, which Click elements ran, why a
+    // frame died. The journey reconstructor (escape::flight) correlates
+    // these with the kernel's wire records by packet id.
+
+    /// True when packet tracing is enabled — logic can skip building hop
+    /// annotations otherwise.
+    pub fn tracing(&self) -> bool {
+        self.sim.trace.is_some()
+    }
+
+    /// Records an in-node processing annotation for a traced packet.
+    pub fn trace_hop(&mut self, packet_id: u64, len: usize, port: u16, detail: HopDetail) {
+        if let Some(tr) = &mut self.sim.trace {
+            let mut rec = TraceRecord::wire(
+                self.sim.clock,
+                self.node,
+                port,
+                TraceDir::Hop,
+                len,
+                packet_id,
+            );
+            rec.hop = Some(detail);
+            tr.record(rec);
+        }
+    }
+
+    /// Records an in-node drop with a typed reason, counted under
+    /// `netem.drops{reason=...}` alongside the kernel's own drops.
+    pub fn trace_drop(&mut self, packet_id: u64, len: usize, port: u16, reason: DropReason) {
+        self.sim.count_drop_reason(reason);
+        if let Some(tr) = &mut self.sim.trace {
+            let mut rec = TraceRecord::wire(
+                self.sim.clock,
+                self.node,
+                port,
+                TraceDir::Drop,
+                len,
+                packet_id,
+            );
+            rec.drop = Some(reason);
+            tr.record(rec);
+        }
     }
 
     // ------------- fault-injection capabilities ---------------------
@@ -954,6 +1017,90 @@ mod tests {
         sim.inject(a, 2, Bytes::from(vec![0u8; 60]), Time::ZERO);
         sim.run(10); // Reflector sends back out port 2, which is unwired
         assert_eq!(sim.stats().frames_sent, 0);
+        // The frame never hit the wire, but the drop is still attributed.
+        let snap = sim.telemetry().snapshot();
+        assert_eq!(
+            snap.counter("netem.drops", &[("reason", "no_route")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn drops_are_counted_per_reason() {
+        // Queue overflow.
+        let cfg = LinkConfig::lan().with_queue(1);
+        let (mut sim, a, _b) = two_node_sim(cfg);
+        for _ in 0..3 {
+            sim.inject(a, 0, Bytes::from(vec![0u8; 1500]), Time::ZERO);
+        }
+        sim.run(1000);
+        let snap = sim.telemetry().snapshot();
+        assert_eq!(
+            snap.counter("netem.drops", &[("reason", "queue_full")]),
+            Some(2)
+        );
+
+        // Link down.
+        let (mut sim, a, _b) = two_node_sim(LinkConfig::lan());
+        sim.enable_trace(100);
+        sim.set_link_state(LinkId(0), LinkState::Down);
+        sim.inject(a, 0, Bytes::from(vec![0u8; 60]), Time::ZERO);
+        sim.run(100);
+        let snap = sim.telemetry().snapshot();
+        assert_eq!(
+            snap.counter("netem.drops", &[("reason", "link_down")]),
+            Some(1)
+        );
+        // And the trace record carries the typed reason.
+        let tr = sim.trace.as_ref().unwrap();
+        let drop = tr.records().find(|r| r.dir == TraceDir::Drop).unwrap();
+        assert_eq!(drop.drop, Some(DropReason::LinkDown));
+    }
+
+    #[test]
+    fn node_ctx_hop_and_drop_annotations() {
+        /// Annotates every arriving frame with a flow-match hop, then
+        /// discards it with a typed reason.
+        struct Annotator;
+        impl NodeLogic for Annotator {
+            fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: u16, pkt: Packet) {
+                assert!(ctx.tracing());
+                ctx.trace_hop(
+                    pkt.id,
+                    pkt.len(),
+                    port,
+                    HopDetail::FlowMatch {
+                        dpid: 9,
+                        cookie: 77,
+                        priority: 500,
+                    },
+                );
+                ctx.trace_drop(pkt.id, pkt.len(), port, DropReason::Filtered);
+            }
+        }
+        let mut sim = Sim::new(0);
+        let a = sim.add_node("a", 1, Box::new(Annotator));
+        sim.enable_trace(100);
+        let id = sim.inject(a, 0, Bytes::from(vec![0u8; 60]), Time::ZERO);
+        sim.run(10);
+        let tr = sim.trace.as_ref().unwrap();
+        let recs: Vec<_> = tr.for_packet(id).collect();
+        assert_eq!(recs.len(), 3); // Rx, Hop, Drop
+        assert_eq!(recs[1].dir, TraceDir::Hop);
+        assert_eq!(
+            recs[1].hop,
+            Some(HopDetail::FlowMatch {
+                dpid: 9,
+                cookie: 77,
+                priority: 500
+            })
+        );
+        assert_eq!(recs[2].drop, Some(DropReason::Filtered));
+        let snap = sim.telemetry().snapshot();
+        assert_eq!(
+            snap.counter("netem.drops", &[("reason", "filtered")]),
+            Some(1)
+        );
     }
 
     #[test]

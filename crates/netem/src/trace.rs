@@ -1,8 +1,17 @@
-//! Packet tracing — the emulator's stand-in for pcap dumps.
+//! Packet tracing — the emulator's stand-in for pcap dumps, and the raw
+//! feed of the flight recorder (`escape::flight`).
+//!
+//! Three record kinds share one stream, ordered by virtual time:
+//! - `Tx`/`Rx`: wire events recorded by the kernel on transmit/arrive.
+//! - `Drop`: a frame lost, with a typed [`DropReason`] naming why.
+//! - `Hop`: an in-node annotation ([`HopDetail`]) recorded by node logic
+//!   — which flow rule a switch matched, which Click elements a VNF ran
+//!   the frame through.
 
 use crate::sim::NodeId;
 use crate::time::Time;
 use bytes::Bytes;
+use std::collections::VecDeque;
 
 /// Direction of a traced frame relative to the node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -10,6 +19,8 @@ pub enum TraceDir {
     Tx,
     Rx,
     Drop,
+    /// In-node processing annotation (no frame movement).
+    Hop,
 }
 
 impl std::fmt::Display for TraceDir {
@@ -18,7 +29,105 @@ impl std::fmt::Display for TraceDir {
             TraceDir::Tx => "tx",
             TraceDir::Rx => "rx",
             TraceDir::Drop => "drop",
+            TraceDir::Hop => "hop",
         })
+    }
+}
+
+/// Why a frame was dropped. Carried on `Drop` records and counted
+/// per-reason under `netem.drops{reason=...}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Random loss on a link.
+    RandomLoss,
+    /// The link was administratively down.
+    LinkDown,
+    /// The egress queue was at capacity (tail drop).
+    QueueFull,
+    /// No forwarding state: unwired port or unbound VNF device.
+    NoRoute,
+    /// Flow-table miss with nowhere to punt (no controller, or the
+    /// buffered packet was evicted before a verdict arrived).
+    TableMissPolicy,
+    /// The VNF process was not running.
+    VnfDown,
+    /// A Click element intentionally discarded the frame (e.g. a
+    /// firewall deny rule).
+    Filtered,
+    /// The frame could not be parsed into a flow key.
+    Malformed,
+}
+
+impl DropReason {
+    /// Stable label used as the telemetry `reason` tag.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DropReason::RandomLoss => "random_loss",
+            DropReason::LinkDown => "link_down",
+            DropReason::QueueFull => "queue_full",
+            DropReason::NoRoute => "no_route",
+            DropReason::TableMissPolicy => "table_miss_policy",
+            DropReason::VnfDown => "vnf_down",
+            DropReason::Filtered => "filtered",
+            DropReason::Malformed => "malformed",
+        }
+    }
+
+    /// All reasons, for exhaustive reporting.
+    pub fn all() -> &'static [DropReason] {
+        &[
+            DropReason::RandomLoss,
+            DropReason::LinkDown,
+            DropReason::QueueFull,
+            DropReason::NoRoute,
+            DropReason::TableMissPolicy,
+            DropReason::VnfDown,
+            DropReason::Filtered,
+            DropReason::Malformed,
+        ]
+    }
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What happened to a frame inside a node — recorded as `Hop` records by
+/// the node logic itself (switch, VNF container).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HopDetail {
+    /// A switch matched a flow entry; the cookie is the steering chain
+    /// identity.
+    FlowMatch {
+        dpid: u64,
+        cookie: u64,
+        priority: u16,
+    },
+    /// A switch missed its flow table and punted the frame to the
+    /// controller as a packet-in.
+    TableMiss { dpid: u64 },
+    /// A VNF ran the frame through these Click elements, in traversal
+    /// order.
+    VnfPath { vnf: String, elements: Vec<String> },
+}
+
+impl std::fmt::Display for HopDetail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HopDetail::FlowMatch {
+                dpid,
+                cookie,
+                priority,
+            } => {
+                write!(f, "flow-match dpid={dpid} cookie={cookie} prio={priority}")
+            }
+            HopDetail::TableMiss { dpid } => write!(f, "table-miss dpid={dpid}"),
+            HopDetail::VnfPath { vnf, elements } => {
+                write!(f, "vnf {vnf} [{}]", elements.join(" -> "))
+            }
+        }
     }
 }
 
@@ -33,15 +142,41 @@ pub struct TraceRecord {
     pub packet_id: u64,
     /// Raw frame bytes, kept only when payload capture is enabled.
     pub data: Option<Bytes>,
+    /// Why the frame was dropped (`dir == Drop`).
+    pub drop: Option<DropReason>,
+    /// In-node processing detail (`dir == Hop`).
+    pub hop: Option<HopDetail>,
+}
+
+impl TraceRecord {
+    /// A bare wire event; `Drop`/`Hop` details are attached by the
+    /// kernel/node helpers.
+    pub fn wire(time: Time, node: NodeId, port: u16, dir: TraceDir, len: usize, id: u64) -> Self {
+        TraceRecord {
+            time,
+            node,
+            port,
+            dir,
+            len,
+            packet_id: id,
+            data: None,
+            drop: None,
+            hop: None,
+        }
+    }
 }
 
 /// An in-memory packet trace. Recording every frame in a large run is
-/// expensive, so tracing is opt-in per [`crate::Sim`].
+/// expensive, so tracing is opt-in per [`crate::Sim`]. At capacity the
+/// trace behaves as a ring buffer: the oldest records are evicted so the
+/// tail of the run is always retained.
 #[derive(Debug, Default)]
 pub struct Trace {
-    records: Vec<TraceRecord>,
-    /// Maximum records kept; older records are retained, new ones dropped.
+    records: VecDeque<TraceRecord>,
+    /// Maximum records kept.
     cap: usize,
+    /// Records evicted from the front once the cap was reached.
+    evicted: u64,
     /// When true, frame bytes are kept so the trace can be exported as a
     /// real pcap file.
     pub capture_payloads: bool,
@@ -51,27 +186,61 @@ impl Trace {
     /// A trace bounded to `cap` records.
     pub fn with_capacity(cap: usize) -> Self {
         Trace {
-            records: Vec::new(),
+            records: VecDeque::new(),
             cap,
+            evicted: 0,
             capture_payloads: false,
         }
     }
 
-    /// Records an event (no-op once the cap is reached).
+    /// Records an event, evicting the oldest record once the cap is
+    /// reached (ring-buffer semantics).
     pub fn record(&mut self, rec: TraceRecord) {
-        if self.records.len() < self.cap {
-            self.records.push(rec);
+        if self.cap == 0 {
+            return;
         }
+        if self.records.len() >= self.cap {
+            self.records.pop_front();
+            self.evicted += 1;
+        }
+        self.records.push_back(rec);
     }
 
-    /// All records in time order.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// All retained records in time order.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The `i`-th retained record (0 = oldest).
+    pub fn get(&self, i: usize) -> Option<&TraceRecord> {
+        self.records.get(i)
+    }
+
+    /// Records evicted because the capacity was reached.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
     }
 
     /// Records matching a node.
     pub fn for_node(&self, node: NodeId) -> impl Iterator<Item = &TraceRecord> {
         self.records.iter().filter(move |r| r.node == node)
+    }
+
+    /// Records matching a packet id, in time order.
+    pub fn for_packet(&self, packet_id: u64) -> impl Iterator<Item = &TraceRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.packet_id == packet_id)
     }
 
     /// Counts records with the given direction.
@@ -111,7 +280,7 @@ impl Trace {
         let mut out = String::new();
         for r in &self.records {
             out.push_str(&format!(
-                "{:>14} node{} port{} {} len={} id={}\n",
+                "{:>14} node{} port{} {} len={} id={}",
                 r.time.to_string(),
                 r.node.0,
                 r.port,
@@ -119,6 +288,13 @@ impl Trace {
                 r.len,
                 r.packet_id
             ));
+            if let Some(reason) = r.drop {
+                out.push_str(&format!(" reason={reason}"));
+            }
+            if let Some(hop) = &r.hop {
+                out.push_str(&format!(" {hop}"));
+            }
+            out.push('\n');
         }
         out
     }
@@ -129,25 +305,28 @@ mod tests {
     use super::*;
 
     fn rec(t: u64, dir: TraceDir) -> TraceRecord {
-        TraceRecord {
-            time: Time::from_ns(t),
-            node: NodeId(1),
-            port: 0,
-            dir,
-            len: 60,
-            packet_id: t,
-            data: None,
-        }
+        TraceRecord::wire(Time::from_ns(t), NodeId(1), 0, dir, 60, t)
     }
 
     #[test]
-    fn records_respect_capacity() {
+    fn capacity_evicts_oldest_not_newest() {
         let mut tr = Trace::with_capacity(2);
         tr.record(rec(1, TraceDir::Tx));
         tr.record(rec(2, TraceDir::Rx));
         tr.record(rec(3, TraceDir::Rx));
-        assert_eq!(tr.records().len(), 2);
-        assert_eq!(tr.records()[1].time.as_ns(), 2);
+        assert_eq!(tr.len(), 2);
+        // Ring buffer: record 1 was evicted, 2 and 3 retained.
+        assert_eq!(tr.get(0).unwrap().time.as_ns(), 2);
+        assert_eq!(tr.get(1).unwrap().time.as_ns(), 3);
+        assert_eq!(tr.evicted(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut tr = Trace::with_capacity(0);
+        tr.record(rec(1, TraceDir::Tx));
+        assert!(tr.is_empty());
+        assert_eq!(tr.evicted(), 0);
     }
 
     #[test]
@@ -160,6 +339,7 @@ mod tests {
         assert_eq!(tr.count(TraceDir::Tx), 1);
         assert_eq!(tr.for_node(NodeId(1)).count(), 3);
         assert_eq!(tr.for_node(NodeId(2)).count(), 0);
+        assert_eq!(tr.for_packet(2).count(), 1);
     }
 
     #[test]
@@ -185,11 +365,34 @@ mod tests {
     }
 
     #[test]
-    fn dump_contains_direction_and_id() {
+    fn dump_contains_direction_id_and_reason() {
         let mut tr = Trace::with_capacity(10);
         tr.record(rec(42, TraceDir::Tx));
+        let mut d = rec(43, TraceDir::Drop);
+        d.drop = Some(DropReason::LinkDown);
+        tr.record(d);
+        let mut h = rec(44, TraceDir::Hop);
+        h.hop = Some(HopDetail::FlowMatch {
+            dpid: 7,
+            cookie: 3,
+            priority: 500,
+        });
+        tr.record(h);
         let text = tr.dump();
         assert!(text.contains("tx"));
         assert!(text.contains("id=42"));
+        assert!(text.contains("reason=link_down"));
+        assert!(text.contains("cookie=3"));
+    }
+
+    #[test]
+    fn drop_reason_labels_are_stable_and_unique() {
+        let labels: Vec<&str> = DropReason::all().iter().map(|r| r.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "duplicate labels: {labels:?}");
+        assert!(labels.contains(&"link_down"));
+        assert!(labels.contains(&"random_loss"));
     }
 }

@@ -6,7 +6,7 @@ use crate::table::{FlowEntry, FlowTable, RemovedReason};
 use crate::wire::{
     FlowModCommand, OfMessage, PacketInReason, PortDesc, PortStats, OFPFF_SEND_FLOW_REM,
 };
-use escape_netem::{CtrlId, NodeCtx, NodeLogic, Time};
+use escape_netem::{CtrlId, DropReason, HopDetail, NodeCtx, NodeLogic, Time};
 use escape_packet::{FlowKey, MacAddr, Packet};
 use std::collections::HashMap;
 
@@ -85,11 +85,19 @@ impl Switch {
         }
     }
 
-    fn buffer_packet(&mut self, in_port: u16, pkt: Packet) -> u32 {
+    fn buffer_packet(&mut self, ctx: &mut NodeCtx<'_>, in_port: u16, pkt: Packet) -> u32 {
         if self.buffers.len() >= MAX_BUFFERS {
-            // Evict the oldest buffered packet.
+            // Evict the oldest buffered packet — it will never get a
+            // controller verdict, so it dies here.
             if let Some(old) = self.buffer_order.first().copied() {
-                self.buffers.remove(&old);
+                if let Some((old_port, old_pkt)) = self.buffers.remove(&old) {
+                    ctx.trace_drop(
+                        old_pkt.id,
+                        old_pkt.len(),
+                        old_port,
+                        DropReason::TableMissPolicy,
+                    );
+                }
                 self.buffer_order.remove(0);
             }
         }
@@ -248,11 +256,25 @@ impl NodeLogic for Switch {
         }
         let Ok(key) = FlowKey::extract(&pkt.data) else {
             self.port_stats[in_port as usize].rx_dropped += 1;
+            ctx.trace_drop(pkt.id, pkt.len(), in_port, DropReason::Malformed);
             return;
         };
         let now = ctx.now();
         if let Some(entry) = self.table.lookup(&key, in_port, pkt.len(), now) {
+            let (cookie, priority) = (entry.cookie, entry.priority);
             let actions = entry.actions.clone();
+            if ctx.tracing() {
+                ctx.trace_hop(
+                    pkt.id,
+                    pkt.len(),
+                    in_port,
+                    HopDetail::FlowMatch {
+                        dpid: self.dpid,
+                        cookie,
+                        priority,
+                    },
+                );
+            }
             self.run_actions(ctx, &actions, in_port, &pkt);
             return;
         }
@@ -260,10 +282,19 @@ impl NodeLogic for Switch {
         if self.ctrl.is_none() {
             self.orphan_misses += 1;
             self.port_stats[in_port as usize].rx_dropped += 1;
+            ctx.trace_drop(pkt.id, pkt.len(), in_port, DropReason::TableMissPolicy);
             return;
         }
+        if ctx.tracing() {
+            ctx.trace_hop(
+                pkt.id,
+                pkt.len(),
+                in_port,
+                HopDetail::TableMiss { dpid: self.dpid },
+            );
+        }
         let total_len = pkt.data.len() as u16;
-        let buffer_id = self.buffer_packet(in_port, pkt.clone());
+        let buffer_id = self.buffer_packet(ctx, in_port, pkt.clone());
         let keep = (self.miss_send_len as usize).min(pkt.data.len());
         let msg = OfMessage::PacketIn {
             buffer_id,
@@ -688,6 +719,43 @@ mod tests {
         sim.inject(sw, 0, frame(80), escape_netem::Time::ZERO);
         sim.run(100);
         assert_eq!(sim.node_as::<Switch>(sw).unwrap().orphan_misses, 1);
+        let snap = sim.telemetry().snapshot();
+        assert_eq!(
+            snap.counter("netem.drops", &[("reason", "table_miss_policy")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn flow_match_and_miss_are_annotated_in_trace() {
+        let (mut sim, sw, _sinks, c, conn) = rig();
+        sim.enable_trace(1000);
+        let fm = flow_mod_add(
+            Match::any().with_dl_type(0x0800).with_tp_dst(80),
+            10,
+            vec![Action::out(2)],
+        );
+        sim.ctrl_send_from(c, conn, fm.encode(1));
+        sim.run(10);
+        let hit = sim.inject(sw, 0, frame(80), sim.now());
+        sim.run(100);
+        let miss = sim.inject(sw, 0, frame(443), sim.now());
+        sim.run(100);
+        let tr = sim.trace.as_ref().unwrap();
+        let hop = tr
+            .for_packet(hit)
+            .find(|r| r.dir == escape_netem::TraceDir::Hop)
+            .expect("matched packet has a hop record");
+        assert!(
+            matches!(hop.hop, Some(HopDetail::FlowMatch { dpid: 1, .. })),
+            "unexpected hop {:?}",
+            hop.hop
+        );
+        let hop = tr
+            .for_packet(miss)
+            .find(|r| r.dir == escape_netem::TraceDir::Hop)
+            .expect("missed packet has a hop record");
+        assert_eq!(hop.hop, Some(HopDetail::TableMiss { dpid: 1 }));
     }
 
     #[test]

@@ -91,6 +91,7 @@ pub fn random_service_graph(topo: &ResourceTopology, spec: &WorkloadSpec) -> Ser
                 .round()
                 / 10.0,
             max_delay_us: spec.max_delay_us,
+            sla: None,
         });
     }
     g

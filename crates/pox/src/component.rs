@@ -103,7 +103,40 @@ impl Ctl<'_, '_> {
         true
     }
 
-    /// Installs a flow: `OFPFC_ADD` with the given parameters.
+    /// Installs a flow: `OFPFC_ADD` with the given parameters and an
+    /// opaque cookie (the flight recorder reads it back from flow-match
+    /// trace records to attribute packets to chains).
+    #[allow(clippy::too_many_arguments)]
+    pub fn flow_add_with_cookie(
+        &mut self,
+        dpid: u64,
+        match_: Match,
+        priority: u16,
+        actions: Vec<Action>,
+        idle_timeout: u16,
+        hard_timeout: u16,
+        buffer_id: u32,
+        flags: u16,
+        cookie: u64,
+    ) -> bool {
+        self.send(
+            dpid,
+            OfMessage::FlowMod {
+                match_,
+                cookie,
+                command: FlowModCommand::Add,
+                idle_timeout,
+                hard_timeout,
+                priority,
+                buffer_id,
+                out_port: port::NONE,
+                flags,
+                actions,
+            },
+        )
+    }
+
+    /// Installs a flow with cookie 0.
     #[allow(clippy::too_many_arguments)]
     pub fn flow_add(
         &mut self,
@@ -116,20 +149,16 @@ impl Ctl<'_, '_> {
         buffer_id: u32,
         flags: u16,
     ) -> bool {
-        self.send(
+        self.flow_add_with_cookie(
             dpid,
-            OfMessage::FlowMod {
-                match_,
-                cookie: 0,
-                command: FlowModCommand::Add,
-                idle_timeout,
-                hard_timeout,
-                priority,
-                buffer_id,
-                out_port: port::NONE,
-                flags,
-                actions,
-            },
+            match_,
+            priority,
+            actions,
+            idle_timeout,
+            hard_timeout,
+            buffer_id,
+            flags,
+            0,
         )
     }
 

@@ -122,7 +122,9 @@ impl TrafficSteering {
     }
 
     fn push_rule(ctl: &mut Ctl<'_, '_>, r: &SteeringRule, buffer_id: u32) -> bool {
-        ctl.flow_add(
+        // The chain id rides along as the flow cookie so the flight
+        // recorder can attribute matched packets back to the chain.
+        ctl.flow_add_with_cookie(
             r.dpid,
             r.match_,
             r.priority,
@@ -131,6 +133,7 @@ impl TrafficSteering {
             r.hard_timeout,
             buffer_id,
             0,
+            r.chain_id,
         )
     }
 

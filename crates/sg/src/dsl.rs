@@ -239,11 +239,27 @@ pub fn parse_service_graph(src: &str) -> Result<ServiceGraph, DslError> {
                     Some(v) => Some(parse_delay_us(line, v)?),
                     None => None,
                 };
+                let sla_delay = match get_opt(&kv, "sla_delay") {
+                    Some(v) => Some(parse_delay_us(line, v)?),
+                    None => None,
+                };
+                let sla_loss = match get_opt(&kv, "sla_loss") {
+                    Some(v) => Some(
+                        v.parse()
+                            .map_err(|_| err(line, format!("bad sla_loss={v:?}")))?,
+                    ),
+                    None => None,
+                };
+                let sla = (sla_delay.is_some() || sla_loss.is_some()).then_some(crate::sg::Sla {
+                    max_latency_us: sla_delay,
+                    max_loss: sla_loss,
+                });
                 g.chains.push(crate::sg::Chain {
                     name,
                     hops,
                     bandwidth_mbps: bw,
                     max_delay_us: delay,
+                    sla,
                 });
             }
             other => return Err(err(line, format!("unknown directive {other:?}"))),
@@ -312,6 +328,20 @@ chain back = sap1 -> sap0 bw=10
         assert_eq!(c1.bandwidth_mbps, 100.0);
         assert_eq!(c1.max_delay_us, Some(5_000));
         assert_eq!(g.chains[1].max_delay_us, None);
+    }
+
+    #[test]
+    fn chain_sla_options_parse() {
+        let g = parse_service_graph(
+            "sap a b\nchain c = a -> b bw=10 sla_delay=2ms sla_loss=0.05\nchain d = a -> b\n",
+        )
+        .unwrap();
+        let sla = g.chains[0].sla.expect("sla should be set");
+        assert_eq!(sla.max_latency_us, Some(2_000));
+        assert_eq!(sla.max_loss, Some(0.05));
+        assert_eq!(g.chains[1].sla, None);
+        let e = parse_service_graph("sap a b\nchain c = a -> b sla_loss=bogus\n").unwrap_err();
+        assert!(e.message.contains("sla_loss"));
     }
 
     #[test]

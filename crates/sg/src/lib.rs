@@ -22,5 +22,5 @@ pub mod sg;
 pub mod topo;
 
 pub use dsl::{parse_service_graph, parse_topology, DslError};
-pub use sg::{Chain, ServiceGraph, VnfReq};
+pub use sg::{Chain, ServiceGraph, Sla, VnfReq};
 pub use topo::{ResourceTopology, TopoLink, TopoNode, TopoNodeKind};

@@ -26,6 +26,25 @@ pub struct VnfReq {
     pub click_config: Option<String>,
 }
 
+/// A service-level agreement attached to a chain: observed-traffic
+/// objectives the flight recorder checks after a run (distinct from
+/// `max_delay_us`, which is the admission-time budget the orchestrator
+/// plans against).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Sla {
+    /// Maximum acceptable end-to-end latency per delivered packet (µs).
+    pub max_latency_us: Option<u64>,
+    /// Maximum acceptable loss ratio in `0.0..=1.0`.
+    pub max_loss: Option<f64>,
+}
+
+impl Sla {
+    /// True when no objective is set (vacuously satisfied).
+    pub fn is_empty(&self) -> bool {
+        self.max_latency_us.is_none() && self.max_loss.is_none()
+    }
+}
+
 /// One service chain: an ordered walk SAP → VNF… → SAP with end-to-end
 /// requirements.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +57,8 @@ pub struct Chain {
     pub bandwidth_mbps: f64,
     /// End-to-end delay budget (µs); `None` = best effort.
     pub max_delay_us: Option<u64>,
+    /// Post-run objectives checked against recorded traffic.
+    pub sla: Option<Sla>,
 }
 
 /// The abstract service description the service layer hands to the
@@ -113,7 +134,19 @@ impl ServiceGraph {
             hops: hops.iter().map(|s| s.to_string()).collect(),
             bandwidth_mbps,
             max_delay_us,
+            sla: None,
         });
+        self
+    }
+
+    /// Builder: attach an SLA to the most recently added chain. Panics
+    /// if no chain was added yet.
+    pub fn with_sla(mut self, sla: Sla) -> Self {
+        let c = self
+            .chains
+            .last_mut()
+            .expect("with_sla needs a preceding chain()");
+        c.sla = Some(sla);
         self
     }
 
@@ -169,6 +202,16 @@ impl ServiceGraph {
             }
             if c.bandwidth_mbps <= 0.0 {
                 return Err(format!("chain {:?} has non-positive bandwidth", c.name));
+            }
+            if let Some(sla) = &c.sla {
+                if let Some(loss) = sla.max_loss {
+                    if !(0.0..=1.0).contains(&loss) {
+                        return Err(format!(
+                            "chain {:?} sla max_loss must be within 0..=1",
+                            c.name
+                        ));
+                    }
+                }
             }
         }
         // Every VNF should appear in some chain (orphans are a spec bug).
@@ -276,11 +319,22 @@ impl VnfReq {
 
 impl Chain {
     fn to_value(&self) -> Value {
-        Value::obj()
+        let mut v = Value::obj()
             .set("name", self.name.as_str())
             .set("hops", self.hops.clone())
             .set("bandwidth_mbps", self.bandwidth_mbps)
-            .set("max_delay_us", self.max_delay_us)
+            .set("max_delay_us", self.max_delay_us);
+        if let Some(sla) = &self.sla {
+            let mut s = Value::obj();
+            if let Some(lat) = sla.max_latency_us {
+                s = s.set("max_latency_us", lat);
+            }
+            if let Some(loss) = sla.max_loss {
+                s = s.set("max_loss", loss);
+            }
+            v = v.set("sla", s);
+        }
+        v
     }
 
     fn from_value(v: &Value) -> Result<Chain, String> {
@@ -294,10 +348,37 @@ impl Chain {
                     .ok_or_else(|| format!("{ctx}: max_delay_us must be an integer"))?,
             ),
         };
+        let sla = match v.get("sla") {
+            None => None,
+            Some(s) if s.is_null() => None,
+            Some(s) => {
+                let max_latency_us =
+                    match s.get("max_latency_us") {
+                        None => None,
+                        Some(l) if l.is_null() => None,
+                        Some(l) => Some(l.as_u64().ok_or_else(|| {
+                            format!("{ctx}: sla max_latency_us must be an integer")
+                        })?),
+                    };
+                let max_loss = match s.get("max_loss") {
+                    None => None,
+                    Some(l) if l.is_null() => None,
+                    Some(l) => Some(
+                        l.as_f64()
+                            .ok_or_else(|| format!("{ctx}: sla max_loss must be a number"))?,
+                    ),
+                };
+                Some(Sla {
+                    max_latency_us,
+                    max_loss,
+                })
+            }
+        };
         Ok(Chain {
             hops: str_items(arr_field(v, "hops", &ctx)?, &ctx)?,
             bandwidth_mbps: f64_field(v, "bandwidth_mbps", &ctx)?,
             max_delay_us,
+            sla,
             name,
         })
     }
@@ -397,5 +478,33 @@ mod tests {
         let g = demo();
         let back = ServiceGraph::from_json(&g.to_json()).unwrap();
         assert_eq!(g, back);
+    }
+
+    #[test]
+    fn sla_round_trips_and_absent_sla_stays_absent() {
+        let g = demo().with_sla(Sla {
+            max_latency_us: Some(4_000),
+            max_loss: Some(0.01),
+        });
+        g.validate().unwrap();
+        let back = ServiceGraph::from_json(&g.to_json()).unwrap();
+        assert_eq!(g, back);
+        assert_eq!(back.chains[0].sla.unwrap().max_latency_us, Some(4_000));
+        // A graph without SLAs omits the field entirely.
+        let plain = demo();
+        assert!(!plain.to_json().contains("sla"));
+        assert_eq!(
+            ServiceGraph::from_json(&plain.to_json()).unwrap().chains[0].sla,
+            None
+        );
+    }
+
+    #[test]
+    fn sla_loss_must_be_a_ratio() {
+        let g = demo().with_sla(Sla {
+            max_latency_us: None,
+            max_loss: Some(1.5),
+        });
+        assert!(g.validate().unwrap_err().contains("max_loss"));
     }
 }

@@ -25,7 +25,9 @@ use std::sync::{Arc, Mutex};
 
 use escape_json::Value;
 
+pub mod chrome;
 mod span;
+pub use chrome::ChromeEvent;
 pub use span::{SpanHandle, SpanRecord, Tracer};
 
 /// Label set attached to a metric: sorted `(key, value)` pairs.

@@ -1,0 +1,160 @@
+//! Flight-recorder integration: deploy a chain, push traffic, and check
+//! that journeys reconstruct the real path, drops are attributed to the
+//! exact hop, SLA verdicts follow the budget, and the Chrome export is
+//! deterministic.
+
+use escape::env::Escape;
+use escape::flight::{NodeKind, Outcome};
+use escape_netem::{DropReason, LinkState};
+use escape_orch::NearestNeighbor;
+use escape_pox::SteeringMode;
+use escape_sg::{topo::builders, ServiceGraph, Sla};
+
+fn demo_sg(sla: Option<Sla>) -> ServiceGraph {
+    let mut g = ServiceGraph::new()
+        .sap("sap0")
+        .sap("sap1")
+        .vnf("fw", "firewall", 1.0, 256)
+        .vnf("mon", "monitor", 0.5, 64)
+        .chain("demo", &["sap0", "fw", "mon", "sap1"], 100.0, Some(50_000));
+    if let Some(s) = sla {
+        g = g.with_sla(s);
+    }
+    g
+}
+
+fn build_and_run(sla: Option<Sla>) -> Escape {
+    let topo = builders::linear(3, 4.0);
+    let mut esc =
+        Escape::build(topo, Box::new(NearestNeighbor), SteeringMode::Proactive, 7).unwrap();
+    esc.deploy(&demo_sg(sla)).unwrap();
+    esc.enable_flight_recorder(65_536);
+    esc.start_udp("sap0", "sap1", 128, 200, 10).unwrap();
+    esc.run_for_ms(50);
+    esc
+}
+
+#[test]
+fn journeys_follow_the_chain_with_monotonic_timestamps() {
+    let esc = build_and_run(None);
+    let fr = esc.flight_record_aggregated();
+    assert_eq!(fr.journeys.len(), 10, "one journey per sent frame");
+    for j in &fr.journeys {
+        assert_eq!(j.chain.as_deref(), Some("demo"), "cookie attribution");
+        assert!(matches!(j.outcome, Outcome::Delivered { .. }), "{j:?}");
+        // host → switch → … → container → … → switch → host.
+        let kinds: Vec<NodeKind> = j.hops.iter().map(|h| h.kind).collect();
+        assert_eq!(kinds.first(), Some(&NodeKind::Host));
+        assert_eq!(kinds.last(), Some(&NodeKind::Host));
+        assert!(kinds.contains(&NodeKind::Switch));
+        assert!(kinds.contains(&NodeKind::Container));
+        assert!(
+            j.hops.windows(2).all(|w| w[0].arrived <= w[1].arrived),
+            "virtual timestamps must be monotonic"
+        );
+        // Switch visits explain which rule matched; the VNF visit lists
+        // the Click elements traversed (the firewall element among them).
+        let details: Vec<String> = j
+            .hops
+            .iter()
+            .flat_map(|h| h.details.iter().map(|d| d.to_string()))
+            .collect();
+        assert!(details.iter().any(|d| d.starts_with("flow-match")));
+        assert!(details
+            .iter()
+            .any(|d| d.starts_with("vnf ") && d.contains("fw")));
+        assert!(j.e2e_latency_ns().unwrap() > 0);
+    }
+    // Aggregates landed in the shared registry.
+    let snap = esc.metrics();
+    assert_eq!(
+        snap.counter("chain.delivered", &[("chain", "demo")]),
+        Some(10)
+    );
+    let h = snap
+        .histogram("chain.e2e_latency_ns", &[("chain", "demo")])
+        .expect("latency histogram exists");
+    assert_eq!(h.count, 10);
+}
+
+#[test]
+fn link_down_is_pinned_to_the_exact_hop() {
+    let topo = builders::linear(3, 4.0);
+    let mut esc =
+        Escape::build(topo, Box::new(NearestNeighbor), SteeringMode::Proactive, 7).unwrap();
+    esc.deploy(&demo_sg(None)).unwrap();
+    esc.enable_flight_recorder(65_536);
+    // Cut the inter-switch trunk *after* the first switch, so packets are
+    // steered (and attributed) before they die.
+    let trunk = esc.sim.find_links("s1", "s2");
+    assert!(!trunk.is_empty(), "linear topo has an s1-s2 trunk");
+    for l in trunk {
+        esc.sim.set_link_state(l, LinkState::Down);
+    }
+    esc.start_udp("sap0", "sap1", 128, 200, 5).unwrap();
+    esc.run_for_ms(50);
+    let fr = esc.flight_record();
+    assert_eq!(fr.journeys.len(), 5);
+    for j in &fr.journeys {
+        assert_eq!(j.chain.as_deref(), Some("demo"));
+        assert_eq!(
+            j.outcome,
+            Outcome::Dropped {
+                node: "s1".into(),
+                reason: DropReason::LinkDown
+            },
+            "journey must end at the dead trunk: {}",
+            fr.timeline(j)
+        );
+        let last = j.hops.last().unwrap();
+        assert_eq!(last.node, "s1");
+        assert_eq!(last.drop, Some(DropReason::LinkDown));
+    }
+    // The typed drop reason is also counted in telemetry.
+    assert_eq!(
+        esc.metrics()
+            .counter("netem.drops", &[("reason", "link_down")]),
+        Some(5)
+    );
+}
+
+#[test]
+fn sla_verdicts_follow_the_budget() {
+    // Impossible budget: every delivered packet violates 10 µs.
+    let esc = build_and_run(Some(Sla {
+        max_latency_us: Some(10),
+        max_loss: Some(0.0),
+    }));
+    let verdicts = esc.sla_verdicts();
+    assert_eq!(verdicts.len(), 1);
+    let v = &verdicts[0];
+    assert_eq!(v.chain, "demo");
+    assert_eq!(v.delivered, 10);
+    assert!(!v.pass, "tight sla must fail: {v}");
+    assert!(v.to_string().contains("FAIL"));
+
+    // Generous budget: same traffic passes.
+    let esc = build_and_run(Some(Sla {
+        max_latency_us: Some(50_000),
+        max_loss: Some(0.0),
+    }));
+    let v = &esc.sla_verdicts()[0];
+    assert!(v.pass, "loose sla must pass: {v}");
+    assert_eq!(v.loss, 0.0);
+}
+
+#[test]
+fn chrome_export_is_deterministic_and_parseable() {
+    let doc_a = build_and_run(None).flight_record().chrome_json();
+    let doc_b = build_and_run(None).flight_record().chrome_json();
+    assert_eq!(doc_a, doc_b, "same seed ⇒ byte-identical export");
+    let v = escape_json::Value::parse(&doc_a).expect("valid JSON");
+    let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+    assert!(!events.is_empty());
+    // Every event carries the fields trace viewers require.
+    for e in events {
+        for field in ["name", "cat", "ph", "ts", "pid", "tid"] {
+            assert!(e.get(field).is_some(), "event missing {field}");
+        }
+    }
+}
