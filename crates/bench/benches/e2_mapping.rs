@@ -59,7 +59,7 @@ fn print_table() {
     );
     for leaves in [4usize, 8, 16, 32] {
         let topo = builders::star(leaves, 4.0);
-        let sg = random_service_graph(&topo, &workload(leaves));
+        let sg = random_service_graph(&topo, &workload(leaves)).unwrap();
         for (name, mk) in algos() {
             // Backtracking explodes on big instances; cap it.
             if name == "backtrack" && leaves > 8 {
@@ -99,7 +99,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for leaves in [8usize, 32] {
         let topo = builders::star(leaves, 4.0);
-        let sg = random_service_graph(&topo, &workload(leaves));
+        let sg = random_service_graph(&topo, &workload(leaves)).unwrap();
         for (name, mk) in algos() {
             if name == "backtrack" && leaves > 8 {
                 continue;

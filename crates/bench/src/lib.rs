@@ -7,12 +7,26 @@ use std::path::PathBuf;
 /// Writes a telemetry artifact (JSON) next to the timing output, under
 /// `target/telemetry/<name>.json`. Benches call this so every run leaves
 /// a machine-readable metrics snapshot alongside the printed numbers.
-/// Returns the path written, or `None` if the filesystem refused.
+/// Returns the path written, or `None` if the filesystem refused — in
+/// which case the failed path and error are reported on stderr so a
+/// bench run never drops an artifact without a trace.
 pub fn write_telemetry_artifact(name: &str, doc: &Value) -> Option<PathBuf> {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/telemetry");
-    std::fs::create_dir_all(&dir).ok()?;
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "escape-bench: cannot create telemetry dir {}: {e}",
+            dir.display()
+        );
+        return None;
+    }
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, doc.to_string_pretty()).ok()?;
+    if let Err(e) = std::fs::write(&path, doc.to_string_pretty()) {
+        eprintln!(
+            "escape-bench: cannot write telemetry artifact {}: {e}",
+            path.display()
+        );
+        return None;
+    }
     Some(path)
 }
 

@@ -50,7 +50,7 @@ impl<T: Any> AsAnyElement for T {
 /// Elements with time-driven behaviour (sources, shapers) report their next
 /// wake-up through [`Element::next_wake`] and get [`Element::tick`] calls
 /// from the router at that time.
-pub trait Element: AsAnyElement {
+pub trait Element: AsAnyElement + Send {
     /// The Click class name, e.g. `"Counter"`.
     fn class_name(&self) -> &'static str;
 

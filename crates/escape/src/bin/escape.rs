@@ -20,6 +20,12 @@
 //!   --format    prometheus|json      (metrics subcommand; default prometheus)
 //!   --chrome    FILE   (trace subcommand) also write a Chrome trace-event
 //!                      JSON document loadable in chrome://tracing/Perfetto
+//!   --domains   FILE   domain spec (JSON): partition the topology and run
+//!                      hierarchical multi-domain orchestration
+//!   --workers N        simulator threads for --domains (default 1; any
+//!                      value produces identical results)
+//!   --workload N       generate N random chains over the topology instead
+//!                      of reading a service-graph file (seeded by --seed)
 //! ```
 //!
 //! With `--faults`, the run drives the simulation through
@@ -42,6 +48,8 @@
 
 use escape::env::Escape;
 use escape::monitor::format_handler_table;
+use escape_domain::DomainSpec;
+use escape_orch::workload::{random_service_graph, WorkloadSpec};
 use escape_orch::{
     Backtracking, BestFitCpu, GreedyFirstFit, MappingAlgorithm, NearestNeighbor, SimulatedAnnealing,
 };
@@ -73,6 +81,12 @@ struct Options {
     trace: bool,
     /// Chrome trace-event output file (trace subcommand).
     chrome: Option<String>,
+    /// Domain spec file (JSON); enables multi-domain orchestration.
+    domains: Option<String>,
+    /// Simulator worker threads for the multi-domain epoch loop.
+    workers: usize,
+    /// Generate this many random chains instead of reading an SG file.
+    workload: Option<usize>,
 }
 
 fn usage() -> ExitCode {
@@ -82,7 +96,9 @@ fn usage() -> ExitCode {
          [--monitor CHAIN:VNF]... [--seed N] [--json] [--faults PLAN.json]\n       \
          escape run [options]    (built-in demo chain)\n       \
          escape metrics [<topology> <service-graph>] [options] [--format prometheus|json]\n       \
-         escape trace [<topology> <service-graph>] [options] [--chrome FILE]"
+         escape trace [<topology> <service-graph>] [options] [--chrome FILE]\n       \
+         escape run <topology> <service-graph> --domains SPEC.json [--workers N]\n       \
+         escape run <topology> --workload N    (generated random chains)"
     );
     ExitCode::from(2)
 }
@@ -107,6 +123,9 @@ fn parse_args() -> Result<Options, String> {
         format: "prometheus".into(),
         trace: false,
         chrome: None,
+        domains: None,
+        workers: 1,
+        workload: None,
     };
     let mut first = true;
     while let Some(a) = args.next() {
@@ -180,6 +199,16 @@ fn parse_args() -> Result<Options, String> {
             "--json" => o.json = true,
             "--faults" => o.faults = Some(need("--faults")?),
             "--chrome" => o.chrome = Some(need("--chrome")?),
+            "--domains" => o.domains = Some(need("--domains")?),
+            "--workers" => {
+                o.workers = need("--workers")?.parse().map_err(|_| "bad workers")?;
+                if o.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--workload" => {
+                o.workload = Some(need("--workload")?.parse().map_err(|_| "bad workload")?)
+            }
             "--format" => {
                 o.format = need("--format")?;
                 if o.format != "prometheus" && o.format != "json" {
@@ -195,6 +224,8 @@ fn parse_args() -> Result<Options, String> {
             o.topo_file = positional.remove(0);
             o.sg_file = positional.remove(0);
         }
+        // With a generated workload only the topology is needed.
+        1 if o.workload.is_some() => o.topo_file = positional.remove(0),
         // `escape metrics` / `escape run` / `escape trace` alone use the
         // built-in demo chain.
         0 if o.metrics || o.run || o.trace => {}
@@ -216,7 +247,31 @@ fn algorithm(name: &str) -> Result<Box<dyn MappingAlgorithm>, String> {
 
 /// Loads the topology/SG pair from files, or the built-in demo chain
 /// when no files were given (`escape metrics` with no arguments).
+/// With `--workload N` the service graph is generated instead: N random
+/// chains over the topology's SAPs, seeded by `--seed`.
 fn load_inputs(o: &Options) -> Result<(ResourceTopology, ServiceGraph), String> {
+    if let Some(chains) = o.workload {
+        let topo = if o.topo_file.is_empty() {
+            escape_sg::topo::builders::linear(3, 4.0)
+        } else {
+            let src = std::fs::read_to_string(&o.topo_file)
+                .map_err(|e| format!("{}: {e}", o.topo_file))?;
+            if o.json {
+                ResourceTopology::from_json(&src)?
+            } else {
+                parse_topology(&src).map_err(|e| e.to_string())?
+            }
+        };
+        let spec = WorkloadSpec {
+            chains,
+            seed: o.seed,
+            ..WorkloadSpec::default()
+        };
+        // Typed error, surfaced verbatim ("topology has N SAP(s); random
+        // workloads need at least two").
+        let sg = random_service_graph(&topo, &spec).map_err(|e| e.to_string())?;
+        return Ok((topo, sg));
+    }
     if o.topo_file.is_empty() {
         let topo = escape_sg::topo::builders::linear(3, 4.0);
         let sg = ServiceGraph::new()
@@ -325,6 +380,76 @@ fn load_fault_plan(o: &Options) -> Result<Option<escape_netem::FaultPlan>, Strin
     let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
     let plan = escape_netem::FaultPlan::from_json(&src).map_err(|e| format!("{file}: {e}"))?;
     Ok(Some(plan))
+}
+
+/// `escape run --domains spec.json`: partition the topology, stitch the
+/// chains hierarchically, drive all domain simulators in epoch lockstep
+/// and report per-domain results plus the merged event trace.
+fn run_domains(o: Options, spec_file: &str) -> Result<(), String> {
+    let (topo, sg) = load_inputs(&o)?;
+    let spec_src = std::fs::read_to_string(spec_file).map_err(|e| format!("{spec_file}: {e}"))?;
+    let spec = DomainSpec::from_json(&spec_src)?;
+
+    println!(
+        "escape: {} domains over {} nodes | {} VNFs, {} chains | algorithm={} workers={}",
+        spec.domains.len(),
+        topo.nodes.len(),
+        sg.vnfs.len(),
+        sg.chains.len(),
+        o.algorithm,
+        o.workers,
+    );
+
+    let alg_name = o.algorithm.clone();
+    let factory = move || algorithm(&alg_name).expect("algorithm validated below");
+    algorithm(&o.algorithm)?; // validate the name before building
+    let mut md = Escape::with_domains(&topo, &spec, &factory, o.steering, o.seed, o.workers)
+        .map_err(|e| e.to_string())?;
+    for g in &md.partition().gateways {
+        println!(
+            "gateway {}: {}({}) -- {}({}) {}us",
+            g.id, g.a_domain, g.a_switch, g.b_domain, g.b_switch, g.delay_us
+        );
+    }
+    md.deploy(&sg).map_err(|e| e.to_string())?;
+    print!("{}", md.embedding_trace());
+
+    let chains: Vec<String> = sg.chains.iter().map(|c| c.name.clone()).collect();
+    for chain in &chains {
+        md.start_chain_udp(chain, 128, 200, 20)
+            .map_err(|e| e.to_string())?;
+    }
+    md.run_for_ms(o.duration_ms);
+
+    let sap_names: Vec<String> = md
+        .partition()
+        .domains
+        .iter()
+        .flat_map(|d| d.view.saps.clone())
+        .collect();
+    for sap in sap_names {
+        let s = md.sap_stats(&sap).map_err(|e| e.to_string())?;
+        if s.udp_rx > 0 {
+            println!(
+                "{sap}: udp_rx={} bytes={} mean_latency={}",
+                s.udp_rx,
+                s.bytes_rx,
+                s.mean_latency()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+    }
+    let m = md.metrics();
+    println!(
+        "handoffs={} restitches={}",
+        m.counter_total("domains.handoffs"),
+        m.counter_total("domains.restitches"),
+    );
+    for line in md.event_trace() {
+        println!("  {line}");
+    }
+    Ok(())
 }
 
 fn run(o: Options) -> Result<(), String> {
@@ -440,6 +565,8 @@ fn main() -> ExitCode {
         run_metrics(o)
     } else if o.trace {
         run_trace(o)
+    } else if let Some(spec_file) = o.domains.clone() {
+        run_domains(o, &spec_file)
     } else {
         run(o)
     };

@@ -13,14 +13,17 @@ use crate::container::VnfContainer;
 use crate::error::EscapeError;
 use crate::flight::{self, FlightRecord, NodeKind, SlaVerdict};
 use crate::infra::{Infra, ManagerRelay};
+use bytes::Bytes;
 use escape_netconf::client::{switch_port_of, vnf_id_of};
 use escape_netconf::message::ReplyBody;
 use escape_netconf::{Client, ClientEvent, RetryPolicy, RpcReply};
 use escape_netem::{
-    CtrlId, FaultInjector, FaultKind, FaultPlan, FaultRecord, Host, HostStats, NodeId, Sim, Time,
+    CtrlId, FaultInjector, FaultKind, FaultPlan, FaultRecord, GatewayRx, Host, HostStats, NodeId,
+    Sim, Time,
 };
 use escape_openflow::{Action, Match};
 use escape_orch::{ChainMapping, MappingAlgorithm, Orchestrator};
+use escape_packet::PacketBuilder;
 use escape_pox::{Controller, SteeringMode, SteeringRule, TrafficSteering};
 use escape_sg::{ResourceTopology, ServiceGraph};
 use escape_telemetry::{Counter, Histogram, Registry, Snapshot, Tracer};
@@ -194,6 +197,23 @@ impl Escape {
         Ok(esc)
     }
 
+    /// Builds a *multi-domain* environment instead: `topo` is split per
+    /// `spec` into per-domain ESCAPE instances under a global
+    /// orchestrator (see [`crate::domains::MultiDomainEscape`]).
+    /// `algorithm` is a factory because every local orchestrator owns
+    /// its own instance; `workers` bounds the simulator threads per
+    /// epoch (results are identical for any value).
+    pub fn with_domains(
+        topo: &ResourceTopology,
+        spec: &escape_domain::DomainSpec,
+        algorithm: &dyn Fn() -> Box<dyn MappingAlgorithm>,
+        mode: SteeringMode,
+        seed: u64,
+        workers: usize,
+    ) -> Result<crate::domains::MultiDomainEscape, EscapeError> {
+        crate::domains::MultiDomainEscape::build(topo, spec, algorithm, mode, seed, workers)
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> Time {
         self.sim.now()
@@ -202,6 +222,14 @@ impl Escape {
     /// Advances virtual time by `ms` milliseconds.
     pub fn run_for_ms(&mut self, ms: u64) {
         let deadline = self.sim.now() + Time::from_ms(ms);
+        self.sim.run_until(deadline);
+    }
+
+    /// Advances virtual time to an absolute deadline. The multi-domain
+    /// coordinator uses this to march every domain simulator to the same
+    /// epoch barrier; the clock lands exactly on `deadline` even when the
+    /// event queue drains early.
+    pub fn run_until(&mut self, deadline: Time) {
         self.sim.run_until(deadline);
     }
 
@@ -730,6 +758,14 @@ impl Escape {
         }
     }
 
+    /// Runs one healing pass right now: drains any pending injected-fault
+    /// records and recovers affected chains. The multi-domain coordinator
+    /// calls this at every epoch barrier instead of using
+    /// [`Escape::run_with_recovery`]'s internal slicing.
+    pub fn heal_now(&mut self) {
+        self.heal();
+    }
+
     /// Drains injected-fault records and reacts to each in order.
     fn heal(&mut self) {
         let Some(inj) = self.injector else { return };
@@ -930,6 +966,21 @@ impl Escape {
         interval_us: u64,
         count: u64,
     ) -> Result<(), EscapeError> {
+        self.start_udp_with_sport(from, to, frame_len, interval_us, count, 40_000)
+    }
+
+    /// [`Escape::start_udp`] with an explicit UDP source port. The
+    /// multi-domain coordinator stamps each chain's wire-identity port
+    /// here so gateways can tell co-located chains apart.
+    pub fn start_udp_with_sport(
+        &mut self,
+        from: &str,
+        to: &str,
+        frame_len: usize,
+        interval_us: u64,
+        count: u64,
+        sport: u16,
+    ) -> Result<(), EscapeError> {
         let (_, dst_ip) = *self
             .infra
             .sap_addr
@@ -946,7 +997,7 @@ impl Escape {
             .ok_or_else(|| EscapeError::Invalid(format!("{from} is not a SAP")))?;
         host.add_stream(
             dst_ip,
-            40_000,
+            sport,
             9_000,
             frame_len,
             Time::from_us(interval_us),
@@ -983,6 +1034,88 @@ impl Escape {
             .ok_or_else(|| EscapeError::Invalid(format!("{from} is not a SAP")))?;
         host.add_ping(dst_ip, Time::from_us(interval_us), count);
         Host::start_streams(&mut self.sim, node, Time::from_us(1));
+        Ok(())
+    }
+
+    // ---------------- cross-domain gateway hooks --------------------
+
+    /// Marks a SAP as a domain gateway: UDP payloads it receives are
+    /// parked in a handoff buffer (with arrival time and original birth
+    /// timestamp) for the multi-domain coordinator instead of landing in
+    /// the user inbox.
+    pub fn set_gateway_sap(&mut self, sap: &str) -> Result<(), EscapeError> {
+        let node = self
+            .infra
+            .node(sap)
+            .ok_or_else(|| EscapeError::NotFound(format!("sap {sap}")))?;
+        self.sim
+            .node_as_mut::<Host>(node)
+            .ok_or_else(|| EscapeError::Invalid(format!("{sap} is not a SAP")))?
+            .set_gateway(true);
+        Ok(())
+    }
+
+    /// Takes everything a gateway SAP has received since the last drain.
+    pub fn drain_gateway_rx(&mut self, sap: &str) -> Result<Vec<GatewayRx>, EscapeError> {
+        let node = self
+            .infra
+            .node(sap)
+            .ok_or_else(|| EscapeError::NotFound(format!("sap {sap}")))?;
+        Ok(std::mem::take(
+            &mut self
+                .sim
+                .node_as_mut::<Host>(node)
+                .ok_or_else(|| EscapeError::Invalid(format!("{sap} is not a SAP")))?
+                .gw_rx,
+        ))
+    }
+
+    /// Re-originates a handed-off payload from gateway SAP `from` toward
+    /// SAP `to` at absolute virtual time `at`, preserving the packet's
+    /// original birth timestamp so end-to-end latency spans domains.
+    /// `src_port` identifies the chain on the wire: downstream gateways
+    /// see the shared gateway SAP as the source IP, so the port is what
+    /// keeps chains sharing a gateway path distinguishable.
+    /// `at` must not be in this domain's past.
+    pub fn gateway_send(
+        &mut self,
+        from: &str,
+        to: &str,
+        payload: Vec<u8>,
+        born_ns: u64,
+        at: Time,
+        src_port: u16,
+    ) -> Result<(), EscapeError> {
+        let (src_mac, src_ip) = *self
+            .infra
+            .sap_addr
+            .get(from)
+            .ok_or_else(|| EscapeError::NotFound(format!("sap {from}")))?;
+        let (dst_mac, dst_ip) = *self
+            .infra
+            .sap_addr
+            .get(to)
+            .ok_or_else(|| EscapeError::NotFound(format!("sap {to}")))?;
+        let frame = PacketBuilder::udp(
+            src_mac,
+            dst_mac,
+            src_ip,
+            dst_ip,
+            src_port,
+            9_000,
+            Bytes::from(payload),
+        );
+        let node = self
+            .infra
+            .node(from)
+            .ok_or_else(|| EscapeError::NotFound(format!("sap {from}")))?;
+        let delay = Time::from_ns(at.since(self.sim.now()));
+        let host = self
+            .sim
+            .node_as_mut::<Host>(node)
+            .ok_or_else(|| EscapeError::Invalid(format!("{from} is not a SAP")))?;
+        host.queue_frame(frame, born_ns);
+        Host::flush_queued(&mut self.sim, node, delay);
         Ok(())
     }
 

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod container;
+pub mod domains;
 pub mod env;
 pub mod error;
 pub mod flight;
@@ -51,6 +52,7 @@ pub mod infra;
 pub mod monitor;
 
 pub use container::{VnfContainer, VnfHost};
+pub use domains::MultiDomainEscape;
 pub use env::{DeploymentReport, Escape};
 pub use error::EscapeError;
 pub use flight::{FlightRecord, Journey, Outcome, SlaVerdict};

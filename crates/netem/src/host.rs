@@ -67,6 +67,30 @@ struct PingJob {
 /// drive UDP stream `k`.
 const PING_TOKEN_BASE: u64 = 1 << 32;
 
+/// Timer token that flushes frames queued with [`Host::queue_frame`].
+const FLUSH_TOKEN: u64 = 1 << 33;
+
+/// One UDP payload captured by a gateway host (a multi-domain boundary
+/// SAP): everything the coordinator needs to re-originate the packet in
+/// the next domain while preserving its end-to-end birth timestamp.
+#[derive(Debug, Clone)]
+pub struct GatewayRx {
+    /// Virtual arrival time at the gateway.
+    pub at: Time,
+    /// Source IP of the captured datagram (identifies the flow).
+    pub src: Ipv4Addr,
+    /// UDP source port. Re-originated cross-domain legs carry a
+    /// chain-specific port, so two chains arriving from the same
+    /// upstream gateway stay distinguishable.
+    pub src_port: u16,
+    /// Birth timestamp carried by the frame (0 if unset). Forward this
+    /// into [`Host::queue_frame`] so cross-domain latency stays end to
+    /// end.
+    pub born_ns: u64,
+    /// The UDP payload.
+    pub payload: Vec<u8>,
+}
+
 /// The host node. See the module docs.
 pub struct Host {
     pub mac: MacAddr,
@@ -79,6 +103,17 @@ pub struct Host {
     pings: Vec<PingJob>,
     /// Last payloads received, newest last (bounded, for demo inspection).
     pub inbox: Vec<Vec<u8>>,
+    /// Gateway mode: received UDP payloads are captured into
+    /// [`Host::gw_rx`] (with arrival time and birth timestamp) instead of
+    /// the inbox, for cross-domain handoff.
+    gateway: bool,
+    /// Captured gateway arrivals, oldest first. Drained by the
+    /// multi-domain coordinator between epochs.
+    pub gw_rx: Vec<GatewayRx>,
+    /// Frames queued by [`Host::queue_frame`] for transmission at the
+    /// next [`Host::flush_queued`] timer, with an optional birth
+    /// timestamp override.
+    queued_tx: Vec<(Bytes, u64)>,
 }
 
 /// Timer token namespace: stream k fires with token k.
@@ -96,7 +131,30 @@ impl Host {
             streams: Vec::new(),
             pings: Vec::new(),
             inbox: Vec::new(),
+            gateway: false,
+            gw_rx: Vec::new(),
+            queued_tx: Vec::new(),
         }
+    }
+
+    /// Flips gateway mode: received UDP payloads are captured into
+    /// [`Host::gw_rx`] for cross-domain handoff.
+    pub fn set_gateway(&mut self, on: bool) {
+        self.gateway = on;
+    }
+
+    /// Queues a ready-made Ethernet frame for transmission at the next
+    /// [`Host::flush_queued`] timer. `born_ns` (when non-zero) overrides
+    /// the packet's birth timestamp so end-to-end latency measured at the
+    /// final sink spans domain boundaries.
+    pub fn queue_frame(&mut self, frame: Bytes, born_ns: u64) {
+        self.queued_tx.push((frame, born_ns));
+    }
+
+    /// Arms the flush timer that transmits every queued frame `delay`
+    /// from now.
+    pub fn flush_queued(sim: &mut crate::sim::Sim, me: crate::sim::NodeId, delay: Time) {
+        sim.set_timer_for(me, delay, FLUSH_TOKEN);
     }
 
     /// Pre-populates the ARP table (like Mininet's `--arp` static mode).
@@ -257,7 +315,15 @@ impl Host {
                         self.stats.latency_samples += 1;
                         self.stats.latency_max_ns = self.stats.latency_max_ns.max(lat);
                     }
-                    if self.inbox.len() < INBOX_CAP {
+                    if self.gateway {
+                        self.gw_rx.push(GatewayRx {
+                            at: ctx.now(),
+                            src: ip.src,
+                            src_port: udp.src_port,
+                            born_ns: pkt.born_ns,
+                            payload: udp.payload.to_vec(),
+                        });
+                    } else if self.inbox.len() < INBOX_CAP {
                         self.inbox.push(udp.payload.to_vec());
                     }
                 }
@@ -314,6 +380,17 @@ impl NodeLogic for Host {
     }
 
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_>, token: u64) {
+        if token == FLUSH_TOKEN {
+            for (frame, born_ns) in std::mem::take(&mut self.queued_tx) {
+                let mut pkt = ctx.new_packet(frame);
+                if born_ns != 0 {
+                    pkt.born_ns = born_ns;
+                }
+                self.stats.udp_tx += 1;
+                ctx.send(0, pkt);
+            }
+            return;
+        }
         if token >= PING_TOKEN_BASE {
             let k = (token - PING_TOKEN_BASE) as usize;
             if k < self.pings.len() {

@@ -36,7 +36,7 @@ pub mod time;
 pub mod trace;
 
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord};
-pub use host::{Host, HostStats};
+pub use host::{GatewayRx, Host, HostStats};
 pub use link::{LinkConfig, LinkId, LinkState};
 pub use process::{CpuModel, IsolationMode};
 pub use sim::{CtrlId, NodeCtx, NodeId, NodeLogic, Sim};

@@ -89,7 +89,7 @@ impl<T: Any> AsAny for T {
 
 /// Behaviour of a node. Implementations are state machines driven by the
 /// kernel: frames in, timers, control messages — frames out via the ctx.
-pub trait NodeLogic: AsAny {
+pub trait NodeLogic: AsAny + Send {
     /// A frame arrived on `port`.
     fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, port: u16, pkt: Packet);
 

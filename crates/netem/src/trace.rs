@@ -343,6 +343,27 @@ mod tests {
     }
 
     #[test]
+    fn drop_reason_display_matches_stable_label() {
+        // The Display string doubles as the telemetry `reason` tag, so it
+        // must stay a stable snake_case identifier for every variant.
+        let want = [
+            (DropReason::RandomLoss, "random_loss"),
+            (DropReason::LinkDown, "link_down"),
+            (DropReason::QueueFull, "queue_full"),
+            (DropReason::NoRoute, "no_route"),
+            (DropReason::TableMissPolicy, "table_miss_policy"),
+            (DropReason::VnfDown, "vnf_down"),
+            (DropReason::Filtered, "filtered"),
+            (DropReason::Malformed, "malformed"),
+        ];
+        assert_eq!(DropReason::all().len(), want.len());
+        for (reason, label) in want {
+            assert_eq!(reason.to_string(), label);
+            assert_eq!(reason.label(), label);
+        }
+    }
+
+    #[test]
     fn pcap_export_is_well_formed() {
         let mut tr = Trace::with_capacity(10);
         tr.capture_payloads = true;

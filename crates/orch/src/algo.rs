@@ -40,7 +40,7 @@ impl std::error::Error for MapError {}
 
 /// A chain-mapping algorithm. Implementations are pure with respect to
 /// the passed state: they never mutate it (the engine commits).
-pub trait MappingAlgorithm {
+pub trait MappingAlgorithm: Send {
     fn name(&self) -> &'static str;
 
     /// Maps one chain, returning the placement and routed segments.
@@ -441,6 +441,41 @@ mod tests {
             assert_eq!(m.placement.len(), 2, "{}", a.name());
             assert_eq!(m.segments.len(), 3);
             assert!(m.total_delay_us > 0);
+        }
+    }
+
+    #[test]
+    fn map_error_display_strings() {
+        let cases: Vec<(MapError, &str)> = vec![
+            (
+                MapError::NoCapacity("f1".into()),
+                "no capacity for VNF \"f1\"",
+            ),
+            (
+                MapError::NoPath {
+                    from: "sap0".into(),
+                    to: "c2".into(),
+                },
+                "no feasible path sap0 -> c2",
+            ),
+            (
+                MapError::DelayExceeded {
+                    got: 900,
+                    budget: 500,
+                },
+                "delay 900µs exceeds budget 500µs",
+            ),
+            (
+                MapError::UnknownNode("ghost".into()),
+                "unknown node \"ghost\"",
+            ),
+            (
+                MapError::Infeasible("commit rejected".into()),
+                "infeasible: commit rejected",
+            ),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
         }
     }
 

@@ -36,17 +36,46 @@ impl Default for WorkloadSpec {
     }
 }
 
+/// Why a workload could not be generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The topology exposes fewer than two SAPs, so no chain can have
+    /// distinct endpoints.
+    NotEnoughSaps {
+        /// SAPs actually present in the topology.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::NotEnoughSaps { found } => write!(
+                f,
+                "topology has {found} SAP(s); random workloads need at least two"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// Generates a random service graph over the topology's SAPs, drawing
-/// VNF types from the catalog. Panics if the topology has fewer than two
-/// SAPs.
-pub fn random_service_graph(topo: &ResourceTopology, spec: &WorkloadSpec) -> ServiceGraph {
+/// VNF types from the catalog. Fails with [`WorkloadError::NotEnoughSaps`]
+/// when the topology has fewer than two SAPs.
+pub fn random_service_graph(
+    topo: &ResourceTopology,
+    spec: &WorkloadSpec,
+) -> Result<ServiceGraph, WorkloadError> {
     let saps: Vec<&str> = topo
         .nodes
         .iter()
         .filter(|n| matches!(n.kind, TopoNodeKind::Sap))
         .map(|n| n.name.as_str())
         .collect();
-    assert!(saps.len() >= 2, "workload needs at least two SAPs");
+    if saps.len() < 2 {
+        return Err(WorkloadError::NotEnoughSaps { found: saps.len() });
+    }
     let catalog = Catalog::standard();
     // Exclude the 3-port load balancer: chains are linear.
     let types: Vec<&str> = catalog
@@ -94,7 +123,7 @@ pub fn random_service_graph(topo: &ResourceTopology, spec: &WorkloadSpec) -> Ser
             sla: None,
         });
     }
-    g
+    Ok(g)
 }
 
 #[cfg(test)]
@@ -114,7 +143,8 @@ mod tests {
                     seed,
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap();
             g.validate().unwrap();
             assert_eq!(g.chains.len(), 10);
         }
@@ -128,9 +158,41 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(
-            random_service_graph(&topo, &spec),
-            random_service_graph(&topo, &spec)
+            random_service_graph(&topo, &spec).unwrap(),
+            random_service_graph(&topo, &spec).unwrap()
         );
+    }
+
+    #[test]
+    fn different_seeds_give_different_graphs() {
+        let topo = builders::star(4, 2.0);
+        let a = random_service_graph(
+            &topo,
+            &WorkloadSpec {
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = random_service_graph(
+            &topo,
+            &WorkloadSpec {
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(a, b, "seed must drive generation");
+    }
+
+    #[test]
+    fn too_few_saps_is_a_typed_error() {
+        // A 1-switch "topology" with no SAPs at all.
+        let mut topo = escape_sg::ResourceTopology::new();
+        topo.add_switch("s0");
+        let err = random_service_graph(&topo, &WorkloadSpec::default()).unwrap_err();
+        assert_eq!(err, WorkloadError::NotEnoughSaps { found: 0 });
+        assert!(err.to_string().contains("at least two"));
     }
 
     #[test]
@@ -143,7 +205,8 @@ mod tests {
                 seed: 3,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let mut orch = Orchestrator::new(topo, Box::new(GreedyFirstFit)).unwrap();
         let (ok, rejected) = orch.embed_graph(&g);
         assert_eq!(ok.len() + rejected.len(), 5);
@@ -153,7 +216,7 @@ mod tests {
     #[test]
     fn vnf_types_come_from_catalog() {
         let topo = builders::star(4, 2.0);
-        let g = random_service_graph(&topo, &WorkloadSpec::default());
+        let g = random_service_graph(&topo, &WorkloadSpec::default()).unwrap();
         let catalog = Catalog::standard();
         for v in &g.vnfs {
             assert!(

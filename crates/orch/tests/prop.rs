@@ -41,7 +41,7 @@ proptest! {
         which in any::<u8>(),
     ) {
         let topo = builders::star(leaves, 4.0);
-        let sg = random_service_graph(&topo, &spec(seed, chains));
+        let sg = random_service_graph(&topo, &spec(seed, chains)).unwrap();
         let mut orch = Orchestrator::new(topo.clone(), algo(which)).unwrap();
         let (ok, rejected) = orch.embed_graph(&sg);
         prop_assert_eq!(ok.len() + rejected.len(), chains);
@@ -85,7 +85,7 @@ proptest! {
         which in any::<u8>(),
     ) {
         let topo = builders::tree(2, 8.0);
-        let sg = random_service_graph(&topo, &spec(seed, 6));
+        let sg = random_service_graph(&topo, &spec(seed, 6)).unwrap();
         let mut orch = Orchestrator::new(topo.clone(), algo(which)).unwrap();
         let pristine_cpu = orch.state().total_free_cpu();
         let pristine_bw: f64 = orch.state().bw.values().sum();
@@ -103,7 +103,7 @@ proptest! {
     #[test]
     fn algorithms_are_deterministic(seed in any::<u64>(), which in any::<u8>()) {
         let topo = builders::star(5, 4.0);
-        let sg = random_service_graph(&topo, &spec(seed, 5));
+        let sg = random_service_graph(&topo, &spec(seed, 5)).unwrap();
         let run = || {
             let mut orch = Orchestrator::new(topo.clone(), algo(which)).unwrap();
             let (ok, rej) = orch.embed_graph(&sg);
@@ -122,7 +122,7 @@ proptest! {
         let topo = builders::star(6, 8.0);
         let mut w = spec(seed, 8);
         w.max_delay_us = Some(budget_us);
-        let sg = random_service_graph(&topo, &w);
+        let sg = random_service_graph(&topo, &w).unwrap();
         let mut orch = Orchestrator::new(topo, Box::new(NearestNeighbor)).unwrap();
         let (ok, _) = orch.embed_graph(&sg);
         for m in &ok {

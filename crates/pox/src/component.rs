@@ -39,7 +39,7 @@ impl<T: Any> AsAnyComponent for T {
 ///
 /// Events are offered to components in registration order; a component
 /// returning `true` from [`Component::on_packet_in`] consumes the event.
-pub trait Component: AsAnyComponent {
+pub trait Component: AsAnyComponent + Send {
     /// Component name (diagnostics).
     fn name(&self) -> &'static str;
 

@@ -129,6 +129,27 @@ impl ResourceTopology {
         })
     }
 
+    /// The subgraph induced by the named nodes: those nodes (in original
+    /// order) plus every link with both endpoints in the set. Used by the
+    /// multi-domain partitioner to carve per-domain local topologies.
+    pub fn induced<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> ResourceTopology {
+        let keep: std::collections::HashSet<&str> = names.into_iter().collect();
+        ResourceTopology {
+            nodes: self
+                .nodes
+                .iter()
+                .filter(|n| keep.contains(n.name.as_str()))
+                .cloned()
+                .collect(),
+            links: self
+                .links
+                .iter()
+                .filter(|l| keep.contains(l.a.as_str()) && keep.contains(l.b.as_str()))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Structural validation: link endpoints exist, no duplicate names,
     /// positive capacities.
     pub fn validate(&self) -> Result<(), String> {

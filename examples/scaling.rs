@@ -45,7 +45,8 @@ fn main() {
                 max_delay_us: None,
                 seed: 7,
             },
-        );
+        )
+        .expect("workload");
         let t1 = Instant::now();
         let accepted = match esc.deploy(&sg) {
             Ok(r) => r.chains.len(),
