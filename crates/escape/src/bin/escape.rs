@@ -87,6 +87,10 @@ struct Options {
     workers: usize,
     /// Generate this many random chains instead of reading an SG file.
     workload: Option<usize>,
+    /// `escape soak ...`: leak-hunting invariant soak run.
+    soak: bool,
+    /// Steps for the soak subcommand.
+    steps: u64,
 }
 
 fn usage() -> ExitCode {
@@ -98,7 +102,8 @@ fn usage() -> ExitCode {
          escape metrics [<topology> <service-graph>] [options] [--format prometheus|json]\n       \
          escape trace [<topology> <service-graph>] [options] [--chrome FILE]\n       \
          escape run <topology> <service-graph> --domains SPEC.json [--workers N]\n       \
-         escape run <topology> --workload N    (generated random chains)"
+         escape run <topology> --workload N    (generated random chains)\n       \
+         escape soak [--steps N] [--seed N]    (invariant soak run)"
     );
     ExitCode::from(2)
 }
@@ -126,6 +131,8 @@ fn parse_args() -> Result<Options, String> {
         domains: None,
         workers: 1,
         workload: None,
+        soak: false,
+        steps: 500,
     };
     let mut first = true;
     while let Some(a) = args.next() {
@@ -141,6 +148,10 @@ fn parse_args() -> Result<Options, String> {
             }
             if a == "trace" {
                 o.trace = true;
+                continue;
+            }
+            if a == "soak" {
+                o.soak = true;
                 continue;
             }
         }
@@ -209,6 +220,7 @@ fn parse_args() -> Result<Options, String> {
             "--workload" => {
                 o.workload = Some(need("--workload")?.parse().map_err(|_| "bad workload")?)
             }
+            "--steps" => o.steps = need("--steps")?.parse().map_err(|_| "bad steps")?,
             "--format" => {
                 o.format = need("--format")?;
                 if o.format != "prometheus" && o.format != "json" {
@@ -227,8 +239,8 @@ fn parse_args() -> Result<Options, String> {
         // With a generated workload only the topology is needed.
         1 if o.workload.is_some() => o.topo_file = positional.remove(0),
         // `escape metrics` / `escape run` / `escape trace` alone use the
-        // built-in demo chain.
-        0 if o.metrics || o.run || o.trace => {}
+        // built-in demo chain; `escape soak` needs no files at all.
+        0 if o.metrics || o.run || o.trace || o.soak => {}
         _ => return Err("need exactly two positional arguments".into()),
     }
     Ok(o)
@@ -553,6 +565,42 @@ fn run(o: Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `escape soak`: run the leak-hunting soak harness and print its
+/// report. Exits non-zero if any step violated a conservation
+/// invariant.
+fn run_soak_cmd(o: Options) -> Result<(), String> {
+    let report = escape::soak::run_soak(escape::soak::SoakConfig {
+        steps: o.steps,
+        seed: o.seed,
+    });
+    println!("{}", report.summary());
+    if o.json {
+        println!(
+            "{{\"steps\":{},\"deploys\":{},\"rollbacks\":{},\"teardowns\":{},\"teardown_retries\":{},\"faults\":{},\"queued\":{},\"rejected\":{},\"live_at_end\":{},\"violations\":{}}}",
+            report.steps,
+            report.deploys,
+            report.rollbacks,
+            report.teardowns,
+            report.teardown_retries,
+            report.faults,
+            report.admission_queued,
+            report.admission_rejected,
+            report.live_at_end,
+            report.violations.len(),
+        );
+    }
+    if !report.clean() {
+        for v in &report.violations {
+            eprintln!("violation: {v}");
+        }
+        return Err(format!(
+            "{} invariant violation(s)",
+            report.violations.len()
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let o = match parse_args() {
         Ok(o) => o,
@@ -561,7 +609,9 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    let result = if o.metrics {
+    let result = if o.soak {
+        run_soak_cmd(o)
+    } else if o.metrics {
         run_metrics(o)
     } else if o.trace {
         run_trace(o)

@@ -26,8 +26,8 @@
 //! merged event and flight traces are byte-identical for any worker
 //! count and across repeated runs with the same seed.
 
-use crate::env::Escape;
-use crate::error::EscapeError;
+use crate::env::{AdmissionConfig, Escape};
+use crate::error::{AdmissionVerdict, EscapeError};
 use escape_domain::{merge_event_logs, ChainPlan, DomainSpec, GlobalOrchestrator, Partition};
 use escape_netem::{LinkState, Time};
 use escape_orch::{MapError, MappingAlgorithm};
@@ -96,6 +96,8 @@ pub struct MultiDomainEscape {
     /// Coordinator-level metrics (handoffs, re-stitches).
     registry: Registry,
     clock: Time,
+    /// Hard-watermark admission gate over the mean domain utilization.
+    admission: Option<AdmissionConfig>,
 }
 
 /// Per-domain seeds must differ (identical seeds would produce eerily
@@ -157,6 +159,7 @@ impl MultiDomainEscape {
             events: Vec::new(),
             registry: Registry::new(),
             clock: Time::ZERO,
+            admission: None,
         };
         md.align();
         Ok(md)
@@ -215,10 +218,46 @@ impl MultiDomainEscape {
 
     // ---------------- deployment ------------------------------------
 
+    /// Enables coordinator-level admission control: deploys are rejected
+    /// outright once the *mean* domain compute utilization reaches the
+    /// hard watermark. The soft watermark is not used here — queueing a
+    /// half-planned cross-domain chain would risk deploying stale legs
+    /// against a moved resource view, so overload at the coordinator is
+    /// always a typed, immediate rejection.
+    pub fn set_admission(&mut self, cfg: AdmissionConfig) {
+        self.admission = Some(cfg);
+    }
+
+    /// Mean compute utilization across all domains.
+    pub fn cpu_utilization(&self) -> f64 {
+        if self.parts.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .parts
+            .iter()
+            .map(|p| p.esc.orchestrator().cpu_utilization())
+            .sum();
+        total / self.parts.len() as f64
+    }
+
     /// Plans every chain globally, deploys each leg through the owning
     /// domain's local orchestrator and wires the gateway handoffs.
     pub fn deploy(&mut self, sg: &ServiceGraph) -> Result<(), EscapeError> {
         sg.validate().map_err(EscapeError::Invalid)?;
+        if let Some(cfg) = self.admission {
+            let utilization = self.cpu_utilization();
+            if utilization >= cfg.hard_watermark {
+                self.note(format!(
+                    "admission: rejected (mean utilization {utilization:.2} >= hard {:.2})",
+                    cfg.hard_watermark
+                ));
+                return Err(EscapeError::Admission(AdmissionVerdict::RejectedHard {
+                    utilization,
+                    hard_watermark: cfg.hard_watermark,
+                }));
+            }
+        }
         for chain in &sg.chains {
             let plan = self.global.plan_chain(sg, chain).map_err(|e| {
                 EscapeError::MappingFailed(vec![(

@@ -9,8 +9,8 @@
 //! measured in *virtual* time), and steering rules are handed to the POX
 //! traffic-steering app.
 
-use crate::container::VnfContainer;
-use crate::error::EscapeError;
+use crate::container::{VnfContainer, VnfStatus};
+use crate::error::{AdmissionVerdict, DeployPhase, EscapeError, RollbackReport, RollbackStep};
 use crate::flight::{self, FlightRecord, NodeKind, SlaVerdict};
 use crate::infra::{Infra, ManagerRelay};
 use bytes::Bytes;
@@ -21,17 +21,108 @@ use escape_netem::{
     CtrlId, FaultInjector, FaultKind, FaultPlan, FaultRecord, GatewayRx, Host, HostStats, NodeId,
     Sim, Time,
 };
-use escape_openflow::{Action, Match};
+use escape_openflow::{Action, Match, Switch};
 use escape_orch::{ChainMapping, MappingAlgorithm, Orchestrator};
 use escape_packet::PacketBuilder;
 use escape_pox::{Controller, SteeringMode, SteeringRule, TrafficSteering};
 use escape_sg::{ResourceTopology, ServiceGraph};
 use escape_telemetry::{Counter, Histogram, Registry, Snapshot, Tracer};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Virtual-time budget for a single NETCONF round trip before we declare
 /// the agent dead.
 const RPC_TIMEOUT: Time = Time::from_ms(100);
+
+/// Capacity watermarks for the admission controller. Disabled by default;
+/// enable with [`Escape::set_admission`].
+///
+/// Compute utilization below `soft_watermark` admits deploys immediately.
+/// Between the watermarks, requests park on a bounded queue and retry on
+/// a seeded deterministic backoff schedule as capacity frees up. At or
+/// above `hard_watermark` requests are rejected outright with a typed
+/// [`AdmissionVerdict`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Utilization at which deploys start queueing (0..=1).
+    pub soft_watermark: f64,
+    /// Utilization at which deploys are rejected outright (0..=1).
+    pub hard_watermark: f64,
+    /// Most requests the queue holds before new arrivals bounce.
+    pub max_queue: usize,
+    /// Retry budget per queued request.
+    pub max_retries: u32,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            soft_watermark: 0.85,
+            hard_watermark: 0.95,
+            max_queue: 8,
+            max_retries: 8,
+        }
+    }
+}
+
+/// A deploy parked by the admission controller, waiting for utilization
+/// to drop below the soft watermark.
+struct QueuedDeploy {
+    sg: ServiceGraph,
+    attempts: u32,
+    next_due: Time,
+}
+
+/// A VNF the prepare phase has (partially) brought up: enough state to
+/// undo exactly what was done.
+struct PreparedVnf {
+    dv: DeployedVnf,
+    /// `startVNF` completed — rollback must stop it.
+    started: bool,
+}
+
+/// Per-chain transaction log: every completed prepare step, in order, so
+/// rollback can replay them in reverse.
+struct ChainTxn {
+    mapping: ChainMapping,
+    cookie: u64,
+    vnfs: Vec<PreparedVnf>,
+    /// Steering rules compiled and staged (shadow set).
+    rules: usize,
+    staged: bool,
+    /// Staged rules were committed to the live queue.
+    committed: bool,
+}
+
+impl ChainTxn {
+    fn new(mapping: ChainMapping, cookie: u64) -> ChainTxn {
+        ChainTxn {
+            mapping,
+            cookie,
+            vnfs: Vec::new(),
+            rules: 0,
+            staged: false,
+            committed: false,
+        }
+    }
+
+    fn into_deployed(self) -> DeployedChain {
+        DeployedChain {
+            mapping: self.mapping,
+            vnfs: self.vnfs.into_iter().map(|p| p.dv).collect(),
+            cookie: self.cookie,
+            rules: self.rules,
+        }
+    }
+
+    fn as_deployed(&self) -> DeployedChain {
+        DeployedChain {
+            mapping: self.mapping.clone(),
+            vnfs: self.vnfs.iter().map(|p| p.dv.clone()).collect(),
+            cookie: self.cookie,
+            rules: self.rules,
+        }
+    }
+}
 
 /// One deployed VNF instance.
 #[derive(Debug, Clone)]
@@ -98,10 +189,19 @@ pub struct Escape {
     next_cookie: u64,
     topo: ResourceTopology,
     mode: SteeringMode,
-    /// Installed fault injector, if a plan was loaded.
-    injector: Option<NodeId>,
+    /// Installed fault injectors, one per loaded plan. Plans can
+    /// overlap; healing drains every injector and merges records in
+    /// virtual-time order.
+    injectors: Vec<NodeId>,
     /// Backoff schedule for NETCONF RPC retries.
     retry: RetryPolicy,
+    /// Admission watermarks; `None` admits everything unconditionally.
+    admission: Option<AdmissionConfig>,
+    /// Deploys parked between the watermarks, FIFO.
+    admission_queue: Vec<QueuedDeploy>,
+    /// Backoff schedule for queued-deploy retries (derived from the
+    /// build seed, so same seed ⇒ same retry cadence).
+    admission_retry: RetryPolicy,
     /// Human-readable, virtual-timestamped fault/recovery event log —
     /// byte-identical across same-seed runs (the determinism witness).
     events: Vec<String>,
@@ -124,6 +224,20 @@ pub struct Escape {
     /// Virtual ns from fault detection to restored steering
     /// (`recovery.latency_ns`).
     recovery_latency: Histogram,
+    /// Deploy transactions rolled back (`escape.rollbacks`).
+    rollbacks_ctr: Counter,
+    /// Deploys admitted below the soft watermark (`escape.admission_admitted`).
+    admission_admitted_ctr: Counter,
+    /// Deploys parked on the queue (`escape.admission_queued`).
+    admission_queued_ctr: Counter,
+    /// Deploys rejected — hard watermark, full queue or spent retry
+    /// budget (`escape.admission_rejected`).
+    admission_rejected_ctr: Counter,
+    /// Queued-deploy retry attempts (`escape.admission_retries`).
+    admission_retries_ctr: Counter,
+    /// Malformed NETCONF replies noted by containers
+    /// (container, reason), drained by the RPC layer.
+    malformed_seen: Vec<(String, String)>,
 }
 
 /// How a single RPC attempt failed: retryably (no reply within the
@@ -177,8 +291,13 @@ impl Escape {
             next_cookie: 1,
             topo,
             mode,
-            injector: None,
+            injectors: Vec::new(),
             retry: RetryPolicy::standard(seed),
+            admission: None,
+            admission_queue: Vec::new(),
+            // Queue retries back off longer than RPC retries: the queue
+            // waits for capacity, not for a stalled agent.
+            admission_retry: RetryPolicy::new(5_000_000, 80_000_000, 0.25, 8, seed ^ 0xAD31),
             events: Vec::new(),
             tracer: Tracer::new(telemetry.clone()),
             rpc_latency: telemetry.histogram("netconf.rpc_latency_ns"),
@@ -190,6 +309,12 @@ impl Escape {
             recoveries_ctr: telemetry.counter("escape.recoveries"),
             recovery_failures_ctr: telemetry.counter("escape.recovery_failures"),
             recovery_latency: telemetry.histogram("recovery.latency_ns"),
+            rollbacks_ctr: telemetry.counter("escape.rollbacks"),
+            admission_admitted_ctr: telemetry.counter("escape.admission_admitted"),
+            admission_queued_ctr: telemetry.counter("escape.admission_queued"),
+            admission_rejected_ctr: telemetry.counter("escape.admission_rejected"),
+            admission_retries_ctr: telemetry.counter("escape.admission_retries"),
+            malformed_seen: Vec::new(),
             telemetry,
         };
         // Let the OpenFlow handshake and hello exchanges settle.
@@ -219,9 +344,16 @@ impl Escape {
         self.sim.now()
     }
 
-    /// Advances virtual time by `ms` milliseconds.
+    /// Advances virtual time by `ms` milliseconds. While deploys are
+    /// parked on the admission queue, time advances in 1 ms slices so
+    /// due retries fire at their scheduled (virtual) moments.
     pub fn run_for_ms(&mut self, ms: u64) {
         let deadline = self.sim.now() + Time::from_ms(ms);
+        while !self.admission_queue.is_empty() && self.sim.now() < deadline {
+            let slice = (self.sim.now() + Time::from_ms(1)).min(deadline);
+            self.sim.run_until(slice);
+            self.pump_admission();
+        }
         self.sim.run_until(deadline);
     }
 
@@ -248,7 +380,14 @@ impl Escape {
         &self.topo
     }
 
-    /// Deployed chain handles.
+    /// Names of all live (fully committed) chains, sorted.
+    pub fn deployed_chains(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.deployed.keys().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The deployment record for a live chain, if any.
     pub fn deployed(&self, chain: &str) -> Option<&DeployedChain> {
         self.deployed.get(chain)
     }
@@ -357,6 +496,7 @@ impl Escape {
             std::mem::take(&mut relay.inbox)
         };
         let mut replies = Vec::new();
+        let malformed_before = self.malformed_seen.len();
         for (conn, bytes) in msgs {
             let Some(owner) = self.infra.conn_owner.get(&conn.0).cloned() else {
                 continue;
@@ -366,12 +506,30 @@ impl Escape {
                 .entry(owner.clone())
                 .or_insert_with(|| Client::with_registry(self.telemetry.clone()));
             for ev in client.on_bytes(&bytes) {
-                if let ClientEvent::Reply(r) = ev {
-                    replies.push((owner.clone(), r));
+                match ev {
+                    ClientEvent::Reply(r) => replies.push((owner.clone(), r)),
+                    ClientEvent::Malformed { reason } => {
+                        self.malformed_seen.push((owner.clone(), reason));
+                    }
+                    _ => {}
                 }
             }
         }
+        for i in malformed_before..self.malformed_seen.len() {
+            let (owner, reason) = self.malformed_seen[i].clone();
+            self.note(format!("netconf: malformed reply from {owner}: {reason}"));
+        }
         replies
+    }
+
+    /// Removes and returns the first malformed-reply record for
+    /// `container`, if the inbox drain saw one.
+    fn take_malformed(&mut self, container: &str) -> Option<String> {
+        let idx = self
+            .malformed_seen
+            .iter()
+            .position(|(owner, _)| owner == container)?;
+        Some(self.malformed_seen.remove(idx).1)
     }
 
     /// Ensures the NETCONF session to `container` is up (hello exchange).
@@ -429,6 +587,12 @@ impl Escape {
                     return Ok(reply);
                 }
             }
+            if let Some(reason) = self.take_malformed(container) {
+                return Err(AttemptError::Fatal(EscapeError::MalformedReply {
+                    container: container.to_string(),
+                    reason,
+                }));
+            }
             if self.sim.now() > deadline {
                 return Err(AttemptError::Timeout);
             }
@@ -469,15 +633,163 @@ impl Escape {
 
     // ---------------- deployment ------------------------------------
 
-    /// Deploys a service graph end to end: map → initiate/connect/start
-    /// every VNF over NETCONF → install steering rules. Partial mapping
-    /// failures abort the deployment (already-mapped chains are rolled
-    /// back from the resource view).
+    /// Enables the admission controller with the given watermarks. Every
+    /// subsequent [`Escape::deploy`] is gated on compute utilization;
+    /// queued deploys retry while time advances through
+    /// [`Escape::run_for_ms`] / [`Escape::run_with_recovery`].
+    pub fn set_admission(&mut self, cfg: AdmissionConfig) {
+        self.admission_retry = RetryPolicy::new(
+            5_000_000,
+            80_000_000,
+            0.25,
+            cfg.max_retries,
+            self.admission_retry.seed,
+        );
+        self.admission = Some(cfg);
+    }
+
+    /// Deploys queued by admission control, still waiting.
+    pub fn pending_admissions(&self) -> usize {
+        self.admission_queue.len()
+    }
+
+    /// Deploys a service graph as a staged transaction:
+    ///
+    /// 1. **plan** — reserve compute and bandwidth in the orchestrator;
+    /// 2. **prepare** — initiate/connect/start every VNF over NETCONF and
+    ///    stage the compiled steering rules in a shadow set (no flow-mod
+    ///    leaves the controller yet);
+    /// 3. **commit** — atomically activate the staged rules and publish
+    ///    the chains.
+    ///
+    /// A failure or RPC timeout in prepare/commit rolls back exactly the
+    /// completed steps in reverse order — stop started VNFs, disconnect
+    /// their ports, discard or delete rules, release every reservation —
+    /// and surfaces as [`EscapeError::DeployFailed`] carrying the phase,
+    /// the root cause and the rollback report. Plan failures surface as
+    /// plain [`EscapeError::MappingFailed`] (nothing to undo beyond the
+    /// reservations, which are released inline).
+    ///
+    /// When admission control is enabled ([`Escape::set_admission`]),
+    /// the request is first gated on compute utilization.
     ///
     /// The whole operation is traced in virtual time: a `deploy` span
     /// with `mapping`, one `chain_setup` per chain (its NETCONF leg) and
     /// `steering` children.
     pub fn deploy(&mut self, sg: &ServiceGraph) -> Result<DeploymentReport, EscapeError> {
+        if let Some(cfg) = self.admission {
+            let sp = self.tracer.enter("admission", self.sim.now().as_ns());
+            let verdict = self.admit(sg, cfg);
+            self.tracer.exit(sp, self.sim.now().as_ns());
+            if let Some(v) = verdict {
+                return Err(EscapeError::Admission(v));
+            }
+        }
+        self.deploy_txn(sg)
+    }
+
+    /// The admission gate: `None` admits, `Some(verdict)` queues or
+    /// rejects the request.
+    fn admit(&mut self, sg: &ServiceGraph, cfg: AdmissionConfig) -> Option<AdmissionVerdict> {
+        let utilization = self.orch.cpu_utilization();
+        if utilization >= cfg.hard_watermark {
+            self.admission_rejected_ctr.inc();
+            self.note(format!(
+                "admission: rejected (utilization {utilization:.2} >= hard {:.2})",
+                cfg.hard_watermark
+            ));
+            return Some(AdmissionVerdict::RejectedHard {
+                utilization,
+                hard_watermark: cfg.hard_watermark,
+            });
+        }
+        if utilization >= cfg.soft_watermark {
+            if self.admission_queue.len() >= cfg.max_queue {
+                self.admission_rejected_ctr.inc();
+                self.note(format!(
+                    "admission: queue full ({} waiting)",
+                    self.admission_queue.len()
+                ));
+                return Some(AdmissionVerdict::QueueFull {
+                    capacity: cfg.max_queue,
+                });
+            }
+            let position = self.admission_queue.len();
+            let next_due = self.sim.now().add_ns(self.admission_retry.delay_ns(0));
+            self.admission_queue.push(QueuedDeploy {
+                sg: sg.clone(),
+                attempts: 0,
+                next_due,
+            });
+            self.admission_queued_ctr.inc();
+            self.note(format!(
+                "admission: queued at position {position} (utilization {utilization:.2})"
+            ));
+            return Some(AdmissionVerdict::Queued {
+                position,
+                utilization,
+            });
+        }
+        self.admission_admitted_ctr.inc();
+        None
+    }
+
+    /// Retries due queued deploys: below the soft watermark a queued
+    /// request deploys now; otherwise it backs off on the deterministic
+    /// schedule until its retry budget is spent.
+    fn pump_admission(&mut self) {
+        let Some(cfg) = self.admission else { return };
+        if self.admission_queue.is_empty() {
+            return;
+        }
+        let mut queue = std::mem::take(&mut self.admission_queue);
+        let mut i = 0;
+        while i < queue.len() {
+            if queue[i].next_due > self.sim.now() {
+                i += 1;
+                continue;
+            }
+            let utilization = self.orch.cpu_utilization();
+            if utilization < cfg.soft_watermark {
+                let q = queue.remove(i);
+                self.admission_admitted_ctr.inc();
+                self.note(format!(
+                    "admission: dequeued after {} retr{} (utilization {utilization:.2})",
+                    q.attempts,
+                    if q.attempts == 1 { "y" } else { "ies" }
+                ));
+                match self.deploy_txn(&q.sg) {
+                    Ok(_) => {}
+                    Err(e) => self.note(format!("admission: dequeued deploy failed: {e}")),
+                }
+                continue;
+            }
+            let q = &mut queue[i];
+            q.attempts += 1;
+            self.admission_retries_ctr.inc();
+            if q.attempts >= cfg.max_retries {
+                let q = queue.remove(i);
+                self.admission_rejected_ctr.inc();
+                self.note(format!(
+                    "admission: dropped after {} attempts (utilization {utilization:.2})",
+                    q.attempts
+                ));
+                continue;
+            }
+            q.next_due = self
+                .sim
+                .now()
+                .add_ns(self.admission_retry.delay_ns(q.attempts));
+            i += 1;
+        }
+        // New arrivals queued by deploys issued above land behind.
+        queue.append(&mut self.admission_queue);
+        self.admission_queue = queue;
+    }
+
+    /// One deployment transaction (no admission gate): span, counters,
+    /// plan → prepare → commit with rollback.
+    fn deploy_txn(&mut self, sg: &ServiceGraph) -> Result<DeploymentReport, EscapeError> {
         let sp = self.tracer.enter("deploy", self.sim.now().as_ns());
         let result = self.deploy_inner(sg);
         let now = self.sim.now().as_ns();
@@ -493,6 +805,7 @@ impl Escape {
         sg.validate().map_err(EscapeError::Invalid)?;
         let started_at = self.sim.now();
 
+        // ---- plan: reserve every chain's compute and bandwidth ------
         let sp_map = self.tracer.enter("mapping", self.sim.now().as_ns());
         let (mappings, rejected) = self.orch.embed_graph(sg);
         self.tracer.exit(sp_map, self.sim.now().as_ns());
@@ -504,52 +817,39 @@ impl Escape {
         }
         let mapped_at = self.sim.now();
 
-        let mut chains = Vec::new();
+        // ---- prepare: VNFs up over NETCONF, rules staged ------------
+        let mut txns: Vec<ChainTxn> = Vec::new();
         for mapping in &mappings {
+            let cookie = self.next_cookie;
+            self.next_cookie += 1;
+            let mut txn = ChainTxn::new(mapping.clone(), cookie);
             let sp = self.tracer.enter("chain_setup", self.sim.now().as_ns());
-            let deployed = self.deploy_mapping(sg, mapping);
+            let res = self.prepare_chain(sg, &mut txn);
             self.tracer.exit(sp, self.sim.now().as_ns());
-            chains.push(deployed?);
-            self.chains_ctr.inc();
+            txns.push(txn); // keep partial progress for rollback
+            if let Err(cause) = res {
+                return Err(self.roll_back(DeployPhase::Prepare, cause, &txns));
+            }
         }
         let vnfs_ready_at = self.sim.now();
 
-        // Steering: compile and queue rules, then flush through POX.
-        let mut total_rules = 0;
-        for dc in &mut chains {
-            let rules = compile_rules(&self.infra, dc)?;
-            dc.rules = rules.len();
-            total_rules += rules.len();
-            let ctl = self
-                .sim
-                .node_as_mut::<Controller>(self.infra.controller)
-                .expect("controller");
-            ctl.component_as_mut::<TrafficSteering>()
-                .expect("steering component")
-                .queue_rules(rules);
+        // ---- commit: activate every staged rule set atomically ------
+        if let Err(cause) = self.commit_chains(&mut txns) {
+            return Err(self.roll_back(DeployPhase::Commit, cause, &txns));
         }
-        Controller::request_flush(&mut self.sim, self.infra.controller, Time::ZERO);
-        let sp_steer = self.tracer.enter("steering", self.sim.now().as_ns());
-        let steer_res = self.await_steering();
-        self.tracer.exit(sp_steer, self.sim.now().as_ns());
-        steer_res?;
         let steered_at = self.sim.now();
 
-        // Provision static ARP on the SAP endpoints of each chain.
-        for dc in &chains {
-            let hops = &dc.mapping.chain.hops;
-            let (src, dst) = (hops.first().unwrap().clone(), hops.last().unwrap().clone());
-            self.provision_arp(&src, &dst)?;
-        }
-
-        for dc in &chains {
+        let mut chains = Vec::new();
+        for txn in txns {
+            let dc = txn.into_deployed();
+            self.chains_ctr.inc();
             self.deployed
                 .insert(dc.mapping.chain.name.clone(), dc.clone());
             // Remember the source graph so a crash can re-map the chain.
             self.graphs
                 .insert(dc.mapping.chain.name.clone(), sg.clone());
+            chains.push(dc);
         }
-        let _ = total_rules;
         Ok(DeploymentReport {
             chains,
             started_at,
@@ -557,6 +857,150 @@ impl Escape {
             vnfs_ready_at,
             steered_at,
         })
+    }
+
+    /// Prepare leg for one chain: bring its VNFs up over NETCONF
+    /// (recording progress step by step in `txn`), then compile its
+    /// steering rules into the controller's shadow set.
+    fn prepare_chain(&mut self, sg: &ServiceGraph, txn: &mut ChainTxn) -> Result<(), EscapeError> {
+        self.prepare_vnfs(sg, txn)?;
+        let rules = compile_rules(&self.infra, &txn.as_deployed())?;
+        txn.rules = rules.len();
+        self.steering_mut().stage_rules(txn.cookie, rules);
+        txn.staged = true;
+        Ok(())
+    }
+
+    /// Commit phase: move every chain's staged rules to the live queue,
+    /// flush once, wait for the switches, provision ARP.
+    fn commit_chains(&mut self, txns: &mut [ChainTxn]) -> Result<(), EscapeError> {
+        {
+            let st = self.steering_mut();
+            for txn in txns.iter_mut() {
+                st.commit_staged(txn.cookie);
+                txn.staged = false;
+                txn.committed = true;
+            }
+        }
+        Controller::request_flush(&mut self.sim, self.infra.controller, Time::ZERO);
+        let sp_steer = self.tracer.enter("steering", self.sim.now().as_ns());
+        let steer_res = self.await_steering();
+        self.tracer.exit(sp_steer, self.sim.now().as_ns());
+        steer_res?;
+
+        // Provision static ARP on the SAP endpoints of each chain.
+        for txn in txns.iter() {
+            let hops = &txn.mapping.chain.hops;
+            let (src, dst) = (hops.first().unwrap().clone(), hops.last().unwrap().clone());
+            self.provision_arp(&src, &dst)?;
+        }
+        Ok(())
+    }
+
+    /// Undoes a failed deployment transaction: walks every chain's
+    /// progress log in reverse — rules out of the controller (staged
+    /// sets discarded, committed sets deleted), started VNFs stopped,
+    /// connected ports disconnected — then releases every reservation
+    /// the plan phase made. Steps that fail (an agent that stayed dead)
+    /// are recorded as best-effort in the report.
+    fn roll_back(
+        &mut self,
+        phase: DeployPhase,
+        cause: EscapeError,
+        txns: &[ChainTxn],
+    ) -> EscapeError {
+        let mut steps = Vec::new();
+        let mut need_flush = false;
+        for txn in txns.iter().rev() {
+            let chain = txn.mapping.chain.name.clone();
+            {
+                let st = self.steering_mut();
+                if txn.committed {
+                    st.remove_chain(txn.cookie);
+                    need_flush = true;
+                    steps.push(RollbackStep {
+                        action: "remove-rules",
+                        target: chain.clone(),
+                        ok: true,
+                    });
+                } else if txn.staged {
+                    st.discard_staged(txn.cookie);
+                    steps.push(RollbackStep {
+                        action: "discard-rules",
+                        target: chain.clone(),
+                        ok: true,
+                    });
+                }
+            }
+            self.roll_back_vnfs(&txn.vnfs, &mut steps);
+        }
+        if need_flush {
+            // Committed rules may have reached switches: delete them.
+            Controller::request_flush(&mut self.sim, self.infra.controller, Time::ZERO);
+            self.sim
+                .run_until(self.sim.now() + crate::infra::CTRL_LATENCY + Time::from_ms(1));
+        }
+        for txn in txns.iter().rev() {
+            let chain = txn.mapping.chain.name.clone();
+            self.orch.release_chain(&chain);
+            steps.push(RollbackStep {
+                action: "release-reservation",
+                target: chain,
+                ok: true,
+            });
+        }
+        // Sessions that never finished their hello died with the deploy.
+        self.clients.retain(|_, c| c.ready());
+        let rollback = RollbackReport { steps };
+        self.rollbacks_ctr.inc();
+        self.note(format!(
+            "deploy rolled back in {phase}: {cause} ({rollback})"
+        ));
+        EscapeError::DeployFailed {
+            phase,
+            cause: Box::new(cause),
+            rollback,
+        }
+    }
+
+    /// Reverse-order undo of (partially) prepared VNFs: stop each one
+    /// that reached `startVNF`, then disconnect its bound devices.
+    /// Best-effort — a dead agent marks the step failed and moves on.
+    fn roll_back_vnfs(&mut self, vnfs: &[PreparedVnf], steps: &mut Vec<RollbackStep>) {
+        for p in vnfs.iter().rev() {
+            let target = format!("{}/{}", p.dv.container, p.dv.vnf_id);
+            if p.started {
+                let vid = p.dv.vnf_id.clone();
+                let ok = self.rpc(&p.dv.container, |c| c.stop_vnf(&vid)).is_ok();
+                steps.push(RollbackStep {
+                    action: "stop-vnf",
+                    target: target.clone(),
+                    ok,
+                });
+            }
+            let mut devs: Vec<u16> = p.dv.switch_ports.keys().copied().collect();
+            devs.sort_unstable();
+            for dev in devs.into_iter().rev() {
+                let vid = p.dv.vnf_id.clone();
+                let ok = self
+                    .rpc(&p.dv.container, move |c| c.disconnect_vnf(&vid, dev))
+                    .is_ok();
+                steps.push(RollbackStep {
+                    action: "disconnect-vnf",
+                    target: format!("{target}:dev{dev}"),
+                    ok,
+                });
+            }
+        }
+    }
+
+    /// The controller's traffic-steering component.
+    fn steering_mut(&mut self) -> &mut TrafficSteering {
+        self.sim
+            .node_as_mut::<Controller>(self.infra.controller)
+            .expect("controller")
+            .component_as_mut::<TrafficSteering>()
+            .expect("steering component")
     }
 
     /// Waits (in virtual time) until flushed steering rules reached the
@@ -590,28 +1034,12 @@ impl Escape {
         }
     }
 
-    /// Runs the NETCONF leg for one chain mapping.
-    fn deploy_mapping(
-        &mut self,
-        sg: &ServiceGraph,
-        mapping: &ChainMapping,
-    ) -> Result<DeployedChain, EscapeError> {
-        let cookie = self.next_cookie;
-        self.next_cookie += 1;
-        self.deploy_mapping_with_cookie(sg, mapping, cookie)
-    }
-
-    /// The NETCONF leg with an explicit steering cookie — recovery reuses
-    /// a chain's original cookie so its rules replace the stale ones.
-    fn deploy_mapping_with_cookie(
-        &mut self,
-        sg: &ServiceGraph,
-        mapping: &ChainMapping,
-        cookie: u64,
-    ) -> Result<DeployedChain, EscapeError> {
-        let hops = &mapping.chain.hops;
-        let mut vnfs: Vec<DeployedVnf> = Vec::new();
-
+    /// The NETCONF leg for one chain, recording progress in `txn` after
+    /// every completed step so rollback can undo exactly what happened.
+    /// Recovery reuses a chain's original cookie so its rules replace
+    /// the stale ones.
+    fn prepare_vnfs(&mut self, sg: &ServiceGraph, txn: &mut ChainTxn) -> Result<(), EscapeError> {
+        let mapping = txn.mapping.clone();
         for (i, (vnf_name, container)) in mapping.placement.iter().enumerate() {
             let req = sg
                 .vnf_named(vnf_name)
@@ -623,13 +1051,16 @@ impl Escape {
             let reply = self.rpc(container, |c| c.initiate_vnf(&ty, cfg.as_deref(), &opts))?;
             let vnf_id = vnf_id_of(&reply)
                 .ok_or_else(|| EscapeError::Netconf("initiateVNF reply missing vnf-id".into()))?;
-            let mut dv = DeployedVnf {
-                vnf_name: vnf_name.clone(),
-                vnf_type: req.vnf_type.clone(),
-                container: container.clone(),
-                vnf_id: vnf_id.clone(),
-                switch_ports: HashMap::new(),
-            };
+            txn.vnfs.push(PreparedVnf {
+                dv: DeployedVnf {
+                    vnf_name: vnf_name.clone(),
+                    vnf_type: req.vnf_type.clone(),
+                    container: container.clone(),
+                    vnf_id: vnf_id.clone(),
+                    switch_ports: HashMap::new(),
+                },
+                started: false,
+            });
 
             // connectVNF for dev 0 (ingress) and dev 1 (egress). The
             // target switch is the neighbor along the adjacent segment;
@@ -643,13 +1074,13 @@ impl Escape {
                 let reply = self.rpc(container, |c| c.connect_vnf(&vid, 0, &sw))?;
                 let sp = switch_port_of(&reply)
                     .ok_or_else(|| EscapeError::Netconf("connectVNF reply missing port".into()))?;
-                dv.switch_ports.insert(0, sp);
+                txn.vnfs.last_mut().unwrap().dv.switch_ports.insert(0, sp);
             } else {
                 // Previous hop is co-located: patch its egress to us.
-                let prev = vnfs
-                    .last()
-                    .ok_or_else(|| EscapeError::Invalid("co-located first hop".into()))?;
-                let prev_id = prev.vnf_id.clone();
+                if txn.vnfs.len() < 2 {
+                    return Err(EscapeError::Invalid("co-located first hop".into()));
+                }
+                let prev_id = txn.vnfs[txn.vnfs.len() - 2].dv.vnf_id.clone();
                 let node = self.infra.node(container).expect("container node");
                 let c = self
                     .sim
@@ -665,39 +1096,55 @@ impl Escape {
                 let reply = self.rpc(container, |c| c.connect_vnf(&vid, 1, &sw))?;
                 let sp = switch_port_of(&reply)
                     .ok_or_else(|| EscapeError::Netconf("connectVNF reply missing port".into()))?;
-                dv.switch_ports.insert(1, sp);
+                txn.vnfs.last_mut().unwrap().dv.switch_ports.insert(1, sp);
             }
             // (If seg_out is single-node, the *next* VNF patches us.)
 
             // startVNF
             let vid = vnf_id.clone();
             self.rpc(container, |c| c.start_vnf(&vid))?;
-            vnfs.push(dv);
+            txn.vnfs.last_mut().unwrap().started = true;
         }
-        let _ = hops;
-        Ok(DeployedChain {
-            mapping: mapping.clone(),
-            vnfs,
-            cookie,
-            rules: 0,
-        })
+        Ok(())
     }
 
     /// Tears down a chain: stop + disconnect its VNFs, delete its rules,
     /// release its resources.
+    ///
+    /// Teardown is all-or-nothing on the bookkeeping side: if an agent
+    /// RPC fails (stalled or dead container) the chain stays *deployed*
+    /// — rules installed, resources reserved — and the call returns the
+    /// error so the caller can retry once the agent is reachable again.
+    /// Already-stopped VNFs stop idempotently on the retry. This is what
+    /// keeps the conservation invariants honest: a chain is either fully
+    /// live or fully gone, never a half-dismantled leak.
     pub fn teardown(&mut self, chain: &str) -> Result<(), EscapeError> {
         let dc = self
             .deployed
-            .remove(chain)
+            .get(chain)
+            .cloned()
             .ok_or_else(|| EscapeError::NotFound(format!("chain {chain}")))?;
         for v in &dc.vnfs {
             let vid = v.vnf_id.clone();
-            self.rpc(&v.container, |c| c.stop_vnf(&vid))?;
-            for dev in v.switch_ports.keys().copied().collect::<Vec<_>>() {
+            // Agent-reported errors (already stopped / already
+            // disconnected) happen when a prior teardown attempt got
+            // partway before an RPC timed out; they mean the step is
+            // already done. Transport errors abort the teardown.
+            match self.rpc(&v.container, |c| c.stop_vnf(&vid)) {
+                Ok(_) | Err(EscapeError::Netconf(_)) => {}
+                Err(e) => return Err(e),
+            }
+            let mut devs: Vec<u16> = v.switch_ports.keys().copied().collect();
+            devs.sort_unstable();
+            for dev in devs {
                 let vid = v.vnf_id.clone();
-                self.rpc(&v.container, move |c| c.disconnect_vnf(&vid, dev))?;
+                match self.rpc(&v.container, move |c| c.disconnect_vnf(&vid, dev)) {
+                    Ok(_) | Err(EscapeError::Netconf(_)) => {}
+                    Err(e) => return Err(e),
+                }
             }
         }
+        self.deployed.remove(chain);
         {
             let ctl = self
                 .sim
@@ -722,8 +1169,8 @@ impl Escape {
     /// to *now*; entity names are resolved immediately, so a plan naming
     /// an unknown node or link fails here rather than mid-run.
     pub fn load_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), EscapeError> {
-        let node = FaultInjector::install(&mut self.sim, plan).map_err(EscapeError::Invalid)?;
-        self.injector = Some(node);
+        let node = FaultInjector::install(&mut self.sim, plan).map_err(EscapeError::FaultPlan)?;
+        self.injectors.push(node);
         self.note(format!(
             "fault plan {:?} armed ({} events)",
             plan.name,
@@ -755,6 +1202,7 @@ impl Escape {
             let slice = (self.sim.now() + Time::from_ms(1)).min(deadline);
             self.sim.run_until(slice);
             self.heal();
+            self.pump_admission();
         }
     }
 
@@ -766,13 +1214,16 @@ impl Escape {
         self.heal();
     }
 
-    /// Drains injected-fault records and reacts to each in order.
+    /// Drains injected-fault records from every loaded plan and reacts
+    /// to each in virtual-time order.
     fn heal(&mut self) {
-        let Some(inj) = self.injector else { return };
-        let records = match self.sim.node_as_mut::<FaultInjector>(inj) {
-            Some(fi) => fi.take_records(),
-            None => return,
-        };
+        let mut records = Vec::new();
+        for inj in self.injectors.clone() {
+            if let Some(fi) = self.sim.node_as_mut::<FaultInjector>(inj) {
+                records.extend(fi.take_records());
+            }
+        }
+        records.sort_by_key(|r| r.at);
         for rec in records {
             self.handle_fault(rec);
         }
@@ -894,7 +1345,15 @@ impl Escape {
             let vid = v.vnf_id.clone();
             let _ = self.rpc(&v.container, |c| c.stop_vnf(&vid));
         }
-        let mut dc = self.deploy_mapping_with_cookie(&sg, &mapping, old.cookie)?;
+        let mut txn = ChainTxn::new(mapping, old.cookie);
+        if let Err(e) = self.prepare_vnfs(&sg, &mut txn) {
+            // Undo the partial redeploy so nothing keeps running for a
+            // chain that is about to be abandoned.
+            let mut steps = Vec::new();
+            self.roll_back_vnfs(&txn.vnfs, &mut steps);
+            return Err(e);
+        }
+        let mut dc = txn.into_deployed();
         self.resteer(&mut dc)?;
         self.deployed.insert(chain.to_string(), dc);
         Ok(())
@@ -916,22 +1375,28 @@ impl Escape {
         self.await_steering()
     }
 
-    /// A chain that could not be recovered: tear its stale rules out of
-    /// the switches and forget it (the resource view was already cleaned
-    /// by the failed re-map/re-route). Its service graph stays cached for
-    /// a later manual redeploy.
+    /// A chain that could not be recovered: stop whatever VNFs of it
+    /// survive (best effort), tear its stale rules out of the switches,
+    /// release any reservation still held and forget it. Its service
+    /// graph stays cached for a later manual redeploy.
     fn abandon_chain(&mut self, chain: &str) {
         let Some(dc) = self.deployed.remove(chain) else {
             return;
         };
-        let ctl = self
-            .sim
-            .node_as_mut::<Controller>(self.infra.controller)
-            .expect("controller");
-        ctl.component_as_mut::<TrafficSteering>()
-            .expect("steering component")
-            .remove_chain(dc.cookie);
+        // Nothing may keep running for a dead chain (leak audit).
+        for v in &dc.vnfs {
+            if self.orch.state().container_failed(&v.container) {
+                continue; // died with the container
+            }
+            let vid = v.vnf_id.clone();
+            let _ = self.rpc(&v.container, |c| c.stop_vnf(&vid));
+        }
+        self.steering_mut().remove_chain(dc.cookie);
         Controller::request_flush(&mut self.sim, self.infra.controller, Time::ZERO);
+        // Usually a no-op (the failed re-map/re-route already released),
+        // but a steering failure after a successful re-map leaves the
+        // reservation live — drop it here.
+        self.orch.release_chain(chain);
     }
 
     // ---------------- traffic & inspection --------------------------
@@ -1145,6 +1610,203 @@ impl Escape {
             .ok_or_else(|| EscapeError::Invalid(format!("{sap} is not a SAP")))?
             .inbox
             .clone())
+    }
+
+    // ---------------- conservation invariants -----------------------
+
+    /// Audits the whole environment for leaks and returns every
+    /// violation found (empty = clean). Checked after every soak step:
+    ///
+    /// * **resource conservation** — per container and per link,
+    ///   effective free capacity plus the sum of live-chain reservations
+    ///   equals the topology capacity ([`Orchestrator::audit`]);
+    /// * **no orphan flow rules** — every cookie on every switch, and
+    ///   every cookie tracked by the steering component, belongs to a
+    ///   live chain;
+    /// * **no orphan VNFs** — every *running* VNF on a live container is
+    ///   one a deployed chain put there;
+    /// * **no dangling sessions** — every ready NETCONF session points
+    ///   at an existing container.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut violations = self.orch.audit();
+        let live_cookies: HashMap<u64, &str> = self
+            .deployed
+            .iter()
+            .map(|(name, dc)| (dc.cookie, name.as_str()))
+            .collect();
+
+        // Flow tables: no rule without a live chain's cookie.
+        let mut switches: Vec<(&String, &u64)> = self.infra.dpid.iter().collect();
+        switches.sort();
+        for (name, _) in switches {
+            let Some(node) = self.infra.node(name) else {
+                continue;
+            };
+            let Some(sw) = self.sim.peek_node_as::<Switch>(node) else {
+                continue;
+            };
+            for e in sw.table.entries() {
+                if e.cookie != 0 && !live_cookies.contains_key(&e.cookie) {
+                    violations.push(format!(
+                        "switch {name}: flow rule with cookie {} but no live chain",
+                        e.cookie
+                    ));
+                }
+            }
+        }
+
+        // Steering component: every tracked chain id must be live.
+        if let Some(st) = self
+            .sim
+            .node_as::<Controller>(self.infra.controller)
+            .and_then(|c| c.component_as::<TrafficSteering>())
+        {
+            for id in st.tracked_chains() {
+                if !live_cookies.contains_key(&id) {
+                    violations.push(format!(
+                        "steering: rules tracked for cookie {id} but no live chain"
+                    ));
+                }
+            }
+        }
+
+        // Containers: every running VNF belongs to a deployed chain.
+        let expected: HashSet<(&str, &str)> = self
+            .deployed
+            .values()
+            .flat_map(|dc| dc.vnfs.iter())
+            .map(|v| (v.container.as_str(), v.vnf_id.as_str()))
+            .collect();
+        let mut containers: Vec<&String> = self.infra.netconf_conn.keys().collect();
+        containers.sort();
+        for name in containers {
+            if self.orch.state().container_failed(name) {
+                continue; // crashed: its husk is unreachable
+            }
+            let Some(node) = self.infra.node(name) else {
+                continue;
+            };
+            let Some(c) = self.sim.peek_node_as::<VnfContainer>(node) else {
+                continue;
+            };
+            for slot in &c.host().vnfs {
+                if slot.status == VnfStatus::Running
+                    && !expected.contains(&(name.as_str(), slot.id.as_str()))
+                {
+                    violations.push(format!(
+                        "container {name}: vnf {} running outside any embedding",
+                        slot.id
+                    ));
+                }
+            }
+        }
+
+        // Sessions: every ready client names an existing container.
+        let mut sessions: Vec<&String> = self.clients.keys().collect();
+        sessions.sort();
+        for name in sessions {
+            if self.clients[name].ready() && !self.infra.netconf_conn.contains_key(name) {
+                violations.push(format!("netconf: dangling session to {name}"));
+            }
+        }
+        violations
+    }
+
+    /// A deterministic, byte-comparable digest of all externally
+    /// observable deployment state: the orchestrator's effective
+    /// resource view, every switch's flow table, every live container's
+    /// running VNFs (with their bindings) and the ready NETCONF
+    /// sessions. Two environments with equal fingerprints hold the same
+    /// chains. A rolled-back deploy must leave the fingerprint
+    /// byte-identical to its pre-deploy value.
+    pub fn state_fingerprint(&self) -> String {
+        let mut out = String::new();
+        let st = self.orch.state();
+        for c in st.containers_sorted() {
+            out.push_str(&format!(
+                "cpu {c} {:.6} mem {}\n",
+                st.effective_cpu_of(&c),
+                st.effective_mem_of(&c)
+            ));
+        }
+        let mut links: Vec<&(String, String)> = st.bw.keys().collect();
+        links.sort();
+        for l in links {
+            out.push_str(&format!(
+                "bw {}-{} {:.6}\n",
+                l.0,
+                l.1,
+                st.effective_bw_of(&l.0, &l.1)
+            ));
+        }
+        let mut switches: Vec<(&String, &u64)> = self.infra.dpid.iter().collect();
+        switches.sort();
+        for (name, _) in switches {
+            let Some(sw) = self
+                .infra
+                .node(name)
+                .and_then(|n| self.sim.peek_node_as::<Switch>(n))
+            else {
+                continue;
+            };
+            let mut flows: Vec<String> = sw
+                .table
+                .entries()
+                .iter()
+                .map(|e| {
+                    format!(
+                        "flow {name} cookie={} prio={} match={:?} actions={:?}\n",
+                        e.cookie, e.priority, e.match_, e.actions
+                    )
+                })
+                .collect();
+            flows.sort();
+            for f in flows {
+                out.push_str(&f);
+            }
+        }
+        let mut containers: Vec<&String> = self.infra.netconf_conn.keys().collect();
+        containers.sort();
+        for name in containers {
+            if self.orch.state().container_failed(name) {
+                continue;
+            }
+            let Some(c) = self
+                .infra
+                .node(name)
+                .and_then(|n| self.sim.peek_node_as::<VnfContainer>(n))
+            else {
+                continue;
+            };
+            for slot in &c.host().vnfs {
+                if slot.status != VnfStatus::Running {
+                    continue;
+                }
+                let mut bindings: Vec<String> = slot
+                    .bindings
+                    .iter()
+                    .map(|(dev, b)| format!("{dev}:{b:?}"))
+                    .collect();
+                bindings.sort();
+                out.push_str(&format!(
+                    "vnf {name} {} {} [{}]\n",
+                    slot.id,
+                    slot.vnf_type,
+                    bindings.join(", ")
+                ));
+            }
+        }
+        let mut sessions: Vec<&String> = self
+            .clients
+            .iter()
+            .filter(|(_, c)| c.ready())
+            .map(|(n, _)| n)
+            .collect();
+        sessions.sort();
+        for s in sessions {
+            out.push_str(&format!("session {s}\n"));
+        }
+        out
     }
 
     /// Live VNF state over NETCONF (`getVNFInfo`) — the Clicky view:

@@ -50,9 +50,11 @@ pub mod error;
 pub mod flight;
 pub mod infra;
 pub mod monitor;
+pub mod soak;
 
 pub use container::{VnfContainer, VnfHost};
 pub use domains::MultiDomainEscape;
-pub use env::{DeploymentReport, Escape};
-pub use error::EscapeError;
+pub use env::{AdmissionConfig, DeploymentReport, Escape};
+pub use error::{AdmissionVerdict, DeployPhase, EscapeError, RollbackReport, RollbackStep};
 pub use flight::{FlightRecord, Journey, Outcome, SlaVerdict};
+pub use soak::{SoakConfig, SoakReport};

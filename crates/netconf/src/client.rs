@@ -18,6 +18,11 @@ pub enum ClientEvent {
     },
     /// A reply to an outstanding rpc.
     Reply(RpcReply),
+    /// A framed message that could not be understood: not UTF-8, not
+    /// well-formed XML, or XML that is neither a hello nor an rpc-reply
+    /// (e.g. a truncated document). Surfaced instead of silently dropped
+    /// so the caller can fail the in-flight RPC with a typed error.
+    Malformed { reason: String },
 }
 
 /// A NETCONF client session: builds framed requests, parses framed
@@ -37,6 +42,8 @@ pub struct Client {
     replies_ctr: Counter,
     /// Replies carrying `<rpc-error>` (`netconf.rpc_errors`).
     errors_ctr: Counter,
+    /// Framed messages that could not be parsed (`netconf.malformed_replies`).
+    malformed_ctr: Counter,
 }
 
 impl Client {
@@ -56,6 +63,7 @@ impl Client {
             rpcs_ctr: registry.counter("netconf.rpcs_sent"),
             replies_ctr: registry.counter("netconf.replies_received"),
             errors_ctr: registry.counter("netconf.rpc_errors"),
+            malformed_ctr: registry.counter("netconf.malformed_replies"),
         }
     }
 
@@ -91,15 +99,29 @@ impl Client {
         (id, Framer::frame(rpc.to_xml().to_xml().as_bytes()))
     }
 
-    /// Feeds server bytes; returns parsed events.
+    /// Feeds server bytes; returns parsed events. Messages that cannot
+    /// be understood surface as [`ClientEvent::Malformed`] (and bump
+    /// `netconf.malformed_replies`) — there is no panic path, and a bad
+    /// message never corrupts the session state for later good ones.
     pub fn on_bytes(&mut self, data: &[u8]) -> Vec<ClientEvent> {
         let mut events = Vec::new();
         for msg in self.framer.feed(data) {
             let Ok(text) = std::str::from_utf8(&msg) else {
+                self.malformed_ctr.inc();
+                events.push(ClientEvent::Malformed {
+                    reason: "reply is not valid UTF-8".into(),
+                });
                 continue;
             };
-            let Ok(el) = XmlElement::parse(text) else {
-                continue;
+            let el = match XmlElement::parse(text) {
+                Ok(el) => el,
+                Err(e) => {
+                    self.malformed_ctr.inc();
+                    events.push(ClientEvent::Malformed {
+                        reason: format!("reply is not well-formed XML: {e}"),
+                    });
+                    continue;
+                }
             };
             if let Some((caps, sid)) = message::parse_hello(&el) {
                 self.session_id = sid;
@@ -117,9 +139,19 @@ impl Client {
                     self.errors_ctr.inc();
                 }
                 events.push(ClientEvent::Reply(reply));
+                continue;
             }
+            self.malformed_ctr.inc();
+            events.push(ClientEvent::Malformed {
+                reason: format!("unrecognized message <{}>", el.name),
+            });
         }
         events
+    }
+
+    /// Framed messages seen that could not be parsed into an event.
+    pub fn malformed_replies(&self) -> u64 {
+        self.malformed_ctr.get()
     }
 
     // ----- typed vnf_starter requests -------------------------------
@@ -337,6 +369,40 @@ mod tests {
         assert!(matches!(reply.body, ReplyBody::Errors(_)));
         assert_eq!(vnf_id_of(&reply), None);
         assert_eq!(switch_port_of(&reply), None);
+    }
+
+    #[test]
+    fn malformed_replies_surface_typed_events() {
+        let mut l = Loop::new();
+        let (id, req) = l.client.get(None);
+
+        // Truncated XML: the document ends mid-element.
+        let ev = l
+            .client
+            .on_bytes(&Framer::frame(b"<rpc-reply message-id=\"1\"><data>"));
+        assert!(
+            matches!(&ev[0], ClientEvent::Malformed { reason } if reason.contains("XML")),
+            "{ev:?}"
+        );
+        // Bytes that are not UTF-8 at all.
+        let ev = l.client.on_bytes(&Framer::frame(&[0xff, 0xfe, b'<', b'a']));
+        assert!(
+            matches!(&ev[0], ClientEvent::Malformed { reason } if reason.contains("UTF-8")),
+            "{ev:?}"
+        );
+        // Well-formed XML that is neither a hello nor an rpc-reply.
+        let ev = l.client.on_bytes(&Framer::frame(b"<surprise/>"));
+        assert!(
+            matches!(&ev[0], ClientEvent::Malformed { reason } if reason.contains("surprise")),
+            "{ev:?}"
+        );
+        assert_eq!(l.client.malformed_replies(), 3);
+
+        // The session survives: the outstanding rpc still completes.
+        assert_eq!(l.client.outstanding, vec![id]);
+        let reply = l.call(req);
+        assert_eq!(reply.message_id, id);
+        assert!(l.client.outstanding.is_empty());
     }
 
     #[test]

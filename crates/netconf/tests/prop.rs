@@ -204,4 +204,39 @@ proptest! {
         let mk = || RetryPolicy::new(base, base * 8, jitter, 6, seed).schedule();
         prop_assert_eq!(mk(), mk());
     }
+
+    /// Seeds only shake delays within the jitter band: the raw
+    /// exponential schedule is seed-free, any two seeds' delays differ
+    /// by at most the jitter fraction of the raw delay (cap
+    /// notwithstanding), and with zero jitter every seed agrees exactly.
+    /// This is what makes backoff tunable per-environment without
+    /// breaking cross-seed comparability of soak/chaos runs.
+    #[test]
+    fn backoff_seed_divergence_is_bounded_by_jitter(
+        base in 1u64..1_000_000,
+        cap_mult in 1u64..1_000,
+        jitter in 0.0f64..1.0,
+        retries in 1u32..20,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let cap = base.saturating_mul(cap_mult);
+        let a = RetryPolicy::new(base, cap, jitter, retries, seed_a);
+        let b = RetryPolicy::new(base, cap, jitter, retries, seed_b);
+        for attempt in 0..retries {
+            let raw = a.raw_delay_ns(attempt);
+            prop_assert_eq!(raw, b.raw_delay_ns(attempt), "raw schedule must be seed-free");
+            let band = (raw as f64 * jitter).ceil() as u64;
+            let (da, db) = (a.delay_ns(attempt), b.delay_ns(attempt));
+            prop_assert!(
+                da.abs_diff(db) <= band,
+                "attempt {}: seeds diverge by {} > jitter band {}",
+                attempt, da.abs_diff(db), band
+            );
+            prop_assert!(da <= a.max_ns && db <= b.max_ns, "cap still binds under any seed");
+        }
+        let zero_a = RetryPolicy::new(base, cap, 0.0, retries, seed_a).schedule();
+        let zero_b = RetryPolicy::new(base, cap, 0.0, retries, seed_b).schedule();
+        prop_assert_eq!(zero_a, zero_b, "zero jitter must erase the seed entirely");
+    }
 }

@@ -247,6 +247,47 @@ impl FaultPlan {
     }
 }
 
+/// A fault plan that references entities missing from the simulation it
+/// is installed into. Typed so callers can name the exact offender
+/// (plan, event index, entity) instead of string-matching diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// `events[index]` targets a node name absent from the simulation.
+    UnknownNode {
+        plan: String,
+        index: usize,
+        node: String,
+    },
+    /// `events[index]` targets a link with no instance between `a`-`b`.
+    UnknownLink {
+        plan: String,
+        index: usize,
+        a: String,
+        b: String,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::UnknownNode { plan, index, node } => {
+                write!(
+                    f,
+                    "plan {plan:?} events[{index}]: no node {node:?} in the simulation"
+                )
+            }
+            FaultPlanError::UnknownLink { plan, index, a, b } => {
+                write!(
+                    f,
+                    "plan {plan:?} events[{index}]: no link {a}-{b} in the simulation"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// One applied fault, in plan vocabulary (names, not resolved ids).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultRecord {
@@ -290,59 +331,68 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Resolves `plan` against `sim` (by node name), adds the injector
     /// node and arms its timers. Event times are relative to now. Fails
-    /// with a named-entity diagnostic if the plan references unknown
-    /// nodes or links.
-    pub fn install(sim: &mut Sim, plan: &FaultPlan) -> Result<NodeId, String> {
+    /// with a typed [`FaultPlanError`] naming the exact offending event
+    /// and entity if the plan references unknown nodes or links.
+    pub fn install(sim: &mut Sim, plan: &FaultPlan) -> Result<NodeId, FaultPlanError> {
         let mut ops: Vec<(Time, FaultKind, ResolvedOp)> = Vec::new();
-        let links_of = |sim: &Sim, a: &str, b: &str, ctx: &str| -> Result<Vec<LinkId>, String> {
-            let links = sim.find_links(a, b);
-            if links.is_empty() {
-                return Err(format!("{ctx}: no link {a}-{b} in the simulation"));
-            }
-            Ok(links)
-        };
-        let node_of = |sim: &Sim, name: &str, ctx: &str| -> Result<NodeId, String> {
+        let links_of =
+            |sim: &Sim, a: &str, b: &str, i: usize| -> Result<Vec<LinkId>, FaultPlanError> {
+                let links = sim.find_links(a, b);
+                if links.is_empty() {
+                    return Err(FaultPlanError::UnknownLink {
+                        plan: plan.name.clone(),
+                        index: i,
+                        a: a.to_string(),
+                        b: b.to_string(),
+                    });
+                }
+                Ok(links)
+            };
+        let node_of = |sim: &Sim, name: &str, i: usize| -> Result<NodeId, FaultPlanError> {
             sim.find_node(name)
-                .ok_or_else(|| format!("{ctx}: no node {name:?} in the simulation"))
+                .ok_or_else(|| FaultPlanError::UnknownNode {
+                    plan: plan.name.clone(),
+                    index: i,
+                    node: name.to_string(),
+                })
         };
         for (i, ev) in plan.events.iter().enumerate() {
-            let ctx = format!("plan {:?} events[{i}]", plan.name);
             let at = Time::from_us(ev.at_us);
             let op = match &ev.kind {
                 FaultKind::LinkDown { a, b } => {
-                    ResolvedOp::SetState(links_of(sim, a, b, &ctx)?, LinkState::Down)
+                    ResolvedOp::SetState(links_of(sim, a, b, i)?, LinkState::Down)
                 }
                 FaultKind::LinkUp { a, b } => {
-                    ResolvedOp::SetState(links_of(sim, a, b, &ctx)?, LinkState::Up)
+                    ResolvedOp::SetState(links_of(sim, a, b, i)?, LinkState::Up)
                 }
                 FaultKind::LossSpike { a, b, loss } => ResolvedOp::SetLoss(
-                    links_of(sim, a, b, &ctx)?
+                    links_of(sim, a, b, i)?
                         .into_iter()
                         .map(|l| (l, *loss))
                         .collect(),
                 ),
                 FaultKind::LossClear { a, b } => ResolvedOp::SetLoss(
-                    links_of(sim, a, b, &ctx)?
+                    links_of(sim, a, b, i)?
                         .into_iter()
                         .map(|l| (l, sim.link_loss(l)))
                         .collect(),
                 ),
                 FaultKind::DelaySpike { a, b, delay_us } => ResolvedOp::SetDelay(
-                    links_of(sim, a, b, &ctx)?
+                    links_of(sim, a, b, i)?
                         .into_iter()
                         .map(|l| (l, Time::from_us(*delay_us)))
                         .collect(),
                 ),
                 FaultKind::DelayClear { a, b } => ResolvedOp::SetDelay(
-                    links_of(sim, a, b, &ctx)?
+                    links_of(sim, a, b, i)?
                         .into_iter()
                         .map(|l| (l, sim.link_delay(l)))
                         .collect(),
                 ),
-                FaultKind::VnfCrash { node } => ResolvedOp::Kill(node_of(sim, node, &ctx)?),
+                FaultKind::VnfCrash { node } => ResolvedOp::Kill(node_of(sim, node, i)?),
                 FaultKind::VnfStall { node, for_us } => {
                     // Expand the stall into pause now + resume later.
-                    let id = node_of(sim, node, &ctx)?;
+                    let id = node_of(sim, node, i)?;
                     ops.push((at, ev.kind.clone(), ResolvedOp::Pause(id)));
                     ops.push((
                         at.add_ns(for_us * 1_000),
@@ -351,7 +401,7 @@ impl FaultInjector {
                     ));
                     continue;
                 }
-                FaultKind::VnfResume { node } => ResolvedOp::Resume(node_of(sim, node, &ctx)?),
+                FaultKind::VnfResume { node } => ResolvedOp::Resume(node_of(sim, node, i)?),
             };
             ops.push((at, ev.kind.clone(), op));
         }
@@ -536,15 +586,42 @@ mod tests {
             },
         );
         let err = FaultInjector::install(&mut sim, &plan).unwrap_err();
-        assert!(err.contains("a-ghost"), "{err}");
-        let plan = FaultPlan::new("bad2").at_ms(
-            1,
-            FaultKind::VnfCrash {
-                node: "nope".into(),
-            },
+        assert_eq!(
+            err,
+            FaultPlanError::UnknownLink {
+                plan: "bad".into(),
+                index: 0,
+                a: "a".into(),
+                b: "ghost".into(),
+            }
         );
+        assert!(err.to_string().contains("a-ghost"), "{err}");
+        let plan = FaultPlan::new("bad2")
+            .at_ms(
+                0,
+                FaultKind::LinkUp {
+                    a: "a".into(),
+                    b: "b".into(),
+                },
+            )
+            .at_ms(
+                1,
+                FaultKind::VnfCrash {
+                    node: "nope".into(),
+                },
+            );
         let err = FaultInjector::install(&mut sim, &plan).unwrap_err();
-        assert!(err.contains("nope"), "{err}");
+        assert_eq!(
+            err,
+            FaultPlanError::UnknownNode {
+                plan: "bad2".into(),
+                index: 1,
+                node: "nope".into(),
+            }
+        );
+        assert!(err.to_string().contains("events[1]"), "{err}");
+        // A failed install arms nothing: no injector node was added.
+        assert!(sim.find_node("fault-injector").is_none());
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultRecord};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultPlanError, FaultRecord};
 pub use host::{GatewayRx, Host, HostStats};
 pub use link::{LinkConfig, LinkId, LinkState};
 pub use process::{CpuModel, IsolationMode};

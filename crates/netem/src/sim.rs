@@ -317,6 +317,19 @@ impl Sim {
             .downcast_ref::<T>()
     }
 
+    /// Shared access to a node's concrete logic type that tolerates the
+    /// node being parked (paused) or dead: observers (invariant checks,
+    /// state fingerprints) may inspect a stalled node's state, and get
+    /// `None` for a killed node instead of a panic.
+    pub fn peek_node_as<T: NodeLogic + 'static>(&self, node: NodeId) -> Option<&T> {
+        let slot = &self.nodes[node.0 as usize];
+        slot.logic
+            .as_deref()
+            .or(slot.parked.as_deref())?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
     /// Connects `a.0` port `a.1` to `b.0` port `b.1` with a full-duplex
     /// link. Panics if a port is out of range or already wired.
     pub fn connect(&mut self, a: (NodeId, u16), b: (NodeId, u16), cfg: LinkConfig) -> LinkId {

@@ -436,6 +436,74 @@ impl Orchestrator {
         }
     }
 
+    /// Per-container compute reserved by an embedded chain, as committed
+    /// at embed time: (container, cpu, mem_mb) triples.
+    pub fn chain_reservations(&self, chain_name: &str) -> Option<&[(String, f64, u64)]> {
+        self.committed.get(chain_name).map(|(_, c)| c.as_slice())
+    }
+
+    /// Conservation audit of the reservation ledger: for every container,
+    /// effective free CPU/memory (live + failure stash) plus the sum of
+    /// reservations committed to live chains must equal the topology
+    /// capacity — and likewise for link bandwidth. Any difference means a
+    /// leak (released twice, or never released). Returns one line per
+    /// violation, in deterministic order; empty means the ledger is clean.
+    pub fn audit(&self) -> Vec<String> {
+        const EPS: f64 = 1e-6;
+        let mut violations = Vec::new();
+        let capacity = ResourceState::from_topology(&self.topo);
+
+        // Sum committed reservations per container and per link.
+        let mut cpu_reserved: HashMap<&str, f64> = HashMap::new();
+        let mut mem_reserved: HashMap<&str, u64> = HashMap::new();
+        let mut bw_reserved: HashMap<(String, String), f64> = HashMap::new();
+        for (mapping, compute) in self.committed.values() {
+            for (c, cpu, mem) in compute {
+                *cpu_reserved.entry(c.as_str()).or_insert(0.0) += cpu;
+                *mem_reserved.entry(c.as_str()).or_insert(0) += mem;
+            }
+            for seg in &mapping.segments {
+                for w in seg.nodes.windows(2) {
+                    *bw_reserved.entry(link_key(&w[0], &w[1])).or_insert(0.0) +=
+                        mapping.chain.bandwidth_mbps;
+                }
+            }
+        }
+
+        for name in capacity.containers_sorted() {
+            let free = self.state.effective_cpu_of(&name);
+            let reserved = cpu_reserved.get(name.as_str()).copied().unwrap_or(0.0);
+            let cap = capacity.cpu_of(&name);
+            if (free + reserved - cap).abs() > EPS {
+                violations.push(format!(
+                    "container {name}: free {free} + reserved {reserved} != capacity {cap} cpu"
+                ));
+            }
+            let free_mem = self.state.effective_mem_of(&name);
+            let reserved_mem = mem_reserved.get(name.as_str()).copied().unwrap_or(0);
+            let cap_mem = capacity.mem.get(&name).copied().unwrap_or(0);
+            if free_mem + reserved_mem != cap_mem {
+                violations.push(format!(
+                    "container {name}: free {free_mem} + reserved {reserved_mem} != capacity {cap_mem} mem"
+                ));
+            }
+        }
+        let mut links: Vec<&(String, String)> = capacity.bw.keys().collect();
+        links.sort();
+        for key in links {
+            let free = self.state.effective_bw_of(&key.0, &key.1);
+            let reserved = bw_reserved.get(key).copied().unwrap_or(0.0);
+            let cap = capacity.bw[key];
+            if (free + reserved - cap).abs() > EPS {
+                violations.push(format!(
+                    "link {}-{}: free {free} + reserved {reserved} != capacity {cap} mbps",
+                    key.0, key.1
+                ));
+            }
+        }
+        violations
+    }
+
     /// Names of currently embedded chains.
     pub fn embedded_chains(&self) -> Vec<&str> {
         let mut v: Vec<&str> = self.committed.keys().map(|s| s.as_str()).collect();
@@ -698,6 +766,36 @@ mod tests {
         orch.mark_container_recovered("c1");
         let m = orch.embed_chain(&g, &g.chains[0]).unwrap();
         assert_eq!(m.placement.len(), 1);
+    }
+
+    #[test]
+    fn audit_is_clean_through_lifecycle_and_catches_leaks() {
+        let topo = builders::linear(3, 4.0);
+        let mut orch = Orchestrator::new(topo, Box::new(GreedyFirstFit)).unwrap();
+        assert!(orch.audit().is_empty(), "fresh view is balanced");
+        let g = sg();
+        orch.embed_chain(&g, &g.chains[0]).unwrap();
+        assert!(orch.audit().is_empty(), "embedded view is balanced");
+        assert!(!orch.chain_reservations("c1").unwrap().is_empty());
+
+        // Failure stashes don't unbalance the ledger.
+        orch.mark_link_failed("s0", "s1");
+        orch.mark_container_failed("c0");
+        assert_eq!(orch.audit(), Vec::<String>::new());
+        orch.mark_container_recovered("c0");
+        orch.mark_link_recovered("s0", "s1");
+
+        orch.release_chain("c1").unwrap();
+        assert!(orch.audit().is_empty(), "released view is balanced");
+        assert!(orch.chain_reservations("c1").is_none());
+
+        // A double release is exactly the class of leak audit must catch.
+        orch.embed_chain(&g, &g.chains[0]).unwrap();
+        let m = orch.chain_mapping("c1").unwrap().clone();
+        orch.state.release_path(&m.segments[0].nodes, 100.0);
+        let v = orch.audit();
+        assert!(!v.is_empty(), "double release must be flagged");
+        assert!(v[0].contains("link"), "{v:?}");
     }
 
     #[test]

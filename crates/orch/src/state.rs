@@ -182,6 +182,31 @@ impl ResourceState {
         }
     }
 
+    // ------------- conservation accessors ---------------------------
+
+    /// Free CPU of a container *including* any failure stash: the value
+    /// conservation audits compare against topology capacity, invariant
+    /// under fail/recover cycles.
+    pub fn effective_cpu_of(&self, container: &str) -> f64 {
+        self.cpu_of(container) + self.failed_compute.get(container).map_or(0.0, |(c, _)| *c)
+    }
+
+    /// Free memory of a container including any failure stash.
+    pub fn effective_mem_of(&self, container: &str) -> u64 {
+        self.mem.get(container).copied().unwrap_or(0)
+            + self.failed_compute.get(container).map_or(0, |(_, m)| *m)
+    }
+
+    /// Free bandwidth of a link including any failure stash.
+    pub fn effective_bw_of(&self, a: &str, b: &str) -> f64 {
+        self.bw_of(a, b)
+            + self
+                .failed_links
+                .get(&link_key(a, b))
+                .copied()
+                .unwrap_or(0.0)
+    }
+
     /// Containers sorted by name (deterministic iteration for the
     /// algorithms).
     pub fn containers_sorted(&self) -> Vec<String> {
@@ -285,6 +310,30 @@ mod tests {
         assert!(s.recover_link("s0", "s1"));
         assert_eq!(s.bw_of("s0", "s1"), 1000.0);
         assert!(!s.link_failed("s0", "s1"));
+    }
+
+    #[test]
+    fn effective_view_is_invariant_under_failure() {
+        let t = builders::linear(3, 2.0);
+        let mut s = ResourceState::from_topology(&t);
+        s.reserve_compute("c0", 0.5, 128).unwrap();
+        let path: Vec<String> = ["s0", "s1", "s2"].map(String::from).to_vec();
+        s.reserve_path(&path, 200.0).unwrap();
+        let (cpu0, mem0, bw0) = (
+            s.effective_cpu_of("c0"),
+            s.effective_mem_of("c0"),
+            s.effective_bw_of("s0", "s1"),
+        );
+        s.fail_container("c0");
+        s.fail_link("s0", "s1");
+        assert_eq!(s.effective_cpu_of("c0"), cpu0);
+        assert_eq!(s.effective_mem_of("c0"), mem0);
+        assert_eq!(s.effective_bw_of("s0", "s1"), bw0);
+        // Releases into the stash stay visible through the effective view.
+        s.release_compute("c0", 0.5, 128);
+        s.release_path(&path, 200.0);
+        assert_eq!(s.effective_cpu_of("c0"), 2.0);
+        assert_eq!(s.effective_bw_of("s0", "s1"), 1000.0);
     }
 
     #[test]

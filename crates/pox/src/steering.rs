@@ -44,6 +44,9 @@ pub struct TrafficSteering {
     queued: Vec<SteeringRule>,
     /// Rules already pushed, by chain id (for teardown).
     installed: HashMap<u64, Vec<SteeringRule>>,
+    /// Shadow sets: rules staged by a deployment transaction, invisible
+    /// to flushes until committed (or thrown away by a rollback).
+    staged: HashMap<u64, Vec<SteeringRule>>,
     /// Rules awaiting deletion from switches at the next flush.
     pending_removal: Vec<SteeringRule>,
     /// Rules installed reactively on a miss (`pox.steering.reactive_installs`).
@@ -63,6 +66,7 @@ impl TrafficSteering {
             mode,
             queued: Vec::new(),
             installed: HashMap::new(),
+            staged: HashMap::new(),
             pending_removal: Vec::new(),
             reactive_ctr: reg.counter("pox.steering.reactive_installs"),
             proactive_ctr: reg.counter("pox.steering.proactive_installs"),
@@ -95,11 +99,61 @@ impl TrafficSteering {
         self.installed.get(&chain_id).map_or(0, |v| v.len())
     }
 
+    // ------------- staged (shadow) rule sets ------------------------
+
+    /// Stages a chain's rules into its shadow set: they are held apart
+    /// from the live queue and never reach a switch until
+    /// [`TrafficSteering::commit_staged`] activates them. A deployment
+    /// transaction stages during *prepare* so a failure can discard the
+    /// whole set without a single flow-mod having left the controller.
+    pub fn stage_rules(&mut self, chain_id: u64, rules: Vec<SteeringRule>) {
+        self.staged.entry(chain_id).or_default().extend(rules);
+    }
+
+    /// Number of rules currently staged for a chain.
+    pub fn staged_for(&self, chain_id: u64) -> usize {
+        self.staged.get(&chain_id).map_or(0, |v| v.len())
+    }
+
+    /// Atomically activates a chain's staged set: the rules move to the
+    /// live queue in one step and install at the next flush. Returns the
+    /// number of rules committed.
+    pub fn commit_staged(&mut self, chain_id: u64) -> usize {
+        let rules = self.staged.remove(&chain_id).unwrap_or_default();
+        let n = rules.len();
+        self.queue_rules(rules);
+        n
+    }
+
+    /// Throws a chain's staged set away (deployment rollback). Nothing
+    /// was ever sent to a switch, so there is nothing to delete. Returns
+    /// the number of rules discarded.
+    pub fn discard_staged(&mut self, chain_id: u64) -> usize {
+        self.staged.remove(&chain_id).map_or(0, |v| v.len())
+    }
+
+    /// Every chain id this component holds rules for, in any state
+    /// (queued, installed, staged or awaiting removal), sorted. Leak
+    /// audits compare this against the set of live chains.
+    pub fn tracked_chains(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .installed
+            .keys()
+            .chain(self.staged.keys())
+            .copied()
+            .chain(self.queued.iter().map(|r| r.chain_id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
     /// Queues a teardown: installed rules of `chain_id` are deleted from
     /// their switches at the next flush. Returns the affected rules.
     pub fn remove_chain(&mut self, chain_id: u64) -> Vec<SteeringRule> {
-        // Also drop still-queued rules of that chain.
+        // Also drop still-queued and still-staged rules of that chain.
         self.queued.retain(|r| r.chain_id != chain_id);
+        self.staged.remove(&chain_id);
         let removed = self.installed.remove(&chain_id).unwrap_or_default();
         self.pending_removal.extend(removed.clone());
         removed
@@ -447,6 +501,76 @@ mod tests {
         Host::start_streams(&mut sim, h1, Time::from_ms(1));
         sim.run(100_000);
         assert_eq!(sim.node_as::<Host>(h2).unwrap().stats.udp_rx, 10);
+    }
+
+    #[test]
+    fn staged_rules_stay_invisible_until_committed() {
+        let (mut sim, h1, h2, c) = rig(SteeringMode::Proactive);
+        {
+            let ctl = sim.node_as_mut::<Controller>(c).unwrap();
+            let st = ctl.component_as_mut::<TrafficSteering>().unwrap();
+            st.stage_rules(1, rules_for_chain());
+            assert_eq!(st.staged_for(1), 2);
+            assert_eq!(st.pending(), 0, "staged rules are not queued");
+            assert_eq!(st.tracked_chains(), vec![1]);
+        }
+        // A flush while staged must not install anything.
+        Controller::request_flush(&mut sim, c, Time::ZERO);
+        sim.run(100);
+        {
+            let ctl = sim.node_as_mut::<Controller>(c).unwrap();
+            let st = ctl.component_as_mut::<TrafficSteering>().unwrap();
+            assert_eq!(st.proactive_installs(), 0);
+            assert_eq!(st.installed_for(1), 0);
+            // Commit moves the whole set to the live queue atomically.
+            assert_eq!(st.commit_staged(1), 2);
+            assert_eq!(st.staged_for(1), 0);
+            assert_eq!(st.pending(), 2);
+        }
+        Controller::request_flush(&mut sim, c, Time::ZERO);
+        sim.run(100);
+        {
+            let ctl = sim.node_as::<Controller>(c).unwrap();
+            let st = ctl.component_as::<TrafficSteering>().unwrap();
+            assert_eq!(st.installed_for(1), 2);
+        }
+        // Traffic flows through the committed rules.
+        sim.node_as_mut::<Host>(h1).unwrap().add_stream(
+            Ipv4Addr::new(10, 0, 0, 2),
+            5,
+            6,
+            64,
+            Time::from_us(100),
+            10,
+        );
+        Host::start_streams(&mut sim, h1, Time::from_ms(1));
+        sim.run(100_000);
+        assert_eq!(sim.node_as::<Host>(h2).unwrap().stats.udp_rx, 10);
+    }
+
+    #[test]
+    fn discarded_staged_rules_never_reach_a_switch() {
+        let (mut sim, _h1, _h2, c) = rig(SteeringMode::Proactive);
+        {
+            let ctl = sim.node_as_mut::<Controller>(c).unwrap();
+            let st = ctl.component_as_mut::<TrafficSteering>().unwrap();
+            st.stage_rules(7, rules_for_chain());
+            assert_eq!(st.discard_staged(7), 2);
+            assert_eq!(st.staged_for(7), 0);
+            assert_eq!(st.commit_staged(7), 0, "nothing left to commit");
+            assert!(st.tracked_chains().is_empty());
+        }
+        Controller::request_flush(&mut sim, c, Time::ZERO);
+        sim.run(100);
+        let ctl = sim.node_as::<Controller>(c).unwrap();
+        let st = ctl.component_as::<TrafficSteering>().unwrap();
+        assert_eq!(st.proactive_installs(), 0);
+        // remove_chain also clears any staged leftovers.
+        let ctl = sim.node_as_mut::<Controller>(c).unwrap();
+        let st = ctl.component_as_mut::<TrafficSteering>().unwrap();
+        st.stage_rules(8, rules_for_chain());
+        st.remove_chain(8);
+        assert_eq!(st.staged_for(8), 0);
     }
 
     #[test]

@@ -12,4 +12,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q
 
+echo "== soak smoke (escape soak --steps 200 --seed 7) =="
+cargo run --release -q --bin escape -- soak --steps 200 --seed 7
+
 echo "all checks passed"

@@ -287,3 +287,41 @@ fn different_seeds_still_converge() {
     // remains self-consistent — spot-check one.
     assert_eq!(vnf_crash(9).trace, vnf_crash(9).trace);
 }
+
+#[test]
+fn fault_plan_with_unknown_target_is_rejected_at_load_time() {
+    // Validation happens at load, not mid-run: the typed error names
+    // the plan, the offending event index and the ghost entity, and the
+    // injector is never installed.
+    let mut esc = Escape::build(
+        triangle(),
+        Box::new(GreedyFirstFit),
+        SteeringMode::Proactive,
+        61,
+    )
+    .unwrap();
+    let plan = FaultPlan::new("ghost-hunt")
+        .at_ms(
+            1,
+            FaultKind::LinkDown {
+                a: "s0".into(),
+                b: "s1".into(),
+            },
+        )
+        .at_ms(2, FaultKind::VnfCrash { node: "c9".into() });
+    let err = esc.load_fault_plan(&plan).err().unwrap();
+    let escape::EscapeError::FaultPlan(escape_netem::FaultPlanError::UnknownNode {
+        plan: name,
+        index,
+        node,
+    }) = err
+    else {
+        panic!("expected FaultPlan(UnknownNode), got {err}");
+    };
+    assert_eq!(name, "ghost-hunt");
+    assert_eq!(index, 1);
+    assert_eq!(node, "c9");
+    // Nothing was armed: time passes without any fault landing.
+    esc.run_with_recovery(10);
+    assert!(esc.event_trace().iter().all(|l| !l.contains("fault ")));
+}

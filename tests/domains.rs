@@ -301,3 +301,49 @@ fn intra_domain_crash_heals_locally_without_restitch() {
     md.run_for_ms(60);
     assert_eq!(md.sap_stats("sap1").unwrap().udp_rx, BURST);
 }
+
+#[test]
+fn coordinator_admission_rejects_at_hard_watermark() {
+    // Fill the three domains past a low hard watermark, then verify the
+    // coordinator rejects with the typed verdict instead of planning a
+    // doomed cross-domain chain.
+    let (topo, spec) = linear3();
+    let mut md =
+        Escape::with_domains(&topo, &spec, &greedy, SteeringMode::Proactive, 77, 1).unwrap();
+    md.set_admission(escape::AdmissionConfig {
+        soft_watermark: 0.2,
+        hard_watermark: 0.3,
+        max_queue: 4,
+        max_retries: 3,
+    });
+    assert_eq!(md.cpu_utilization(), 0.0);
+    md.deploy(&spill_sg()).unwrap();
+    // 4.5 of 12 CPU reserved -> mean utilization 0.375 >= 0.3.
+    assert!(md.cpu_utilization() >= 0.3, "{}", md.cpu_utilization());
+
+    let more = ServiceGraph::new()
+        .sap("sap0")
+        .sap("sap2")
+        .vnf("g1", "monitor", 0.5, 64)
+        .chain("c2", &["sap0", "g1", "sap2"], 10.0, None);
+    let err = md.deploy(&more).err().unwrap();
+    let escape::EscapeError::Admission(escape::AdmissionVerdict::RejectedHard {
+        utilization,
+        hard_watermark,
+    }) = err
+    else {
+        panic!("expected RejectedHard, got {err}");
+    };
+    assert!(utilization >= hard_watermark);
+    assert!(
+        md.event_trace()
+            .iter()
+            .any(|l| l.contains("admission: rejected")),
+        "trace: {:#?}",
+        md.event_trace()
+    );
+
+    // Freeing the chain reopens admission.
+    md.teardown("c1").unwrap();
+    md.deploy(&more).unwrap();
+}

@@ -3,7 +3,7 @@
 
 use escape::container::VnfContainer;
 use escape::env::Escape;
-use escape::EscapeError;
+use escape::{DeployPhase, EscapeError};
 use escape_netconf::VnfInstrumentation;
 use escape_netem::LinkState;
 use escape_orch::{GreedyFirstFit, NearestNeighbor};
@@ -103,15 +103,34 @@ fn dead_agent_times_out_cleanly() {
     esc.sim.kill_node(node);
     let before = esc.now();
     let err = esc.deploy(&sg()).err().unwrap();
+    let EscapeError::DeployFailed {
+        phase,
+        cause,
+        rollback,
+    } = err
+    else {
+        panic!("expected DeployFailed, got {err}");
+    };
+    assert_eq!(phase, DeployPhase::Prepare);
     let EscapeError::RpcTimeout {
         container,
         attempts,
-    } = err
+    } = *cause
     else {
-        panic!("expected RpcTimeout, got {err}");
+        panic!("expected RpcTimeout cause, got {cause}");
     };
     assert_eq!(container, "c0");
     assert_eq!(attempts, 5, "first try + 4 retries");
+    // The reservation was the only completed step; undoing it cannot
+    // fail, so the rollback reports complete.
+    assert!(rollback.complete(), "rollback: {rollback}");
+    assert!(
+        rollback
+            .steps
+            .iter()
+            .any(|s| s.action == "release-reservation"),
+        "rollback released the plan-phase reservation: {rollback}"
+    );
     // Each attempt waited out the RPC deadline plus its backoff slot.
     assert!(
         esc.now().since(before) >= 5 * 100_000_000,
@@ -203,4 +222,143 @@ fn delay_sla_violation_is_rejected_up_front() {
         rej[0].1,
         escape_orch::MapError::DelayExceeded { .. }
     ));
+}
+
+#[test]
+fn netconf_timeout_mid_deploy_rolls_back_to_identical_state() {
+    // The zero-residual-state guarantee: a deploy whose *second* VNF
+    // times out over NETCONF must undo everything the transaction did —
+    // the already-started first VNF, any staged rules, every
+    // reservation — leaving the environment byte-identical to its
+    // pre-deploy fingerprint.
+    let topo = builders::linear(3, 4.0);
+    let mut esc =
+        Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Proactive, 31).unwrap();
+
+    // Warm up: one deploy/teardown cycle so the NETCONF session to c0
+    // and its stopped-VNF husk already exist before the fingerprint.
+    let warm = ServiceGraph::new()
+        .sap("sap0")
+        .sap("sap1")
+        .vnf("w", "monitor", 0.5, 64)
+        .chain("warm", &["sap0", "w", "sap1"], 10.0, None);
+    esc.deploy(&warm).unwrap();
+    esc.teardown("warm").unwrap();
+
+    // Stall c1's agent for longer than the entire RPC retry schedule.
+    let plan = escape_netem::FaultPlan::new("c1-stall").at_ms(
+        0,
+        escape_netem::FaultKind::VnfStall {
+            node: "c1".into(),
+            for_us: 3_000_000,
+        },
+    );
+    esc.load_fault_plan(&plan).unwrap();
+    esc.run_for_ms(1); // arm the stall
+
+    let before = esc.state_fingerprint();
+    assert!(esc.check_invariants().is_empty());
+
+    // Two 3-CPU VNFs cannot share a 4-CPU container: v0 lands on c0
+    // (prepares fine), v1 lands on stalled c1 and times out.
+    let big = ServiceGraph::new()
+        .sap("sap0")
+        .sap("sap1")
+        .vnf("v0", "monitor", 3.0, 64)
+        .vnf("v1", "monitor", 3.0, 64)
+        .chain("big", &["sap0", "v0", "v1", "sap1"], 10.0, None);
+    let err = esc.deploy(&big).expect_err("deploy must fail");
+    let EscapeError::DeployFailed {
+        phase,
+        cause,
+        rollback,
+    } = err
+    else {
+        panic!("expected DeployFailed, got {err}");
+    };
+    assert_eq!(phase, DeployPhase::Prepare);
+    assert!(
+        matches!(*cause, EscapeError::RpcTimeout { ref container, .. } if container == "c1"),
+        "cause: {cause}"
+    );
+    // v0 on healthy c0 was started and connected; both undo steps hit a
+    // live agent and succeed, as does releasing the reservation.
+    assert!(rollback.complete(), "rollback: {rollback}");
+    assert!(rollback.steps.iter().any(|s| s.action == "stop-vnf"));
+    assert!(rollback
+        .steps
+        .iter()
+        .any(|s| s.action == "release-reservation"));
+
+    // Zero residual state: resources, flow tables, running VNFs and
+    // sessions are byte-identical to the pre-deploy view.
+    assert_eq!(esc.state_fingerprint(), before, "residual state leaked");
+    assert!(esc.check_invariants().is_empty());
+    assert!(esc.deployed("big").is_none());
+    assert_eq!(esc.orchestrator().cpu_utilization(), 0.0);
+
+    // Once the stall clears the same graph deploys cleanly.
+    esc.run_for_ms(3_100);
+    esc.deploy(&big).unwrap();
+    assert!(esc.check_invariants().is_empty());
+    esc.start_udp("sap0", "sap1", 100, 200, 5).unwrap();
+    esc.run_for_ms(50);
+    assert_eq!(
+        esc.sap_stats("sap1").unwrap().udp_rx,
+        5,
+        "chain carries traffic"
+    );
+}
+
+#[test]
+fn malformed_agent_reply_fails_deploy_with_typed_error() {
+    // A garbage frame on the control connection (truncated XML) must
+    // surface as the typed MalformedReply — not a parse panic and not a
+    // silent retry-until-timeout — and the transaction rolls back.
+    let topo = builders::linear(2, 4.0);
+    let mut esc =
+        Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Proactive, 33).unwrap();
+    let conn = esc.infra.netconf_conn["c0"];
+    let relay = esc.infra.manager;
+    esc.sim
+        .node_as_mut::<escape::infra::ManagerRelay>(relay)
+        .unwrap()
+        .inbox
+        .push((
+            conn,
+            escape_netconf::Framer::frame(b"<rpc-reply message-id=\"1\"><data>"),
+        ));
+
+    let err = esc.deploy(&sg()).err().unwrap();
+    let EscapeError::DeployFailed {
+        phase,
+        cause,
+        rollback,
+    } = err
+    else {
+        panic!("expected DeployFailed, got {err}");
+    };
+    assert_eq!(phase, DeployPhase::Prepare);
+    let EscapeError::MalformedReply { container, reason } = *cause else {
+        panic!("expected MalformedReply cause, got {cause}");
+    };
+    assert_eq!(container, "c0");
+    assert!(reason.contains("XML"), "{reason}");
+    assert!(rollback.complete(), "rollback: {rollback}");
+    assert_eq!(
+        esc.metrics().counter("netconf.malformed_replies", &[]),
+        Some(1)
+    );
+    assert!(
+        esc.event_trace()
+            .iter()
+            .any(|l| l.contains("malformed reply from c0")),
+        "trace: {:#?}",
+        esc.event_trace()
+    );
+
+    // The bad frame never corrupts session state: the same graph
+    // deploys cleanly right after.
+    esc.deploy(&sg()).unwrap();
+    assert!(esc.check_invariants().is_empty());
 }

@@ -274,7 +274,9 @@ fn custom_click_config_vnf_deploys_end_to_end() {
             .any(|(k, v)| k == "tagged.count" && v == "7"),
         "{handlers:?}"
     );
-    // Bad configs are rejected by the agent, reported as a NETCONF error.
+    // Bad configs are rejected by the agent: the transaction rolls back
+    // completely and surfaces the NETCONF error as the prepare-phase
+    // cause.
     let bad = ServiceGraph::new()
         .sap("sap0")
         .sap("sap1")
@@ -282,7 +284,24 @@ fn custom_click_config_vnf_deploys_end_to_end() {
         .with_click_config("this is not click (")
         .chain("c2", &["sap0", "broken", "sap1"], 10.0, None);
     let err = esc.deploy(&bad).err().unwrap();
-    assert!(matches!(err, escape::EscapeError::Netconf(_)), "got {err}");
+    let escape::EscapeError::DeployFailed {
+        phase,
+        cause,
+        rollback,
+    } = err
+    else {
+        panic!("expected DeployFailed, got {err}");
+    };
+    assert_eq!(phase, escape::DeployPhase::Prepare);
+    assert!(
+        matches!(*cause, escape::EscapeError::Netconf(_)),
+        "got {cause}"
+    );
+    assert!(rollback.complete(), "rollback: {rollback}");
+    // The first chain is untouched and still carries traffic.
+    esc.start_udp("sap0", "sap1", 128, 300, 3).unwrap();
+    esc.run_for_ms(50);
+    assert_eq!(esc.sap_stats("sap1").unwrap().udp_rx, 10);
 }
 
 #[test]

@@ -1,0 +1,190 @@
+//! Leak-hunting soak runs and admission-control behavior.
+//!
+//! The soak harness ([`escape::soak::run_soak`]) drives one environment
+//! through hundreds of seeded random deploy / teardown / fault / heal
+//! steps with admission control on, asserting the conservation
+//! invariants after every single step:
+//!
+//! * reserved CPU and bandwidth equal the sum over live chains
+//!   (orchestrator audit);
+//! * no flow rule carries a cookie without a live chain;
+//! * no VNF runs outside the current embedding;
+//! * no ready NETCONF session dangles.
+//!
+//! The admission tests pin down the watermark semantics directly:
+//! hard → typed rejection, soft → queue + deterministic retry.
+
+use escape::env::Escape;
+use escape::soak::{run_soak, SoakConfig};
+use escape::{AdmissionConfig, AdmissionVerdict, EscapeError};
+use escape_orch::GreedyFirstFit;
+use escape_pox::SteeringMode;
+use escape_sg::topo::builders;
+use escape_sg::ServiceGraph;
+
+#[test]
+fn soak_500_steps_keeps_every_invariant() {
+    let report = run_soak(SoakConfig {
+        steps: 500,
+        seed: 7,
+    });
+    assert!(report.clean(), "violations: {:#?}", report.violations);
+    assert_eq!(report.steps, 500, "no early abort");
+    // The run must actually exercise the machinery, not idle through it.
+    assert!(report.deploys >= 50, "{}", report.summary());
+    assert!(report.teardowns >= 20, "{}", report.summary());
+    assert!(report.faults >= 30, "{}", report.summary());
+}
+
+#[test]
+fn soak_exercises_rollback_and_retry_paths() {
+    // Across a few seeds the op mix must hit the interesting paths:
+    // deploys that roll back mid-transaction (long agent stalls) and
+    // teardowns that bounce off a stalled agent and retry.
+    let mut rollbacks = 0;
+    let mut teardown_retries = 0;
+    for seed in [5, 7, 42] {
+        let report = run_soak(SoakConfig { steps: 200, seed });
+        assert!(report.clean(), "seed {seed}: {:#?}", report.violations);
+        rollbacks += report.rollbacks;
+        teardown_retries += report.teardown_retries;
+    }
+    assert!(rollbacks > 0, "no soak seed ever forced a rollback");
+    assert!(
+        teardown_retries > 0,
+        "no soak seed ever retried a teardown off a stalled agent"
+    );
+}
+
+#[test]
+fn soak_is_deterministic_across_runs() {
+    let cfg = SoakConfig {
+        steps: 250,
+        seed: 1234,
+    };
+    let a = run_soak(cfg);
+    let b = run_soak(cfg);
+    assert!(a.clean(), "violations: {:#?}", a.violations);
+    assert_eq!(a, b, "same (steps, seed) must reproduce the same report");
+    assert!(!a.fingerprint.is_empty());
+
+    let c = run_soak(SoakConfig {
+        steps: 250,
+        seed: 1235,
+    });
+    assert_ne!(
+        a.fingerprint, c.fingerprint,
+        "different seeds should end in different states"
+    );
+}
+
+/// A 1-VNF graph demanding `cpu` cores.
+fn graph(name: &str, cpu: f64) -> ServiceGraph {
+    ServiceGraph::new()
+        .sap("sap0")
+        .sap("sap1")
+        .vnf(&format!("{name}v"), "monitor", cpu, 64)
+        .chain(name, &["sap0", &format!("{name}v"), "sap1"], 10.0, None)
+}
+
+#[test]
+fn hard_watermark_rejects_outright() {
+    // Two 1-CPU containers (2 CPU total). Soft 0.25, hard 0.75: the
+    // first chain (1 CPU = 50% utilization) admits; at 50% ≥ 25% the
+    // second queues; filling to ≥ 75% makes further requests
+    // hard-reject.
+    let topo = builders::star(2, 1.0);
+    let mut esc =
+        Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Proactive, 91).unwrap();
+    esc.set_admission(AdmissionConfig {
+        soft_watermark: 0.25,
+        hard_watermark: 0.75,
+        max_queue: 4,
+        max_retries: 3,
+    });
+
+    esc.deploy(&graph("a", 1.0)).unwrap();
+    assert_eq!(esc.orchestrator().cpu_utilization(), 0.5);
+
+    let err = esc.deploy(&graph("b", 0.6)).err().unwrap();
+    let EscapeError::Admission(AdmissionVerdict::Queued { position: 0, .. }) = err else {
+        panic!("expected Queued, got {err}");
+    };
+
+    // Push utilization past the hard watermark directly.
+    let (mapped, rejected) = esc.orchestrator_mut().embed_graph(&graph("c", 0.6));
+    assert_eq!((mapped.len(), rejected.len()), (1, 0), "capacity for c");
+    assert!(esc.orchestrator().cpu_utilization() >= 0.75);
+
+    let err = esc.deploy(&graph("d", 0.1)).err().unwrap();
+    let EscapeError::Admission(AdmissionVerdict::RejectedHard {
+        utilization,
+        hard_watermark,
+    }) = err
+    else {
+        panic!("expected RejectedHard, got {err}");
+    };
+    assert!(utilization >= hard_watermark);
+    assert_eq!(hard_watermark, 0.75);
+
+    // The queued request burns its retries while the pressure lasts and
+    // is dropped — typed counters tell the story.
+    esc.run_for_ms(200);
+    assert_eq!(esc.pending_admissions(), 0, "queue drained by give-up");
+    let m = esc.metrics();
+    assert_eq!(m.counter("escape.admission_queued", &[]), Some(1));
+    assert!(m.counter("escape.admission_retries", &[]).unwrap_or(0) >= 1);
+    // One hard reject + one retries-exhausted drop.
+    assert_eq!(m.counter("escape.admission_rejected", &[]), Some(2));
+}
+
+#[test]
+fn queued_deploy_lands_once_capacity_frees_up() {
+    let topo = builders::star(2, 1.0);
+    let mut esc =
+        Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Proactive, 92).unwrap();
+    esc.set_admission(AdmissionConfig {
+        soft_watermark: 0.25,
+        hard_watermark: 0.9,
+        max_queue: 4,
+        max_retries: 8,
+    });
+
+    esc.deploy(&graph("a", 1.0)).unwrap();
+    let err = esc.deploy(&graph("b", 0.4)).err().unwrap();
+    assert!(
+        matches!(err, EscapeError::Admission(AdmissionVerdict::Queued { .. })),
+        "got {err}"
+    );
+    assert_eq!(esc.pending_admissions(), 1);
+
+    // Tearing the first chain down drops utilization to 0; the queued
+    // deploy lands on the next pump.
+    esc.teardown("a").unwrap();
+    esc.run_for_ms(200);
+    assert_eq!(esc.pending_admissions(), 0);
+    assert!(esc.deployed("b").is_some(), "queued chain deployed");
+    assert!(esc.check_invariants().is_empty());
+    assert!(
+        esc.event_trace()
+            .iter()
+            .any(|l| l.contains("admission: dequeued after")),
+        "trace: {:#?}",
+        esc.event_trace()
+    );
+}
+
+#[test]
+fn admission_disabled_by_default() {
+    // Without set_admission, deploys run straight through even at 100%
+    // utilization — existing behavior is unchanged.
+    let topo = builders::star(2, 1.0);
+    let mut esc =
+        Escape::build(topo, Box::new(GreedyFirstFit), SteeringMode::Proactive, 93).unwrap();
+    esc.deploy(&graph("a", 1.0)).unwrap();
+    esc.deploy(&graph("a2", 1.0)).unwrap();
+    assert_eq!(esc.orchestrator().cpu_utilization(), 1.0);
+    // Full: the *orchestrator* rejects (no capacity), not admission.
+    let err = esc.deploy(&graph("b", 0.5)).err().unwrap();
+    assert!(matches!(err, EscapeError::MappingFailed(_)), "got {err}");
+}
