@@ -211,6 +211,9 @@ fn print_table() {
     if let Some(path) = escape_bench::write_telemetry_artifact("BENCH_domains", &doc) {
         println!("telemetry artifact: {}", path.display());
     }
+    if let Some(path) = escape_bench::write_repo_artifact("BENCH_domains", &doc) {
+        println!("baseline snapshot: {}", path.display());
+    }
     println!("(expected shape: mapping success and frames delivered are identical at");
     println!(" every partitioning; wall-clock speedup tracks the host's cores — this");
     println!(" host has {host_cpus} — and saturates once domains outnumber them)\n");
@@ -218,6 +221,12 @@ fn print_table() {
 
 fn bench(c: &mut Criterion) {
     print_table();
+    // The deterministic table (and the BENCH_domains.json snapshot it
+    // writes) is all a baseline refresh needs; the criterion loop takes
+    // minutes, so let `ESCAPE_BENCH_TABLE_ONLY=1 cargo bench` skip it.
+    if std::env::var_os("ESCAPE_BENCH_TABLE_ONLY").is_some() {
+        return;
+    }
     let mut g = c.benchmark_group("e9_domains");
     g.sample_size(10);
     g.bench_function("four_domains_four_workers", |b| {

@@ -30,6 +30,25 @@ pub fn write_telemetry_artifact(name: &str, doc: &Value) -> Option<PathBuf> {
     Some(path)
 }
 
+/// Writes a benchmark snapshot as `<name>.json` at the repository root.
+/// Unlike the per-run files under `target/telemetry/`, root snapshots
+/// (e.g. `BENCH_domains.json`) are committed baselines future PRs diff
+/// against. Returns the path written, or `None` (with the error on
+/// stderr) if the filesystem refused.
+pub fn write_repo_artifact(name: &str, doc: &Value) -> Option<PathBuf> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../{name}.json"));
+    match std::fs::write(&path, doc.to_string_pretty()) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!(
+                "escape-bench: cannot write repo artifact {}: {e}",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,6 +6,8 @@
 //! escape run [options]                 (built-in demo chain)
 //! escape metrics [<topology-file> <service-graph-file>] [options]
 //! escape trace [<topology-file> <service-graph-file>] [options]
+//! escape daemon [daemon options]       (serve a live environment; see escaped)
+//! escape ctl [--socket PATH] <verb>    (drive a running escaped)
 //!
 //! options:
 //!   --algorithm first_fit|best_fit|nearest|backtrack|anneal   (default nearest)
@@ -48,11 +50,13 @@
 
 use escape::env::Escape;
 use escape::monitor::format_handler_table;
+use escape::session::{algorithm_by_name as algorithm, InputFormat};
+use escape::{Session, SessionConfig};
+use escape_ctl::launch::{parse_daemon_args, run_daemon, DAEMON_USAGE};
+use escape_ctl::proto::{CtlRequest, CtlResponse, MetricsFormat, SgFormat};
+use escape_ctl::CtlClient;
 use escape_domain::DomainSpec;
 use escape_orch::workload::{random_service_graph, WorkloadSpec};
-use escape_orch::{
-    Backtracking, BestFitCpu, GreedyFirstFit, MappingAlgorithm, NearestNeighbor, SimulatedAnnealing,
-};
 use escape_pox::SteeringMode;
 use escape_sg::{parse_service_graph, parse_topology, ResourceTopology, ServiceGraph, Sla};
 use std::process::ExitCode;
@@ -91,6 +95,10 @@ struct Options {
     soak: bool,
     /// Steps for the soak subcommand.
     steps: u64,
+    /// `escape ctl ...`: args handed to the control-socket client.
+    ctl: Option<Vec<String>>,
+    /// `escape daemon ...`: args handed to the daemon launcher.
+    daemon: Option<Vec<String>>,
 }
 
 fn usage() -> ExitCode {
@@ -103,7 +111,9 @@ fn usage() -> ExitCode {
          escape trace [<topology> <service-graph>] [options] [--chrome FILE]\n       \
          escape run <topology> <service-graph> --domains SPEC.json [--workers N]\n       \
          escape run <topology> --workload N    (generated random chains)\n       \
-         escape soak [--steps N] [--seed N]    (invariant soak run)"
+         escape soak [--steps N] [--seed N]    (invariant soak run)\n       \
+         escape daemon [daemon options]        (serve a live environment)\n       \
+         escape ctl [--socket PATH] <verb>     (drive a running escaped)"
     );
     ExitCode::from(2)
 }
@@ -133,6 +143,8 @@ fn parse_args() -> Result<Options, String> {
         workload: None,
         soak: false,
         steps: 500,
+        ctl: None,
+        daemon: None,
     };
     let mut first = true;
     while let Some(a) = args.next() {
@@ -153,6 +165,16 @@ fn parse_args() -> Result<Options, String> {
             if a == "soak" {
                 o.soak = true;
                 continue;
+            }
+            // The ctl and daemon subcommands own their whole argument
+            // lists — hand the rest over untouched.
+            if a == "ctl" {
+                o.ctl = Some(args.collect());
+                return Ok(o);
+            }
+            if a == "daemon" {
+                o.daemon = Some(args.collect());
+                return Ok(o);
             }
         }
         let mut need = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -246,17 +268,6 @@ fn parse_args() -> Result<Options, String> {
     Ok(o)
 }
 
-fn algorithm(name: &str) -> Result<Box<dyn MappingAlgorithm>, String> {
-    Ok(match name {
-        "first_fit" => Box::new(GreedyFirstFit),
-        "best_fit" => Box::new(BestFitCpu),
-        "nearest" => Box::new(NearestNeighbor),
-        "backtrack" => Box::new(Backtracking::default()),
-        "anneal" => Box::new(SimulatedAnnealing::default()),
-        other => return Err(format!("unknown algorithm {other:?}")),
-    })
-}
-
 /// Loads the topology/SG pair from files, or the built-in demo chain
 /// when no files were given (`escape metrics` with no arguments).
 /// With `--workload N` the service graph is generated instead: N random
@@ -316,11 +327,21 @@ fn load_inputs(o: &Options) -> Result<(ResourceTopology, ServiceGraph), String> 
 
 /// `escape metrics`: deploy, push traffic through every chain, then dump
 /// the telemetry registry (Prometheus text or JSON snapshot + trace).
+/// Renders through [`Session::metrics_exposition`] — the same code path
+/// `escape ctl metrics` hits in the daemon — so the two cannot drift.
 fn run_metrics(o: Options) -> Result<(), String> {
     let (topo, sg) = load_inputs(&o)?;
-    let mut esc = Escape::build(topo, algorithm(&o.algorithm)?, o.steering, o.seed)
-        .map_err(|e| e.to_string())?;
-    esc.deploy(&sg).map_err(|e| e.to_string())?;
+    let mut session = Session::new(
+        topo,
+        SessionConfig {
+            algorithm: o.algorithm.clone(),
+            steering: o.steering,
+            seed: o.seed,
+            ..SessionConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    session.deploy(&sg).map_err(|e| e.to_string())?;
     let mut flows = o.traffic.clone();
     if flows.is_empty() {
         // Default: 20 frames end to end through each deployed chain so
@@ -332,18 +353,12 @@ fn run_metrics(o: Options) -> Result<(), String> {
         }
     }
     for (from, to, count, len, us) in &flows {
-        esc.start_udp(from, to, *len, *us, *count)
+        session
+            .start_udp(from, to, *len, *us, *count)
             .map_err(|e| e.to_string())?;
     }
-    esc.run_for_ms(o.duration_ms);
-    if o.format == "json" {
-        let doc = escape_json::Value::obj()
-            .set("metrics", esc.metrics().json_value())
-            .set("trace", esc.tracer().json_value());
-        println!("{}", doc.to_string_pretty());
-    } else {
-        print!("{}", esc.metrics().prometheus());
-    }
+    session.run_for_ms(o.duration_ms);
+    print!("{}", session.metrics_exposition(o.format == "json"));
     Ok(())
 }
 
@@ -601,6 +616,201 @@ fn run_soak_cmd(o: Options) -> Result<(), String> {
     Ok(())
 }
 
+const CTL_USAGE: &str = "usage: escape ctl [--socket PATH] <verb>\n  \
+     verbs: status | deploy FILE [--json] | teardown CHAIN | run-for MS | fault PLAN.json |\n         \
+     heal | metrics [--prom] | sla | traffic FROM:TO:COUNT[:LEN[:US]] | shutdown";
+
+/// `escape ctl`: one-shot client for a running `escaped`. File-based
+/// verbs read the file here and ship its contents — the daemon never
+/// touches the client's filesystem.
+fn run_ctl(args: Vec<String>) -> Result<(), String> {
+    let mut socket = String::from("escaped.sock");
+    let mut json_flag = false;
+    let mut prom = false;
+    let mut words: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = it.next().ok_or("--socket needs a value")?,
+            "--json" => json_flag = true,
+            "--prom" => prom = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown ctl option {other}\n{CTL_USAGE}"))
+            }
+            other => words.push(other.to_string()),
+        }
+    }
+    let Some(verb) = words.first().cloned() else {
+        return Err(CTL_USAGE.into());
+    };
+    let arg = |i: usize, what: &str| -> Result<String, String> {
+        words
+            .get(i)
+            .cloned()
+            .ok_or_else(|| format!("ctl {verb}: missing {what}\n{CTL_USAGE}"))
+    };
+    let req = match verb.as_str() {
+        "status" => CtlRequest::Status,
+        "deploy" => {
+            let file = arg(1, "service-graph file")?;
+            let sg = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+            let format = if json_flag || InputFormat::from_path(&file) == InputFormat::Json {
+                SgFormat::Json
+            } else {
+                SgFormat::Dsl
+            };
+            CtlRequest::Deploy { sg, format }
+        }
+        "teardown" => CtlRequest::Teardown {
+            chain: arg(1, "chain name")?,
+        },
+        "run-for" => CtlRequest::RunFor {
+            ms: arg(1, "milliseconds")?
+                .parse()
+                .map_err(|_| "bad milliseconds")?,
+        },
+        "fault" => {
+            let file = arg(1, "fault plan file")?;
+            CtlRequest::Fault {
+                plan: std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?,
+            }
+        }
+        "heal" => CtlRequest::Heal,
+        "metrics" => CtlRequest::Metrics {
+            format: if prom {
+                MetricsFormat::Prometheus
+            } else {
+                MetricsFormat::Json
+            },
+        },
+        "sla" => CtlRequest::Sla,
+        "traffic" => {
+            let spec = arg(1, "FROM:TO:COUNT[:LEN[:US]]")?;
+            let parts: Vec<&str> = spec.split(':').collect();
+            if parts.len() < 3 {
+                return Err(format!("ctl traffic {spec:?}: need FROM:TO:COUNT"));
+            }
+            CtlRequest::Traffic {
+                from: parts[0].into(),
+                to: parts[1].into(),
+                frames: parts[2]
+                    .parse()
+                    .map_err(|_| format!("bad count in {spec:?}"))?,
+                len: parts
+                    .get(3)
+                    .map_or(Ok(128), |s| s.parse())
+                    .map_err(|_| format!("bad len in {spec:?}"))?,
+                interval_us: parts
+                    .get(4)
+                    .map_or(Ok(200), |s| s.parse())
+                    .map_err(|_| format!("bad interval in {spec:?}"))?,
+            }
+        }
+        "shutdown" => CtlRequest::Shutdown,
+        other => return Err(format!("unknown ctl verb {other:?}\n{CTL_USAGE}")),
+    };
+    let mut client = CtlClient::connect(&socket).map_err(|e| format!("{socket}: {e}"))?;
+    let resp = client.call(&req).map_err(|e| format!("{socket}: {e}"))?;
+    render_ctl_response(resp)
+}
+
+/// Renders one daemon response for humans; typed errors become the
+/// process's failure message (exit code 1).
+fn render_ctl_response(resp: CtlResponse) -> Result<(), String> {
+    match resp {
+        CtlResponse::Status(s) => {
+            println!(
+                "now {} ns | utilization {:.2} | {} chain(s), {} queued deploy(s)",
+                s.now_ns,
+                s.utilization,
+                s.chains.len(),
+                s.pending_admissions
+            );
+            for c in &s.chains {
+                let placements: Vec<String> = c
+                    .vnfs
+                    .iter()
+                    .map(|(vnf, container)| format!("{vnf}→{container}"))
+                    .collect();
+                println!(
+                    "  {}: cookie={} rules={} [{}]",
+                    c.name,
+                    c.cookie,
+                    c.rules,
+                    placements.join(", ")
+                );
+            }
+            println!(
+                "deploys={} failures={} teardowns={} recoveries={} recovery_failures={} \
+                 rollbacks={} rejected={} events={}",
+                s.deploys,
+                s.deploy_failures,
+                s.teardowns,
+                s.recoveries,
+                s.recovery_failures,
+                s.rollbacks,
+                s.admission_rejected,
+                s.events
+            );
+        }
+        CtlResponse::Deployed(d) => {
+            for c in &d.chains {
+                let placements: Vec<String> = c
+                    .vnfs
+                    .iter()
+                    .map(|(vnf, container)| format!("{vnf}→{container}"))
+                    .collect();
+                println!(
+                    "deployed {}: [{}] {} rules",
+                    c.name,
+                    placements.join(", "),
+                    c.rules
+                );
+            }
+            println!(
+                "setup: total {} ns (netconf {} ns, steering {} ns)",
+                d.total_ns, d.netconf_ns, d.steering_ns
+            );
+        }
+        CtlResponse::Queued {
+            position,
+            utilization,
+        } => println!("queued at position {position} (utilization {utilization:.2})"),
+        CtlResponse::ToreDown { chain } => println!("torn down {chain}"),
+        CtlResponse::Advanced { now_ns } => println!("advanced to {now_ns} ns"),
+        CtlResponse::FaultArmed { events } => println!("fault plan armed: {events} event(s)"),
+        CtlResponse::Healed {
+            recoveries,
+            failures,
+        } => println!("healed: recoveries={recoveries} failures={failures}"),
+        CtlResponse::Metrics { body, .. } => print!("{body}"),
+        CtlResponse::Sla(verdicts) => {
+            for v in &verdicts {
+                println!(
+                    "{}: {} delivered={} dropped={} loss={:.3} max_latency={}{}",
+                    v.chain,
+                    if v.pass { "PASS" } else { "FAIL" },
+                    v.delivered,
+                    v.dropped,
+                    v.loss,
+                    v.max_latency_ns
+                        .map(|ns| format!("{ns}ns"))
+                        .unwrap_or_else(|| "-".into()),
+                    if v.violations.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" ({})", v.violations.join("; "))
+                    }
+                );
+            }
+        }
+        CtlResponse::TrafficStarted => println!("traffic started"),
+        CtlResponse::ShuttingDown => println!("daemon shutting down"),
+        CtlResponse::Error(e) => return Err(e.to_string()),
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let o = match parse_args() {
         Ok(o) => o,
@@ -609,7 +819,25 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    let result = if o.soak {
+    if let Some(args) = o.daemon.clone() {
+        let d = match parse_daemon_args(args.into_iter()) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {e}\n{DAEMON_USAGE}");
+                return ExitCode::from(2);
+            }
+        };
+        return match run_daemon(d, true) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let result = if let Some(args) = o.ctl.clone() {
+        run_ctl(args)
+    } else if o.soak {
         run_soak_cmd(o)
     } else if o.metrics {
         run_metrics(o)

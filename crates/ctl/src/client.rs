@@ -1,0 +1,43 @@
+//! The control-socket client used by `escape ctl` and the tests.
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{CtlRequest, CtlResponse};
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// One connection to a running `escaped`. A client may issue any number
+/// of requests; each gets exactly one response frame, in order.
+pub struct CtlClient {
+    stream: UnixStream,
+}
+
+impl CtlClient {
+    /// Connects to the daemon's unix socket.
+    pub fn connect(socket: impl AsRef<Path>) -> io::Result<CtlClient> {
+        Ok(CtlClient {
+            stream: UnixStream::connect(socket)?,
+        })
+    }
+
+    /// Sends one typed request and reads the typed response.
+    pub fn call(&mut self, req: &CtlRequest) -> io::Result<CtlResponse> {
+        self.send_raw(&req.encode())
+    }
+
+    /// Sends an arbitrary payload — the escape hatch the protocol tests
+    /// use to ship deliberately malformed frames.
+    pub fn send_raw(&mut self, payload: &str) -> io::Result<CtlResponse> {
+        write_frame(&mut self.stream, payload)?;
+        let bytes = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before responding",
+            )
+        })?;
+        let text = String::from_utf8(bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        CtlResponse::decode(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}

@@ -1,0 +1,127 @@
+//! Length-prefixed framing for the control socket.
+//!
+//! Each frame is a 4-byte big-endian length followed by that many bytes
+//! of UTF-8 JSON. The length prefix means a reader never has to scan for
+//! delimiters inside the payload, and a half-written frame is detected
+//! as an error rather than silently merged into the next message.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted frame payload (4 MiB). A metrics JSON document for a
+/// large environment is tens of kilobytes; anything near this bound is a
+/// corrupt or hostile length prefix.
+pub const MAX_FRAME: u32 = 4 * 1024 * 1024;
+
+/// Writes one frame: length prefix, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame of {} bytes exceeds {} byte cap",
+                bytes.len(),
+                MAX_FRAME
+            ),
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed the connection
+/// cleanly *between* frames; EOF inside a frame is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME} byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0;
+    while filled < payload.len() {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame payload",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"verb\": \"status\"}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some(b"{\"verb\": \"status\"}".as_slice())
+        );
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(b"".as_slice()));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn eof_between_frames_is_clean() {
+        let mut r = Cursor::new(Vec::new());
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn eof_inside_header_is_an_error() {
+        let mut r = Cursor::new(vec![0u8, 0]);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn eof_inside_payload_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"verb\": \"status\"}").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = Cursor::new(buf);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"xxxx");
+        let mut r = Cursor::new(buf);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

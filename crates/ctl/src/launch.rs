@@ -1,0 +1,205 @@
+//! Shared launcher for the daemon: both the `escaped` binary and the
+//! `escape daemon` subcommand parse the same options and run the same
+//! [`Daemon::run`] loop, so there is exactly one way to start a daemon.
+
+use crate::server::{Daemon, DaemonConfig};
+use escape::session::{parse_topology_text, InputFormat};
+use escape::{AdmissionConfig, Session, SessionConfig};
+use escape_pox::SteeringMode;
+use std::path::PathBuf;
+
+/// Everything the daemon CLI accepts.
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    pub socket: PathBuf,
+    /// Topology file; the built-in demo substrate when `None`.
+    pub topo_file: Option<String>,
+    /// Input files are JSON instead of the DSL.
+    pub json: bool,
+    pub algorithm: String,
+    pub steering: SteeringMode,
+    pub seed: u64,
+    /// Virtual ms advanced per idle poll; 0 keeps time manual.
+    pub tick_ms: u64,
+    /// Telemetry flush directory on shutdown.
+    pub artifacts: Option<PathBuf>,
+    /// Admission watermarks; `None` admits everything.
+    pub admission: Option<AdmissionConfig>,
+    /// Flight-recorder ring capacity; 0 disables (and with it `sla`).
+    pub flight_recorder: usize,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> DaemonOptions {
+        DaemonOptions {
+            socket: PathBuf::from("escaped.sock"),
+            topo_file: None,
+            json: false,
+            algorithm: "nearest".into(),
+            steering: SteeringMode::Proactive,
+            seed: 1,
+            tick_ms: 0,
+            artifacts: None,
+            admission: None,
+            flight_recorder: 65_536,
+        }
+    }
+}
+
+pub const DAEMON_USAGE: &str = "usage: escaped [--socket PATH] [--topo FILE] [--json] \
+     [--algorithm A] [--steering proactive|reactive] [--seed N] [--tick-ms N] \
+     [--artifacts DIR] [--admission SOFT:HARD[:QUEUE[:RETRIES]]] [--flight-recorder N]";
+
+/// Parses daemon options from an argument list (program name already
+/// stripped).
+pub fn parse_daemon_args(args: impl Iterator<Item = String>) -> Result<DaemonOptions, String> {
+    let mut o = DaemonOptions::default();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        let mut need = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match a.as_str() {
+            "--socket" => o.socket = PathBuf::from(need("--socket")?),
+            "--topo" => o.topo_file = Some(need("--topo")?),
+            "--json" => o.json = true,
+            "--algorithm" => o.algorithm = need("--algorithm")?,
+            "--steering" => {
+                o.steering = match need("--steering")?.as_str() {
+                    "proactive" => SteeringMode::Proactive,
+                    "reactive" => SteeringMode::Reactive,
+                    other => return Err(format!("unknown steering mode {other:?}")),
+                }
+            }
+            "--seed" => o.seed = need("--seed")?.parse().map_err(|_| "bad seed")?,
+            "--tick-ms" => o.tick_ms = need("--tick-ms")?.parse().map_err(|_| "bad tick-ms")?,
+            "--artifacts" => o.artifacts = Some(PathBuf::from(need("--artifacts")?)),
+            "--admission" => {
+                let v = need("--admission")?;
+                let parts: Vec<&str> = v.split(':').collect();
+                if parts.len() < 2 {
+                    return Err(format!("--admission {v:?}: need SOFT:HARD"));
+                }
+                let default = AdmissionConfig::default();
+                o.admission = Some(AdmissionConfig {
+                    soft_watermark: parts[0]
+                        .parse()
+                        .map_err(|_| format!("bad soft watermark in {v:?}"))?,
+                    hard_watermark: parts[1]
+                        .parse()
+                        .map_err(|_| format!("bad hard watermark in {v:?}"))?,
+                    max_queue: parts
+                        .get(2)
+                        .map_or(Ok(default.max_queue), |s| s.parse())
+                        .map_err(|_| format!("bad queue size in {v:?}"))?,
+                    max_retries: parts
+                        .get(3)
+                        .map_or(Ok(default.max_retries), |s| s.parse())
+                        .map_err(|_| format!("bad retry budget in {v:?}"))?,
+                });
+            }
+            "--flight-recorder" => {
+                o.flight_recorder = need("--flight-recorder")?
+                    .parse()
+                    .map_err(|_| "bad flight-recorder capacity")?
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(o)
+}
+
+/// Builds the session and serves it until shutdown. `handle_signals`
+/// should be true for a real daemon process and false for in-process
+/// (test) servers.
+pub fn run_daemon(o: DaemonOptions, handle_signals: bool) -> Result<(), String> {
+    let topo = match &o.topo_file {
+        Some(file) => {
+            let src = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let format = if o.json {
+                InputFormat::Json
+            } else {
+                InputFormat::from_path(file)
+            };
+            parse_topology_text(&src, format)?
+        }
+        None => escape::session::demo_topology(),
+    };
+    let session = Session::new(
+        topo,
+        SessionConfig {
+            algorithm: o.algorithm.clone(),
+            steering: o.steering,
+            seed: o.seed,
+            admission: o.admission,
+            flight_recorder: if o.flight_recorder > 0 {
+                Some(o.flight_recorder)
+            } else {
+                None
+            },
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "escaped: serving on {} (algorithm={} seed={} tick_ms={})",
+        o.socket.display(),
+        o.algorithm,
+        o.seed,
+        o.tick_ms
+    );
+    Daemon::run(
+        session,
+        DaemonConfig {
+            socket: o.socket,
+            tick_ms: o.tick_ms,
+            artifacts: o.artifacts,
+            handle_signals,
+        },
+    )
+    .map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<DaemonOptions, String> {
+        parse_daemon_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.socket, PathBuf::from("escaped.sock"));
+        assert_eq!(o.tick_ms, 0);
+        assert!(o.admission.is_none());
+
+        let o = parse(&[
+            "--socket",
+            "/tmp/e.sock",
+            "--seed",
+            "9",
+            "--tick-ms",
+            "5",
+            "--admission",
+            "0.5:0.8:4:2",
+            "--flight-recorder",
+            "0",
+        ])
+        .unwrap();
+        assert_eq!(o.socket, PathBuf::from("/tmp/e.sock"));
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.tick_ms, 5);
+        let a = o.admission.unwrap();
+        assert_eq!(a.soft_watermark, 0.5);
+        assert_eq!(a.hard_watermark, 0.8);
+        assert_eq!(a.max_queue, 4);
+        assert_eq!(a.max_retries, 2);
+        assert_eq!(o.flight_recorder, 0);
+    }
+
+    #[test]
+    fn bad_options_are_rejected() {
+        assert!(parse(&["--admission", "0.5"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # escape-ctl
+//!
+//! The ESCAPE-RS control plane: a typed request/response protocol over
+//! length-prefixed JSON frames on a unix socket, the [`server::Daemon`]
+//! that serves a live [`escape::Session`] behind it, and the
+//! [`client::CtlClient`] that `escape ctl` drives it with.
+//!
+//! Layering:
+//!
+//! * [`proto`] — [`CtlRequest`] / [`CtlResponse`] / [`CtlError`], the
+//!   wire vocabulary. Everything round-trips through `escape-json`.
+//! * [`frame`] — 4-byte big-endian length prefix + JSON payload.
+//! * [`client`] — blocking unix-socket client, one response per request.
+//! * [`server`] — the `escaped` daemon core: accept/reader threads funnel
+//!   commands through one queue into the environment loop, so admission
+//!   control backpressures external callers exactly like in-process ones.
+
+pub mod client;
+pub mod frame;
+pub mod launch;
+pub mod proto;
+pub mod server;
+
+pub use client::CtlClient;
+pub use frame::{read_frame, write_frame, MAX_FRAME};
+pub use proto::{
+    ChainInfo, CtlError, CtlRequest, CtlResponse, DeployInfo, MetricsFormat, SgFormat, SlaInfo,
+    StatusInfo,
+};
+pub use server::{Daemon, DaemonConfig};

@@ -1,0 +1,854 @@
+//! The typed control-plane protocol: requests, responses and structured
+//! errors, all round-tripping through `escape-json`.
+//!
+//! Every message on the wire is one length-prefixed frame (see
+//! [`crate::frame`]) holding a single JSON object. Requests carry a
+//! `"verb"` discriminator, responses a `"kind"`, errors a `"code"` — so
+//! a client can always dispatch without guessing at field presence.
+
+use escape_json::Value;
+
+/// Exposition format for the `metrics` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    Prometheus,
+    Json,
+}
+
+impl MetricsFormat {
+    fn label(self) -> &'static str {
+        match self {
+            MetricsFormat::Prometheus => "prometheus",
+            MetricsFormat::Json => "json",
+        }
+    }
+
+    fn parse(s: &str) -> Result<MetricsFormat, CtlError> {
+        match s {
+            "prometheus" => Ok(MetricsFormat::Prometheus),
+            "json" => Ok(MetricsFormat::Json),
+            other => Err(CtlError::Invalid {
+                reason: format!("unknown metrics format {other:?}"),
+            }),
+        }
+    }
+}
+
+/// Text format of a shipped service-graph document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SgFormat {
+    Dsl,
+    Json,
+}
+
+impl SgFormat {
+    fn label(self) -> &'static str {
+        match self {
+            SgFormat::Dsl => "dsl",
+            SgFormat::Json => "json",
+        }
+    }
+
+    fn parse(s: &str) -> Result<SgFormat, CtlError> {
+        match s {
+            "dsl" => Ok(SgFormat::Dsl),
+            "json" => Ok(SgFormat::Json),
+            other => Err(CtlError::Invalid {
+                reason: format!("unknown service-graph format {other:?}"),
+            }),
+        }
+    }
+}
+
+/// A command sent to the daemon. The file-based verbs (`deploy`,
+/// `fault`) ship the document *contents*, not a path — the daemon never
+/// reads the client's filesystem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtlRequest {
+    /// Live chains, virtual time, counters.
+    Status,
+    /// Deploy a service graph (transactional, admission-gated).
+    Deploy { sg: String, format: SgFormat },
+    /// Tear one chain down (all-or-nothing).
+    Teardown { chain: String },
+    /// Advance virtual time with self-healing.
+    RunFor { ms: u64 },
+    /// Arm a JSON fault plan.
+    Fault { plan: String },
+    /// Run one healing pass now.
+    Heal,
+    /// Telemetry exposition.
+    Metrics { format: MetricsFormat },
+    /// Per-chain SLA verdicts from the flight recorder.
+    Sla,
+    /// Start a paced UDP stream between two SAPs.
+    Traffic {
+        from: String,
+        to: String,
+        frames: u64,
+        len: u64,
+        interval_us: u64,
+    },
+    /// Graceful daemon shutdown (teardown + telemetry flush).
+    Shutdown,
+}
+
+/// One live chain as reported by `status` and `deploy`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainInfo {
+    pub name: String,
+    pub cookie: u64,
+    pub rules: u64,
+    /// `(vnf_name, container)` in placement order.
+    pub vnfs: Vec<(String, String)>,
+}
+
+/// The `status` document. Everything here derives from virtual time and
+/// deterministic counters: same seed + same command script ⇒
+/// byte-identical encoding.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatusInfo {
+    pub now_ns: u64,
+    pub chains: Vec<ChainInfo>,
+    pub pending_admissions: u64,
+    pub utilization: f64,
+    pub deploys: u64,
+    pub deploy_failures: u64,
+    pub teardowns: u64,
+    pub recoveries: u64,
+    pub recovery_failures: u64,
+    pub rollbacks: u64,
+    pub admission_rejected: u64,
+    pub events: u64,
+}
+
+/// What a completed deploy reports (virtual-time phase latencies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployInfo {
+    pub chains: Vec<ChainInfo>,
+    pub total_ns: u64,
+    pub netconf_ns: u64,
+    pub steering_ns: u64,
+}
+
+/// One chain's SLA verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlaInfo {
+    pub chain: String,
+    pub pass: bool,
+    pub delivered: u64,
+    pub dropped: u64,
+    pub loss: f64,
+    pub max_latency_ns: Option<u64>,
+    pub violations: Vec<String>,
+}
+
+/// What the daemon answers. Every request gets exactly one response
+/// frame; failures are [`CtlResponse::Error`] with a typed
+/// [`CtlError`] — the connection stays open either way.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtlResponse {
+    Status(StatusInfo),
+    Deployed(DeployInfo),
+    /// Admission parked the deploy on the queue; it retries as virtual
+    /// time advances.
+    Queued {
+        position: u64,
+        utilization: f64,
+    },
+    ToreDown {
+        chain: String,
+    },
+    Advanced {
+        now_ns: u64,
+    },
+    FaultArmed {
+        events: u64,
+    },
+    Healed {
+        recoveries: u64,
+        failures: u64,
+    },
+    Metrics {
+        format: MetricsFormat,
+        body: String,
+    },
+    Sla(Vec<SlaInfo>),
+    TrafficStarted,
+    ShuttingDown,
+    Error(CtlError),
+}
+
+/// Structured control-plane failure. `Malformed` carries the byte
+/// offset into the offending frame payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtlError {
+    /// The request frame was not a valid protocol message.
+    Malformed { offset: u64, reason: String },
+    /// Valid JSON, but not a verb this daemon speaks.
+    UnknownVerb { verb: String },
+    /// A named entity (chain, SAP, ...) does not exist.
+    NotFound { what: String },
+    /// Admission control refused outright: utilization at or above the
+    /// hard watermark.
+    RejectedHard {
+        utilization: f64,
+        hard_watermark: f64,
+    },
+    /// The admission queue is full.
+    QueueFull { capacity: u64 },
+    /// A deployment transaction failed and was rolled back.
+    DeployFailed { phase: String, cause: String },
+    /// The request was well-formed but semantically wrong.
+    Invalid { reason: String },
+    /// The daemon is shutting down and no longer executes commands.
+    ShuttingDown,
+    /// Anything else (environment-level failure).
+    Internal { reason: String },
+}
+
+impl std::fmt::Display for CtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtlError::Malformed { offset, reason } => {
+                write!(f, "malformed request: {reason} at byte {offset}")
+            }
+            CtlError::UnknownVerb { verb } => write!(f, "unknown verb {verb:?}"),
+            CtlError::NotFound { what } => write!(f, "not found: {what}"),
+            CtlError::RejectedHard {
+                utilization,
+                hard_watermark,
+            } => write!(
+                f,
+                "rejected: utilization {utilization:.2} >= hard watermark {hard_watermark:.2}"
+            ),
+            CtlError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} waiting)")
+            }
+            CtlError::DeployFailed { phase, cause } => {
+                write!(f, "deploy failed in {phase}: {cause}")
+            }
+            CtlError::Invalid { reason } => write!(f, "invalid request: {reason}"),
+            CtlError::ShuttingDown => write!(f, "daemon is shutting down"),
+            CtlError::Internal { reason } => write!(f, "internal error: {reason}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// encoding
+// ---------------------------------------------------------------------
+
+fn str_field(v: &Value, key: &str) -> Result<String, CtlError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| CtlError::Invalid {
+            reason: format!("missing string field {key:?}"),
+        })
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, CtlError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| CtlError::Invalid {
+            reason: format!("missing integer field {key:?}"),
+        })
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, CtlError> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| CtlError::Invalid {
+            reason: format!("missing number field {key:?}"),
+        })
+}
+
+fn bool_field(v: &Value, key: &str) -> Result<bool, CtlError> {
+    v.get(key)
+        .and_then(Value::as_bool)
+        .ok_or_else(|| CtlError::Invalid {
+            reason: format!("missing boolean field {key:?}"),
+        })
+}
+
+fn arr_field<'v>(v: &'v Value, key: &str) -> Result<&'v [Value], CtlError> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| CtlError::Invalid {
+            reason: format!("missing array field {key:?}"),
+        })
+}
+
+impl CtlRequest {
+    pub fn to_value(&self) -> Value {
+        match self {
+            CtlRequest::Status => Value::obj().set("verb", "status"),
+            CtlRequest::Deploy { sg, format } => Value::obj()
+                .set("verb", "deploy")
+                .set("sg", sg.as_str())
+                .set("format", format.label()),
+            CtlRequest::Teardown { chain } => Value::obj()
+                .set("verb", "teardown")
+                .set("chain", chain.as_str()),
+            CtlRequest::RunFor { ms } => Value::obj().set("verb", "run-for").set("ms", *ms),
+            CtlRequest::Fault { plan } => {
+                Value::obj().set("verb", "fault").set("plan", plan.as_str())
+            }
+            CtlRequest::Heal => Value::obj().set("verb", "heal"),
+            CtlRequest::Metrics { format } => Value::obj()
+                .set("verb", "metrics")
+                .set("format", format.label()),
+            CtlRequest::Sla => Value::obj().set("verb", "sla"),
+            CtlRequest::Traffic {
+                from,
+                to,
+                frames,
+                len,
+                interval_us,
+            } => Value::obj()
+                .set("verb", "traffic")
+                .set("from", from.as_str())
+                .set("to", to.as_str())
+                .set("frames", *frames)
+                .set("len", *len)
+                .set("interval_us", *interval_us),
+            CtlRequest::Shutdown => Value::obj().set("verb", "shutdown"),
+        }
+    }
+
+    pub fn from_value(v: &Value) -> Result<CtlRequest, CtlError> {
+        let verb = str_field(v, "verb")?;
+        match verb.as_str() {
+            "status" => Ok(CtlRequest::Status),
+            "deploy" => Ok(CtlRequest::Deploy {
+                sg: str_field(v, "sg")?,
+                format: SgFormat::parse(&str_field(v, "format")?)?,
+            }),
+            "teardown" => Ok(CtlRequest::Teardown {
+                chain: str_field(v, "chain")?,
+            }),
+            "run-for" => Ok(CtlRequest::RunFor {
+                ms: u64_field(v, "ms")?,
+            }),
+            "fault" => Ok(CtlRequest::Fault {
+                plan: str_field(v, "plan")?,
+            }),
+            "heal" => Ok(CtlRequest::Heal),
+            "metrics" => Ok(CtlRequest::Metrics {
+                format: MetricsFormat::parse(&str_field(v, "format")?)?,
+            }),
+            "sla" => Ok(CtlRequest::Sla),
+            "traffic" => Ok(CtlRequest::Traffic {
+                from: str_field(v, "from")?,
+                to: str_field(v, "to")?,
+                frames: u64_field(v, "frames")?,
+                len: u64_field(v, "len")?,
+                interval_us: u64_field(v, "interval_us")?,
+            }),
+            "shutdown" => Ok(CtlRequest::Shutdown),
+            _ => Err(CtlError::UnknownVerb { verb }),
+        }
+    }
+
+    pub fn encode(&self) -> String {
+        self.to_value().to_string()
+    }
+
+    pub fn decode(src: &str) -> Result<CtlRequest, CtlError> {
+        let v = Value::parse_detailed(src).map_err(|e| CtlError::Malformed {
+            offset: e.offset as u64,
+            reason: e.message,
+        })?;
+        CtlRequest::from_value(&v)
+    }
+}
+
+impl ChainInfo {
+    fn to_value(&self) -> Value {
+        Value::obj()
+            .set("name", self.name.as_str())
+            .set("cookie", self.cookie)
+            .set("rules", self.rules)
+            .set(
+                "vnfs",
+                Value::Arr(
+                    self.vnfs
+                        .iter()
+                        .map(|(name, container)| {
+                            Value::obj()
+                                .set("name", name.as_str())
+                                .set("container", container.as_str())
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
+    fn from_value(v: &Value) -> Result<ChainInfo, CtlError> {
+        let vnfs = arr_field(v, "vnfs")?
+            .iter()
+            .map(|e| Ok((str_field(e, "name")?, str_field(e, "container")?)))
+            .collect::<Result<Vec<_>, CtlError>>()?;
+        Ok(ChainInfo {
+            name: str_field(v, "name")?,
+            cookie: u64_field(v, "cookie")?,
+            rules: u64_field(v, "rules")?,
+            vnfs,
+        })
+    }
+}
+
+impl StatusInfo {
+    fn to_value(&self) -> Value {
+        Value::obj()
+            .set("now_ns", self.now_ns)
+            .set(
+                "chains",
+                Value::Arr(self.chains.iter().map(ChainInfo::to_value).collect()),
+            )
+            .set("pending_admissions", self.pending_admissions)
+            .set("utilization", self.utilization)
+            .set("deploys", self.deploys)
+            .set("deploy_failures", self.deploy_failures)
+            .set("teardowns", self.teardowns)
+            .set("recoveries", self.recoveries)
+            .set("recovery_failures", self.recovery_failures)
+            .set("rollbacks", self.rollbacks)
+            .set("admission_rejected", self.admission_rejected)
+            .set("events", self.events)
+    }
+
+    fn from_value(v: &Value) -> Result<StatusInfo, CtlError> {
+        Ok(StatusInfo {
+            now_ns: u64_field(v, "now_ns")?,
+            chains: arr_field(v, "chains")?
+                .iter()
+                .map(ChainInfo::from_value)
+                .collect::<Result<Vec<_>, _>>()?,
+            pending_admissions: u64_field(v, "pending_admissions")?,
+            utilization: f64_field(v, "utilization")?,
+            deploys: u64_field(v, "deploys")?,
+            deploy_failures: u64_field(v, "deploy_failures")?,
+            teardowns: u64_field(v, "teardowns")?,
+            recoveries: u64_field(v, "recoveries")?,
+            recovery_failures: u64_field(v, "recovery_failures")?,
+            rollbacks: u64_field(v, "rollbacks")?,
+            admission_rejected: u64_field(v, "admission_rejected")?,
+            events: u64_field(v, "events")?,
+        })
+    }
+}
+
+impl CtlError {
+    pub fn to_value(&self) -> Value {
+        match self {
+            CtlError::Malformed { offset, reason } => Value::obj()
+                .set("code", "malformed")
+                .set("offset", *offset)
+                .set("reason", reason.as_str()),
+            CtlError::UnknownVerb { verb } => Value::obj()
+                .set("code", "unknown-verb")
+                .set("req_verb", verb.as_str()),
+            CtlError::NotFound { what } => Value::obj()
+                .set("code", "not-found")
+                .set("what", what.as_str()),
+            CtlError::RejectedHard {
+                utilization,
+                hard_watermark,
+            } => Value::obj()
+                .set("code", "rejected-hard")
+                .set("utilization", *utilization)
+                .set("hard_watermark", *hard_watermark),
+            CtlError::QueueFull { capacity } => Value::obj()
+                .set("code", "queue-full")
+                .set("capacity", *capacity),
+            CtlError::DeployFailed { phase, cause } => Value::obj()
+                .set("code", "deploy-failed")
+                .set("phase", phase.as_str())
+                .set("cause", cause.as_str()),
+            CtlError::Invalid { reason } => Value::obj()
+                .set("code", "invalid")
+                .set("reason", reason.as_str()),
+            CtlError::ShuttingDown => Value::obj().set("code", "shutting-down"),
+            CtlError::Internal { reason } => Value::obj()
+                .set("code", "internal")
+                .set("reason", reason.as_str()),
+        }
+    }
+
+    pub fn from_value(v: &Value) -> Result<CtlError, CtlError> {
+        let code = str_field(v, "code")?;
+        match code.as_str() {
+            "malformed" => Ok(CtlError::Malformed {
+                offset: u64_field(v, "offset")?,
+                reason: str_field(v, "reason")?,
+            }),
+            "unknown-verb" => Ok(CtlError::UnknownVerb {
+                verb: str_field(v, "req_verb")?,
+            }),
+            "not-found" => Ok(CtlError::NotFound {
+                what: str_field(v, "what")?,
+            }),
+            "rejected-hard" => Ok(CtlError::RejectedHard {
+                utilization: f64_field(v, "utilization")?,
+                hard_watermark: f64_field(v, "hard_watermark")?,
+            }),
+            "queue-full" => Ok(CtlError::QueueFull {
+                capacity: u64_field(v, "capacity")?,
+            }),
+            "deploy-failed" => Ok(CtlError::DeployFailed {
+                phase: str_field(v, "phase")?,
+                cause: str_field(v, "cause")?,
+            }),
+            "invalid" => Ok(CtlError::Invalid {
+                reason: str_field(v, "reason")?,
+            }),
+            "shutting-down" => Ok(CtlError::ShuttingDown),
+            "internal" => Ok(CtlError::Internal {
+                reason: str_field(v, "reason")?,
+            }),
+            other => Err(CtlError::Invalid {
+                reason: format!("unknown error code {other:?}"),
+            }),
+        }
+    }
+}
+
+impl CtlResponse {
+    pub fn to_value(&self) -> Value {
+        match self {
+            CtlResponse::Status(s) => Value::obj()
+                .set("kind", "status")
+                .set("status", s.to_value()),
+            CtlResponse::Deployed(d) => Value::obj()
+                .set("kind", "deployed")
+                .set(
+                    "chains",
+                    Value::Arr(d.chains.iter().map(ChainInfo::to_value).collect()),
+                )
+                .set("total_ns", d.total_ns)
+                .set("netconf_ns", d.netconf_ns)
+                .set("steering_ns", d.steering_ns),
+            CtlResponse::Queued {
+                position,
+                utilization,
+            } => Value::obj()
+                .set("kind", "queued")
+                .set("position", *position)
+                .set("utilization", *utilization),
+            CtlResponse::ToreDown { chain } => Value::obj()
+                .set("kind", "torn-down")
+                .set("chain", chain.as_str()),
+            CtlResponse::Advanced { now_ns } => {
+                Value::obj().set("kind", "advanced").set("now_ns", *now_ns)
+            }
+            CtlResponse::FaultArmed { events } => Value::obj()
+                .set("kind", "fault-armed")
+                .set("events", *events),
+            CtlResponse::Healed {
+                recoveries,
+                failures,
+            } => Value::obj()
+                .set("kind", "healed")
+                .set("recoveries", *recoveries)
+                .set("failures", *failures),
+            CtlResponse::Metrics { format, body } => Value::obj()
+                .set("kind", "metrics")
+                .set("format", format.label())
+                .set("body", body.as_str()),
+            CtlResponse::Sla(verdicts) => Value::obj().set("kind", "sla").set(
+                "verdicts",
+                Value::Arr(
+                    verdicts
+                        .iter()
+                        .map(|s| {
+                            Value::obj()
+                                .set("chain", s.chain.as_str())
+                                .set("pass", s.pass)
+                                .set("delivered", s.delivered)
+                                .set("dropped", s.dropped)
+                                .set("loss", s.loss)
+                                .set("max_latency_ns", s.max_latency_ns)
+                                .set(
+                                    "violations",
+                                    Value::Arr(
+                                        s.violations
+                                            .iter()
+                                            .map(|v| Value::Str(v.clone()))
+                                            .collect(),
+                                    ),
+                                )
+                        })
+                        .collect(),
+                ),
+            ),
+            CtlResponse::TrafficStarted => Value::obj().set("kind", "traffic-started"),
+            CtlResponse::ShuttingDown => Value::obj().set("kind", "shutting-down"),
+            CtlResponse::Error(e) => Value::obj().set("kind", "error").set("error", e.to_value()),
+        }
+    }
+
+    pub fn from_value(v: &Value) -> Result<CtlResponse, CtlError> {
+        let kind = str_field(v, "kind")?;
+        match kind.as_str() {
+            "status" => {
+                let s = v.get("status").ok_or_else(|| CtlError::Invalid {
+                    reason: "missing field \"status\"".into(),
+                })?;
+                Ok(CtlResponse::Status(StatusInfo::from_value(s)?))
+            }
+            "deployed" => Ok(CtlResponse::Deployed(DeployInfo {
+                chains: arr_field(v, "chains")?
+                    .iter()
+                    .map(ChainInfo::from_value)
+                    .collect::<Result<Vec<_>, _>>()?,
+                total_ns: u64_field(v, "total_ns")?,
+                netconf_ns: u64_field(v, "netconf_ns")?,
+                steering_ns: u64_field(v, "steering_ns")?,
+            })),
+            "queued" => Ok(CtlResponse::Queued {
+                position: u64_field(v, "position")?,
+                utilization: f64_field(v, "utilization")?,
+            }),
+            "torn-down" => Ok(CtlResponse::ToreDown {
+                chain: str_field(v, "chain")?,
+            }),
+            "advanced" => Ok(CtlResponse::Advanced {
+                now_ns: u64_field(v, "now_ns")?,
+            }),
+            "fault-armed" => Ok(CtlResponse::FaultArmed {
+                events: u64_field(v, "events")?,
+            }),
+            "healed" => Ok(CtlResponse::Healed {
+                recoveries: u64_field(v, "recoveries")?,
+                failures: u64_field(v, "failures")?,
+            }),
+            "metrics" => Ok(CtlResponse::Metrics {
+                format: MetricsFormat::parse(&str_field(v, "format")?)?,
+                body: str_field(v, "body")?,
+            }),
+            "sla" => {
+                let verdicts = arr_field(v, "verdicts")?
+                    .iter()
+                    .map(|s| {
+                        Ok(SlaInfo {
+                            chain: str_field(s, "chain")?,
+                            pass: bool_field(s, "pass")?,
+                            delivered: u64_field(s, "delivered")?,
+                            dropped: u64_field(s, "dropped")?,
+                            loss: f64_field(s, "loss")?,
+                            max_latency_ns: s.get("max_latency_ns").and_then(Value::as_u64),
+                            violations: arr_field(s, "violations")?
+                                .iter()
+                                .map(|x| {
+                                    x.as_str().map(str::to_string).ok_or(CtlError::Invalid {
+                                        reason: "violation is not a string".into(),
+                                    })
+                                })
+                                .collect::<Result<Vec<_>, _>>()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, CtlError>>()?;
+                Ok(CtlResponse::Sla(verdicts))
+            }
+            "traffic-started" => Ok(CtlResponse::TrafficStarted),
+            "shutting-down" => Ok(CtlResponse::ShuttingDown),
+            "error" => {
+                let e = v.get("error").ok_or_else(|| CtlError::Invalid {
+                    reason: "missing field \"error\"".into(),
+                })?;
+                Ok(CtlResponse::Error(CtlError::from_value(e)?))
+            }
+            other => Err(CtlError::Invalid {
+                reason: format!("unknown response kind {other:?}"),
+            }),
+        }
+    }
+
+    pub fn encode(&self) -> String {
+        self.to_value().to_string()
+    }
+
+    pub fn decode(src: &str) -> Result<CtlResponse, CtlError> {
+        let v = Value::parse_detailed(src).map_err(|e| CtlError::Malformed {
+            offset: e.offset as u64,
+            reason: e.message,
+        })?;
+        CtlResponse::from_value(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: CtlRequest) {
+        let text = req.encode();
+        let back = CtlRequest::decode(&text).unwrap();
+        assert_eq!(req, back, "wire text: {text}");
+    }
+
+    fn round_trip_response(resp: CtlResponse) {
+        let text = resp.encode();
+        let back = CtlResponse::decode(&text).unwrap();
+        assert_eq!(resp, back, "wire text: {text}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(CtlRequest::Status);
+        round_trip_request(CtlRequest::Deploy {
+            sg: "{\"chains\": []}".into(),
+            format: SgFormat::Json,
+        });
+        round_trip_request(CtlRequest::Deploy {
+            sg: "sap a b\nchain c = a -> b bw=1".into(),
+            format: SgFormat::Dsl,
+        });
+        round_trip_request(CtlRequest::Teardown {
+            chain: "demo".into(),
+        });
+        round_trip_request(CtlRequest::RunFor { ms: 250 });
+        round_trip_request(CtlRequest::Fault {
+            plan: "{\"events\": []}".into(),
+        });
+        round_trip_request(CtlRequest::Heal);
+        round_trip_request(CtlRequest::Metrics {
+            format: MetricsFormat::Prometheus,
+        });
+        round_trip_request(CtlRequest::Metrics {
+            format: MetricsFormat::Json,
+        });
+        round_trip_request(CtlRequest::Sla);
+        round_trip_request(CtlRequest::Traffic {
+            from: "sap0".into(),
+            to: "sap1".into(),
+            frames: 20,
+            len: 128,
+            interval_us: 200,
+        });
+        round_trip_request(CtlRequest::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let chain = ChainInfo {
+            name: "demo".into(),
+            cookie: 7,
+            rules: 4,
+            vnfs: vec![("fw".into(), "c1".into()), ("mon".into(), "c2".into())],
+        };
+        round_trip_response(CtlResponse::Status(StatusInfo {
+            now_ns: 5_000_000,
+            chains: vec![chain.clone()],
+            pending_admissions: 1,
+            utilization: 0.25,
+            deploys: 3,
+            deploy_failures: 1,
+            teardowns: 2,
+            recoveries: 1,
+            recovery_failures: 0,
+            rollbacks: 1,
+            admission_rejected: 2,
+            events: 9,
+        }));
+        round_trip_response(CtlResponse::Deployed(DeployInfo {
+            chains: vec![chain],
+            total_ns: 1_000,
+            netconf_ns: 700,
+            steering_ns: 300,
+        }));
+        round_trip_response(CtlResponse::Queued {
+            position: 0,
+            utilization: 0.9,
+        });
+        round_trip_response(CtlResponse::ToreDown {
+            chain: "demo".into(),
+        });
+        round_trip_response(CtlResponse::Advanced { now_ns: 42 });
+        round_trip_response(CtlResponse::FaultArmed { events: 3 });
+        round_trip_response(CtlResponse::Healed {
+            recoveries: 2,
+            failures: 1,
+        });
+        round_trip_response(CtlResponse::Metrics {
+            format: MetricsFormat::Prometheus,
+            body: "# TYPE x counter\nx 1\n".into(),
+        });
+        round_trip_response(CtlResponse::Sla(vec![SlaInfo {
+            chain: "demo".into(),
+            pass: false,
+            delivered: 18,
+            dropped: 2,
+            loss: 0.1,
+            max_latency_ns: Some(1_234_567),
+            violations: vec!["latency 1.2ms > 1.0ms".into()],
+        }]));
+        round_trip_response(CtlResponse::Sla(vec![SlaInfo {
+            chain: "quiet".into(),
+            pass: true,
+            delivered: 0,
+            dropped: 0,
+            loss: 0.0,
+            max_latency_ns: None,
+            violations: vec![],
+        }]));
+        round_trip_response(CtlResponse::TrafficStarted);
+        round_trip_response(CtlResponse::ShuttingDown);
+    }
+
+    #[test]
+    fn errors_round_trip() {
+        for e in [
+            CtlError::Malformed {
+                offset: 17,
+                reason: "expected ',' or '}'".into(),
+            },
+            CtlError::UnknownVerb {
+                verb: "resize".into(),
+            },
+            CtlError::NotFound {
+                what: "chain ghost".into(),
+            },
+            CtlError::RejectedHard {
+                utilization: 0.97,
+                hard_watermark: 0.95,
+            },
+            CtlError::QueueFull { capacity: 8 },
+            CtlError::DeployFailed {
+                phase: "prepare".into(),
+                cause: "rpc to c1 timed out".into(),
+            },
+            CtlError::Invalid {
+                reason: "missing field".into(),
+            },
+            CtlError::ShuttingDown,
+            CtlError::Internal {
+                reason: "boom".into(),
+            },
+        ] {
+            round_trip_response(CtlResponse::Error(e));
+        }
+    }
+
+    #[test]
+    fn malformed_request_carries_offset() {
+        let err = CtlRequest::decode("{\"verb\": nope}").unwrap_err();
+        match err {
+            CtlError::Malformed { offset, .. } => assert_eq!(offset, 9),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_verb_is_typed() {
+        let err = CtlRequest::decode("{\"verb\": \"dance\"}").unwrap_err();
+        assert_eq!(
+            err,
+            CtlError::UnknownVerb {
+                verb: "dance".into()
+            }
+        );
+    }
+}

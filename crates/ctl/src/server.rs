@@ -1,0 +1,418 @@
+//! The `escaped` daemon core: one live [`Session`] behind a unix socket.
+//!
+//! Concurrency model: an accept thread hands each connection to its own
+//! reader thread, but every decoded request funnels through ONE mpsc
+//! channel into the environment loop on the calling thread. That queue is
+//! the serialization point — commands execute strictly one at a time
+//! against the session, so admission control (soft/hard watermarks,
+//! bounded queue) applies its backpressure to external callers exactly as
+//! it does in-process: a hard-rejected deploy comes back as a framed
+//! [`CtlError::RejectedHard`], never a dropped connection.
+//!
+//! Virtual time only advances when a client asks (`run-for`) unless
+//! `tick_ms > 0` opts into background ticks — the default keeps same-seed
+//! daemon runs byte-identical regardless of wall-clock scheduling.
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{
+    ChainInfo, CtlError, CtlRequest, CtlResponse, DeployInfo, MetricsFormat, SlaInfo, StatusInfo,
+};
+use escape::env::DeploymentReport;
+use escape::error::{AdmissionVerdict, EscapeError};
+use escape::flight::SlaVerdict;
+use escape::session::{InputFormat, SessionStatus};
+use escape::Session;
+use std::fs;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+/// POSIX signal plumbing without a libc dependency: `signal(2)` is
+/// declared directly and the handler only touches an atomic flag, which
+/// is all an async-signal-safe handler may do anyway.
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Routes SIGINT and SIGTERM to the shutdown flag.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    /// True once a termination signal arrived.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+/// How to run the daemon.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Unix socket to listen on.
+    pub socket: PathBuf,
+    /// Virtual milliseconds to advance per idle poll interval; `0`
+    /// (the default) advances time only on explicit `run-for` commands
+    /// so same-seed runs stay byte-identical.
+    pub tick_ms: u64,
+    /// Directory to flush final telemetry into on shutdown
+    /// (`metrics.prom` + `metrics.json`); `None` skips the flush.
+    pub artifacts: Option<PathBuf>,
+    /// Install SIGINT/SIGTERM handlers. In-process test daemons leave
+    /// this off so they don't hijack the test runner's signals.
+    pub handle_signals: bool,
+}
+
+impl DaemonConfig {
+    pub fn new(socket: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            socket: socket.into(),
+            tick_ms: 0,
+            artifacts: None,
+            handle_signals: false,
+        }
+    }
+}
+
+type Command = (CtlRequest, mpsc::Sender<CtlResponse>);
+
+/// The daemon entry point. [`Daemon::run`] blocks the calling thread as
+/// the environment loop until a `shutdown` verb or a termination signal
+/// arrives, then tears down gracefully.
+pub struct Daemon;
+
+impl Daemon {
+    /// Serves `session` on `cfg.socket` until shutdown. On exit every
+    /// live chain is torn down transactionally, telemetry is flushed to
+    /// `cfg.artifacts` if set, and the socket file is removed.
+    pub fn run(mut session: Session, cfg: DaemonConfig) -> io::Result<()> {
+        let listener = bind(&cfg.socket)?;
+        listener.set_nonblocking(true)?;
+        if cfg.handle_signals {
+            sig::install();
+        }
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<Command>();
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || accept_loop(listener, tx, shutdown))
+        };
+
+        loop {
+            if cfg.handle_signals && sig::requested() {
+                break;
+            }
+            match rx.recv_timeout(Duration::from_millis(25)) {
+                Ok((CtlRequest::Shutdown, reply)) => {
+                    let _ = reply.send(CtlResponse::ShuttingDown);
+                    break;
+                }
+                Ok((req, reply)) => {
+                    let _ = reply.send(execute(&mut session, &req));
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if cfg.tick_ms > 0 {
+                        session.run_for_ms(cfg.tick_ms);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        // Stop accepting, refuse anything already queued, then dismantle.
+        shutdown.store(true, Ordering::SeqCst);
+        while let Ok((_req, reply)) = rx.try_recv() {
+            let _ = reply.send(CtlResponse::Error(CtlError::ShuttingDown));
+        }
+        let failed = session.teardown_all();
+        for (chain, e) in &failed {
+            eprintln!("escaped: teardown of {chain} on shutdown failed: {e}");
+        }
+        if let Some(dir) = &cfg.artifacts {
+            flush_artifacts(&session, dir)?;
+        }
+        let _ = accept.join();
+        drop(rx);
+        let _ = fs::remove_file(&cfg.socket);
+        Ok(())
+    }
+}
+
+/// Binds the listener, reclaiming a stale socket file left by a crashed
+/// daemon — but refusing to steal one a live daemon still answers on.
+fn bind(path: &Path) -> io::Result<UnixListener> {
+    match UnixListener::bind(path) {
+        Ok(l) => Ok(l),
+        Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+            if UnixStream::connect(path).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("{} is in use by a running daemon", path.display()),
+                ));
+            }
+            fs::remove_file(path)?;
+            UnixListener::bind(path)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn accept_loop(listener: UnixListener, tx: mpsc::Sender<Command>, shutdown: Arc<AtomicBool>) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let _ = stream.set_nonblocking(false);
+                let tx = tx.clone();
+                let shutdown = Arc::clone(&shutdown);
+                thread::spawn(move || connection_loop(stream, tx, shutdown));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// One client connection. Framing or decode failures answer with a typed
+/// error and keep the connection open — only a transport failure (or the
+/// client hanging up) ends the loop.
+fn connection_loop(mut stream: UnixStream, tx: mpsc::Sender<Command>, shutdown: Arc<AtomicBool>) {
+    loop {
+        let bytes = match read_frame(&mut stream) {
+            Ok(Some(b)) => b,
+            Ok(None) | Err(_) => return,
+        };
+        let text = match String::from_utf8(bytes) {
+            Ok(t) => t,
+            Err(e) => {
+                let err = CtlError::Malformed {
+                    offset: e.utf8_error().valid_up_to() as u64,
+                    reason: "payload is not UTF-8".into(),
+                };
+                if reply(&mut stream, CtlResponse::Error(err)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let req = match CtlRequest::decode(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                if reply(&mut stream, CtlResponse::Error(e)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let resp = if shutdown.load(Ordering::SeqCst) || tx.send((req, reply_tx)).is_err() {
+            CtlResponse::Error(CtlError::ShuttingDown)
+        } else {
+            reply_rx
+                .recv()
+                .unwrap_or(CtlResponse::Error(CtlError::ShuttingDown))
+        };
+        if reply(&mut stream, resp).is_err() {
+            return;
+        }
+    }
+}
+
+fn reply(stream: &mut UnixStream, resp: CtlResponse) -> io::Result<()> {
+    write_frame(stream, &resp.encode())
+}
+
+/// Executes one command against the session. Pure dispatch: all policy
+/// (admission, transactions, healing) lives in the session/environment.
+pub fn execute(session: &mut Session, req: &CtlRequest) -> CtlResponse {
+    match req {
+        CtlRequest::Status => CtlResponse::Status(status_info(&session.status())),
+        CtlRequest::Deploy { sg, format } => {
+            let fmt = match format {
+                crate::proto::SgFormat::Dsl => InputFormat::Dsl,
+                crate::proto::SgFormat::Json => InputFormat::Json,
+            };
+            match session.deploy_text(sg, fmt) {
+                Ok(report) => CtlResponse::Deployed(deploy_info(&report)),
+                Err(e) => escape_error_response(e),
+            }
+        }
+        CtlRequest::Teardown { chain } => match session.teardown(chain) {
+            Ok(()) => CtlResponse::ToreDown {
+                chain: chain.clone(),
+            },
+            Err(e) => escape_error_response(e),
+        },
+        CtlRequest::RunFor { ms } => {
+            session.run_for_ms(*ms);
+            CtlResponse::Advanced {
+                now_ns: session.escape().now().as_ns(),
+            }
+        }
+        CtlRequest::Fault { plan } => match session.load_fault_plan_text(plan) {
+            Ok(events) => CtlResponse::FaultArmed {
+                events: events as u64,
+            },
+            Err(e) => escape_error_response(e),
+        },
+        CtlRequest::Heal => {
+            let (recoveries, failures) = session.heal_now();
+            CtlResponse::Healed {
+                recoveries,
+                failures,
+            }
+        }
+        CtlRequest::Metrics { format } => CtlResponse::Metrics {
+            format: *format,
+            body: session.metrics_exposition(matches!(format, MetricsFormat::Json)),
+        },
+        CtlRequest::Sla => CtlResponse::Sla(session.sla_verdicts().iter().map(sla_info).collect()),
+        CtlRequest::Traffic {
+            from,
+            to,
+            frames,
+            len,
+            interval_us,
+        } => match session.start_udp(from, to, *len as usize, *interval_us, *frames) {
+            Ok(()) => CtlResponse::TrafficStarted,
+            Err(e) => escape_error_response(e),
+        },
+        // Handled by the environment loop before dispatch; answered here
+        // too so `execute` is total for direct (in-process) callers.
+        CtlRequest::Shutdown => CtlResponse::ShuttingDown,
+    }
+}
+
+/// Maps an environment failure to its typed wire form. Note that a
+/// *queued* admission verdict is a success shape, not an error: the
+/// deploy retries by itself as virtual time advances.
+fn escape_error_response(e: EscapeError) -> CtlResponse {
+    match e {
+        EscapeError::Admission(v) => match v {
+            AdmissionVerdict::RejectedHard {
+                utilization,
+                hard_watermark,
+            } => CtlResponse::Error(CtlError::RejectedHard {
+                utilization,
+                hard_watermark,
+            }),
+            AdmissionVerdict::Queued {
+                position,
+                utilization,
+            } => CtlResponse::Queued {
+                position: position as u64,
+                utilization,
+            },
+            AdmissionVerdict::QueueFull { capacity } => CtlResponse::Error(CtlError::QueueFull {
+                capacity: capacity as u64,
+            }),
+            v @ AdmissionVerdict::RetriesExhausted { .. } => {
+                CtlResponse::Error(CtlError::Internal {
+                    reason: v.to_string(),
+                })
+            }
+        },
+        EscapeError::DeployFailed { phase, cause, .. } => {
+            CtlResponse::Error(CtlError::DeployFailed {
+                phase: phase.to_string(),
+                cause: cause.to_string(),
+            })
+        }
+        EscapeError::NotFound(what) => CtlResponse::Error(CtlError::NotFound { what }),
+        EscapeError::Invalid(reason) => CtlResponse::Error(CtlError::Invalid { reason }),
+        other => CtlResponse::Error(CtlError::Internal {
+            reason: other.to_string(),
+        }),
+    }
+}
+
+fn status_info(s: &SessionStatus) -> StatusInfo {
+    StatusInfo {
+        now_ns: s.now_ns,
+        chains: s
+            .chains
+            .iter()
+            .map(|c| ChainInfo {
+                name: c.name.clone(),
+                cookie: c.cookie,
+                rules: c.rules,
+                vnfs: c.vnfs.clone(),
+            })
+            .collect(),
+        pending_admissions: s.pending_admissions,
+        utilization: s.utilization,
+        deploys: s.deploys,
+        deploy_failures: s.deploy_failures,
+        teardowns: s.teardowns,
+        recoveries: s.recoveries,
+        recovery_failures: s.recovery_failures,
+        rollbacks: s.rollbacks,
+        admission_rejected: s.admission_rejected,
+        events: s.events,
+    }
+}
+
+fn deploy_info(report: &DeploymentReport) -> DeployInfo {
+    DeployInfo {
+        chains: report
+            .chains
+            .iter()
+            .map(|dc| ChainInfo {
+                name: dc.mapping.chain.name.clone(),
+                cookie: dc.cookie,
+                rules: dc.rules as u64,
+                vnfs: dc
+                    .vnfs
+                    .iter()
+                    .map(|v| (v.vnf_name.clone(), v.container.clone()))
+                    .collect(),
+            })
+            .collect(),
+        total_ns: report.total().as_ns(),
+        netconf_ns: report.netconf_phase().as_ns(),
+        steering_ns: report.steering_phase().as_ns(),
+    }
+}
+
+fn sla_info(v: &SlaVerdict) -> SlaInfo {
+    SlaInfo {
+        chain: v.chain.clone(),
+        pass: v.pass,
+        delivered: v.delivered,
+        dropped: v.dropped,
+        loss: v.loss,
+        max_latency_ns: v.max_latency_ns,
+        violations: v.violations.clone(),
+    }
+}
+
+/// Writes the final telemetry state into `dir` via the session's single
+/// exposition path.
+fn flush_artifacts(session: &Session, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join("metrics.prom"), session.metrics_exposition(false))?;
+    fs::write(dir.join("metrics.json"), session.metrics_exposition(true))?;
+    Ok(())
+}

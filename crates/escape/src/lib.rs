@@ -50,6 +50,7 @@ pub mod error;
 pub mod flight;
 pub mod infra;
 pub mod monitor;
+pub mod session;
 pub mod soak;
 
 pub use container::{VnfContainer, VnfHost};
@@ -57,4 +58,5 @@ pub use domains::MultiDomainEscape;
 pub use env::{AdmissionConfig, DeploymentReport, Escape};
 pub use error::{AdmissionVerdict, DeployPhase, EscapeError, RollbackReport, RollbackStep};
 pub use flight::{FlightRecord, Journey, Outcome, SlaVerdict};
+pub use session::{Session, SessionConfig, SessionStatus};
 pub use soak::{SoakConfig, SoakReport};

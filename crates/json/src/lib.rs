@@ -11,6 +11,29 @@
 //! The parser accepts any RFC 8259 document; the printer emits 2-space
 //! indented output like `serde_json::to_string_pretty`.
 
+/// A parse failure with the byte offset it occurred at. The offset is
+/// into the raw input handed to [`Value::parse_detailed`] — control
+/// planes surface it verbatim so clients can point at the broken byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte position in the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong there.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl From<ParseError> for String {
+    fn from(e: ParseError) -> String {
+        e.to_string()
+    }
+}
+
 /// A JSON document node.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -103,6 +126,12 @@ impl Value {
 
     /// Parses a JSON document (the whole input must be one value).
     pub fn parse(src: &str) -> Result<Value, String> {
+        Value::parse_detailed(src).map_err(|e| e.to_string())
+    }
+
+    /// [`Value::parse`] with a structured error carrying the byte
+    /// offset of the failure.
+    pub fn parse_detailed(src: &str) -> Result<Value, ParseError> {
         let mut p = Parser {
             src: src.as_bytes(),
             pos: 0,
@@ -111,7 +140,7 @@ impl Value {
         let v = p.value()?;
         p.skip_ws();
         if p.pos != p.src.len() {
-            return Err(format!("trailing garbage at byte {}", p.pos));
+            return Err(p.err("trailing garbage"));
         }
         Ok(v)
     }
@@ -263,6 +292,13 @@ struct Parser<'a> {
 }
 
 impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
     fn skip_ws(&mut self) {
         while self.pos < self.src.len()
             && matches!(self.src[self.pos], b' ' | b'\t' | b'\n' | b'\r')
@@ -275,16 +311,16 @@ impl Parser<'_> {
         self.src.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+            Err(self.err(format!("expected {:?}", b as char)))
         }
     }
 
-    fn value(&mut self) -> Result<Value, String> {
+    fn value(&mut self) -> Result<Value, ParseError> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
@@ -293,21 +329,21 @@ impl Parser<'_> {
             Some(b'f') => self.keyword("false", Value::Bool(false)),
             Some(b'n') => self.keyword("null", Value::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            Some(c) => Err(format!("unexpected {:?} at byte {}", c as char, self.pos)),
-            None => Err("unexpected end of input".into()),
+            Some(c) => Err(self.err(format!("unexpected {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
         }
     }
 
-    fn keyword(&mut self, word: &str, v: Value) -> Result<Value, String> {
+    fn keyword(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
         if self.src[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(v)
         } else {
-            Err(format!("bad literal at byte {}", self.pos))
+            Err(self.err("bad literal"))
         }
     }
 
-    fn object(&mut self) -> Result<Value, String> {
+    fn object(&mut self) -> Result<Value, ParseError> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -330,12 +366,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Obj(fields));
                 }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                _ => return Err(self.err("expected ',' or '}'")),
             }
         }
     }
 
-    fn array(&mut self) -> Result<Value, String> {
+    fn array(&mut self) -> Result<Value, ParseError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -353,17 +389,17 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Arr(items));
                 }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                _ => return Err(self.err("expected ',' or ']'")),
             }
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, ParseError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err("unterminated string".into()),
+                None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -383,23 +419,23 @@ impl Parser<'_> {
                             let hex = self
                                 .src
                                 .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
                                 16,
                             )
-                            .map_err(|_| "bad \\u escape")?;
+                            .map_err(|_| self.err("bad \\u escape"))?;
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                             self.pos += 4;
                         }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        _ => return Err(self.err("bad escape")),
                     }
                     self.pos += 1;
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar.
                     let rest = std::str::from_utf8(&self.src[self.pos..])
-                        .map_err(|_| "invalid UTF-8 in string")?;
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
                     let c = rest.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -408,7 +444,7 @@ impl Parser<'_> {
         }
     }
 
-    fn number(&mut self) -> Result<Value, String> {
+    fn number(&mut self) -> Result<Value, ParseError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -438,7 +474,7 @@ impl Parser<'_> {
         if is_float {
             text.parse::<f64>()
                 .map(Value::Float)
-                .map_err(|e| e.to_string())
+                .map_err(|e| self.err(e.to_string()))
         } else {
             match text.parse::<i64>() {
                 Ok(i) => Ok(Value::Int(i)),
@@ -447,7 +483,7 @@ impl Parser<'_> {
                 Err(_) => text
                     .parse::<f64>()
                     .map(Value::Float)
-                    .map_err(|e| e.to_string()),
+                    .map_err(|e| self.err(e.to_string())),
             }
         }
     }
@@ -494,6 +530,22 @@ mod tests {
         let v = Value::Str("a\"b\\c\nd\té\u{1}".to_string());
         let back = Value::parse(&v.to_string()).unwrap();
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_offsets() {
+        let e = Value::parse_detailed("{\"a\": nope}").unwrap_err();
+        assert_eq!(e.offset, 6, "{e}");
+        let e = Value::parse_detailed("{} trailing").unwrap_err();
+        assert_eq!(e.offset, 3, "{e}");
+        assert!(e.to_string().contains("at byte 3"));
+        let e = Value::parse_detailed("[1, 2").unwrap_err();
+        assert_eq!(e.offset, 5, "{e}");
+        // The String-typed wrapper renders the same diagnostics.
+        assert_eq!(
+            Value::parse("{} trailing").unwrap_err(),
+            "trailing garbage at byte 3"
+        );
     }
 
     #[test]

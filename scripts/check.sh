@@ -15,4 +15,33 @@ cargo test -q
 echo "== soak smoke (escape soak --steps 200 --seed 7) =="
 cargo run --release -q --bin escape -- soak --steps 200 --seed 7
 
+echo "== daemon smoke (escaped + escape ctl) =="
+cargo build --release -q --bin escape --bin escaped
+SOCK="$(mktemp -u /tmp/escaped-check-XXXXXX.sock)"
+target/release/escaped --socket "$SOCK" --seed 7 &
+DAEMON_PID=$!
+cleanup_daemon() {
+    kill "$DAEMON_PID" 2>/dev/null || true
+    rm -f "$SOCK"
+}
+trap cleanup_daemon EXIT
+for _ in $(seq 1 50); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "daemon smoke: socket never appeared" >&2; exit 1; }
+target/release/escape ctl --socket "$SOCK" status
+target/release/escape ctl --socket "$SOCK" metrics --prom | grep -q escape_deploys
+target/release/escape ctl --socket "$SOCK" shutdown
+wait "$DAEMON_PID"
+trap - EXIT
+if [ -e "$SOCK" ]; then
+    echo "daemon smoke: leaked socket $SOCK" >&2
+    exit 1
+fi
+if kill -0 "$DAEMON_PID" 2>/dev/null; then
+    echo "daemon smoke: orphaned daemon process $DAEMON_PID" >&2
+    exit 1
+fi
+
 echo "all checks passed"
