@@ -408,6 +408,23 @@ impl Escape {
         self.telemetry.snapshot()
     }
 
+    /// Enables or disables the exact-match flow cache on every switch
+    /// (default on). Disabling flushes the caches, so every subsequent
+    /// lookup walks the priority table — the reference path the
+    /// differential tests and the dataplane bench compare against.
+    pub fn set_flow_cache(&mut self, enabled: bool) {
+        let mut names: Vec<&String> = self.infra.dpid.keys().collect();
+        names.sort();
+        for name in names {
+            let Some(node) = self.infra.nodes.get(name).copied() else {
+                continue;
+            };
+            if let Some(sw) = self.sim.node_as_mut::<Switch>(node) {
+                sw.set_flow_cache(enabled);
+            }
+        }
+    }
+
     // ---------------- flight recorder -------------------------------
 
     /// Turns on the packet flight recorder: a trace ring of `cap`

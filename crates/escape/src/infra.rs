@@ -173,7 +173,12 @@ impl Infra {
                     let d = next_dpid;
                     next_dpid += 1;
                     dpid.insert(n.name.clone(), d);
-                    sim.add_node(n.name.clone(), ports, Box::new(Switch::new(d, ports)))
+                    let mut sw = Switch::new(d, ports);
+                    // Flow-cache hit/miss/invalidation counters land in
+                    // the environment-wide snapshot (all switches share
+                    // the `openflow.cache_*` series).
+                    sw.attach_telemetry(sim.telemetry());
+                    sim.add_node(n.name.clone(), ports, Box::new(sw))
                 }
                 TopoNodeKind::Container { .. } => {
                     container_idx += 1;

@@ -10,8 +10,8 @@ use crate::sim::{NodeCtx, NodeLogic};
 use crate::time::Time;
 use bytes::Bytes;
 use escape_packet::{
-    ArpPacket, EtherType, EthernetFrame, IcmpPacket, IcmpType, IpProtocol, Ipv4Packet, MacAddr,
-    Packet, PacketBuilder, UdpDatagram,
+    ArpPacket, EtherType, EthernetFrame, FramePool, IcmpPacket, IcmpType, IpProtocol, Ipv4Packet,
+    MacAddr, Packet, PacketBuilder, UdpDatagram,
 };
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -114,6 +114,12 @@ pub struct Host {
     /// next [`Host::flush_queued`] timer, with an optional birth
     /// timestamp override.
     queued_tx: Vec<(Bytes, u64)>,
+    /// Prebuilt stream frames, keyed by stream index and the resolved
+    /// destination MAC (a re-learned MAC is a different key, so a stale
+    /// frame is never served). A paced stream emits the same bytes every
+    /// tick; pooling turns the per-packet layered encode into a refcount
+    /// clone.
+    tx_pool: FramePool<(usize, MacAddr)>,
 }
 
 /// Timer token namespace: stream k fires with token k.
@@ -134,6 +140,7 @@ impl Host {
             gateway: false,
             gw_rx: Vec::new(),
             queued_tx: Vec::new(),
+            tx_pool: FramePool::new(),
         }
     }
 
@@ -235,15 +242,18 @@ impl Host {
         }
         self.streams[k].remaining -= 1;
         if let Some(&dst_mac) = self.arp_table.get(&s.dst_ip) {
-            let frame = PacketBuilder::udp_with_len(
-                self.mac,
-                dst_mac,
-                self.ip,
-                s.dst_ip,
-                s.sport,
-                s.dport,
-                s.frame_len,
-            );
+            let (mac, ip) = (self.mac, self.ip);
+            let frame = self.tx_pool.get_or_build((k, dst_mac), || {
+                PacketBuilder::udp_with_len(
+                    mac,
+                    dst_mac,
+                    ip,
+                    s.dst_ip,
+                    s.sport,
+                    s.dport,
+                    s.frame_len,
+                )
+            });
             let pkt = ctx.new_packet(frame);
             self.stats.udp_tx += 1;
             ctx.send(0, pkt);
@@ -453,6 +463,25 @@ mod tests {
         sim.run(10_000);
         assert_eq!(sim.node_as::<Host>(nb).unwrap().stats.arp_rx, 0);
         assert_eq!(sim.node_as::<Host>(nb).unwrap().stats.udp_rx, 3);
+    }
+
+    #[test]
+    fn stream_frames_are_pooled_after_first_build() {
+        let (mut sim, na, nb) = hosts_back_to_back();
+        {
+            let ha = sim.node_as_mut::<Host>(na).unwrap();
+            ha.static_arp(Ipv4Addr::new(10, 0, 0, 2), MacAddr::from_id(2));
+            ha.add_stream(Ipv4Addr::new(10, 0, 0, 2), 1, 2, 64, Time::from_us(10), 20);
+        }
+        Host::start_streams(&mut sim, na, Time::ZERO);
+        sim.run(100_000);
+        let ha = sim.node_as::<Host>(na).unwrap();
+        assert_eq!(
+            (ha.tx_pool.builds, ha.tx_pool.hits),
+            (1, 19),
+            "one layered encode, nineteen refcount clones"
+        );
+        assert_eq!(sim.node_as::<Host>(nb).unwrap().stats.udp_rx, 20);
     }
 
     #[test]

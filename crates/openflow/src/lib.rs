@@ -15,18 +15,22 @@
 //! * **actions** ([`action`]): output (physical and virtual ports) and the
 //!   header-rewrite set, applied to real frames;
 //! * a **flow table** ([`table`]): priority lookup, overlap checks,
-//!   idle/hard timeouts, per-entry counters;
+//!   idle/hard timeouts, per-entry counters, fronted by an exact-match
+//!   **flow cache** ([`cache`], the OvS EMC role) with strict
+//!   invalidation on every mutation;
 //! * a **switch** ([`switch::Switch`]): an [`escape_netem::NodeLogic`] that
 //!   forwards frames per its flow table, punts misses to the controller
 //!   over a control channel, and executes controller commands.
 
 pub mod action;
+pub mod cache;
 pub mod ofmatch;
 pub mod switch;
 pub mod table;
 pub mod wire;
 
 pub use action::Action;
+pub use cache::FlowCache;
 pub use ofmatch::Match;
 pub use switch::Switch;
 pub use table::{FlowEntry, FlowTable};

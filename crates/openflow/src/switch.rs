@@ -68,6 +68,18 @@ impl Switch {
         self.ctrl = Some(ctrl);
     }
 
+    /// Enables or disables the table's exact-match flow cache (off =
+    /// every lookup walks the table, the seed behaviour).
+    pub fn set_flow_cache(&mut self, enabled: bool) {
+        self.table.set_cache_enabled(enabled);
+    }
+
+    /// Re-homes the flow cache counters into the environment's registry
+    /// so `escape metrics` reports `openflow.cache_*`.
+    pub fn attach_telemetry(&mut self, registry: &escape_telemetry::Registry) {
+        self.table.attach_telemetry(registry);
+    }
+
     /// Dataplane port count.
     pub fn n_ports(&self) -> u16 {
         self.n_ports
@@ -236,7 +248,9 @@ impl Switch {
             }
             FlowModCommand::Delete | FlowModCommand::DeleteStrict => {
                 let strict = command == FlowModCommand::DeleteStrict;
-                let removed = self.table.delete(&match_, priority, strict, out_port);
+                let removed = self
+                    .table
+                    .delete(&match_, priority, strict, out_port, cookie);
                 let removed: Vec<_> = removed
                     .into_iter()
                     .map(|e| (e, RemovedReason::Delete))
@@ -260,9 +274,13 @@ impl NodeLogic for Switch {
             return;
         };
         let now = ctx.now();
-        if let Some(entry) = self.table.lookup(&key, in_port, pkt.len(), now) {
-            let (cookie, priority) = (entry.cookie, entry.priority);
-            let actions = entry.actions.clone();
+        if let Some(idx) = self.table.lookup_idx(&key, in_port, pkt.len(), now) {
+            // Borrow the winning entry's action list for the dispatch
+            // instead of cloning it per packet; nothing below touches the
+            // table, so the slot is restored intact afterwards.
+            let e = self.table.entry_mut(idx);
+            let (cookie, priority) = (e.cookie, e.priority);
+            let actions = std::mem::take(&mut e.actions);
             if ctx.tracing() {
                 ctx.trace_hop(
                     pkt.id,
@@ -275,7 +293,18 @@ impl NodeLogic for Switch {
                     },
                 );
             }
-            self.run_actions(ctx, &actions, in_port, &pkt);
+            if actions.iter().all(|a| matches!(a, Action::Output { .. })) {
+                // Pure-output rule: forward the original frame without
+                // the header-rewrite pass.
+                for a in &actions {
+                    if let Action::Output { port: p, .. } = a {
+                        self.emit(ctx, *p, in_port, &pkt);
+                    }
+                }
+            } else {
+                self.run_actions(ctx, &actions, in_port, &pkt);
+            }
+            self.table.entry_mut(idx).actions = actions;
             return;
         }
         // Table miss: punt to controller.

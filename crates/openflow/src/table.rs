@@ -1,11 +1,16 @@
-//! The flow table: priority lookup, timeouts, counters.
+//! The flow table: priority lookup, timeouts, counters — fronted by an
+//! exact-match cache ([`crate::cache::FlowCache`]) so repeat flows skip
+//! the priority/wildcard walk. Every mutating operation strictly
+//! invalidates the cache, keeping the two lookup paths provably equal.
 
 use crate::action::Action;
+use crate::cache::FlowCache;
 use crate::ofmatch::Match;
 use crate::port;
 use crate::wire::FlowStats;
 use escape_netem::Time;
 use escape_packet::FlowKey;
+use escape_telemetry::{Counter, Registry};
 
 /// One installed flow.
 #[derive(Debug, Clone)]
@@ -35,18 +40,75 @@ pub enum RemovedReason {
 }
 
 /// A single OpenFlow 1.0 flow table.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FlowTable {
     entries: Vec<FlowEntry>,
     /// Lookups that matched / missed (table stats).
     pub matched: u64,
     pub missed: u64,
+    /// Exact-match fast path over the walk (see [`crate::cache`]).
+    cache: FlowCache,
+    /// Telemetry mirrors of the cache stats. Born on a private registry
+    /// and re-homed by [`FlowTable::attach_telemetry`] (the
+    /// [`crate::switch::Switch`] forwards the environment's registry).
+    hits_ctr: Counter,
+    misses_ctr: Counter,
+    invalidations_ctr: Counter,
+}
+
+impl Default for FlowTable {
+    fn default() -> Self {
+        FlowTable::new()
+    }
 }
 
 impl FlowTable {
-    /// An empty table.
+    /// An empty table with the cache enabled.
     pub fn new() -> Self {
-        FlowTable::default()
+        let reg = Registry::new();
+        FlowTable {
+            entries: Vec::new(),
+            matched: 0,
+            missed: 0,
+            cache: FlowCache::new(),
+            hits_ctr: reg.counter("openflow.cache_hits"),
+            misses_ctr: reg.counter("openflow.cache_misses"),
+            invalidations_ctr: reg.counter("openflow.cache_invalidations"),
+        }
+    }
+
+    /// Re-homes the cache counters into `registry` so the whole stack's
+    /// snapshot (`escape metrics`, `escape ctl metrics`) reports hit
+    /// rate without a bench run. Counts recorded before re-homing are
+    /// carried over.
+    pub fn attach_telemetry(&mut self, registry: &Registry) {
+        let (h, m, i) = (self.cache.hits, self.cache.misses, self.cache.invalidations);
+        self.hits_ctr = registry.counter("openflow.cache_hits");
+        self.misses_ctr = registry.counter("openflow.cache_misses");
+        self.invalidations_ctr = registry.counter("openflow.cache_invalidations");
+        self.hits_ctr.add(h);
+        self.misses_ctr.add(m);
+        self.invalidations_ctr.add(i);
+    }
+
+    /// Turns the exact-match cache on or off (off = every lookup walks
+    /// the table, the seed behaviour).
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache.set_enabled(enabled);
+    }
+
+    /// Read access to the cache (stats, occupancy).
+    pub fn cache(&self) -> &FlowCache {
+        &self.cache
+    }
+
+    /// Strict invalidation: wipes the cache and mirrors the dropped
+    /// entry count into telemetry.
+    fn invalidate_cache(&mut self) {
+        let before = self.cache.invalidations;
+        self.cache.flush();
+        self.invalidations_ctr
+            .add(self.cache.invalidations - before);
     }
 
     /// Number of installed entries.
@@ -69,14 +131,38 @@ impl FlowTable {
         len: usize,
         now: Time,
     ) -> Option<&FlowEntry> {
-        let mut best: Option<usize> = None;
-        for (i, e) in self.entries.iter().enumerate() {
-            if e.match_.matches(key, in_port)
-                && best.is_none_or(|b| e.priority > self.entries[b].priority)
-            {
-                best = Some(i);
+        self.lookup_idx(key, in_port, len, now)
+            .map(|i| &self.entries[i])
+    }
+
+    /// Core lookup returning the winning entry's index. Cache hits and
+    /// table walks bump the *same* per-entry packet/byte counters and
+    /// `last_used`, so idle timeouts and flow stats cannot tell the two
+    /// paths apart.
+    pub fn lookup_idx(
+        &mut self,
+        key: &FlowKey,
+        in_port: u16,
+        len: usize,
+        now: Time,
+    ) -> Option<usize> {
+        let cache_key = (*key, in_port);
+        let best = match self.cache.get(&cache_key) {
+            Some(i) => {
+                self.hits_ctr.inc();
+                Some(i)
             }
-        }
+            None => {
+                let walked = self.walk(key, in_port);
+                if self.cache.enabled() {
+                    self.misses_ctr.inc();
+                    if let Some(i) = walked {
+                        self.cache.insert(cache_key, i);
+                    }
+                }
+                walked
+            }
+        };
         match best {
             Some(i) => {
                 self.matched += 1;
@@ -84,7 +170,7 @@ impl FlowTable {
                 e.packet_count += 1;
                 e.byte_count += len as u64;
                 e.last_used = now;
-                Some(&self.entries[i])
+                Some(i)
             }
             None => {
                 self.missed += 1;
@@ -93,9 +179,28 @@ impl FlowTable {
         }
     }
 
+    /// The full priority/wildcard walk (reference path, no counters).
+    fn walk(&self, key: &FlowKey, in_port: u16) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.match_.matches(key, in_port)
+                && best.is_none_or(|b| e.priority > self.entries[b].priority)
+            {
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    /// Mutable access to an entry by index (from [`FlowTable::lookup_idx`]).
+    pub fn entry_mut(&mut self, idx: usize) -> &mut FlowEntry {
+        &mut self.entries[idx]
+    }
+
     /// `OFPFC_ADD`: install, replacing an entry with identical match and
     /// priority (per spec).
     pub fn add(&mut self, entry: FlowEntry) {
+        self.invalidate_cache();
         if let Some(e) = self
             .entries
             .iter_mut()
@@ -117,6 +222,7 @@ impl FlowTable {
         strict: bool,
         actions: &[Action],
     ) -> usize {
+        self.invalidate_cache();
         let mut n = 0;
         for e in &mut self.entries {
             let hit = if strict {
@@ -134,14 +240,19 @@ impl FlowTable {
 
     /// `OFPFC_DELETE[_STRICT]`: remove matching entries; `out_port`
     /// (unless `port::NONE`) further restricts to entries with an output
-    /// action to that port. Returns the removed entries.
+    /// action to that port, and `cookie` (unless 0) to entries stamped
+    /// with that cookie — the hook the steering layer uses to tear down
+    /// or resteer exactly one chain's flows even when matches overlap.
+    /// Returns the removed entries.
     pub fn delete(
         &mut self,
         match_: &Match,
         priority: u16,
         strict: bool,
         out_port: u16,
+        cookie: u64,
     ) -> Vec<FlowEntry> {
+        self.invalidate_cache();
         let mut removed = Vec::new();
         self.entries.retain(|e| {
             let m = if strict {
@@ -153,7 +264,8 @@ impl FlowTable {
                 || e.actions
                     .iter()
                     .any(|a| matches!(a, Action::Output { port, .. } if *port == out_port));
-            if m && port_ok {
+            let cookie_ok = cookie == 0 || e.cookie == cookie;
+            if m && port_ok && cookie_ok {
                 removed.push(e.clone());
                 false
             } else {
@@ -181,6 +293,10 @@ impl FlowTable {
             }
             true
         });
+        if !out.is_empty() {
+            // Entry indices shifted: strict invalidation, same as a delete.
+            self.invalidate_cache();
+        }
         out
     }
 
@@ -406,7 +522,7 @@ mod tests {
             vec![Action::out(2)],
             Time::ZERO,
         ));
-        let removed = t.delete(&Match::any(), 0, false, port::NONE);
+        let removed = t.delete(&Match::any(), 0, false, port::NONE, 0);
         assert_eq!(removed.len(), 2);
         assert!(t.is_empty());
     }
@@ -420,9 +536,9 @@ mod tests {
             vec![Action::out(1)],
             Time::ZERO,
         ));
-        assert!(t.delete(&Match::any(), 7, true, port::NONE).is_empty());
+        assert!(t.delete(&Match::any(), 7, true, port::NONE, 0).is_empty());
         assert_eq!(
-            t.delete(&Match::any().with_tp_dst(80), 7, true, port::NONE)
+            t.delete(&Match::any().with_tp_dst(80), 7, true, port::NONE, 0)
                 .len(),
             1
         );
@@ -443,9 +559,99 @@ mod tests {
             vec![Action::out(2)],
             Time::ZERO,
         ));
-        let removed = t.delete(&Match::any(), 0, false, 2);
+        let removed = t.delete(&Match::any(), 0, false, 2, 0);
         assert_eq!(removed.len(), 1);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_filters_by_cookie() {
+        let mut t = FlowTable::new();
+        let mut a = FlowEntry::new(
+            Match::any().with_tp_dst(80),
+            1,
+            vec![Action::out(1)],
+            Time::ZERO,
+        );
+        a.cookie = 7;
+        let mut b = FlowEntry::new(
+            Match::any().with_tp_dst(443),
+            1,
+            vec![Action::out(2)],
+            Time::ZERO,
+        );
+        b.cookie = 9;
+        t.add(a);
+        t.add(b);
+        // Cookie-scoped delete under an overlapping wildcard only tears
+        // down the one chain's rule.
+        let removed = t.delete(&Match::any(), 0, false, port::NONE, 7);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].cookie, 7);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries()[0].cookie, 9);
+    }
+
+    #[test]
+    fn cached_lookup_matches_walk_and_invalidates_on_mutation() {
+        let mut t = FlowTable::new();
+        t.add(FlowEntry::new(
+            Match::any().with_tp_dst(80),
+            10,
+            vec![Action::out(1)],
+            Time::ZERO,
+        ));
+        t.add(FlowEntry::new(
+            Match::any(),
+            1,
+            vec![Action::out(9)],
+            Time::ZERO,
+        ));
+        // First packet walks and caches; second hits.
+        t.lookup(&key(80), 0, 60, Time::ZERO);
+        t.lookup(&key(80), 0, 60, Time::ZERO);
+        assert_eq!((t.cache().hits, t.cache().misses), (1, 1));
+        assert_eq!(t.entries()[0].packet_count, 2, "hit bumps same counters");
+        // A higher-priority add must invalidate: next lookup re-walks and
+        // picks the new winner.
+        t.add(FlowEntry::new(
+            Match::any().with_tp_dst(80),
+            100,
+            vec![Action::out(5)],
+            Time::ZERO,
+        ));
+        let e = t.lookup(&key(80), 0, 60, Time::ZERO).unwrap();
+        assert_eq!(e.actions, vec![Action::out(5)]);
+        assert_eq!(t.cache().misses, 2, "post-mutation lookup is a miss");
+    }
+
+    #[test]
+    fn cache_disabled_walks_every_time() {
+        let mut t = FlowTable::new();
+        t.set_cache_enabled(false);
+        t.add(FlowEntry::new(
+            Match::any(),
+            1,
+            vec![Action::out(1)],
+            Time::ZERO,
+        ));
+        t.lookup(&key(80), 0, 60, Time::ZERO);
+        t.lookup(&key(80), 0, 60, Time::ZERO);
+        assert_eq!((t.cache().hits, t.cache().misses), (0, 0));
+        assert_eq!(t.entries()[0].packet_count, 2);
+    }
+
+    #[test]
+    fn expiry_invalidates_cache() {
+        let mut t = FlowTable::new();
+        let mut e = FlowEntry::new(Match::any(), 1, vec![Action::out(1)], Time::ZERO);
+        e.hard_timeout = 1;
+        t.add(e);
+        t.lookup(&key(80), 0, 60, Time::ZERO);
+        assert_eq!(t.cache().len(), 1);
+        assert_eq!(t.expire(Time::from_secs(1)).len(), 1);
+        assert!(t.cache().is_empty());
+        assert!(t.lookup(&key(80), 0, 60, Time::from_secs(1)).is_none());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use escape_netem::Time;
 use escape_openflow::table::FlowEntry;
-use escape_openflow::{Action, FlowModCommand, FlowTable, Match, OfMessage, PacketInReason};
+use escape_openflow::{port, Action, FlowModCommand, FlowTable, Match, OfMessage, PacketInReason};
 use escape_packet::{FlowKey, MacAddr, PacketBuilder};
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
@@ -83,6 +83,93 @@ fn normalize(mut m: Match) -> Match {
     m.nw_src = mask_net(m.nw_src);
     m.nw_dst = mask_net(m.nw_dst);
     m
+}
+
+/// One step of the differential cache-vs-walk exercise. Ports and
+/// priorities are drawn from small ranges so lookups repeat (exercising
+/// cache hits) and flow-mods actually touch installed entries.
+#[derive(Debug, Clone)]
+enum TableOp {
+    Lookup {
+        dport: u16,
+        in_port: u16,
+    },
+    Add {
+        dport: u16,
+        in_port: Option<u16>,
+        prio: u16,
+        cookie: u64,
+    },
+    Modify {
+        dport: u16,
+        prio: u16,
+        strict: bool,
+        out: u16,
+    },
+    Delete {
+        dport: u16,
+        prio: u16,
+        strict: bool,
+        cookie: u64,
+    },
+}
+
+fn arb_table_op() -> impl Strategy<Value = TableOp> {
+    // The lookup arm repeats so op streams are lookup-heavy (the
+    // vendored prop_oneof! has no weights): repeats are what exercise
+    // cache hits between the mutating ops.
+    let lookup =
+        || (0u16..8, 0u16..4).prop_map(|(dport, in_port)| TableOp::Lookup { dport, in_port });
+    prop_oneof![
+        lookup(),
+        lookup(),
+        lookup(),
+        lookup(),
+        (0u16..8, proptest::option::of(0u16..4), 0u16..8, 0u64..4).prop_map(
+            |(dport, in_port, prio, cookie)| TableOp::Add {
+                dport,
+                in_port,
+                prio,
+                cookie
+            }
+        ),
+        (0u16..8, 0u16..8, any::<bool>(), any::<u16>()).prop_map(|(dport, prio, strict, out)| {
+            TableOp::Modify {
+                dport,
+                prio,
+                strict,
+                out,
+            }
+        }),
+        (0u16..8, 0u16..8, any::<bool>(), 0u64..4).prop_map(|(dport, prio, strict, cookie)| {
+            TableOp::Delete {
+                dport,
+                prio,
+                strict,
+                cookie,
+            }
+        }),
+    ]
+}
+
+/// An IPv4/UDP match on destination port `dport` (and optionally the
+/// ingress port) — shaped so the generated lookup frames can hit it.
+fn match_for(dport: u16, in_port: Option<u16>) -> Match {
+    let mut m = Match::any().with_dl_type(0x0800);
+    m.tp_dst = Some(dport);
+    m.in_port = in_port;
+    m
+}
+
+fn entry_for(dport: u16, in_port: Option<u16>, prio: u16, cookie: u64) -> FlowEntry {
+    let mut e = FlowEntry::new(
+        match_for(dport, in_port),
+        prio,
+        vec![Action::out(1)],
+        Time::ZERO,
+    );
+    e.cookie = cookie;
+    e
 }
 
 proptest! {
@@ -215,6 +302,75 @@ proptest! {
         let broader = Match::any().with_dl_type(0x0800).with_nw_dst(dst, 32);
         prop_assert!(exact.is_subset_of(&broader));
         prop_assert!(broader.matches(&key, in_port), "superset must match too");
+    }
+
+    /// Differential: a cache-enabled table and a cache-disabled table fed
+    /// the *same* randomized op sequence — lookups interleaved with
+    /// add/modify/delete flow-mods — agree on every lookup result (same
+    /// winning entry index into identically-ordered tables) and end with
+    /// byte-equal entries, per-entry packet/byte counters included.
+    #[test]
+    fn cached_lookup_is_equivalent_to_full_walk(
+        seeds in proptest::collection::vec(
+            (0u16..8, proptest::option::of(0u16..4), 0u16..8, 0u64..4),
+            0..12,
+        ),
+        ops in proptest::collection::vec(arb_table_op(), 1..80),
+    ) {
+        let mut cached = FlowTable::new();
+        let mut walked = FlowTable::new();
+        walked.set_cache_enabled(false);
+        for (dport, in_port, prio, cookie) in seeds {
+            cached.add(entry_for(dport, in_port, prio, cookie));
+            walked.add(entry_for(dport, in_port, prio, cookie));
+        }
+        for op in ops {
+            match op {
+                TableOp::Lookup { dport, in_port } => {
+                    let frame = PacketBuilder::udp(
+                        MacAddr::from_id(1),
+                        MacAddr::from_id(2),
+                        Ipv4Addr::new(10, 0, 0, 1),
+                        Ipv4Addr::new(10, 0, 0, 2),
+                        7,
+                        dport,
+                        bytes::Bytes::from_static(b"x"),
+                    );
+                    let key = FlowKey::extract(&frame).unwrap();
+                    let a = cached.lookup_idx(&key, in_port, 60, Time::ZERO);
+                    let b = walked.lookup_idx(&key, in_port, 60, Time::ZERO);
+                    prop_assert_eq!(a, b, "cached and walked lookups disagree");
+                }
+                TableOp::Add { dport, in_port, prio, cookie } => {
+                    cached.add(entry_for(dport, in_port, prio, cookie));
+                    walked.add(entry_for(dport, in_port, prio, cookie));
+                }
+                TableOp::Modify { dport, prio, strict, out } => {
+                    let m = match_for(dport, None);
+                    let actions = vec![Action::out(out)];
+                    let a = cached.modify(&m, prio, strict, &actions);
+                    let b = walked.modify(&m, prio, strict, &actions);
+                    prop_assert_eq!(a, b);
+                }
+                TableOp::Delete { dport, prio, strict, cookie } => {
+                    let m = match_for(dport, None);
+                    let a = cached.delete(&m, prio, strict, port::NONE, cookie);
+                    let b = walked.delete(&m, prio, strict, port::NONE, cookie);
+                    prop_assert_eq!(a.len(), b.len());
+                }
+            }
+        }
+        prop_assert_eq!(cached.matched, walked.matched);
+        prop_assert_eq!(cached.missed, walked.missed);
+        prop_assert_eq!(cached.len(), walked.len());
+        for (a, b) in cached.entries().iter().zip(walked.entries()) {
+            prop_assert_eq!(&a.match_, &b.match_);
+            prop_assert_eq!(a.priority, b.priority);
+            prop_assert_eq!(a.cookie, b.cookie);
+            prop_assert_eq!(&a.actions, &b.actions);
+            prop_assert_eq!(a.packet_count, b.packet_count, "per-entry packet counters diverged");
+            prop_assert_eq!(a.byte_count, b.byte_count, "per-entry byte counters diverged");
+        }
     }
 
     /// Flow-table counters: matched + missed equals total lookups.

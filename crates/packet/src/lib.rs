@@ -26,6 +26,7 @@ pub mod flowkey;
 pub mod icmp;
 pub mod ipv4;
 pub mod mac;
+pub mod pool;
 pub mod tcp;
 pub mod udp;
 
@@ -36,6 +37,7 @@ pub use flowkey::FlowKey;
 pub use icmp::{IcmpPacket, IcmpType};
 pub use ipv4::{IpProtocol, Ipv4Packet};
 pub use mac::MacAddr;
+pub use pool::FramePool;
 pub use tcp::TcpSegment;
 pub use udp::UdpDatagram;
 

@@ -164,11 +164,19 @@ impl Ctl<'_, '_> {
 
     /// Removes flows matching `match_` (non-strict).
     pub fn flow_delete(&mut self, dpid: u64, match_: Match) -> bool {
+        self.flow_delete_with_cookie(dpid, match_, 0)
+    }
+
+    /// Removes flows matching `match_` (non-strict) that carry `cookie`
+    /// (0 = any). Steering uses the chain id as the cookie, so teardown
+    /// and resteer only touch the one chain's rules even when another
+    /// chain's match overlaps.
+    pub fn flow_delete_with_cookie(&mut self, dpid: u64, match_: Match, cookie: u64) -> bool {
         self.send(
             dpid,
             OfMessage::FlowMod {
                 match_,
-                cookie: 0,
+                cookie,
                 command: FlowModCommand::Delete,
                 idle_timeout: 0,
                 hard_timeout: 0,

@@ -196,7 +196,9 @@ impl TrafficSteering {
     /// installed.
     fn flush(&mut self, ctl: &mut Ctl<'_, '_>) -> usize {
         for r in std::mem::take(&mut self.pending_removal) {
-            ctl.flow_delete(r.dpid, r.match_);
+            // Cookie-scoped: only this chain's rule dies, even if another
+            // chain installed an overlapping match on the same switch.
+            ctl.flow_delete_with_cookie(r.dpid, r.match_, r.chain_id);
         }
         if self.mode != SteeringMode::Proactive {
             return 0;
@@ -457,6 +459,58 @@ mod tests {
                 .installed_for(1),
             0
         );
+    }
+
+    #[test]
+    fn teardown_is_cookie_scoped_under_overlapping_chains() {
+        let (mut sim, h1, h2, c) = rig(SteeringMode::Proactive);
+        // Chain 2 shares chain 1's exact match on the same switch (lower
+        // priority). A match-only delete would kill both; the cookie
+        // (chain id) keeps the teardown surgical.
+        let chain2 = vec![SteeringRule {
+            dpid: 1,
+            match_: Match::any().with_nw_dst(Ipv4Addr::new(10, 0, 0, 2), 32),
+            priority: 400,
+            actions: vec![Action::out(1)],
+            idle_timeout: 0,
+            hard_timeout: 0,
+            chain_id: 2,
+        }];
+        {
+            let ctl = sim.node_as_mut::<Controller>(c).unwrap();
+            let st = ctl.component_as_mut::<TrafficSteering>().unwrap();
+            st.queue_rules(rules_for_chain());
+            st.queue_rules(chain2);
+        }
+        Controller::request_flush(&mut sim, c, Time::ZERO);
+        sim.run(100);
+        let sw = sim.find_node("s1").unwrap();
+        assert_eq!(sim.node_as::<Switch>(sw).unwrap().table.len(), 3);
+        {
+            let ctl = sim.node_as_mut::<Controller>(c).unwrap();
+            ctl.component_as_mut::<TrafficSteering>()
+                .unwrap()
+                .remove_chain(1);
+        }
+        Controller::request_flush(&mut sim, c, Time::ZERO);
+        sim.run(100);
+        {
+            let t = &sim.node_as::<Switch>(sw).unwrap().table;
+            assert_eq!(t.len(), 1, "only chain 1's rules died");
+            assert_eq!(t.entries()[0].cookie, 2);
+        }
+        // Chain 2 still forwards h1 -> h2.
+        sim.node_as_mut::<Host>(h1).unwrap().add_stream(
+            Ipv4Addr::new(10, 0, 0, 2),
+            5,
+            6,
+            64,
+            Time::from_us(100),
+            5,
+        );
+        Host::start_streams(&mut sim, h1, Time::from_ms(1));
+        sim.run(100_000);
+        assert_eq!(sim.node_as::<Host>(h2).unwrap().stats.udp_rx, 5);
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub struct Counter {
     cell: Arc<AtomicU64>,
 }
 
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
 impl Counter {
     pub fn inc(&self) {
         self.cell.fetch_add(1, Ordering::Relaxed);

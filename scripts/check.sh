@@ -12,6 +12,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q
 
+echo "== dataplane perf gate (E0 cached pps vs committed BENCH_dataplane.json) =="
+# The bench refreshes the root snapshot; if it was clean going in, put the
+# committed baseline back so the gate never dirties the tree.
+BASELINE_CLEAN=0
+if git ls-files --error-unmatch BENCH_dataplane.json >/dev/null 2>&1 \
+    && git diff --quiet -- BENCH_dataplane.json; then
+    BASELINE_CLEAN=1
+fi
+ESCAPE_BENCH_GATE=1 ESCAPE_BENCH_TABLE_ONLY=1 \
+    cargo bench -q -p escape-bench --bench e0_dataplane
+if [ "$BASELINE_CLEAN" = 1 ]; then
+    git checkout -- BENCH_dataplane.json
+fi
+
 echo "== soak smoke (escape soak --steps 200 --seed 7) =="
 cargo run --release -q --bin escape -- soak --steps 200 --seed 7
 
