@@ -8,6 +8,7 @@
 //! escape trace [<topology-file> <service-graph-file>] [options]
 //! escape daemon [daemon options]       (serve a live environment; see escaped)
 //! escape ctl [--socket PATH] <verb>    (drive a running escaped)
+//! escape top [--socket PATH] [--json]  (sparkline view of daemon time series)
 //!
 //! options:
 //!   --algorithm first_fit|best_fit|nearest|backtrack|anneal   (default nearest)
@@ -53,9 +54,10 @@ use escape::monitor::format_handler_table;
 use escape::session::{algorithm_by_name as algorithm, InputFormat};
 use escape::{Session, SessionConfig};
 use escape_ctl::launch::{parse_daemon_args, run_daemon, DAEMON_USAGE};
-use escape_ctl::proto::{CtlRequest, CtlResponse, MetricsFormat, SgFormat};
+use escape_ctl::proto::{CtlEvent, CtlRequest, CtlResponse, MetricsFormat, SgFormat, WatchTopic};
 use escape_ctl::CtlClient;
 use escape_domain::DomainSpec;
+use escape_json::Value;
 use escape_orch::workload::{random_service_graph, WorkloadSpec};
 use escape_pox::SteeringMode;
 use escape_sg::{parse_service_graph, parse_topology, ResourceTopology, ServiceGraph, Sla};
@@ -99,6 +101,8 @@ struct Options {
     ctl: Option<Vec<String>>,
     /// `escape daemon ...`: args handed to the daemon launcher.
     daemon: Option<Vec<String>>,
+    /// `escape top ...`: sparkline view of a daemon's sampler series.
+    top: Option<Vec<String>>,
 }
 
 fn usage() -> ExitCode {
@@ -113,7 +117,8 @@ fn usage() -> ExitCode {
          escape run <topology> --workload N    (generated random chains)\n       \
          escape soak [--steps N] [--seed N]    (invariant soak run)\n       \
          escape daemon [daemon options]        (serve a live environment)\n       \
-         escape ctl [--socket PATH] <verb>     (drive a running escaped)"
+         escape ctl [--socket PATH] <verb>     (drive a running escaped)\n       \
+         escape top [--socket PATH] [--json]   (sparkline view of daemon time series)"
     );
     ExitCode::from(2)
 }
@@ -145,6 +150,7 @@ fn parse_args() -> Result<Options, String> {
         steps: 500,
         ctl: None,
         daemon: None,
+        top: None,
     };
     let mut first = true;
     while let Some(a) = args.next() {
@@ -166,14 +172,18 @@ fn parse_args() -> Result<Options, String> {
                 o.soak = true;
                 continue;
             }
-            // The ctl and daemon subcommands own their whole argument
-            // lists — hand the rest over untouched.
+            // The ctl, daemon and top subcommands own their whole
+            // argument lists — hand the rest over untouched.
             if a == "ctl" {
                 o.ctl = Some(args.collect());
                 return Ok(o);
             }
             if a == "daemon" {
                 o.daemon = Some(args.collect());
+                return Ok(o);
+            }
+            if a == "top" {
+                o.top = Some(args.collect());
                 return Ok(o);
             }
         }
@@ -618,7 +628,9 @@ fn run_soak_cmd(o: Options) -> Result<(), String> {
 
 const CTL_USAGE: &str = "usage: escape ctl [--socket PATH] <verb>\n  \
      verbs: status | deploy FILE [--json] | teardown CHAIN | run-for MS | fault PLAN.json |\n         \
-     heal | metrics [--prom] | sla | traffic FROM:TO:COUNT[:LEN[:US]] | shutdown";
+     heal | metrics [--prom] | sla | series | journal |\n         \
+     watch [--topics events,metrics-deltas,sla] |\n         \
+     traffic FROM:TO:COUNT[:LEN[:US]] | shutdown";
 
 /// `escape ctl`: one-shot client for a running `escaped`. File-based
 /// verbs read the file here and ship its contents — the daemon never
@@ -627,6 +639,7 @@ fn run_ctl(args: Vec<String>) -> Result<(), String> {
     let mut socket = String::from("escaped.sock");
     let mut json_flag = false;
     let mut prom = false;
+    let mut topics: Vec<WatchTopic> = Vec::new();
     let mut words: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -634,6 +647,12 @@ fn run_ctl(args: Vec<String>) -> Result<(), String> {
             "--socket" => socket = it.next().ok_or("--socket needs a value")?,
             "--json" => json_flag = true,
             "--prom" => prom = true,
+            "--topics" => {
+                let list = it.next().ok_or("--topics needs a value")?;
+                for t in list.split(',') {
+                    topics.push(WatchTopic::parse(t).map_err(|e| e.to_string())?);
+                }
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown ctl option {other}\n{CTL_USAGE}"))
             }
@@ -643,6 +662,10 @@ fn run_ctl(args: Vec<String>) -> Result<(), String> {
     let Some(verb) = words.first().cloned() else {
         return Err(CTL_USAGE.into());
     };
+    if verb == "watch" {
+        let client = CtlClient::connect(&socket).map_err(|e| format!("{socket}: {e}"))?;
+        return run_ctl_watch(client, &topics);
+    }
     let arg = |i: usize, what: &str| -> Result<String, String> {
         words
             .get(i)
@@ -684,6 +707,8 @@ fn run_ctl(args: Vec<String>) -> Result<(), String> {
             },
         },
         "sla" => CtlRequest::Sla,
+        "series" => CtlRequest::Series,
+        "journal" => CtlRequest::Journal,
         "traffic" => {
             let spec = arg(1, "FROM:TO:COUNT[:LEN[:US]]")?;
             let parts: Vec<&str> = spec.split(':').collect();
@@ -712,6 +737,197 @@ fn run_ctl(args: Vec<String>) -> Result<(), String> {
     let mut client = CtlClient::connect(&socket).map_err(|e| format!("{socket}: {e}"))?;
     let resp = client.call(&req).map_err(|e| format!("{socket}: {e}"))?;
     render_ctl_response(resp)
+}
+
+/// `escape ctl watch`: subscribe and render the live event feed until
+/// the daemon closes the stream (shutdown or slow-consumer eviction).
+fn run_ctl_watch(client: CtlClient, topics: &[WatchTopic]) -> Result<(), String> {
+    let mut watch = client.watch(topics).map_err(|e| e.to_string())?;
+    let acked: Vec<&str> = watch.topics().iter().map(|t| t.label()).collect();
+    eprintln!("watching: {}", acked.join(", "));
+    while let Some(ev) = watch.next_event().map_err(|e| e.to_string())? {
+        match ev {
+            CtlEvent::Journal {
+                at_ns,
+                severity,
+                kind,
+                detail,
+            } => println!("[{at_ns:>12}ns] {severity:<5} {kind:<24} {detail}"),
+            CtlEvent::MetricsDelta { at_ns, deltas } => {
+                let rendered: Vec<String> = deltas
+                    .iter()
+                    .map(|d| {
+                        let labels = if d.labels.is_empty() {
+                            String::new()
+                        } else {
+                            let kv: Vec<String> =
+                                d.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                            format!("{{{}}}", kv.join(","))
+                        };
+                        match d.metric.as_str() {
+                            "gauge" => format!("{}{labels}={}", d.name, fmt_point(d.value)),
+                            _ => format!("{}{labels}+{}", d.name, fmt_point(d.value)),
+                        }
+                    })
+                    .collect();
+                println!(
+                    "[{at_ns:>12}ns] info  metrics-delta            {}",
+                    rendered.join(" ")
+                );
+            }
+            CtlEvent::Sla { at_ns, verdicts } => {
+                for v in &verdicts {
+                    println!(
+                        "[{at_ns:>12}ns] {} sla-verdict              chain {}: {} (delivered {} dropped {} loss {:.3})",
+                        if v.pass { "info " } else { "warn " },
+                        v.chain,
+                        if v.pass { "PASS" } else { "FAIL" },
+                        v.delivered,
+                        v.dropped,
+                        v.loss
+                    );
+                }
+            }
+            CtlEvent::Lagged { missed } => {
+                println!("[      lagged  ] warn  lagged                   {missed} frame(s) dropped (slow consumer)");
+            }
+        }
+    }
+    eprintln!("watch stream closed by daemon");
+    Ok(())
+}
+
+const TOP_USAGE: &str = "usage: escape top [--socket PATH] [--json]";
+
+/// `escape top`: fetch the daemon's sampler series and render one
+/// sparkline row per moving metric (or the raw JSON with `--json`).
+fn run_top(args: Vec<String>) -> Result<(), String> {
+    let mut socket = String::from("escaped.sock");
+    let mut raw = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = it.next().ok_or("--socket needs a value")?,
+            "--json" => raw = true,
+            other => return Err(format!("unknown top option {other}\n{TOP_USAGE}")),
+        }
+    }
+    let mut client = CtlClient::connect(&socket).map_err(|e| format!("{socket}: {e}"))?;
+    let body = match client
+        .call(&CtlRequest::Series)
+        .map_err(|e| format!("{socket}: {e}"))?
+    {
+        CtlResponse::Series { body } => body,
+        CtlResponse::Error(e) => return Err(e.to_string()),
+        other => return Err(format!("unexpected response {other:?}")),
+    };
+    if raw {
+        print!("{body}");
+        return Ok(());
+    }
+    print!("{}", render_top(&body)?);
+    Ok(())
+}
+
+/// Renders a series document as a sparkline table.
+fn render_top(body: &str) -> Result<String, String> {
+    let doc = Value::parse(body).map_err(|e| format!("bad series document: {e}"))?;
+    let period_ns = doc
+        .get("period_ns")
+        .and_then(Value::as_u64)
+        .unwrap_or_default();
+    let evicted = doc
+        .get("evicted")
+        .and_then(Value::as_u64)
+        .unwrap_or_default();
+    let at_ns = doc.get("at_ns").and_then(Value::as_arr).unwrap_or(&[]);
+    let series = doc.get("series").and_then(Value::as_arr).unwrap_or(&[]);
+    let mut out = String::new();
+    let window_ns = match (at_ns.first(), at_ns.last()) {
+        (Some(a), Some(b)) => b.as_u64().unwrap_or(0) - a.as_u64().unwrap_or(0),
+        _ => 0,
+    };
+    out.push_str(&format!(
+        "{} samples @ {:.1} ms (window {:.1} ms, {} evicted)\n",
+        at_ns.len(),
+        period_ns as f64 / 1e6,
+        window_ns as f64 / 1e6,
+        evicted
+    ));
+    if series.is_empty() {
+        out.push_str("(no metric moved in the sampled window)\n");
+        return Ok(out);
+    }
+    let mut rows = Vec::new();
+    let mut name_width = "METRIC".len();
+    for s in series {
+        let mut name = s
+            .get("name")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        if let Some(Value::Obj(labels)) = s.get("labels") {
+            if !labels.is_empty() {
+                let kv: Vec<String> = labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or("?")))
+                    .collect();
+                name.push_str(&format!("{{{}}}", kv.join(",")));
+            }
+        }
+        let kind = s.get("kind").and_then(Value::as_str).unwrap_or("?");
+        let points: Vec<f64> = s
+            .get("points")
+            .and_then(Value::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Value::as_f64)
+            .collect();
+        name_width = name_width.max(name.len());
+        rows.push((name, kind.to_string(), points));
+    }
+    out.push_str(&format!(
+        "{:<name_width$}  {:<9}  {:>10}  {}\n",
+        "METRIC", "KIND", "LAST", "SPARKLINE"
+    ));
+    for (name, kind, points) in rows {
+        let last = points.last().copied().unwrap_or(0.0);
+        out.push_str(&format!(
+            "{name:<name_width$}  {kind:<9}  {:>10}  {}\n",
+            fmt_point(last),
+            sparkline(&points)
+        ));
+    }
+    Ok(out)
+}
+
+/// Scales points onto eight bar glyphs; a flat series renders as a run
+/// of low bars.
+fn sparkline(points: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = points.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = points.iter().copied().fold(f64::INFINITY, f64::min);
+    points
+        .iter()
+        .map(|p| {
+            if max > min {
+                let idx = ((p - min) / (max - min) * 7.0).round() as usize;
+                BARS[idx.min(7)]
+            } else {
+                BARS[0]
+            }
+        })
+        .collect()
+}
+
+/// Formats a sample point: integers without a fraction, everything else
+/// with two decimals.
+fn fmt_point(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
 }
 
 /// Renders one daemon response for humans; typed errors become the
@@ -804,6 +1020,12 @@ fn render_ctl_response(resp: CtlResponse) -> Result<(), String> {
                 );
             }
         }
+        CtlResponse::Series { body } => print!("{body}"),
+        CtlResponse::Journal { body } => print!("{body}"),
+        CtlResponse::Watching { topics } => {
+            let labels: Vec<&str> = topics.iter().map(|t| t.label()).collect();
+            println!("watching: {}", labels.join(", "));
+        }
         CtlResponse::TrafficStarted => println!("traffic started"),
         CtlResponse::ShuttingDown => println!("daemon shutting down"),
         CtlResponse::Error(e) => return Err(e.to_string()),
@@ -837,6 +1059,8 @@ fn main() -> ExitCode {
     }
     let result = if let Some(args) = o.ctl.clone() {
         run_ctl(args)
+    } else if let Some(args) = o.top.clone() {
+        run_top(args)
     } else if o.soak {
         run_soak_cmd(o)
     } else if o.metrics {

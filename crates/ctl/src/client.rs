@@ -1,7 +1,7 @@
 //! The control-socket client used by `escape ctl` and the tests.
 
 use crate::frame::{read_frame, write_frame};
-use crate::proto::{CtlRequest, CtlResponse};
+use crate::proto::{CtlEvent, CtlRequest, CtlResponse, WatchTopic};
 use std::io;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
@@ -39,5 +39,62 @@ impl CtlClient {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         CtlResponse::decode(&text)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Subscribes this connection to server-push events. Consumes the
+    /// client: after the `watching` ack the connection speaks only
+    /// [`CtlEvent`] frames, which the returned handle yields in order.
+    /// An empty topic list subscribes to everything.
+    pub fn watch(mut self, topics: &[WatchTopic]) -> io::Result<CtlWatch> {
+        match self.call(&CtlRequest::Watch {
+            topics: topics.to_vec(),
+        })? {
+            CtlResponse::Watching { topics } => Ok(CtlWatch {
+                stream: self.stream,
+                topics,
+            }),
+            CtlResponse::Error(e) => Err(io::Error::other(e.to_string())),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected watching ack, got {other:?}"),
+            )),
+        }
+    }
+}
+
+/// A live subscription: a blocking iterator over pushed [`CtlEvent`]
+/// frames. Dropping it hangs up, which makes the daemon evict the
+/// subscription on its next push.
+pub struct CtlWatch {
+    stream: UnixStream,
+    topics: Vec<WatchTopic>,
+}
+
+impl CtlWatch {
+    /// The topics the daemon acknowledged.
+    pub fn topics(&self) -> &[WatchTopic] {
+        &self.topics
+    }
+
+    /// Blocks for the next pushed event; `Ok(None)` means the daemon
+    /// closed the stream (shutdown or slow-consumer eviction).
+    pub fn next_event(&mut self) -> io::Result<Option<CtlEvent>> {
+        let bytes = match read_frame(&mut self.stream)? {
+            Some(b) => b,
+            None => return Ok(None),
+        };
+        let text = String::from_utf8(bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        CtlEvent::decode(&text)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+impl Iterator for CtlWatch {
+    type Item = io::Result<CtlEvent>;
+
+    fn next(&mut self) -> Option<io::Result<CtlEvent>> {
+        self.next_event().transpose()
     }
 }

@@ -6,6 +6,7 @@ use crate::server::{Daemon, DaemonConfig};
 use escape::session::{parse_topology_text, InputFormat};
 use escape::{AdmissionConfig, Session, SessionConfig};
 use escape_pox::SteeringMode;
+use escape_telemetry::SamplerConfig;
 use std::path::PathBuf;
 
 /// Everything the daemon CLI accepts.
@@ -27,6 +28,11 @@ pub struct DaemonOptions {
     pub admission: Option<AdmissionConfig>,
     /// Flight-recorder ring capacity; 0 disables (and with it `sla`).
     pub flight_recorder: usize,
+    /// Time-series sample period in virtual ms; 0 disables the sampler
+    /// (and with it `series` / `escape top`).
+    pub sample_ms: u64,
+    /// Samples retained by the sampler ring.
+    pub sample_retention: usize,
 }
 
 impl Default for DaemonOptions {
@@ -42,13 +48,16 @@ impl Default for DaemonOptions {
             artifacts: None,
             admission: None,
             flight_recorder: 65_536,
+            sample_ms: 5,
+            sample_retention: 120,
         }
     }
 }
 
 pub const DAEMON_USAGE: &str = "usage: escaped [--socket PATH] [--topo FILE] [--json] \
      [--algorithm A] [--steering proactive|reactive] [--seed N] [--tick-ms N] \
-     [--artifacts DIR] [--admission SOFT:HARD[:QUEUE[:RETRIES]]] [--flight-recorder N]";
+     [--artifacts DIR] [--admission SOFT:HARD[:QUEUE[:RETRIES]]] [--flight-recorder N] \
+     [--sample-ms N] [--sample-retention N]";
 
 /// Parses daemon options from an argument list (program name already
 /// stripped).
@@ -101,6 +110,16 @@ pub fn parse_daemon_args(args: impl Iterator<Item = String>) -> Result<DaemonOpt
                     .parse()
                     .map_err(|_| "bad flight-recorder capacity")?
             }
+            "--sample-ms" => {
+                o.sample_ms = need("--sample-ms")?
+                    .parse()
+                    .map_err(|_| "bad sample period")?
+            }
+            "--sample-retention" => {
+                o.sample_retention = need("--sample-retention")?
+                    .parse()
+                    .map_err(|_| "bad sample retention")?
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -132,6 +151,14 @@ pub fn run_daemon(o: DaemonOptions, handle_signals: bool) -> Result<(), String> 
             admission: o.admission,
             flight_recorder: if o.flight_recorder > 0 {
                 Some(o.flight_recorder)
+            } else {
+                None
+            },
+            sampler: if o.sample_ms > 0 && o.sample_retention > 0 {
+                Some(SamplerConfig {
+                    period_ns: o.sample_ms * 1_000_000,
+                    retention: o.sample_retention,
+                })
             } else {
                 None
             },

@@ -21,10 +21,10 @@ pub mod launch;
 pub mod proto;
 pub mod server;
 
-pub use client::CtlClient;
+pub use client::{CtlClient, CtlWatch};
 pub use frame::{read_frame, write_frame, MAX_FRAME};
 pub use proto::{
-    ChainInfo, CtlError, CtlRequest, CtlResponse, DeployInfo, MetricsFormat, SgFormat, SlaInfo,
-    StatusInfo,
+    ChainInfo, CtlError, CtlEvent, CtlRequest, CtlResponse, DeployInfo, MetricDelta, MetricsFormat,
+    SgFormat, SlaInfo, StatusInfo, WatchTopic,
 };
 pub use server::{Daemon, DaemonConfig};

@@ -60,6 +60,50 @@ impl SgFormat {
     }
 }
 
+/// A stream a `watch` subscriber can select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WatchTopic {
+    /// Structured journal events (deploys, faults, heals, ...).
+    Events,
+    /// Per-sample metric deltas from the time-series sampler.
+    MetricsDeltas,
+    /// SLA verdict changes from the flight recorder.
+    Sla,
+}
+
+impl WatchTopic {
+    pub const ALL: [WatchTopic; 3] = [
+        WatchTopic::Events,
+        WatchTopic::MetricsDeltas,
+        WatchTopic::Sla,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            WatchTopic::Events => "events",
+            WatchTopic::MetricsDeltas => "metrics-deltas",
+            WatchTopic::Sla => "sla",
+        }
+    }
+
+    pub fn parse(s: &str) -> Result<WatchTopic, CtlError> {
+        match s {
+            "events" => Ok(WatchTopic::Events),
+            "metrics-deltas" => Ok(WatchTopic::MetricsDeltas),
+            "sla" => Ok(WatchTopic::Sla),
+            other => Err(CtlError::Invalid {
+                reason: format!("unknown watch topic {other:?}"),
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for WatchTopic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// A command sent to the daemon. The file-based verbs (`deploy`,
 /// `fault`) ship the document *contents*, not a path — the daemon never
 /// reads the client's filesystem.
@@ -81,6 +125,14 @@ pub enum CtlRequest {
     Metrics { format: MetricsFormat },
     /// Per-chain SLA verdicts from the flight recorder.
     Sla,
+    /// Delta-encoded sampler series (JSON document).
+    Series,
+    /// The retained event journal as JSON lines.
+    Journal,
+    /// Subscribe this connection to server-push [`CtlEvent`] frames.
+    /// After the [`CtlResponse::Watching`] ack, the daemon streams event
+    /// frames until the client hangs up (or falls too far behind).
+    Watch { topics: Vec<WatchTopic> },
     /// Start a paced UDP stream between two SAPs.
     Traffic {
         from: String,
@@ -174,9 +226,56 @@ pub enum CtlResponse {
         body: String,
     },
     Sla(Vec<SlaInfo>),
+    /// Sampler series document (JSON text).
+    Series {
+        body: String,
+    },
+    /// Journal export (JSON lines).
+    Journal {
+        body: String,
+    },
+    /// `watch` acknowledged; [`CtlEvent`] frames follow on this
+    /// connection.
+    Watching {
+        topics: Vec<WatchTopic>,
+    },
     TrafficStarted,
     ShuttingDown,
     Error(CtlError),
+}
+
+/// One server-push frame on a watching connection. Carries an `"event"`
+/// discriminator so a subscriber can dispatch without guessing — and so
+/// these frames can never be confused with `"kind"`-tagged responses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtlEvent {
+    /// One structured journal entry.
+    Journal {
+        at_ns: u64,
+        severity: String,
+        kind: String,
+        detail: String,
+    },
+    /// Metric movement over one sample period. Counters and histograms
+    /// report the per-period delta; gauges report the new value.
+    MetricsDelta {
+        at_ns: u64,
+        deltas: Vec<MetricDelta>,
+    },
+    /// Fresh SLA verdicts (sent when a chain's verdict flips).
+    Sla { at_ns: u64, verdicts: Vec<SlaInfo> },
+    /// The subscriber fell behind and `missed` frames were dropped.
+    Lagged { missed: u64 },
+}
+
+/// One metric's movement inside a [`CtlEvent::MetricsDelta`] frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    /// `"counter"`, `"gauge"` or `"histogram"`.
+    pub metric: String,
+    pub value: f64,
 }
 
 /// Structured control-plane failure. `Malformed` carries the byte
@@ -300,6 +399,17 @@ impl CtlRequest {
                 .set("verb", "metrics")
                 .set("format", format.label()),
             CtlRequest::Sla => Value::obj().set("verb", "sla"),
+            CtlRequest::Series => Value::obj().set("verb", "series"),
+            CtlRequest::Journal => Value::obj().set("verb", "journal"),
+            CtlRequest::Watch { topics } => Value::obj().set("verb", "watch").set(
+                "topics",
+                Value::Arr(
+                    topics
+                        .iter()
+                        .map(|t| Value::Str(t.label().into()))
+                        .collect(),
+                ),
+            ),
             CtlRequest::Traffic {
                 from,
                 to,
@@ -339,6 +449,20 @@ impl CtlRequest {
                 format: MetricsFormat::parse(&str_field(v, "format")?)?,
             }),
             "sla" => Ok(CtlRequest::Sla),
+            "series" => Ok(CtlRequest::Series),
+            "journal" => Ok(CtlRequest::Journal),
+            "watch" => Ok(CtlRequest::Watch {
+                topics: arr_field(v, "topics")?
+                    .iter()
+                    .map(|t| {
+                        t.as_str()
+                            .ok_or_else(|| CtlError::Invalid {
+                                reason: "watch topic is not a string".into(),
+                            })
+                            .and_then(WatchTopic::parse)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
             "traffic" => Ok(CtlRequest::Traffic {
                 from: str_field(v, "from")?,
                 to: str_field(v, "to")?,
@@ -395,6 +519,46 @@ impl ChainInfo {
             cookie: u64_field(v, "cookie")?,
             rules: u64_field(v, "rules")?,
             vnfs,
+        })
+    }
+}
+
+impl SlaInfo {
+    fn to_value(&self) -> Value {
+        Value::obj()
+            .set("chain", self.chain.as_str())
+            .set("pass", self.pass)
+            .set("delivered", self.delivered)
+            .set("dropped", self.dropped)
+            .set("loss", self.loss)
+            .set("max_latency_ns", self.max_latency_ns)
+            .set(
+                "violations",
+                Value::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| Value::Str(v.clone()))
+                        .collect(),
+                ),
+            )
+    }
+
+    fn from_value(s: &Value) -> Result<SlaInfo, CtlError> {
+        Ok(SlaInfo {
+            chain: str_field(s, "chain")?,
+            pass: bool_field(s, "pass")?,
+            delivered: u64_field(s, "delivered")?,
+            dropped: u64_field(s, "dropped")?,
+            loss: f64_field(s, "loss")?,
+            max_latency_ns: s.get("max_latency_ns").and_then(Value::as_u64),
+            violations: arr_field(s, "violations")?
+                .iter()
+                .map(|x| {
+                    x.as_str().map(str::to_string).ok_or(CtlError::Invalid {
+                        reason: "violation is not a string".into(),
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?,
         })
     }
 }
@@ -559,27 +723,20 @@ impl CtlResponse {
                 .set("body", body.as_str()),
             CtlResponse::Sla(verdicts) => Value::obj().set("kind", "sla").set(
                 "verdicts",
+                Value::Arr(verdicts.iter().map(SlaInfo::to_value).collect()),
+            ),
+            CtlResponse::Series { body } => Value::obj()
+                .set("kind", "series")
+                .set("body", body.as_str()),
+            CtlResponse::Journal { body } => Value::obj()
+                .set("kind", "journal")
+                .set("body", body.as_str()),
+            CtlResponse::Watching { topics } => Value::obj().set("kind", "watching").set(
+                "topics",
                 Value::Arr(
-                    verdicts
+                    topics
                         .iter()
-                        .map(|s| {
-                            Value::obj()
-                                .set("chain", s.chain.as_str())
-                                .set("pass", s.pass)
-                                .set("delivered", s.delivered)
-                                .set("dropped", s.dropped)
-                                .set("loss", s.loss)
-                                .set("max_latency_ns", s.max_latency_ns)
-                                .set(
-                                    "violations",
-                                    Value::Arr(
-                                        s.violations
-                                            .iter()
-                                            .map(|v| Value::Str(v.clone()))
-                                            .collect(),
-                                    ),
-                                )
-                        })
+                        .map(|t| Value::Str(t.label().into()))
                         .collect(),
                 ),
             ),
@@ -628,30 +785,30 @@ impl CtlResponse {
                 format: MetricsFormat::parse(&str_field(v, "format")?)?,
                 body: str_field(v, "body")?,
             }),
-            "sla" => {
-                let verdicts = arr_field(v, "verdicts")?
+            "sla" => Ok(CtlResponse::Sla(
+                arr_field(v, "verdicts")?
                     .iter()
-                    .map(|s| {
-                        Ok(SlaInfo {
-                            chain: str_field(s, "chain")?,
-                            pass: bool_field(s, "pass")?,
-                            delivered: u64_field(s, "delivered")?,
-                            dropped: u64_field(s, "dropped")?,
-                            loss: f64_field(s, "loss")?,
-                            max_latency_ns: s.get("max_latency_ns").and_then(Value::as_u64),
-                            violations: arr_field(s, "violations")?
-                                .iter()
-                                .map(|x| {
-                                    x.as_str().map(str::to_string).ok_or(CtlError::Invalid {
-                                        reason: "violation is not a string".into(),
-                                    })
-                                })
-                                .collect::<Result<Vec<_>, _>>()?,
-                        })
+                    .map(SlaInfo::from_value)
+                    .collect::<Result<Vec<_>, CtlError>>()?,
+            )),
+            "series" => Ok(CtlResponse::Series {
+                body: str_field(v, "body")?,
+            }),
+            "journal" => Ok(CtlResponse::Journal {
+                body: str_field(v, "body")?,
+            }),
+            "watching" => Ok(CtlResponse::Watching {
+                topics: arr_field(v, "topics")?
+                    .iter()
+                    .map(|t| {
+                        t.as_str()
+                            .ok_or_else(|| CtlError::Invalid {
+                                reason: "watch topic is not a string".into(),
+                            })
+                            .and_then(WatchTopic::parse)
                     })
-                    .collect::<Result<Vec<_>, CtlError>>()?;
-                Ok(CtlResponse::Sla(verdicts))
-            }
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
             "traffic-started" => Ok(CtlResponse::TrafficStarted),
             "shutting-down" => Ok(CtlResponse::ShuttingDown),
             "error" => {
@@ -676,6 +833,114 @@ impl CtlResponse {
             reason: e.message,
         })?;
         CtlResponse::from_value(&v)
+    }
+}
+
+impl MetricDelta {
+    fn to_value(&self) -> Value {
+        Value::obj()
+            .set("name", self.name.as_str())
+            .set(
+                "labels",
+                Value::Arr(
+                    self.labels
+                        .iter()
+                        .map(|(k, v)| Value::obj().set("k", k.as_str()).set("v", v.as_str()))
+                        .collect(),
+                ),
+            )
+            .set("metric", self.metric.as_str())
+            .set("value", self.value)
+    }
+
+    fn from_value(v: &Value) -> Result<MetricDelta, CtlError> {
+        Ok(MetricDelta {
+            name: str_field(v, "name")?,
+            labels: arr_field(v, "labels")?
+                .iter()
+                .map(|l| Ok((str_field(l, "k")?, str_field(l, "v")?)))
+                .collect::<Result<Vec<_>, CtlError>>()?,
+            metric: str_field(v, "metric")?,
+            value: f64_field(v, "value")?,
+        })
+    }
+}
+
+impl CtlEvent {
+    pub fn to_value(&self) -> Value {
+        match self {
+            CtlEvent::Journal {
+                at_ns,
+                severity,
+                kind,
+                detail,
+            } => Value::obj()
+                .set("event", "journal")
+                .set("at_ns", *at_ns)
+                .set("severity", severity.as_str())
+                .set("kind", kind.as_str())
+                .set("detail", detail.as_str()),
+            CtlEvent::MetricsDelta { at_ns, deltas } => Value::obj()
+                .set("event", "metrics-delta")
+                .set("at_ns", *at_ns)
+                .set(
+                    "deltas",
+                    Value::Arr(deltas.iter().map(MetricDelta::to_value).collect()),
+                ),
+            CtlEvent::Sla { at_ns, verdicts } => {
+                Value::obj().set("event", "sla").set("at_ns", *at_ns).set(
+                    "verdicts",
+                    Value::Arr(verdicts.iter().map(SlaInfo::to_value).collect()),
+                )
+            }
+            CtlEvent::Lagged { missed } => {
+                Value::obj().set("event", "lagged").set("missed", *missed)
+            }
+        }
+    }
+
+    pub fn from_value(v: &Value) -> Result<CtlEvent, CtlError> {
+        let event = str_field(v, "event")?;
+        match event.as_str() {
+            "journal" => Ok(CtlEvent::Journal {
+                at_ns: u64_field(v, "at_ns")?,
+                severity: str_field(v, "severity")?,
+                kind: str_field(v, "kind")?,
+                detail: str_field(v, "detail")?,
+            }),
+            "metrics-delta" => Ok(CtlEvent::MetricsDelta {
+                at_ns: u64_field(v, "at_ns")?,
+                deltas: arr_field(v, "deltas")?
+                    .iter()
+                    .map(MetricDelta::from_value)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            "sla" => Ok(CtlEvent::Sla {
+                at_ns: u64_field(v, "at_ns")?,
+                verdicts: arr_field(v, "verdicts")?
+                    .iter()
+                    .map(SlaInfo::from_value)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            "lagged" => Ok(CtlEvent::Lagged {
+                missed: u64_field(v, "missed")?,
+            }),
+            other => Err(CtlError::Invalid {
+                reason: format!("unknown event {other:?}"),
+            }),
+        }
+    }
+
+    pub fn encode(&self) -> String {
+        self.to_value().to_string()
+    }
+
+    pub fn decode(src: &str) -> Result<CtlEvent, CtlError> {
+        let v = Value::parse_detailed(src).map_err(|e| CtlError::Malformed {
+            offset: e.offset as u64,
+            reason: e.message,
+        })?;
+        CtlEvent::from_value(&v)
     }
 }
 
@@ -721,6 +986,12 @@ mod tests {
             format: MetricsFormat::Json,
         });
         round_trip_request(CtlRequest::Sla);
+        round_trip_request(CtlRequest::Series);
+        round_trip_request(CtlRequest::Journal);
+        round_trip_request(CtlRequest::Watch { topics: vec![] });
+        round_trip_request(CtlRequest::Watch {
+            topics: WatchTopic::ALL.to_vec(),
+        });
         round_trip_request(CtlRequest::Traffic {
             from: "sap0".into(),
             to: "sap1".into(),
@@ -794,8 +1065,61 @@ mod tests {
             max_latency_ns: None,
             violations: vec![],
         }]));
+        round_trip_response(CtlResponse::Series {
+            body: "{\"period_ns\": 5000000}".into(),
+        });
+        round_trip_response(CtlResponse::Journal {
+            body: "{\"at_ns\": 1}\n{\"at_ns\": 2}\n".into(),
+        });
+        round_trip_response(CtlResponse::Watching {
+            topics: vec![WatchTopic::Events, WatchTopic::Sla],
+        });
         round_trip_response(CtlResponse::TrafficStarted);
         round_trip_response(CtlResponse::ShuttingDown);
+    }
+
+    #[test]
+    fn events_round_trip() {
+        for e in [
+            CtlEvent::Journal {
+                at_ns: 5_000_000,
+                severity: "warn".into(),
+                kind: "deploy-rolled-back".into(),
+                detail: "chain demo: netconf phase".into(),
+            },
+            CtlEvent::MetricsDelta {
+                at_ns: 10_000_000,
+                deltas: vec![MetricDelta {
+                    name: "escape.deploys".into(),
+                    labels: vec![("domain".into(), "core".into())],
+                    metric: "counter".into(),
+                    value: 2.0,
+                }],
+            },
+            CtlEvent::Sla {
+                at_ns: 15_000_000,
+                verdicts: vec![SlaInfo {
+                    chain: "demo".into(),
+                    pass: false,
+                    delivered: 18,
+                    dropped: 2,
+                    loss: 0.1,
+                    max_latency_ns: Some(1_234_567),
+                    violations: vec!["loss 0.10 > 0.05".into()],
+                }],
+            },
+            CtlEvent::Lagged { missed: 42 },
+        ] {
+            let text = e.encode();
+            let back = CtlEvent::decode(&text).unwrap();
+            assert_eq!(e, back, "wire text: {text}");
+        }
+    }
+
+    #[test]
+    fn unknown_watch_topic_is_typed() {
+        let err = CtlRequest::decode("{\"verb\": \"watch\", \"topics\": [\"vibes\"]}").unwrap_err();
+        assert!(matches!(err, CtlError::Invalid { .. }), "{err:?}");
     }
 
     #[test]

@@ -15,19 +15,23 @@
 
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{
-    ChainInfo, CtlError, CtlRequest, CtlResponse, DeployInfo, MetricsFormat, SlaInfo, StatusInfo,
+    ChainInfo, CtlError, CtlEvent, CtlRequest, CtlResponse, DeployInfo, MetricDelta, MetricsFormat,
+    SlaInfo, StatusInfo, WatchTopic,
 };
 use escape::env::DeploymentReport;
 use escape::error::{AdmissionVerdict, EscapeError};
 use escape::flight::SlaVerdict;
 use escape::session::{InputFormat, SessionStatus};
 use escape::Session;
+use escape_telemetry::{ReportEntry, Snapshot};
+use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::mpsc::{self, TrySendError};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
@@ -92,7 +96,195 @@ impl DaemonConfig {
     }
 }
 
-type Command = (CtlRequest, mpsc::Sender<CtlResponse>);
+enum Command {
+    /// One request expecting exactly one response.
+    Request(CtlRequest, mpsc::Sender<CtlResponse>),
+    /// A connection registering for server-push [`CtlEvent`] frames.
+    Subscribe(Subscriber),
+}
+
+/// Bounded per-subscriber queue depth. The environment loop never
+/// blocks on a slow client: a full queue turns pushes into a `missed`
+/// count surfaced later as one [`CtlEvent::Lagged`] frame.
+const SUBSCRIBER_QUEUE: usize = 256;
+
+/// A subscriber this far behind (a full queue plus this many misses) is
+/// evicted outright — its writer channel is dropped, which closes the
+/// stream so the client sees EOF rather than a silent stall.
+const MAX_MISSED: u64 = 4_096;
+
+struct Subscriber {
+    topics: Vec<WatchTopic>,
+    tx: mpsc::SyncSender<CtlEvent>,
+    missed: u64,
+}
+
+impl Subscriber {
+    fn wants(&self, topic: WatchTopic) -> bool {
+        self.topics.contains(&topic)
+    }
+
+    /// Queues one event without blocking. When the client's queue is
+    /// full the event is counted as missed; the next successful push is
+    /// preceded by a [`CtlEvent::Lagged`] frame carrying that count.
+    /// Returns false when the subscriber should be evicted.
+    fn push(&mut self, ev: &CtlEvent) -> bool {
+        if self.missed > 0 {
+            match self.tx.try_send(CtlEvent::Lagged {
+                missed: self.missed,
+            }) {
+                Ok(()) => self.missed = 0,
+                Err(TrySendError::Full(_)) => {
+                    self.missed += 1;
+                    return self.missed <= MAX_MISSED;
+                }
+                Err(TrySendError::Disconnected(_)) => return false,
+            }
+        }
+        match self.tx.try_send(ev.clone()) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                self.missed += 1;
+                self.missed <= MAX_MISSED
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        }
+    }
+}
+
+/// Fan-out state for `watch` subscriptions, owned by the environment
+/// loop. All cursors (journal sequence, metrics baseline, SLA verdicts)
+/// advance on every publish so a new subscriber starts from "now"
+/// rather than replaying history.
+struct Publisher {
+    subscribers: Vec<Subscriber>,
+    journal_seq: u64,
+    last_snapshot: Snapshot,
+    sla_last: HashMap<String, bool>,
+}
+
+impl Publisher {
+    fn new(session: &Session) -> Publisher {
+        Publisher {
+            subscribers: Vec::new(),
+            journal_seq: session.escape().journal().seq_end(),
+            last_snapshot: session.escape().metrics(),
+            sla_last: HashMap::new(),
+        }
+    }
+
+    /// Pushes everything that happened since the last publish to every
+    /// subscriber: new journal entries, one metrics-delta frame (when
+    /// any metric moved) and SLA verdict flips.
+    fn publish(&mut self, session: &Session) {
+        let esc = session.escape();
+        let now_ns = esc.now().as_ns();
+
+        let events: Vec<CtlEvent> = esc
+            .journal()
+            .events_since(self.journal_seq)
+            .map(|e| CtlEvent::Journal {
+                at_ns: e.at_ns,
+                severity: e.severity.label().into(),
+                kind: e.kind.label().into(),
+                detail: e.detail.clone(),
+            })
+            .collect();
+        self.journal_seq = esc.journal().seq_end();
+
+        let snap = esc.metrics();
+        let report = self.last_snapshot.diff(&snap);
+        let delta_frame = if report.is_empty() {
+            None
+        } else {
+            Some(CtlEvent::MetricsDelta {
+                at_ns: now_ns,
+                deltas: report.entries.iter().map(metric_delta).collect(),
+            })
+        };
+        self.last_snapshot = snap;
+
+        // The verdict scan walks the flight-recorder trace, so it only
+        // runs when someone actually subscribed to SLA flips.
+        let sla_frame = if self.subscribers.iter().any(|s| s.wants(WatchTopic::Sla)) {
+            let flipped: Vec<SlaInfo> = session
+                .sla_verdicts()
+                .iter()
+                .filter(|v| self.sla_last.insert(v.chain.clone(), v.pass) != Some(v.pass))
+                .map(sla_info)
+                .collect();
+            if flipped.is_empty() {
+                None
+            } else {
+                Some(CtlEvent::Sla {
+                    at_ns: now_ns,
+                    verdicts: flipped,
+                })
+            }
+        } else {
+            None
+        };
+
+        self.subscribers.retain_mut(|sub| {
+            if sub.wants(WatchTopic::Events) {
+                for ev in &events {
+                    if !sub.push(ev) {
+                        return false;
+                    }
+                }
+            }
+            if sub.wants(WatchTopic::MetricsDeltas) {
+                if let Some(ev) = &delta_frame {
+                    if !sub.push(ev) {
+                        return false;
+                    }
+                }
+            }
+            if sub.wants(WatchTopic::Sla) {
+                if let Some(ev) = &sla_frame {
+                    if !sub.push(ev) {
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+    }
+}
+
+fn metric_delta(e: &ReportEntry) -> MetricDelta {
+    match e {
+        ReportEntry::CounterDelta {
+            name,
+            labels,
+            delta,
+        } => MetricDelta {
+            name: name.clone(),
+            labels: labels.clone(),
+            metric: "counter".into(),
+            value: *delta as f64,
+        },
+        ReportEntry::GaugeChange {
+            name, labels, to, ..
+        } => MetricDelta {
+            name: name.clone(),
+            labels: labels.clone(),
+            metric: "gauge".into(),
+            value: *to as f64,
+        },
+        ReportEntry::HistogramActivity {
+            name,
+            labels,
+            observations,
+            ..
+        } => MetricDelta {
+            name: name.clone(),
+            labels: labels.clone(),
+            metric: "histogram".into(),
+            value: *observations as f64,
+        },
+    }
+}
 
 /// The daemon entry point. [`Daemon::run`] blocks the calling thread as
 /// the environment loop until a `shutdown` verb or a termination signal
@@ -116,21 +308,25 @@ impl Daemon {
             thread::spawn(move || accept_loop(listener, tx, shutdown))
         };
 
+        let mut publisher = Publisher::new(&session);
         loop {
             if cfg.handle_signals && sig::requested() {
                 break;
             }
             match rx.recv_timeout(Duration::from_millis(25)) {
-                Ok((CtlRequest::Shutdown, reply)) => {
+                Ok(Command::Request(CtlRequest::Shutdown, reply)) => {
                     let _ = reply.send(CtlResponse::ShuttingDown);
                     break;
                 }
-                Ok((req, reply)) => {
+                Ok(Command::Request(req, reply)) => {
                     let _ = reply.send(execute(&mut session, &req));
+                    publisher.publish(&session);
                 }
+                Ok(Command::Subscribe(sub)) => publisher.subscribers.push(sub),
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     if cfg.tick_ms > 0 {
                         session.run_for_ms(cfg.tick_ms);
+                        publisher.publish(&session);
                     }
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => break,
@@ -138,9 +334,14 @@ impl Daemon {
         }
 
         // Stop accepting, refuse anything already queued, then dismantle.
+        // Dropping the publisher drops every subscriber channel, which
+        // ends the writer threads and closes watching connections.
         shutdown.store(true, Ordering::SeqCst);
-        while let Ok((_req, reply)) = rx.try_recv() {
-            let _ = reply.send(CtlResponse::Error(CtlError::ShuttingDown));
+        drop(publisher);
+        while let Ok(cmd) = rx.try_recv() {
+            if let Command::Request(_req, reply) = cmd {
+                let _ = reply.send(CtlResponse::Error(CtlError::ShuttingDown));
+            }
         }
         let failed = session.teardown_all();
         for (chain, e) in &failed {
@@ -226,8 +427,14 @@ fn connection_loop(mut stream: UnixStream, tx: mpsc::Sender<Command>, shutdown: 
                 continue;
             }
         };
+        if let CtlRequest::Watch { topics } = req {
+            watch_loop(stream, topics, tx, shutdown);
+            return;
+        }
         let (reply_tx, reply_rx) = mpsc::channel();
-        let resp = if shutdown.load(Ordering::SeqCst) || tx.send((req, reply_tx)).is_err() {
+        let resp = if shutdown.load(Ordering::SeqCst)
+            || tx.send(Command::Request(req, reply_tx)).is_err()
+        {
             CtlResponse::Error(CtlError::ShuttingDown)
         } else {
             reply_rx
@@ -238,6 +445,75 @@ fn connection_loop(mut stream: UnixStream, tx: mpsc::Sender<Command>, shutdown: 
             return;
         }
     }
+}
+
+/// Turns a connection into a push stream: acks with `watching`, then a
+/// dedicated writer thread drains the subscriber queue onto the socket
+/// while this thread waits for the client to hang up. An empty topic
+/// list subscribes to everything.
+fn watch_loop(
+    mut stream: UnixStream,
+    topics: Vec<WatchTopic>,
+    tx: mpsc::Sender<Command>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let topics = if topics.is_empty() {
+        WatchTopic::ALL.to_vec()
+    } else {
+        let mut t = topics;
+        t.sort();
+        t.dedup();
+        t
+    };
+    if shutdown.load(Ordering::SeqCst) {
+        let _ = reply(&mut stream, CtlResponse::Error(CtlError::ShuttingDown));
+        return;
+    }
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (ev_tx, ev_rx) = mpsc::sync_channel::<CtlEvent>(SUBSCRIBER_QUEUE);
+    thread::spawn(move || writer_loop(writer_stream, ev_rx));
+    // Register with the publisher BEFORE acknowledging: once the client
+    // reads the `watching` ack, any command it issues is guaranteed to
+    // be enqueued behind this subscription and therefore observed.
+    if tx
+        .send(Command::Subscribe(Subscriber {
+            topics: topics.clone(),
+            tx: ev_tx,
+            missed: 0,
+        }))
+        .is_err()
+    {
+        let _ = reply(&mut stream, CtlResponse::Error(CtlError::ShuttingDown));
+        return;
+    }
+    if reply(&mut stream, CtlResponse::Watching { topics }).is_err() {
+        // Client vanished before the ack: the writer's next frame fails
+        // and the publisher evicts the dangling subscription.
+        return;
+    }
+    // A watching connection is push-only from here on: drain (and
+    // ignore) anything else the client sends until it hangs up. Once it
+    // does, the writer's next frame fails and the publisher evicts us.
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(_)) => continue,
+            Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+fn writer_loop(mut stream: UnixStream, rx: mpsc::Receiver<CtlEvent>) {
+    for ev in rx {
+        if write_frame(&mut stream, &ev.encode()).is_err() {
+            return; // client hung up; the publisher evicts on next push
+        }
+    }
+    // The publisher dropped this subscriber (eviction or shutdown):
+    // close the stream so the client sees EOF instead of a stall.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 fn reply(stream: &mut UnixStream, resp: CtlResponse) -> io::Result<()> {
@@ -289,6 +565,17 @@ pub fn execute(session: &mut Session, req: &CtlRequest) -> CtlResponse {
             body: session.metrics_exposition(matches!(format, MetricsFormat::Json)),
         },
         CtlRequest::Sla => CtlResponse::Sla(session.sla_verdicts().iter().map(sla_info).collect()),
+        CtlRequest::Series => CtlResponse::Series {
+            body: session.series_json(),
+        },
+        CtlRequest::Journal => CtlResponse::Journal {
+            body: session.journal_json_lines(),
+        },
+        // Intercepted at the connection layer; answered here too so
+        // `execute` stays total for direct (in-process) callers.
+        CtlRequest::Watch { .. } => CtlResponse::Error(CtlError::Invalid {
+            reason: "watch is a streaming verb; it needs a socket connection".into(),
+        }),
         CtlRequest::Traffic {
             from,
             to,
@@ -415,4 +702,61 @@ fn flush_artifacts(session: &Session, dir: &Path) -> io::Result<()> {
     fs::write(dir.join("metrics.prom"), session.metrics_exposition(false))?;
     fs::write(dir.join("metrics.json"), session.metrics_exposition(true))?;
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lag_frame() -> CtlEvent {
+        CtlEvent::Lagged { missed: 0 }
+    }
+
+    #[test]
+    fn slow_subscriber_counts_misses_then_evicts() {
+        let (tx, rx) = mpsc::sync_channel(2);
+        let mut sub = Subscriber {
+            topics: WatchTopic::ALL.to_vec(),
+            tx,
+            missed: 0,
+        };
+        // Queue holds 2 frames; the rest count as missed.
+        assert!(sub.push(&lag_frame()));
+        assert!(sub.push(&lag_frame()));
+        assert!(sub.push(&lag_frame()));
+        assert_eq!(sub.missed, 1);
+
+        // Draining makes room: the next push delivers a `lagged` frame
+        // carrying the count, then the event itself, and resets.
+        rx.recv().unwrap();
+        rx.recv().unwrap();
+        assert!(sub.push(&CtlEvent::Lagged { missed: 77 }));
+        assert_eq!(sub.missed, 0);
+        assert!(matches!(rx.recv().unwrap(), CtlEvent::Lagged { missed: 1 }));
+        assert!(matches!(
+            rx.recv().unwrap(),
+            CtlEvent::Lagged { missed: 77 }
+        ));
+
+        // A subscriber that never drains is evicted once it has missed
+        // more than MAX_MISSED frames. The two recvs above emptied the
+        // queue, so the first two pushes land and the rest miss.
+        for _ in 0..MAX_MISSED + 1 {
+            assert!(sub.push(&lag_frame()), "still within the miss budget");
+        }
+        assert_eq!(sub.missed, MAX_MISSED - 1);
+        assert!(sub.push(&lag_frame()), "exactly MAX_MISSED is tolerated");
+        assert!(!sub.push(&lag_frame()), "past MAX_MISSED must evict");
+        assert_eq!(sub.missed, MAX_MISSED + 1);
+
+        // ...and a hung-up subscriber is evicted immediately.
+        let (tx, rx) = mpsc::sync_channel(2);
+        let mut gone = Subscriber {
+            topics: WatchTopic::ALL.to_vec(),
+            tx,
+            missed: 0,
+        };
+        drop(rx);
+        assert!(!gone.push(&lag_frame()));
+    }
 }

@@ -28,6 +28,7 @@
 
 use crate::env::{AdmissionConfig, Escape};
 use crate::error::{AdmissionVerdict, EscapeError};
+use crate::journal::{Journal, JournalKind, Severity, DEFAULT_JOURNAL_CAP};
 use escape_domain::{merge_event_logs, ChainPlan, DomainSpec, GlobalOrchestrator, Partition};
 use escape_netem::{LinkState, Time};
 use escape_orch::{MapError, MappingAlgorithm};
@@ -93,6 +94,10 @@ pub struct MultiDomainEscape {
     workers: usize,
     /// Coordinator-level event log: (virtual ns, message).
     events: Vec<(u64, String)>,
+    /// Coordinator-level typed event journal (stitches, escalations,
+    /// gateway faults). Per-domain journals live in each [`Escape`];
+    /// [`MultiDomainEscape::journal_json_lines`] merges them all.
+    journal: Journal,
     /// Coordinator-level metrics (handoffs, re-stitches).
     registry: Registry,
     clock: Time,
@@ -146,6 +151,7 @@ impl MultiDomainEscape {
             }
         }
         gw_saps.sort();
+        let registry = Registry::new();
         let mut md = MultiDomainEscape {
             global: GlobalOrchestrator::new(partition),
             parts,
@@ -157,7 +163,8 @@ impl MultiDomainEscape {
             next_port: CHAIN_PORT_BASE,
             workers: workers.max(1),
             events: Vec::new(),
-            registry: Registry::new(),
+            journal: Journal::new(&registry, DEFAULT_JOURNAL_CAP),
+            registry,
             clock: Time::ZERO,
             admission: None,
         };
@@ -212,6 +219,45 @@ impl MultiDomainEscape {
         self.events.push((self.clock.as_ns(), msg));
     }
 
+    /// Appends a typed entry to the coordinator journal at the current
+    /// coordinator (virtual) time.
+    fn journal_event(&mut self, severity: Severity, kind: JournalKind, detail: String) {
+        self.journal
+            .record(self.clock.as_ns(), severity, kind, detail);
+    }
+
+    /// The coordinator's own typed event journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Merged, domain-labelled journal as JSON lines: the coordinator's
+    /// entries (`"domain":"global"`) and every domain's, stably ordered
+    /// by virtual timestamp (ties keep global-then-partition-order, the
+    /// same discipline as [`MultiDomainEscape::event_trace`]).
+    /// Byte-identical across same-seed runs and any worker count.
+    pub fn journal_json_lines(&self) -> String {
+        let mut rows: Vec<(u64, String)> = Vec::new();
+        for e in self.journal.entries() {
+            rows.push((e.at_ns, e.json_value().set("domain", "global").to_string()));
+        }
+        for rt in &self.parts {
+            for e in rt.esc.journal().entries() {
+                rows.push((
+                    e.at_ns,
+                    e.json_value().set("domain", rt.name.as_str()).to_string(),
+                ));
+            }
+        }
+        rows.sort_by_key(|(at, _)| *at); // stable: ties keep stream order
+        let mut out = String::new();
+        for (_, line) in rows {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
     fn domain_index(&self, name: &str) -> usize {
         self.global.partition().domain_index(name).unwrap()
     }
@@ -252,6 +298,14 @@ impl MultiDomainEscape {
                     "admission: rejected (mean utilization {utilization:.2} >= hard {:.2})",
                     cfg.hard_watermark
                 ));
+                self.journal_event(
+                    Severity::Warn,
+                    JournalKind::AdmissionRejected,
+                    format!(
+                        "mean utilization {utilization:.2} >= hard watermark {:.2}",
+                        cfg.hard_watermark
+                    ),
+                );
                 return Err(EscapeError::Admission(AdmissionVerdict::RejectedHard {
                     utilization,
                     hard_watermark: cfg.hard_watermark,
@@ -274,6 +328,16 @@ impl MultiDomainEscape {
                 plan.legs.len(),
                 plan.inter_domain_us
             ));
+            self.journal_event(
+                Severity::Info,
+                JournalKind::DeployCommitted,
+                format!(
+                    "chain {} stitched across {:?} ({} legs)",
+                    plan.chain,
+                    plan.domain_path,
+                    plan.legs.len()
+                ),
+            );
             self.plans.insert(plan.chain.clone(), plan);
             self.graphs.insert(chain.name.clone(), sg.clone());
         }
@@ -363,6 +427,11 @@ impl MultiDomainEscape {
         self.global.release(chain);
         self.graphs.remove(chain);
         self.note(format!("chain {chain} torn down"));
+        self.journal_event(
+            Severity::Info,
+            JournalKind::Teardown,
+            format!("chain {chain}"),
+        );
         self.align();
         Ok(())
     }
@@ -515,6 +584,11 @@ impl MultiDomainEscape {
             self.note(format!(
                 "chain {chain}: local recovery exhausted, escalating to global re-stitch"
             ));
+            self.journal_event(
+                Severity::Warn,
+                JournalKind::HealEscalated,
+                format!("chain {chain}: local recovery exhausted"),
+            );
             self.restitch(&chain);
         }
     }
@@ -555,12 +629,22 @@ impl MultiDomainEscape {
                     "chain {chain} re-stitched across {:?}",
                     plan.domain_path
                 ));
+                self.journal_event(
+                    Severity::Info,
+                    JournalKind::ChainRestitched,
+                    format!("chain {chain} across {:?}", plan.domain_path),
+                );
                 self.plans.insert(chain.to_string(), plan);
             }
             Err(e) => {
                 self.registry.counter("domains.restitch_failures").inc();
                 self.graphs.remove(chain);
                 self.note(format!("chain {chain} abandoned: {e}"));
+                self.journal_event(
+                    Severity::Error,
+                    JournalKind::ChainAbandoned,
+                    format!("chain {chain}: {e}"),
+                );
             }
         }
         self.align();
@@ -586,6 +670,11 @@ impl MultiDomainEscape {
             "gateway {id} ({}--{}) down",
             g.a_switch, g.b_switch
         ));
+        self.journal_event(
+            Severity::Warn,
+            JournalKind::GatewayDown,
+            format!("gateway {id} ({}--{})", g.a_switch, g.b_switch),
+        );
         let mut affected: Vec<String> = self
             .plans
             .iter()
@@ -616,6 +705,11 @@ impl MultiDomainEscape {
             "gateway {id} ({}--{}) restored",
             g.a_switch, g.b_switch
         ));
+        self.journal_event(
+            Severity::Info,
+            JournalKind::GatewayRestored,
+            format!("gateway {id} ({}--{})", g.a_switch, g.b_switch),
+        );
         Ok(())
     }
 

@@ -13,6 +13,7 @@ use crate::container::{VnfContainer, VnfStatus};
 use crate::error::{AdmissionVerdict, DeployPhase, EscapeError, RollbackReport, RollbackStep};
 use crate::flight::{self, FlightRecord, NodeKind, SlaVerdict};
 use crate::infra::{Infra, ManagerRelay};
+use crate::journal::{Journal, JournalKind, Severity, DEFAULT_JOURNAL_CAP};
 use bytes::Bytes;
 use escape_netconf::client::{switch_port_of, vnf_id_of};
 use escape_netconf::message::ReplyBody;
@@ -26,7 +27,7 @@ use escape_orch::{ChainMapping, MappingAlgorithm, Orchestrator};
 use escape_packet::PacketBuilder;
 use escape_pox::{Controller, SteeringMode, SteeringRule, TrafficSteering};
 use escape_sg::{ResourceTopology, ServiceGraph};
-use escape_telemetry::{Counter, Histogram, Registry, Snapshot, Tracer};
+use escape_telemetry::{Counter, Histogram, Registry, Sampler, SamplerConfig, Snapshot, Tracer};
 use std::collections::{HashMap, HashSet};
 
 /// Virtual-time budget for a single NETCONF round trip before we declare
@@ -238,7 +239,23 @@ pub struct Escape {
     /// Malformed NETCONF replies noted by containers
     /// (container, reason), drained by the RPC layer.
     malformed_seen: Vec<(String, String)>,
+    /// Typed operational event journal (bounded ring, virtual-clock
+    /// stamped; evictions counted as `escape.journal_evicted`).
+    journal: Journal,
+    /// Periodic metric sampler on the virtual clock. `None` until
+    /// enabled with [`Escape::enable_sampler`].
+    sampler: Option<Sampler>,
+    /// Last observed SLA pass flag per chain, for flip detection at
+    /// sample points.
+    sla_last: HashMap<String, bool>,
+    /// `openflow.cache_invalidations` total at the previous sample
+    /// point, for storm detection.
+    last_cache_invalidations: u64,
 }
+
+/// Cache invalidations within one sample period at or above this count
+/// are journaled as a storm (rule churn thrashing the fast path).
+const CACHE_STORM_THRESHOLD: u64 = 64;
 
 /// How a single RPC attempt failed: retryably (no reply within the
 /// budget) or fatally (agent answered with an error, or the target does
@@ -315,6 +332,10 @@ impl Escape {
             admission_rejected_ctr: telemetry.counter("escape.admission_rejected"),
             admission_retries_ctr: telemetry.counter("escape.admission_retries"),
             malformed_seen: Vec::new(),
+            journal: Journal::new(&telemetry, DEFAULT_JOURNAL_CAP),
+            sampler: None,
+            sla_last: HashMap::new(),
+            last_cache_invalidations: 0,
             telemetry,
         };
         // Let the OpenFlow handshake and hello exchanges settle.
@@ -351,10 +372,10 @@ impl Escape {
         let deadline = self.sim.now() + Time::from_ms(ms);
         while !self.admission_queue.is_empty() && self.sim.now() < deadline {
             let slice = (self.sim.now() + Time::from_ms(1)).min(deadline);
-            self.sim.run_until(slice);
+            self.advance_to(slice);
             self.pump_admission();
         }
-        self.sim.run_until(deadline);
+        self.advance_to(deadline);
     }
 
     /// Advances virtual time to an absolute deadline. The multi-domain
@@ -362,7 +383,123 @@ impl Escape {
     /// epoch barrier; the clock lands exactly on `deadline` even when the
     /// event queue drains early.
     pub fn run_until(&mut self, deadline: Time) {
-        self.sim.run_until(deadline);
+        self.advance_to(deadline);
+    }
+
+    /// Advances the simulator to `deadline`, pausing at every sampler
+    /// boundary on the way to take a snapshot (and run the sample-point
+    /// observers: SLA flip detection, cache-storm detection) at its
+    /// scheduled virtual instant.
+    fn advance_to(&mut self, deadline: Time) {
+        if self.sampler.is_none() {
+            self.sim.run_until(deadline);
+            return;
+        }
+        loop {
+            let due = Time::from_ns(self.sampler.as_ref().expect("sampler").next_due_ns());
+            let stop = due.min(deadline);
+            if stop > self.sim.now() {
+                self.sim.run_until(stop);
+            }
+            if self
+                .sampler
+                .as_ref()
+                .is_some_and(|s| s.due(self.sim.now().as_ns()))
+            {
+                self.observe_tick();
+            }
+            if self.sim.now() >= deadline {
+                return;
+            }
+        }
+    }
+
+    /// One sample point: detect SLA verdict flips and cache-invalidation
+    /// storms, then record a registry snapshot into the sampler ring.
+    /// Everything here runs on the virtual clock, so the journal and the
+    /// series stay byte-identical across same-seed runs.
+    fn observe_tick(&mut self) {
+        let now_ns = self.sim.now().as_ns();
+        // SLA flips are only observable while the flight recorder runs.
+        if self.sim.trace.is_some() {
+            for v in self.sla_verdicts() {
+                let was = self.sla_last.insert(v.chain.clone(), v.pass);
+                if was == Some(v.pass) {
+                    continue;
+                }
+                let (sev, what) = if v.pass {
+                    (Severity::Info, "pass")
+                } else {
+                    (Severity::Warn, "fail")
+                };
+                self.journal_event(
+                    sev,
+                    JournalKind::SlaFlip,
+                    format!(
+                        "chain {}: {what} (delivered {} dropped {} loss {:.3})",
+                        v.chain, v.delivered, v.dropped, v.loss
+                    ),
+                );
+            }
+        }
+        let snap = self.telemetry.snapshot();
+        let invalidations = snap.counter_total("openflow.cache_invalidations");
+        let delta = invalidations.saturating_sub(self.last_cache_invalidations);
+        if delta >= CACHE_STORM_THRESHOLD {
+            self.journal_event(
+                Severity::Warn,
+                JournalKind::CacheInvalidationStorm,
+                format!("{delta} flow-cache invalidations in one sample period"),
+            );
+        }
+        self.last_cache_invalidations = invalidations;
+        if let Some(s) = &mut self.sampler {
+            s.record(now_ns, snap);
+        }
+    }
+
+    /// Turns on the periodic metric sampler. Samples are taken at
+    /// period boundaries of the *virtual* clock while time advances
+    /// through [`Escape::run_for_ms`] / [`Escape::run_with_recovery`] /
+    /// [`Escape::run_until`].
+    pub fn enable_sampler(&mut self, cfg: SamplerConfig) {
+        self.sampler = Some(Sampler::new(&self.telemetry, cfg));
+    }
+
+    /// The sampler ring, if enabled.
+    pub fn sampler(&self) -> Option<&Sampler> {
+        self.sampler.as_ref()
+    }
+
+    /// Delta-encoded sampler series as a JSON document (see
+    /// [`Sampler::series_json`]). An environment without a sampler
+    /// reports an empty window.
+    pub fn sampler_series_json(&self) -> String {
+        match &self.sampler {
+            Some(s) => s.series_json().to_string_pretty(),
+            None => escape_json::Value::obj()
+                .set("period_ns", 0u64)
+                .set("evicted", 0u64)
+                .set("at_ns", Vec::<u64>::new())
+                .set("series", escape_json::Value::Arr(Vec::new()))
+                .to_string_pretty(),
+        }
+    }
+
+    /// The typed operational event journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The retained journal as JSON lines.
+    pub fn journal_json_lines(&self) -> String {
+        self.journal.json_lines()
+    }
+
+    /// Appends a typed entry to the journal at the current virtual time.
+    fn journal_event(&mut self, severity: Severity, kind: JournalKind, detail: String) {
+        self.journal
+            .record(self.sim.now().as_ns(), severity, kind, detail);
     }
 
     /// The orchestrator (resource view, algorithm swapping).
@@ -535,6 +672,11 @@ impl Escape {
         for i in malformed_before..self.malformed_seen.len() {
             let (owner, reason) = self.malformed_seen[i].clone();
             self.note(format!("netconf: malformed reply from {owner}: {reason}"));
+            self.journal_event(
+                Severity::Warn,
+                JournalKind::MalformedReply,
+                format!("{owner}: {reason}"),
+            );
         }
         replies
     }
@@ -715,6 +857,14 @@ impl Escape {
                 "admission: rejected (utilization {utilization:.2} >= hard {:.2})",
                 cfg.hard_watermark
             ));
+            self.journal_event(
+                Severity::Warn,
+                JournalKind::AdmissionRejected,
+                format!(
+                    "utilization {utilization:.2} >= hard watermark {:.2}",
+                    cfg.hard_watermark
+                ),
+            );
             return Some(AdmissionVerdict::RejectedHard {
                 utilization,
                 hard_watermark: cfg.hard_watermark,
@@ -727,6 +877,11 @@ impl Escape {
                     "admission: queue full ({} waiting)",
                     self.admission_queue.len()
                 ));
+                self.journal_event(
+                    Severity::Warn,
+                    JournalKind::AdmissionRejected,
+                    format!("queue full ({} waiting)", self.admission_queue.len()),
+                );
                 return Some(AdmissionVerdict::QueueFull {
                     capacity: cfg.max_queue,
                 });
@@ -742,6 +897,11 @@ impl Escape {
             self.note(format!(
                 "admission: queued at position {position} (utilization {utilization:.2})"
             ));
+            self.journal_event(
+                Severity::Info,
+                JournalKind::AdmissionQueued,
+                format!("position {position} (utilization {utilization:.2})"),
+            );
             return Some(AdmissionVerdict::Queued {
                 position,
                 utilization,
@@ -791,6 +951,14 @@ impl Escape {
                     "admission: dropped after {} attempts (utilization {utilization:.2})",
                     q.attempts
                 ));
+                self.journal_event(
+                    Severity::Warn,
+                    JournalKind::AdmissionDropped,
+                    format!(
+                        "retry budget spent after {} attempts (utilization {utilization:.2})",
+                        q.attempts
+                    ),
+                );
                 continue;
             }
             q.next_due = self
@@ -860,6 +1028,16 @@ impl Escape {
         for txn in txns {
             let dc = txn.into_deployed();
             self.chains_ctr.inc();
+            self.journal_event(
+                Severity::Info,
+                JournalKind::DeployCommitted,
+                format!(
+                    "chain {} ({} vnfs, {} rules)",
+                    dc.mapping.chain.name,
+                    dc.vnfs.len(),
+                    dc.rules
+                ),
+            );
             self.deployed
                 .insert(dc.mapping.chain.name.clone(), dc.clone());
             // Remember the source graph so a crash can re-map the chain.
@@ -973,6 +1151,11 @@ impl Escape {
         self.note(format!(
             "deploy rolled back in {phase}: {cause} ({rollback})"
         ));
+        self.journal_event(
+            Severity::Warn,
+            JournalKind::DeployRolledBack,
+            format!("{phase} phase: {cause}"),
+        );
         EscapeError::DeployFailed {
             phase,
             cause: Box::new(cause),
@@ -1177,6 +1360,11 @@ impl Escape {
         self.orch.release_chain(chain);
         self.graphs.remove(chain);
         self.teardowns_ctr.inc();
+        self.journal_event(
+            Severity::Info,
+            JournalKind::Teardown,
+            format!("chain {chain}"),
+        );
         Ok(())
     }
 
@@ -1217,7 +1405,7 @@ impl Escape {
         let deadline = self.sim.now() + Time::from_ms(ms);
         while self.sim.now() < deadline {
             let slice = (self.sim.now() + Time::from_ms(1)).min(deadline);
-            self.sim.run_until(slice);
+            self.advance_to(slice);
             self.heal();
             self.pump_admission();
         }
@@ -1252,6 +1440,11 @@ impl Escape {
 
     fn handle_fault(&mut self, rec: FaultRecord) {
         self.note(format!("fault {} {}", rec.kind.label(), rec.kind.target()));
+        self.journal_event(
+            Severity::Warn,
+            JournalKind::FaultInjected,
+            format!("{} {}", rec.kind.label(), rec.kind.target()),
+        );
         match rec.kind {
             FaultKind::LinkDown { a, b } => self.heal_link(&a, &b),
             FaultKind::LossSpike { a, b, loss } if loss >= Self::LOSS_FAILURE_THRESHOLD => {
@@ -1260,6 +1453,11 @@ impl Escape {
             FaultKind::LinkUp { a, b } | FaultKind::LossClear { a, b } => {
                 if self.orch.mark_link_recovered(&a, &b) {
                     self.note(format!("link {a}-{b} back in the resource view"));
+                    self.journal_event(
+                        Severity::Info,
+                        JournalKind::LinkRestored,
+                        format!("link {a}-{b}"),
+                    );
                 }
             }
             FaultKind::VnfCrash { node } => self.heal_container(&node),
@@ -1308,11 +1506,21 @@ impl Escape {
                 self.recoveries_ctr.inc();
                 self.recovery_latency.observe(self.sim.now().since(start));
                 self.note(format!("recovered chain {chain} ({})", action.label()));
+                self.journal_event(
+                    Severity::Info,
+                    JournalKind::HealRecovered,
+                    format!("chain {chain} ({})", action.label()),
+                );
             }
             Err(e) => {
                 self.recovery_failures_ctr.inc();
                 self.abandon_chain(chain);
                 self.note(format!("recovery of chain {chain} failed: {e}"));
+                self.journal_event(
+                    Severity::Error,
+                    JournalKind::HealFailed,
+                    format!("chain {chain}: {e}"),
+                );
             }
         }
     }

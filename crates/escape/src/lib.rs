@@ -49,6 +49,7 @@ pub mod env;
 pub mod error;
 pub mod flight;
 pub mod infra;
+pub mod journal;
 pub mod monitor;
 pub mod session;
 pub mod soak;
@@ -58,5 +59,6 @@ pub use domains::MultiDomainEscape;
 pub use env::{AdmissionConfig, DeploymentReport, Escape};
 pub use error::{AdmissionVerdict, DeployPhase, EscapeError, RollbackReport, RollbackStep};
 pub use flight::{FlightRecord, Journey, Outcome, SlaVerdict};
+pub use journal::{Journal, JournalEvent, JournalKind, Severity};
 pub use session::{Session, SessionConfig, SessionStatus};
 pub use soak::{SoakConfig, SoakReport};

@@ -19,6 +19,7 @@ use escape_orch::{
 };
 use escape_pox::SteeringMode;
 use escape_sg::{parse_service_graph, parse_topology, ResourceTopology, ServiceGraph};
+use escape_telemetry::SamplerConfig;
 
 /// Text format of a topology / service-graph / fault-plan document.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +86,8 @@ pub struct SessionConfig {
     pub admission: Option<AdmissionConfig>,
     /// Flight-recorder trace-ring capacity; `None` leaves it off.
     pub flight_recorder: Option<usize>,
+    /// Time-series sampler (period + retention); `None` leaves it off.
+    pub sampler: Option<SamplerConfig>,
 }
 
 impl Default for SessionConfig {
@@ -95,6 +98,7 @@ impl Default for SessionConfig {
             seed: 1,
             admission: None,
             flight_recorder: None,
+            sampler: None,
         }
     }
 }
@@ -148,6 +152,9 @@ impl Session {
         }
         if let Some(cap) = cfg.flight_recorder {
             esc.enable_flight_recorder(cap);
+        }
+        if let Some(sampler) = cfg.sampler {
+            esc.enable_sampler(sampler);
         }
         Ok(Session { esc, cfg })
     }
@@ -241,6 +248,17 @@ impl Session {
     /// Per-chain SLA verdicts from the flight recorder.
     pub fn sla_verdicts(&self) -> Vec<SlaVerdict> {
         self.esc.sla_verdicts()
+    }
+
+    /// Delta-encoded sampler series as a JSON document (empty document
+    /// when no sampler was configured).
+    pub fn series_json(&self) -> String {
+        self.esc.sampler_series_json()
+    }
+
+    /// The retained event journal as JSON lines.
+    pub fn journal_json_lines(&self) -> String {
+        self.esc.journal_json_lines()
     }
 
     /// Renders the telemetry registry. This is the *single* exposition

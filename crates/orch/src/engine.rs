@@ -110,7 +110,10 @@ impl OrchCounters {
             remap_failures: reg.counter("orch.remap_failures"),
             reroutes: reg.counter("orch.reroutes"),
             reroute_failures: reg.counter("orch.reroute_failures"),
-            placement_ns: reg.histogram("orch.placement_ns"),
+            // Wall-clock timing: the `wallclock.` namespace marks the
+            // only metrics allowed to differ between same-seed runs, so
+            // determinism comparisons can exclude them by prefix.
+            placement_ns: reg.histogram("wallclock.orch_placement_ns"),
         }
     }
 }

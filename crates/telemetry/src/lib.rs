@@ -26,8 +26,10 @@ use std::sync::{Arc, Mutex};
 use escape_json::Value;
 
 pub mod chrome;
+pub mod sampler;
 mod span;
 pub use chrome::ChromeEvent;
+pub use sampler::{Sample, Sampler, SamplerConfig};
 pub use span::{SpanHandle, SpanRecord, Tracer};
 
 /// Label set attached to a metric: sorted `(key, value)` pairs.
@@ -729,6 +731,61 @@ mod tests {
             r.snapshot().histogram("empty", &[]).unwrap().quantile(0.5),
             0
         );
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram: every quantile is 0, including the extremes.
+        let r = Registry::new();
+        let _h = r.histogram_with("edge.empty", &[], &[10, 20]);
+        let d = r.snapshot().histogram("edge.empty", &[]).unwrap().clone();
+        assert_eq!(d.quantile(0.0), 0);
+        assert_eq!(d.quantile(0.5), 0);
+        assert_eq!(d.quantile(1.0), 0);
+
+        // Single bucket holding every observation: all quantiles land
+        // inside [0, bound], and q=1.0 reaches the bound.
+        let h = r.histogram_with("edge.single", &[], &[100]);
+        for _ in 0..10 {
+            h.observe(50);
+        }
+        let d = r.snapshot().histogram("edge.single", &[]).unwrap().clone();
+        assert!(d.quantile(0.0) <= 100);
+        assert_eq!(d.quantile(1.0), 100);
+
+        // q=0 and q=1 on a two-bucket spread: q=0 stays in the first
+        // occupied bucket, q=1 in the last. Out-of-range q clamps.
+        let h = r.histogram_with("edge.spread", &[], &[10, 20]);
+        h.observe(5);
+        h.observe(15);
+        let d = r.snapshot().histogram("edge.spread", &[]).unwrap().clone();
+        assert!(d.quantile(0.0) <= 10, "q=0 must stay in the first bucket");
+        assert!(
+            (10..=20).contains(&d.quantile(1.0)),
+            "q=1 must land in the last occupied bucket"
+        );
+        assert_eq!(d.quantile(-3.0), d.quantile(0.0));
+        assert_eq!(d.quantile(7.0), d.quantile(1.0));
+    }
+
+    #[test]
+    fn prometheus_label_values_escape_specials() {
+        let r = Registry::new();
+        r.counter_with("esc.count", &[("msg", "say \"hi\" \\ line1\nline2")])
+            .inc();
+        let text = r.snapshot().prometheus();
+        // Quotes, backslashes and newlines must come out escaped, or the
+        // exposition line would be unparseable (a raw newline splits it).
+        assert!(
+            text.contains(r#"esc_count{msg="say \"hi\" \\ line1\nline2"} 1"#),
+            "escaped label value missing from:\n{text}"
+        );
+        for line in text.lines() {
+            assert!(
+                !line.is_empty() || text.ends_with('\n'),
+                "raw newline leaked into an exposition line"
+            );
+        }
     }
 
     #[test]

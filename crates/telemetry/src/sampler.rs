@@ -1,0 +1,307 @@
+//! Time-series sampler: a bounded ring of periodic [`Snapshot`]s taken
+//! on the caller's (virtual) clock.
+//!
+//! The environment loop calls [`Sampler::due`] / [`Sampler::record`] as
+//! virtual time advances; the ring keeps the most recent `retention`
+//! samples and counts what it drops (`telemetry.samples_evicted`), so
+//! truncation is observable instead of silent. Sampling on the virtual
+//! clock keeps the series deterministic for a fixed seed — two
+//! same-seed runs produce byte-identical series documents.
+//!
+//! [`Sampler::series_json`] renders the ring delta-encoded: counters
+//! and histograms as per-interval activity, gauges as end-of-interval
+//! values. That is exactly the shape a terminal sparkline (`escape
+//! top`) or a plotting pipeline wants, and it compresses long idle
+//! stretches to runs of zeros.
+
+use std::collections::VecDeque;
+
+use escape_json::Value;
+
+use crate::{Counter, MetricValue, Registry, Snapshot};
+
+/// Sampling cadence and ring capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerConfig {
+    /// Virtual nanoseconds between samples.
+    pub period_ns: u64,
+    /// How many samples the ring keeps before evicting the oldest.
+    pub retention: usize,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> SamplerConfig {
+        SamplerConfig {
+            period_ns: 5_000_000, // 5 virtual milliseconds
+            retention: 120,
+        }
+    }
+}
+
+/// One entry in the ring: the virtual timestamp and the full snapshot.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    pub at_ns: u64,
+    pub snapshot: Snapshot,
+}
+
+/// Bounded ring of periodic registry snapshots.
+pub struct Sampler {
+    period_ns: u64,
+    retention: usize,
+    samples: VecDeque<Sample>,
+    evicted: u64,
+    evicted_ctr: Counter,
+    next_due_ns: u64,
+}
+
+impl Sampler {
+    /// Builds a sampler and registers its eviction counter
+    /// (`telemetry.samples_evicted`) on `registry`.
+    pub fn new(registry: &Registry, cfg: SamplerConfig) -> Sampler {
+        assert!(cfg.period_ns > 0, "sampler period must be positive");
+        assert!(cfg.retention > 0, "sampler retention must be positive");
+        Sampler {
+            period_ns: cfg.period_ns,
+            retention: cfg.retention,
+            samples: VecDeque::with_capacity(cfg.retention),
+            evicted: 0,
+            evicted_ctr: registry.counter("telemetry.samples_evicted"),
+            next_due_ns: 0,
+        }
+    }
+
+    pub fn period_ns(&self) -> u64 {
+        self.period_ns
+    }
+
+    /// The virtual timestamp at (or after) which the next sample is due.
+    pub fn next_due_ns(&self) -> u64 {
+        self.next_due_ns
+    }
+
+    /// True when virtual time has reached the next sampling point.
+    pub fn due(&self, now_ns: u64) -> bool {
+        now_ns >= self.next_due_ns
+    }
+
+    /// Appends a sample, evicting the oldest when the ring is full.
+    pub fn record(&mut self, now_ns: u64, snapshot: Snapshot) {
+        if self.samples.len() == self.retention {
+            self.samples.pop_front();
+            self.evicted += 1;
+            self.evicted_ctr.inc();
+        }
+        self.samples.push_back(Sample {
+            at_ns: now_ns,
+            snapshot,
+        });
+        // Next sample lands on the next period boundary, not at
+        // `now + period`: if the loop overshoots a boundary the
+        // cadence stays aligned with the virtual clock grid.
+        self.next_due_ns = now_ns - (now_ns % self.period_ns) + self.period_ns;
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// How many samples have been dropped off the front of the ring.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    pub fn samples(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+
+    pub fn latest(&self) -> Option<&Sample> {
+        self.samples.back()
+    }
+
+    /// Delta-encoded series over the ring as a JSON document:
+    ///
+    /// ```json
+    /// {
+    ///   "period_ns": 5000000,
+    ///   "evicted": 0,
+    ///   "at_ns": [t0, t1, ...],
+    ///   "series": [
+    ///     {"name": "...", "labels": {...}, "kind": "counter",
+    ///      "points": [d1, d2, ...]},
+    ///     ...
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// Each series carries one point per interval between consecutive
+    /// samples (`at_ns.len() - 1` points). Counters and histograms are
+    /// per-interval deltas (increments / observation counts); gauges
+    /// are the value at the end of each interval. Series that never
+    /// move over the whole window are omitted.
+    pub fn series_json(&self) -> Value {
+        let at_ns: Vec<u64> = self.samples.iter().map(|s| s.at_ns).collect();
+        let mut series = Vec::new();
+        if let Some(last) = self.samples.back() {
+            for e in &last.snapshot.entries {
+                let kind = match e.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                let mut points: Vec<f64> = Vec::with_capacity(self.samples.len());
+                let mut prev: Option<f64> = None;
+                let mut moved = false;
+                for s in &self.samples {
+                    let abs = match s
+                        .snapshot
+                        .entries
+                        .iter()
+                        .find(|c| c.name == e.name && c.labels == e.labels)
+                        .map(|c| &c.value)
+                    {
+                        Some(MetricValue::Counter(v)) => *v as f64,
+                        Some(MetricValue::Gauge(v)) => *v as f64,
+                        Some(MetricValue::Histogram(h)) => h.count as f64,
+                        None => 0.0,
+                    };
+                    if let Some(p) = prev {
+                        let point = match e.value {
+                            MetricValue::Gauge(_) => abs,
+                            _ => abs - p,
+                        };
+                        if abs != p {
+                            moved = true;
+                        }
+                        points.push(point);
+                    }
+                    prev = Some(abs);
+                }
+                if !moved {
+                    continue;
+                }
+                let labels = Value::Obj(
+                    e.labels
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                        .collect(),
+                );
+                series.push(
+                    Value::obj()
+                        .set("name", e.name.as_str())
+                        .set("labels", labels)
+                        .set("kind", kind)
+                        .set("points", points),
+                );
+            }
+        }
+        Value::obj()
+            .set("period_ns", self.period_ns)
+            .set("evicted", self.evicted)
+            .set("at_ns", at_ns)
+            .set("series", Value::Arr(series))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_it() {
+        let r = Registry::new();
+        let c = r.counter("work.done");
+        let mut s = Sampler::new(
+            &r,
+            SamplerConfig {
+                period_ns: 1_000,
+                retention: 3,
+            },
+        );
+        for i in 0..5u64 {
+            c.inc();
+            s.record(i * 1_000, r.snapshot());
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.evicted(), 2);
+        assert_eq!(
+            r.snapshot().counter("telemetry.samples_evicted", &[]),
+            Some(2)
+        );
+        // The surviving window starts at the third sample.
+        assert_eq!(s.samples().next().unwrap().at_ns, 2_000);
+    }
+
+    #[test]
+    fn due_follows_period_boundaries() {
+        let r = Registry::new();
+        let mut s = Sampler::new(
+            &r,
+            SamplerConfig {
+                period_ns: 1_000,
+                retention: 8,
+            },
+        );
+        assert!(s.due(0));
+        s.record(0, r.snapshot());
+        assert!(!s.due(999));
+        assert!(s.due(1_000));
+        // Overshooting a boundary re-aligns to the grid rather than
+        // drifting by the overshoot.
+        s.record(1_700, r.snapshot());
+        assert_eq!(s.next_due_ns(), 2_000);
+    }
+
+    #[test]
+    fn series_are_delta_encoded_and_quiet_metrics_are_omitted() {
+        let r = Registry::new();
+        let c = r.counter("pkts.rx");
+        let g = r.gauge("queue.depth");
+        let _idle = r.counter("never.moves");
+        let h = r.histogram_with("lat", &[], &[100]);
+        let mut s = Sampler::new(
+            &r,
+            SamplerConfig {
+                period_ns: 1_000,
+                retention: 8,
+            },
+        );
+        s.record(0, r.snapshot());
+        c.add(3);
+        g.set(2);
+        h.observe(50);
+        s.record(1_000, r.snapshot());
+        c.add(1);
+        g.set(1);
+        s.record(2_000, r.snapshot());
+
+        let doc = s.series_json();
+        let at = doc.get("at_ns").unwrap().as_arr().unwrap();
+        assert_eq!(at.len(), 3);
+        let series = doc.get("series").unwrap().as_arr().unwrap();
+        let find = |name: &str| {
+            series
+                .iter()
+                .find(|e| e.get("name").unwrap().as_str() == Some(name))
+        };
+        let pts = |name: &str| -> Vec<f64> {
+            find(name)
+                .unwrap()
+                .get("points")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|p| p.as_f64().unwrap())
+                .collect()
+        };
+        assert_eq!(pts("pkts.rx"), vec![3.0, 1.0]);
+        assert_eq!(pts("queue.depth"), vec![2.0, 1.0]);
+        assert_eq!(pts("lat"), vec![1.0, 0.0]);
+        assert!(find("never.moves").is_none(), "flat series are omitted");
+    }
+}

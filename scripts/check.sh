@@ -58,4 +58,54 @@ if kill -0 "$DAEMON_PID" 2>/dev/null; then
     exit 1
 fi
 
+echo "== watch smoke (escaped + streaming escape ctl watch) =="
+WSOCK="$(mktemp -u /tmp/escaped-watch-XXXXXX.sock)"
+WATCH_OUT="$(mktemp /tmp/escape-watch-XXXXXX.log)"
+target/release/escaped --socket "$WSOCK" --seed 11 &
+WDAEMON_PID=$!
+cleanup_watch() {
+    kill "$WDAEMON_PID" 2>/dev/null || true
+    rm -f "$WSOCK" "$WATCH_OUT"
+}
+trap cleanup_watch EXIT
+for _ in $(seq 1 50); do
+    [ -S "$WSOCK" ] && break
+    sleep 0.1
+done
+[ -S "$WSOCK" ] || { echo "watch smoke: socket never appeared" >&2; exit 1; }
+target/release/escape ctl --socket "$WSOCK" watch >"$WATCH_OUT" 2>&1 &
+WATCH_PID=$!
+# The "watching:" ack means the subscription is registered ahead of
+# every command issued after it — nothing below can be missed.
+for _ in $(seq 1 50); do
+    grep -q "watching:" "$WATCH_OUT" && break
+    sleep 0.1
+done
+grep -q "watching:" "$WATCH_OUT" || { echo "watch smoke: subscriber never acked" >&2; exit 1; }
+target/release/escape ctl --socket "$WSOCK" deploy examples/data/demo.sg
+target/release/escape ctl --socket "$WSOCK" traffic sap0:sap1:50:128:200
+target/release/escape ctl --socket "$WSOCK" run-for 20
+target/release/escape ctl --socket "$WSOCK" run-for 20
+target/release/escape ctl --socket "$WSOCK" shutdown
+wait "$WDAEMON_PID"
+if ! wait "$WATCH_PID"; then
+    echo "watch smoke: subscriber exited non-zero" >&2
+    cat "$WATCH_OUT" >&2
+    exit 1
+fi
+grep -q "deploy-committed" "$WATCH_OUT" \
+    || { echo "watch smoke: no deploy event seen" >&2; cat "$WATCH_OUT" >&2; exit 1; }
+DELTAS=$(grep -c "metrics-delta" "$WATCH_OUT" || true)
+if [ "$DELTAS" -lt 2 ]; then
+    echo "watch smoke: only $DELTAS metrics-delta frames (want >=2)" >&2
+    cat "$WATCH_OUT" >&2
+    exit 1
+fi
+rm -f "$WATCH_OUT"
+trap - EXIT
+if [ -e "$WSOCK" ]; then
+    echo "watch smoke: leaked socket $WSOCK" >&2
+    exit 1
+fi
+
 echo "all checks passed"

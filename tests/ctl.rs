@@ -375,29 +375,29 @@ fn scripted_run(name: &str, seed: u64, frames: u64, run_ms: u64) -> (String, Str
     (status, body)
 }
 
-/// Removes the `orch.placement_ns` entry from a rendered metrics
-/// document. It times the mapping algorithm in wall-clock nanoseconds,
-/// so it is the one metric that legitimately differs between otherwise
-/// identical runs; everything else is virtual-time and must match.
-fn scrub_wall_clock(doc: &str) -> String {
-    let mut out: Vec<&str> = Vec::new();
-    let mut entry: Option<Vec<&str>> = None;
-    for line in doc.lines() {
-        match &mut entry {
-            None if line == "      {" => entry = Some(vec![line]),
-            None => out.push(line),
-            Some(buf) => {
-                buf.push(line);
-                if line == "      }," || line == "      }" {
-                    let buf = entry.take().unwrap();
-                    if !buf.iter().any(|l| l.contains("orch.placement_ns")) {
-                        out.extend(buf);
-                    }
-                }
+/// Drops the reserved `wallclock.*` metrics from a rendered metrics
+/// document — the only family allowed to differ between same-seed runs.
+/// The namespace makes this a typed prefix filter on the parsed
+/// document, not a guess at line layout.
+fn without_wallclock(doc: &str) -> String {
+    let mut root = escape_json::Value::parse(doc).expect("metrics document parses");
+    if let escape_json::Value::Obj(fields) = &mut root {
+        if let Some((_, escape_json::Value::Obj(m))) =
+            fields.iter_mut().find(|(k, _)| k == "metrics")
+        {
+            if let Some((_, escape_json::Value::Arr(entries))) =
+                m.iter_mut().find(|(k, _)| k == "metrics")
+            {
+                entries.retain(|e| {
+                    !matches!(
+                        e.get("name").and_then(escape_json::Value::as_str),
+                        Some(name) if name.starts_with("wallclock.")
+                    )
+                });
             }
         }
     }
-    out.join("\n") + "\n"
+    root.to_string_pretty()
 }
 
 #[test]
@@ -405,18 +405,19 @@ fn same_seed_daemons_render_byte_identical_documents() {
     let (status_a, metrics_a) = scripted_run("det-a", 42, 30, 40);
     let (status_b, metrics_b) = scripted_run("det-b", 42, 30, 40);
     assert_eq!(status_a, status_b);
-    let scrubbed_a = scrub_wall_clock(&metrics_a);
+    let scrubbed_a = without_wallclock(&metrics_a);
     assert!(
-        metrics_a.contains("orch.placement_ns") && !scrubbed_a.contains("orch.placement_ns"),
-        "scrub must strip the wall-clock histogram, not no-op"
+        metrics_a.contains("wallclock.orch_placement_ns")
+            && !scrubbed_a.contains("wallclock.orch_placement_ns"),
+        "filter must drop the wall-clock histogram, not no-op"
     );
-    assert_eq!(scrubbed_a, scrub_wall_clock(&metrics_b));
+    assert_eq!(scrubbed_a, without_wallclock(&metrics_b));
 
     // The equality above is not a constant-output artifact: a different
     // script (more traffic, longer run) renders different documents.
     let (status_c, metrics_c) = scripted_run("det-c", 42, 60, 80);
     assert_ne!(status_a, status_c);
-    assert_ne!(scrubbed_a, scrub_wall_clock(&metrics_c));
+    assert_ne!(scrubbed_a, without_wallclock(&metrics_c));
 }
 
 #[test]

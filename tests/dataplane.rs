@@ -36,12 +36,12 @@ struct Outcome {
 }
 
 /// The one metric family that may legitimately differ between a cache-on
-/// and a cache-off run is `openflow.cache_*`; the one that differs
-/// between otherwise identical runs is the wall-clock
-/// `orch.placement_ns` histogram. Strip both for byte comparisons.
+/// and a cache-off run is `openflow.cache_*`; the ones that differ
+/// between otherwise identical runs live under the reserved `wallclock.`
+/// namespace. Strip both for byte comparisons.
 fn scrub(doc: &str) -> String {
     doc.lines()
-        .filter(|l| !l.contains("openflow_cache_") && !l.contains("orch_placement_ns"))
+        .filter(|l| !l.contains("openflow_cache_") && !l.contains("wallclock_"))
         .collect::<Vec<_>>()
         .join("\n")
 }
@@ -125,7 +125,7 @@ fn same_seed_cached_runs_are_byte_identical() {
     // itself deterministic.
     let strip_wall = |doc: &str| {
         doc.lines()
-            .filter(|l| !l.contains("orch_placement_ns"))
+            .filter(|l| !l.contains("wallclock_"))
             .collect::<Vec<_>>()
             .join("\n")
     };

@@ -357,7 +357,7 @@ fn telemetry_spans_all_layers() {
 
     // Orchestrator placement time was measured.
     let p = snap
-        .histogram("orch.placement_ns", &[])
+        .histogram("wallclock.orch_placement_ns", &[])
         .expect("placement histogram");
     assert!(p.count > 0, "placement timed");
 
